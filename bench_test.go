@@ -1,0 +1,540 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus ablations over the design choices called out
+// in DESIGN.md §5 and micro-benchmarks of the simulation engines.
+//
+// Naming convention: BenchmarkTable<k>... and BenchmarkFigure1... map to
+// the paper's artifacts (see DESIGN.md §4); BenchmarkAblation... are the
+// design-choice studies; the rest measure substrate throughput.
+//
+// Run everything:  go test -bench=. -benchmem .
+// One experiment:  go test -bench=BenchmarkTable5 .
+package seqbist_test
+
+import (
+	"sync"
+	"testing"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/baseline"
+	"seqbist/internal/core"
+	"seqbist/internal/expand"
+	"seqbist/internal/experiments"
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/iscas"
+	"seqbist/internal/netlist"
+	"seqbist/internal/tcompact"
+	"seqbist/internal/tfault"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// benchSetup caches per-circuit artifacts so benchmarks measure the
+// operation under study, not repeated ATPG runs.
+type benchSetup struct {
+	c  *netlist.Circuit
+	fl []faults.Fault
+	t0 vectors.Sequence
+}
+
+var (
+	setupOnce  sync.Once
+	setupCache map[string]*benchSetup
+)
+
+func setupFor(b *testing.B, name string) *benchSetup {
+	b.Helper()
+	setupOnce.Do(func() { setupCache = map[string]*benchSetup{} })
+	if s, ok := setupCache[name]; ok {
+		return s
+	}
+	c := iscas.MustLoad(name)
+	fl := faults.CollapsedUniverse(c)
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: 1, MaxLen: 1500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0, _ := tcompact.Compact(c, fl, gen.Seq)
+	s := &benchSetup{c: c, fl: fl, t0: t0}
+	setupCache[name] = s
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Table 1: the §2 expansion example.
+
+func BenchmarkTable1Expansion(b *testing.B) {
+	s := vectors.MustParseSequence("000 110")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := expand.Expand(s, 2); got.Len() != 32 {
+			b.Fatal("wrong expansion length")
+		}
+	}
+}
+
+// Table 2: fault simulation of the paper's s27 sequence.
+
+func BenchmarkTable2S27(b *testing.B) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	t0 := experiments.S27T0()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := fsim.Run(c, fl, t0)
+		if res.NumDetected != 32 {
+			b.Fatalf("detected %d", res.NumDetected)
+		}
+	}
+}
+
+// Table 3: the full per-circuit pipeline (Procedure 1 + §3.2) on a
+// representative circuit, measuring what one Table 3 row costs.
+
+func BenchmarkTable3Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunCircuit("s298", experiments.Profile{
+			Circuits:          []string{"s298"},
+			Ns:                []int{2, 8},
+			Seed:              1,
+			ATPGMaxLen:        1500,
+			MaxOmissionTrials: 300,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.BestRun().After.NumSequences == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+// Table 4: normalized run time of Procedure 1 — the benchmark reports
+// the paper's metric (Procedure 1 time / T0 simulation time) directly.
+
+func BenchmarkTable4NormalizedRuntime(b *testing.B) {
+	run, err := experiments.RunCircuit("s298", experiments.Profile{
+		Circuits:          []string{"s298"},
+		Ns:                []int{4},
+		Seed:              1,
+		ATPGMaxLen:        1500,
+		MaxOmissionTrials: 300,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(run.NormProc1(), "xT0sim/proc1")
+	b.ReportMetric(run.NormComp(), "xT0sim/comp")
+	s := setupFor(b, "s298")
+	cfg := core.DefaultConfig(4)
+	cfg.MaxOmissionTrials = 300
+	c := iscas.MustLoad("s298")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Select(c, s.fl, s.t0, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 5: the stored-length ratios; reported as custom metrics so a
+// bench run prints the paper-comparable numbers.
+
+func BenchmarkTable5Ratios(b *testing.B) {
+	prof := experiments.Profile{
+		Circuits:          []string{"s27", "s298"},
+		Ns:                []int{2, 8},
+		Seed:              1,
+		ATPGMaxLen:        1500,
+		MaxOmissionTrials: 300,
+	}
+	var tot, max float64
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.RunAll(prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tot, max = experiments.AverageRatios(runs)
+	}
+	b.ReportMetric(tot, "totlen/T0")
+	b.ReportMetric(max, "maxlen/T0")
+}
+
+// Figure 1: rendering the subsequence window map.
+
+func BenchmarkFigure1WindowMap(b *testing.B) {
+	run, err := experiments.RunCircuit("s27", experiments.Profile{
+		Circuits: []string{"s27"}, Ns: []int{1}, Seed: 1, ATPGMaxLen: 400,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if experiments.Figure1(run) == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+
+// BenchmarkAblationRepetition sweeps n and reports the stored-length
+// metrics per n on s298.
+func BenchmarkAblationRepetition(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			cfg := core.DefaultConfig(n)
+			cfg.MaxOmissionTrials = 300
+			var st core.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := core.Select(c, s.fl, s.t0, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				set, _ := core.CompactSet(c, s.fl, res, cfg)
+				st = core.StatsOf(set)
+			}
+			b.ReportMetric(float64(st.TotalLen), "totlen")
+			b.ReportMetric(float64(st.MaxLen), "maxlen")
+		})
+	}
+}
+
+// BenchmarkAblationTargetOrder compares the paper's max-udet-first fault
+// targeting against min-udet and random.
+func BenchmarkAblationTargetOrder(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	orders := []struct {
+		name string
+		ord  core.TargetOrder
+	}{
+		{"maxudet", core.OrderMaxUDet},
+		{"minudet", core.OrderMinUDet},
+		{"random", core.OrderRandom},
+	}
+	for _, o := range orders {
+		name, ord := o.name, o.ord
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig(4)
+			cfg.MaxOmissionTrials = 300
+			cfg.TargetOrder = ord
+			var st core.Stats
+			var seqs int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Select(c, s.fl, s.t0, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = core.StatsOf(res.Set)
+				seqs = len(res.Set)
+			}
+			b.ReportMetric(float64(st.TotalLen), "totlen")
+			b.ReportMetric(float64(seqs), "sequences")
+		})
+	}
+}
+
+// BenchmarkAblationOmissionRestart compares the paper-faithful omission
+// (restart after every acceptance) with the single-pass variant.
+func BenchmarkAblationOmissionRestart(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	for _, mode := range []struct {
+		name    string
+		restart bool
+	}{{"restart", true}, {"singlepass", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.DefaultConfig(4)
+			cfg.OmissionRestart = mode.restart
+			cfg.MaxOmissionTrials = 300
+			var st core.Stats
+			var sims int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Select(c, s.fl, s.t0, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = core.StatsOf(res.Set)
+				sims = res.Sims
+			}
+			b.ReportMetric(float64(st.TotalLen), "totlen")
+			b.ReportMetric(float64(sims), "sims")
+		})
+	}
+}
+
+// BenchmarkAblationCompactionPasses measures each §3.2 pass in isolation
+// against all four.
+func BenchmarkAblationCompactionPasses(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	cfg := core.DefaultConfig(4)
+	cfg.MaxOmissionTrials = 300
+	res, err := core.Select(c, s.fl, s.t0, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name    string
+		enabled [4]bool
+	}{
+		{"pass1_incLen", [4]bool{true, false, false, false}},
+		{"pass2_decLen", [4]bool{false, true, false, false}},
+		{"pass3_revGen", [4]bool{false, false, true, false}},
+		{"pass4_prevDet", [4]bool{false, false, false, true}},
+		{"all4", [4]bool{true, true, true, true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var after core.Stats
+			for i := 0; i < b.N; i++ {
+				set, _ := core.CompactSetPasses(c, s.fl, res, cfg, v.enabled)
+				after = core.StatsOf(set)
+			}
+			b.ReportMetric(float64(after.NumSequences), "sequences")
+			b.ReportMetric(float64(after.TotalLen), "totlen")
+		})
+	}
+}
+
+// BenchmarkBaselinePartition measures the §1 partitioning alternative and
+// reports its memory requirement (max segment length) next to the
+// subsequence scheme's on the same T0.
+func BenchmarkBaselinePartition(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	var part baseline.PartitionResult
+	for i := 0; i < b.N; i++ {
+		part = baseline.Partition(c, s.fl, s.t0)
+	}
+	b.ReportMetric(float64(part.MaxLen), "partition_maxlen")
+	b.ReportMetric(float64(part.TotalLen), "partition_load")
+
+	cfg := core.DefaultConfig(8)
+	cfg.MaxOmissionTrials = 300
+	res, err := core.Select(c, s.fl, s.t0, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, _ := core.CompactSet(c, s.fl, res, cfg)
+	st := core.StatsOf(set)
+	b.ReportMetric(float64(st.MaxLen), "subseq_maxlen")
+	b.ReportMetric(float64(st.TotalLen), "subseq_load")
+}
+
+// BenchmarkBaselineLFSRCoverage measures pseudo-random coverage at the
+// expanded-scheme's at-speed budget (the "no guarantee" comparison).
+func BenchmarkBaselineLFSRCoverage(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	budget := 1728 // 8 * n=8 * 27 stored vectors, the comparison example's budget
+	var cov int
+	for i := 0; i < b.N; i++ {
+		r := fsim.Run(c, s.fl, baseline.NewLFSR(c.NumPIs(), 1).Sequence(budget))
+		cov = r.NumDetected
+	}
+	det := fsim.Run(c, s.fl, s.t0)
+	b.ReportMetric(float64(cov), "lfsr_detected")
+	b.ReportMetric(float64(det.NumDetected), "deterministic_detected")
+}
+
+// BenchmarkAblationExpansionOps isolates the §2 manipulations: the
+// selection runs with progressively richer expansions, reporting the
+// total storage each needs for full coverage.
+func BenchmarkAblationExpansionOps(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	variants := []struct {
+		name string
+		ops  expand.Ops
+	}{
+		{"repeat", expand.OpRepeat},
+		{"repeat_comp", expand.OpRepeat | expand.OpComplement},
+		{"repeat_comp_shift", expand.OpRepeat | expand.OpComplement | expand.OpShift},
+		{"full", expand.AllOps},
+	}
+	for _, v := range variants {
+		name, ops := v.name, v.ops
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig(4)
+			cfg.MaxOmissionTrials = 300
+			cfg.ExpandOps = ops
+			var st core.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := core.Select(c, s.fl, s.t0, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = core.StatsOf(res.Set)
+			}
+			b.ReportMetric(float64(st.TotalLen), "totlen")
+			b.ReportMetric(float64(st.MaxLen), "maxlen")
+		})
+	}
+}
+
+// BenchmarkExtensionTransitionCoverage measures the paper's at-speed
+// claim with the gross-delay transition-fault model: coverage of T0
+// versus the expanded set, reported as metrics.
+func BenchmarkExtensionTransitionCoverage(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	tfl := tfault.Universe(c)
+	cfg := core.DefaultConfig(4)
+	cfg.MaxOmissionTrials = 300
+	res, err := core.Select(c, s.fl, s.t0, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, _ := core.CompactSet(c, s.fl, res, cfg)
+	var expanded []vectors.Sequence
+	for _, sel := range set {
+		expanded = append(expanded, expand.Expand(sel.Seq, cfg.N))
+	}
+	var covT0, covExp int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		covT0 = tfault.Coverage(c, tfl, s.t0)
+		covExp = tfault.CoverageOfSet(c, tfl, expanded)
+	}
+	b.ReportMetric(float64(covT0), "tf_T0")
+	b.ReportMetric(float64(covExp), "tf_expanded")
+}
+
+// BenchmarkSeedStability runs the s27 pipeline across seeds and reports
+// the spread of the headline ratios (reproduction hygiene: the result
+// must not be one lucky RNG draw).
+func BenchmarkSeedStability(b *testing.B) {
+	base := experiments.Profile{
+		Circuits:          []string{"s27"},
+		Ns:                []int{1, 2},
+		ATPGMaxLen:        300,
+		MaxOmissionTrials: 100,
+	}
+	var res *experiments.SeedStudyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.SeedStudy("s27", base, []uint64{1, 2, 3, 4, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lo, hi := 2.0, 0.0
+	var sum float64
+	for _, r := range res.TotRatios {
+		sum += r
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	b.ReportMetric(sum/float64(len(res.TotRatios)), "totratio_mean")
+	b.ReportMetric(hi-lo, "totratio_spread")
+}
+
+// ---------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+// BenchmarkFaultSimParallelVsSerial quantifies the 64-lane speedup.
+func BenchmarkFaultSimParallelVsSerial(b *testing.B) {
+	s := setupFor(b, "s298")
+	c := iscas.MustLoad("s298")
+	seq := s.t0
+	b.Run("parallel64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fsim.Run(c, s.fl, seq)
+		}
+	})
+	b.Run("serialSingle", func(b *testing.B) {
+		single := fsim.NewSingle(c)
+		for i := 0; i < b.N; i++ {
+			for _, f := range s.fl {
+				single.Detects(f, seq)
+			}
+		}
+	})
+}
+
+func BenchmarkExpansionThroughput(b *testing.B) {
+	s := vectors.RandomSequence(xrand.New(1), 32, 64)
+	b.SetBytes(int64(expand.ExpandedLength(64, 8) * 32))
+	for i := 0; i < b.N; i++ {
+		expand.Expand(s, 8)
+	}
+}
+
+func BenchmarkExpansionStream(b *testing.B) {
+	s := vectors.RandomSequence(xrand.New(1), 32, 64)
+	st := expand.NewStream(s, 8)
+	b.SetBytes(int64(st.Len() * 32))
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		for {
+			if _, ok := st.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkGoodSimulationThroughput(b *testing.B) {
+	s := setupFor(b, "s344")
+	c := iscas.MustLoad("s344")
+	seq := vectors.RandomSequence(xrand.New(2), c.NumPIs(), 256)
+	_ = s
+	b.SetBytes(int64(seq.Len()))
+	sim := fsim.NewSingle(c)
+	f := faults.CollapsedUniverse(c)[0]
+	for i := 0; i < b.N; i++ {
+		sim.Detects(f, seq)
+	}
+}
+
+func BenchmarkATPGRound(b *testing.B) {
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	for i := 0; i < b.N; i++ {
+		if _, err := atpg.Generate(c, fl, atpg.Config{Seed: uint64(i), MaxLen: 200}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT0Compaction(b *testing.B) {
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: 1, MaxLen: 800})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tcompact.Compact(c, fl, gen.Seq)
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

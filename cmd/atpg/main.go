@@ -1,0 +1,97 @@
+// Command atpg generates a deterministic test sequence (T0) for a
+// circuit, optionally compacts it by vector restoration, and writes it as
+// whitespace-separated vectors suitable for seqbist -t0.
+//
+// Usage:
+//
+//	atpg -circuit s344 -o t0.txt
+//	atpg -bench design.bench -seed 9 -maxlen 2000 -no-compact
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/bench"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/netlist"
+	"seqbist/internal/tcompact"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "benchmark name from the registry")
+	benchFile := flag.String("bench", "", "path to a .bench netlist")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	maxLen := flag.Int("maxlen", 4000, "cap on the raw generated length (0 = unlimited)")
+	noCompact := flag.Bool("no-compact", false, "skip vector-restoration compaction")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	c := loadCircuit(*circuit, *benchFile)
+	fl := faults.CollapsedUniverse(c)
+
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: *seed, MaxLen: *maxLen})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	t0 := gen.Seq
+	fmt.Fprintf(os.Stderr, "%s: %d faults, generated %d vectors, coverage %.1f%%\n",
+		c.Name, len(fl), t0.Len(), 100*gen.Coverage())
+	if !*noCompact {
+		var st tcompact.Stats
+		t0, st = tcompact.Compact(c, fl, t0)
+		fmt.Fprintf(os.Stderr, "compacted to %d vectors (ratio %.2f)\n",
+			st.CompactedLen, st.Ratio())
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	for _, v := range t0 {
+		fmt.Fprintln(w, v)
+	}
+	if err := w.Flush(); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func loadCircuit(name, benchFile string) *netlist.Circuit {
+	switch {
+	case name != "" && benchFile != "":
+		fatalf("use either -circuit or -bench, not both")
+	case name != "":
+		c, err := iscas.Load(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return c
+	case benchFile != "":
+		f, err := os.Open(benchFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		c, err := bench.Parse(f, benchFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return c
+	}
+	fatalf("one of -circuit or -bench is required")
+	return nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "atpg: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command circinfo prints structural and fault-model statistics of a
+// circuit, and can dump the registry's synthetic benchmarks as .bench
+// files for inspection with other tools.
+//
+// Usage:
+//
+//	circinfo -circuit s382
+//	circinfo -bench design.bench
+//	circinfo -circuit s298 -dump s298.bench
+//	circinfo -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqbist/internal/bench"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/netlist"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "benchmark name from the registry")
+	benchFile := flag.String("bench", "", "path to a .bench netlist")
+	dump := flag.String("dump", "", "write the circuit as .bench to this path")
+	list := flag.Bool("list", false, "list the benchmark registry")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-8s %5s %5s %5s %7s %s\n", "name", "PIs", "POs", "DFFs", "gates", "kind")
+		for _, spec := range iscas.Specs() {
+			kind := "synthetic"
+			if !spec.Synthetic {
+				kind = "embedded (real netlist)"
+			}
+			if spec.Scaled() {
+				kind += fmt.Sprintf(", scaled from %d gates / %d DFFs",
+					spec.PaperGates, spec.PaperDFFs)
+			}
+			fmt.Printf("%-8s %5d %5d %5d %7d %s\n",
+				spec.Name, spec.PIs, spec.POs, spec.DFFs, spec.Gates, kind)
+		}
+		return
+	}
+
+	c := loadCircuit(*circuit, *benchFile)
+	st := c.Stats()
+	fmt.Println(st)
+	fmt.Printf("  depth %d, max fanout %d, max fanin %d\n", st.Depth, st.MaxFanout, st.MaxFanin)
+	fmt.Printf("  gate mix:")
+	for gt := netlist.Buf; gt <= netlist.Xnor; gt++ {
+		if n := st.GateMix[gt]; n > 0 {
+			fmt.Printf(" %s=%d", gt, n)
+		}
+	}
+	fmt.Println()
+	uni := faults.Universe(c)
+	col := faults.CollapsedUniverse(c)
+	fmt.Printf("  stuck-at faults: %d total, %d after equivalence collapsing\n", len(uni), len(col))
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := bench.Write(f, c); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("  wrote %s\n", *dump)
+	}
+}
+
+func loadCircuit(name, benchFile string) *netlist.Circuit {
+	switch {
+	case name != "" && benchFile != "":
+		fatalf("use either -circuit or -bench, not both")
+	case name != "":
+		c, err := iscas.Load(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return c
+	case benchFile != "":
+		f, err := os.Open(benchFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		c, err := bench.Parse(f, benchFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return c
+	}
+	fatalf("one of -circuit or -bench is required (or -list)")
+	return nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "circinfo: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+// Command seqbist runs the paper's complete flow on one circuit and
+// reports what a BIST integrator needs: the selected subsequence set, its
+// storage/loading economics versus T0, the on-chip hardware cost, and the
+// per-sequence golden MISR signatures.
+//
+// Usage:
+//
+//	seqbist -circuit s298 -n 8
+//	seqbist -bench mydesign.bench -n 4 -seed 7
+//	seqbist -circuit s27 -t0 t0.txt -n 1    # bring your own T0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/bench"
+	"seqbist/internal/bist"
+	"seqbist/internal/core"
+	"seqbist/internal/experiments"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/netlist"
+	"seqbist/internal/tcompact"
+	"seqbist/internal/vectors"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "benchmark name from the registry (e.g. s298)")
+	benchFile := flag.String("bench", "", "path to a .bench netlist (alternative to -circuit)")
+	n := flag.Int("n", 4, "repetition count for the expansion")
+	seed := flag.Uint64("seed", 1, "seed for ATPG and Procedure 2")
+	t0File := flag.String("t0", "", "optional file with T0 (whitespace-separated vectors); otherwise ATPG generates it")
+	skipCompact := flag.Bool("no-compact", false, "skip §3.2 static compaction of S")
+	verilogOut := flag.String("verilog", "", "write the on-chip BIST hardware (expander + MISR) as Verilog to this path")
+	flag.Parse()
+
+	c := loadCircuit(*circuit, *benchFile)
+	fl := faults.CollapsedUniverse(c)
+	fmt.Printf("%s\n", c.Stats())
+	fmt.Printf("collapsed stuck-at faults: %d\n\n", len(fl))
+
+	t0 := obtainT0(c, fl, *t0File, *seed)
+
+	cfg := core.Config{N: *n, Seed: *seed, OmissionRestart: true}
+	res, err := core.Select(c, fl, t0, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	set := res.Set
+	if !*skipCompact {
+		set, _ = core.CompactSet(c, fl, res, cfg)
+	}
+	if missed := core.VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+		fatalf("internal error: %d faults lost by selection", len(missed))
+	}
+
+	st := core.StatsOf(set)
+	fmt.Printf("T0: %d vectors, detects %d/%d faults\n", t0.Len(), res.NumTargets, len(fl))
+	fmt.Printf("selected set S: %d sequences, total %d vectors (%.2f of |T0|), max %d (%.2f of |T0|)\n",
+		st.NumSequences, st.TotalLen, float64(st.TotalLen)/float64(t0.Len()),
+		st.MaxLen, float64(st.MaxLen)/float64(t0.Len()))
+	fmt.Printf("at-speed test length: %d vectors (8n x total)\n\n", 8**n*st.TotalLen)
+
+	var stored []vectors.Sequence
+	for _, s := range set {
+		stored = append(stored, s.Seq)
+	}
+	cost := bist.CostOf(c.NumPIs(), *n, stored)
+	fmt.Printf("on-chip hardware: %s\n\n", cost)
+
+	sess, err := bist.NewSession(c, stored, *n)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := sess.RunGolden(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println("sequences (loaded at tester speed, expanded on-chip):")
+	for i, s := range set {
+		fmt.Printf("  S%-2d len %-4d window T0[%d,%d] target %s golden MISR %016x\n",
+			i+1, s.Seq.Len(), s.UStart, s.UDet, fl[s.TargetFault].Name(c),
+			sess.GoldenSignatures()[i])
+	}
+	fmt.Printf("\ntotal load cycles: %d (loading T0 instead would cost %d)\n",
+		sess.LoadCycles(), t0.Len())
+
+	if *verilogOut != "" {
+		src, err := bist.GenerateVerilogForSet(c.Name, stored, *n, c.NumPOs())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*verilogOut, []byte(src), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote BIST hardware RTL to %s\n", *verilogOut)
+	}
+
+	run := &experiments.CircuitRun{
+		Name: c.Name, TotalFaults: len(fl), DetectedByT0: res.NumTargets,
+		T0Len: t0.Len(),
+		PerN: []experiments.NRun{{
+			N: *n, Before: core.StatsOf(res.Set), After: st, Set: set, Raw: res,
+		}},
+	}
+	fmt.Println()
+	fmt.Println(experiments.Figure1(run))
+}
+
+func loadCircuit(name, benchFile string) *netlist.Circuit {
+	switch {
+	case name != "" && benchFile != "":
+		fatalf("use either -circuit or -bench, not both")
+	case name != "":
+		c, err := iscas.Load(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return c
+	case benchFile != "":
+		f, err := os.Open(benchFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		c, err := bench.Parse(f, benchFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return c
+	}
+	fatalf("one of -circuit or -bench is required")
+	return nil
+}
+
+func obtainT0(c *netlist.Circuit, fl []faults.Fault, t0File string, seed uint64) vectors.Sequence {
+	if t0File != "" {
+		data, err := os.ReadFile(t0File)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		t0, err := vectors.ParseSequence(string(data))
+		if err != nil {
+			fatalf("parsing %s: %v", t0File, err)
+		}
+		return t0
+	}
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: seed, MaxLen: 4000})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	t0, st := tcompact.Compact(c, fl, gen.Seq)
+	fmt.Printf("ATPG: %d vectors generated, compacted to %d (ratio %.2f)\n\n",
+		st.OriginalLen, st.CompactedLen, st.Ratio())
+	return t0
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "seqbist: "+format+"\n", args...)
+	os.Exit(1)
+}

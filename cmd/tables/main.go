@@ -1,0 +1,113 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section (Tables 1-5 and Figure 1).
+//
+// Tables 1 and 2 are exact reproductions on the embedded s27. Tables 3-5
+// and Figure 1 run the full pipeline (ATPG -> T0 compaction ->
+// Procedure 1 -> §3.2 compaction) on the benchmark registry; see
+// DESIGN.md for the netlist substitution that makes absolute numbers
+// differ from the paper while preserving their shape.
+//
+// Usage:
+//
+//	tables -table all                 # fast profile, all tables
+//	tables -table 3 -profile full     # the full 12-circuit sweep
+//	tables -figure 1 -circuits s298
+//	tables -table 5 -circuits s27,s298 -ns 2,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"seqbist/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to print: 1, 2, 3, 4, 5 or all")
+	figure := flag.Int("figure", 0, "figure to print (1), in addition to tables")
+	profile := flag.String("profile", "fast", "pipeline profile: fast or full")
+	circuits := flag.String("circuits", "", "comma-separated circuit list (overrides profile)")
+	ns := flag.String("ns", "", "comma-separated repetition counts (overrides profile)")
+	seed := flag.Uint64("seed", 1, "pipeline seed")
+	verify := flag.Bool("verify", false, "re-verify coverage of every run (slow)")
+	markdown := flag.Bool("md", false, "emit the full paper-vs-measured Markdown report (EXPERIMENTS.md body)")
+	flag.Parse()
+
+	needPipeline := *figure == 1 || *table == "all" || *markdown ||
+		*table == "3" || *table == "4" || *table == "5"
+
+	if *table == "1" || *table == "all" {
+		fmt.Println(experiments.Table1())
+	}
+	if *table == "2" || *table == "all" {
+		fmt.Println(experiments.Table2())
+	}
+	if !needPipeline {
+		return
+	}
+
+	prof := experiments.FastProfile()
+	if *profile == "full" {
+		prof = experiments.FullProfile()
+	}
+	prof.Seed = *seed
+	if *circuits != "" {
+		prof.Circuits = strings.Split(*circuits, ",")
+	}
+	if *ns != "" {
+		prof.Ns = nil
+		for _, s := range strings.Split(*ns, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fatalf("invalid -ns entry %q", s)
+			}
+			prof.Ns = append(prof.Ns, n)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "running pipeline on %v with n in %v...\n", prof.Circuits, prof.Ns)
+	prof.Progress = func(name string, elapsed time.Duration) {
+		fmt.Fprintf(os.Stderr, "  %-8s done in %v\n", name, elapsed.Round(time.Millisecond))
+	}
+	prof.Trace = func(circuit, stage string, elapsed time.Duration) {
+		fmt.Fprintf(os.Stderr, "    %-8s %-24s %v\n", circuit, stage, elapsed.Round(time.Millisecond))
+	}
+	runs, err := experiments.RunAll(prof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	experiments.SortByName(runs)
+
+	if *markdown {
+		fmt.Print(experiments.MarkdownReport(runs))
+	}
+	if *table == "3" || *table == "all" {
+		fmt.Println(experiments.Table3(runs))
+	}
+	if *table == "4" || *table == "all" {
+		fmt.Println(experiments.Table4(runs))
+	}
+	if *table == "5" || *table == "all" {
+		fmt.Println(experiments.Table5(runs))
+	}
+	if *figure == 1 || *table == "all" {
+		for _, r := range runs {
+			fmt.Println(experiments.Figure1(r))
+		}
+	}
+	if *verify {
+		if problems := experiments.CoverageCheck(runs); len(problems) > 0 {
+			fatalf("coverage check failed: %v", problems)
+		}
+		fmt.Fprintln(os.Stderr, "coverage check passed: every run re-detects all of T0's faults")
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Atspeed quantifies the paper's motivation for on-chip expansion: the
+// expanded sequences apply 8n at-speed vectors per loaded vector, which
+// matters for delay defects. Using the gross-delay transition-fault model
+// (internal/tfault), the example compares the transition coverage of T0
+// against the expanded selected set, alongside the number of vectors each
+// scheme must load.
+//
+// Usage: go run ./examples/atspeed [circuit]   (default s27)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/core"
+	"seqbist/internal/expand"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/report"
+	"seqbist/internal/tcompact"
+	"seqbist/internal/tfault"
+	"seqbist/internal/vectors"
+)
+
+func main() {
+	name := "s27"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	c, err := iscas.Load(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sfl := faults.CollapsedUniverse(c)
+	tfl := tfault.Universe(c)
+
+	gen, err := atpg.Generate(c, sfl, atpg.Config{Seed: 1, MaxLen: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0, _ := tcompact.Compact(c, sfl, gen.Seq)
+	fmt.Printf("%s: %d stuck-at faults, %d transition faults, |T0| = %d\n\n",
+		name, len(sfl), len(tfl), t0.Len())
+
+	tbl := report.New("At-speed (transition-fault) coverage",
+		"scheme", "loaded vectors", "at-speed vectors", "transition coverage").
+		AlignLeft(0)
+	covT0 := tfault.Coverage(c, tfl, t0)
+	tbl.AddRow("T0 applied once", report.Itoa(t0.Len()), report.Itoa(t0.Len()),
+		fmt.Sprintf("%d/%d", covT0, len(tfl)))
+
+	for _, n := range []int{2, 8} {
+		cfg := core.DefaultConfig(n)
+		cfg.MaxOmissionTrials = 400
+		res, err := core.Select(c, sfl, t0, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, _ := core.CompactSet(c, sfl, res, cfg)
+		st := core.StatsOf(set)
+		var expanded []vectors.Sequence
+		for _, s := range set {
+			expanded = append(expanded, expand.Expand(s.Seq, n))
+		}
+		cov := tfault.CoverageOfSet(c, tfl, expanded)
+		tbl.AddRow(fmt.Sprintf("expanded set, n=%d", n),
+			report.Itoa(st.TotalLen), report.Itoa(8*n*st.TotalLen),
+			fmt.Sprintf("%d/%d", cov, len(tfl)))
+	}
+	fmt.Println(tbl)
+	fmt.Println("the expanded sets load a fraction of T0's vectors yet sustain (or exceed)")
+	fmt.Println("its transition coverage — the paper's at-speed argument, made measurable.")
+}

@@ -1,0 +1,88 @@
+// Comparison pits the paper's subsequence-expansion scheme against the
+// two §1 alternatives on one circuit:
+//
+//   - loading T0 whole (memory = |T0|, load = |T0|, guaranteed coverage);
+//   - partitioning T0 into separately loaded segments (load = |T0|,
+//     memory = longest segment, guaranteed coverage);
+//   - an LFSR, with and without vector holding (no loading, no
+//     guarantee);
+//   - the paper's scheme (load < |T0|, memory = longest stored
+//     subsequence, guaranteed coverage).
+//
+// Usage: go run ./examples/comparison [circuit]   (default s298)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/baseline"
+	"seqbist/internal/core"
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/iscas"
+	"seqbist/internal/report"
+	"seqbist/internal/tcompact"
+)
+
+func main() {
+	name := "s298"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	c, err := iscas.Load(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl := faults.CollapsedUniverse(c)
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: 1, MaxLen: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0, _ := tcompact.Compact(c, fl, gen.Seq)
+	base := fsim.Run(c, fl, t0)
+	fmt.Printf("%s: %d faults, T0 detects %d with %d vectors\n\n",
+		name, len(fl), base.NumDetected, t0.Len())
+
+	tbl := report.New("Test-application schemes compared",
+		"scheme", "coverage", "load cycles", "memory (vectors)", "at-speed vectors").
+		AlignLeft(0)
+
+	// Load-whole-T0 baseline.
+	tbl.AddRow("load T0 whole", report.Itoa(base.NumDetected),
+		report.Itoa(t0.Len()), report.Itoa(t0.Len()), report.Itoa(t0.Len()))
+
+	// Partitioning baseline.
+	part := baseline.Partition(c, fl, t0)
+	tbl.AddRow(fmt.Sprintf("partition T0 (%d segments)", len(part.Boundaries)),
+		report.Itoa(part.Coverage), report.Itoa(part.TotalLen),
+		report.Itoa(part.MaxLen), report.Itoa(part.TotalLen))
+
+	// The paper's scheme.
+	cfg := core.DefaultConfig(8)
+	cfg.MaxOmissionTrials = 400
+	res, err := core.Select(c, fl, t0, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, _ := core.CompactSet(c, fl, res, cfg)
+	st := core.StatsOf(set)
+	atSpeed := 8 * cfg.N * st.TotalLen
+	tbl.AddRow(fmt.Sprintf("subsequence expansion (n=%d, %d seqs)", cfg.N, st.NumSequences),
+		report.Itoa(res.NumTargets), report.Itoa(st.TotalLen),
+		report.Itoa(st.MaxLen), report.Itoa(atSpeed))
+
+	// LFSR baselines get the same at-speed budget as the paper's scheme.
+	lfsr := fsim.Run(c, fl, baseline.NewLFSR(c.NumPIs(), 1).Sequence(atSpeed))
+	tbl.AddRow("LFSR (same at-speed budget)", report.Itoa(lfsr.NumDetected),
+		"0", "0", report.Itoa(atSpeed))
+	held := fsim.Run(c, fl, baseline.NewLFSR(c.NumPIs(), 1).HoldSequence(atSpeed, 4))
+	tbl.AddRow("LFSR + hold 4 [ref 3]", report.Itoa(held.NumDetected),
+		"0", "0", report.Itoa(atSpeed))
+
+	fmt.Println(tbl)
+	fmt.Println("coverage is guaranteed (== T0) for the first three schemes; the LFSR rows")
+	fmt.Println("show what pseudo-random BIST reaches with the same at-speed budget.")
+}

@@ -1,0 +1,70 @@
+// Paperwalkthrough replays the worked examples printed in the paper:
+//
+//   - §2 / Table 1: the expansion of S = (000, 110) with n = 2;
+//   - §3.1 / Table 2: the s27 test sequence and its per-time-unit fault
+//     detections (our simulator reproduces the distribution exactly);
+//   - §3.1: Procedure 2 on the hardest s27 fault — the window T0[6,9]
+//     the paper derives, and the shrunken stored sequence;
+//   - Procedure 1 + §3.2 on s27 end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqbist/internal/core"
+	"seqbist/internal/expand"
+	"seqbist/internal/experiments"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/vectors"
+)
+
+func main() {
+	fmt.Println(experiments.Table1())
+	fmt.Println(experiments.Table2())
+
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	t0 := experiments.S27T0()
+
+	// §3.1: T' = T0[9,9] = (1011) expands (n=1) to the 8-vector sequence
+	// the paper prints.
+	tPrime := t0.Subsequence(9, 9)
+	fmt.Printf("T0[9,9] = %v\n", tPrime)
+	fmt.Printf("T'exp   = %v (paper: 1011 0100 0111 1000 1000 0111 0100 1011)\n\n",
+		expand.Expand(tPrime, 1))
+
+	// Procedure 1 with n = 1, as in the walkthrough.
+	cfg := core.DefaultConfig(1)
+	res, err := core.Select(c, fl, t0, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Procedure 1 on s27 (n = 1):")
+	for i, s := range res.Set {
+		fmt.Printf("  S%d: target %-18s udet=%d window T0[%d,%d] stored %v (+%d faults)\n",
+			i+1, fl[s.TargetFault].Name(c), s.UDet, s.UStart, s.UDet, s.Seq, s.NewlyDetected)
+	}
+	first := res.Set[0]
+	fmt.Printf("first window = T0[%d,%d] — the paper derives T0[6,9] = %v\n\n",
+		first.UStart, first.UDet, t0.Subsequence(6, 9))
+
+	set, stats := core.CompactSet(c, fl, res, cfg)
+	fmt.Printf("§3.2 static compaction: %d -> %d sequences (drops per pass: %v)\n",
+		stats.Before.NumSequences, stats.After.NumSequences, stats.Dropped)
+	if missed := core.VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+		log.Fatalf("coverage broken: %v", missed)
+	}
+	total, max := vectors.TotalAndMaxLength(storedOf(set))
+	fmt.Printf("coverage preserved: all %d faults; stored %d vectors total, %d max\n",
+		res.NumTargets, total, max)
+}
+
+func storedOf(set []core.Selected) []vectors.Sequence {
+	out := make([]vectors.Sequence, len(set))
+	for i, s := range set {
+		out[i] = s.Seq
+	}
+	return out
+}

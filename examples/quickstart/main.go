@@ -1,0 +1,53 @@
+// Quickstart: the complete seqbist flow on the s27 benchmark in ~40
+// lines — generate a test sequence, select subsequences for on-chip
+// expansion, verify the coverage guarantee, and print the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/core"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/tcompact"
+)
+
+func main() {
+	// 1. A circuit and its collapsed stuck-at fault list.
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	fmt.Printf("circuit: %v, %d collapsed faults\n", c.Stats(), len(fl))
+
+	// 2. A deterministic test sequence T0 (the off-chip input of the
+	// paper's scheme), compacted by vector restoration.
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0, _ := tcompact.Compact(c, fl, gen.Seq)
+	fmt.Printf("T0: %d vectors, %d/%d faults detected\n", t0.Len(), gen.NumDetected, len(fl))
+
+	// 3. Procedure 1: select subsequences whose on-chip expansions
+	// re-detect everything T0 detects, then drop redundant ones (§3.2).
+	cfg := core.DefaultConfig(2) // n = 2 repetitions
+	res, err := core.Select(c, fl, t0, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, _ := core.CompactSet(c, fl, res, cfg)
+
+	// 4. The guarantee: nothing was lost.
+	if missed := core.VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+		log.Fatalf("coverage broken: %d faults lost", len(missed))
+	}
+
+	st := core.StatsOf(set)
+	fmt.Printf("selected: %d sequences, %d vectors to load (%.0f%% of T0), max %d stored at once\n",
+		st.NumSequences, st.TotalLen, 100*float64(st.TotalLen)/float64(t0.Len()), st.MaxLen)
+	for i, s := range set {
+		fmt.Printf("  S%d = %v (from T0[%d,%d], target %s)\n",
+			i+1, s.Seq, s.UStart, s.UDet, fl[s.TargetFault].Name(c))
+	}
+}

@@ -1,0 +1,63 @@
+// Sweep explores the repetition count n — the scheme's one tuning knob.
+// Larger n makes each expanded sequence longer (more at-speed vectors per
+// stored vector), which lets Procedure 2 store shorter subsequences but
+// stretches test time. The paper picks the best n per circuit from
+// {2,4,8,16}; this example prints the whole trade-off for one circuit.
+//
+// Usage: go run ./examples/sweep [circuit]   (default s298)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/core"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/report"
+	"seqbist/internal/tcompact"
+)
+
+func main() {
+	name := "s298"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	c, err := iscas.Load(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl := faults.CollapsedUniverse(c)
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: 1, MaxLen: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0, _ := tcompact.Compact(c, fl, gen.Seq)
+	fmt.Printf("%s: |T0| = %d, %d/%d faults detected by T0\n\n",
+		name, t0.Len(), gen.NumDetected, len(fl))
+
+	tbl := report.New("Repetition-count sweep (after §3.2 compaction)",
+		"n", "|S|", "tot len", "tot/T0", "max len", "max/T0", "test len", "memory bits")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		cfg := core.DefaultConfig(n)
+		cfg.MaxOmissionTrials = 400
+		res, err := core.Select(c, fl, t0, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, _ := core.CompactSet(c, fl, res, cfg)
+		if missed := core.VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+			log.Fatalf("n=%d: coverage broken", n)
+		}
+		st := core.StatsOf(set)
+		tbl.AddRow(
+			report.Itoa(n), report.Itoa(st.NumSequences),
+			report.Itoa(st.TotalLen), report.Ratio(float64(st.TotalLen)/float64(t0.Len())),
+			report.Itoa(st.MaxLen), report.Ratio(float64(st.MaxLen)/float64(t0.Len())),
+			report.Itoa(8*n*st.TotalLen), report.Itoa(st.MaxLen*c.NumPIs()))
+	}
+	fmt.Println(tbl)
+	fmt.Println("reading the table: memory (max len) shrinks as n grows; test time (8n x tot) grows.")
+}

@@ -1,0 +1,177 @@
+// Integration tests exercising the full cross-module flow the way the
+// executables and a downstream adopter would: ATPG -> T0 compaction ->
+// Procedure 1 -> §3.2 compaction -> BIST hardware session, with the
+// paper's guarantees asserted at every boundary.
+package seqbist_test
+
+import (
+	"testing"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/baseline"
+	"seqbist/internal/bist"
+	"seqbist/internal/core"
+	"seqbist/internal/expand"
+	"seqbist/internal/experiments"
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/iscas"
+	"seqbist/internal/tcompact"
+	"seqbist/internal/vectors"
+)
+
+// TestEndToEndS27 walks the entire pipeline on the real s27 netlist.
+func TestEndToEndS27(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+
+	// Substrate: generate and compact T0.
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.NumDetected != len(fl) {
+		t.Fatalf("ATPG covers %d/%d on s27", gen.NumDetected, len(fl))
+	}
+	t0, tstats := tcompact.Compact(c, fl, gen.Seq)
+	if tstats.CompactedLen > tstats.OriginalLen {
+		t.Fatal("T0 compaction grew the sequence")
+	}
+	if got := fsim.Run(c, fl, t0); got.NumDetected != gen.NumDetected {
+		t.Fatalf("T0 compaction lost coverage: %d -> %d", gen.NumDetected, got.NumDetected)
+	}
+
+	for _, n := range []int{1, 4} {
+		cfg := core.DefaultConfig(n)
+		res, err := core.Select(c, fl, t0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, _ := core.CompactSet(c, fl, res, cfg)
+		if missed := core.VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+			t.Fatalf("n=%d: coverage broken: %v", n, missed)
+		}
+
+		// Storage economics: the paper's direction must hold.
+		st := core.StatsOf(set)
+		if st.TotalLen > t0.Len() {
+			t.Errorf("n=%d: loading %d vectors exceeds |T0|=%d", n, st.TotalLen, t0.Len())
+		}
+		if st.MaxLen > t0.Len() {
+			t.Errorf("n=%d: memory %d exceeds |T0|", n, st.MaxLen)
+		}
+
+		// The BIST hardware applies exactly the expansions.
+		var stored []vectors.Sequence
+		for _, s := range set {
+			stored = append(stored, s.Seq)
+		}
+		sess, err := bist.NewSession(c, stored, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.RunGolden(); err != nil {
+			t.Fatal(err)
+		}
+		if sess.AtSpeedCycles() != 8*n*st.TotalLen {
+			t.Errorf("n=%d: at-speed cycles %d, want %d", n, sess.AtSpeedCycles(), 8*n*st.TotalLen)
+		}
+		if sess.LoadCycles() != st.TotalLen {
+			t.Errorf("n=%d: load cycles %d, want %d", n, sess.LoadCycles(), st.TotalLen)
+		}
+	}
+}
+
+// TestEndToEndSynthetic runs the pipeline on a synthetic benchmark and
+// checks the guarantee where coverage is partial (T0 detects only a
+// subset of all faults).
+func TestEndToEndSynthetic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic end-to-end skipped in -short mode")
+	}
+	c := iscas.MustLoad("s344")
+	fl := faults.CollapsedUniverse(c)
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: 3, MaxLen: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, _ := tcompact.Compact(c, fl, gen.Seq)
+	cfg := core.DefaultConfig(4)
+	cfg.MaxOmissionTrials = 200
+	res, err := core.Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _ := core.CompactSet(c, fl, res, cfg)
+	if missed := core.VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+		t.Fatalf("coverage broken: %d faults", len(missed))
+	}
+	// Every stored sequence is a subsequence of T0's window (spot-check
+	// lengths) and its expansion has the 8nL length.
+	for _, s := range set {
+		if s.Seq.Len() == 0 || s.Seq.Len() > s.UDet-s.UStart+1 {
+			t.Errorf("bad stored sequence: len %d window [%d,%d]", s.Seq.Len(), s.UStart, s.UDet)
+		}
+		if got := expand.Expand(s.Seq, cfg.N).Len(); got != 8*cfg.N*s.Seq.Len() {
+			t.Errorf("expansion length %d", got)
+		}
+	}
+}
+
+// TestSchemeBeatsPartitioningOnMemory reproduces the paper's §1
+// comparison: on the same T0, the expansion scheme's memory requirement
+// (max stored length) must not exceed the partitioning baseline's, and
+// its load count must be at most |T0|.
+func TestSchemeBeatsPartitioningOnMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison test skipped in -short mode")
+	}
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	gen, err := atpg.Generate(c, fl, atpg.Config{Seed: 1, MaxLen: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, _ := tcompact.Compact(c, fl, gen.Seq)
+
+	part := baseline.Partition(c, fl, t0)
+	cfg := core.DefaultConfig(8)
+	cfg.MaxOmissionTrials = 300
+	res, err := core.Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _ := core.CompactSet(c, fl, res, cfg)
+	st := core.StatsOf(set)
+
+	if st.MaxLen > part.MaxLen {
+		t.Errorf("scheme memory %d exceeds partitioning baseline %d", st.MaxLen, part.MaxLen)
+	}
+	if st.TotalLen > part.TotalLen {
+		t.Errorf("scheme loads %d vectors, partitioning loads %d", st.TotalLen, part.TotalLen)
+	}
+	t.Logf("memory: scheme %d vs partition %d; load: scheme %d vs partition %d (|T0|=%d)",
+		st.MaxLen, part.MaxLen, st.TotalLen, part.TotalLen, t0.Len())
+}
+
+// TestExperimentsPipelineCoverageGuarantee is the one-line statement of
+// the paper's central claim over the fast profile.
+func TestExperimentsPipelineCoverageGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline test skipped in -short mode")
+	}
+	prof := experiments.Profile{
+		Circuits:          []string{"s27"},
+		Ns:                []int{2, 16},
+		Seed:              7,
+		ATPGMaxLen:        400,
+		MaxOmissionTrials: 200,
+	}
+	runs, err := experiments.RunAll(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := experiments.CoverageCheck(runs); len(problems) != 0 {
+		t.Fatalf("coverage check: %v", problems)
+	}
+}

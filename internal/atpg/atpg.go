@@ -1,0 +1,240 @@
+// Package atpg generates deterministic test sequences (T0) for synchronous
+// sequential circuits by simulation-based search.
+//
+// It substitutes for STRATEGATE [11 in the paper], the genetic-algorithm
+// test generator whose sequences the paper uses as T0. The substitute
+// keeps the same contract — produce a single test sequence, applied from
+// the all-unknown state, achieving high stuck-at coverage, with recorded
+// first-detection times — using the same building blocks the GA evolves:
+//
+//   - pools of candidate subsequences evaluated by fault simulation from
+//     the current circuit state (fsim.Incremental.Peek);
+//   - pure-random candidates, random-walk candidates (bit flips from the
+//     previous vector), and vector-hold candidates (each vector repeated
+//     for several time units, the manipulation of reference [3] that aids
+//     synchronization of state machines);
+//   - greedy extension by the best candidate, fault dropping, and
+//     stagnation-driven growth of the candidate length.
+//
+// Generation is deterministic given Config.Seed.
+package atpg
+
+import (
+	"fmt"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// Config tunes the generator. The zero value is usable: Defaults are
+// applied by Generate.
+type Config struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// PoolSize is the number of candidate subsequences per round.
+	PoolSize int
+	// InitLen is the initial candidate length.
+	InitLen int
+	// MaxCandLen caps candidate growth under stagnation.
+	MaxCandLen int
+	// StaleRounds is the number of consecutive zero-detection rounds at
+	// maximum candidate length after which generation stops.
+	StaleRounds int
+	// MaxLen caps the total sequence length (0 = unlimited).
+	MaxLen int
+	// MaxExploreStreak bounds consecutive extensions that detect nothing
+	// but improve state divergence (the exploration moves of the GA).
+	MaxExploreStreak int
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 12
+	}
+	if cfg.InitLen == 0 {
+		cfg.InitLen = 8
+	}
+	if cfg.MaxCandLen == 0 {
+		cfg.MaxCandLen = 256
+	}
+	if cfg.StaleRounds == 0 {
+		cfg.StaleRounds = 4
+	}
+	if cfg.MaxExploreStreak == 0 {
+		cfg.MaxExploreStreak = 3
+	}
+}
+
+// Result is the generated sequence with its fault-simulation record.
+type Result struct {
+	Seq         vectors.Sequence
+	Detected    []bool
+	DetTime     []int
+	NumDetected int
+	Rounds      int
+}
+
+// Coverage returns the fraction of the fault list detected.
+func (r *Result) Coverage() float64 {
+	if len(r.Detected) == 0 {
+		return 0
+	}
+	return float64(r.NumDetected) / float64(len(r.Detected))
+}
+
+// Generate produces a test sequence for the fault list fl of circuit c.
+func Generate(c *netlist.Circuit, fl []faults.Fault, cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	if c.NumPIs() == 0 {
+		return nil, fmt.Errorf("atpg: circuit %s has no primary inputs", c.Name)
+	}
+	rng := xrand.New(cfg.Seed ^ 0xa7e65d3c0fd2b1e9)
+	inc := fsim.NewIncremental(c, fl)
+	var t0 vectors.Sequence
+
+	candLen := cfg.InitLen
+	stale := 0
+	rounds := 0
+	exploreStreak := 0
+	var last vectors.Vector
+
+	for inc.NumDetected() < len(fl) {
+		if cfg.MaxLen > 0 && t0.Len() >= cfg.MaxLen {
+			break
+		}
+		rounds++
+		var best vectors.Sequence
+		bestCount, bestDiv := 0, -1
+		for p := 0; p < cfg.PoolSize; p++ {
+			cand := makeCandidate(rng, c.NumPIs(), candLen, p, last)
+			if cfg.MaxLen > 0 && t0.Len()+cand.Len() > cfg.MaxLen {
+				cand = cand[:cfg.MaxLen-t0.Len()]
+				if cand.Len() == 0 {
+					continue
+				}
+			}
+			newly, div := inc.Evaluate(cand)
+			if len(newly) > bestCount || (len(newly) == bestCount && div > bestDiv) {
+				bestCount, bestDiv = len(newly), div
+				best = cand
+			}
+		}
+		if bestCount > 0 {
+			stale, exploreStreak = 0, 0
+			inc.Extend(best)
+			t0 = append(t0, best...)
+			last = best[best.Len()-1]
+			continue
+		}
+		if bestDiv > 0 && exploreStreak < cfg.MaxExploreStreak {
+			// Exploration move: nothing detected, but the best candidate
+			// drives fault effects into the state machine.
+			exploreStreak++
+			inc.Extend(best)
+			t0 = append(t0, best...)
+			last = best[best.Len()-1]
+			continue
+		}
+		if candLen < cfg.MaxCandLen {
+			candLen *= 2
+			if candLen > cfg.MaxCandLen {
+				candLen = cfg.MaxCandLen
+			}
+			exploreStreak = 0
+			continue
+		}
+		stale++
+		exploreStreak = 0
+		if stale >= cfg.StaleRounds {
+			break
+		}
+	}
+
+	res := inc.Result()
+	return &Result{
+		Seq:         t0,
+		Detected:    res.Detected,
+		DetTime:     res.DetTime,
+		NumDetected: res.NumDetected,
+		Rounds:      rounds,
+	}, nil
+}
+
+// makeCandidate builds one candidate subsequence. The pool index selects
+// the strategy so every round mixes all four kinds.
+func makeCandidate(rng *xrand.RNG, width, length, poolIdx int, last vectors.Vector) vectors.Sequence {
+	switch poolIdx % 4 {
+	case 0:
+		return vectors.RandomSequence(rng, width, length)
+	case 1:
+		return walkCandidate(rng, width, length, last)
+	case 2:
+		return holdCandidate(rng, width, length)
+	default:
+		return constantProbe(rng, width, length)
+	}
+}
+
+// constantProbe holds a constant vector (all-ones or all-zeros) for a few
+// time units and then continues randomly. Constant bursts are cheap
+// synchronizing-sequence probes: many circuits (including the synthetic
+// benchmarks and reset-style designs) reach a known state under a held
+// constant input.
+func constantProbe(rng *xrand.RNG, width, length int) vectors.Sequence {
+	bit := 0
+	if rng.Bool() {
+		bit = 1
+	}
+	v := make(vectors.Vector, width)
+	for i := range v {
+		v[i] = logic.FromBit(bit)
+	}
+	hold := 1 + rng.Intn(4)
+	seq := make(vectors.Sequence, 0, length)
+	for i := 0; i < hold && len(seq) < length; i++ {
+		seq = append(seq, v)
+	}
+	for len(seq) < length {
+		seq = append(seq, vectors.Random(rng, width))
+	}
+	return seq
+}
+
+// walkCandidate starts from the last applied vector (or a random one) and
+// flips 1-2 random bits per time unit, exploring nearby states.
+func walkCandidate(rng *xrand.RNG, width, length int, last vectors.Vector) vectors.Sequence {
+	cur := last
+	if cur == nil {
+		cur = vectors.Random(rng, width)
+	}
+	cur = cur.Clone()
+	seq := make(vectors.Sequence, 0, length)
+	for i := 0; i < length; i++ {
+		flips := 1 + rng.Intn(2)
+		for f := 0; f < flips; f++ {
+			pos := rng.Intn(width)
+			cur[pos] = cur[pos].Not()
+		}
+		seq = append(seq, cur.Clone())
+	}
+	return seq
+}
+
+// holdCandidate applies random vectors, each held for 2-8 time units (the
+// hold manipulation of reference [3], which helps synchronize flip-flops
+// through an unknown state).
+func holdCandidate(rng *xrand.RNG, width, length int) vectors.Sequence {
+	seq := make(vectors.Sequence, 0, length)
+	for len(seq) < length {
+		v := vectors.Random(rng, width)
+		hold := 2 + rng.Intn(7)
+		for h := 0; h < hold && len(seq) < length; h++ {
+			seq = append(seq, v)
+		}
+	}
+	return seq
+}

@@ -1,0 +1,118 @@
+package atpg
+
+import (
+	"testing"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/iscas"
+)
+
+func TestS27FullCoverage(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	res, err := Generate(c, fl, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumDetected != len(fl) {
+		t.Fatalf("ATPG detected %d/%d faults on s27", res.NumDetected, len(fl))
+	}
+	if res.Seq.Len() == 0 {
+		t.Fatal("empty sequence")
+	}
+}
+
+// TestResultConsistentWithFsim re-simulates the generated sequence and
+// checks the recorded detection data matches exactly.
+func TestResultConsistentWithFsim(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	res, err := Generate(c, fl, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := fsim.Run(c, fl, res.Seq)
+	if check.NumDetected != res.NumDetected {
+		t.Fatalf("re-simulation detected %d, ATPG recorded %d", check.NumDetected, res.NumDetected)
+	}
+	for i := range fl {
+		if check.Detected[i] != res.Detected[i] || check.DetTime[i] != res.DetTime[i] {
+			t.Fatalf("fault %d: re-sim (%v,%d) vs recorded (%v,%d)", i,
+				check.Detected[i], check.DetTime[i], res.Detected[i], res.DetTime[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	a, _ := Generate(c, fl, Config{Seed: 7})
+	b, _ := Generate(c, fl, Config{Seed: 7})
+	if !a.Seq.Equal(b.Seq) {
+		t.Error("generation not deterministic for equal seeds")
+	}
+	d, _ := Generate(c, fl, Config{Seed: 8})
+	if a.Seq.Equal(d.Seq) {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestMaxLenRespected(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	res, err := Generate(c, fl, Config{Seed: 3, MaxLen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq.Len() > 10 {
+		t.Errorf("sequence length %d exceeds MaxLen 10", res.Seq.Len())
+	}
+}
+
+func TestSyntheticCoverageReasonable(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	res, err := Generate(c, fl, Config{Seed: 298})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() < 0.5 {
+		t.Errorf("coverage %.2f on synthetic s298; generator too weak", res.Coverage())
+	}
+	t.Logf("s298: coverage %.2f%% with |T0|=%d in %d rounds",
+		100*res.Coverage(), res.Seq.Len(), res.Rounds)
+}
+
+func TestCoverageValue(t *testing.T) {
+	r := &Result{Detected: make([]bool, 4), NumDetected: 2}
+	if r.Coverage() != 0.5 {
+		t.Errorf("coverage = %v", r.Coverage())
+	}
+	empty := &Result{}
+	if empty.Coverage() != 0 {
+		t.Error("empty coverage not 0")
+	}
+}
+
+func TestCandidateGenerators(t *testing.T) {
+	rng := testRNG()
+	walk := walkCandidate(rng, 6, 10, nil)
+	if walk.Len() != 10 || walk.Width() != 6 {
+		t.Errorf("walk candidate %dx%d", walk.Len(), walk.Width())
+	}
+	hold := holdCandidate(rng, 6, 10)
+	if hold.Len() != 10 {
+		t.Errorf("hold candidate length %d", hold.Len())
+	}
+	// Hold candidates repeat vectors.
+	repeats := 0
+	for i := 1; i < hold.Len(); i++ {
+		if hold[i].Equal(hold[i-1]) {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Error("hold candidate has no held vectors")
+	}
+}

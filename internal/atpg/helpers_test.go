@@ -1,0 +1,5 @@
+package atpg
+
+import "seqbist/internal/xrand"
+
+func testRNG() *xrand.RNG { return xrand.New(0xabcdef) }

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"fmt"
+
+	"seqbist/internal/logic"
+	"seqbist/internal/vectors"
+)
+
+// LFSR is a Fibonacci linear-feedback shift register producing
+// pseudo-random test vectors, the classical test-per-clock BIST source
+// the paper's references [3] and [4] start from. The register is 32 bits
+// with the maximal-length polynomial x^32+x^22+x^2+x+1; vector bits are
+// tapped from the low end after each shift.
+type LFSR struct {
+	state uint32
+	width int
+}
+
+// NewLFSR returns a generator of vectors with the given width. A zero
+// seed is replaced by 1 (the all-zero LFSR state is a fixed point).
+func NewLFSR(width int, seed uint32) *LFSR {
+	if width <= 0 {
+		panic(fmt.Sprintf("baseline: LFSR width %d", width))
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &LFSR{state: seed, width: width}
+}
+
+// step advances the register one bit.
+func (l *LFSR) step() {
+	// Taps 32, 22, 2, 1 (maximal length).
+	bit := (l.state >> 31) ^ (l.state >> 21) ^ (l.state >> 1) ^ l.state
+	l.state = l.state<<1 | bit&1
+}
+
+// Next produces the next test vector: width register steps, one bit per
+// input.
+func (l *LFSR) Next() vectors.Vector {
+	v := make(vectors.Vector, l.width)
+	for i := range v {
+		l.step()
+		if l.state&1 == 1 {
+			v[i] = logic.One
+		} else {
+			v[i] = logic.Zero
+		}
+	}
+	return v
+}
+
+// Sequence produces n consecutive vectors.
+func (l *LFSR) Sequence(n int) vectors.Sequence {
+	seq := make(vectors.Sequence, n)
+	for i := range seq {
+		seq[i] = l.Next()
+	}
+	return seq
+}
+
+// HoldSequence produces n vectors where each generated vector is held
+// (applied repeatedly) for hold time units — the manipulation of the
+// paper's reference [3], which improves stuck-at coverage of sequential
+// circuits by letting the state settle.
+func (l *LFSR) HoldSequence(n, hold int) vectors.Sequence {
+	if hold < 1 {
+		hold = 1
+	}
+	seq := make(vectors.Sequence, 0, n)
+	for len(seq) < n {
+		v := l.Next()
+		for h := 0; h < hold && len(seq) < n; h++ {
+			seq = append(seq, v)
+		}
+	}
+	return seq
+}

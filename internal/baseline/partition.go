@@ -1,0 +1,140 @@
+// Package baseline implements the two test-application alternatives the
+// paper compares its scheme against in §1:
+//
+//   - Partitioning: split T0 into contiguous subsequences, load each into
+//     the on-chip memory separately and apply it unexpanded. Every vector
+//     of T0 is loaded (total load = |T0|), and the maximum segment length
+//     — hence the memory — is bounded from below by the need to preserve
+//     T0's coverage across segment boundaries (each segment restarts from
+//     the unknown state).
+//   - Pseudo-random BIST (an LFSR, optionally with the vector-hold
+//     manipulation of the paper's reference [3]): no loading at all, but
+//     no coverage guarantee.
+//
+// The benchmarks and the comparison example use these to reproduce the
+// paper's qualitative claims: the subsequence-expansion scheme loads
+// fewer vectors than partitioning, needs less memory, and guarantees the
+// coverage an LFSR cannot.
+package baseline
+
+import (
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+// PartitionResult describes a coverage-preserving partition of T0.
+type PartitionResult struct {
+	// Boundaries are the segment start indices (first is always 0).
+	Boundaries []int
+	// MaxLen is the longest segment (the memory requirement).
+	MaxLen int
+	// TotalLen is the number of loaded vectors; for partitioning this is
+	// always |T0|.
+	TotalLen int
+	// Coverage is the number of faults the segments detect together,
+	// each applied from the all-unknown state.
+	Coverage int
+	// Sims counts the full fault simulations spent searching.
+	Sims int
+}
+
+// Segments materializes the partition's subsequences.
+func (r *PartitionResult) Segments(t0 vectors.Sequence) []vectors.Sequence {
+	var out []vectors.Sequence
+	for i, start := range r.Boundaries {
+		end := t0.Len()
+		if i+1 < len(r.Boundaries) {
+			end = r.Boundaries[i+1]
+		}
+		out = append(out, t0.Subsequence(start, end-1))
+	}
+	return out
+}
+
+// Partition splits t0 into contiguous segments, each applied from the
+// unknown state, such that together they detect every fault t0 detects.
+// Greedy top-down bisection: repeatedly split the longest segment at its
+// midpoint if coverage is preserved, until no segment can be split. This
+// minimizes the maximum segment length heuristically — the quantity the
+// paper identifies as the partitioning scheme's memory bottleneck.
+func Partition(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence) PartitionResult {
+	res := PartitionResult{TotalLen: t0.Len()}
+	if t0.Len() == 0 {
+		return res
+	}
+	base := fsim.Run(c, fl, t0)
+	target := base.NumDetected
+
+	covers := func(bounds []int) bool {
+		res.Sims++
+		detected := 0
+		seen := make([]bool, len(fl))
+		for i, start := range bounds {
+			end := t0.Len()
+			if i+1 < len(bounds) {
+				end = bounds[i+1]
+			}
+			r := fsim.Run(c, fl, t0.Subsequence(start, end-1))
+			for k := range fl {
+				if r.Detected[k] && !seen[k] && base.Detected[k] {
+					seen[k] = true
+					detected++
+				}
+			}
+		}
+		return detected >= target
+	}
+
+	bounds := []int{0}
+	unsplittable := make(map[[2]int]bool) // segments proven unbisectable
+	for {
+		// Candidate segments by decreasing length; bisect the first that
+		// preserves coverage. Stop when every segment is unsplittable.
+		type seg struct{ idx, start, end int }
+		var segs []seg
+		for i, start := range bounds {
+			end := t0.Len()
+			if i+1 < len(bounds) {
+				end = bounds[i+1]
+			}
+			if end-start >= 2 && !unsplittable[[2]int{start, end}] {
+				segs = append(segs, seg{i, start, end})
+			}
+		}
+		if len(segs) == 0 {
+			break
+		}
+		// Longest first.
+		best := 0
+		for i := 1; i < len(segs); i++ {
+			if segs[i].end-segs[i].start > segs[best].end-segs[best].start {
+				best = i
+			}
+		}
+		s := segs[best]
+		mid := (s.start + s.end) / 2
+		candidate := make([]int, 0, len(bounds)+1)
+		candidate = append(candidate, bounds[:s.idx+1]...)
+		candidate = append(candidate, mid)
+		candidate = append(candidate, bounds[s.idx+1:]...)
+		if covers(candidate) {
+			bounds = candidate
+		} else {
+			unsplittable[[2]int{s.start, s.end}] = true
+		}
+	}
+	res.Boundaries = bounds
+	for i, start := range bounds {
+		end := t0.Len()
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		if end-start > res.MaxLen {
+			res.MaxLen = end - start
+		}
+	}
+	res.Coverage = target
+	return res
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const s27Source = `
+# s27 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func TestParseS27(t *testing.T) {
+	c, err := ParseString(s27Source, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPIs() != 4 || c.NumPOs() != 1 || c.NumDFFs() != 3 || c.NumGates() != 10 {
+		t.Errorf("structure: %v", c.Stats())
+	}
+	if c.Name != "s27" {
+		t.Errorf("name = %q", c.Name)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := ParseString(s27Source, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(c)
+	c2, err := ParseString(text, "s27")
+	if err != nil {
+		t.Fatalf("re-parsing emitted bench: %v\n%s", err, text)
+	}
+	if Fingerprint(c) != Fingerprint(c2) {
+		t.Errorf("fingerprint mismatch after round trip:\n%s\nvs\n%s",
+			Fingerprint(c), Fingerprint(c2))
+	}
+}
+
+func TestCommentsAndWhitespaceTolerated(t *testing.T) {
+	src := `
+  # leading comment
+	INPUT( a )
+OUTPUT(y)   # trailing comment
+y   =  NAND( a ,a )
+`
+	c, err := ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 || c.Gates[0].Type.String() != "NAND" {
+		t.Errorf("unexpected parse: %v", c.Stats())
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	src := `
+input(a)
+output(y)
+q = dff(y)
+y = nand(a, q)
+`
+	c, err := ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDFFs() != 1 || c.NumGates() != 1 {
+		t.Errorf("structure: %v", c.Stats())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing paren input", "INPUT a\nOUTPUT(y)\ny = NOT(a)"},
+		{"empty input arg", "INPUT()\nOUTPUT(y)\ny = NOT(a)"},
+		{"no assignment", "INPUT(a)\nOUTPUT(y)\nNOT(a)"},
+		{"bad gate", "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)"},
+		{"malformed rhs", "INPUT(a)\nOUTPUT(y)\ny = NOT a"},
+		{"empty operand", "INPUT(a)\nOUTPUT(y)\ny = AND(a, )"},
+		{"dff two inputs", "INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)"},
+		{"empty lhs", "INPUT(a)\nOUTPUT(y)\n = NOT(a)"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.src, "bad"); err == nil {
+			t.Errorf("%s: parse succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestParseReportsLineNumber(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = WHAT(a)\n"
+	_, err := ParseString(src, "bad")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not carry line number", err)
+	}
+}
+
+func TestWriteHeaderCounts(t *testing.T) {
+	c, err := ParseString(s27Source, "s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(c)
+	if !strings.Contains(text, "4 inputs, 1 outputs, 3 D-type flipflops, 10 gates") {
+		t.Errorf("header missing counts:\n%s", text)
+	}
+}
+
+func TestFingerprintDistinguishesCircuits(t *testing.T) {
+	a, _ := ParseString("INPUT(a)\nOUTPUT(y)\ny = NOT(a)", "a")
+	b, _ := ParseString("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)", "b")
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Error("different circuits share a fingerprint")
+	}
+}
+
+// TestParseGarbageNeverPanics feeds pseudo-random byte soup to the
+// parser: it must return an error or a circuit, never panic.
+func TestParseGarbageNeverPanics(t *testing.T) {
+	pieces := []string{
+		"INPUT(", ")", "OUTPUT", "=", "DFF", "AND", "(", ",", "a", "G17",
+		"\n", " ", "#", "==", "NOT()", "INPUT()", "y = ", "(a,b)", "\t",
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return int(seed % uint64(n))
+	}
+	for trial := 0; trial < 300; trial++ {
+		var sb strings.Builder
+		for i := 0; i < next(40); i++ {
+			sb.WriteString(pieces[next(len(pieces))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = ParseString(sb.String(), "fuzz")
+		}()
+	}
+}
+
+func TestParseInv(t *testing.T) {
+	c, err := ParseString("INPUT(a)\nOUTPUT(y)\ny = INV(a)", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gates[0].Type.String() != "NOT" {
+		t.Errorf("INV parsed as %v", c.Gates[0].Type)
+	}
+}

@@ -1,0 +1,196 @@
+// Package bist emulates the on-chip test-application hardware the paper's
+// scheme requires: a small test memory, an up/down address counter, a
+// repetition counter, complement and shift multiplexers on the memory
+// outputs, the controller FSM that sequences the eight expansion phases,
+// and a MISR for output response compaction.
+//
+// The emulation is cycle-accurate at the vector level: the Expander
+// produces exactly the expanded sequence Sexp = S”'·r(S”') of the
+// paper's §2 (verified against the functional expansion of package
+// expand), using only operations the described hardware performs —
+// memory reads at a counted address, per-output multiplexing, and counter
+// updates. The structure of the hardware is independent of the circuit
+// under test, as the paper requires; only the memory geometry (word width
+// = number of PIs, depth = longest stored sequence) is circuit-specific.
+package bist
+
+import (
+	"fmt"
+
+	"seqbist/internal/vectors"
+)
+
+// Memory is the on-chip test memory: depth words of width bits. Loading
+// happens at tester speed, one word per load cycle.
+type Memory struct {
+	width int
+	words vectors.Sequence
+	loads int // total load cycles so far
+}
+
+// NewMemory returns a memory for vectors of the given width.
+func NewMemory(width int) *Memory {
+	return &Memory{width: width}
+}
+
+// Load replaces the memory contents with seq, counting one tester load
+// cycle per vector. It fails if a vector width mismatches the memory.
+func (m *Memory) Load(seq vectors.Sequence) error {
+	for _, v := range seq {
+		if len(v) != m.width {
+			return fmt.Errorf("bist: loading vector of width %d into width-%d memory", len(v), m.width)
+		}
+	}
+	m.words = seq.Clone()
+	m.loads += seq.Len()
+	return nil
+}
+
+// Read returns the word at addr.
+func (m *Memory) Read(addr int) vectors.Vector {
+	return m.words[addr]
+}
+
+// Depth returns the number of words currently stored.
+func (m *Memory) Depth() int { return m.words.Len() }
+
+// Width returns the word width in bits.
+func (m *Memory) Width() int { return m.width }
+
+// LoadCycles returns the cumulative number of tester load cycles.
+func (m *Memory) LoadCycles() int { return m.loads }
+
+// AddressCounter is the up/down memory address counter. In up mode it
+// counts 0,1,...,max-1 and wraps; in down mode max-1,...,0 and wraps.
+// Wrap reports when the counter has completed a full pass, which drives
+// the repetition counter.
+type AddressCounter struct {
+	max  int
+	up   bool
+	addr int
+}
+
+// NewAddressCounter returns a counter over max addresses, initially in up
+// mode at address 0.
+func NewAddressCounter(max int) *AddressCounter {
+	if max <= 0 {
+		panic(fmt.Sprintf("bist: address counter over %d addresses", max))
+	}
+	return &AddressCounter{max: max, up: true}
+}
+
+// SetDirection sets up (true) or down (false) counting and resets the
+// counter to the starting address of that direction.
+func (a *AddressCounter) SetDirection(up bool) {
+	a.up = up
+	if up {
+		a.addr = 0
+	} else {
+		a.addr = a.max - 1
+	}
+}
+
+// Addr returns the current address.
+func (a *AddressCounter) Addr() int { return a.addr }
+
+// Step advances the counter and reports whether it wrapped (completed a
+// pass through all addresses).
+func (a *AddressCounter) Step() (wrapped bool) {
+	if a.up {
+		a.addr++
+		if a.addr == a.max {
+			a.addr = 0
+			return true
+		}
+		return false
+	}
+	a.addr--
+	if a.addr < 0 {
+		a.addr = a.max - 1
+		return true
+	}
+	return false
+}
+
+// phase describes one of the eight expansion phases: whether the memory
+// output passes through the complement and shift multiplexers, and the
+// address counting direction.
+type phase struct {
+	complement bool
+	shift      bool
+	up         bool
+}
+
+// phaseTable is the controller's phase sequence. The first four phases
+// produce S”' = A·B·(A<<1)·(B<<1) with A = S^n and B = comp(A); the last
+// four produce the reversal r(S”') by replaying the phases in opposite
+// order with the address counter in down mode (and repetitions mirrored).
+var phaseTable = [8]phase{
+	{false, false, true},  // A
+	{true, false, true},   // B = comp(A)
+	{false, true, true},   // A << 1
+	{true, true, true},    // B << 1
+	{true, true, false},   // r(B << 1)
+	{false, true, false},  // r(A << 1)
+	{true, false, false},  // r(B)
+	{false, false, false}, // r(A)
+}
+
+// Expander is the on-chip controller: it streams Sexp from the memory
+// using the address counter, the repetition counter and the output
+// multiplexers. The produced stream is exactly
+// expand.Expand(S, n) (verified by tests).
+type Expander struct {
+	mem   *Memory
+	n     int
+	addr  *AddressCounter
+	ph    int // 0..7, 8 = done
+	rep   int // repetitions completed within the current phase
+	count int // vectors produced
+}
+
+// NewExpander returns an expander over the current memory contents with
+// repetition count n.
+func NewExpander(mem *Memory, n int) *Expander {
+	if n < 1 {
+		panic(fmt.Sprintf("bist: expander with n=%d", n))
+	}
+	e := &Expander{mem: mem, n: n, addr: NewAddressCounter(mem.Depth())}
+	e.addr.SetDirection(phaseTable[0].up)
+	return e
+}
+
+// Len returns the total number of vectors the expander produces: 8n|S|.
+func (e *Expander) Len() int { return 8 * e.n * e.mem.Depth() }
+
+// Next produces the next vector of Sexp, applying the complement and
+// shift multiplexers to the memory output. ok is false when the expansion
+// is complete.
+func (e *Expander) Next() (v vectors.Vector, ok bool) {
+	if e.ph >= 8 {
+		return nil, false
+	}
+	p := phaseTable[e.ph]
+	v = e.mem.Read(e.addr.Addr())
+	if p.complement {
+		v = v.Complement()
+	}
+	if p.shift {
+		v = v.ShiftLeftCircular()
+	}
+	e.count++
+	if wrapped := e.addr.Step(); wrapped {
+		e.rep++
+		if e.rep == e.n {
+			e.rep = 0
+			e.ph++
+			if e.ph < 8 {
+				e.addr.SetDirection(phaseTable[e.ph].up)
+			}
+		}
+	}
+	return v, true
+}
+
+// Produced returns the number of vectors generated so far.
+func (e *Expander) Produced() int { return e.count }

@@ -1,0 +1,161 @@
+package bist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seqbist/internal/expand"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// TestExpanderMatchesFunctionalExpansion is the hardware-equivalence
+// keystone: the counter/mux expander must produce exactly
+// expand.Expand(S, n) for arbitrary stored sequences.
+func TestExpanderMatchesFunctionalExpansion(t *testing.T) {
+	f := func(seed uint64, lRaw, wRaw, nRaw uint8) bool {
+		l := int(lRaw%7) + 1
+		w := int(wRaw%9) + 1
+		ns := []int{1, 2, 4, 8, 16}
+		n := ns[int(nRaw)%len(ns)]
+		s := vectors.RandomSequence(xrand.New(seed), w, l)
+
+		mem := NewMemory(w)
+		if err := mem.Load(s); err != nil {
+			return false
+		}
+		e := NewExpander(mem, n)
+		want := expand.Expand(s, n)
+		if e.Len() != want.Len() {
+			return false
+		}
+		for i := 0; i < want.Len(); i++ {
+			v, ok := e.Next()
+			if !ok || !v.Equal(want[i]) {
+				return false
+			}
+		}
+		_, extra := e.Next()
+		return !extra && e.Produced() == want.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpanderPaperTable1 drives the hardware on the paper's §2 example.
+func TestExpanderPaperTable1(t *testing.T) {
+	s := vectors.MustParseSequence("000 110")
+	mem := NewMemory(3)
+	if err := mem.Load(s); err != nil {
+		t.Fatal(err)
+	}
+	e := NewExpander(mem, 2)
+	var got vectors.Sequence
+	for {
+		v, ok := e.Next()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := "000 110 000 110 111 001 111 001 " +
+		"000 101 000 101 111 010 111 010 " +
+		"010 111 010 111 101 000 101 000 " +
+		"001 111 001 111 110 000 110 000"
+	if got.String() != want {
+		t.Errorf("hardware expansion = %s\nwant %s", got, want)
+	}
+}
+
+func TestMemoryLoadCounts(t *testing.T) {
+	mem := NewMemory(4)
+	if err := mem.Load(vectors.MustParseSequence("0101 1111")); err != nil {
+		t.Fatal(err)
+	}
+	if mem.LoadCycles() != 2 || mem.Depth() != 2 {
+		t.Errorf("loads=%d depth=%d", mem.LoadCycles(), mem.Depth())
+	}
+	if err := mem.Load(vectors.MustParseSequence("0000 1111 0101")); err != nil {
+		t.Fatal(err)
+	}
+	if mem.LoadCycles() != 5 || mem.Depth() != 3 {
+		t.Errorf("after reload: loads=%d depth=%d", mem.LoadCycles(), mem.Depth())
+	}
+}
+
+func TestMemoryWidthMismatch(t *testing.T) {
+	mem := NewMemory(4)
+	if err := mem.Load(vectors.MustParseSequence("01")); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestMemoryLoadIsolation(t *testing.T) {
+	mem := NewMemory(2)
+	seq := vectors.MustParseSequence("01 10")
+	if err := mem.Load(seq); err != nil {
+		t.Fatal(err)
+	}
+	seq[0][0] = seq[0][0].Not()
+	if mem.Read(0).String() != "01" {
+		t.Error("memory aliases the caller's sequence")
+	}
+}
+
+func TestAddressCounterUp(t *testing.T) {
+	a := NewAddressCounter(3)
+	a.SetDirection(true)
+	var addrs []int
+	var wraps []bool
+	for i := 0; i < 6; i++ {
+		addrs = append(addrs, a.Addr())
+		wraps = append(wraps, a.Step())
+	}
+	wantAddrs := []int{0, 1, 2, 0, 1, 2}
+	wantWraps := []bool{false, false, true, false, false, true}
+	for i := range wantAddrs {
+		if addrs[i] != wantAddrs[i] || wraps[i] != wantWraps[i] {
+			t.Fatalf("step %d: addr=%d wrap=%v, want %d/%v", i, addrs[i], wraps[i], wantAddrs[i], wantWraps[i])
+		}
+	}
+}
+
+func TestAddressCounterDown(t *testing.T) {
+	a := NewAddressCounter(3)
+	a.SetDirection(false)
+	var addrs []int
+	for i := 0; i < 4; i++ {
+		addrs = append(addrs, a.Addr())
+		a.Step()
+	}
+	want := []int{2, 1, 0, 2}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("down step %d: addr=%d, want %d", i, addrs[i], want[i])
+		}
+	}
+}
+
+func TestAddressCounterSingleAddress(t *testing.T) {
+	a := NewAddressCounter(1)
+	if !a.Step() {
+		t.Error("single-address counter must wrap every step")
+	}
+	if a.Addr() != 0 {
+		t.Error("address drifted")
+	}
+}
+
+func TestExpanderBadN(t *testing.T) {
+	mem := NewMemory(2)
+	if err := mem.Load(vectors.MustParseSequence("01")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewExpander(n=0) did not panic")
+		}
+	}()
+	NewExpander(mem, 0)
+}

@@ -1,0 +1,66 @@
+package bist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"seqbist/internal/vectors"
+)
+
+// HardwareCost itemizes the on-chip resources of the paper's scheme for a
+// given circuit interface and stored-sequence set. The paper's point is
+// that everything except the memory is independent of the circuit and
+// tiny: counters, one complement mux and one shift mux per input, and an
+// 8-state controller.
+type HardwareCost struct {
+	// MemoryBits is the test memory: longest stored sequence x inputs.
+	MemoryBits int
+	// AddressCounterBits is the up/down address counter width.
+	AddressCounterBits int
+	// RepetitionCounterBits counts expansions (log2 n).
+	RepetitionCounterBits int
+	// PhaseBits is the controller FSM state (8 phases).
+	PhaseBits int
+	// MuxCount is the number of 2:1 multiplexers on the memory outputs
+	// (one complement mux and one shift mux per input bit).
+	MuxCount int
+	// InverterCount is the number of inverters for complementation.
+	InverterCount int
+	// MISRBits is the response-compaction register width.
+	MISRBits int
+}
+
+// CostOf computes the hardware cost for a stored set on a circuit with
+// the given number of primary inputs, using repetition count n.
+func CostOf(numPIs, n int, set []vectors.Sequence) HardwareCost {
+	_, maxLen := vectors.TotalAndMaxLength(set)
+	return HardwareCost{
+		MemoryBits:            maxLen * numPIs,
+		AddressCounterBits:    bitsFor(maxLen),
+		RepetitionCounterBits: bitsFor(n),
+		PhaseBits:             3,
+		MuxCount:              2 * numPIs,
+		InverterCount:         numPIs,
+		MISRBits:              64,
+	}
+}
+
+// TotalControlBits sums every non-memory storage element: the
+// circuit-independent part of the scheme.
+func (h HardwareCost) TotalControlBits() int {
+	return h.AddressCounterBits + h.RepetitionCounterBits + h.PhaseBits + h.MISRBits
+}
+
+// String renders a short human-readable summary.
+func (h HardwareCost) String() string {
+	return fmt.Sprintf("memory %d bits, %d-bit addr counter, %d-bit rep counter, %d mux, %d inverters, %d-bit MISR",
+		h.MemoryBits, h.AddressCounterBits, h.RepetitionCounterBits, h.MuxCount, h.InverterCount, h.MISRBits)
+}
+
+// bitsFor returns the number of bits needed to count to max (at least 1).
+func bitsFor(max int) int {
+	if max <= 1 {
+		return 1
+	}
+	return bits.Len(uint(max - 1))
+}

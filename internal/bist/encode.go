@@ -1,0 +1,93 @@
+package bist
+
+import (
+	"fmt"
+
+	"seqbist/internal/vectors"
+)
+
+// Run-length encoding of stored sequences. The paper's §1 notes that
+// "encoding can be used to reduce the memory requirements of the scheme
+// proposed here if the requirement for at-speed testing can be relaxed":
+// a decoder between memory and circuit inputs breaks the one-vector-per-
+// clock cadence. This file provides that optional trade-off — an RLE
+// codec over stored sequences with exact memory accounting — so the
+// remark is measurable. The Expander does not consume encoded memories;
+// encoding exists for loading/storage studies only.
+
+// RunLength is one RLE entry: Vector applied Count consecutive times.
+type RunLength struct {
+	Vector vectors.Vector
+	Count  int
+}
+
+// EncodeRLE compresses seq into run-length entries.
+func EncodeRLE(seq vectors.Sequence) []RunLength {
+	var out []RunLength
+	for _, v := range seq {
+		if n := len(out); n > 0 && out[n-1].Vector.Equal(v) {
+			out[n-1].Count++
+			continue
+		}
+		out = append(out, RunLength{Vector: v.Clone(), Count: 1})
+	}
+	return out
+}
+
+// DecodeRLE expands run-length entries back into a sequence.
+func DecodeRLE(runs []RunLength) vectors.Sequence {
+	var out vectors.Sequence
+	for _, r := range runs {
+		for i := 0; i < r.Count; i++ {
+			out = append(out, r.Vector)
+		}
+	}
+	return out
+}
+
+// EncodedBits returns the memory footprint of the encoded form: per
+// entry, the vector width plus a repeat-count field wide enough for the
+// longest run.
+func EncodedBits(runs []RunLength, width int) int {
+	maxCount := 1
+	for _, r := range runs {
+		if r.Count > maxCount {
+			maxCount = r.Count
+		}
+	}
+	countBits := bitsFor(maxCount + 1)
+	return len(runs) * (width + countBits)
+}
+
+// RawBits returns the unencoded memory footprint of seq.
+func RawBits(seq vectors.Sequence, width int) int { return seq.Len() * width }
+
+// EncodingReport summarizes the encoding trade-off for a stored set.
+type EncodingReport struct {
+	RawBits     int
+	EncodedBits int
+}
+
+// Ratio returns encoded/raw (1.0 means no gain).
+func (r EncodingReport) Ratio() float64 {
+	if r.RawBits == 0 {
+		return 0
+	}
+	return float64(r.EncodedBits) / float64(r.RawBits)
+}
+
+// String renders the report.
+func (r EncodingReport) String() string {
+	return fmt.Sprintf("raw %d bits, RLE %d bits (ratio %.2f); decoding precludes at-speed application",
+		r.RawBits, r.EncodedBits, r.Ratio())
+}
+
+// EncodeSet reports the encoding trade-off over a whole stored set.
+func EncodeSet(set []vectors.Sequence, width int) EncodingReport {
+	var rep EncodingReport
+	for _, s := range set {
+		rep.RawBits += RawBits(s, width)
+		rep.EncodedBits += EncodedBits(EncodeRLE(s), width)
+	}
+	return rep
+}

@@ -1,0 +1,88 @@
+package bist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := []string{
+		"01 01 01 10",
+		"01",
+		"01 10 01 10",
+		"11 11 11 11 11",
+	}
+	for _, src := range cases {
+		seq := vectors.MustParseSequence(src)
+		runs := EncodeRLE(seq)
+		if !DecodeRLE(runs).Equal(seq) {
+			t.Errorf("round trip failed for %q", src)
+		}
+	}
+	if len(EncodeRLE(nil)) != 0 {
+		t.Error("empty sequence encoded to entries")
+	}
+}
+
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(seed uint64, holdRaw uint8) bool {
+		rng := xrand.New(seed)
+		// Build a holdy sequence so runs exist.
+		var seq vectors.Sequence
+		for len(seq) < 30 {
+			v := vectors.Random(rng, 4)
+			hold := 1 + int(holdRaw%5)
+			for h := 0; h < hold && len(seq) < 30; h++ {
+				seq = append(seq, v)
+			}
+		}
+		return DecodeRLE(EncodeRLE(seq)).Equal(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLECompressesHolds(t *testing.T) {
+	seq := vectors.MustParseSequence("0101 0101 0101 0101 0101 0101 0101 0101")
+	runs := EncodeRLE(seq)
+	if len(runs) != 1 || runs[0].Count != 8 {
+		t.Fatalf("runs = %+v", runs)
+	}
+	enc := EncodedBits(runs, 4)
+	raw := RawBits(seq, 4)
+	if enc >= raw {
+		t.Errorf("encoding did not compress a held vector: %d >= %d", enc, raw)
+	}
+}
+
+func TestRLEOverheadOnIncompressible(t *testing.T) {
+	seq := vectors.MustParseSequence("00 01 10 11 00 01 10 11")
+	rep := EncodeSet([]vectors.Sequence{seq}, 2)
+	if rep.Ratio() <= 1.0 {
+		t.Errorf("incompressible sequence reported ratio %.2f, want > 1 (count-field overhead)",
+			rep.Ratio())
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestEncodeSetAggregates(t *testing.T) {
+	a := vectors.MustParseSequence("01 01 01 01")
+	b := vectors.MustParseSequence("10 10")
+	rep := EncodeSet([]vectors.Sequence{a, b}, 2)
+	if rep.RawBits != (4+2)*2 {
+		t.Errorf("raw bits %d", rep.RawBits)
+	}
+	if rep.EncodedBits <= 0 || rep.EncodedBits >= rep.RawBits+8 {
+		t.Errorf("encoded bits %d implausible", rep.EncodedBits)
+	}
+	empty := EncodeSet(nil, 2)
+	if empty.Ratio() != 0 {
+		t.Error("empty set ratio not 0")
+	}
+}

@@ -1,0 +1,34 @@
+package bist_test
+
+import (
+	"fmt"
+
+	"seqbist/internal/bist"
+	"seqbist/internal/vectors"
+)
+
+// The on-chip hardware expands a 2-vector memory into the full Sexp.
+func ExampleExpander() {
+	mem := bist.NewMemory(3)
+	if err := mem.Load(vectors.MustParseSequence("000 110")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	e := bist.NewExpander(mem, 2)
+	fmt.Println("will produce", e.Len(), "vectors from", mem.LoadCycles(), "load cycles")
+	v, _ := e.Next()
+	fmt.Println("first vector:", v)
+	// Output:
+	// will produce 32 vectors from 2 load cycles
+	// first vector: 000
+}
+
+// Hardware cost is dominated by the memory; the control is a few dozen
+// bits regardless of the circuit.
+func ExampleCostOf() {
+	set := []vectors.Sequence{vectors.MustParseSequence("0101 1111 0000")}
+	cost := bist.CostOf(4, 8, set)
+	fmt.Println(cost)
+	// Output:
+	// memory 12 bits, 2-bit addr counter, 3-bit rep counter, 8 mux, 4 inverters, 64-bit MISR
+}

@@ -1,0 +1,42 @@
+package bist
+
+import (
+	"os"
+	"testing"
+)
+
+// TestVerilogGolden pins the generated RTL against the snapshot in
+// testdata/, so unintended generator changes surface as a diff.
+func TestVerilogGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_expander.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateVerilog(VerilogConfig{
+		ModuleName: "golden", Width: 4, Depth: 8, N: 2, NumPOs: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Error("generated Verilog drifted from testdata/golden_expander.v; " +
+			"rerun with SEQBIST_UPDATE_GOLDEN=1 if the change is intentional")
+	}
+}
+
+// TestRegenerateGolden rewrites the golden Verilog snapshot when run with
+// SEQBIST_UPDATE_GOLDEN=1; otherwise it is a no-op.
+func TestRegenerateGolden(t *testing.T) {
+	if os.Getenv("SEQBIST_UPDATE_GOLDEN") == "" {
+		t.Skip("set SEQBIST_UPDATE_GOLDEN=1 to rewrite the snapshot")
+	}
+	src, err := GenerateVerilog(VerilogConfig{
+		ModuleName: "golden", Width: 4, Depth: 8, N: 2, NumPOs: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_expander.v", []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package bist
+
+import "seqbist/internal/logic"
+
+// MISR is a 64-bit multiple-input signature register for output response
+// compaction. Primary-output bits are XORed into distinct register
+// positions each cycle, and the register steps as a Galois LFSR with the
+// CRC-64/ECMA-182 feedback polynomial (primitive enough for signature
+// work; the exact polynomial only matters for the aliasing probability,
+// which at 64 bits is negligible for the sequence lengths involved).
+//
+// Unknown (X) primary-output values have no deterministic signature. The
+// paper notes the circuit must be synchronized "to avoid unknown values
+// during the computation of the signature"; the Session handles this by
+// masking cycles in which the fault-free machine still produces X (see
+// Session for the soundness argument).
+type MISR struct {
+	state uint64
+}
+
+// crc64ECMA is the CRC-64/ECMA-182 feedback polynomial.
+const crc64ECMA = 0x42F0E1EBA9EA3693
+
+// Reset clears the register.
+func (m *MISR) Reset() { m.state = 0 }
+
+// Shift injects one cycle of primary-output values and steps the
+// register. mask[i] = false suppresses output i this cycle (used to blank
+// X values deterministically); a nil mask injects every output. X values
+// that are not masked inject as 0.
+func (m *MISR) Shift(po []logic.Value, mask []bool) {
+	var in uint64
+	for i, v := range po {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if v == logic.One {
+			in ^= 1 << (uint(i) % 64)
+		}
+	}
+	// Galois step, then input injection.
+	if m.state&1 != 0 {
+		m.state = m.state>>1 ^ crc64ECMA
+	} else {
+		m.state >>= 1
+	}
+	m.state ^= in
+}
+
+// Signature returns the current register contents.
+func (m *MISR) Signature() uint64 { return m.state }

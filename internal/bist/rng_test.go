@@ -1,0 +1,5 @@
+package bist
+
+import "seqbist/internal/xrand"
+
+func newRNG(seed uint64) *xrand.RNG { return xrand.New(seed) }

@@ -1,0 +1,272 @@
+package bist
+
+import (
+	"testing"
+
+	"seqbist/internal/core"
+	"seqbist/internal/expand"
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/iscas"
+	"seqbist/internal/logic"
+	"seqbist/internal/vectors"
+)
+
+// s27Session builds a BIST session from a real Procedure 1 selection on
+// s27 with the paper's T0.
+func s27Session(t *testing.T, n int) (*Session, []faults.Fault, *core.Result) {
+	t.Helper()
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	t0 := vectors.MustParseSequence("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011")
+	res, err := core.Select(c, fl, t0, core.DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set []vectors.Sequence
+	for _, s := range res.Set {
+		set = append(set, s.Seq)
+	}
+	sess, err := NewSession(c, set, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunGolden(); err != nil {
+		t.Fatal(err)
+	}
+	return sess, fl, res
+}
+
+func TestGoldenSignaturesDeterministic(t *testing.T) {
+	a, _, _ := s27Session(t, 1)
+	b, _, _ := s27Session(t, 1)
+	sa, sb := a.GoldenSignatures(), b.GoldenSignatures()
+	if len(sa) == 0 || len(sa) != len(sb) {
+		t.Fatalf("signature counts: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Errorf("signature %d differs between identical sessions", i)
+		}
+	}
+}
+
+// TestBISTDetectionSound: every fault the MISR session flags must also be
+// detected by the fault simulator on the same expanded sequences (the
+// masking scheme guarantees no false alarms).
+func TestBISTDetectionSound(t *testing.T) {
+	sess, fl, res := s27Session(t, 1)
+	c := iscas.S27()
+	for i, f := range fl {
+		bistDet := sess.DetectsFault(f)
+		fsimDet := false
+		for _, s := range res.Set {
+			r := fsim.Run(c, []faults.Fault{f}, expand.Expand(s.Seq, 1))
+			if r.Detected[0] {
+				fsimDet = true
+				break
+			}
+		}
+		if bistDet && !fsimDet {
+			t.Errorf("fault %d (%s): BIST flagged but simulator says undetected (false alarm)",
+				i, f.Name(c))
+		}
+	}
+}
+
+// TestBISTDetectsMostTargets: signature comparison should catch nearly
+// every simulator-detected fault (X-masking and aliasing can lose a few,
+// but on s27 the sequences synchronize the circuit quickly).
+func TestBISTDetectsMostTargets(t *testing.T) {
+	sess, fl, res := s27Session(t, 1)
+	detected := 0
+	for i := range fl {
+		if res.DetectedByT0[i] && sess.DetectsFault(fl[i]) {
+			detected++
+		}
+	}
+	if detected < res.NumTargets*3/4 {
+		t.Errorf("BIST detected only %d of %d targets", detected, res.NumTargets)
+	}
+	t.Logf("BIST signature detection: %d/%d targets", detected, res.NumTargets)
+}
+
+func TestSessionCycleAccounting(t *testing.T) {
+	sess, _, res := s27Session(t, 1)
+	totalStored := 0
+	for _, s := range res.Set {
+		totalStored += s.Seq.Len()
+	}
+	if sess.LoadCycles() != totalStored {
+		t.Errorf("load cycles %d, want %d (one per stored vector)", sess.LoadCycles(), totalStored)
+	}
+	if sess.AtSpeedCycles() != 8*totalStored {
+		t.Errorf("at-speed cycles %d, want %d (8n per stored vector, n=1)",
+			sess.AtSpeedCycles(), 8*totalStored)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	c := iscas.S27()
+	if _, err := NewSession(c, []vectors.Sequence{{}}, 1); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := NewSession(c, []vectors.Sequence{vectors.MustParseSequence("01")}, 1); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := NewSession(c, nil, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+// TestSyntheticSessionSound runs a full BIST session on a synthetic
+// circuit with partial coverage and checks soundness plus the cycle
+// accounting at scale.
+func TestSyntheticSessionSound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic session test skipped in -short mode")
+	}
+	c := iscas.MustLoad("s344")
+	fl := faults.CollapsedUniverse(c)
+	t0 := vectors.RandomSequence(newRNG(4), c.NumPIs(), 60)
+	cfg := core.DefaultConfig(2)
+	cfg.MaxOmissionTrials = 150
+	res, err := core.Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stored []vectors.Sequence
+	for _, s := range res.Set {
+		stored = append(stored, s.Seq)
+	}
+	if len(stored) == 0 {
+		t.Skip("random T0 detected nothing on s344")
+	}
+	sess, err := NewSession(c, stored, cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunGolden(); err != nil {
+		t.Fatal(err)
+	}
+	// Soundness on a deterministic sample of faults.
+	for i := 0; i < len(fl); i += 11 {
+		if !sess.DetectsFault(fl[i]) {
+			continue
+		}
+		fsimDet := false
+		for _, s := range res.Set {
+			r := fsim.Run(c, []faults.Fault{fl[i]}, expand.Expand(s.Seq, cfg.N))
+			if r.Detected[0] {
+				fsimDet = true
+				break
+			}
+		}
+		if !fsimDet {
+			t.Fatalf("false alarm on %s", fl[i].Name(c))
+		}
+	}
+	total, _ := vectors.TotalAndMaxLength(stored)
+	if sess.LoadCycles() != total || sess.AtSpeedCycles() != 8*cfg.N*total {
+		t.Errorf("cycle accounting: load %d (want %d), at-speed %d (want %d)",
+			sess.LoadCycles(), total, sess.AtSpeedCycles(), 8*cfg.N*total)
+	}
+}
+
+func TestMISRSensitivity(t *testing.T) {
+	// Two streams differing in one bit at one cycle must yield different
+	// signatures.
+	var a, b MISR
+	po1 := []logic.Value{logic.One, logic.Zero}
+	po2 := []logic.Value{logic.One, logic.One}
+	for i := 0; i < 50; i++ {
+		a.Shift(po1, nil)
+		b.Shift(po1, nil)
+	}
+	a.Shift(po1, nil)
+	b.Shift(po2, nil)
+	for i := 0; i < 50; i++ {
+		a.Shift(po1, nil)
+		b.Shift(po1, nil)
+	}
+	if a.Signature() == b.Signature() {
+		t.Error("single-bit difference aliased")
+	}
+}
+
+func TestMISRMasking(t *testing.T) {
+	var a, b MISR
+	poX := []logic.Value{logic.X}
+	poZero := []logic.Value{logic.Zero}
+	mask := []bool{false}
+	a.Shift(poX, mask)
+	b.Shift(poZero, mask)
+	if a.Signature() != b.Signature() {
+		t.Error("masked position affected the signature")
+	}
+}
+
+func TestMISRReset(t *testing.T) {
+	var m MISR
+	m.Shift([]logic.Value{logic.One}, nil)
+	if m.Signature() == 0 {
+		t.Error("shift had no effect")
+	}
+	m.Reset()
+	if m.Signature() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestCostOf(t *testing.T) {
+	set := []vectors.Sequence{
+		vectors.MustParseSequence("0101 1111 0000"),
+		vectors.MustParseSequence("0011"),
+	}
+	cost := CostOf(4, 8, set)
+	if cost.MemoryBits != 3*4 {
+		t.Errorf("memory bits = %d, want 12", cost.MemoryBits)
+	}
+	if cost.AddressCounterBits != 2 {
+		t.Errorf("address counter bits = %d, want 2", cost.AddressCounterBits)
+	}
+	if cost.RepetitionCounterBits != 3 {
+		t.Errorf("repetition counter bits = %d, want 3", cost.RepetitionCounterBits)
+	}
+	if cost.MuxCount != 8 || cost.InverterCount != 4 {
+		t.Errorf("mux/inverter = %d/%d", cost.MuxCount, cost.InverterCount)
+	}
+	if cost.TotalControlBits() != 2+3+3+64 {
+		t.Errorf("control bits = %d", cost.TotalControlBits())
+	}
+	if cost.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+	for in, want := range cases {
+		if got := bitsFor(in); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestMemoryGeometryMatchesPaperClaim: the memory need only hold the
+// longest stored sequence.
+func TestMemoryGeometryMatchesPaperClaim(t *testing.T) {
+	sess, _, res := s27Session(t, 1)
+	_, maxLen := vectors.TotalAndMaxLength(storedOf(res))
+	if sess.MemoryBits() != maxLen*4 {
+		t.Errorf("memory bits = %d, want %d", sess.MemoryBits(), maxLen*4)
+	}
+}
+
+func storedOf(res *core.Result) []vectors.Sequence {
+	var out []vectors.Sequence
+	for _, s := range res.Set {
+		out = append(out, s.Seq)
+	}
+	return out
+}

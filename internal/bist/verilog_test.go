@@ -1,0 +1,102 @@
+package bist
+
+import (
+	"strings"
+	"testing"
+
+	"seqbist/internal/vectors"
+)
+
+func TestGenerateVerilogStructure(t *testing.T) {
+	src, err := GenerateVerilog(VerilogConfig{
+		ModuleName: "demo", Width: 4, Depth: 8, N: 2, NumPOs: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module demo_expander",
+		"module demo_misr",
+		"input  wire [3:0]       load_data", // WIDTH-1 = 3
+		"reg [3:0] mem [0:7]",               // DEPTH-1 = 7
+		"wire comp  = phase[0] ^ phase[2];", // the phase network
+		"wire shft  = phase[1] ^ phase[2];",
+		"64'h42F0E1EBA9EA3693", // MISR polynomial matches misr.go
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated Verilog missing %q", want)
+		}
+	}
+	// Module/endmodule balance.
+	if strings.Count(src, "module ") < 2 || strings.Count(src, "endmodule") != 2 {
+		t.Errorf("module/endmodule imbalance:\nmodules=%d endmodules=%d",
+			strings.Count(src, "module "), strings.Count(src, "endmodule"))
+	}
+	// begin/end balance (textual sanity; not a Verilog parser).
+	begins := strings.Count(src, "begin")
+	ends := strings.Count(src, "end") - strings.Count(src, "endmodule")
+	if begins != ends {
+		t.Errorf("begin/end imbalance: %d vs %d", begins, ends)
+	}
+}
+
+func TestGenerateVerilogOmitsMISRWithoutPOs(t *testing.T) {
+	src, err := GenerateVerilog(VerilogConfig{Width: 2, Depth: 2, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "_misr") {
+		t.Error("MISR emitted despite NumPOs=0")
+	}
+	if !strings.Contains(src, "seqbist_expander") {
+		t.Error("default module name not applied")
+	}
+}
+
+func TestGenerateVerilogRejectsBadGeometry(t *testing.T) {
+	for _, cfg := range []VerilogConfig{
+		{Width: 0, Depth: 4, N: 2},
+		{Width: 4, Depth: 0, N: 2},
+		{Width: 4, Depth: 4, N: 0},
+	} {
+		if _, err := GenerateVerilog(cfg); err == nil {
+			t.Errorf("geometry %+v accepted", cfg)
+		}
+	}
+}
+
+func TestGenerateVerilogForSet(t *testing.T) {
+	set := []vectors.Sequence{
+		vectors.MustParseSequence("0101 1111 0000"),
+		vectors.MustParseSequence("0011"),
+	}
+	src, err := GenerateVerilogForSet("chip", set, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth = 3 (longest sequence), width = 4.
+	if !strings.Contains(src, "mem [0:2]") {
+		t.Error("depth not derived from the longest sequence")
+	}
+	if !strings.Contains(src, "[3:0]       load_data") {
+		t.Error("width not derived from the vectors")
+	}
+	if _, err := GenerateVerilogForSet("x", nil, 2, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+// TestVerilogPhaseNetworkMatchesGoTable checks the p[0]^p[2] / p[1]^p[2] /
+// !p[2] encoding against the Go phaseTable the simulator uses.
+func TestVerilogPhaseNetworkMatchesGoTable(t *testing.T) {
+	for p := 0; p < 8; p++ {
+		comp := (p&1)^(p>>2&1) == 1
+		shift := (p>>1&1)^(p>>2&1) == 1
+		up := p>>2&1 == 0
+		want := phaseTable[p]
+		if comp != want.complement || shift != want.shift || up != want.up {
+			t.Errorf("phase %d: verilog (%v,%v,%v) vs table (%v,%v,%v)",
+				p, comp, shift, up, want.complement, want.shift, want.up)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+func TestCompactPreservesCoverage(t *testing.T) {
+	c, fl, t0 := s27Setup(t)
+	cfg := DefaultConfig(1)
+	res, err := Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, stats := CompactSet(c, fl, res, cfg)
+	if missed := VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+		t.Errorf("compaction broke coverage: missed %v", missed)
+	}
+	if len(set) > len(res.Set) {
+		t.Errorf("compaction grew the set: %d -> %d", len(res.Set), len(set))
+	}
+	if stats.Before.NumSequences != len(res.Set) || stats.After.NumSequences != len(set) {
+		t.Errorf("stats inconsistent: %+v", stats)
+	}
+}
+
+func TestCompactNeverIncreasesLengths(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	t0 := vectors.RandomSequence(xrand.New(17), c.NumPIs(), 50)
+	cfg := DefaultConfig(2)
+	res, err := Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, stats := CompactSet(c, fl, res, cfg)
+	if stats.After.TotalLen > stats.Before.TotalLen {
+		t.Errorf("total length grew: %d -> %d", stats.Before.TotalLen, stats.After.TotalLen)
+	}
+	if stats.After.MaxLen > stats.Before.MaxLen {
+		t.Errorf("max length grew: %d -> %d", stats.Before.MaxLen, stats.After.MaxLen)
+	}
+	if missed := VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+		t.Errorf("missed %v", missed)
+	}
+}
+
+func TestCompactSurvivorsKeepGenerationOrder(t *testing.T) {
+	c, fl, t0 := s27Setup(t)
+	cfg := DefaultConfig(1)
+	res, err := Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _ := CompactSet(c, fl, res, cfg)
+	pos := -1
+	for _, s := range set {
+		found := -1
+		for i, orig := range res.Set {
+			if orig.TargetFault == s.TargetFault {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatal("survivor not in the original set")
+		}
+		if found <= pos {
+			t.Error("survivors not in generation order")
+		}
+		pos = found
+	}
+}
+
+func TestCompactDropsRedundantSequence(t *testing.T) {
+	// Inject an artificial duplicate: a second copy of an existing
+	// sequence can never detect anything new in some pass ordering, so
+	// the compacted set must be strictly smaller than the inflated one.
+	c, fl, t0 := s27Setup(t)
+	cfg := DefaultConfig(1)
+	res, err := Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated := *res
+	dup := res.Set[len(res.Set)-1]
+	dup.TargetFault = dup.TargetFault + 1000 // distinct generation key
+	inflated.Set = append([]Selected{dup}, res.Set...)
+	set, _ := CompactSet(c, fl, &inflated, cfg)
+	if len(set) >= len(inflated.Set) {
+		t.Errorf("duplicate sequence survived compaction: %d of %d", len(set), len(inflated.Set))
+	}
+	if missed := VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+		t.Errorf("missed %v", missed)
+	}
+}
+
+func TestCompactPassesSubset(t *testing.T) {
+	c, fl, t0 := s27Setup(t)
+	cfg := DefaultConfig(1)
+	res, err := Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each individual pass alone must preserve coverage too.
+	for pass := 0; pass < 4; pass++ {
+		var enabled [4]bool
+		enabled[pass] = true
+		set, _ := CompactSetPasses(c, fl, res, cfg, enabled)
+		if missed := VerifyCoverage(c, fl, res, set, cfg); len(missed) != 0 {
+			t.Errorf("pass %d alone: missed %v", pass, missed)
+		}
+	}
+	// No passes: identity.
+	set, stats := CompactSetPasses(c, fl, res, cfg, [4]bool{})
+	if len(set) != len(res.Set) {
+		t.Errorf("no-pass compaction changed the set")
+	}
+	if stats.Dropped != [4]int{} {
+		t.Errorf("no-pass compaction reported drops: %v", stats.Dropped)
+	}
+}
+
+func TestCompactEmptySet(t *testing.T) {
+	c, fl, _ := s27Setup(t)
+	res := &Result{DetectedByT0: make([]bool, len(fl))}
+	set, stats := CompactSet(c, fl, res, DefaultConfig(1))
+	if len(set) != 0 || stats.Before.NumSequences != 0 {
+		t.Error("empty input mishandled")
+	}
+}

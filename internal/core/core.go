@@ -1,0 +1,395 @@
+// Package core implements the paper's contribution: selection of a set of
+// subsequences S of a deterministic test sequence T0 such that the
+// on-chip expanded versions of the sequences in S achieve the same fault
+// coverage as T0 (Pomeranz & Reddy, DAC 1999, §3).
+//
+// Three pieces:
+//
+//   - Select (Procedure 1): repeatedly target the yet-undetected fault
+//     with the highest first-detection time under T0, construct a
+//     subsequence for it, and fault-simulate its expansion to drop newly
+//     covered faults.
+//   - FindSubsequence (Procedure 2): for a target fault f, find the
+//     latest window T0[ustart, udet(f)] whose expansion detects f, then
+//     shrink it by random-order vector omission.
+//   - CompactSet (§3.2): drop sequences that became redundant, using four
+//     simulation orders (increasing length, decreasing length, reverse
+//     generation order, decreasing previous-pass detection count).
+//
+// The package is deterministic given Config.Seed.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"seqbist/internal/expand"
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// Config controls sequence selection.
+type Config struct {
+	// N is the repetition count used in the expansion (the paper uses
+	// n in {2,4,8,16}; the s27 walkthrough uses 1). Must be >= 1.
+	N int
+	// Seed drives Procedure 2's random omission order.
+	Seed uint64
+	// OmissionRestart selects the paper-faithful behaviour of restarting
+	// the omission scan from scratch after every accepted omission. When
+	// false, a single pass over the time units is made (cheaper; an
+	// ablation in the benchmarks).
+	OmissionRestart bool
+	// MaxOmissionTrials bounds the number of expanded-sequence
+	// simulations spent shrinking one subsequence (0 = unlimited). The
+	// bound trades subsequence length for run time; coverage is never
+	// affected.
+	MaxOmissionTrials int
+	// DisableOmission skips the omission phase entirely (ablation).
+	DisableOmission bool
+	// TargetOrder selects which yet-undetected fault Procedure 1 targets
+	// next. The paper argues for the highest first-detection time
+	// (OrderMaxUDet); the alternatives exist for the ablation benchmarks.
+	TargetOrder TargetOrder
+	// ExpandOps selects the §2 manipulations used for expansion (zero
+	// value means the paper's full set). Subsets exist for the
+	// manipulation ablation; the coverage guarantee holds for any subset.
+	ExpandOps expand.Ops
+}
+
+// expandOps resolves the configured op set (zero value = the full paper
+// expansion).
+func (cfg Config) expandOps() expand.Ops {
+	if cfg.ExpandOps == 0 {
+		return expand.AllOps
+	}
+	return cfg.ExpandOps
+}
+
+// TargetOrder enumerates fault-targeting policies for Procedure 1.
+type TargetOrder int
+
+// Target orders.
+const (
+	// OrderMaxUDet targets the fault with the highest detection time
+	// first (the paper's choice: such faults need longer sequences that
+	// tend to detect many others).
+	OrderMaxUDet TargetOrder = iota
+	// OrderMinUDet targets the easiest (earliest-detected) fault first.
+	OrderMinUDet
+	// OrderRandom targets faults in seeded random order.
+	OrderRandom
+)
+
+// DefaultConfig returns the paper-faithful configuration with the given
+// repetition count.
+func DefaultConfig(n int) Config {
+	return Config{N: n, Seed: 1, OmissionRestart: true}
+}
+
+// Selected is one subsequence chosen for the set S.
+type Selected struct {
+	// Seq is the stored subsequence S (loaded into on-chip memory).
+	Seq vectors.Sequence
+	// TargetFault is the index (into the fault list) of the fault this
+	// sequence was constructed for.
+	TargetFault int
+	// UStart, UDet delimit the window T0[UStart, UDet] the sequence was
+	// extracted from before omission.
+	UStart, UDet int
+	// NewlyDetected is the number of additional target faults the
+	// expanded sequence detected when it was added.
+	NewlyDetected int
+}
+
+// Stats summarizes a set of selected sequences.
+type Stats struct {
+	NumSequences int
+	TotalLen     int
+	MaxLen       int
+}
+
+// StatsOf computes summary statistics for a set.
+func StatsOf(set []Selected) Stats {
+	st := Stats{NumSequences: len(set)}
+	for _, s := range set {
+		st.TotalLen += s.Seq.Len()
+		if s.Seq.Len() > st.MaxLen {
+			st.MaxLen = s.Seq.Len()
+		}
+	}
+	return st
+}
+
+// Result is the outcome of Procedure 1 (and optionally compaction).
+type Result struct {
+	// Set is the selected sequences in generation order.
+	Set []Selected
+	// DetectedByT0 flags, per fault-list index, membership in F (the
+	// faults T0 detects).
+	DetectedByT0 []bool
+	// NumTargets is |F|.
+	NumTargets int
+	// UDet is the first detection time under T0 per fault (fsim.Undetected
+	// for faults outside F).
+	UDet []int
+	// Sims counts expanded-sequence fault simulations performed
+	// (Procedure 2 trials), the dominant cost.
+	Sims int
+}
+
+// Selector holds the circuit-dependent state shared by Procedure 1 and 2.
+type Selector struct {
+	c      *netlist.Circuit
+	fl     []faults.Fault
+	t0     vectors.Sequence
+	cfg    Config
+	single *fsim.Single
+	rng    *xrand.RNG
+	sims   int
+}
+
+// NewSelector prepares selection of subsequences of t0 for the given
+// circuit and fault list.
+func NewSelector(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, cfg Config) (*Selector, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("core: repetition count N=%d, must be >= 1", cfg.N)
+	}
+	if t0.Len() == 0 {
+		return nil, errors.New("core: empty T0")
+	}
+	if t0.Width() != c.NumPIs() {
+		return nil, fmt.Errorf("core: T0 width %d, circuit has %d PIs", t0.Width(), c.NumPIs())
+	}
+	return &Selector{
+		c:      c,
+		fl:     fl,
+		t0:     t0,
+		cfg:    cfg,
+		single: fsim.NewSingle(c),
+		rng:    xrand.New(cfg.Seed),
+	}, nil
+}
+
+// Select runs Procedure 1: it returns a set of subsequences whose
+// expansions together detect every fault T0 detects.
+func Select(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, cfg Config) (*Result, error) {
+	sel, err := NewSelector(c, fl, t0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sel.Run()
+}
+
+// Run executes Procedure 1.
+func (sel *Selector) Run() (*Result, error) {
+	// Step 1: simulate T0; F = detected faults with first detection times.
+	base := fsim.Run(sel.c, sel.fl, sel.t0)
+	res := &Result{
+		DetectedByT0: base.Detected,
+		UDet:         base.DetTime,
+		NumTargets:   base.NumDetected,
+	}
+
+	// Ftarg as index list, kept sorted by (udet desc, index asc) so step 2
+	// is a deterministic pop.
+	targ := make([]int, 0, base.NumDetected)
+	for i := range sel.fl {
+		if base.Detected[i] {
+			targ = append(targ, i)
+		}
+	}
+	switch sel.cfg.TargetOrder {
+	case OrderMaxUDet:
+		sort.Slice(targ, func(a, b int) bool {
+			if base.DetTime[targ[a]] != base.DetTime[targ[b]] {
+				return base.DetTime[targ[a]] > base.DetTime[targ[b]]
+			}
+			return targ[a] < targ[b]
+		})
+	case OrderMinUDet:
+		sort.Slice(targ, func(a, b int) bool {
+			if base.DetTime[targ[a]] != base.DetTime[targ[b]] {
+				return base.DetTime[targ[a]] < base.DetTime[targ[b]]
+			}
+			return targ[a] < targ[b]
+		})
+	case OrderRandom:
+		sel.rng.Shuffle(targ)
+	}
+
+	remaining := make(map[int]bool, len(targ))
+	for _, fi := range targ {
+		remaining[fi] = true
+	}
+
+	for pos := 0; pos < len(targ); pos++ {
+		f := targ[pos]
+		if !remaining[f] {
+			continue
+		}
+		// Step 3: Procedure 2 for the selected fault.
+		s, ustart, err := sel.FindSubsequence(f)
+		if err != nil {
+			return nil, err
+		}
+		// Step 4: simulate remaining targets under Sexp and drop those
+		// detected.
+		subsetIdx := make([]int, 0, len(remaining))
+		subset := make([]faults.Fault, 0, len(remaining))
+		for _, fi := range targ[pos:] {
+			if remaining[fi] {
+				subsetIdx = append(subsetIdx, fi)
+				subset = append(subset, sel.fl[fi])
+			}
+		}
+		sexp := expand.Compose(s, sel.cfg.N, sel.cfg.expandOps())
+		r := fsim.Run(sel.c, subset, sexp)
+		newly := 0
+		for k, fi := range subsetIdx {
+			if r.Detected[k] {
+				delete(remaining, fi)
+				newly++
+			}
+		}
+		if remaining[f] {
+			// The construction guarantees the target is detected; a
+			// violation indicates an implementation bug.
+			return nil, fmt.Errorf("core: expanded sequence failed to detect its target fault %s",
+				sel.fl[f].Name(sel.c))
+		}
+		res.Set = append(res.Set, Selected{
+			Seq:           s,
+			TargetFault:   f,
+			UStart:        ustart,
+			UDet:          base.DetTime[f],
+			NewlyDetected: newly,
+		})
+		if len(remaining) == 0 {
+			break
+		}
+	}
+	res.Sims = sel.sims
+	return res, nil
+}
+
+// FindSubsequence runs Procedure 2 for fault index f (which must be
+// detected by T0). It returns the shrunken subsequence and the ustart of
+// the pre-omission window.
+func (sel *Selector) FindSubsequence(f int) (vectors.Sequence, int, error) {
+	det, udet := sel.single.Detects(sel.fl[f], sel.t0)
+	if !det {
+		return nil, 0, fmt.Errorf("core: fault %s not detected by T0", sel.fl[f].Name(sel.c))
+	}
+
+	// Steps 1-3: find the latest ustart whose expanded window detects f.
+	ustart := udet
+	var t1 vectors.Sequence
+	for {
+		t1 = sel.t0.Subsequence(ustart, udet)
+		sel.sims++
+		if ok, _ := sel.single.Detects(sel.fl[f], expand.Compose(t1, sel.cfg.N, sel.cfg.expandOps())); ok {
+			break
+		}
+		ustart--
+		if ustart < 0 {
+			// Cannot happen: the expansion of T0[0,udet] begins with
+			// T0[0,udet] itself, which detects f at time udet.
+			return nil, 0, fmt.Errorf("core: no window of T0 detects %s when expanded; simulator inconsistency",
+				sel.fl[f].Name(sel.c))
+		}
+	}
+
+	if sel.cfg.DisableOmission {
+		return t1, ustart, nil
+	}
+
+	// Steps 4-9: random-order omission.
+	t1 = sel.omit(f, t1)
+	return t1, ustart, nil
+}
+
+// omit shrinks t1 by random-order vector omission while the expansion
+// still detects fault f (Procedure 2 steps 4-9).
+func (sel *Selector) omit(f int, t1 vectors.Sequence) vectors.Sequence {
+	if sel.cfg.OmissionRestart {
+		return sel.omitWithRestart(f, t1)
+	}
+	return sel.omitSinglePass(f, t1)
+}
+
+// tryOmit reports whether the expansion of candidate still detects f.
+func (sel *Selector) tryOmit(f int, candidate vectors.Sequence) bool {
+	sel.sims++
+	ok, _ := sel.single.Detects(sel.fl[f], expand.Compose(candidate, sel.cfg.N, sel.cfg.expandOps()))
+	return ok
+}
+
+// omitWithRestart is the paper-faithful omission: after every accepted
+// omission the scan restarts over the shorter sequence (Procedure 2's
+// "go to Step 4"); the loop terminates when a full random-order scan
+// accepts nothing.
+func (sel *Selector) omitWithRestart(f int, t1 vectors.Sequence) vectors.Sequence {
+	trials := 0
+	budget := sel.cfg.MaxOmissionTrials
+	for {
+		accepted := false
+		for _, i := range sel.rng.Perm(t1.Len()) {
+			if t1.Len() == 1 {
+				// Omitting the last vector would leave an empty sequence,
+				// which cannot detect anything.
+				return t1
+			}
+			if budget > 0 && trials >= budget {
+				return t1
+			}
+			trials++
+			if candidate := t1.OmitAt(i); sel.tryOmit(f, candidate) {
+				t1 = candidate
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			return t1
+		}
+	}
+}
+
+// omitSinglePass is the ablation variant: each time unit is considered at
+// most once, in one random order, with accepted omissions applied as the
+// scan proceeds.
+func (sel *Selector) omitSinglePass(f int, t1 vectors.Sequence) vectors.Sequence {
+	trials := 0
+	budget := sel.cfg.MaxOmissionTrials
+	omitted := make([]bool, t1.Len())
+	cur := t1
+	for _, orig := range sel.rng.Perm(t1.Len()) {
+		if cur.Len() == 1 {
+			break
+		}
+		if budget > 0 && trials >= budget {
+			break
+		}
+		// Map the original position to its index in the current sequence.
+		idx := 0
+		for j := 0; j < orig; j++ {
+			if !omitted[j] {
+				idx++
+			}
+		}
+		trials++
+		if candidate := cur.OmitAt(idx); sel.tryOmit(f, candidate) {
+			cur = candidate
+			omitted[orig] = true
+		}
+	}
+	return cur
+}
+
+// Sims returns the number of expanded-sequence simulations performed.
+func (sel *Selector) Sims() int { return sel.sims }

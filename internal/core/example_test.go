@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"seqbist/internal/core"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/vectors"
+)
+
+// Procedure 1 on the paper's s27 worked example: the subsequences whose
+// expansions re-detect everything T0 detects.
+func ExampleSelect() {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	t0 := vectors.MustParseSequence("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011")
+
+	res, err := core.Select(c, fl, t0, core.DefaultConfig(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("targets: %d faults\n", res.NumTargets)
+	fmt.Printf("first window: T0[%d,%d]\n", res.Set[0].UStart, res.Set[0].UDet)
+	missed := core.VerifyCoverage(c, fl, res, res.Set, core.DefaultConfig(1))
+	fmt.Printf("faults lost: %d\n", len(missed))
+	// Output:
+	// targets: 32 faults
+	// first window: T0[6,9]
+	// faults lost: 0
+}

@@ -1,0 +1,35 @@
+package expand_test
+
+import (
+	"fmt"
+
+	"seqbist/internal/expand"
+	"seqbist/internal/vectors"
+)
+
+// The paper's Table 1: expanding S = (000, 110) with n = 2.
+func ExampleExpand() {
+	s := vectors.MustParseSequence("000 110")
+	sexp := expand.Expand(s, 2)
+	fmt.Println(sexp.Len(), "vectors")
+	fmt.Println(sexp[:8])
+	// Output:
+	// 32 vectors
+	// 000 110 000 110 111 001 111 001
+}
+
+// Streaming form: the hardware produces the same vectors one at a time.
+func ExampleStream() {
+	s := vectors.MustParseSequence("1011")
+	st := expand.NewStream(s, 1)
+	for {
+		v, ok := st.Next()
+		if !ok {
+			break
+		}
+		fmt.Print(v, " ")
+	}
+	fmt.Println()
+	// Output:
+	// 1011 0100 0111 1000 1000 0111 0100 1011
+}

@@ -1,0 +1,89 @@
+package expand
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// TestExpandPrefixStructure: Expand(S, n) begins with Expand(S, m)'s
+// first m*|S| vectors for m <= n (both start with S repeated).
+func TestExpandPrefixStructure(t *testing.T) {
+	s := vectors.RandomSequence(xrand.New(3), 4, 3)
+	e2 := Expand(s, 2)
+	e4 := Expand(s, 4)
+	for i := 0; i < 2*s.Len(); i++ {
+		if !e2[i].Equal(e4[i]) {
+			t.Fatalf("repetition prefix differs at %d", i)
+		}
+	}
+}
+
+// TestExpandOfSingleVector: the paper's smallest case — |Sexp| = 8n, and
+// the stream consists of the vector, its complement, shift and reversal
+// combinations only.
+func TestExpandOfSingleVector(t *testing.T) {
+	v := vectors.MustParseVector("1011")
+	e := Expand(vectors.Sequence{v}, 1)
+	if e.Len() != 8 {
+		t.Fatalf("length %d", e.Len())
+	}
+	allowed := map[string]bool{
+		v.String():                                  true,
+		v.Complement().String():                     true,
+		v.ShiftLeftCircular().String():              true,
+		v.Complement().ShiftLeftCircular().String(): true,
+	}
+	for _, x := range e {
+		if !allowed[x.String()] {
+			t.Errorf("unexpected vector %s in expansion", x)
+		}
+	}
+}
+
+// TestExpansionPalindrome: Sexp equals its own reversal (by construction
+// Sexp = S”'·r(S”')), which is what lets the hardware reuse the same
+// phase network in down-count mode.
+func TestExpansionPalindrome(t *testing.T) {
+	f := func(seed uint64, lRaw, nRaw uint8) bool {
+		l := int(lRaw%5) + 1
+		ns := []int{1, 2, 4}
+		n := ns[int(nRaw)%len(ns)]
+		s := vectors.RandomSequence(xrand.New(seed), 5, l)
+		e := Expand(s, n)
+		for i, j := 0, e.Len()-1; i < j; i, j = i+1, j-1 {
+			if !e[i].Equal(e[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComplementCommutesWithShift on the sequence level (the hardware
+// applies the complement mux before the shift mux; the order must not
+// matter for correctness of the composite network).
+func TestComplementCommutesWithShift(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := vectors.RandomSequence(xrand.New(seed), 6, 4)
+		a := ShiftLeftCircular(Complement(s))
+		b := Complement(ShiftLeftCircular(s))
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpandDeterministic: expansion is a pure function.
+func TestExpandDeterministic(t *testing.T) {
+	s := vectors.RandomSequence(xrand.New(11), 4, 5)
+	if !Expand(s, 8).Equal(Expand(s, 8)) {
+		t.Error("expansion not deterministic")
+	}
+}

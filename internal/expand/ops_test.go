@@ -1,0 +1,56 @@
+package expand
+
+import (
+	"testing"
+
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+func TestOpsLenMatchesCompose(t *testing.T) {
+	s := vectors.RandomSequence(xrand.New(2), 3, 4)
+	subsets := []Ops{
+		0, OpRepeat, OpComplement, OpShift, OpReverse,
+		OpRepeat | OpComplement,
+		OpRepeat | OpShift | OpReverse,
+		AllOps,
+	}
+	for _, ops := range subsets {
+		for _, n := range []int{1, 2, 4} {
+			got := Compose(s, n, ops).Len()
+			want := ops.Len(n) * s.Len()
+			if got != want {
+				t.Errorf("ops %04b n=%d: |Compose| = %d, Len says %d", ops, n, got, want)
+			}
+		}
+	}
+}
+
+func TestComposeAllOpsEqualsExpand(t *testing.T) {
+	s := vectors.RandomSequence(xrand.New(8), 5, 3)
+	for _, n := range []int{1, 2, 8} {
+		if !Compose(s, n, AllOps).Equal(Expand(s, n)) {
+			t.Errorf("Compose(AllOps) != Expand at n=%d", n)
+		}
+	}
+}
+
+func TestComposeSubsetIsPrefixClosed(t *testing.T) {
+	// Every composition starts with the stored sequence itself — the
+	// property Procedure 2's termination guarantee rests on.
+	s := vectors.RandomSequence(xrand.New(4), 4, 3)
+	for _, ops := range []Ops{0, OpComplement, OpShift, OpReverse, AllOps} {
+		e := Compose(s, 2, ops)
+		for i := 0; i < s.Len(); i++ {
+			if !e[i].Equal(s[i%s.Len()]) {
+				t.Fatalf("ops %04b: composition does not start with S", ops)
+			}
+		}
+	}
+}
+
+func TestComposeEmpty(t *testing.T) {
+	if Compose(nil, 4, AllOps).Len() != 0 {
+		t.Error("empty composition not empty")
+	}
+}

@@ -1,0 +1,15 @@
+package experiments
+
+import "seqbist/internal/core"
+
+// coreStats builds a core.Stats literal for table tests.
+func coreStats(num, total, max int) core.Stats {
+	return core.Stats{NumSequences: num, TotalLen: total, MaxLen: max}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperRowsComplete(t *testing.T) {
+	if len(PaperResults) != 12 {
+		t.Fatalf("%d paper rows, want 12", len(PaperResults))
+	}
+	for _, r := range PaperResults {
+		if r.TotFaults <= 0 || r.Detected <= 0 || r.T0Len <= 0 {
+			t.Errorf("%s: incomplete row %+v", r.Circuit, r)
+		}
+		if r.TotLenAC > r.TotLen || r.NumSeqsAC > r.NumSeqs {
+			t.Errorf("%s: after-compaction exceeds before", r.Circuit)
+		}
+		if r.TestLen != 8*r.N*r.TotLenAC {
+			t.Errorf("%s: test len %d != 8*%d*%d", r.Circuit, r.TestLen, r.N, r.TotLenAC)
+		}
+	}
+}
+
+func TestPaperRowFor(t *testing.T) {
+	r, ok := PaperRowFor("s820")
+	if !ok || r.N != 4 || r.MaxLenAC != 15 {
+		t.Errorf("s820 row: %+v ok=%v", r, ok)
+	}
+	if _, ok := PaperRowFor("s9999"); ok {
+		t.Error("unknown circuit found")
+	}
+}
+
+func TestPaperAveragesConsistent(t *testing.T) {
+	// The embedded per-circuit ratios must average to the paper's
+	// published bottom row (within rounding).
+	var tot, max float64
+	for _, r := range PaperResults {
+		tot += r.TotRatio
+		max += r.MaxRatio
+	}
+	tot /= float64(len(PaperResults))
+	max /= float64(len(PaperResults))
+	if absDiff(tot, PaperAverageTotRatio) > 0.02 {
+		t.Errorf("tot ratios average %.3f, paper says %.2f", tot, PaperAverageTotRatio)
+	}
+	if absDiff(max, PaperAverageMaxRatio) > 0.02 {
+		t.Errorf("max ratios average %.3f, paper says %.2f", max, PaperAverageMaxRatio)
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline-backed report test skipped in -short mode")
+	}
+	runs, err := RunAll(tinyProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := MarkdownReport(runs)
+	for _, want := range []string{
+		"## Table 1", "## Table 2", "## Table 3", "## Table 4", "## Table 5",
+		"## Figure 1", "000 110 000 110 111 001 111 001",
+		"Paper (DAC'99 Table 3)", "**average**",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+	// s298 has paper numbers, s27 does not; the report must handle both.
+	if !strings.Contains(md, "s298") || !strings.Contains(md, "s27") {
+		t.Error("report missing circuits")
+	}
+}

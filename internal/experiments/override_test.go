@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"seqbist/internal/core"
+	"seqbist/internal/vectors"
+)
+
+func TestSettingsForDefaults(t *testing.T) {
+	prof := Profile{
+		Ns:                []int{2, 4},
+		MaxOmissionTrials: 500,
+		ATPGMaxLen:        1000,
+	}
+	ns, trials, atpgMax := prof.settingsFor("s298")
+	if len(ns) != 2 || trials != 500 || atpgMax != 1000 {
+		t.Errorf("defaults not passed through: %v %d %d", ns, trials, atpgMax)
+	}
+}
+
+func TestSettingsForOverrides(t *testing.T) {
+	prof := Profile{
+		Ns:                []int{2, 4},
+		MaxOmissionTrials: 500,
+		ATPGMaxLen:        1000,
+		Overrides: map[string]Override{
+			"big": {Ns: []int{8}, MaxOmissionTrials: 50, ATPGMaxLen: 200},
+			"mid": {MaxOmissionTrials: 100},
+		},
+	}
+	ns, trials, atpgMax := prof.settingsFor("big")
+	if len(ns) != 1 || ns[0] != 8 || trials != 50 || atpgMax != 200 {
+		t.Errorf("big override wrong: %v %d %d", ns, trials, atpgMax)
+	}
+	// Partial override keeps the other defaults.
+	ns, trials, atpgMax = prof.settingsFor("mid")
+	if len(ns) != 2 || trials != 100 || atpgMax != 1000 {
+		t.Errorf("mid override wrong: %v %d %d", ns, trials, atpgMax)
+	}
+	// Unknown circuit falls back entirely.
+	ns, trials, _ = prof.settingsFor("small")
+	if len(ns) != 2 || trials != 500 {
+		t.Errorf("fallback wrong: %v %d", ns, trials)
+	}
+}
+
+func TestFullProfileBoundsLargeCircuits(t *testing.T) {
+	prof := FullProfile()
+	ns, trials, _ := prof.settingsFor("s35932")
+	if len(ns) >= len(prof.Ns) {
+		t.Error("s35932 should run a reduced n sweep")
+	}
+	if trials >= prof.MaxOmissionTrials {
+		t.Error("s35932 should run a reduced omission budget")
+	}
+	// The small circuits keep the full sweep.
+	ns, _, _ = prof.settingsFor("s298")
+	if len(ns) != len(prof.Ns) {
+		t.Error("s298 should keep the full sweep")
+	}
+}
+
+func TestFigure1Degenerate(t *testing.T) {
+	// A run with a length-1 T0 and a single zero-width window must not
+	// divide by zero or overflow the axis.
+	run := &CircuitRun{
+		Name:  "tiny",
+		T0Len: 1,
+		PerN: []NRun{{
+			N: 1,
+			Raw: &core.Result{
+				Set: []core.Selected{{
+					Seq:         vectors.MustParseSequence("0"),
+					TargetFault: 0,
+					UStart:      0,
+					UDet:        0,
+				}},
+			},
+			Set: []core.Selected{{
+				Seq:         vectors.MustParseSequence("0"),
+				TargetFault: 0,
+			}},
+		}},
+	}
+	out := Figure1(run)
+	if !strings.Contains(out, "S1") || !strings.Contains(out, "[0,0]") {
+		t.Errorf("degenerate figure malformed:\n%s", out)
+	}
+}

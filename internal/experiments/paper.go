@@ -1,0 +1,58 @@
+package experiments
+
+// The paper's published results (Pomeranz & Reddy, DAC 1999, Tables 3-5),
+// embedded for side-by-side comparison in reports. Absolute values are
+// not reproduction targets — our T0 generator and (except s27) circuits
+// differ — but the shape is: ratios below 1, max-len ratios near 0.1,
+// and the best-n pattern.
+
+// PaperRow is one circuit's published numbers.
+type PaperRow struct {
+	Circuit   string
+	TotFaults int
+	Detected  int
+	T0Len     int
+	N         int
+	// Before §3.2 compaction.
+	NumSeqs, TotLen, MaxLen int
+	// After §3.2 compaction.
+	NumSeqsAC, TotLenAC, MaxLenAC int
+	// Table 4: normalized run times.
+	NormProc1, NormComp float64
+	// Table 5: ratios and applied test length.
+	TotRatio, MaxRatio float64
+	TestLen            int
+}
+
+// PaperResults is the paper's Tables 3-5, merged per circuit.
+var PaperResults = []PaperRow{
+	{"s298", 308, 265, 117, 16, 7, 42, 17, 4, 27, 17, 30.62, 64.59, 0.23, 0.15, 3456},
+	{"s344", 342, 329, 57, 8, 7, 19, 6, 5, 14, 6, 10.99, 19.16, 0.25, 0.11, 896},
+	{"s382", 399, 364, 516, 16, 9, 337, 94, 5, 272, 94, 308.27, 137.66, 0.53, 0.18, 34816},
+	{"s400", 421, 380, 611, 16, 6, 261, 100, 5, 259, 100, 224.93, 147.31, 0.42, 0.16, 33152},
+	{"s526", 555, 454, 1006, 16, 12, 717, 122, 9, 637, 122, 328.57, 93.67, 0.63, 0.12, 81536},
+	{"s641", 467, 404, 101, 16, 20, 42, 8, 13, 29, 8, 43.76, 62.44, 0.29, 0.08, 3712},
+	{"s820", 850, 814, 491, 4, 54, 534, 15, 45, 454, 15, 83.03, 71.49, 0.92, 0.03, 14528},
+	{"s1196", 1242, 1239, 238, 4, 110, 152, 2, 100, 137, 2, 13.27, 47.14, 0.58, 0.01, 4384},
+	{"s1423", 1515, 1414, 1024, 8, 24, 464, 82, 21, 422, 82, 103.10, 56.45, 0.41, 0.08, 27008},
+	{"s1488", 1486, 1444, 455, 8, 19, 254, 44, 15, 220, 44, 41.16, 77.17, 0.48, 0.10, 14080},
+	{"s5378", 4603, 3639, 646, 8, 43, 348, 29, 38, 326, 29, 9.46, 20.74, 0.50, 0.04, 20864},
+	{"s35932", 39094, 35100, 257, 8, 20, 406, 32, 6, 77, 32, 6.71, 16.08, 0.30, 0.12, 4928},
+}
+
+// PaperAverageTotRatio and PaperAverageMaxRatio are the paper's Table 5
+// bottom-row averages.
+const (
+	PaperAverageTotRatio = 0.46
+	PaperAverageMaxRatio = 0.10
+)
+
+// PaperRowFor returns the published row for a circuit name.
+func PaperRowFor(name string) (PaperRow, bool) {
+	for _, r := range PaperResults {
+		if r.Circuit == name {
+			return r, true
+		}
+	}
+	return PaperRow{}, false
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import "fmt"
+
+// SeedStudyResult reports the spread of the headline ratios across
+// pipeline seeds — Procedure 2's omission order and the ATPG are
+// randomized, so a reproduction should show its variance, not a single
+// lucky draw.
+type SeedStudyResult struct {
+	Circuit   string
+	Seeds     []uint64
+	TotRatios []float64
+	MaxRatios []float64
+}
+
+// Mean returns the mean of xs.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Summary renders mean [min, max] for both ratios.
+func (r *SeedStudyResult) Summary() string {
+	tl, th := minMax(r.TotRatios)
+	ml, mh := minMax(r.MaxRatios)
+	return fmt.Sprintf("%s over %d seeds: tot/T0 %.2f [%.2f, %.2f], max/T0 %.2f [%.2f, %.2f]",
+		r.Circuit, len(r.Seeds),
+		mean(r.TotRatios), tl, th,
+		mean(r.MaxRatios), ml, mh)
+}
+
+// SeedStudy runs the single-circuit pipeline once per seed and collects
+// the best-n ratios.
+func SeedStudy(name string, base Profile, seeds []uint64) (*SeedStudyResult, error) {
+	res := &SeedStudyResult{Circuit: name, Seeds: seeds}
+	for _, seed := range seeds {
+		prof := base
+		prof.Seed = seed
+		run, err := RunCircuit(name, prof)
+		if err != nil {
+			return nil, err
+		}
+		b := run.BestRun()
+		res.TotRatios = append(res.TotRatios, float64(b.After.TotalLen)/float64(run.T0Len))
+		res.MaxRatios = append(res.MaxRatios, float64(b.After.MaxLen)/float64(run.T0Len))
+	}
+	return res, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedStudyS27(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed study skipped in -short mode")
+	}
+	base := Profile{
+		Circuits:          []string{"s27"},
+		Ns:                []int{1, 2},
+		ATPGMaxLen:        300,
+		MaxOmissionTrials: 100,
+	}
+	res, err := SeedStudy("s27", base, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TotRatios) != 3 || len(res.MaxRatios) != 3 {
+		t.Fatalf("ratio counts: %d/%d", len(res.TotRatios), len(res.MaxRatios))
+	}
+	for i := range res.TotRatios {
+		if res.TotRatios[i] <= 0 || res.TotRatios[i] > 1.5 {
+			t.Errorf("seed %d: tot ratio %.2f implausible", res.Seeds[i], res.TotRatios[i])
+		}
+		if res.MaxRatios[i] > res.TotRatios[i] {
+			t.Errorf("seed %d: max ratio exceeds tot ratio", res.Seeds[i])
+		}
+	}
+	if !strings.Contains(res.Summary(), "s27 over 3 seeds") {
+		t.Errorf("summary %q", res.Summary())
+	}
+}
+
+func TestSeedStudyHelpers(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean(nil)")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+	lo, hi := minMax([]float64{3, 1, 2})
+	if lo != 1 || hi != 3 {
+		t.Error("minMax")
+	}
+	lo, hi = minMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("minMax(nil)")
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqbist/internal/expand"
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/iscas"
+	"seqbist/internal/report"
+	"seqbist/internal/vectors"
+)
+
+// S27T0 is the test sequence for s27 printed in the paper's Table 2.
+func S27T0() vectors.Sequence {
+	return vectors.MustParseSequence("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011")
+}
+
+// Table1 reproduces the paper's Table 1: the expansion of S = (000, 110)
+// with n = 2, one row per construction stage.
+func Table1() string {
+	s := vectors.MustParseSequence("000 110")
+	a := expand.Repeat(s, 2)
+	ab := a.Concat(expand.Complement(a))
+	s3 := ab.Concat(expand.ShiftLeftCircular(ab))
+	sexp := s3.Concat(expand.Reverse(s3))
+	t := report.New("Table 1: An example of Sexp (S = 000 110, n = 2)", "stage", "vectors").
+		AlignLeft(0, 1)
+	t.AddRow("S", s.String())
+	t.AddRow("S'exp", a.String())
+	t.AddRow("S''exp", ab.String())
+	t.AddRow("S'''exp", s3.String())
+	t.AddRow("Sexp", sexp.String())
+	return t.String()
+}
+
+// Table2 reproduces the paper's Table 2 on the embedded s27: for every
+// time unit of T0, the input vector and the faults first detected there.
+func Table2() string {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	t0 := S27T0()
+	res := fsim.Run(c, fl, t0)
+	t := report.New("Table 2: A test sequence for s27", "u", "T0[u]", "detected faults").
+		AlignLeft(1, 2)
+	for u := 0; u < t0.Len(); u++ {
+		var names []string
+		for i := range fl {
+			if res.DetTime[i] == u {
+				names = append(names, fmt.Sprintf("f%d", i))
+			}
+		}
+		t.AddRow(report.Itoa(u), t0[u].String(), strings.Join(names, " "))
+	}
+	return t.String()
+}
+
+// Table3 renders the paper's Table 3 layout over the measured runs:
+// faults (total/detected), |T0|, n, and |S| / total length / max length
+// before and after §3.2 compaction.
+func Table3(runs []*CircuitRun) string {
+	t := report.New("Table 3: Experimental results",
+		"circuit", "tot", "det", "orig len", "n",
+		"|S|", "tot len", "max len",
+		"|S| ac", "tot len ac", "max len ac").
+		AlignLeft(0)
+	for _, r := range runs {
+		b := r.BestRun()
+		t.AddRow(r.Name,
+			report.Itoa(r.TotalFaults), report.Itoa(r.DetectedByT0),
+			report.Itoa(r.T0Len), report.Itoa(b.N),
+			report.Itoa(b.Before.NumSequences), report.Itoa(b.Before.TotalLen), report.Itoa(b.Before.MaxLen),
+			report.Itoa(b.After.NumSequences), report.Itoa(b.After.TotalLen), report.Itoa(b.After.MaxLen))
+	}
+	return t.String()
+}
+
+// Table4 renders the paper's Table 4: Procedure 1 and compaction run
+// times normalized by the time to fault-simulate T0.
+func Table4(runs []*CircuitRun) string {
+	t := report.New("Table 4: Normalized run times", "circuit", "Proc.1", "comp.").
+		AlignLeft(0)
+	for _, r := range runs {
+		t.AddRow(r.Name, report.Fixed(r.NormProc1()), report.Fixed(r.NormComp()))
+	}
+	return t.String()
+}
+
+// Table5 renders the paper's Table 5: stored-length ratios against |T0|
+// and the total applied test length, with the average ratios in the last
+// row (the paper's headline numbers are 0.46 and 0.10).
+func Table5(runs []*CircuitRun) string {
+	t := report.New("Table 5: Comparison with T0",
+		"circuit", "orig len", "n", "|S|",
+		"tot len", "tot/T0", "max len", "max/T0", "test len").
+		AlignLeft(0)
+	for _, r := range runs {
+		b := r.BestRun()
+		t.AddRow(r.Name,
+			report.Itoa(r.T0Len), report.Itoa(b.N), report.Itoa(b.After.NumSequences),
+			report.Itoa(b.After.TotalLen), report.Ratio(float64(b.After.TotalLen)/float64(r.T0Len)),
+			report.Itoa(b.After.MaxLen), report.Ratio(float64(b.After.MaxLen)/float64(r.T0Len)),
+			report.Itoa(r.TestLen()))
+	}
+	tot, max := AverageRatios(runs)
+	t.AddRow("average", "", "", "", "", report.Ratio(tot), "", report.Ratio(max), "")
+	return t.String()
+}
+
+// Figure1 renders the paper's Figure 1 as an ASCII window map: T0 as a
+// scaled axis and each selected subsequence drawn over the region
+// [ustart, udet] it was extracted from. Sequences dropped by compaction
+// are marked with '.' instead of '='.
+func Figure1(r *CircuitRun) string {
+	const width = 64
+	b := r.BestRun()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1: subsequences of T0 selected for %s (n=%d, |T0|=%d)\n",
+		r.Name, b.N, r.T0Len)
+	sb.WriteString("T0  |" + strings.Repeat("-", width) + "|\n")
+
+	kept := make(map[int]bool, len(b.Set))
+	for _, s := range b.Set {
+		kept[s.TargetFault] = true
+	}
+	scale := func(u int) int {
+		if r.T0Len <= 1 {
+			return 0
+		}
+		p := u * (width - 1) / (r.T0Len - 1)
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	// Draw in generation order so the figure reads like the paper's
+	// S1, S2, S3 sketch.
+	seqs := b.Raw.Set
+	sorted := make([]int, len(seqs))
+	for i := range sorted {
+		sorted[i] = i
+	}
+	sort.SliceStable(sorted, func(a, c int) bool {
+		return seqs[sorted[a]].UStart < seqs[sorted[c]].UStart
+	})
+	for idx, si := range sorted {
+		s := seqs[si]
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		lo, hi := scale(s.UStart), scale(s.UDet)
+		mark := byte('=')
+		status := "kept"
+		if !kept[s.TargetFault] {
+			mark = '.'
+			status = "dropped"
+		}
+		for i := lo; i <= hi; i++ {
+			line[i] = mark
+		}
+		fmt.Fprintf(&sb, "S%-2d |%s| [%d,%d] len %d (%s)\n",
+			idx+1, line, s.UStart, s.UDet, s.Seq.Len(), status)
+	}
+	return sb.String()
+}
+
+// CoverageCheck verifies, for every run, that the compacted selected set
+// re-detects every fault T0 detects; it returns a non-empty diagnostic
+// per violation (expected empty).
+func CoverageCheck(runs []*CircuitRun) []string {
+	var problems []string
+	for _, r := range runs {
+		c, err := iscas.Load(r.Name)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", r.Name, err))
+			continue
+		}
+		fl := faults.CollapsedUniverse(c)
+		for _, nr := range r.PerN {
+			cfg := coreConfigFor(nr.N)
+			if missed := coreVerify(c, fl, nr, cfg); missed > 0 {
+				problems = append(problems,
+					fmt.Sprintf("%s n=%d: %d faults lost", r.Name, nr.N, missed))
+			}
+		}
+	}
+	return problems
+}

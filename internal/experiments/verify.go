@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"seqbist/internal/core"
+	"seqbist/internal/faults"
+	"seqbist/internal/netlist"
+)
+
+// coreConfigFor returns the Config used only for re-verification (the
+// seed does not matter for VerifyCoverage).
+func coreConfigFor(n int) core.Config { return core.DefaultConfig(n) }
+
+// coreVerify returns the number of target faults the compacted set of nr
+// fails to detect (expected 0).
+func coreVerify(c *netlist.Circuit, fl []faults.Fault, nr NRun, cfg core.Config) int {
+	return len(core.VerifyCoverage(c, fl, nr.Raw, nr.Set, cfg))
+}

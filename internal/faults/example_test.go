@@ -1,0 +1,20 @@
+package faults_test
+
+import (
+	"fmt"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+)
+
+// The s27 fault universe: 52 structural sites collapse to the paper's 32
+// equivalence-class representatives.
+func ExampleCollapse() {
+	c := iscas.S27()
+	res := faults.Collapse(c)
+	fmt.Println("universe:", len(faults.Universe(c)))
+	fmt.Println("collapsed:", len(res.Representatives))
+	// Output:
+	// universe: 52
+	// collapsed: 32
+}

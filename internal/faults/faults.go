@@ -1,0 +1,220 @@
+// Package faults defines the single-stuck-at fault model over gate-level
+// circuits: the fault universe (stem and fanout-branch faults) and
+// structural equivalence collapsing.
+//
+// Fault sites follow the classical convention used by the ISCAS
+// benchmarks:
+//
+//   - every signal (primary input, flip-flop output, gate output) has a
+//     stem stuck-at-0 and stuck-at-1 fault;
+//   - every gate or flip-flop input pin fed by a signal with fanout > 1 is
+//     a separate branch fault site with its own stuck-at-0/1 faults
+//     (primary-output observation points are not branch sites);
+//   - when a signal has fanout 1, its single branch is the same line as
+//     the stem and is not enumerated separately.
+//
+// Equivalence collapsing merges structurally equivalent faults: faults on
+// the controlling input value of AND/NAND (stuck-at-0) and OR/NOR
+// (stuck-at-1) gates with the corresponding output fault, and NOT/BUF
+// input faults with the matching output fault. Collapsing never crosses a
+// flip-flop (a time-frame boundary). For s27 this produces the 32
+// collapsed faults enumerated in the paper's Table 2.
+package faults
+
+import (
+	"fmt"
+
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+)
+
+// StemConsumer marks a Fault as a stem fault in its Consumer field.
+const StemConsumer int32 = -1
+
+// Fault is a single stuck-at fault. Signal identifies the stem; Consumer
+// is StemConsumer for the stem fault or the index into
+// Circuit.Consumers(Signal) identifying the branch pin; Stuck is
+// logic.Zero or logic.One.
+type Fault struct {
+	Signal   netlist.SignalID
+	Consumer int32
+	Stuck    logic.Value
+}
+
+// IsStem reports whether f is a stem fault.
+func (f Fault) IsStem() bool { return f.Consumer == StemConsumer }
+
+// Name renders the fault in the conventional "line stuck-at-v" notation,
+// e.g. "G8 SA0" for a stem or "G8->G15.1 SA1" for the branch feeding input
+// pin 1 of the gate driving G15.
+func (f Fault) Name(c *netlist.Circuit) string {
+	sa := "SA0"
+	if f.Stuck == logic.One {
+		sa = "SA1"
+	}
+	if f.IsStem() {
+		return fmt.Sprintf("%s %s", c.NameOf(f.Signal), sa)
+	}
+	con := c.Consumers(f.Signal)[f.Consumer]
+	switch con.Kind {
+	case netlist.ConsumerGate:
+		g := c.Gates[con.Index]
+		return fmt.Sprintf("%s->%s.%d %s", c.NameOf(f.Signal), c.NameOf(g.Out), con.Pin, sa)
+	case netlist.ConsumerDFF:
+		ff := c.DFFs[con.Index]
+		return fmt.Sprintf("%s->%s.D %s", c.NameOf(f.Signal), c.NameOf(ff.Q), sa)
+	default:
+		return fmt.Sprintf("%s->PO%d %s", c.NameOf(f.Signal), con.Index, sa)
+	}
+}
+
+// Universe enumerates the uncollapsed stuck-at fault list of c in a
+// deterministic order: for each signal in id order, stem SA0 then SA1,
+// then branch faults in consumer order.
+func Universe(c *netlist.Circuit) []Fault {
+	var out []Fault
+	for id := 0; id < c.NumSignals(); id++ {
+		sig := netlist.SignalID(id)
+		out = append(out,
+			Fault{Signal: sig, Consumer: StemConsumer, Stuck: logic.Zero},
+			Fault{Signal: sig, Consumer: StemConsumer, Stuck: logic.One},
+		)
+		if c.FanoutCount(sig) <= 1 {
+			continue
+		}
+		for ci, con := range c.Consumers(sig) {
+			if con.Kind == netlist.ConsumerPO {
+				continue
+			}
+			out = append(out,
+				Fault{Signal: sig, Consumer: int32(ci), Stuck: logic.Zero},
+				Fault{Signal: sig, Consumer: int32(ci), Stuck: logic.One},
+			)
+		}
+	}
+	return out
+}
+
+// CollapseResult describes the outcome of equivalence collapsing.
+type CollapseResult struct {
+	// Representatives is the collapsed fault list, one fault per
+	// equivalence class, in deterministic order.
+	Representatives []Fault
+	// ClassOf maps each index of the input universe to the index of its
+	// class representative in Representatives.
+	ClassOf []int
+	// ClassSize[i] is the number of universe faults represented by
+	// Representatives[i].
+	ClassSize []int
+}
+
+// Collapse performs structural equivalence collapsing of the fault
+// universe of c.
+func Collapse(c *netlist.Circuit) CollapseResult {
+	universe := Universe(c)
+	index := make(map[Fault]int, len(universe))
+	for i, f := range universe {
+		index[f] = i
+	}
+	parent := make([]int, len(universe))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Merge into the smaller index so representatives are
+			// deterministic and biased toward earlier (stem) sites.
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+
+	// inputSite returns the universe fault index for a stuck-at v fault on
+	// input pin `pin` of gate gi: the branch fault when the driving signal
+	// has fanout > 1, otherwise the driving signal's stem fault.
+	inputSite := func(gi, pin int, v logic.Value) (int, bool) {
+		sig := c.Gates[gi].In[pin]
+		if c.FanoutCount(sig) > 1 {
+			for ci, con := range c.Consumers(sig) {
+				if con.Kind == netlist.ConsumerGate && int(con.Index) == gi && int(con.Pin) == pin {
+					i, ok := index[Fault{Signal: sig, Consumer: int32(ci), Stuck: v}]
+					return i, ok
+				}
+			}
+			return 0, false
+		}
+		i, ok := index[Fault{Signal: sig, Consumer: StemConsumer, Stuck: v}]
+		return i, ok
+	}
+	stemSite := func(sig netlist.SignalID, v logic.Value) int {
+		return index[Fault{Signal: sig, Consumer: StemConsumer, Stuck: v}]
+	}
+
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		switch g.Type {
+		case netlist.Buf, netlist.Not:
+			outV := [2]logic.Value{logic.Zero, logic.One}
+			for _, v := range outV {
+				ov := v
+				if g.Type == netlist.Not {
+					ov = v.Not()
+				}
+				if in, ok := inputSite(gi, 0, v); ok {
+					union(in, stemSite(g.Out, ov))
+				}
+			}
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			bit, _ := g.Type.ControllingValue()
+			cv := logic.FromBit(bit)
+			// Output fault equivalent to a controlling input: the
+			// controlled output value, inverted for NAND/NOR.
+			ov := cv
+			if g.Type == netlist.Nand || g.Type == netlist.Nor {
+				ov = cv.Not()
+			}
+			outIdx := stemSite(g.Out, ov)
+			for pin := range g.In {
+				if in, ok := inputSite(gi, pin, cv); ok {
+					union(in, outIdx)
+				}
+			}
+		case netlist.Xor, netlist.Xnor:
+			// No structural equivalences.
+		}
+	}
+
+	// Gather classes.
+	repIndex := make(map[int]int) // root -> representative position
+	res := CollapseResult{ClassOf: make([]int, len(universe))}
+	for i := range universe {
+		root := find(i)
+		pos, ok := repIndex[root]
+		if !ok {
+			pos = len(res.Representatives)
+			repIndex[root] = pos
+			res.Representatives = append(res.Representatives, universe[root])
+			res.ClassSize = append(res.ClassSize, 0)
+		}
+		res.ClassOf[i] = pos
+		res.ClassSize[pos]++
+	}
+	return res
+}
+
+// CollapsedUniverse returns just the collapsed fault list of c.
+func CollapsedUniverse(c *netlist.Circuit) []Fault {
+	return Collapse(c).Representatives
+}

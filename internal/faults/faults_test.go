@@ -1,0 +1,262 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"seqbist/internal/bench"
+	"seqbist/internal/iscas"
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+)
+
+func TestS27UniverseSize(t *testing.T) {
+	c := iscas.S27()
+	u := Universe(c)
+	// 17 signals x 2 stem faults = 34, plus branch faults on the
+	// fanout signals G8(2), G11(3), G12(2), G14(2): 9 branches x 2 = 18.
+	if len(u) != 52 {
+		t.Errorf("s27 universe = %d faults, want 52", len(u))
+	}
+}
+
+// TestS27CollapsedCount is a keystone test: the paper's Table 2 enumerates
+// exactly 32 collapsed faults (f0..f31) for s27.
+func TestS27CollapsedCount(t *testing.T) {
+	c := iscas.S27()
+	res := Collapse(c)
+	if got := len(res.Representatives); got != 32 {
+		for i, f := range res.Representatives {
+			t.Logf("rep %d: %s (class size %d)", i, f.Name(c), res.ClassSize[i])
+		}
+		t.Fatalf("s27 collapsed = %d faults, want 32", got)
+	}
+}
+
+func TestClassPartitionInvariants(t *testing.T) {
+	c := iscas.S27()
+	u := Universe(c)
+	res := Collapse(c)
+	if len(res.ClassOf) != len(u) {
+		t.Fatalf("ClassOf length %d, want %d", len(res.ClassOf), len(u))
+	}
+	total := 0
+	for _, s := range res.ClassSize {
+		if s < 1 {
+			t.Error("empty equivalence class")
+		}
+		total += s
+	}
+	if total != len(u) {
+		t.Errorf("class sizes sum to %d, want %d", total, len(u))
+	}
+	for i, cls := range res.ClassOf {
+		if cls < 0 || cls >= len(res.Representatives) {
+			t.Fatalf("fault %d maps to class %d out of range", i, cls)
+		}
+	}
+	// Every representative's own class must contain it.
+	for ri, rep := range res.Representatives {
+		found := false
+		for i, f := range u {
+			if f == rep && res.ClassOf[i] == ri {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("representative %s not in its own class", rep.Name(c))
+		}
+	}
+}
+
+func TestKnownEquivalencesS27(t *testing.T) {
+	// In s27, G8 = AND(G14, G6): G6 has fanout 1, so "G6 SA0" must be
+	// equivalent to "G8 SA0". G9 = NAND(G16, G15): "G16 SA0" and
+	// "G15 SA0" must both be equivalent to "G9 SA1"; and G11 =
+	// NOR(G5, G9) chains "G9 SA1" with "G5 SA1" and "G11 SA0".
+	c := iscas.S27()
+	u := Universe(c)
+	res := Collapse(c)
+	classOf := func(name string, v logic.Value) int {
+		t.Helper()
+		id, ok := c.SignalByName(name)
+		if !ok {
+			t.Fatalf("no signal %s", name)
+		}
+		for i, f := range u {
+			if f.Signal == id && f.IsStem() && f.Stuck == v {
+				return res.ClassOf[i]
+			}
+		}
+		t.Fatalf("stem fault %s not in universe", name)
+		return -1
+	}
+	if classOf("G6", logic.Zero) != classOf("G8", logic.Zero) {
+		t.Error("G6 SA0 not equivalent to G8 SA0 through AND gate")
+	}
+	g9sa1 := classOf("G9", logic.One)
+	for _, n := range []string{"G16", "G15"} {
+		if classOf(n, logic.Zero) != g9sa1 {
+			t.Errorf("%s SA0 not equivalent to G9 SA1 through NAND gate", n)
+		}
+	}
+	if classOf("G5", logic.One) != g9sa1 || classOf("G11", logic.Zero) != g9sa1 {
+		t.Error("NOR G11 chain (G5 SA1, G9 SA1, G11 SA0) not merged")
+	}
+	// Non-equivalences: opposite polarities stay separate.
+	if classOf("G8", logic.Zero) == classOf("G8", logic.One) {
+		t.Error("G8 SA0 and SA1 collapsed together")
+	}
+}
+
+func TestBranchFaultsNotMergedThroughFanout(t *testing.T) {
+	// G14 feeds G8 (AND) and G10 (NOR). The branch fault G14->G8 SA0 is
+	// equivalent to G8 SA0, but the stem fault G14 SA0 must stay distinct
+	// from it (a stem fault affects both branches).
+	c := iscas.S27()
+	u := Universe(c)
+	res := Collapse(c)
+	var stemClass, branchClass = -1, -1
+	g14, _ := c.SignalByName("G14")
+	g8, _ := c.SignalByName("G8")
+	for i, f := range u {
+		if f.Signal == g14 && f.Stuck == logic.Zero {
+			if f.IsStem() {
+				stemClass = res.ClassOf[i]
+			} else {
+				con := c.Consumers(g14)[f.Consumer]
+				if con.Kind == netlist.ConsumerGate && c.Gates[con.Index].Out == g8 {
+					branchClass = res.ClassOf[i]
+				}
+			}
+		}
+	}
+	if stemClass < 0 || branchClass < 0 {
+		t.Fatal("missing G14 faults")
+	}
+	if stemClass == branchClass {
+		t.Error("G14 stem SA0 merged with its branch fault")
+	}
+}
+
+func TestNoCollapsingAcrossDFF(t *testing.T) {
+	// q = DFF(d): d SA0 and q SA0 are different time frames and must not
+	// be merged.
+	src := `
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = BUFF(a)
+y = BUFF(q)
+`
+	c, err := bench.ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Universe(c)
+	res := Collapse(c)
+	d, _ := c.SignalByName("d")
+	q, _ := c.SignalByName("q")
+	var dc, qc = -1, -1
+	for i, f := range u {
+		if f.IsStem() && f.Stuck == logic.Zero {
+			switch f.Signal {
+			case d:
+				dc = res.ClassOf[i]
+			case q:
+				qc = res.ClassOf[i]
+			}
+		}
+	}
+	if dc == qc {
+		t.Error("faults collapsed across a flip-flop boundary")
+	}
+}
+
+func TestXorGateNotCollapsed(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+`
+	c, err := bench.ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Collapse(c)
+	// 3 signals x 2 = 6 stem faults, no fanout, no equivalences.
+	if len(res.Representatives) != 6 {
+		t.Errorf("XOR circuit collapsed to %d faults, want 6", len(res.Representatives))
+	}
+}
+
+func TestNotChainCollapse(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+n1 = NOT(a)
+y = NOT(n1)
+`
+	c, err := bench.ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Collapse(c)
+	// a SA0 == n1 SA1 == y SA0; a SA1 == n1 SA0 == y SA1: 2 classes.
+	if len(res.Representatives) != 2 {
+		t.Errorf("inverter chain collapsed to %d, want 2", len(res.Representatives))
+	}
+}
+
+func TestFaultNames(t *testing.T) {
+	c := iscas.S27()
+	u := Universe(c)
+	sawStem, sawBranch := false, false
+	for _, f := range u {
+		n := f.Name(c)
+		if f.IsStem() {
+			sawStem = true
+			if strings.Contains(n, "->") {
+				t.Errorf("stem fault named %q", n)
+			}
+		} else {
+			sawBranch = true
+			if !strings.Contains(n, "->") {
+				t.Errorf("branch fault named %q", n)
+			}
+		}
+		if !strings.Contains(n, "SA0") && !strings.Contains(n, "SA1") {
+			t.Errorf("fault name %q missing polarity", n)
+		}
+	}
+	if !sawStem || !sawBranch {
+		t.Error("universe missing stem or branch faults")
+	}
+}
+
+func TestUniverseDeterministic(t *testing.T) {
+	c := iscas.S27()
+	a, b := Universe(c), Universe(c)
+	if len(a) != len(b) {
+		t.Fatal("universe size varies")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("universe differs at %d", i)
+		}
+	}
+}
+
+func TestCollapsedUniverseSynthetic(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	u := Universe(c)
+	col := CollapsedUniverse(c)
+	if len(col) >= len(u) {
+		t.Errorf("collapse did not reduce: %d >= %d", len(col), len(u))
+	}
+	if len(col) < len(u)/3 {
+		t.Errorf("collapse suspiciously aggressive: %d of %d", len(col), len(u))
+	}
+}

@@ -1,0 +1,528 @@
+// Package fsim implements sequential stuck-at fault simulation.
+//
+// Two engines are provided:
+//
+//   - Incremental (and the convenience Run): a parallel-fault simulator
+//     packing 64 faulty machines per pass into logic.Word lanes, with
+//     fault dropping and first-detection-time recording. Incremental can
+//     carry machine state across calls, which the ATPG substrate uses to
+//     evaluate candidate subsequences cheaply from the current state.
+//   - Single: a two-machine scalar simulator for one fault with early
+//     exit on detection. Procedure 2 of the paper calls this in its inner
+//     loop thousands of times, so it is allocation-free after creation.
+//
+// Detection semantics are the classical pessimistic three-valued rule,
+// matching the paper's fault simulator: a fault is detected at time unit u
+// when some primary output has a definite binary fault-free value and the
+// definite opposite value in the faulty machine; X never detects. Both
+// machines start in the all-unknown state ("the circuit state is unknown
+// before the application of each expanded sequence").
+package fsim
+
+import (
+	"math/bits"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+	"seqbist/internal/sim"
+	"seqbist/internal/vectors"
+)
+
+// Undetected is the detection time reported for faults a sequence does not
+// detect.
+const Undetected = -1
+
+// Result reports the outcome of fault-simulating a sequence.
+type Result struct {
+	// Detected[i] reports whether fault i of the input list was detected.
+	Detected []bool
+	// DetTime[i] is the first time unit at which fault i was detected, or
+	// Undetected.
+	DetTime []int
+	// NumDetected counts the detected faults.
+	NumDetected int
+}
+
+// Coverage returns the fraction of faults detected.
+func (r Result) Coverage() float64 {
+	if len(r.Detected) == 0 {
+		return 0
+	}
+	return float64(r.NumDetected) / float64(len(r.Detected))
+}
+
+// Run fault-simulates seq from the all-unknown state against the given
+// fault list and returns per-fault detection results.
+func Run(c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence) Result {
+	inc := NewIncremental(c, fl)
+	// Chunked extension with early exit: once every fault is detected the
+	// rest of the sequence cannot change the Result.
+	const chunk = 32
+	for start := 0; start < len(seq); start += chunk {
+		if inc.NumDetected() == len(fl) {
+			break
+		}
+		end := start + chunk
+		if end > len(seq) {
+			end = len(seq)
+		}
+		inc.Extend(seq[start:end])
+	}
+	return inc.Result()
+}
+
+// group is one batch of up to 64 faults simulated bit-parallel.
+type group struct {
+	fault []int // indices into the fault list, one per lane
+	alive uint64
+
+	// Injection plan. stemTouched lists signals with stem forcing;
+	// stem0/stem1 are indexed by signal.
+	stemTouched []netlist.SignalID
+	branchGates []int32 // gates with branch-forced pins
+	dffTouched  []int32
+
+	state []logic.Word // per DFF
+}
+
+// Incremental is a parallel-fault simulator that retains machine state
+// between calls.
+type Incremental struct {
+	c  *netlist.Circuit
+	fl []faults.Fault
+
+	good      *sim.Simulator
+	goodState []logic.Value
+	goodPO    []logic.Value
+
+	groups []group
+
+	// Per-signal/gate/dff forcing masks, shared across groups and
+	// repopulated per group during simulation passes.
+	stem0, stem1 []uint64
+	branchAt     [][]pinForce // per gate
+	dff0, dff1   []uint64     // per DFF
+
+	words []logic.Word // per-signal scratch
+
+	detected []bool
+	detTime  []int
+	numDet   int
+	now      int // absolute time units simulated so far
+}
+
+type pinForce struct {
+	pin    int32
+	m0, m1 uint64
+}
+
+// NewIncremental prepares a simulator for the given circuit and fault
+// list. The initial state of every machine is all-unknown.
+func NewIncremental(c *netlist.Circuit, fl []faults.Fault) *Incremental {
+	inc := &Incremental{
+		c:        c,
+		fl:       fl,
+		good:     sim.New(c),
+		goodPO:   make([]logic.Value, c.NumPOs()),
+		stem0:    make([]uint64, c.NumSignals()),
+		stem1:    make([]uint64, c.NumSignals()),
+		branchAt: make([][]pinForce, c.NumGates()),
+		dff0:     make([]uint64, c.NumDFFs()),
+		dff1:     make([]uint64, c.NumDFFs()),
+		words:    make([]logic.Word, c.NumSignals()),
+		detected: make([]bool, len(fl)),
+		detTime:  make([]int, len(fl)),
+	}
+	inc.goodState = inc.good.InitialState()
+	for i := range inc.detTime {
+		inc.detTime[i] = Undetected
+	}
+	for start := 0; start < len(fl); start += 64 {
+		end := start + 64
+		if end > len(fl) {
+			end = len(fl)
+		}
+		g := group{state: make([]logic.Word, c.NumDFFs())}
+		for i := range g.state {
+			g.state[i] = logic.AllX()
+		}
+		for i := start; i < end; i++ {
+			g.fault = append(g.fault, i)
+		}
+		g.alive = ^uint64(0)
+		if n := end - start; n < 64 {
+			g.alive = (uint64(1) << uint(n)) - 1
+		}
+		inc.buildPlan(&g)
+		inc.groups = append(inc.groups, g)
+	}
+	return inc
+}
+
+// buildPlan records which signals/pins each lane's fault forces.
+func (inc *Incremental) buildPlan(g *group) {
+	c := inc.c
+	seenStem := make(map[netlist.SignalID]bool)
+	seenGate := make(map[int32]bool)
+	seenDFF := make(map[int32]bool)
+	for lane, fi := range g.fault {
+		f := inc.fl[fi]
+		if f.IsStem() {
+			if !seenStem[f.Signal] {
+				seenStem[f.Signal] = true
+				g.stemTouched = append(g.stemTouched, f.Signal)
+			}
+			continue
+		}
+		con := c.Consumers(f.Signal)[f.Consumer]
+		switch con.Kind {
+		case netlist.ConsumerGate:
+			if !seenGate[con.Index] {
+				seenGate[con.Index] = true
+				g.branchGates = append(g.branchGates, con.Index)
+			}
+		case netlist.ConsumerDFF:
+			if !seenDFF[con.Index] {
+				seenDFF[con.Index] = true
+				g.dffTouched = append(g.dffTouched, con.Index)
+			}
+		}
+		_ = lane
+	}
+}
+
+// loadPlan populates the forcing-mask arrays for g. The arrays are shared
+// across groups, so unloadPlan must clear them afterwards.
+func (inc *Incremental) loadPlan(g *group) {
+	c := inc.c
+	for lane, fi := range g.fault {
+		f := inc.fl[fi]
+		mask := uint64(1) << uint(lane)
+		if f.IsStem() {
+			if f.Stuck == logic.Zero {
+				inc.stem0[f.Signal] |= mask
+			} else {
+				inc.stem1[f.Signal] |= mask
+			}
+			continue
+		}
+		con := c.Consumers(f.Signal)[f.Consumer]
+		switch con.Kind {
+		case netlist.ConsumerGate:
+			var m0, m1 uint64
+			if f.Stuck == logic.Zero {
+				m0 = mask
+			} else {
+				m1 = mask
+			}
+			merged := false
+			for i := range inc.branchAt[con.Index] {
+				pf := &inc.branchAt[con.Index][i]
+				if pf.pin == con.Pin {
+					pf.m0 |= m0
+					pf.m1 |= m1
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				inc.branchAt[con.Index] = append(inc.branchAt[con.Index],
+					pinForce{pin: con.Pin, m0: m0, m1: m1})
+			}
+		case netlist.ConsumerDFF:
+			if f.Stuck == logic.Zero {
+				inc.dff0[con.Index] |= mask
+			} else {
+				inc.dff1[con.Index] |= mask
+			}
+		}
+	}
+}
+
+func (inc *Incremental) unloadPlan(g *group) {
+	for _, sig := range g.stemTouched {
+		inc.stem0[sig] = 0
+		inc.stem1[sig] = 0
+	}
+	for _, gi := range g.branchGates {
+		inc.branchAt[gi] = inc.branchAt[gi][:0]
+	}
+	for _, di := range g.dffTouched {
+		inc.dff0[di] = 0
+		inc.dff1[di] = 0
+	}
+}
+
+func forceWord(w logic.Word, m0, m1 uint64) logic.Word {
+	if m0 != 0 {
+		w = w.ForceValue(m0, logic.Zero)
+	}
+	if m1 != 0 {
+		w = w.ForceValue(m1, logic.One)
+	}
+	return w
+}
+
+// Extend simulates the vectors of seq (continuing from the current state),
+// commits the resulting machine states, and returns the indices of newly
+// detected faults. Detected faults are dropped from future simulation.
+func (inc *Incremental) Extend(seq vectors.Sequence) []int {
+	var newly []int
+	for _, vec := range seq {
+		// Advance the good machine one step.
+		inc.good.Step(inc.goodState, vec, inc.goodPO)
+		goodVals := inc.good.Values()
+		for gi := range inc.groups {
+			g := &inc.groups[gi]
+			if g.alive == 0 {
+				continue
+			}
+			inc.loadPlan(g)
+			det := inc.stepGroup(g, vec, goodVals, g.state)
+			inc.unloadPlan(g)
+			for det != 0 {
+				lane := trailingZeros(det)
+				det &^= 1 << uint(lane)
+				fi := g.fault[lane]
+				inc.detected[fi] = true
+				inc.detTime[fi] = inc.now
+				inc.numDet++
+				newly = append(newly, fi)
+				g.alive &^= 1 << uint(lane)
+			}
+		}
+		inc.now++
+	}
+	return newly
+}
+
+// Peek simulates seq from the current state without committing any state
+// or detection bookkeeping, and returns the indices of live faults that
+// seq would newly detect.
+func (inc *Incremental) Peek(seq vectors.Sequence) []int {
+	newly, _ := inc.Evaluate(seq)
+	return newly
+}
+
+// Evaluate is Peek plus a search heuristic: divergence counts the live
+// undetected faults whose machine state, after seq, definitely differs
+// from the fault-free state in at least one flip-flop. Simulation-based
+// test generators (the GA fitness of STRATEGATE and relatives) use this
+// as a secondary objective — a candidate that drives fault effects into
+// the state brings those faults closer to detection even when it detects
+// nothing itself.
+func (inc *Incremental) Evaluate(seq vectors.Sequence) (newly []int, divergence int) {
+	goodState := make([]logic.Value, len(inc.goodState))
+	copy(goodState, inc.goodState)
+	goodPO := make([]logic.Value, inc.c.NumPOs())
+	scratch := make([]logic.Word, inc.c.NumDFFs())
+	peekSim := sim.New(inc.c)
+
+	// Per-group simulation over the whole candidate, so plans are loaded
+	// once per group rather than once per group per vector. The good
+	// machine trace is computed first.
+	goodValsByTime := make([][]logic.Value, len(seq))
+	for u, vec := range seq {
+		peekSim.Step(goodState, vec, goodPO)
+		vals := peekSim.Values()
+		snapshot := make([]logic.Value, len(vals))
+		copy(snapshot, vals)
+		goodValsByTime[u] = snapshot
+	}
+
+	for gi := range inc.groups {
+		g := &inc.groups[gi]
+		if g.alive == 0 {
+			continue
+		}
+		copy(scratch, g.state)
+		alive := g.alive
+		detAll := uint64(0)
+		inc.loadPlan(g)
+		steps := 0
+		for u, vec := range seq {
+			det := inc.stepGroup(g, vec, goodValsByTime[u], scratch) & alive &^ detAll
+			detAll |= det
+			steps = u + 1
+			if alive&^detAll == 0 {
+				break
+			}
+		}
+		inc.unloadPlan(g)
+		// Divergence: undetected live lanes whose state definitely
+		// differs from the fault-free state after the last simulated
+		// vector.
+		if steps == len(seq) && len(seq) > 0 {
+			var diverged uint64
+			goodFinal := goodValsByTime[len(seq)-1]
+			for di, ff := range inc.c.DFFs {
+				switch goodFinal[ff.D] {
+				case logic.Zero:
+					diverged |= scratch[di].DefiniteOne()
+				case logic.One:
+					diverged |= scratch[di].DefiniteZero()
+				}
+			}
+			divergence += popcount(diverged & alive &^ detAll)
+		}
+		for detAll != 0 {
+			lane := trailingZeros(detAll)
+			detAll &^= 1 << uint(lane)
+			newly = append(newly, g.fault[lane])
+		}
+	}
+	return newly, divergence
+}
+
+// popcount returns the number of set bits in x.
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// stepGroup evaluates one time unit for group g using the given flip-flop
+// state words (updated in place) and returns the mask of lanes detected at
+// a primary output this cycle. Forcing plans must already be loaded.
+func (inc *Incremental) stepGroup(g *group, vec vectors.Vector, goodVals []logic.Value, state []logic.Word) uint64 {
+	c := inc.c
+	words := inc.words
+	for i, pi := range c.PIs {
+		w := logic.Broadcast(vec[i])
+		if m0, m1 := inc.stem0[pi], inc.stem1[pi]; m0|m1 != 0 {
+			w = forceWord(w, m0, m1)
+		}
+		words[pi] = w
+	}
+	for i, ff := range c.DFFs {
+		w := state[i]
+		if m0, m1 := inc.stem0[ff.Q], inc.stem1[ff.Q]; m0|m1 != 0 {
+			w = forceWord(w, m0, m1)
+		}
+		words[ff.Q] = w
+	}
+	for gi := range c.Gates {
+		gate := &c.Gates[gi]
+		var v logic.Word
+		if bf := inc.branchAt[gi]; len(bf) != 0 {
+			v = inc.evalForced(gate, bf)
+		} else {
+			v = words[gate.In[0]]
+			switch gate.Type {
+			case netlist.Buf:
+			case netlist.Not:
+				v = v.Not()
+			case netlist.And:
+				for _, in := range gate.In[1:] {
+					v = v.And(words[in])
+				}
+			case netlist.Nand:
+				for _, in := range gate.In[1:] {
+					v = v.And(words[in])
+				}
+				v = v.Not()
+			case netlist.Or:
+				for _, in := range gate.In[1:] {
+					v = v.Or(words[in])
+				}
+			case netlist.Nor:
+				for _, in := range gate.In[1:] {
+					v = v.Or(words[in])
+				}
+				v = v.Not()
+			case netlist.Xor:
+				for _, in := range gate.In[1:] {
+					v = v.Xor(words[in])
+				}
+			case netlist.Xnor:
+				for _, in := range gate.In[1:] {
+					v = v.Xor(words[in])
+				}
+				v = v.Not()
+			}
+		}
+		if m0, m1 := inc.stem0[gate.Out], inc.stem1[gate.Out]; m0|m1 != 0 {
+			v = forceWord(v, m0, m1)
+		}
+		words[gate.Out] = v
+	}
+	// Detection at primary outputs.
+	var det uint64
+	for _, po := range c.POs {
+		switch goodVals[po] {
+		case logic.Zero:
+			det |= words[po].DefiniteOne()
+		case logic.One:
+			det |= words[po].DefiniteZero()
+		}
+	}
+	// Capture next state.
+	for i, ff := range c.DFFs {
+		w := words[ff.D]
+		if m0, m1 := inc.dff0[i], inc.dff1[i]; m0|m1 != 0 {
+			w = forceWord(w, m0, m1)
+		}
+		state[i] = w
+	}
+	return det & g.alive
+}
+
+// evalForced evaluates a gate whose input pins carry branch-forced lanes.
+func (inc *Incremental) evalForced(gate *netlist.Gate, bf []pinForce) logic.Word {
+	words := inc.words
+	in := func(pin int) logic.Word {
+		w := words[gate.In[pin]]
+		for i := range bf {
+			if int(bf[i].pin) == pin {
+				w = forceWord(w, bf[i].m0, bf[i].m1)
+			}
+		}
+		return w
+	}
+	v := in(0)
+	switch gate.Type {
+	case netlist.Buf:
+	case netlist.Not:
+		v = v.Not()
+	case netlist.And, netlist.Nand:
+		for p := 1; p < len(gate.In); p++ {
+			v = v.And(in(p))
+		}
+		if gate.Type == netlist.Nand {
+			v = v.Not()
+		}
+	case netlist.Or, netlist.Nor:
+		for p := 1; p < len(gate.In); p++ {
+			v = v.Or(in(p))
+		}
+		if gate.Type == netlist.Nor {
+			v = v.Not()
+		}
+	case netlist.Xor, netlist.Xnor:
+		for p := 1; p < len(gate.In); p++ {
+			v = v.Xor(in(p))
+		}
+		if gate.Type == netlist.Xnor {
+			v = v.Not()
+		}
+	}
+	return v
+}
+
+// Result snapshots the detection state accumulated so far.
+func (inc *Incremental) Result() Result {
+	det := make([]bool, len(inc.detected))
+	copy(det, inc.detected)
+	dt := make([]int, len(inc.detTime))
+	copy(dt, inc.detTime)
+	return Result{Detected: det, DetTime: dt, NumDetected: inc.numDet}
+}
+
+// NumDetected returns the number of faults detected so far.
+func (inc *Incremental) NumDetected() int { return inc.numDet }
+
+// Now returns the number of time units simulated so far.
+func (inc *Incremental) Now() int { return inc.now }
+
+// GoodState returns the current fault-free flip-flop state (live view).
+func (inc *Incremental) GoodState() []logic.Value { return inc.goodState }
+
+// trailingZeros returns the index of the lowest set bit of x (x != 0).
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,86 @@
+package fsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// TestChunkingInvariance: splitting a sequence across any series of
+// Extend calls must produce identical detection results — machine state
+// carries exactly.
+func TestChunkingInvariance(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	f := func(seed uint64, cuts [4]uint8) bool {
+		seq := vectors.RandomSequence(xrand.New(seed), c.NumPIs(), 24)
+		want := Run(c, fl, seq)
+
+		inc := NewIncremental(c, fl)
+		prev := 0
+		for _, cRaw := range cuts {
+			cut := prev + int(cRaw%7)
+			if cut > seq.Len() {
+				cut = seq.Len()
+			}
+			inc.Extend(seq[prev:cut])
+			prev = cut
+		}
+		inc.Extend(seq[prev:])
+		got := inc.Result()
+		for i := range fl {
+			if got.Detected[i] != want.Detected[i] || got.DetTime[i] != want.DetTime[i] {
+				return false
+			}
+		}
+		return got.NumDetected == want.NumDetected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDetectionSubsetUnderConcatenation: appending vectors never loses a
+// detection and never changes an established detection time.
+func TestDetectionSubsetUnderConcatenation(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	rng := xrand.New(77)
+	a := vectors.RandomSequence(rng, c.NumPIs(), 20)
+	b := vectors.RandomSequence(rng, c.NumPIs(), 20)
+	short := Run(c, fl, a)
+	long := Run(c, fl, a.Concat(b))
+	for i := range fl {
+		if short.Detected[i] {
+			if !long.Detected[i] {
+				t.Fatalf("fault %d lost by extension", i)
+			}
+			if long.DetTime[i] != short.DetTime[i] {
+				t.Fatalf("fault %d: det time moved %d -> %d", i, short.DetTime[i], long.DetTime[i])
+			}
+		}
+	}
+	if long.NumDetected < short.NumDetected {
+		t.Fatal("extension reduced coverage")
+	}
+}
+
+// TestEvaluateDivergenceNonNegative and consistency with Peek.
+func TestEvaluateMatchesPeek(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	inc := NewIncremental(c, fl)
+	seq := vectors.RandomSequence(xrand.New(5), c.NumPIs(), 10)
+	newlyA, div := inc.Evaluate(seq)
+	newlyB := inc.Peek(seq)
+	if len(newlyA) != len(newlyB) {
+		t.Fatalf("Evaluate found %d, Peek %d", len(newlyA), len(newlyB))
+	}
+	if div < 0 {
+		t.Fatalf("negative divergence %d", div)
+	}
+}

@@ -1,0 +1,221 @@
+package fsim
+
+import (
+	"seqbist/internal/faults"
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+// Single is an allocation-free two-machine (fault-free + one faulty)
+// scalar simulator with early exit on detection. It exists for
+// Procedure 2 of the paper, which checks a single target fault against
+// thousands of candidate expanded sequences.
+type Single struct {
+	c *netlist.Circuit
+
+	goodVals, badVals   []logic.Value
+	goodState, badState []logic.Value
+}
+
+// NewSingle returns a Single simulator for c.
+func NewSingle(c *netlist.Circuit) *Single {
+	return &Single{
+		c:         c,
+		goodVals:  make([]logic.Value, c.NumSignals()),
+		badVals:   make([]logic.Value, c.NumSignals()),
+		goodState: make([]logic.Value, c.NumDFFs()),
+		badState:  make([]logic.Value, c.NumDFFs()),
+	}
+}
+
+// Detects reports whether fault f is detected by seq applied from the
+// all-unknown state, and the first detection time unit (or Undetected).
+func (s *Single) Detects(f faults.Fault, seq vectors.Sequence) (bool, int) {
+	c := s.c
+	for i := range s.goodState {
+		s.goodState[i] = logic.X
+		s.badState[i] = logic.X
+	}
+
+	// Decode the fault's injection points once.
+	stemSig := netlist.SignalID(-1)
+	branchGate, branchPin := -1, int32(-1)
+	branchDFF := -1
+	if f.IsStem() {
+		stemSig = f.Signal
+	} else {
+		con := c.Consumers(f.Signal)[f.Consumer]
+		switch con.Kind {
+		case netlist.ConsumerGate:
+			branchGate = int(con.Index)
+			branchPin = con.Pin
+		case netlist.ConsumerDFF:
+			branchDFF = int(con.Index)
+		}
+	}
+	stuck := f.Stuck
+
+	for u, vec := range seq {
+		// Load PIs.
+		for i, pi := range c.PIs {
+			v := vec[i]
+			s.goodVals[pi] = v
+			if pi == stemSig {
+				v = stuck
+			}
+			s.badVals[pi] = v
+		}
+		// Load flip-flop outputs.
+		for i, ff := range c.DFFs {
+			s.goodVals[ff.Q] = s.goodState[i]
+			v := s.badState[i]
+			if ff.Q == stemSig {
+				v = stuck
+			}
+			s.badVals[ff.Q] = v
+		}
+		// Evaluate gates.
+		for gi := range c.Gates {
+			g := &c.Gates[gi]
+			s.goodVals[g.Out] = evalScalar(g, s.goodVals, -1, 0, logic.Invalid)
+			var bv logic.Value
+			if gi == branchGate {
+				bv = evalScalar(g, s.badVals, branchGate, branchPin, stuck)
+			} else {
+				bv = evalScalar(g, s.badVals, -1, 0, logic.Invalid)
+			}
+			if g.Out == stemSig {
+				bv = stuck
+			}
+			s.badVals[g.Out] = bv
+		}
+		// Observe primary outputs.
+		for _, po := range c.POs {
+			gv, bv := s.goodVals[po], s.badVals[po]
+			if gv.IsBinary() && bv.IsBinary() && gv != bv {
+				return true, u
+			}
+		}
+		// Capture next state.
+		for i, ff := range c.DFFs {
+			s.goodState[i] = s.goodVals[ff.D]
+			v := s.badVals[ff.D]
+			if i == branchDFF {
+				v = stuck
+			}
+			s.badState[i] = v
+		}
+	}
+	return false, Undetected
+}
+
+// POTrace simulates fault f under seq and returns the faulty machine's
+// primary-output values at every time unit. It allocates one slice per
+// time unit; it exists for response-compaction analysis (package bist),
+// not for the hot detection path.
+func (s *Single) POTrace(f faults.Fault, seq vectors.Sequence) [][]logic.Value {
+	c := s.c
+	trace := make([][]logic.Value, 0, len(seq))
+	for i := range s.goodState {
+		s.goodState[i] = logic.X
+		s.badState[i] = logic.X
+	}
+	stemSig := netlist.SignalID(-1)
+	branchGate, branchPin := -1, int32(-1)
+	branchDFF := -1
+	if f.IsStem() {
+		stemSig = f.Signal
+	} else {
+		con := c.Consumers(f.Signal)[f.Consumer]
+		switch con.Kind {
+		case netlist.ConsumerGate:
+			branchGate = int(con.Index)
+			branchPin = con.Pin
+		case netlist.ConsumerDFF:
+			branchDFF = int(con.Index)
+		}
+	}
+	stuck := f.Stuck
+	for _, vec := range seq {
+		for i, pi := range c.PIs {
+			v := vec[i]
+			if pi == stemSig {
+				v = stuck
+			}
+			s.badVals[pi] = v
+		}
+		for i, ff := range c.DFFs {
+			v := s.badState[i]
+			if ff.Q == stemSig {
+				v = stuck
+			}
+			s.badVals[ff.Q] = v
+		}
+		for gi := range c.Gates {
+			g := &c.Gates[gi]
+			var bv logic.Value
+			if gi == branchGate {
+				bv = evalScalar(g, s.badVals, branchGate, branchPin, stuck)
+			} else {
+				bv = evalScalar(g, s.badVals, -1, 0, logic.Invalid)
+			}
+			if g.Out == stemSig {
+				bv = stuck
+			}
+			s.badVals[g.Out] = bv
+		}
+		po := make([]logic.Value, c.NumPOs())
+		for i, sig := range c.POs {
+			po[i] = s.badVals[sig]
+		}
+		trace = append(trace, po)
+		for i, ff := range c.DFFs {
+			v := s.badVals[ff.D]
+			if i == branchDFF {
+				v = stuck
+			}
+			s.badState[i] = v
+		}
+	}
+	return trace
+}
+
+// evalScalar evaluates one gate over vals. When gi matches forcedGate, the
+// input value at forcedPin is replaced by forced before evaluation.
+func evalScalar(g *netlist.Gate, vals []logic.Value, forcedGate int, forcedPin int32, forced logic.Value) logic.Value {
+	in := func(p int) logic.Value {
+		if forcedGate >= 0 && int32(p) == forcedPin {
+			return forced
+		}
+		return vals[g.In[p]]
+	}
+	v := in(0)
+	switch g.Type {
+	case netlist.Buf:
+	case netlist.Not:
+		v = v.Not()
+	case netlist.And, netlist.Nand:
+		for p := 1; p < len(g.In); p++ {
+			v = v.And(in(p))
+		}
+		if g.Type == netlist.Nand {
+			v = v.Not()
+		}
+	case netlist.Or, netlist.Nor:
+		for p := 1; p < len(g.In); p++ {
+			v = v.Or(in(p))
+		}
+		if g.Type == netlist.Nor {
+			v = v.Not()
+		}
+	case netlist.Xor, netlist.Xnor:
+		for p := 1; p < len(g.In); p++ {
+			v = v.Xor(in(p))
+		}
+		if g.Type == netlist.Xnor {
+			v = v.Not()
+		}
+	}
+	return v
+}

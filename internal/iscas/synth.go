@@ -1,0 +1,450 @@
+package iscas
+
+import (
+	"fmt"
+
+	"seqbist/internal/netlist"
+	"seqbist/internal/xrand"
+)
+
+// Synthesize generates a deterministic pseudo-random synchronous
+// sequential circuit matching spec.
+//
+// The generator mimics the structural properties of the ISCAS-89 suite
+// that matter to sequential test generation:
+//
+//   - gate-type mix dominated by NAND/NOR with a minority of AND/OR,
+//     inverters, and a small number of XOR/XNOR;
+//   - fan-in mostly 2-3 with occasional wider gates;
+//   - locality bias: gates prefer recently created signals as inputs,
+//     producing realistic logic depth instead of a flat circuit;
+//   - synchronizability: every flip-flop's D input is gated by a 2-PI
+//     reset conjunction (applying I0=I1=1 for one cycle forces the state
+//     to a known value). A purely random feedback circuit never leaves
+//     the all-X state under three-valued simulation, which would make
+//     every fault undetectable;
+//   - observability: every signal has a (possibly sequential) path to a
+//     primary output, so the fault universe contains no structurally
+//     unobservable logic. Signals that would otherwise be write-only are
+//     attached as extra input pins of downstream PO-reaching gates, or
+//     exposed as additional primary outputs.
+//
+// Synthesis is a pure function of the Spec (including its Seed).
+func Synthesize(spec Spec) (*netlist.Circuit, error) {
+	if spec.PIs < 2 || spec.POs <= 0 || spec.Gates <= 0 || spec.DFFs < 1 {
+		return nil, fmt.Errorf("iscas: invalid spec %+v", spec)
+	}
+	// Gate budget: 2 reset gates + one D gate per flip-flop + one XOR per
+	// toggle-style flip-flop (every third) + random logic.
+	toggles := spec.DFFs / 3
+	randGates := spec.Gates - 2 - spec.DFFs - toggles
+	if randGates < spec.POs {
+		return nil, fmt.Errorf("iscas: spec %s has too few gates (%d) for %d POs and %d DFFs",
+			spec.Name, spec.Gates, spec.POs, spec.DFFs)
+	}
+	rng := xrand.New(spec.Seed*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3)
+	g := &synthesizer{
+		spec:      spec,
+		rng:       rng,
+		randGates: randGates,
+		toggleSrc: make(map[string]string),
+		toggleQ:   make(map[string]string),
+	}
+	return g.run()
+}
+
+// pending is a gate under construction: the generator may widen its input
+// list during the observability pass before the gate reaches the Builder.
+type pending struct {
+	t   netlist.GateType
+	out string
+	in  []string
+}
+
+type synthesizer struct {
+	spec      Spec
+	rng       *xrand.RNG
+	randGates int
+
+	piNames []string
+	qNames  []string
+	dNames  []string // D-gate outputs, one per DFF
+
+	pool      []string // signals usable as random-gate inputs, creation order
+	poolPos   map[string]int
+	gates     []pending      // random logic gates, creation order
+	gateIdx   map[string]int // gate output name -> index into gates
+	dSource   map[string]string
+	poNames   []string
+	poSet     map[string]bool
+	dOfQ      map[string]string // Q name -> D-gate output name
+	toggleSrc map[string]string // T-gate output -> data source
+	toggleQ   map[string]string // T-gate output -> its flip-flop Q
+}
+
+func (s *synthesizer) run() (*netlist.Circuit, error) {
+	spec := s.spec
+	b := netlist.NewBuilder(spec.Name)
+
+	s.piNames = make([]string, spec.PIs)
+	for i := range s.piNames {
+		s.piNames[i] = fmt.Sprintf("I%d", i)
+		b.AddInput(s.piNames[i])
+	}
+	s.qNames = make([]string, spec.DFFs)
+	for i := range s.qNames {
+		s.qNames[i] = fmt.Sprintf("Q%d", i)
+	}
+
+	// Reset structure (see the function comment).
+	b.AddGate(netlist.And, "RST", s.piNames[0], s.piNames[1])
+	b.AddGate(netlist.Not, "RSTN", "RST")
+
+	s.pool = make([]string, 0, spec.PIs+spec.DFFs+s.randGates)
+	s.pool = append(s.pool, s.piNames...)
+	s.pool = append(s.pool, s.qNames...)
+	s.gateIdx = make(map[string]int, s.randGates)
+
+	// Random logic. Generation is probability-aware: prob tracks the
+	// estimated P(signal = 1) under independent random inputs; gates whose
+	// output would be nearly constant are re-rolled. Without this, deep
+	// random NAND/NOR logic drifts to extreme signal probabilities and a
+	// large fraction of the circuit never toggles, leaving its faults
+	// unexcitable — unrepresentative of designed circuits.
+	prob := make(map[string]float64, spec.PIs+spec.DFFs+s.randGates)
+	for _, pi := range s.piNames {
+		prob[pi] = 0.5
+	}
+	for _, q := range s.qNames {
+		prob[q] = 0.5
+	}
+	const window = 24
+	sources := spec.PIs + spec.DFFs
+	pickInput := func() string {
+		r := s.rng.Float64()
+		switch {
+		case len(s.pool) > window && r < 0.40:
+			return s.pool[len(s.pool)-1-s.rng.Intn(window)]
+		case r < 0.60:
+			return s.pool[s.rng.Intn(sources)] // a PI or flip-flop output
+		default:
+			return s.pool[s.rng.Intn(len(s.pool))]
+		}
+	}
+	drawGate := func() (netlist.GateType, []string) {
+		fanin := pickFanin(s.rng)
+		var t netlist.GateType
+		if fanin == 1 {
+			if s.rng.Float64() < 0.8 {
+				t = netlist.Not
+			} else {
+				t = netlist.Buf
+			}
+		} else {
+			t = pickGateType(s.rng)
+		}
+		ins := make([]string, 0, fanin)
+		seen := make(map[string]bool, fanin)
+		for len(ins) < fanin {
+			in := pickInput()
+			if seen[in] {
+				if len(seen) >= len(s.pool) {
+					ins = append(ins, in)
+					continue
+				}
+				continue
+			}
+			seen[in] = true
+			ins = append(ins, in)
+		}
+		return t, ins
+	}
+	for gi := 0; gi < s.randGates; gi++ {
+		var bestT netlist.GateType
+		var bestIns []string
+		bestP := -1.0
+		for try := 0; try < 8; try++ {
+			t, ins := drawGate()
+			p := gateProb(t, ins, prob)
+			if p >= 0.10 && p <= 0.90 {
+				bestT, bestIns, bestP = t, ins, p
+				break
+			}
+			if bestP < 0 || absf(p-0.5) < absf(bestP-0.5) {
+				bestT, bestIns, bestP = t, ins, p
+			}
+		}
+		out := fmt.Sprintf("N%d", gi)
+		prob[out] = bestP
+		s.gateIdx[out] = len(s.gates)
+		s.gates = append(s.gates, pending{t: bestT, out: out, in: bestIns})
+		s.pool = append(s.pool, out)
+	}
+	s.poolPos = make(map[string]int, len(s.pool))
+	for i, name := range s.pool {
+		s.poolPos[name] = i
+	}
+
+	// Flip-flop D gates: D = AND(x, RSTN) or NOR(x, RST), alternating,
+	// with every third flip-flop toggle-style (x is XORed with the
+	// flip-flop's own output first) to guarantee state activity.
+	s.dNames = make([]string, spec.DFFs)
+	s.dSource = make(map[string]string, spec.DFFs)
+	s.dOfQ = make(map[string]string, spec.DFFs)
+	gateStart := spec.PIs + spec.DFFs
+	for i := 0; i < spec.DFFs; i++ {
+		x := s.pool[gateStart+s.rng.Intn(s.randGates)]
+		if i%3 == 2 {
+			tName := fmt.Sprintf("T%d", i)
+			b.AddGate(netlist.Xor, tName, x, s.qNames[i])
+			s.toggleSrc[tName] = x
+			s.toggleQ[tName] = s.qNames[i]
+			x = tName
+		}
+		dName := fmt.Sprintf("D%d", i)
+		if i%2 == 0 {
+			b.AddGate(netlist.And, dName, x, "RSTN")
+		} else {
+			b.AddGate(netlist.Nor, dName, x, "RST")
+		}
+		b.AddDFF(s.qNames[i], dName)
+		s.dNames[i] = dName
+		s.dSource[dName] = x
+		s.dOfQ[s.qNames[i]] = dName
+	}
+
+	// Primary outputs: distinct random gate outputs, spread across the
+	// later part of the circuit.
+	s.poSet = make(map[string]bool, spec.POs)
+	for len(s.poNames) < spec.POs {
+		cand := s.pool[gateStart+s.rng.Intn(s.randGates)]
+		if s.poSet[cand] {
+			// Prefer distinct POs; fall back to the first unused gate
+			// output when collisions pile up.
+			cand = s.firstUnusedOutput()
+			if cand == "" {
+				break
+			}
+		}
+		s.poSet[cand] = true
+		s.poNames = append(s.poNames, cand)
+	}
+
+	s.ensureObservability()
+
+	for _, po := range s.poNames {
+		b.AddOutput(po)
+	}
+	for _, pg := range s.gates {
+		b.AddGate(pg.t, pg.out, pg.in...)
+	}
+	return b.Build()
+}
+
+func (s *synthesizer) firstUnusedOutput() string {
+	for _, pg := range s.gates {
+		if !s.poSet[pg.out] {
+			return pg.out
+		}
+	}
+	return ""
+}
+
+// ensureObservability guarantees every signal influences some primary
+// output, possibly through flip-flops. Unobservable signals are attached
+// as extra pins to downstream observable gates (deep signals first, so one
+// attachment marks a whole cone), or exposed as extra POs when no
+// downstream gate exists.
+func (s *synthesizer) ensureObservability() {
+	marked := make(map[string]bool)
+
+	// markCone marks sig and its transitive fan-in (through gates, D
+	// gates, and flip-flops).
+	var markCone func(sig string)
+	markCone = func(sig string) {
+		if marked[sig] {
+			return
+		}
+		marked[sig] = true
+		if gi, ok := s.gateIdx[sig]; ok {
+			for _, in := range s.gates[gi].in {
+				markCone(in)
+			}
+			return
+		}
+		if d, ok := s.dOfQ[sig]; ok { // Q: influence flows from its D gate
+			markCone(d)
+			return
+		}
+		if x, ok := s.dSource[sig]; ok { // D gate: from its data source
+			markCone(x)
+			markCone("RST")
+			markCone("RSTN")
+			return
+		}
+		if x, ok := s.toggleSrc[sig]; ok { // T gate: data source and own Q
+			markCone(x)
+			markCone(s.toggleQ[sig])
+			return
+		}
+		if sig == "RST" {
+			markCone(s.piNames[0])
+			markCone(s.piNames[1])
+		}
+		if sig == "RSTN" {
+			markCone("RST")
+		}
+	}
+	for _, po := range s.poNames {
+		markCone(po)
+	}
+	// Flip-flop D inputs feed the state; their observability rides on the
+	// Q being observable, which the loop below establishes for Q like any
+	// signal (a Q is in the pool).
+
+	// attachable reports whether gate gi can absorb an extra pin.
+	attachable := func(gi int) bool {
+		switch s.gates[gi].t {
+		case netlist.Buf, netlist.Not:
+			return false
+		}
+		return marked[s.gates[gi].out] && len(s.gates[gi].in) < 9
+	}
+
+	attach := func(sig string, minPos int) bool {
+		// Gather downstream attachable gates; pick one at random to
+		// spread extra pins.
+		var candidates []int
+		for gi := range s.gates {
+			if s.poolPos[s.gates[gi].out] > minPos && attachable(gi) {
+				candidates = append(candidates, gi)
+			}
+		}
+		if len(candidates) == 0 {
+			return false
+		}
+		gi := candidates[s.rng.Intn(len(candidates))]
+		s.gates[gi].in = append(s.gates[gi].in, sig)
+		markCone(sig)
+		return true
+	}
+
+	// Deep-first over gate outputs, then Qs, then PIs.
+	for i := len(s.gates) - 1; i >= 0; i-- {
+		out := s.gates[i].out
+		if marked[out] {
+			continue
+		}
+		if !attach(out, s.poolPos[out]) {
+			// No downstream gate: expose as an extra PO.
+			if !s.poSet[out] {
+				s.poSet[out] = true
+				s.poNames = append(s.poNames, out)
+			}
+			markCone(out)
+		}
+	}
+	for _, q := range s.qNames {
+		if !marked[q] {
+			if !attach(q, -1) {
+				s.poSet[q] = true
+				s.poNames = append(s.poNames, q)
+				markCone(q)
+			}
+		}
+	}
+	for _, pi := range s.piNames {
+		if !marked[pi] {
+			// A PI unused by any marked logic: attach it anywhere.
+			if !attach(pi, -1) {
+				s.poSet[pi] = true
+				s.poNames = append(s.poNames, pi)
+				marked[pi] = true
+			}
+		}
+	}
+}
+
+// gateProb estimates P(output = 1) of a gate under the independence
+// assumption, given per-signal probabilities.
+func gateProb(t netlist.GateType, ins []string, prob map[string]float64) float64 {
+	p := prob[ins[0]]
+	switch t {
+	case netlist.Buf:
+		return p
+	case netlist.Not:
+		return 1 - p
+	case netlist.And, netlist.Nand:
+		for _, in := range ins[1:] {
+			p *= prob[in]
+		}
+		if t == netlist.Nand {
+			p = 1 - p
+		}
+		return p
+	case netlist.Or, netlist.Nor:
+		q := 1 - p
+		for _, in := range ins[1:] {
+			q *= 1 - prob[in]
+		}
+		if t == netlist.Nor {
+			return q
+		}
+		return 1 - q
+	case netlist.Xor, netlist.Xnor:
+		for _, in := range ins[1:] {
+			pi := prob[in]
+			p = p*(1-pi) + pi*(1-p)
+		}
+		if t == netlist.Xnor {
+			p = 1 - p
+		}
+		return p
+	}
+	return 0.5
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// pickFanin draws a gate fan-in with the ISCAS-like distribution
+// 1:15%, 2:55%, 3:20%, 4:8%, 5:2%.
+func pickFanin(rng *xrand.RNG) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.15:
+		return 1
+	case r < 0.70:
+		return 2
+	case r < 0.90:
+		return 3
+	case r < 0.98:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// pickGateType draws a multi-input gate type with the distribution
+// NAND:30%, NOR:30%, AND:16%, OR:16%, XOR:5%, XNOR:3%.
+func pickGateType(rng *xrand.RNG) netlist.GateType {
+	r := rng.Float64()
+	switch {
+	case r < 0.30:
+		return netlist.Nand
+	case r < 0.60:
+		return netlist.Nor
+	case r < 0.76:
+		return netlist.And
+	case r < 0.92:
+		return netlist.Or
+	case r < 0.97:
+		return netlist.Xor
+	default:
+		return netlist.Xnor
+	}
+}

@@ -1,0 +1,223 @@
+// Package logic implements the three-valued (0, 1, X) logic system used by
+// all simulators in seqbist.
+//
+// Synchronous sequential circuits are tested from an unknown initial state
+// (the paper applies every expanded sequence "assuming that the circuit
+// starts from an unknown state"), so every simulator must propagate the
+// unknown value X alongside the binary values. The encoding here is the
+// classic possibility-set encoding: a value is the set of binary values the
+// signal could take. Zero = {0}, One = {1}, X = {0,1}.
+//
+// Two representations are provided:
+//
+//   - Value: one scalar signal value, for single-machine simulation
+//     (Procedure 2's single-fault checks, examples, debugging).
+//   - Word: 64 machine copies packed bit-parallel, one lane per machine,
+//     for the parallel-fault simulator (64 faulty machines per pass).
+//
+// Gate evaluation over possibility sets is exact for AND/OR/NOT-class gates
+// and for XOR/XNOR under the set semantics, matching the pessimistic
+// three-valued simulation used by classical sequential test generation
+// tools (and by the paper's fault simulator).
+package logic
+
+import "fmt"
+
+// Value is a three-valued logic value encoded as a possibility set:
+// bit 0 set means "could be 0", bit 1 set means "could be 1".
+type Value uint8
+
+const (
+	// Invalid is the zero Value; it never appears in simulator output and
+	// is useful for catching uninitialized signals.
+	Invalid Value = 0
+	// Zero is the definite logic 0.
+	Zero Value = 1
+	// One is the definite logic 1.
+	One Value = 2
+	// X is the unknown value: could be 0 or 1.
+	X Value = 3
+)
+
+// IsBinary reports whether v is a definite 0 or 1.
+func (v Value) IsBinary() bool { return v == Zero || v == One }
+
+// Valid reports whether v is one of Zero, One, X.
+func (v Value) Valid() bool { return v >= Zero && v <= X }
+
+// Not returns the complement of v. X complements to X.
+func (v Value) Not() Value {
+	// Swap the two possibility bits.
+	return (v&1)<<1 | (v&2)>>1
+}
+
+// And returns the three-valued conjunction of v and w.
+func (v Value) And(w Value) Value {
+	one := (v & w) & 2    // 1 only if both could be 1
+	zero := ((v | w) & 1) // 0 if either could be 0
+	return one | zero
+}
+
+// Or returns the three-valued disjunction of v and w.
+func (v Value) Or(w Value) Value {
+	one := ((v | w) & 2)
+	zero := (v & w) & 1
+	return one | zero
+}
+
+// Xor returns the three-valued exclusive-or of v and w.
+func (v Value) Xor(w Value) Value {
+	var out Value
+	// could be 1: (could-be-0 of v AND could-be-1 of w) or vice versa.
+	if (v&1 != 0 && w&2 != 0) || (v&2 != 0 && w&1 != 0) {
+		out |= 2
+	}
+	// could be 0: values could agree.
+	if (v&1 != 0 && w&1 != 0) || (v&2 != 0 && w&2 != 0) {
+		out |= 1
+	}
+	return out
+}
+
+// FromBit converts a binary digit (0 or 1) to a Value.
+func FromBit(b int) Value {
+	if b == 0 {
+		return Zero
+	}
+	return One
+}
+
+// String renders the value as "0", "1", "X" (or "?" for Invalid).
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	}
+	return "?"
+}
+
+// ParseValue converts a character to a Value. Accepted: '0', '1',
+// 'x' or 'X'.
+func ParseValue(c byte) (Value, error) {
+	switch c {
+	case '0':
+		return Zero, nil
+	case '1':
+		return One, nil
+	case 'x', 'X':
+		return X, nil
+	}
+	return Invalid, fmt.Errorf("logic: invalid value character %q", c)
+}
+
+// Word holds 64 independent three-valued values bit-parallel: lane i of
+// CanZero is set when value i could be 0, lane i of CanOne when it could
+// be 1. A lane with both bits clear is uninitialized/invalid; simulators
+// never produce such lanes for active machines.
+type Word struct {
+	CanZero uint64
+	CanOne  uint64
+}
+
+// Broadcast returns a Word with every lane equal to v.
+func Broadcast(v Value) Word {
+	var w Word
+	if v&1 != 0 {
+		w.CanZero = ^uint64(0)
+	}
+	if v&2 != 0 {
+		w.CanOne = ^uint64(0)
+	}
+	return w
+}
+
+// AllX is the Word with X in every lane.
+func AllX() Word { return Word{CanZero: ^uint64(0), CanOne: ^uint64(0)} }
+
+// Get extracts the Value in lane i.
+func (w Word) Get(i uint) Value {
+	var v Value
+	if w.CanZero>>i&1 != 0 {
+		v |= 1
+	}
+	if w.CanOne>>i&1 != 0 {
+		v |= 2
+	}
+	return v
+}
+
+// Set stores v into lane i and returns the updated word.
+func (w Word) Set(i uint, v Value) Word {
+	mask := uint64(1) << i
+	w.CanZero &^= mask
+	w.CanOne &^= mask
+	if v&1 != 0 {
+		w.CanZero |= mask
+	}
+	if v&2 != 0 {
+		w.CanOne |= mask
+	}
+	return w
+}
+
+// Not returns the lane-wise complement of w.
+func (w Word) Not() Word {
+	return Word{CanZero: w.CanOne, CanOne: w.CanZero}
+}
+
+// And returns the lane-wise conjunction of w and x.
+func (w Word) And(x Word) Word {
+	return Word{
+		CanZero: w.CanZero | x.CanZero,
+		CanOne:  w.CanOne & x.CanOne,
+	}
+}
+
+// Or returns the lane-wise disjunction of w and x.
+func (w Word) Or(x Word) Word {
+	return Word{
+		CanZero: w.CanZero & x.CanZero,
+		CanOne:  w.CanOne | x.CanOne,
+	}
+}
+
+// Xor returns the lane-wise exclusive-or of w and x.
+func (w Word) Xor(x Word) Word {
+	return Word{
+		CanZero: w.CanZero&x.CanZero | w.CanOne&x.CanOne,
+		CanOne:  w.CanZero&x.CanOne | w.CanOne&x.CanZero,
+	}
+}
+
+// DefiniteZero returns the mask of lanes that are definitely 0.
+func (w Word) DefiniteZero() uint64 { return w.CanZero &^ w.CanOne }
+
+// DefiniteOne returns the mask of lanes that are definitely 1.
+func (w Word) DefiniteOne() uint64 { return w.CanOne &^ w.CanZero }
+
+// Unknown returns the mask of lanes that are X.
+func (w Word) Unknown() uint64 { return w.CanZero & w.CanOne }
+
+// ForceValue overwrites the lanes selected by mask with v, leaving other
+// lanes untouched. It is the fault-injection primitive: a stuck-at-v fault
+// in machine lane i forces the faulted line's lane i to v.
+func (w Word) ForceValue(mask uint64, v Value) Word {
+	w.CanZero &^= mask
+	w.CanOne &^= mask
+	if v&1 != 0 {
+		w.CanZero |= mask
+	}
+	if v&2 != 0 {
+		w.CanOne |= mask
+	}
+	return w
+}
+
+// Eq reports whether all lanes of w and x hold identical values.
+func (w Word) Eq(x Word) bool {
+	return w.CanZero == x.CanZero && w.CanOne == x.CanOne
+}

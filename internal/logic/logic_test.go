@@ -1,0 +1,238 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var allValues = []Value{Zero, One, X}
+
+func TestNotTruthTable(t *testing.T) {
+	cases := map[Value]Value{Zero: One, One: Zero, X: X}
+	for in, want := range cases {
+		if got := in.Not(); got != want {
+			t.Errorf("Not(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestAndTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want Value }{
+		{Zero, Zero, Zero}, {Zero, One, Zero}, {Zero, X, Zero},
+		{One, Zero, Zero}, {One, One, One}, {One, X, X},
+		{X, Zero, Zero}, {X, One, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := c.a.And(c.b); got != c.want {
+			t.Errorf("%v AND %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want Value }{
+		{Zero, Zero, Zero}, {Zero, One, One}, {Zero, X, X},
+		{One, Zero, One}, {One, One, One}, {One, X, One},
+		{X, Zero, X}, {X, One, One}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := c.a.Or(c.b); got != c.want {
+			t.Errorf("%v OR %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestXorTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want Value }{
+		{Zero, Zero, Zero}, {Zero, One, One}, {Zero, X, X},
+		{One, Zero, One}, {One, One, Zero}, {One, X, X},
+		{X, Zero, X}, {X, One, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := c.a.Xor(c.b); got != c.want {
+			t.Errorf("%v XOR %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDeMorganScalar(t *testing.T) {
+	for _, a := range allValues {
+		for _, b := range allValues {
+			if got, want := a.And(b).Not(), a.Not().Or(b.Not()); got != want {
+				t.Errorf("De Morgan violated: !(%v&%v)=%v, !%v|!%v=%v", a, b, got, a, b, want)
+			}
+		}
+	}
+}
+
+func TestXorViaAndOrScalar(t *testing.T) {
+	// a^b == (a & !b) | (!a & b) holds for the possibility-set semantics
+	// only when a and b are independent signals; for binary values it must
+	// hold exactly.
+	for _, a := range []Value{Zero, One} {
+		for _, b := range []Value{Zero, One} {
+			want := a.And(b.Not()).Or(a.Not().And(b))
+			if got := a.Xor(b); got != want {
+				t.Errorf("XOR(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	for _, v := range allValues {
+		s := v.String()
+		if len(s) != 1 {
+			t.Fatalf("String(%v) = %q, want single char", v, s)
+		}
+		got, err := ParseValue(s[0])
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", s, err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %q -> %v", v, s, got)
+		}
+	}
+	if _, err := ParseValue('z'); err == nil {
+		t.Error("ParseValue('z') succeeded, want error")
+	}
+	if Invalid.String() != "?" {
+		t.Errorf("Invalid.String() = %q", Invalid.String())
+	}
+}
+
+func TestIsBinaryValid(t *testing.T) {
+	if !Zero.IsBinary() || !One.IsBinary() || X.IsBinary() || Invalid.IsBinary() {
+		t.Error("IsBinary misclassified a value")
+	}
+	if !Zero.Valid() || !One.Valid() || !X.Valid() || Invalid.Valid() {
+		t.Error("Valid misclassified a value")
+	}
+}
+
+func TestFromBit(t *testing.T) {
+	if FromBit(0) != Zero || FromBit(1) != One {
+		t.Error("FromBit wrong")
+	}
+}
+
+// wordFromLanes builds a Word whose first len(vals) lanes hold vals and
+// whose remaining lanes hold X.
+func wordFromLanes(vals ...Value) Word {
+	w := AllX()
+	for i, v := range vals {
+		w = w.Set(uint(i), v)
+	}
+	return w
+}
+
+func TestWordGetSetRoundTrip(t *testing.T) {
+	w := AllX()
+	for lane := uint(0); lane < 64; lane++ {
+		for _, v := range allValues {
+			w = w.Set(lane, v)
+			if got := w.Get(lane); got != v {
+				t.Fatalf("lane %d: set %v, got %v", lane, v, got)
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, v := range allValues {
+		w := Broadcast(v)
+		for lane := uint(0); lane < 64; lane += 7 {
+			if got := w.Get(lane); got != v {
+				t.Errorf("Broadcast(%v) lane %d = %v", v, lane, got)
+			}
+		}
+	}
+}
+
+// TestWordOpsMatchScalar is the keystone property test: every word
+// operation must agree lane-wise with the scalar operation.
+func TestWordOpsMatchScalar(t *testing.T) {
+	f := func(aBits, bBits [2]uint64) bool {
+		a := Word{CanZero: aBits[0] | ^(aBits[0] | aBits[1]), CanOne: aBits[1] | ^(aBits[0] | aBits[1])}
+		b := Word{CanZero: bBits[0] | ^(bBits[0] | bBits[1]), CanOne: bBits[1] | ^(bBits[0] | bBits[1])}
+		and, or, xor, not := a.And(b), a.Or(b), a.Xor(b), a.Not()
+		for lane := uint(0); lane < 64; lane++ {
+			av, bv := a.Get(lane), b.Get(lane)
+			if !av.Valid() || !bv.Valid() {
+				continue // construction above should prevent this
+			}
+			if and.Get(lane) != av.And(bv) {
+				return false
+			}
+			if or.Get(lane) != av.Or(bv) {
+				return false
+			}
+			if xor.Get(lane) != av.Xor(bv) {
+				return false
+			}
+			if not.Get(lane) != av.Not() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefiniteMasks(t *testing.T) {
+	w := wordFromLanes(Zero, One, X, Zero)
+	if w.DefiniteZero()&0b1111 != 0b1001 {
+		t.Errorf("DefiniteZero = %b", w.DefiniteZero()&0b1111)
+	}
+	if w.DefiniteOne()&0b1111 != 0b0010 {
+		t.Errorf("DefiniteOne = %b", w.DefiniteOne()&0b1111)
+	}
+	if w.Unknown()&0b1111 != 0b0100 {
+		t.Errorf("Unknown = %b", w.Unknown()&0b1111)
+	}
+}
+
+func TestForceValue(t *testing.T) {
+	w := Broadcast(One)
+	w = w.ForceValue(0b0110, Zero)
+	want := wordFromLanes(One, Zero, Zero, One)
+	for lane := uint(0); lane < 4; lane++ {
+		if w.Get(lane) != want.Get(lane) {
+			t.Errorf("lane %d: got %v want %v", lane, w.Get(lane), want.Get(lane))
+		}
+	}
+	// Other lanes untouched.
+	if w.Get(10) != One {
+		t.Errorf("lane 10 disturbed: %v", w.Get(10))
+	}
+	// Forcing X sets both bits.
+	w = w.ForceValue(1, X)
+	if w.Get(0) != X {
+		t.Errorf("ForceValue X failed: %v", w.Get(0))
+	}
+}
+
+func TestWordEq(t *testing.T) {
+	a := wordFromLanes(Zero, One, X)
+	b := wordFromLanes(Zero, One, X)
+	if !a.Eq(b) {
+		t.Error("equal words reported unequal")
+	}
+	b = b.Set(1, X)
+	if a.Eq(b) {
+		t.Error("unequal words reported equal")
+	}
+}
+
+func TestWordDeMorgan(t *testing.T) {
+	f := func(aBits, bBits [2]uint64) bool {
+		a := Word{CanZero: aBits[0] | ^(aBits[0] | aBits[1]), CanOne: aBits[1] | ^(aBits[0] | aBits[1])}
+		b := Word{CanZero: bBits[0] | ^(bBits[0] | bBits[1]), CanOne: bBits[1] | ^(bBits[0] | bBits[1])}
+		return a.And(b).Not().Eq(a.Not().Or(b.Not()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

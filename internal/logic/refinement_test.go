@@ -1,0 +1,133 @@
+package logic
+
+import "testing"
+
+// refines reports whether b is a refinement of a: every definite claim a
+// makes, b keeps. X refines to 0, 1 or X; 0 and 1 refine only to
+// themselves.
+func refines(a, b Value) bool {
+	if a == X {
+		return true
+	}
+	return a == b
+}
+
+// TestGateMonotonicityUnderRefinement is the soundness property of
+// pessimistic three-valued simulation: refining any input (X -> definite)
+// can only refine the output, never contradict it. A simulator built on
+// these operators therefore never reports a definite value that real
+// hardware (with any concrete initial state) could violate.
+func TestGateMonotonicityUnderRefinement(t *testing.T) {
+	all := []Value{Zero, One, X}
+	type binOp struct {
+		name string
+		f    func(Value, Value) Value
+	}
+	ops := []binOp{
+		{"And", Value.And},
+		{"Or", Value.Or},
+		{"Xor", Value.Xor},
+	}
+	for _, op := range ops {
+		for _, a := range all {
+			for _, b := range all {
+				out := op.f(a, b)
+				for _, ra := range all {
+					if !refines(a, ra) {
+						continue
+					}
+					for _, rb := range all {
+						if !refines(b, rb) {
+							continue
+						}
+						refined := op.f(ra, rb)
+						if !refines(out, refined) {
+							t.Errorf("%s(%v,%v)=%v but refined %s(%v,%v)=%v contradicts",
+								op.name, a, b, out, op.name, ra, rb, refined)
+						}
+					}
+				}
+			}
+		}
+	}
+	// NOT, unary.
+	for _, a := range all {
+		out := a.Not()
+		for _, ra := range all {
+			if refines(a, ra) && !refines(out, ra.Not()) {
+				t.Errorf("Not(%v)=%v contradicted by Not(%v)=%v", a, out, ra, ra.Not())
+			}
+		}
+	}
+}
+
+// TestWordMonotonicity lifts the refinement property to packed words on
+// sampled lane patterns.
+func TestWordMonotonicity(t *testing.T) {
+	// Lane 0: X And X = X; refine to One And One = One: consistent.
+	a, b := Broadcast(X), Broadcast(X)
+	out := a.And(b)
+	ra, rb := Broadcast(One), Broadcast(One)
+	refined := ra.And(rb)
+	for lane := uint(0); lane < 64; lane += 13 {
+		if !refines(out.Get(lane), refined.Get(lane)) {
+			t.Fatalf("lane %d: %v not refined by %v", lane, out.Get(lane), refined.Get(lane))
+		}
+	}
+	// A definite word must be untouched by refinement of the other
+	// operand: 0 And anything = 0.
+	zero := Broadcast(Zero)
+	if !zero.And(Broadcast(X)).Eq(zero) {
+		t.Error("0 AND X != 0")
+	}
+	if !Broadcast(One).Or(Broadcast(X)).Eq(Broadcast(One)) {
+		t.Error("1 OR X != 1")
+	}
+}
+
+// TestAlgebraicLaws checks commutativity and associativity of the
+// three-valued operators (the simulator folds n-ary gates pairwise, so
+// associativity is what makes fold order irrelevant).
+func TestAlgebraicLaws(t *testing.T) {
+	all := []Value{Zero, One, X}
+	for _, a := range all {
+		for _, b := range all {
+			if a.And(b) != b.And(a) || a.Or(b) != b.Or(a) || a.Xor(b) != b.Xor(a) {
+				t.Errorf("commutativity fails at %v,%v", a, b)
+			}
+			for _, c := range all {
+				if a.And(b).And(c) != a.And(b.And(c)) {
+					t.Errorf("And associativity fails at %v,%v,%v", a, b, c)
+				}
+				if a.Or(b).Or(c) != a.Or(b.Or(c)) {
+					t.Errorf("Or associativity fails at %v,%v,%v", a, b, c)
+				}
+				if a.Xor(b).Xor(c) != a.Xor(b.Xor(c)) {
+					t.Errorf("Xor associativity fails at %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestIdentityAndAnnihilator: 1 is And-identity and Or-annihilator, 0
+// vice versa, for all three values including X.
+func TestIdentityAndAnnihilator(t *testing.T) {
+	for _, v := range []Value{Zero, One, X} {
+		if v.And(One) != v {
+			t.Errorf("%v AND 1 != %v", v, v)
+		}
+		if v.Or(Zero) != v {
+			t.Errorf("%v OR 0 != %v", v, v)
+		}
+		if v.And(Zero) != Zero {
+			t.Errorf("%v AND 0 != 0", v)
+		}
+		if v.Or(One) != One {
+			t.Errorf("%v OR 1 != 1", v)
+		}
+		if v.Xor(Zero) != v {
+			t.Errorf("%v XOR 0 != %v", v, v)
+		}
+	}
+}

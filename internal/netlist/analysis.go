@@ -1,0 +1,155 @@
+package netlist
+
+// Structural analysis utilities: input/output cones, sequential
+// reachability, and sequential depth. These answer the questions test
+// generation constantly asks — what can control a line, where can a fault
+// effect go, and how many clock cycles does it need to reach an
+// observation point.
+
+// FaninCone returns the set of signals that can influence sig through
+// combinational paths only (sig itself included). Flip-flop outputs and
+// primary inputs terminate the cone.
+func (c *Circuit) FaninCone(sig SignalID) map[SignalID]bool {
+	cone := make(map[SignalID]bool)
+	var visit func(SignalID)
+	visit = func(s SignalID) {
+		if cone[s] {
+			return
+		}
+		cone[s] = true
+		if g := c.Driver(s); g >= 0 {
+			for _, in := range c.Gates[g].In {
+				visit(in)
+			}
+		}
+	}
+	visit(sig)
+	return cone
+}
+
+// FanoutCone returns the set of signals sig can influence through
+// combinational paths only (sig itself included). Flip-flop D pins and
+// primary outputs terminate the cone.
+func (c *Circuit) FanoutCone(sig SignalID) map[SignalID]bool {
+	cone := make(map[SignalID]bool)
+	var visit func(SignalID)
+	visit = func(s SignalID) {
+		if cone[s] {
+			return
+		}
+		cone[s] = true
+		for _, con := range c.Consumers(s) {
+			if con.Kind == ConsumerGate {
+				visit(c.Gates[con.Index].Out)
+			}
+		}
+	}
+	visit(sig)
+	return cone
+}
+
+// SequentialObservability returns, per signal, the minimum number of
+// clock cycles needed for a change on the signal to reach a primary
+// output: 0 for combinationally observable signals, k when the effect
+// must traverse k flip-flops, and -1 for structurally unobservable
+// signals (none exist in circuits from the registry).
+func (c *Circuit) SequentialObservability() []int {
+	const unreachable = -1
+	dist := make([]int, c.NumSignals())
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	// Multi-source BFS backwards from the primary outputs over the
+	// "influences" graph; crossing a flip-flop (D pin -> Q output) costs
+	// one cycle, combinational edges cost zero. 0-1 BFS with a deque.
+	type item struct{ sig SignalID }
+	deque := make([]item, 0, c.NumSignals())
+	pushFront := func(s SignalID) { deque = append([]item{{s}}, deque...) }
+	pushBack := func(s SignalID) { deque = append(deque, item{s}) }
+	for _, po := range c.POs {
+		if dist[po] != 0 {
+			dist[po] = 0
+			pushBack(po)
+		}
+	}
+	for len(deque) > 0 {
+		cur := deque[0].sig
+		deque = deque[1:]
+		d := dist[cur]
+		// Everything feeding cur combinationally gets distance d.
+		if g := c.Driver(cur); g >= 0 {
+			for _, in := range c.Gates[g].In {
+				if dist[in] == unreachable || dist[in] > d {
+					dist[in] = d
+					pushFront(in)
+				}
+			}
+		}
+		// If cur is a flip-flop output, its D signal gets d+1.
+		if fi := c.DFFOf(cur); fi >= 0 {
+			dSig := c.DFFs[fi].D
+			if dist[dSig] == unreachable || dist[dSig] > d+1 {
+				dist[dSig] = d + 1
+				pushBack(dSig)
+			}
+		}
+	}
+	return dist
+}
+
+// SequentialControllability returns, per signal, the minimum number of
+// clock cycles needed for primary-input changes to influence the signal:
+// 0 for signals combinationally driven from PIs, k when the influence
+// must traverse k flip-flops, -1 for signals no input can influence.
+func (c *Circuit) SequentialControllability() []int {
+	const unreachable = -1
+	dist := make([]int, c.NumSignals())
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	deque := make([]SignalID, 0, c.NumSignals())
+	for _, pi := range c.PIs {
+		dist[pi] = 0
+		deque = append(deque, pi)
+	}
+	for len(deque) > 0 {
+		cur := deque[0]
+		deque = deque[1:]
+		d := dist[cur]
+		for _, con := range c.Consumers(cur) {
+			switch con.Kind {
+			case ConsumerGate:
+				out := c.Gates[con.Index].Out
+				if dist[out] == unreachable || dist[out] > d {
+					dist[out] = d
+					deque = append([]SignalID{out}, deque...)
+				}
+			case ConsumerDFF:
+				q := c.DFFs[con.Index].Q
+				if dist[q] == unreachable || dist[q] > d+1 {
+					dist[q] = d + 1
+					deque = append(deque, q)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// SequentialDepth returns the maximum over signals of the minimum
+// input-to-output cycle distance — a lower bound on the test length any
+// single fault may need.
+func (c *Circuit) SequentialDepth() int {
+	ctrl := c.SequentialControllability()
+	obs := c.SequentialObservability()
+	depth := 0
+	for i := 0; i < c.NumSignals(); i++ {
+		if ctrl[i] < 0 || obs[i] < 0 {
+			continue
+		}
+		if d := ctrl[i] + obs[i]; d > depth {
+			depth = d
+		}
+	}
+	return depth
+}

@@ -1,0 +1,521 @@
+// Package netlist models gate-level synchronous sequential circuits in the
+// style of the ISCAS-89 benchmark suite: primary inputs, primary outputs,
+// D flip-flops, and combinational gates (BUF, NOT, AND, NAND, OR, NOR, XOR,
+// XNOR) with arbitrary fan-in.
+//
+// The model follows the classical single-clock, full-synchronous
+// abstraction used by sequential test generation: flip-flops are perfect
+// edge-triggered storage elements; all timing is in integer "time units"
+// (clock cycles); the combinational logic between state elements is
+// evaluated to fixpoint each cycle by topological ordering.
+//
+// Circuits are constructed through a Builder, which performs name
+// resolution, single-driver checking, combinational-cycle detection and
+// levelization, and produces an immutable Circuit whose gates are stored in
+// topological order so simulators can evaluate them with a single linear
+// pass per time unit.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GateType identifies the boolean function of a combinational gate.
+type GateType uint8
+
+// Gate types supported by the ISCAS-89 benchmark format.
+const (
+	Buf GateType = iota
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	numGateTypes
+)
+
+var gateTypeNames = [...]string{
+	Buf: "BUFF", Not: "NOT", And: "AND", Nand: "NAND",
+	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+}
+
+// String returns the ISCAS-89 keyword for the gate type.
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// ParseGateType converts an ISCAS-89 keyword (case-insensitive) to a
+// GateType. "BUF" and "BUFF" are both accepted.
+func ParseGateType(s string) (GateType, error) {
+	switch strings.ToUpper(s) {
+	case "BUF", "BUFF":
+		return Buf, nil
+	case "NOT", "INV":
+		return Not, nil
+	case "AND":
+		return And, nil
+	case "NAND":
+		return Nand, nil
+	case "OR":
+		return Or, nil
+	case "NOR":
+		return Nor, nil
+	case "XOR":
+		return Xor, nil
+	case "XNOR":
+		return Xnor, nil
+	}
+	return 0, fmt.Errorf("netlist: unknown gate type %q", s)
+}
+
+// MinInputs returns the minimum legal fan-in for the gate type.
+func (t GateType) MinInputs() int {
+	switch t {
+	case Buf, Not:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MaxInputs returns the maximum legal fan-in for the gate type (0 means
+// unbounded).
+func (t GateType) MaxInputs() int {
+	switch t {
+	case Buf, Not:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Inverting reports whether the gate's output inverts the "natural"
+// AND/OR/parity of its inputs (NAND, NOR, NOT, XNOR).
+func (t GateType) Inverting() bool {
+	return t == Not || t == Nand || t == Nor || t == Xnor
+}
+
+// ControllingValue returns the input value that alone determines the gate's
+// output (0 for AND/NAND, 1 for OR/NOR) and ok=true; for gates without a
+// controlling value (BUF, NOT, XOR, XNOR) ok is false and the value is
+// unspecified.
+func (t GateType) ControllingValue() (bit int, ok bool) {
+	switch t {
+	case And, Nand:
+		return 0, true
+	case Or, Nor:
+		return 1, true
+	}
+	return 0, false
+}
+
+// SignalID identifies a signal (net) within one Circuit. Signals are the
+// stems of the circuit: every gate output, primary input, and flip-flop
+// output is one signal.
+type SignalID int32
+
+// Gate is one combinational gate. In holds the driving signals of the
+// input pins in pin order; Out is the driven signal.
+type Gate struct {
+	Type GateType
+	Out  SignalID
+	In   []SignalID
+}
+
+// DFF is one D flip-flop: at each clock edge the value of signal D is
+// loaded and presented on signal Q during the next time unit.
+type DFF struct {
+	Q SignalID
+	D SignalID
+}
+
+// ConsumerKind distinguishes the kinds of pins that read a signal.
+type ConsumerKind uint8
+
+// Consumer kinds.
+const (
+	ConsumerGate ConsumerKind = iota // a gate input pin
+	ConsumerDFF                      // a flip-flop D pin
+	ConsumerPO                       // a primary-output observation point
+)
+
+// Consumer is one reader of a signal: a specific gate input pin, a DFF D
+// pin, or a primary output.
+type Consumer struct {
+	Kind  ConsumerKind
+	Index int32 // gate index, DFF index, or PO position
+	Pin   int32 // input pin within the gate (0 for DFF/PO)
+}
+
+// Circuit is an immutable gate-level synchronous sequential circuit.
+// Gates are in topological order: every gate appears after all gates
+// driving its inputs.
+type Circuit struct {
+	Name string
+
+	signalNames []string
+	signalIndex map[string]SignalID
+
+	PIs   []SignalID
+	POs   []SignalID
+	DFFs  []DFF
+	Gates []Gate
+
+	driver    []int32 // per signal: driving gate index, or -1 (PI / FF Q)
+	dffOf     []int32 // per signal: DFF index whose Q it is, or -1
+	consumers [][]Consumer
+	level     []int32 // per gate (topo position already implies levels)
+	maxLevel  int32
+}
+
+// NumSignals returns the number of distinct signals in the circuit.
+func (c *Circuit) NumSignals() int { return len(c.signalNames) }
+
+// NameOf returns the name of signal id.
+func (c *Circuit) NameOf(id SignalID) string { return c.signalNames[id] }
+
+// SignalByName returns the signal with the given name.
+func (c *Circuit) SignalByName(name string) (SignalID, bool) {
+	id, ok := c.signalIndex[name]
+	return id, ok
+}
+
+// Driver returns the index into Gates of the gate driving signal id, or -1
+// if the signal is a primary input or flip-flop output.
+func (c *Circuit) Driver(id SignalID) int { return int(c.driver[id]) }
+
+// DFFOf returns the index into DFFs whose Q output is signal id, or -1.
+func (c *Circuit) DFFOf(id SignalID) int { return int(c.dffOf[id]) }
+
+// Consumers returns the pins reading signal id. The returned slice must
+// not be modified.
+func (c *Circuit) Consumers(id SignalID) []Consumer { return c.consumers[id] }
+
+// FanoutCount returns the number of gate/DFF pins reading signal id
+// (primary-output observation points are not counted as fanout branches,
+// matching the classical stuck-at fault universe).
+func (c *Circuit) FanoutCount(id SignalID) int {
+	n := 0
+	for _, con := range c.consumers[id] {
+		if con.Kind != ConsumerPO {
+			n++
+		}
+	}
+	return n
+}
+
+// Level returns the combinational level of gate g (primary inputs and
+// flip-flop outputs are level 0; a gate's level is 1 + max input level).
+func (c *Circuit) Level(g int) int { return int(c.level[g]) }
+
+// MaxLevel returns the circuit's combinational depth.
+func (c *Circuit) MaxLevel() int { return int(c.maxLevel) }
+
+// NumPIs returns the number of primary inputs.
+func (c *Circuit) NumPIs() int { return len(c.PIs) }
+
+// NumPOs returns the number of primary outputs.
+func (c *Circuit) NumPOs() int { return len(c.POs) }
+
+// NumDFFs returns the number of flip-flops.
+func (c *Circuit) NumDFFs() int { return len(c.DFFs) }
+
+// NumGates returns the number of combinational gates.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// Stats summarizes structural properties of a circuit.
+type Stats struct {
+	Name      string
+	PIs       int
+	POs       int
+	DFFs      int
+	Gates     int
+	Signals   int
+	Depth     int
+	GateMix   map[GateType]int
+	MaxFanout int
+	MaxFanin  int
+}
+
+// Stats computes structural statistics.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Name:    c.Name,
+		PIs:     len(c.PIs),
+		POs:     len(c.POs),
+		DFFs:    len(c.DFFs),
+		Gates:   len(c.Gates),
+		Signals: c.NumSignals(),
+		Depth:   int(c.maxLevel),
+		GateMix: make(map[GateType]int),
+	}
+	for _, g := range c.Gates {
+		s.GateMix[g.Type]++
+		if len(g.In) > s.MaxFanin {
+			s.MaxFanin = len(g.In)
+		}
+	}
+	for id := 0; id < c.NumSignals(); id++ {
+		if n := c.FanoutCount(SignalID(id)); n > s.MaxFanout {
+			s.MaxFanout = n
+		}
+	}
+	return s
+}
+
+// String renders a one-line summary of the statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d PIs, %d POs, %d DFFs, %d gates, depth %d",
+		s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Depth)
+}
+
+// Builder constructs a Circuit incrementally. All referenced signals are
+// created on first use; Build reports errors for inconsistencies.
+type Builder struct {
+	name        string
+	signalNames []string
+	signalIndex map[string]SignalID
+	pis         []SignalID
+	pos         []SignalID
+	dffs        []DFF
+	gates       []Gate
+	errs        []error
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:        name,
+		signalIndex: make(map[string]SignalID),
+	}
+}
+
+// Signal returns the SignalID for name, creating the signal if needed.
+func (b *Builder) Signal(name string) SignalID {
+	if id, ok := b.signalIndex[name]; ok {
+		return id
+	}
+	id := SignalID(len(b.signalNames))
+	b.signalNames = append(b.signalNames, name)
+	b.signalIndex[name] = id
+	return id
+}
+
+// AddInput declares a primary input.
+func (b *Builder) AddInput(name string) SignalID {
+	id := b.Signal(name)
+	b.pis = append(b.pis, id)
+	return id
+}
+
+// AddOutput declares a primary output.
+func (b *Builder) AddOutput(name string) SignalID {
+	id := b.Signal(name)
+	b.pos = append(b.pos, id)
+	return id
+}
+
+// AddDFF declares a flip-flop with output signal q driven from signal d.
+func (b *Builder) AddDFF(q, d string) {
+	b.dffs = append(b.dffs, DFF{Q: b.Signal(q), D: b.Signal(d)})
+}
+
+// AddGate declares a combinational gate driving out from the given inputs.
+func (b *Builder) AddGate(t GateType, out string, ins ...string) {
+	if len(ins) < t.MinInputs() {
+		b.errs = append(b.errs, fmt.Errorf("netlist: gate %s %s: %d inputs, need at least %d",
+			t, out, len(ins), t.MinInputs()))
+		return
+	}
+	if max := t.MaxInputs(); max > 0 && len(ins) > max {
+		b.errs = append(b.errs, fmt.Errorf("netlist: gate %s %s: %d inputs, at most %d allowed",
+			t, out, len(ins), max))
+		return
+	}
+	g := Gate{Type: t, Out: b.Signal(out)}
+	for _, in := range ins {
+		g.In = append(g.In, b.Signal(in))
+	}
+	b.gates = append(b.gates, g)
+}
+
+// Build validates the netlist and returns the finished Circuit. Gates are
+// reordered topologically. Errors cover: accumulated construction errors,
+// multiply-driven signals, undriven signals, combinational cycles, and an
+// empty interface.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	n := len(b.signalNames)
+	if len(b.pis) == 0 {
+		return nil, fmt.Errorf("netlist: circuit %s has no primary inputs", b.name)
+	}
+	if len(b.pos) == 0 {
+		return nil, fmt.Errorf("netlist: circuit %s has no primary outputs", b.name)
+	}
+
+	driver := make([]int32, n)
+	dffOf := make([]int32, n)
+	for i := range driver {
+		driver[i] = -1
+		dffOf[i] = -1
+	}
+	isPI := make([]bool, n)
+	for _, id := range b.pis {
+		if isPI[id] {
+			return nil, fmt.Errorf("netlist: primary input %s declared twice", b.signalNames[id])
+		}
+		isPI[id] = true
+	}
+	for i, ff := range b.dffs {
+		if isPI[ff.Q] {
+			return nil, fmt.Errorf("netlist: signal %s is both a primary input and a flip-flop output", b.signalNames[ff.Q])
+		}
+		if dffOf[ff.Q] >= 0 {
+			return nil, fmt.Errorf("netlist: flip-flop output %s declared twice", b.signalNames[ff.Q])
+		}
+		dffOf[ff.Q] = int32(i)
+	}
+	for gi, g := range b.gates {
+		if isPI[g.Out] {
+			return nil, fmt.Errorf("netlist: gate drives primary input %s", b.signalNames[g.Out])
+		}
+		if dffOf[g.Out] >= 0 {
+			return nil, fmt.Errorf("netlist: gate drives flip-flop output %s", b.signalNames[g.Out])
+		}
+		if driver[g.Out] >= 0 {
+			return nil, fmt.Errorf("netlist: signal %s driven by multiple gates", b.signalNames[g.Out])
+		}
+		driver[g.Out] = int32(gi)
+	}
+	for id := 0; id < n; id++ {
+		if !isPI[id] && dffOf[id] < 0 && driver[id] < 0 {
+			return nil, fmt.Errorf("netlist: signal %s is never driven", b.signalNames[id])
+		}
+	}
+
+	order, level, maxLevel, err := levelize(b, driver)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reorder gates topologically and remap driver indices.
+	gates := make([]Gate, len(b.gates))
+	newIndex := make([]int32, len(b.gates))
+	for pos, old := range order {
+		gates[pos] = b.gates[old]
+		newIndex[old] = int32(pos)
+	}
+	for id := range driver {
+		if driver[id] >= 0 {
+			driver[id] = newIndex[driver[id]]
+		}
+	}
+	levels := make([]int32, len(gates))
+	for pos, old := range order {
+		levels[pos] = level[old]
+	}
+
+	c := &Circuit{
+		Name:        b.name,
+		signalNames: b.signalNames,
+		signalIndex: b.signalIndex,
+		PIs:         b.pis,
+		POs:         b.pos,
+		DFFs:        b.dffs,
+		Gates:       gates,
+		driver:      driver,
+		dffOf:       dffOf,
+		level:       levels,
+		maxLevel:    maxLevel,
+	}
+	c.buildConsumers()
+	return c, nil
+}
+
+// levelize computes a topological order of the gates treating PIs and DFF
+// outputs as sources, and reports combinational cycles.
+func levelize(b *Builder, driver []int32) (order []int, level []int32, maxLevel int32, err error) {
+	numGates := len(b.gates)
+	indegree := make([]int32, numGates)
+	dependents := make([][]int32, numGates) // driving gate -> dependent gates
+	for gi, g := range b.gates {
+		for _, in := range g.In {
+			if d := driver[in]; d >= 0 {
+				dependents[d] = append(dependents[d], int32(gi))
+				indegree[gi]++
+			}
+		}
+	}
+	level = make([]int32, numGates)
+	queue := make([]int, 0, numGates)
+	for gi := 0; gi < numGates; gi++ {
+		if indegree[gi] == 0 {
+			queue = append(queue, gi)
+			level[gi] = 1
+		}
+	}
+	order = make([]int, 0, numGates)
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		if level[gi] > maxLevel {
+			maxLevel = level[gi]
+		}
+		for _, dep := range dependents[gi] {
+			if l := level[gi] + 1; l > level[dep] {
+				level[dep] = l
+			}
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				queue = append(queue, int(dep))
+			}
+		}
+	}
+	if len(order) != numGates {
+		// Identify one gate on a cycle for the error message.
+		for gi := 0; gi < numGates; gi++ {
+			if indegree[gi] > 0 {
+				return nil, nil, 0, fmt.Errorf("netlist: combinational cycle through gate driving %s",
+					b.signalNames[b.gates[gi].Out])
+			}
+		}
+	}
+	return order, level, maxLevel, nil
+}
+
+func (c *Circuit) buildConsumers() {
+	c.consumers = make([][]Consumer, c.NumSignals())
+	for gi, g := range c.Gates {
+		for pin, in := range g.In {
+			c.consumers[in] = append(c.consumers[in],
+				Consumer{Kind: ConsumerGate, Index: int32(gi), Pin: int32(pin)})
+		}
+	}
+	for fi, ff := range c.DFFs {
+		c.consumers[ff.D] = append(c.consumers[ff.D],
+			Consumer{Kind: ConsumerDFF, Index: int32(fi)})
+	}
+	for pi, po := range c.POs {
+		c.consumers[po] = append(c.consumers[po],
+			Consumer{Kind: ConsumerPO, Index: int32(pi)})
+	}
+}
+
+// SortedSignalNames returns all signal names in sorted order (useful for
+// deterministic reports).
+func (c *Circuit) SortedSignalNames() []string {
+	names := make([]string, len(c.signalNames))
+	copy(names, c.signalNames)
+	sort.Strings(names)
+	return names
+}

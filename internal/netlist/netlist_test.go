@@ -1,0 +1,381 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildS27 constructs the ISCAS-89 s27 benchmark circuit, the worked
+// example used throughout the paper.
+func buildS27(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("s27")
+	for _, in := range []string{"G0", "G1", "G2", "G3"} {
+		b.AddInput(in)
+	}
+	b.AddOutput("G17")
+	b.AddDFF("G5", "G10")
+	b.AddDFF("G6", "G11")
+	b.AddDFF("G7", "G13")
+	b.AddGate(Not, "G14", "G0")
+	b.AddGate(Not, "G17", "G11")
+	b.AddGate(And, "G8", "G14", "G6")
+	b.AddGate(Or, "G15", "G12", "G8")
+	b.AddGate(Or, "G16", "G3", "G8")
+	b.AddGate(Nand, "G9", "G16", "G15")
+	b.AddGate(Nor, "G10", "G14", "G11")
+	b.AddGate(Nor, "G11", "G5", "G9")
+	b.AddGate(Nor, "G12", "G1", "G7")
+	b.AddGate(Nor, "G13", "G2", "G12")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("building s27: %v", err)
+	}
+	return c
+}
+
+func TestS27Structure(t *testing.T) {
+	c := buildS27(t)
+	if got := c.NumPIs(); got != 4 {
+		t.Errorf("PIs = %d, want 4", got)
+	}
+	if got := c.NumPOs(); got != 1 {
+		t.Errorf("POs = %d, want 1", got)
+	}
+	if got := c.NumDFFs(); got != 3 {
+		t.Errorf("DFFs = %d, want 3", got)
+	}
+	if got := c.NumGates(); got != 10 {
+		t.Errorf("gates = %d, want 10", got)
+	}
+	if got := c.NumSignals(); got != 17 {
+		t.Errorf("signals = %d, want 17", got)
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	c := buildS27(t)
+	pos := make(map[SignalID]int)
+	for gi, g := range c.Gates {
+		pos[g.Out] = gi
+	}
+	for gi, g := range c.Gates {
+		for _, in := range g.In {
+			if d := c.Driver(in); d >= 0 {
+				if d >= gi {
+					t.Errorf("gate %d (%s) input %s driven by later gate %d",
+						gi, c.NameOf(g.Out), c.NameOf(in), d)
+				}
+			}
+		}
+		_ = pos
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := buildS27(t)
+	for gi, g := range c.Gates {
+		lvl := c.Level(gi)
+		if lvl < 1 {
+			t.Errorf("gate %s level %d < 1", c.NameOf(g.Out), lvl)
+		}
+		for _, in := range g.In {
+			if d := c.Driver(in); d >= 0 {
+				if c.Level(d) >= lvl {
+					t.Errorf("gate %s level %d not above input %s level %d",
+						c.NameOf(g.Out), lvl, c.NameOf(in), c.Level(d))
+				}
+			}
+		}
+	}
+	if c.MaxLevel() < 3 {
+		t.Errorf("s27 depth = %d, suspiciously shallow", c.MaxLevel())
+	}
+}
+
+func TestFanoutCounts(t *testing.T) {
+	c := buildS27(t)
+	want := map[string]int{
+		"G0": 1, "G1": 1, "G2": 1, "G3": 1,
+		"G5": 1, "G6": 1, "G7": 1,
+		"G8": 2, "G9": 1, "G10": 1, "G11": 3, "G12": 2,
+		"G13": 1, "G14": 2, "G15": 1, "G16": 1,
+		"G17": 0, // PO observation is not a fanout branch
+	}
+	for name, wantN := range want {
+		id, ok := c.SignalByName(name)
+		if !ok {
+			t.Fatalf("signal %s missing", name)
+		}
+		if got := c.FanoutCount(id); got != wantN {
+			t.Errorf("fanout(%s) = %d, want %d", name, got, wantN)
+		}
+	}
+}
+
+func TestConsumersIncludePO(t *testing.T) {
+	c := buildS27(t)
+	id, _ := c.SignalByName("G17")
+	cons := c.Consumers(id)
+	foundPO := false
+	for _, con := range cons {
+		if con.Kind == ConsumerPO {
+			foundPO = true
+		}
+	}
+	if !foundPO {
+		t.Error("G17 consumers missing PO observation point")
+	}
+}
+
+func TestDriverAndDFFOf(t *testing.T) {
+	c := buildS27(t)
+	g5, _ := c.SignalByName("G5")
+	if c.Driver(g5) != -1 {
+		t.Error("FF output G5 should have no gate driver")
+	}
+	if c.DFFOf(g5) < 0 {
+		t.Error("G5 should map to a DFF")
+	}
+	g9, _ := c.SignalByName("G9")
+	if d := c.Driver(g9); d < 0 || c.Gates[d].Type != Nand {
+		t.Error("G9 should be driven by the NAND gate")
+	}
+	if c.DFFOf(g9) != -1 {
+		t.Error("G9 is not a DFF output")
+	}
+	g0, _ := c.SignalByName("G0")
+	if c.Driver(g0) != -1 || c.DFFOf(g0) != -1 {
+		t.Error("PI G0 should have neither driver nor DFF")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := buildS27(t)
+	s := c.Stats()
+	if s.Gates != 10 || s.PIs != 4 || s.POs != 1 || s.DFFs != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.GateMix[Nor] != 4 || s.GateMix[Not] != 2 || s.GateMix[Or] != 2 ||
+		s.GateMix[And] != 1 || s.GateMix[Nand] != 1 {
+		t.Errorf("gate mix = %v", s.GateMix)
+	}
+	if s.MaxFanout != 3 {
+		t.Errorf("max fanout = %d, want 3 (G11)", s.MaxFanout)
+	}
+	if !strings.Contains(s.String(), "s27") {
+		t.Errorf("Stats.String() = %q", s.String())
+	}
+}
+
+func TestMultipleDriversRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("a")
+	b.AddInput("b")
+	b.AddOutput("y")
+	b.AddGate(And, "y", "a", "b")
+	b.AddGate(Or, "y", "a", "b")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("multiply-driven signal accepted")
+	}
+}
+
+func TestUndrivenSignalRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("a")
+	b.AddOutput("y")
+	b.AddGate(And, "y", "a", "ghost")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undriven signal accepted")
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("a")
+	b.AddOutput("y")
+	b.AddGate(And, "y", "a", "z")
+	b.AddGate(Or, "z", "a", "y")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("combinational cycle accepted")
+	}
+}
+
+func TestCycleThroughDFFAccepted(t *testing.T) {
+	// Feedback through a flip-flop is the defining feature of a sequential
+	// circuit and must be legal.
+	b := NewBuilder("loop")
+	b.AddInput("a")
+	b.AddOutput("q")
+	b.AddDFF("q", "d")
+	b.AddGate(Xor, "d", "a", "q")
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("DFF feedback rejected: %v", err)
+	}
+}
+
+func TestNoInputsRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddOutput("q")
+	b.AddDFF("q", "q")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("circuit without PIs accepted")
+	}
+}
+
+func TestNoOutputsRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("a")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("circuit without POs accepted")
+	}
+}
+
+func TestGateDrivingPIRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("a")
+	b.AddInput("b")
+	b.AddOutput("y")
+	b.AddGate(And, "a", "b", "b")
+	b.AddGate(Or, "y", "a", "b")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("gate driving a PI accepted")
+	}
+}
+
+func TestGateDrivingDFFOutputRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("a")
+	b.AddOutput("q")
+	b.AddDFF("q", "a")
+	b.AddGate(Not, "q", "a")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("gate driving a DFF output accepted")
+	}
+}
+
+func TestDuplicateDFFOutputRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("a")
+	b.AddOutput("q")
+	b.AddDFF("q", "a")
+	b.AddDFF("q", "a")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate DFF output accepted")
+	}
+}
+
+func TestFaninValidation(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("a")
+	b.AddOutput("y")
+	b.AddGate(And, "y", "a") // AND with 1 input
+	if _, err := b.Build(); err == nil {
+		t.Fatal("1-input AND accepted")
+	}
+	b2 := NewBuilder("bad2")
+	b2.AddInput("a")
+	b2.AddInput("c")
+	b2.AddOutput("y")
+	b2.AddGate(Not, "y", "a", "c") // NOT with 2 inputs
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("2-input NOT accepted")
+	}
+}
+
+func TestWideGatesAccepted(t *testing.T) {
+	b := NewBuilder("wide")
+	ins := []string{"a", "b", "c", "d", "e"}
+	for _, in := range ins {
+		b.AddInput(in)
+	}
+	b.AddOutput("y")
+	b.AddGate(Nand, "y", ins...)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("5-input NAND rejected: %v", err)
+	}
+	if len(c.Gates[0].In) != 5 {
+		t.Errorf("fan-in = %d, want 5", len(c.Gates[0].In))
+	}
+}
+
+func TestParseGateType(t *testing.T) {
+	cases := map[string]GateType{
+		"AND": And, "and": And, "NAND": Nand, "OR": Or, "NOR": Nor,
+		"XOR": Xor, "XNOR": Xnor, "NOT": Not, "INV": Not,
+		"BUF": Buf, "BUFF": Buf,
+	}
+	for s, want := range cases {
+		got, err := ParseGateType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseGateType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseGateType("MUX"); err == nil {
+		t.Error("ParseGateType(MUX) succeeded")
+	}
+}
+
+func TestGateTypeStringRoundTrip(t *testing.T) {
+	for gt := Buf; gt < numGateTypes; gt++ {
+		parsed, err := ParseGateType(gt.String())
+		if err != nil {
+			t.Errorf("ParseGateType(%v.String()): %v", gt, err)
+			continue
+		}
+		if parsed != gt {
+			t.Errorf("round trip %v -> %q -> %v", gt, gt.String(), parsed)
+		}
+	}
+}
+
+func TestControllingValue(t *testing.T) {
+	cases := []struct {
+		t   GateType
+		bit int
+		ok  bool
+	}{
+		{And, 0, true}, {Nand, 0, true}, {Or, 1, true}, {Nor, 1, true},
+		{Xor, 0, false}, {Xnor, 0, false}, {Buf, 0, false}, {Not, 0, false},
+	}
+	for _, c := range cases {
+		bit, ok := c.t.ControllingValue()
+		if ok != c.ok || (ok && bit != c.bit) {
+			t.Errorf("ControllingValue(%v) = %d,%v; want %d,%v", c.t, bit, ok, c.bit, c.ok)
+		}
+	}
+}
+
+func TestInverting(t *testing.T) {
+	for _, gt := range []GateType{Not, Nand, Nor, Xnor} {
+		if !gt.Inverting() {
+			t.Errorf("%v should be inverting", gt)
+		}
+	}
+	for _, gt := range []GateType{Buf, And, Or, Xor} {
+		if gt.Inverting() {
+			t.Errorf("%v should not be inverting", gt)
+		}
+	}
+}
+
+func TestSortedSignalNames(t *testing.T) {
+	c := buildS27(t)
+	names := c.SortedSignalNames()
+	if len(names) != c.NumSignals() {
+		t.Fatalf("got %d names, want %d", len(names), c.NumSignals())
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("names not sorted at %d: %q > %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestSignalByNameMissing(t *testing.T) {
+	c := buildS27(t)
+	if _, ok := c.SignalByName("nope"); ok {
+		t.Error("SignalByName returned ok for missing signal")
+	}
+}

@@ -1,0 +1,150 @@
+// Package report renders aligned monospace tables in the style of the
+// paper's result tables, with an optional Markdown form for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Align selects column alignment.
+type Align int
+
+// Alignment values.
+const (
+	Left Align = iota
+	Right
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	columns []string
+	aligns  []Align
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers. Columns
+// default to right alignment (numeric), which callers can override with
+// AlignLeft.
+func New(title string, columns ...string) *Table {
+	t := &Table{Title: title, columns: columns, aligns: make([]Align, len(columns))}
+	for i := range t.aligns {
+		t.aligns[i] = Right
+	}
+	return t
+}
+
+// AlignLeft makes the given column indices left-aligned.
+func (t *Table) AlignLeft(cols ...int) *Table {
+	for _, c := range cols {
+		if c >= 0 && c < len(t.aligns) {
+			t.aligns[c] = Left
+		}
+	}
+	return t
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are
+// dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.columns))
+	for i := 0; i < len(row) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		w[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	return w
+}
+
+func pad(s string, width int, a Align) string {
+	if a == Right {
+		return strings.Repeat(" ", width-len(s)) + s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// String renders the aligned text form.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	w := t.widths()
+	writeRow := func(cells []string) {
+		for i := range t.columns {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			sb.WriteString(pad(cell, w[i], t.aligns[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	total := 0
+	for i, wi := range w {
+		if i > 0 {
+			total += 2
+		}
+		total += wi
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the GitHub-flavored Markdown form.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.columns, " | ") + " |\n")
+	sb.WriteString("|")
+	for _, a := range t.aligns {
+		if a == Right {
+			sb.WriteString("---:|")
+		} else {
+			sb.WriteString(":---|")
+		}
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// Itoa formats an int.
+func Itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// Ratio formats a ratio with two decimals, as the paper prints them
+// (e.g. "0.46").
+func Ratio(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Fixed formats a float with two decimals.
+func Fixed(v float64) string { return fmt.Sprintf("%.2f", v) }

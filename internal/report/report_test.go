@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tbl := New("Demo", "circuit", "len").AlignLeft(0)
+	tbl.AddRow("s27", "10")
+	tbl.AddRow("s35932", "257")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line %q", lines[0])
+	}
+	// All rows equal width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Errorf("ragged table:\n%s", out)
+		}
+	}
+	// Left-aligned circuit, right-aligned numbers.
+	if !strings.HasPrefix(lines[3], "s27 ") {
+		t.Errorf("circuit not left aligned: %q", lines[3])
+	}
+	if !strings.HasSuffix(lines[3], " 10") {
+		t.Errorf("number not right aligned: %q", lines[3])
+	}
+}
+
+func TestMissingAndExtraCells(t *testing.T) {
+	tbl := New("", "a", "b")
+	tbl.AddRow("1")
+	tbl.AddRow("1", "2", "3")
+	out := tbl.String()
+	if strings.Contains(out, "3") {
+		t.Errorf("extra cell leaked: %s", out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := New("T", "name", "v").AlignLeft(0)
+	tbl.AddRow("x", "1")
+	md := tbl.Markdown()
+	for _, want := range []string{"**T**", "| name | v |", "|:---|---:|", "| x | 1 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Itoa(42) != "42" {
+		t.Error("Itoa")
+	}
+	if Ratio(0.456) != "0.46" {
+		t.Errorf("Ratio = %q", Ratio(0.456))
+	}
+	if Fixed(30.625) != "30.62" && Fixed(30.625) != "30.63" {
+		t.Errorf("Fixed = %q", Fixed(30.625))
+	}
+}
+
+func TestAlignLeftOutOfRange(t *testing.T) {
+	// Out-of-range column indices must be ignored, not panic.
+	tbl := New("", "a").AlignLeft(-1, 5)
+	tbl.AddRow("x")
+	_ = tbl.String()
+}

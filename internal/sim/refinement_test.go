@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"seqbist/internal/iscas"
+	"seqbist/internal/logic"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// TestSimulationMonotoneUnderInputRefinement: replace X inputs with
+// definite values — every definite PO/state value of the X run must
+// survive. This is the whole-simulator version of the gate-level
+// refinement property and is what justifies starting from the all-X
+// state: any concrete power-on state is a refinement.
+func TestSimulationMonotoneUnderInputRefinement(t *testing.T) {
+	c := iscas.S27()
+	rng := xrand.New(314)
+	for trial := 0; trial < 25; trial++ {
+		// A sequence with X sprinkled in.
+		seq := vectors.RandomSequence(rng, c.NumPIs(), 8)
+		for _, v := range seq {
+			for i := range v {
+				if rng.Float64() < 0.3 {
+					v[i] = logic.X
+				}
+			}
+		}
+		// A refinement: every X replaced by a random definite value.
+		refined := seq.Clone()
+		for _, v := range refined {
+			for i := range v {
+				if v[i] == logic.X {
+					if rng.Bool() {
+						v[i] = logic.One
+					} else {
+						v[i] = logic.Zero
+					}
+				}
+			}
+		}
+		base := New(c).Run(seq)
+		ref := New(c).Run(refined)
+		for u := range base.POs {
+			for i, v := range base.POs[u] {
+				if v != logic.X && ref.POs[u][i] != v {
+					t.Fatalf("trial %d u=%d PO%d: definite %v contradicted by refinement %v",
+						trial, u, i, v, ref.POs[u][i])
+				}
+			}
+			for i, v := range base.States[u] {
+				if v != logic.X && ref.States[u][i] != v {
+					t.Fatalf("trial %d u=%d FF%d: definite %v contradicted by refinement %v",
+						trial, u, i, v, ref.States[u][i])
+				}
+			}
+		}
+	}
+}
+
+// TestAllXInputsProduceValidValues: even fully unknown stimuli must never
+// produce Invalid values anywhere.
+func TestAllXInputsProduceValidValues(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	s := New(c)
+	state := s.InitialState()
+	po := make([]logic.Value, c.NumPOs())
+	xvec := make(vectors.Vector, c.NumPIs())
+	for i := range xvec {
+		xvec[i] = logic.X
+	}
+	for u := 0; u < 5; u++ {
+		s.Step(state, xvec, po)
+		for _, v := range s.Values() {
+			if !v.Valid() {
+				t.Fatal("simulator produced Invalid value")
+			}
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package sim
+
+import "seqbist/internal/xrand"
+
+// newTestRNG returns a fixed-seed RNG for tests.
+func newTestRNG() *xrand.RNG { return xrand.New(0x5eed) }

@@ -1,0 +1,179 @@
+// Package sim implements fault-free three-valued simulation of synchronous
+// sequential circuits.
+//
+// Simulation follows the classical zero-delay synchronous model: at each
+// time unit the primary-input vector and the current flip-flop state are
+// applied, the combinational logic is evaluated in topological order, the
+// primary outputs are sampled, and the flip-flop next state is captured
+// from the D signals. Circuits start in the all-unknown state, matching
+// the paper's assumption that every (expanded) sequence is applied from an
+// unknown initial state.
+package sim
+
+import (
+	"fmt"
+
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+// Simulator holds preallocated evaluation state for one circuit. It is not
+// safe for concurrent use; create one Simulator per goroutine.
+type Simulator struct {
+	c      *netlist.Circuit
+	values []logic.Value // per-signal values for the current time unit
+}
+
+// New returns a Simulator for c.
+func New(c *netlist.Circuit) *Simulator {
+	return &Simulator{
+		c:      c,
+		values: make([]logic.Value, c.NumSignals()),
+	}
+}
+
+// Circuit returns the simulated circuit.
+func (s *Simulator) Circuit() *netlist.Circuit { return s.c }
+
+// InitialState returns the all-unknown flip-flop state.
+func (s *Simulator) InitialState() []logic.Value {
+	st := make([]logic.Value, s.c.NumDFFs())
+	for i := range st {
+		st[i] = logic.X
+	}
+	return st
+}
+
+// EvalGate computes the output of a gate of type t over the given input
+// values using three-valued semantics.
+func EvalGate(t netlist.GateType, in []logic.Value) logic.Value {
+	switch t {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		return in[0].Not()
+	case netlist.And, netlist.Nand:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = v.And(x)
+		}
+		if t == netlist.Nand {
+			v = v.Not()
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = v.Or(x)
+		}
+		if t == netlist.Nor {
+			v = v.Not()
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = v.Xor(x)
+		}
+		if t == netlist.Xnor {
+			v = v.Not()
+		}
+		return v
+	}
+	panic(fmt.Sprintf("sim: unknown gate type %v", t))
+}
+
+// Step applies one input vector given the current flip-flop state. It
+// writes the primary-output values into po, updates state in place to the
+// next state, and returns po. Slices must have lengths NumPOs and NumDFFs;
+// vec must have length NumPIs.
+func (s *Simulator) Step(state []logic.Value, vec vectors.Vector, po []logic.Value) []logic.Value {
+	c := s.c
+	if len(vec) != c.NumPIs() {
+		panic(fmt.Sprintf("sim: vector width %d, circuit has %d PIs", len(vec), c.NumPIs()))
+	}
+	vals := s.values
+	for i, pi := range c.PIs {
+		vals[pi] = vec[i]
+	}
+	for i, ff := range c.DFFs {
+		vals[ff.Q] = state[i]
+	}
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		v := vals[g.In[0]]
+		switch g.Type {
+		case netlist.Buf:
+		case netlist.Not:
+			v = v.Not()
+		case netlist.And:
+			for _, in := range g.In[1:] {
+				v = v.And(vals[in])
+			}
+		case netlist.Nand:
+			for _, in := range g.In[1:] {
+				v = v.And(vals[in])
+			}
+			v = v.Not()
+		case netlist.Or:
+			for _, in := range g.In[1:] {
+				v = v.Or(vals[in])
+			}
+		case netlist.Nor:
+			for _, in := range g.In[1:] {
+				v = v.Or(vals[in])
+			}
+			v = v.Not()
+		case netlist.Xor:
+			for _, in := range g.In[1:] {
+				v = v.Xor(vals[in])
+			}
+		case netlist.Xnor:
+			for _, in := range g.In[1:] {
+				v = v.Xor(vals[in])
+			}
+			v = v.Not()
+		}
+		vals[g.Out] = v
+	}
+	for i, sig := range c.POs {
+		po[i] = vals[sig]
+	}
+	for i, ff := range c.DFFs {
+		state[i] = vals[ff.D]
+	}
+	return po
+}
+
+// Values returns the per-signal values computed by the most recent Step.
+// The slice is owned by the Simulator and overwritten by the next Step.
+func (s *Simulator) Values() []logic.Value { return s.values }
+
+// Trace records the observable behaviour of a fault-free simulation run:
+// the primary-output values and the flip-flop state after every time unit.
+type Trace struct {
+	// POs[u][i] is the value of primary output i at time unit u.
+	POs [][]logic.Value
+	// States[u][i] is the value of flip-flop i after the clock edge of
+	// time unit u (i.e. the state entering time unit u+1).
+	States [][]logic.Value
+}
+
+// Run simulates seq from the all-unknown state and returns the full trace.
+func (s *Simulator) Run(seq vectors.Sequence) *Trace {
+	tr := &Trace{
+		POs:    make([][]logic.Value, len(seq)),
+		States: make([][]logic.Value, len(seq)),
+	}
+	state := s.InitialState()
+	for u, vec := range seq {
+		po := make([]logic.Value, s.c.NumPOs())
+		s.Step(state, vec, po)
+		tr.POs[u] = po
+		snapshot := make([]logic.Value, len(state))
+		copy(snapshot, state)
+		tr.States[u] = snapshot
+	}
+	return tr
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+
+	"seqbist/internal/bench"
+	"seqbist/internal/iscas"
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+func mustCircuit(t *testing.T, src, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEvalGateTruthTables(t *testing.T) {
+	z, o, x := logic.Zero, logic.One, logic.X
+	cases := []struct {
+		t    netlist.GateType
+		in   []logic.Value
+		want logic.Value
+	}{
+		{netlist.Buf, []logic.Value{o}, o},
+		{netlist.Not, []logic.Value{o}, z},
+		{netlist.And, []logic.Value{o, o, o}, o},
+		{netlist.And, []logic.Value{o, z, x}, z},
+		{netlist.Nand, []logic.Value{o, o}, z},
+		{netlist.Nand, []logic.Value{z, x}, o},
+		{netlist.Or, []logic.Value{z, z, z}, z},
+		{netlist.Or, []logic.Value{z, x, o}, o},
+		{netlist.Nor, []logic.Value{z, z}, o},
+		{netlist.Nor, []logic.Value{x, z}, x},
+		{netlist.Xor, []logic.Value{o, o}, z},
+		{netlist.Xor, []logic.Value{o, z, o}, z},
+		{netlist.Xor, []logic.Value{o, x}, x},
+		{netlist.Xnor, []logic.Value{o, z}, z},
+		{netlist.Xnor, []logic.Value{o, o}, o},
+	}
+	for _, c := range cases {
+		if got := EvalGate(c.t, c.in); got != c.want {
+			t.Errorf("EvalGate(%v, %v) = %v, want %v", c.t, c.in, got, c.want)
+		}
+	}
+}
+
+// TestCombinationalFullAdder exercises a known combinational truth table
+// through the sequential Step machinery (no DFFs).
+func TestCombinationalFullAdder(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+axb = XOR(a, b)
+sum = XOR(axb, cin)
+ab = AND(a, b)
+ac = AND(axb, cin)
+cout = OR(ab, ac)
+`
+	c := mustCircuit(t, src, "fa")
+	s := New(c)
+	state := s.InitialState()
+	po := make([]logic.Value, 2)
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for cin := 0; cin < 2; cin++ {
+				vec := vectors.Vector{logic.FromBit(a), logic.FromBit(b), logic.FromBit(cin)}
+				s.Step(state, vec, po)
+				sum, cout := (a+b+cin)&1, (a+b+cin)>>1
+				if po[0] != logic.FromBit(sum) || po[1] != logic.FromBit(cout) {
+					t.Errorf("adder(%d,%d,%d) = %v,%v; want %d,%d", a, b, cin, po[0], po[1], sum, cout)
+				}
+			}
+		}
+	}
+}
+
+func TestS27FirstTwoTimeUnits(t *testing.T) {
+	// Hand-computed three-valued simulation of the paper's Table 2
+	// sequence on s27: after 0111 from the all-X state the PO (G17) is
+	// still X and the state is (G5,G6,G7) = (0,X,0); after the following
+	// 1001 the PO is 0 and the state is (0,1,0).
+	c := iscas.S27()
+	s := New(c)
+	state := s.InitialState()
+	po := make([]logic.Value, 1)
+
+	s.Step(state, vectors.MustParseVector("0111"), po)
+	if po[0] != logic.X {
+		t.Errorf("PO after 0111 = %v, want X", po[0])
+	}
+	wantState := []logic.Value{logic.Zero, logic.X, logic.Zero}
+	for i, w := range wantState {
+		if state[i] != w {
+			t.Errorf("state[%d] after 0111 = %v, want %v", i, state[i], w)
+		}
+	}
+
+	s.Step(state, vectors.MustParseVector("1001"), po)
+	if po[0] != logic.Zero {
+		t.Errorf("PO after 1001 = %v, want 0", po[0])
+	}
+	wantState = []logic.Value{logic.Zero, logic.One, logic.Zero}
+	for i, w := range wantState {
+		if state[i] != w {
+			t.Errorf("state[%d] after 1001 = %v, want %v", i, state[i], w)
+		}
+	}
+}
+
+func TestRunTraceShape(t *testing.T) {
+	c := iscas.S27()
+	s := New(c)
+	seq := vectors.MustParseSequence("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011")
+	tr := s.Run(seq)
+	if len(tr.POs) != seq.Len() || len(tr.States) != seq.Len() {
+		t.Fatalf("trace lengths %d/%d, want %d", len(tr.POs), len(tr.States), seq.Len())
+	}
+	for u := range tr.POs {
+		if len(tr.POs[u]) != c.NumPOs() {
+			t.Fatalf("PO row %d has %d entries", u, len(tr.POs[u]))
+		}
+		if len(tr.States[u]) != c.NumDFFs() {
+			t.Fatalf("state row %d has %d entries", u, len(tr.States[u]))
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := iscas.S27()
+	seq := vectors.MustParseSequence("0111 1001 0100 1011")
+	a := New(c).Run(seq)
+	b := New(c).Run(seq)
+	for u := range a.POs {
+		for i := range a.POs[u] {
+			if a.POs[u][i] != b.POs[u][i] {
+				t.Fatalf("PO trace differs at u=%d", u)
+			}
+		}
+	}
+}
+
+// TestXStatePessimism verifies that values stay X while the state is
+// unresolved: a DFF looping through a buffer never synchronizes.
+func TestXStatePessimism(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = BUFF(q)
+y = XOR(a, q)
+`
+	c := mustCircuit(t, src, "loop")
+	s := New(c)
+	seq := vectors.MustParseSequence("0 1 0 1 1")
+	tr := s.Run(seq)
+	for u := range tr.POs {
+		if tr.POs[u][0] != logic.X {
+			t.Errorf("u=%d: PO = %v, want X (state can never synchronize)", u, tr.POs[u][0])
+		}
+	}
+}
+
+// TestSynchronizingReset verifies that an AND-gated feedback loop
+// synchronizes when the controlling input is applied.
+func TestSynchronizingReset(t *testing.T) {
+	src := `
+INPUT(en)
+OUTPUT(y)
+q = DFF(d)
+d = AND(en, nq)
+nq = NOT(q)
+y = BUFF(q)
+`
+	c := mustCircuit(t, src, "sync")
+	s := New(c)
+	// en=0 forces d=0 regardless of the X state, so after one step the
+	// state is known.
+	tr := s.Run(vectors.MustParseSequence("0 1 1 1"))
+	if tr.POs[0][0] != logic.X {
+		t.Errorf("u=0: PO = %v, want X", tr.POs[0][0])
+	}
+	want := []logic.Value{logic.Zero, logic.One, logic.Zero} // q toggles once enabled
+	for u := 1; u < 4; u++ {
+		if tr.POs[u][0] != want[u-1] {
+			t.Errorf("u=%d: PO = %v, want %v", u, tr.POs[u][0], want[u-1])
+		}
+	}
+}
+
+func TestStepPanicsOnWrongWidth(t *testing.T) {
+	c := iscas.S27()
+	s := New(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step with wrong vector width did not panic")
+		}
+	}()
+	s.Step(s.InitialState(), vectors.MustParseVector("01"), make([]logic.Value, 1))
+}
+
+func TestStepMatchesEvalGate(t *testing.T) {
+	// Cross-check the inlined Step gate evaluation against EvalGate on a
+	// synthesized circuit with every gate type.
+	c := iscas.MustLoad("s344")
+	s := New(c)
+	state := s.InitialState()
+	po := make([]logic.Value, c.NumPOs())
+	vec := vectors.RandomSequence(newTestRNG(), c.NumPIs(), 1)[0]
+	s.Step(state, vec, po)
+	vals := s.Values()
+	in := make([]logic.Value, 0, 8)
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		in = in[:0]
+		for _, sig := range g.In {
+			in = append(in, vals[sig])
+		}
+		if want := EvalGate(g.Type, in); vals[g.Out] != want {
+			t.Fatalf("gate %d (%v): Step computed %v, EvalGate %v", gi, g.Type, vals[g.Out], want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package tcompact
+
+import (
+	"testing"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
+	"seqbist/internal/iscas"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// TestChunkedRestorationStillCovers stresses the doubling-chunk
+// restoration across many random sequences: coverage must never drop,
+// whatever the chunk boundaries do.
+func TestChunkedRestorationStillCovers(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	rng := xrand.New(123)
+	for trial := 0; trial < 10; trial++ {
+		t0 := vectors.RandomSequence(rng, c.NumPIs(), 10+rng.Intn(60))
+		before := fsim.Run(c, fl, t0)
+		compacted, st := Compact(c, fl, t0)
+		after := fsim.Run(c, fl, compacted)
+		if after.NumDetected < before.NumDetected {
+			t.Fatalf("trial %d: coverage %d -> %d", trial, before.NumDetected, after.NumDetected)
+		}
+		if st.CompactedLen != compacted.Len() {
+			t.Fatalf("trial %d: stats mismatch", trial)
+		}
+		if st.Restorations == 0 && before.NumDetected > 0 {
+			t.Fatalf("trial %d: no restoration simulations recorded", trial)
+		}
+	}
+}
+
+// TestCompactIdempotent: compacting an already-compacted sequence keeps
+// coverage and cannot grow it.
+func TestCompactIdempotent(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	t0 := vectors.RandomSequence(xrand.New(77), c.NumPIs(), 50)
+	once, _ := Compact(c, fl, t0)
+	twice, _ := Compact(c, fl, once)
+	if twice.Len() > once.Len() {
+		t.Errorf("second compaction grew the sequence: %d -> %d", once.Len(), twice.Len())
+	}
+	a := fsim.Run(c, fl, once)
+	b := fsim.Run(c, fl, twice)
+	if b.NumDetected < a.NumDetected {
+		t.Errorf("second compaction lost coverage: %d -> %d", a.NumDetected, b.NumDetected)
+	}
+}

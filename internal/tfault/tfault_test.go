@@ -1,0 +1,159 @@
+package tfault
+
+import (
+	"testing"
+
+	"seqbist/internal/bench"
+	"seqbist/internal/core"
+	"seqbist/internal/expand"
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+func bufCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)", "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSlowToRiseNeedsLaunchAndCapture(t *testing.T) {
+	c := bufCircuit(t)
+	a, _ := c.SignalByName("a")
+	str := Fault{Signal: a, SlowToRise: true}
+	s := NewSim(c)
+
+	// 0 -> 1 transition: the rise is delayed, output stays 0, detected.
+	if det, at := s.Detects(str, vectors.MustParseSequence("0 1")); !det || at != 1 {
+		t.Errorf("STR under 0,1: det=%v at=%d, want true at 1", det, at)
+	}
+	// Constant 1 from an unknown state: no observable transition, the
+	// delayed value stays X-pessimistic, undetected.
+	if det, _ := s.Detects(str, vectors.MustParseSequence("1 1 1")); det {
+		t.Error("STR detected without a launch transition")
+	}
+	// Constant 0: line never rises, undetected.
+	if det, _ := s.Detects(str, vectors.MustParseSequence("0 0 0")); det {
+		t.Error("STR detected while line held 0")
+	}
+	// After the delayed cycle the line recovers: 0,1,1 detects at u=1
+	// but u=2 would match fault-free again.
+	if det, at := s.Detects(str, vectors.MustParseSequence("0 1 1")); !det || at != 1 {
+		t.Errorf("STR under 0,1,1: det=%v at=%d", det, at)
+	}
+}
+
+func TestSlowToFallSymmetric(t *testing.T) {
+	c := bufCircuit(t)
+	a, _ := c.SignalByName("a")
+	stf := Fault{Signal: a, SlowToRise: false}
+	s := NewSim(c)
+	if det, at := s.Detects(stf, vectors.MustParseSequence("1 0")); !det || at != 1 {
+		t.Errorf("STF under 1,0: det=%v at=%d, want true at 1", det, at)
+	}
+	if det, _ := s.Detects(stf, vectors.MustParseSequence("0 0")); det {
+		t.Error("STF detected without a falling transition")
+	}
+}
+
+func TestGateSiteAndStateSite(t *testing.T) {
+	src := `INPUT(a)
+OUTPUT(y)
+q = DFF(n)
+n = NOT(a)
+y = BUFF(q)
+`
+	c, err := bench.ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := c.SignalByName("n")
+	q, _ := c.SignalByName("q")
+	s := NewSim(c)
+	// n = NOT(a): a=1,0 gives n=0,1 (rise at u=1); q delays one cycle; y
+	// observes q. STR at n: the rise at u=1 is delayed, so q at u=2
+	// differs: detect at u=2.
+	strN := Fault{Signal: n, SlowToRise: true}
+	if det, at := s.Detects(strN, vectors.MustParseSequence("1 0 0")); !det || at != 2 {
+		t.Errorf("STR at n: det=%v at=%d, want true at 2", det, at)
+	}
+	// STR at q (a flip-flop output): q rises one cycle after n does.
+	strQ := Fault{Signal: q, SlowToRise: true}
+	if det, _ := s.Detects(strQ, vectors.MustParseSequence("1 0 0 0")); !det {
+		t.Error("STR at q undetected")
+	}
+}
+
+func TestUniverseSize(t *testing.T) {
+	c := iscas.S27()
+	fl := Universe(c)
+	if len(fl) != 2*c.NumSignals() {
+		t.Errorf("universe %d, want %d", len(fl), 2*c.NumSignals())
+	}
+	seen := make(map[Fault]bool)
+	for _, f := range fl {
+		if seen[f] {
+			t.Fatalf("duplicate fault %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := iscas.S27()
+	g8, _ := c.SignalByName("G8")
+	if got := (Fault{Signal: g8, SlowToRise: true}).Name(c); got != "G8 STR" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := (Fault{Signal: g8}).Name(c); got != "G8 STF" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// TestExpandedSequencesImproveTransitionCoverage measures the paper's
+// at-speed motivation: the expanded set applies 8n vectors per stored
+// vector, so its transition-fault coverage should at least match T0's on
+// the worked example.
+func TestExpandedSequencesImproveTransitionCoverage(t *testing.T) {
+	c := iscas.S27()
+	sfl := faults.CollapsedUniverse(c)
+	tfl := Universe(c)
+	t0 := vectors.MustParseSequence("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011")
+
+	cfg := core.DefaultConfig(2)
+	res, err := core.Select(c, sfl, t0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _ := core.CompactSet(c, sfl, res, cfg)
+	var expanded []vectors.Sequence
+	for _, s := range set {
+		expanded = append(expanded, expand.Expand(s.Seq, cfg.N))
+	}
+
+	covT0 := Coverage(c, tfl, t0)
+	covExp := CoverageOfSet(c, tfl, expanded)
+	t.Logf("transition coverage: T0 %d/%d, expanded set %d/%d",
+		covT0, len(tfl), covExp, len(tfl))
+	if covExp < covT0*3/4 {
+		t.Errorf("expanded set transition coverage %d collapsed versus T0's %d", covExp, covT0)
+	}
+}
+
+func TestCoverageHelpers(t *testing.T) {
+	c := bufCircuit(t)
+	fl := Universe(c)
+	seq := vectors.MustParseSequence("0 1 0")
+	cov := Coverage(c, fl, seq)
+	if cov == 0 {
+		t.Error("no transition faults detected by 0,1,0 on a buffer")
+	}
+	setCov := CoverageOfSet(c, fl, []vectors.Sequence{seq[:2], seq[1:]})
+	if setCov < cov {
+		t.Errorf("set coverage %d below single-sequence %d", setCov, cov)
+	}
+}

@@ -1,0 +1,94 @@
+package vectors
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seqbist/internal/xrand"
+)
+
+// TestSubsequenceConcatIdentity: T0[0,k] · T0[k+1,L-1] == T0 for any
+// split point — the paper's windowing never loses or duplicates vectors.
+func TestSubsequenceConcatIdentity(t *testing.T) {
+	f := func(seed uint64, lenRaw, cutRaw uint8) bool {
+		l := int(lenRaw%12) + 2
+		seq := RandomSequence(xrand.New(seed), 4, l)
+		k := int(cutRaw) % (l - 1)
+		joined := seq.Subsequence(0, k).Concat(seq.Subsequence(k+1, l-1))
+		return joined.Equal(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOmitAtShrinksByOne and preserves all other vectors in order.
+func TestOmitAtAlgebra(t *testing.T) {
+	f := func(seed uint64, lenRaw, posRaw uint8) bool {
+		l := int(lenRaw%10) + 2
+		seq := RandomSequence(xrand.New(seed), 3, l)
+		u := int(posRaw) % l
+		out := seq.OmitAt(u)
+		if out.Len() != l-1 {
+			return false
+		}
+		for i := 0; i < u; i++ {
+			if !out[i].Equal(seq[i]) {
+				return false
+			}
+		}
+		for i := u; i < l-1; i++ {
+			if !out[i].Equal(seq[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcatAssociative.
+func TestConcatAssociative(t *testing.T) {
+	rng := xrand.New(5)
+	a := RandomSequence(rng, 3, 2)
+	b := RandomSequence(rng, 3, 3)
+	c := RandomSequence(rng, 3, 1)
+	if !a.Concat(b).Concat(c).Equal(a.Concat(b.Concat(c))) {
+		t.Error("Concat not associative")
+	}
+}
+
+// TestSubsequenceOfSubsequence composes: (s[a,b])[c,d] == s[a+c, a+d].
+func TestSubsequenceComposition(t *testing.T) {
+	seq := RandomSequence(xrand.New(9), 4, 12)
+	outer := seq.Subsequence(3, 9) // length 7
+	inner := outer.Subsequence(2, 5)
+	direct := seq.Subsequence(5, 8)
+	if !inner.Equal(direct) {
+		t.Errorf("composition fails: %v vs %v", inner, direct)
+	}
+}
+
+// TestCloneEqualProperty: a clone is equal but disjoint in storage.
+func TestCloneEqualProperty(t *testing.T) {
+	f := func(seed uint64, lenRaw uint8) bool {
+		l := int(lenRaw % 8)
+		seq := RandomSequence(xrand.New(seed), 5, l)
+		c := seq.Clone()
+		if !c.Equal(seq) {
+			return false
+		}
+		if l > 0 {
+			c[0][0] = c[0][0].Not()
+			if c.Equal(seq) {
+				return false // mutation must not propagate
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

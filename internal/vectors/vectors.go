@@ -1,0 +1,244 @@
+// Package vectors provides test vectors and test sequences for synchronous
+// sequential circuits.
+//
+// A Vector assigns one three-valued logic value to each primary input of a
+// circuit for one time unit; a Sequence is an ordered list of vectors
+// applied at consecutive time units. The paper's notation maps directly:
+// T0[u] is Sequence indexing, T0[u1,u2] is Subsequence, and the per-vector
+// manipulations (complementation, circular shift) implemented on Vector are
+// the hardware operations of the paper's §2.
+package vectors
+
+import (
+	"fmt"
+	"strings"
+
+	"seqbist/internal/logic"
+	"seqbist/internal/xrand"
+)
+
+// Vector is an assignment of logic values to the primary inputs at one time
+// unit. Index 0 corresponds to the first (most significant, in the paper's
+// shift convention) primary input.
+type Vector []logic.Value
+
+// ParseVector parses a string such as "0111" or "1x0" into a Vector.
+func ParseVector(s string) (Vector, error) {
+	v := make(Vector, len(s))
+	for i := 0; i < len(s); i++ {
+		val, err := logic.ParseValue(s[i])
+		if err != nil {
+			return nil, fmt.Errorf("vectors: position %d of %q: %v", i, s, err)
+		}
+		v[i] = val
+	}
+	return v, nil
+}
+
+// MustParseVector is ParseVector that panics on error; intended for tests
+// and embedded literals.
+func MustParseVector(s string) Vector {
+	v, err := ParseVector(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String renders the vector as a compact string of 0/1/X characters.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(len(v))
+	for _, val := range v {
+		sb.WriteString(val.String())
+	}
+	return sb.String()
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether v and w have identical lengths and values.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Complement returns the bitwise complement of v (X stays X). This is the
+// paper's complementation operation, implemented on-chip by inverters on
+// the memory outputs.
+func (v Vector) Complement() Vector {
+	out := make(Vector, len(v))
+	for i, val := range v {
+		out[i] = val.Not()
+	}
+	return out
+}
+
+// ShiftLeftCircular returns v circularly shifted left by one position: the
+// value at index i of the result is the value at index (i+1) mod len(v) of
+// v. This is the paper's shifting operation ("the multiplexer on output i
+// is driven ... from output (i+1) mod m"), with index 0 the
+// most-significant position. Circular shift prevents the vector from
+// draining to all-0 or all-1.
+func (v Vector) ShiftLeftCircular() Vector {
+	n := len(v)
+	out := make(Vector, n)
+	if n == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[i] = v[(i+1)%n]
+	}
+	return out
+}
+
+// Random returns a vector of the given width with uniformly random binary
+// values drawn from rng.
+func Random(rng *xrand.RNG, width int) Vector {
+	v := make(Vector, width)
+	for i := range v {
+		if rng.Bool() {
+			v[i] = logic.One
+		} else {
+			v[i] = logic.Zero
+		}
+	}
+	return v
+}
+
+// Sequence is an ordered list of vectors applied at consecutive time
+// units, starting from the all-unknown circuit state.
+type Sequence []Vector
+
+// ParseSequence parses whitespace- or comma-separated vector strings, e.g.
+// "0111 1001 0111".
+func ParseSequence(s string) (Sequence, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == ','
+	})
+	seq := make(Sequence, 0, len(fields))
+	for _, f := range fields {
+		v, err := ParseVector(f)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// MustParseSequence is ParseSequence that panics on error.
+func MustParseSequence(s string) Sequence {
+	seq, err := ParseSequence(s)
+	if err != nil {
+		panic(err)
+	}
+	return seq
+}
+
+// String renders the sequence as space-separated vectors.
+func (s Sequence) String() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Len returns the number of vectors (the paper's sequence length L).
+func (s Sequence) Len() int { return len(s) }
+
+// Width returns the vector width, or 0 for an empty sequence.
+func (s Sequence) Width() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return len(s[0])
+}
+
+// Clone returns a deep copy of s.
+func (s Sequence) Clone() Sequence {
+	out := make(Sequence, len(s))
+	for i, v := range s {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// Equal reports whether s and t are element-wise equal.
+func (s Sequence) Equal(t Sequence) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if !s[i].Equal(t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsequence returns the paper's T0[u1,u2]: the vectors from time unit u1
+// through u2 inclusive. It panics if the bounds are invalid.
+func (s Sequence) Subsequence(u1, u2 int) Sequence {
+	if u1 < 0 || u2 >= len(s) || u1 > u2 {
+		panic(fmt.Sprintf("vectors: invalid subsequence [%d,%d] of length-%d sequence", u1, u2, len(s)))
+	}
+	out := make(Sequence, u2-u1+1)
+	copy(out, s[u1:u2+1])
+	return out
+}
+
+// OmitAt returns a copy of s with the vector at time unit u removed
+// (Procedure 2's omission step). It panics if u is out of range.
+func (s Sequence) OmitAt(u int) Sequence {
+	if u < 0 || u >= len(s) {
+		panic(fmt.Sprintf("vectors: OmitAt(%d) on length-%d sequence", u, len(s)))
+	}
+	out := make(Sequence, 0, len(s)-1)
+	out = append(out, s[:u]...)
+	out = append(out, s[u+1:]...)
+	return out
+}
+
+// Concat returns the concatenation of s followed by t (the paper's "·").
+func (s Sequence) Concat(t Sequence) Sequence {
+	out := make(Sequence, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// RandomSequence returns a sequence of length n whose vectors have
+// uniformly random binary values.
+func RandomSequence(rng *xrand.RNG, width, n int) Sequence {
+	s := make(Sequence, n)
+	for i := range s {
+		s[i] = Random(rng, width)
+	}
+	return s
+}
+
+// TotalAndMaxLength returns the total and maximum lengths across a set of
+// sequences, the two quantities reported in the paper's Tables 3 and 5.
+func TotalAndMaxLength(set []Sequence) (total, max int) {
+	for _, s := range set {
+		total += len(s)
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return total, max
+}

@@ -1,0 +1,274 @@
+package vectors
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seqbist/internal/logic"
+	"seqbist/internal/xrand"
+)
+
+func TestParseVectorRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "1", "X", "0111", "1001", "10X1", ""} {
+		v, err := ParseVector(s)
+		if err != nil {
+			t.Fatalf("ParseVector(%q): %v", s, err)
+		}
+		if got := v.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestParseVectorError(t *testing.T) {
+	if _, err := ParseVector("01z"); err == nil {
+		t.Error("ParseVector(01z) succeeded")
+	}
+}
+
+func TestMustParseVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseVector did not panic on bad input")
+		}
+	}()
+	MustParseVector("2")
+}
+
+func TestComplement(t *testing.T) {
+	v := MustParseVector("01X")
+	want := MustParseVector("10X")
+	if got := v.Complement(); !got.Equal(want) {
+		t.Errorf("Complement(01X) = %v, want %v", got, want)
+	}
+	// Involution.
+	if !v.Complement().Complement().Equal(v) {
+		t.Error("complement is not an involution")
+	}
+}
+
+// TestShiftLeftCircularPaperExamples checks the exact examples from the
+// paper's §2: "for the sequence S = (001, 101), we obtain
+// S << 1 = (010, 011)".
+func TestShiftLeftCircularPaperExamples(t *testing.T) {
+	cases := map[string]string{
+		"001":  "010",
+		"101":  "011",
+		"000":  "000",
+		"110":  "101",
+		"111":  "111",
+		"1011": "0111",
+		"0100": "1000",
+		"0111": "1110",
+		"1000": "0001",
+	}
+	for in, want := range cases {
+		got := MustParseVector(in).ShiftLeftCircular()
+		if got.String() != want {
+			t.Errorf("%s << 1 = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestShiftPreservesPopCount(t *testing.T) {
+	f := func(bits uint16, width uint8) bool {
+		w := int(width%12) + 1
+		v := make(Vector, w)
+		ones := 0
+		for i := 0; i < w; i++ {
+			if bits>>uint(i)&1 == 1 {
+				v[i] = logic.One
+				ones++
+			} else {
+				v[i] = logic.Zero
+			}
+		}
+		shifted := v.ShiftLeftCircular()
+		got := 0
+		for _, val := range shifted {
+			if val == logic.One {
+				got++
+			}
+		}
+		return got == ones && len(shifted) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftWidthTimesIsIdentity(t *testing.T) {
+	v := MustParseVector("10110")
+	s := v.Clone()
+	for i := 0; i < len(v); i++ {
+		s = s.ShiftLeftCircular()
+	}
+	if !s.Equal(v) {
+		t.Errorf("shifting %d times changed %v to %v", len(v), v, s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := MustParseVector("0101")
+	c := v.Clone()
+	c[0] = logic.One
+	if v[0] != logic.Zero {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParseVector("010")
+	if !a.Equal(MustParseVector("010")) {
+		t.Error("equal vectors reported unequal")
+	}
+	if a.Equal(MustParseVector("011")) || a.Equal(MustParseVector("0101")) {
+		t.Error("unequal vectors reported equal")
+	}
+}
+
+func TestParseSequence(t *testing.T) {
+	s, err := ParseSequence("0111 1001,0111\n1001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 || s.Width() != 4 {
+		t.Fatalf("len=%d width=%d", s.Len(), s.Width())
+	}
+	if s.String() != "0111 1001 0111 1001" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSequenceSubsequencePaperNotation(t *testing.T) {
+	// T0 for s27 from the paper's Table 2.
+	t0 := MustParseSequence("0111 1001 0111 1001 0100 1011 1001 0000 0000 1011")
+	// T0[6,9] = (1001, 0000, 0000, 1011) per the paper's §3.1.
+	got := t0.Subsequence(6, 9)
+	want := MustParseSequence("1001 0000 0000 1011")
+	if !got.Equal(want) {
+		t.Errorf("T0[6,9] = %v, want %v", got, want)
+	}
+	// Single element: T0[9,9] = (1011).
+	if got := t0.Subsequence(9, 9); !got.Equal(MustParseSequence("1011")) {
+		t.Errorf("T0[9,9] = %v", got)
+	}
+}
+
+func TestSubsequencePanics(t *testing.T) {
+	s := MustParseSequence("01 10")
+	for _, bounds := range [][2]int{{-1, 0}, {0, 2}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Subsequence(%d,%d) did not panic", bounds[0], bounds[1])
+				}
+			}()
+			s.Subsequence(bounds[0], bounds[1])
+		}()
+	}
+}
+
+func TestOmitAt(t *testing.T) {
+	// The paper's §3.1: omitting time unit 2 of (1001, 0000, 0000, 1011)
+	// yields (1001, 0000, 1011).
+	s := MustParseSequence("1001 0000 0000 1011")
+	got := s.OmitAt(2)
+	want := MustParseSequence("1001 0000 1011")
+	if !got.Equal(want) {
+		t.Errorf("OmitAt(2) = %v, want %v", got, want)
+	}
+	// Original unchanged.
+	if s.Len() != 4 {
+		t.Error("OmitAt mutated the receiver")
+	}
+}
+
+func TestOmitAtBounds(t *testing.T) {
+	s := MustParseSequence("01")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OmitAt out of range did not panic")
+		}
+	}()
+	s.OmitAt(1).OmitAt(0) // second OmitAt on empty must panic
+}
+
+func TestConcat(t *testing.T) {
+	a := MustParseSequence("00 11")
+	b := MustParseSequence("01")
+	got := a.Concat(b)
+	if !got.Equal(MustParseSequence("00 11 01")) {
+		t.Errorf("Concat = %v", got)
+	}
+	// Receiver and argument unchanged.
+	if a.Len() != 2 || b.Len() != 1 {
+		t.Error("Concat mutated inputs")
+	}
+}
+
+func TestSequenceCloneIndependence(t *testing.T) {
+	s := MustParseSequence("01 10")
+	c := s.Clone()
+	c[0][0] = logic.One
+	if s[0][0] != logic.Zero {
+		t.Error("Sequence.Clone shares vector storage")
+	}
+}
+
+func TestRandomVectorProperties(t *testing.T) {
+	rng := xrand.New(3)
+	v := Random(rng, 100)
+	if len(v) != 100 {
+		t.Fatalf("width %d", len(v))
+	}
+	zeros, ones := 0, 0
+	for _, val := range v {
+		switch val {
+		case logic.Zero:
+			zeros++
+		case logic.One:
+			ones++
+		default:
+			t.Fatalf("Random produced non-binary value %v", val)
+		}
+	}
+	if zeros == 0 || ones == 0 {
+		t.Errorf("suspicious distribution: %d zeros, %d ones", zeros, ones)
+	}
+}
+
+func TestRandomSequenceDeterminism(t *testing.T) {
+	a := RandomSequence(xrand.New(5), 8, 20)
+	b := RandomSequence(xrand.New(5), 8, 20)
+	if !a.Equal(b) {
+		t.Error("RandomSequence not deterministic for equal seeds")
+	}
+	c := RandomSequence(xrand.New(6), 8, 20)
+	if a.Equal(c) {
+		t.Error("RandomSequence identical across different seeds")
+	}
+}
+
+func TestTotalAndMaxLength(t *testing.T) {
+	set := []Sequence{
+		MustParseSequence("0 1 0"),
+		MustParseSequence("1"),
+		MustParseSequence("0 0"),
+	}
+	total, max := TotalAndMaxLength(set)
+	if total != 6 || max != 3 {
+		t.Errorf("total=%d max=%d, want 6, 3", total, max)
+	}
+	total, max = TotalAndMaxLength(nil)
+	if total != 0 || max != 0 {
+		t.Errorf("empty set: total=%d max=%d", total, max)
+	}
+}
+
+func TestWidthEmpty(t *testing.T) {
+	var s Sequence
+	if s.Width() != 0 || s.Len() != 0 {
+		t.Error("empty sequence width/len not 0")
+	}
+}

@@ -1,0 +1,188 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	// SplitMix64 reference outputs for seed 0 (from the reference
+	// implementation by Sebastiano Vigna).
+	r := New(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+	}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Errorf("output %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 63, 64, 65, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	r := New(11)
+	seen := make(map[int]int)
+	const n = 8
+	for i := 0; i < 4000; i++ {
+		seen[r.Intn(n)]++
+	}
+	for v := 0; v < n; v++ {
+		if seen[v] == 0 {
+			t.Errorf("value %d never drawn from Intn(%d)", v, n)
+		}
+		// A grossly non-uniform generator would fail this loose bound.
+		if seen[v] < 4000/n/4 {
+			t.Errorf("value %d drawn only %d times, suspiciously rare", v, seen[v])
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 5, 64, 200} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermVaries(t *testing.T) {
+	r := New(19)
+	identical := 0
+	prev := r.Perm(20)
+	for i := 0; i < 20; i++ {
+		p := r.Perm(20)
+		same := true
+		for j := range p {
+			if p[j] != prev[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			identical++
+		}
+		prev = p
+	}
+	if identical > 0 {
+		t.Errorf("%d consecutive identical permutations of 20 elements", identical)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	base := New(23)
+	a := base.Fork(1)
+	b := base.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("forked streams collided %d/100 times", same)
+	}
+}
+
+func TestMul64MatchesBigMultiplication(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify against the identity via math/bits-free decomposition:
+		// reconstruct lo independently and check hi against long division
+		// by shifting.
+		if lo != a*b {
+			return false
+		}
+		// Check hi via per-bit accumulation on small shifted values.
+		var wantHi uint64
+		x, y := a, b
+		var acc [2]uint64 // 128-bit accumulator (lo, hi)
+		for i := 0; i < 64; i++ {
+			if y&1 == 1 {
+				// acc += x << i as 128-bit
+				loPart := x << i
+				var hiPart uint64
+				if i > 0 {
+					hiPart = x >> (64 - i)
+				}
+				old := acc[0]
+				acc[0] += loPart
+				if acc[0] < old {
+					acc[1]++
+				}
+				acc[1] += hiPart
+			}
+			y >>= 1
+		}
+		wantHi = acc[1]
+		return hi == wantHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

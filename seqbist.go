@@ -1,0 +1,23 @@
+// Package seqbist is a reproduction of Pomeranz & Reddy, "Built-In Test
+// Sequence Generation for Synchronous Sequential Circuits Based on Loading
+// and Expansion of Test Subsequences" (DAC 1999).
+//
+// The library implements the paper's scheme end to end, from scratch:
+// gate-level circuit modeling (internal/netlist, internal/bench), 3-valued
+// sequential logic and fault simulation (internal/logic, internal/sim,
+// internal/faults, internal/fsim), sequence expansion (internal/expand),
+// the subsequence-selection procedures that are the paper's contribution
+// (internal/core), the test-generation and compaction substrates the paper
+// depends on (internal/atpg, internal/tcompact), an emulation of the
+// on-chip hardware (internal/bist), the benchmark registry
+// (internal/iscas) and the evaluation pipeline that regenerates every
+// table and figure of the paper (internal/experiments).
+//
+// Entry points: the executables under cmd/ (seqbist, tables, atpg,
+// circinfo), the runnable examples under examples/, and the benchmarks in
+// bench_test.go. See README.md for a tour and DESIGN.md for the system
+// inventory and the netlist-substitution rationale.
+package seqbist
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
