@@ -11,8 +11,10 @@
 package seqbist_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"seqbist/internal/atpg"
 	"seqbist/internal/baseline"
@@ -23,6 +25,7 @@ import (
 	"seqbist/internal/fsim"
 	"seqbist/internal/iscas"
 	"seqbist/internal/netlist"
+	"seqbist/internal/service"
 	"seqbist/internal/tcompact"
 	"seqbist/internal/tfault"
 	"seqbist/internal/vectors"
@@ -438,6 +441,116 @@ func BenchmarkSeedStability(b *testing.B) {
 	}
 	b.ReportMetric(sum/float64(len(res.TotRatios)), "totratio_mean")
 	b.ReportMetric(hi-lo, "totratio_spread")
+}
+
+// ---------------------------------------------------------------------
+// Service and sharded-simulation benchmarks.
+
+// BenchmarkFaultSimSharded measures the group-sharded parallel scheduler
+// against the serial path on a circuit whose fault list spans many
+// 64-fault groups; ns/op should drop as workers approach GOMAXPROCS.
+// Results are bit-for-bit identical at every worker count.
+func BenchmarkFaultSimSharded(b *testing.B) {
+	c := iscas.MustLoad("s1423")
+	fl := faults.CollapsedUniverse(c)
+	seq := vectors.RandomSequence(xrand.New(1), c.NumPIs(), 200)
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			b.ReportMetric(float64((len(fl)+63)/64), "fault_groups")
+			for i := 0; i < b.N; i++ {
+				fsim.RunParallel(c, fl, seq, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkServiceThroughput measures end-to-end throughput of the
+// synthesis service: each iteration submits a batch of 8 distinct jobs
+// and waits for them all. The cache is disabled so every job runs the
+// full pipeline; the serial fsim setting keeps the worker pool the only
+// source of parallelism.
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			svc := service.New(service.Config{
+				Workers: workers, QueueDepth: 256, CacheSize: -1, SimParallelism: 1,
+			})
+			defer svc.Close()
+			seed := uint64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, 0, 8)
+				for k := 0; k < 8; k++ {
+					seed++
+					st, err := svc.Submit(service.JobSpec{Circuit: "s298", Config: service.GenConfig{
+						N: 2, Seed: seed, ATPGMaxLen: 300, MaxOmissionTrials: 40, Parallelism: 1,
+					}})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids = append(ids, st.ID)
+				}
+				for _, id := range ids {
+					waitServiceDone(b, svc, id)
+				}
+			}
+			b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkServiceCacheHit measures the content-addressed fast path: a
+// resubmission of completed work is served without any synthesis.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	svc := service.New(service.Config{Workers: 1, SimParallelism: 1})
+	defer svc.Close()
+	spec := service.JobSpec{Circuit: "s27", Config: service.GenConfig{
+		N: 1, Seed: 1, ATPGMaxLen: 300, MaxOmissionTrials: 40, Parallelism: 1,
+	}}
+	st, err := svc.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	waitServiceDone(b, svc, st.ID)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit, err := svc.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
+		if _, err := svc.Result(hit.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func waitServiceDone(b *testing.B, svc *service.Service, id string) {
+	b.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st, err := svc.Status(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State == service.StateDone {
+			return
+		}
+		if st.State.Terminal() {
+			b.Fatalf("job %s: state %s, error %q", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("job %s stuck", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // ---------------------------------------------------------------------

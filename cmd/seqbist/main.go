@@ -8,6 +8,10 @@
 //	seqbist -circuit s298 -n 8
 //	seqbist -bench mydesign.bench -n 4 -seed 7
 //	seqbist -circuit s27 -t0 t0.txt -n 1    # bring your own T0
+//	seqbist -serve :8080 -workers 8         # run as the synthesis daemon
+//
+// -serve starts the same HTTP service as the seqbistd command (see
+// internal/service); all one-shot flags are ignored in that mode.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"seqbist/internal/faults"
 	"seqbist/internal/iscas"
 	"seqbist/internal/netlist"
+	"seqbist/internal/service"
 	"seqbist/internal/tcompact"
 	"seqbist/internal/vectors"
 )
@@ -35,7 +40,20 @@ func main() {
 	t0File := flag.String("t0", "", "optional file with T0 (whitespace-separated vectors); otherwise ATPG generates it")
 	skipCompact := flag.Bool("no-compact", false, "skip §3.2 static compaction of S")
 	verilogOut := flag.String("verilog", "", "write the on-chip BIST hardware (expander + MISR) as Verilog to this path")
+	fsimWorkers := flag.Int("fsim-workers", 0, "fault-simulation goroutines (0 = one per CPU, 1 = serial)")
+	serveAddr := flag.String("serve", "", "run as the synthesis daemon on this address instead of one-shot mode")
+	serveWorkers := flag.Int("workers", 4, "daemon synthesis worker-pool size (with -serve)")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		if err := service.Serve(*serveAddr, service.Config{
+			Workers:        *serveWorkers,
+			SimParallelism: *fsimWorkers,
+		}); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	c := loadCircuit(*circuit, *benchFile)
 	fl := faults.CollapsedUniverse(c)
@@ -44,7 +62,7 @@ func main() {
 
 	t0 := obtainT0(c, fl, *t0File, *seed)
 
-	cfg := core.Config{N: *n, Seed: *seed, OmissionRestart: true}
+	cfg := core.Config{N: *n, Seed: *seed, OmissionRestart: true, Parallelism: *fsimWorkers}
 	res, err := core.Select(c, fl, t0, cfg)
 	if err != nil {
 		fatalf("%v", err)

@@ -1,0 +1,46 @@
+// Command seqbistd is the BIST-synthesis daemon: a long-lived HTTP
+// service that accepts synthesis jobs (registry circuit or uploaded
+// .bench netlist plus a generation config), runs the full
+// loading-and-expansion pipeline on a worker pool, and serves results
+// from a content-addressed cache on resubmission.
+//
+// Usage:
+//
+//	seqbistd -addr :8080 -workers 8
+//
+// API:
+//
+//	curl -X POST localhost:8080/jobs -d '{"circuit":"s298","config":{"n":8}}'
+//	curl localhost:8080/jobs/job-000001
+//	curl localhost:8080/jobs/job-000001/result
+//	curl -X DELETE localhost:8080/jobs/job-000001
+//	curl localhost:8080/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqbist/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "synthesis worker-pool size")
+	queue := flag.Int("queue", 64, "pending-job queue capacity")
+	cacheSize := flag.Int("cache", 128, "result-cache entries (negative disables)")
+	simWorkers := flag.Int("sim-workers", 0, "per-job fault-simulation goroutines (0 = one per CPU)")
+	flag.Parse()
+
+	err := service.Serve(*addr, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		SimParallelism: *simWorkers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqbistd: %v\n", err)
+		os.Exit(1)
+	}
+}

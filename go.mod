@@ -1,0 +1,3 @@
+module seqbist
+
+go 1.24

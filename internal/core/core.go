@@ -59,6 +59,31 @@ type Config struct {
 	// value means the paper's full set). Subsets exist for the
 	// manipulation ablation; the coverage guarantee holds for any subset.
 	ExpandOps expand.Ops
+	// Parallelism is the goroutine count for the sharded fault simulator
+	// that backs Procedure 1's bulk simulations (0 = one worker per CPU,
+	// 1 = serial). Any value yields identical results; see fsim.RunParallel.
+	Parallelism int
+	// Interrupt, when non-nil, is polled between units of work (once per
+	// targeted fault and once per omission trial). When it returns true,
+	// selection stops with ErrInterrupted. The service layer uses this to
+	// cancel in-flight jobs promptly.
+	Interrupt func() bool
+}
+
+// ErrInterrupted is returned by Select/Run when Config.Interrupt fired.
+var ErrInterrupted = errors.New("core: selection interrupted")
+
+// simWorkers resolves the fault-simulation parallelism.
+func (cfg Config) simWorkers() int {
+	if cfg.Parallelism > 0 {
+		return cfg.Parallelism
+	}
+	return fsim.DefaultParallelism()
+}
+
+// interrupted polls the cancellation hook.
+func (cfg Config) interrupted() bool {
+	return cfg.Interrupt != nil && cfg.Interrupt()
 }
 
 // expandOps resolves the configured op set (zero value = the full paper
@@ -188,7 +213,7 @@ func Select(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, cfg Conf
 // Run executes Procedure 1.
 func (sel *Selector) Run() (*Result, error) {
 	// Step 1: simulate T0; F = detected faults with first detection times.
-	base := fsim.Run(sel.c, sel.fl, sel.t0)
+	base := fsim.RunParallel(sel.c, sel.fl, sel.t0, sel.cfg.simWorkers())
 	res := &Result{
 		DetectedByT0: base.Detected,
 		UDet:         base.DetTime,
@@ -232,6 +257,9 @@ func (sel *Selector) Run() (*Result, error) {
 		if !remaining[f] {
 			continue
 		}
+		if sel.cfg.interrupted() {
+			return nil, ErrInterrupted
+		}
 		// Step 3: Procedure 2 for the selected fault.
 		s, ustart, err := sel.FindSubsequence(f)
 		if err != nil {
@@ -248,7 +276,7 @@ func (sel *Selector) Run() (*Result, error) {
 			}
 		}
 		sexp := expand.Compose(s, sel.cfg.N, sel.cfg.expandOps())
-		r := fsim.Run(sel.c, subset, sexp)
+		r := fsim.RunParallel(sel.c, subset, sexp, sel.cfg.simWorkers())
 		newly := 0
 		for k, fi := range subsetIdx {
 			if r.Detected[k] {
@@ -347,6 +375,11 @@ func (sel *Selector) omitWithRestart(f int, t1 vectors.Sequence) vectors.Sequenc
 			if budget > 0 && trials >= budget {
 				return t1
 			}
+			if sel.cfg.interrupted() {
+				// Stop shrinking; the caller's loop observes the
+				// interrupt and aborts with ErrInterrupted.
+				return t1
+			}
 			trials++
 			if candidate := t1.OmitAt(i); sel.tryOmit(f, candidate) {
 				t1 = candidate
@@ -373,6 +406,9 @@ func (sel *Selector) omitSinglePass(f int, t1 vectors.Sequence) vectors.Sequence
 			break
 		}
 		if budget > 0 && trials >= budget {
+			break
+		}
+		if sel.cfg.interrupted() {
 			break
 		}
 		// Map the original position to its index in the current sequence.

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// TestInterruptStopsSelection checks the cancellation hook: an Interrupt
+// that fires immediately aborts Procedure 1 with ErrInterrupted, and one
+// that never fires leaves the result unchanged.
+func TestInterruptStopsSelection(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	t0 := vectors.RandomSequence(xrand.New(1), c.NumPIs(), 120)
+
+	cfg := DefaultConfig(2)
+	cfg.MaxOmissionTrials = 50
+	cfg.Interrupt = func() bool { return true }
+	if _, err := Select(c, fl, t0, cfg); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Select with firing Interrupt: err = %v, want ErrInterrupted", err)
+	}
+
+	cfg.Interrupt = func() bool { return false }
+	res, err := Select(c, fl, t0, cfg)
+	if err != nil {
+		t.Fatalf("Select with quiet Interrupt: %v", err)
+	}
+	base, err := Select(c, fl, t0, DefaultConfigWithTrials(2, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != len(base.Set) {
+		t.Fatalf("quiet Interrupt changed the selection: %d vs %d sequences",
+			len(res.Set), len(base.Set))
+	}
+}
+
+// DefaultConfigWithTrials mirrors the cfg used above without the hook.
+func DefaultConfigWithTrials(n, trials int) Config {
+	cfg := DefaultConfig(n)
+	cfg.MaxOmissionTrials = trials
+	return cfg
+}

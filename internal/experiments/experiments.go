@@ -46,6 +46,12 @@ type Profile struct {
 	MaxOmissionTrials int
 	// Workers is the parallelism across circuits (0 = GOMAXPROCS).
 	Workers int
+	// SimParallelism is the goroutine count for the sharded fault
+	// simulator inside each circuit's pipeline (0 = one worker per CPU,
+	// 1 = serial). Results are identical for any value. RunAll resolves
+	// 0 to serial whenever it runs multiple circuits concurrently, so
+	// the two parallelism levels do not multiply.
+	SimParallelism int
 	// Overrides tunes effort per circuit (nil entries fall back to the
 	// profile-wide settings). Large circuits need bounded omission budgets
 	// to keep the sweep laptop-sized; the paper-faithful unlimited setting
@@ -219,7 +225,7 @@ func RunCircuit(name string, prof Profile) (*CircuitRun, error) {
 		TotalFaults: len(fl),
 		RawT0Len:    gen.Seq.Len(),
 		T0Len:       t0.Len(),
-		SimT0Time:   timeSimT0(c, fl, t0),
+		SimT0Time:   timeSimT0(c, fl, t0, prof.SimParallelism),
 	}
 
 	for _, n := range ns {
@@ -228,6 +234,7 @@ func RunCircuit(name string, prof Profile) (*CircuitRun, error) {
 			Seed:              prof.Seed*2654435761 + uint64(n),
 			OmissionRestart:   true,
 			MaxOmissionTrials: trials,
+			Parallelism:       prof.SimParallelism,
 		}
 		start := time.Now()
 		res, err := core.Select(c, fl, t0, cfg)
@@ -279,14 +286,19 @@ func bestN(runs []NRun) int {
 
 // timeSimT0 measures the wall time of one full fault simulation of T0
 // (the Table 4 normalizer), repeating the measurement until at least
-// 20ms have accumulated so short simulations are timed stably.
-func timeSimT0(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence) time.Duration {
+// 20ms have accumulated so short simulations are timed stably. The
+// simulation runs with the same parallelism as the selection pipeline so
+// the normalized ratios stay comparable.
+func timeSimT0(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, parallelism int) time.Duration {
+	if parallelism < 1 {
+		parallelism = fsim.DefaultParallelism()
+	}
 	const minTotal = 20 * time.Millisecond
 	var total time.Duration
 	reps := 0
 	for total < minTotal && reps < 200 {
 		start := time.Now()
-		fsim.Run(c, fl, t0)
+		fsim.RunParallel(c, fl, t0, parallelism)
 		total += time.Since(start)
 		reps++
 	}
@@ -300,6 +312,13 @@ func RunAll(prof Profile) ([]*CircuitRun, error) {
 	workers := prof.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && prof.SimParallelism == 0 {
+		// Circuit-level parallelism already saturates the CPUs; leaving
+		// the per-circuit simulators at their per-CPU default would
+		// oversubscribe roughly quadratically and time the Table 4
+		// normalizer under contention. An explicit SimParallelism wins.
+		prof.SimParallelism = 1
 	}
 	type slot struct {
 		run *CircuitRun

@@ -53,9 +53,19 @@ func (r Result) Coverage() float64 {
 }
 
 // Run fault-simulates seq from the all-unknown state against the given
-// fault list and returns per-fault detection results.
+// fault list and returns per-fault detection results. It shards the fault
+// groups across DefaultParallelism goroutines; the results are identical
+// to the serial path (RunParallel with workers=1).
 func Run(c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence) Result {
+	return RunParallel(c, fl, seq, DefaultParallelism())
+}
+
+// RunParallel is Run with an explicit goroutine count for the group-sharded
+// scheduler. workers <= 1 selects the serial path; any worker count yields
+// bit-for-bit identical detection results.
+func RunParallel(c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence, workers int) Result {
 	inc := NewIncremental(c, fl)
+	inc.SetParallelism(workers)
 	// Chunked extension with early exit: once every fault is detected the
 	// rest of the sequence cannot change the Result.
 	const chunk = 32
@@ -98,18 +108,40 @@ type Incremental struct {
 
 	groups []group
 
-	// Per-signal/gate/dff forcing masks, shared across groups and
-	// repopulated per group during simulation passes.
-	stem0, stem1 []uint64
-	branchAt     [][]pinForce // per gate
-	dff0, dff1   []uint64     // per DFF
-
-	words []logic.Word // per-signal scratch
+	// sc is the serial path's scratch; the sharded scheduler draws one
+	// private scratch per worker from workerScratch instead (parallel.go).
+	sc            *scratch
+	workers       int
+	workerScratch []*scratch
 
 	detected []bool
 	detTime  []int
 	numDet   int
 	now      int // absolute time units simulated so far
+}
+
+// scratch holds the per-signal/gate/dff forcing masks and value words one
+// simulation pass needs. The mask arrays are repopulated per group
+// (loadPlan/unloadPlan); each concurrent shard owns its own scratch so
+// groups can be simulated in parallel without shared mutable state.
+type scratch struct {
+	stem0, stem1 []uint64
+	branchAt     [][]pinForce // per gate
+	dff0, dff1   []uint64     // per DFF
+	words        []logic.Word // per-signal values
+	state        []logic.Word // per-DFF state for non-committing passes
+}
+
+func newScratch(c *netlist.Circuit) *scratch {
+	return &scratch{
+		stem0:    make([]uint64, c.NumSignals()),
+		stem1:    make([]uint64, c.NumSignals()),
+		branchAt: make([][]pinForce, c.NumGates()),
+		dff0:     make([]uint64, c.NumDFFs()),
+		dff1:     make([]uint64, c.NumDFFs()),
+		words:    make([]logic.Word, c.NumSignals()),
+		state:    make([]logic.Word, c.NumDFFs()),
+	}
 }
 
 type pinForce struct {
@@ -125,12 +157,8 @@ func NewIncremental(c *netlist.Circuit, fl []faults.Fault) *Incremental {
 		fl:       fl,
 		good:     sim.New(c),
 		goodPO:   make([]logic.Value, c.NumPOs()),
-		stem0:    make([]uint64, c.NumSignals()),
-		stem1:    make([]uint64, c.NumSignals()),
-		branchAt: make([][]pinForce, c.NumGates()),
-		dff0:     make([]uint64, c.NumDFFs()),
-		dff1:     make([]uint64, c.NumDFFs()),
-		words:    make([]logic.Word, c.NumSignals()),
+		sc:       newScratch(c),
+		workers:  1,
 		detected: make([]bool, len(fl)),
 		detTime:  make([]int, len(fl)),
 	}
@@ -192,18 +220,18 @@ func (inc *Incremental) buildPlan(g *group) {
 	}
 }
 
-// loadPlan populates the forcing-mask arrays for g. The arrays are shared
+// loadPlan populates sc's forcing-mask arrays for g. The arrays are reused
 // across groups, so unloadPlan must clear them afterwards.
-func (inc *Incremental) loadPlan(g *group) {
+func (inc *Incremental) loadPlan(sc *scratch, g *group) {
 	c := inc.c
 	for lane, fi := range g.fault {
 		f := inc.fl[fi]
 		mask := uint64(1) << uint(lane)
 		if f.IsStem() {
 			if f.Stuck == logic.Zero {
-				inc.stem0[f.Signal] |= mask
+				sc.stem0[f.Signal] |= mask
 			} else {
-				inc.stem1[f.Signal] |= mask
+				sc.stem1[f.Signal] |= mask
 			}
 			continue
 		}
@@ -217,8 +245,8 @@ func (inc *Incremental) loadPlan(g *group) {
 				m1 = mask
 			}
 			merged := false
-			for i := range inc.branchAt[con.Index] {
-				pf := &inc.branchAt[con.Index][i]
+			for i := range sc.branchAt[con.Index] {
+				pf := &sc.branchAt[con.Index][i]
 				if pf.pin == con.Pin {
 					pf.m0 |= m0
 					pf.m1 |= m1
@@ -227,30 +255,30 @@ func (inc *Incremental) loadPlan(g *group) {
 				}
 			}
 			if !merged {
-				inc.branchAt[con.Index] = append(inc.branchAt[con.Index],
+				sc.branchAt[con.Index] = append(sc.branchAt[con.Index],
 					pinForce{pin: con.Pin, m0: m0, m1: m1})
 			}
 		case netlist.ConsumerDFF:
 			if f.Stuck == logic.Zero {
-				inc.dff0[con.Index] |= mask
+				sc.dff0[con.Index] |= mask
 			} else {
-				inc.dff1[con.Index] |= mask
+				sc.dff1[con.Index] |= mask
 			}
 		}
 	}
 }
 
-func (inc *Incremental) unloadPlan(g *group) {
+func (inc *Incremental) unloadPlan(sc *scratch, g *group) {
 	for _, sig := range g.stemTouched {
-		inc.stem0[sig] = 0
-		inc.stem1[sig] = 0
+		sc.stem0[sig] = 0
+		sc.stem1[sig] = 0
 	}
 	for _, gi := range g.branchGates {
-		inc.branchAt[gi] = inc.branchAt[gi][:0]
+		sc.branchAt[gi] = sc.branchAt[gi][:0]
 	}
 	for _, di := range g.dffTouched {
-		inc.dff0[di] = 0
-		inc.dff1[di] = 0
+		sc.dff0[di] = 0
+		sc.dff1[di] = 0
 	}
 }
 
@@ -267,7 +295,16 @@ func forceWord(w logic.Word, m0, m1 uint64) logic.Word {
 // Extend simulates the vectors of seq (continuing from the current state),
 // commits the resulting machine states, and returns the indices of newly
 // detected faults. Detected faults are dropped from future simulation.
+//
+// With SetParallelism > 1 and more than one live group, the sharded
+// scheduler in parallel.go runs instead; it returns identical detections
+// in the identical order.
 func (inc *Incremental) Extend(seq vectors.Sequence) []int {
+	if inc.workers > 1 && len(seq) > 0 {
+		if live := inc.liveGroups(); len(live) > 1 {
+			return inc.extendParallel(seq, live)
+		}
+	}
 	var newly []int
 	for _, vec := range seq {
 		// Advance the good machine one step.
@@ -278,9 +315,9 @@ func (inc *Incremental) Extend(seq vectors.Sequence) []int {
 			if g.alive == 0 {
 				continue
 			}
-			inc.loadPlan(g)
-			det := inc.stepGroup(g, vec, goodVals, g.state)
-			inc.unloadPlan(g)
+			inc.loadPlan(inc.sc, g)
+			det := inc.stepGroup(inc.sc, g, vec, goodVals, g.state)
+			inc.unloadPlan(inc.sc, g)
 			for det != 0 {
 				lane := trailingZeros(det)
 				det &^= 1 << uint(lane)
@@ -316,7 +353,6 @@ func (inc *Incremental) Evaluate(seq vectors.Sequence) (newly []int, divergence 
 	goodState := make([]logic.Value, len(inc.goodState))
 	copy(goodState, inc.goodState)
 	goodPO := make([]logic.Value, inc.c.NumPOs())
-	scratch := make([]logic.Word, inc.c.NumDFFs())
 	peekSim := sim.New(inc.c)
 
 	// Per-group simulation over the whole candidate, so plans are loaded
@@ -331,41 +367,18 @@ func (inc *Incremental) Evaluate(seq vectors.Sequence) (newly []int, divergence 
 		goodValsByTime[u] = snapshot
 	}
 
+	if inc.workers > 1 && len(seq) > 0 {
+		if live := inc.liveGroups(); len(live) > 1 {
+			return inc.evaluateParallel(seq, goodValsByTime, live)
+		}
+	}
+
 	for gi := range inc.groups {
 		g := &inc.groups[gi]
 		if g.alive == 0 {
 			continue
 		}
-		copy(scratch, g.state)
-		alive := g.alive
-		detAll := uint64(0)
-		inc.loadPlan(g)
-		steps := 0
-		for u, vec := range seq {
-			det := inc.stepGroup(g, vec, goodValsByTime[u], scratch) & alive &^ detAll
-			detAll |= det
-			steps = u + 1
-			if alive&^detAll == 0 {
-				break
-			}
-		}
-		inc.unloadPlan(g)
-		// Divergence: undetected live lanes whose state definitely
-		// differs from the fault-free state after the last simulated
-		// vector.
-		if steps == len(seq) && len(seq) > 0 {
-			var diverged uint64
-			goodFinal := goodValsByTime[len(seq)-1]
-			for di, ff := range inc.c.DFFs {
-				switch goodFinal[ff.D] {
-				case logic.Zero:
-					diverged |= scratch[di].DefiniteOne()
-				case logic.One:
-					diverged |= scratch[di].DefiniteZero()
-				}
-			}
-			divergence += popcount(diverged & alive &^ detAll)
-		}
+		detAll := inc.evaluateGroup(inc.sc, g, seq, goodValsByTime, &divergence)
 		for detAll != 0 {
 			lane := trailingZeros(detAll)
 			detAll &^= 1 << uint(lane)
@@ -375,25 +388,62 @@ func (inc *Incremental) Evaluate(seq vectors.Sequence) (newly []int, divergence 
 	return newly, divergence
 }
 
+// evaluateGroup simulates seq for one group without committing state,
+// using sc's state buffer, and returns the mask of newly detected lanes.
+// It adds the group's divergence contribution to *divergence.
+func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequence, goodValsByTime [][]logic.Value, divergence *int) uint64 {
+	copy(sc.state, g.state)
+	alive := g.alive
+	detAll := uint64(0)
+	inc.loadPlan(sc, g)
+	steps := 0
+	for u, vec := range seq {
+		det := inc.stepGroup(sc, g, vec, goodValsByTime[u], sc.state) & alive &^ detAll
+		detAll |= det
+		steps = u + 1
+		if alive&^detAll == 0 {
+			break
+		}
+	}
+	inc.unloadPlan(sc, g)
+	// Divergence: undetected live lanes whose state definitely differs
+	// from the fault-free state after the last simulated vector.
+	if steps == len(seq) && len(seq) > 0 {
+		var diverged uint64
+		goodFinal := goodValsByTime[len(seq)-1]
+		for di, ff := range inc.c.DFFs {
+			switch goodFinal[ff.D] {
+			case logic.Zero:
+				diverged |= sc.state[di].DefiniteOne()
+			case logic.One:
+				diverged |= sc.state[di].DefiniteZero()
+			}
+		}
+		*divergence += popcount(diverged & alive &^ detAll)
+	}
+	return detAll
+}
+
 // popcount returns the number of set bits in x.
 func popcount(x uint64) int { return bits.OnesCount64(x) }
 
-// stepGroup evaluates one time unit for group g using the given flip-flop
-// state words (updated in place) and returns the mask of lanes detected at
-// a primary output this cycle. Forcing plans must already be loaded.
-func (inc *Incremental) stepGroup(g *group, vec vectors.Vector, goodVals []logic.Value, state []logic.Word) uint64 {
+// stepGroup evaluates one time unit for group g using sc's scratch words
+// and the given flip-flop state words (updated in place), and returns the
+// mask of lanes detected at a primary output this cycle. Forcing plans
+// must already be loaded into sc.
+func (inc *Incremental) stepGroup(sc *scratch, g *group, vec vectors.Vector, goodVals []logic.Value, state []logic.Word) uint64 {
 	c := inc.c
-	words := inc.words
+	words := sc.words
 	for i, pi := range c.PIs {
 		w := logic.Broadcast(vec[i])
-		if m0, m1 := inc.stem0[pi], inc.stem1[pi]; m0|m1 != 0 {
+		if m0, m1 := sc.stem0[pi], sc.stem1[pi]; m0|m1 != 0 {
 			w = forceWord(w, m0, m1)
 		}
 		words[pi] = w
 	}
 	for i, ff := range c.DFFs {
 		w := state[i]
-		if m0, m1 := inc.stem0[ff.Q], inc.stem1[ff.Q]; m0|m1 != 0 {
+		if m0, m1 := sc.stem0[ff.Q], sc.stem1[ff.Q]; m0|m1 != 0 {
 			w = forceWord(w, m0, m1)
 		}
 		words[ff.Q] = w
@@ -401,8 +451,8 @@ func (inc *Incremental) stepGroup(g *group, vec vectors.Vector, goodVals []logic
 	for gi := range c.Gates {
 		gate := &c.Gates[gi]
 		var v logic.Word
-		if bf := inc.branchAt[gi]; len(bf) != 0 {
-			v = inc.evalForced(gate, bf)
+		if bf := sc.branchAt[gi]; len(bf) != 0 {
+			v = evalForced(words, gate, bf)
 		} else {
 			v = words[gate.In[0]]
 			switch gate.Type {
@@ -438,7 +488,7 @@ func (inc *Incremental) stepGroup(g *group, vec vectors.Vector, goodVals []logic
 				v = v.Not()
 			}
 		}
-		if m0, m1 := inc.stem0[gate.Out], inc.stem1[gate.Out]; m0|m1 != 0 {
+		if m0, m1 := sc.stem0[gate.Out], sc.stem1[gate.Out]; m0|m1 != 0 {
 			v = forceWord(v, m0, m1)
 		}
 		words[gate.Out] = v
@@ -456,7 +506,7 @@ func (inc *Incremental) stepGroup(g *group, vec vectors.Vector, goodVals []logic
 	// Capture next state.
 	for i, ff := range c.DFFs {
 		w := words[ff.D]
-		if m0, m1 := inc.dff0[i], inc.dff1[i]; m0|m1 != 0 {
+		if m0, m1 := sc.dff0[i], sc.dff1[i]; m0|m1 != 0 {
 			w = forceWord(w, m0, m1)
 		}
 		state[i] = w
@@ -465,8 +515,7 @@ func (inc *Incremental) stepGroup(g *group, vec vectors.Vector, goodVals []logic
 }
 
 // evalForced evaluates a gate whose input pins carry branch-forced lanes.
-func (inc *Incremental) evalForced(gate *netlist.Gate, bf []pinForce) logic.Word {
-	words := inc.words
+func evalForced(words []logic.Word, gate *netlist.Gate, bf []pinForce) logic.Word {
 	in := func(pin int) logic.Word {
 		w := words[gate.In[pin]]
 		for i := range bf {

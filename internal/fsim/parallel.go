@@ -1,0 +1,197 @@
+package fsim
+
+// Sharded parallel scheduler for the Incremental simulator.
+//
+// Incremental packs 64 faulty machines per group, and the groups are
+// mutually independent once the fault-free value trace is known: each
+// group owns its state words, the circuit and fault list are read-only,
+// and the forcing masks live in a per-worker scratch. The scheduler
+// therefore computes the good-machine trace for the whole subsequence
+// first, fans the live groups out to a goroutine pool, and merges the
+// per-group detections back in the serial schedule's (time, group, lane)
+// order. Detection results — Detected, DetTime, NumDetected, and the
+// order of newly reported faults — are bit-for-bit identical to the
+// serial path for every worker count.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"seqbist/internal/logic"
+	"seqbist/internal/vectors"
+)
+
+// DefaultParallelism is the goroutine count Run uses for group sharding:
+// one worker per available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// SetParallelism sets the number of goroutines used to shard fault groups
+// (n <= 1 selects the serial path). Any value produces identical
+// detection results; parallelism only helps when the fault list spans
+// several 64-fault groups.
+func (inc *Incremental) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	inc.workers = n
+}
+
+// Parallelism returns the configured worker count.
+func (inc *Incremental) Parallelism() int { return inc.workers }
+
+// liveGroups returns the indices of groups that still carry undetected
+// faults.
+func (inc *Incremental) liveGroups() []int {
+	live := make([]int, 0, len(inc.groups))
+	for gi := range inc.groups {
+		if inc.groups[gi].alive != 0 {
+			live = append(live, gi)
+		}
+	}
+	return live
+}
+
+// ensureWorkerScratch grows the per-worker scratch pool to n entries.
+// Scratches are retained across calls: Extend/Evaluate invocations are
+// sequential, so reuse is safe and keeps the hot path allocation-free.
+func (inc *Incremental) ensureWorkerScratch(n int) {
+	for len(inc.workerScratch) < n {
+		inc.workerScratch = append(inc.workerScratch, newScratch(inc.c))
+	}
+}
+
+// shard runs fn(workerID, idx) for every idx in [0, n) on a pool of at
+// most inc.workers goroutines, each holding a private scratch.
+func (inc *Incremental) shard(n int, fn func(w, idx int)) {
+	workers := inc.workers
+	if workers > n {
+		workers = n
+	}
+	inc.ensureWorkerScratch(workers)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx := int(atomic.AddInt64(&next, 1))
+				if idx >= n {
+					return
+				}
+				fn(w, idx)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// goodTrace advances the good machine through seq (committing its state)
+// and snapshots the full signal-value vector at every time unit.
+func (inc *Incremental) goodTrace(seq vectors.Sequence) [][]logic.Value {
+	trace := make([][]logic.Value, len(seq))
+	for u, vec := range seq {
+		inc.good.Step(inc.goodState, vec, inc.goodPO)
+		vals := inc.good.Values()
+		snapshot := make([]logic.Value, len(vals))
+		copy(snapshot, vals)
+		trace[u] = snapshot
+	}
+	return trace
+}
+
+// detection locates one newly detected fault in the serial schedule:
+// relative time unit u, group index gi, lane within the group.
+type detection struct {
+	u, gi, lane int
+}
+
+// extendParallel is Extend's sharded path: live groups are simulated
+// concurrently against the precomputed good trace, committing their state
+// words, and detections are merged in serial order afterwards.
+func (inc *Incremental) extendParallel(seq vectors.Sequence, live []int) []int {
+	goodVals := inc.goodTrace(seq)
+	detsByIdx := make([][]detection, len(live))
+	inc.shard(len(live), func(w, idx int) {
+		gi := live[idx]
+		g := &inc.groups[gi]
+		sc := inc.workerScratch[w]
+		inc.loadPlan(sc, g)
+		alive := g.alive
+		var detAll uint64
+		var dets []detection
+		for u, vec := range seq {
+			det := inc.stepGroup(sc, g, vec, goodVals[u], g.state) & alive &^ detAll
+			for m := det; m != 0; {
+				lane := trailingZeros(m)
+				m &^= 1 << uint(lane)
+				dets = append(dets, detection{u: u, gi: gi, lane: lane})
+			}
+			detAll |= det
+			if alive&^detAll == 0 {
+				// Every lane of this group is detected; further vectors
+				// cannot change its outcome (matching the serial path,
+				// which skips dead groups).
+				break
+			}
+		}
+		inc.unloadPlan(sc, g)
+		detsByIdx[idx] = dets
+	})
+
+	// Merge in the serial emission order: ascending time unit, then group
+	// index, then lane.
+	var all []detection
+	for _, dets := range detsByIdx {
+		all = append(all, dets...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		if a.gi != b.gi {
+			return a.gi < b.gi
+		}
+		return a.lane < b.lane
+	})
+	var newly []int
+	for _, d := range all {
+		g := &inc.groups[d.gi]
+		fi := g.fault[d.lane]
+		inc.detected[fi] = true
+		inc.detTime[fi] = inc.now + d.u
+		inc.numDet++
+		newly = append(newly, fi)
+		g.alive &^= 1 << uint(d.lane)
+	}
+	inc.now += len(seq)
+	return newly
+}
+
+// evaluateParallel is Evaluate's sharded path: non-committing, merging
+// per-group newly-detected lists in group order (the serial order) and
+// summing divergence.
+func (inc *Incremental) evaluateParallel(seq vectors.Sequence, goodValsByTime [][]logic.Value, live []int) (newly []int, divergence int) {
+	newlyByIdx := make([][]int, len(live))
+	divByIdx := make([]int, len(live))
+	inc.shard(len(live), func(w, idx int) {
+		g := &inc.groups[live[idx]]
+		sc := inc.workerScratch[w]
+		detAll := inc.evaluateGroup(sc, g, seq, goodValsByTime, &divByIdx[idx])
+		var out []int
+		for detAll != 0 {
+			lane := trailingZeros(detAll)
+			detAll &^= 1 << uint(lane)
+			out = append(out, g.fault[lane])
+		}
+		newlyByIdx[idx] = out
+	})
+	for idx := range live {
+		newly = append(newly, newlyByIdx[idx]...)
+		divergence += divByIdx[idx]
+	}
+	return newly, divergence
+}

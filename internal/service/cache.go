@@ -1,0 +1,54 @@
+package service
+
+import "container/list"
+
+// resultCache is a content-addressed LRU cache of completed synthesis
+// results, keyed by contentKey (hash of netlist fingerprint, supplied T0,
+// and normalized config). The pipeline is deterministic given that key,
+// so a hit can be served without re-running anything. Not safe for
+// concurrent use: the Service accesses it under its own mutex.
+type resultCache struct {
+	max   int // maximum entries; <= 0 disables caching
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (*Result, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *resultCache) put(key string, res *Result) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.ll.Len() }

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewHandler exposes svc over an HTTP JSON API:
+//
+//	POST   /jobs             submit a JobSpec; 202 (or 200 on a cache hit)
+//	GET    /jobs             list job statuses in submission order
+//	GET    /jobs/{id}        one job's status
+//	GET    /jobs/{id}/result the finished job's Result; 409 until done
+//	DELETE /jobs/{id}        cancel the job
+//	GET    /healthz          liveness + operational stats
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		st, err := svc.Submit(spec)
+		if err != nil {
+			writeError(w, submitStatusCode(err), err.Error())
+			return
+		}
+		code := http.StatusAccepted
+		if st.CacheHit {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Jobs())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, err := svc.Result(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrNotDone):
+			writeError(w, http.StatusConflict, err.Error())
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+			Stats  Stats  `json:"stats"`
+		}{Status: "ok", Stats: svc.Stats()})
+	})
+
+	return mux
+}
+
+func submitStatusCode(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}

@@ -1,0 +1,192 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"seqbist/internal/bench"
+	"seqbist/internal/iscas"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+// State is the lifecycle phase of a job.
+type State string
+
+// Job states. A job moves queued -> running -> done|failed, or to
+// canceled from queued/running. Cache hits are created directly in done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec is a BIST-synthesis request: a circuit (registry name or inline
+// .bench netlist), an optional externally supplied T0, and the generation
+// configuration.
+type JobSpec struct {
+	// Circuit names a benchmark from the registry (e.g. "s298").
+	Circuit string `json:"circuit,omitempty"`
+	// Bench is an inline .bench netlist (alternative to Circuit).
+	Bench string `json:"bench,omitempty"`
+	// T0 optionally supplies the deterministic test sequence as
+	// whitespace-separated vectors; when empty the service runs ATPG.
+	T0 string `json:"t0,omitempty"`
+	// Config controls generation.
+	Config GenConfig `json:"config"`
+}
+
+// GenConfig is the generation configuration of a job. The zero value is
+// usable: defaults are applied by withDefaults.
+type GenConfig struct {
+	// N is the expansion repetition count (default 4).
+	N int `json:"n,omitempty"`
+	// Seed drives ATPG and Procedure 2 (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// ATPGMaxLen caps the raw generated T0 length (default 1500).
+	ATPGMaxLen int `json:"atpg_max_len,omitempty"`
+	// MaxOmissionTrials bounds Procedure 2's omission simulations per
+	// subsequence (0 = unlimited, the paper-faithful setting).
+	MaxOmissionTrials int `json:"max_omission_trials,omitempty"`
+	// SkipCompact disables §3.2 static compaction of the selected set.
+	SkipCompact bool `json:"skip_compact,omitempty"`
+	// Parallelism is the per-job fault-simulation goroutine count
+	// (0 = the service default).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// withDefaults resolves zero fields to the service defaults.
+func (g GenConfig) withDefaults(simParallelism int) GenConfig {
+	if g.N < 1 {
+		g.N = 4
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	if g.ATPGMaxLen < 1 {
+		g.ATPGMaxLen = 1500
+	}
+	if g.Parallelism < 1 {
+		g.Parallelism = simParallelism
+	}
+	return g
+}
+
+// resolveCircuit loads the requested circuit, either from the registry or
+// by parsing the inline netlist.
+func resolveCircuit(spec JobSpec) (*netlist.Circuit, error) {
+	switch {
+	case spec.Circuit != "" && spec.Bench != "":
+		return nil, fmt.Errorf("set either circuit or bench, not both")
+	case spec.Circuit != "":
+		return iscas.Load(spec.Circuit)
+	case spec.Bench != "":
+		return bench.ParseString(spec.Bench, "upload")
+	}
+	return nil, fmt.Errorf("one of circuit or bench is required")
+}
+
+// resolveT0 parses the optional externally supplied T0 and validates its
+// width against the circuit.
+func resolveT0(spec JobSpec, c *netlist.Circuit) (vectors.Sequence, error) {
+	if strings.TrimSpace(spec.T0) == "" {
+		return nil, nil
+	}
+	t0, err := vectors.ParseSequence(spec.T0)
+	if err != nil {
+		return nil, fmt.Errorf("parsing t0: %v", err)
+	}
+	if t0.Width() != c.NumPIs() {
+		return nil, fmt.Errorf("t0 width %d, circuit has %d PIs", t0.Width(), c.NumPIs())
+	}
+	return t0, nil
+}
+
+// contentKey content-addresses a job: the hash of the circuit's
+// order-insensitive structural fingerprint, the supplied T0, and the
+// normalized configuration. Two submissions with the same key are
+// guaranteed to produce identical results (the pipeline is deterministic
+// given the config), which is what makes the result cache sound.
+func contentKey(c *netlist.Circuit, t0 string, cfg GenConfig) string {
+	// Parallelism is an execution detail: results are bit-for-bit
+	// identical for any worker count, so it must not fragment the cache.
+	cfg.Parallelism = 0
+	h := sha256.New()
+	h.Write([]byte(bench.Fingerprint(c)))
+	h.Write([]byte{0})
+	h.Write([]byte(strings.Join(strings.Fields(t0), " ")))
+	h.Write([]byte{0})
+	enc, _ := json.Marshal(cfg)
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// job is the internal mutable record. All fields below the ctx pair are
+// guarded by the Service mutex.
+type job struct {
+	id   string
+	key  string
+	spec JobSpec
+	cfg  GenConfig // normalized
+	c    *netlist.Circuit
+	t0   vectors.Sequence
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state     State
+	cacheHit  bool
+	err       error
+	result    *Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Status is a point-in-time snapshot of a job, safe to serialize.
+type Status struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Circuit  string `json:"circuit"`
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// status snapshots j. Callers must hold the Service mutex.
+func (j *job) status() Status {
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Circuit:     j.c.Name,
+		CacheHit:    j.cacheHit,
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}

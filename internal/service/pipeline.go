@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"seqbist/internal/atpg"
+	"seqbist/internal/bist"
+	"seqbist/internal/core"
+	"seqbist/internal/faults"
+	"seqbist/internal/netlist"
+	"seqbist/internal/tcompact"
+	"seqbist/internal/vectors"
+)
+
+// Result is the serializable outcome of one synthesis job: the selected
+// subsequence set with golden signatures, plus the coverage and cost
+// accounting a BIST integrator needs.
+type Result struct {
+	Circuit      string  `json:"circuit"`
+	NumFaults    int     `json:"num_faults"`
+	DetectedByT0 int     `json:"detected_by_t0"`
+	Coverage     float64 `json:"coverage"`
+	RawT0Len     int     `json:"raw_t0_len"`
+	T0Len        int     `json:"t0_len"`
+
+	Sequences    []StoredSequence `json:"sequences"`
+	NumSequences int              `json:"num_sequences"`
+	TotalLen     int              `json:"total_len"`
+	MaxLen       int              `json:"max_len"`
+
+	LoadCycles    int    `json:"load_cycles"`
+	AtSpeedCycles int    `json:"at_speed_cycles"`
+	MemoryBits    int    `json:"memory_bits"`
+	HardwareCost  string `json:"hardware_cost"`
+
+	Sims      int   `json:"sims"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// StoredSequence is one selected subsequence as loaded into the on-chip
+// memory, with its provenance and golden MISR signature.
+type StoredSequence struct {
+	Vectors     []string `json:"vectors"`
+	Len         int      `json:"len"`
+	Window      [2]int   `json:"window"`
+	TargetFault string   `json:"target_fault"`
+	GoldenMISR  string   `json:"golden_misr"`
+}
+
+// synthesize runs the full pipeline for one job: T0 (supplied or ATPG +
+// compaction), Procedure 1 selection, §3.2 compaction, coverage
+// verification, and the BIST session that produces golden signatures and
+// the hardware cost report. ctx cancellation is polled between stages and
+// inside Procedure 1 via core.Config.Interrupt.
+func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cfg GenConfig) (*Result, error) {
+	start := time.Now()
+	fl := faults.CollapsedUniverse(c)
+
+	rawT0Len := t0.Len()
+	if t0 == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		gen, err := atpg.Generate(c, fl, atpg.Config{Seed: cfg.Seed, MaxLen: cfg.ATPGMaxLen})
+		if err != nil {
+			return nil, fmt.Errorf("atpg: %v", err)
+		}
+		rawT0Len = gen.Seq.Len()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t0, _ = tcompact.Compact(c, fl, gen.Seq)
+	}
+	if t0.Len() == 0 {
+		return nil, errors.New("no useful T0: ATPG detected nothing (or supplied T0 is empty)")
+	}
+
+	coreCfg := core.Config{
+		N:                 cfg.N,
+		Seed:              cfg.Seed,
+		OmissionRestart:   true,
+		MaxOmissionTrials: cfg.MaxOmissionTrials,
+		Parallelism:       cfg.Parallelism,
+		Interrupt:         func() bool { return ctx.Err() != nil },
+	}
+	res, err := core.Select(c, fl, t0, coreCfg)
+	if err != nil {
+		if errors.Is(err, core.ErrInterrupted) {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	set := res.Set
+	if !cfg.SkipCompact {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		set, _ = core.CompactSet(c, fl, res, coreCfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if missed := core.VerifyCoverage(c, fl, res, set, coreCfg); len(missed) != 0 {
+		return nil, fmt.Errorf("internal error: %d faults lost by selection", len(missed))
+	}
+
+	stored := make([]vectors.Sequence, len(set))
+	for i, s := range set {
+		stored[i] = s.Seq
+	}
+	sess, err := bist.NewSession(c, stored, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.RunGolden(); err != nil {
+		return nil, err
+	}
+
+	st := core.StatsOf(set)
+	out := &Result{
+		Circuit:      c.Name,
+		NumFaults:    len(fl),
+		DetectedByT0: res.NumTargets,
+		RawT0Len:     rawT0Len,
+		T0Len:        t0.Len(),
+		NumSequences: st.NumSequences,
+		TotalLen:     st.TotalLen,
+		MaxLen:       st.MaxLen,
+
+		LoadCycles:    sess.LoadCycles(),
+		AtSpeedCycles: sess.AtSpeedCycles(),
+		MemoryBits:    sess.MemoryBits(),
+		HardwareCost:  bist.CostOf(c.NumPIs(), cfg.N, stored).String(),
+
+		Sims:      res.Sims,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}
+	if len(fl) > 0 {
+		out.Coverage = float64(res.NumTargets) / float64(len(fl))
+	}
+	golden := sess.GoldenSignatures()
+	for i, s := range set {
+		out.Sequences = append(out.Sequences, StoredSequence{
+			Vectors:     sequenceStrings(s.Seq),
+			Len:         s.Seq.Len(),
+			Window:      [2]int{s.UStart, s.UDet},
+			TargetFault: fl[s.TargetFault].Name(c),
+			GoldenMISR:  fmt.Sprintf("%016x", golden[i]),
+		})
+	}
+	return out, nil
+}
+
+func sequenceStrings(s vectors.Sequence) []string {
+	out := make([]string, s.Len())
+	for i, v := range s {
+		out[i] = v.String()
+	}
+	return out
+}

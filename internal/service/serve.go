@@ -1,0 +1,48 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Serve runs the HTTP API of a fresh Service on addr until the process
+// receives SIGINT or SIGTERM, then shuts down gracefully. Both seqbistd
+// and `seqbist -serve` are thin wrappers around this.
+func Serve(addr string, cfg Config) error {
+	svc := New(cfg)
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("seqbist service listening on %s (%d workers)", addr, svc.cfg.Workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

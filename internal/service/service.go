@@ -1,0 +1,334 @@
+// Package service is the long-lived BIST-synthesis service: an in-process
+// job queue with a worker pool that runs the full loading-and-expansion
+// pipeline (ATPG/T0 -> Procedure 1 selection -> §3.2 compaction -> BIST
+// session with golden signatures and hardware cost) per submitted job,
+// fronted by an HTTP JSON API (see NewHandler).
+//
+// Jobs are content-addressed: the hash of the circuit's structural
+// fingerprint, the supplied T0, and the normalized configuration keys an
+// LRU result cache, so resubmitting identical work completes instantly.
+// Each job's fault simulations run on the sharded parallel scheduler of
+// internal/fsim; cancellation reaches into Procedure 1 via the
+// core.Config.Interrupt hook, so a DELETE aborts a running job between
+// simulation trials rather than after the fact.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors the API surfaces to clients.
+var (
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrQueueFull reports that the submission queue is at capacity.
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrClosed reports submission to a shut-down service.
+	ErrClosed = errors.New("service: closed")
+	// ErrNotDone reports a result request for an unfinished job.
+	ErrNotDone = errors.New("service: job not done")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the synthesis worker-pool size (default 4).
+	Workers int
+	// QueueDepth is the pending-job capacity (default 64).
+	QueueDepth int
+	// CacheSize is the maximum number of cached results (default 128;
+	// negative disables caching).
+	CacheSize int
+	// MaxJobs bounds the number of retained job records (default 1024;
+	// negative disables eviction). When the bound is exceeded, the
+	// oldest *terminal* jobs are evicted; queued and running jobs are
+	// never dropped, so the bound is soft while more than MaxJobs jobs
+	// are actually in flight.
+	MaxJobs int
+	// SimParallelism is the default per-job fault-simulation goroutine
+	// count for jobs that do not set their own (0 = one per CPU).
+	SimParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Service is the synthesis job manager. Create with New, stop with Close.
+type Service struct {
+	cfg   Config
+	queue chan *job
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	cache  *resultCache
+	seq    int64
+	closed bool
+}
+
+// New starts a service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		queue:      make(chan *job, cfg.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		jobs:       make(map[string]*job),
+		cache:      newResultCache(cfg.CacheSize),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates spec, registers a job, and enqueues it. If an
+// identical job (same content key) has already completed, the returned
+// job is created directly in the done state with CacheHit set and the
+// cached result attached — no work is queued.
+func (s *Service) Submit(spec JobSpec) (Status, error) {
+	c, err := resolveCircuit(spec)
+	if err != nil {
+		return Status{}, fmt.Errorf("invalid job: %w", err)
+	}
+	t0, err := resolveT0(spec, c)
+	if err != nil {
+		return Status{}, fmt.Errorf("invalid job: %w", err)
+	}
+	cfg := spec.Config.withDefaults(s.cfg.SimParallelism)
+	key := contentKey(c, spec.T0, cfg)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Status{}, ErrClosed
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		key:       key,
+		spec:      spec,
+		cfg:       cfg,
+		c:         c,
+		t0:        t0,
+		submitted: time.Now(),
+	}
+	if res, ok := s.cache.get(key); ok {
+		j.state = StateDone
+		j.cacheHit = true
+		j.result = res
+		j.finished = j.submitted
+		s.register(j)
+		st := j.status()
+		s.mu.Unlock()
+		return st, nil
+	}
+	j.state = StateQueued
+	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel() // release the context registration
+		s.mu.Unlock()
+		return Status{}, ErrQueueFull
+	}
+	s.register(j)
+	st := j.status()
+	s.mu.Unlock()
+	return st, nil
+}
+
+// register records j and evicts the oldest terminal records beyond the
+// retention bound, so a long-lived daemon's memory does not grow with
+// total submissions. Callers hold s.mu.
+func (s *Service) register(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if s.cfg.MaxJobs < 0 || len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	over := len(s.order) - s.cfg.MaxJobs
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if over > 0 && s.jobs[id].state.Terminal() {
+			delete(s.jobs, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Status returns a snapshot of the named job.
+func (s *Service) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Service) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Result returns the named job's result. ErrNotDone is returned while
+// the job is queued or running, or if it failed or was canceled.
+func (s *Service) Result(id string) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.state != StateDone {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotDone, j.state)
+	}
+	return j.result, nil
+}
+
+// Cancel requests cancellation of the named job. Queued jobs flip to
+// canceled immediately; running jobs are interrupted (Procedure 1 polls
+// the hook between trials) and reach the canceled state shortly after.
+// Canceling a terminal job is a no-op.
+func (s *Service) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.cancel()
+	case StateRunning:
+		j.cancel()
+	}
+	return j.status(), nil
+}
+
+// Stats is an operational snapshot for health checks.
+type Stats struct {
+	Workers    int           `json:"workers"`
+	QueueDepth int           `json:"queue_depth"`
+	Jobs       map[State]int `json:"jobs"`
+	Cache      CacheStats    `json:"cache"`
+}
+
+// CacheStats reports result-cache effectiveness.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+// Stats snapshots the service.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Jobs:       make(map[State]int),
+		Cache: CacheStats{
+			Entries: s.cache.len(),
+			Hits:    s.cache.hits,
+			Misses:  s.cache.misses,
+		},
+	}
+	for _, j := range s.jobs {
+		st.Jobs[j.state]++
+	}
+	return st
+}
+
+// Close stops accepting jobs, cancels everything in flight, and waits for
+// the workers to drain.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.rootCancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker drains the queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end and commits its terminal state.
+func (s *Service) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	res, err := synthesize(j.ctx, j.c, j.t0, j.cfg)
+	ctxErr := j.ctx.Err()
+	j.cancel() // release the context's registration under rootCtx
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case ctxErr != nil:
+		j.state = StateCanceled
+		j.err = ctxErr
+	case err != nil:
+		j.state = StateFailed
+		j.err = err
+	default:
+		j.state = StateDone
+		j.result = res
+		s.cache.put(j.key, res)
+	}
+}
