@@ -10,14 +10,26 @@
 //	seqbist -circuit s27 -t0 t0.txt -n 1    # bring your own T0
 //	seqbist -serve :8080 -workers 8         # run as the synthesis daemon
 //
+//	# Batch sweep against a daemon: submit, stream progress, print the
+//	# Table-3-style summary. -sweep takes registry names and/or .bench
+//	# paths; "table3" expands to the paper's twelve circuits.
+//	seqbist -sweep s27,s298,mydesign.bench -server http://localhost:8080 -n 8
+//	seqbist -sweep table3            # no -server: ephemeral in-process daemon
+//
 // -serve starts the same HTTP service as the seqbistd command (see
-// internal/service); all one-shot flags are ignored in that mode.
+// internal/service); all one-shot flags are ignored in that mode. The
+// sweep mode is a thin client over POST /v1/sweeps and its NDJSON event
+// stream (see API.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 
 	"seqbist/internal/atpg"
 	"seqbist/internal/bench"
@@ -42,7 +54,10 @@ func main() {
 	verilogOut := flag.String("verilog", "", "write the on-chip BIST hardware (expander + MISR) as Verilog to this path")
 	fsimWorkers := flag.Int("fsim-workers", 0, "fault-simulation goroutines (0 = one per CPU, 1 = serial)")
 	serveAddr := flag.String("serve", "", "run as the synthesis daemon on this address instead of one-shot mode")
-	serveWorkers := flag.Int("workers", 4, "daemon synthesis worker-pool size (with -serve)")
+	serveWorkers := flag.Int("workers", 4, "daemon synthesis worker-pool size (with -serve and -sweep without -server)")
+	sweepList := flag.String("sweep", "", "batch sweep: comma-separated registry names and/or .bench paths, or \"table3\"")
+	serverURL := flag.String("server", "", "daemon base URL for -sweep (empty = run an ephemeral in-process daemon)")
+	maxTrials := flag.Int("max-omission-trials", 0, "bound Procedure 2 omission simulations per subsequence (0 = unlimited; sweeps on big circuits want a bound)")
 	flag.Parse()
 
 	if *serveAddr != "" {
@@ -52,6 +67,17 @@ func main() {
 		}); err != nil {
 			fatalf("%v", err)
 		}
+		return
+	}
+
+	if *sweepList != "" {
+		runSweep(*sweepList, *serverURL, service.GenConfig{
+			N:                 *n,
+			Seed:              *seed,
+			MaxOmissionTrials: *maxTrials,
+			SkipCompact:       *skipCompact,
+			Parallelism:       *fsimWorkers,
+		}, *serveWorkers)
 		return
 	}
 
@@ -173,6 +199,92 @@ func obtainT0(c *netlist.Circuit, fl []faults.Fault, t0File string, seed uint64)
 	fmt.Printf("ATPG: %d vectors generated, compacted to %d (ratio %.2f)\n\n",
 		st.OriginalLen, st.CompactedLen, st.Ratio())
 	return t0
+}
+
+// runSweep is the batch-sweep client: build the member list, submit it to
+// a daemon (spinning up an ephemeral in-process one when no -server is
+// given), stream per-circuit NDJSON progress to stderr, and print the
+// aggregated markdown summary to stdout.
+func runSweep(list, serverURL string, cfg service.GenConfig, workers int) {
+	var refs []service.CircuitRef
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		switch {
+		case item == "":
+		case item == "table3":
+			for _, name := range iscas.TableNames() {
+				refs = append(refs, service.CircuitRef{Circuit: name})
+			}
+		case strings.HasSuffix(item, ".bench"):
+			data, err := os.ReadFile(item)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			refs = append(refs, service.CircuitRef{Bench: string(data)})
+		default:
+			refs = append(refs, service.CircuitRef{Circuit: item})
+		}
+	}
+	if len(refs) == 0 {
+		fatalf("-sweep: no circuits")
+	}
+
+	if serverURL == "" {
+		// Ephemeral daemon: same service, loopback listener, torn down on
+		// exit. The sweep still exercises the full HTTP path. Upload
+		// limits are disabled — the netlists are operator-chosen local
+		// files, the same trust level as -bench in one-shot mode.
+		svc := service.New(service.Config{
+			Workers:     workers,
+			BenchLimits: bench.Limits{MaxBytes: -1, MaxSignals: -1},
+		})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		srv := &http.Server{Handler: service.NewHandler(svc)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		serverURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "seqbist: ephemeral daemon on %s\n", serverURL)
+	}
+
+	cl := &service.Client{BaseURL: serverURL}
+	fin, err := cl.RunSweep(context.Background(), service.SweepSpec{Circuits: refs, Config: cfg},
+		func(ev service.SweepEvent) error {
+			switch ev.Type {
+			case "sweep_started":
+				fmt.Fprintf(os.Stderr, "sweep %s: %d circuits\n", ev.SweepID, len(refs))
+			case "member_update":
+				m := ev.Member
+				line := fmt.Sprintf("  [%d] %-8s %s", m.Index, m.Circuit, m.State)
+				if m.CacheHit {
+					line += " (cache hit)"
+				}
+				if m.State == service.StateDone && m.Result != nil {
+					line += fmt.Sprintf("  cov %.2f  |S| %d  tot %d  max %d",
+						m.Result.Coverage, m.Result.NumSequences, m.Result.TotalLen, m.Result.MaxLen)
+				}
+				if m.Error != "" {
+					line += "  error: " + m.Error
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+			return nil
+		})
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	if fin.Summary == nil {
+		fatalf("sweep %s finished without a summary (state %s)", fin.ID, fin.State)
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s: %s (%d done, %d failed, %d canceled, %d cache hits)\n",
+		fin.ID, fin.State, fin.Summary.Done, fin.Summary.Failed, fin.Summary.Canceled, fin.Summary.CacheHits)
+	fmt.Println(fin.Summary.Markdown)
+	if fin.Summary.Failed > 0 || fin.State != service.StateDone {
+		os.Exit(1)
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

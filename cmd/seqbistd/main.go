@@ -1,19 +1,23 @@
 // Command seqbistd is the BIST-synthesis daemon: a long-lived HTTP
-// service that accepts synthesis jobs (registry circuit or uploaded
-// .bench netlist plus a generation config), runs the full
-// loading-and-expansion pipeline on a worker pool, and serves results
-// from a content-addressed cache on resubmission.
+// service that accepts synthesis jobs and batch sweeps (registry circuits
+// or uploaded .bench netlists plus a generation config), runs the full
+// loading-and-expansion pipeline on a worker pool, serves results from a
+// content-addressed cache on resubmission, streams sweep progress as
+// NDJSON, and exports operational counters at /metrics.
 //
 // Usage:
 //
 //	seqbistd -addr :8080 -workers 8
 //
-// API:
+// API (full reference with schemas in API.md):
 //
-//	curl -X POST localhost:8080/jobs -d '{"circuit":"s298","config":{"n":8}}'
-//	curl localhost:8080/jobs/job-000001
-//	curl localhost:8080/jobs/job-000001/result
-//	curl -X DELETE localhost:8080/jobs/job-000001
+//	curl -X POST localhost:8080/v1/jobs -d '{"circuit":"s298","config":{"n":8}}'
+//	curl localhost:8080/v1/jobs/job-000001
+//	curl localhost:8080/v1/jobs/job-000001/result
+//	curl -X DELETE localhost:8080/v1/jobs/job-000001
+//	curl -X POST localhost:8080/v1/sweeps -d '{"circuits":[{"circuit":"s27"},{"circuit":"s298"}],"config":{"n":8}}'
+//	curl -N localhost:8080/v1/sweeps/sweep-0001/events   # NDJSON stream
+//	curl localhost:8080/metrics
 //	curl localhost:8080/healthz
 package main
 
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"seqbist/internal/bench"
 	"seqbist/internal/service"
 )
 
@@ -31,16 +36,34 @@ func main() {
 	queue := flag.Int("queue", 64, "pending-job queue capacity")
 	cacheSize := flag.Int("cache", 128, "result-cache entries (negative disables)")
 	simWorkers := flag.Int("sim-workers", 0, "per-job fault-simulation goroutines (0 = one per CPU)")
+	maxSweep := flag.Int("max-sweep-members", 0, "max circuits per sweep (0 = default 64)")
+	maxBench := flag.Int64("max-bench-bytes", 0, "uploaded .bench size cap in bytes (0 = default 1 MiB, negative = unlimited)")
+	maxSignals := flag.Int("max-bench-signals", 0, "uploaded netlist signal cap (0 = default 250k, negative = unlimited)")
 	flag.Parse()
 
 	err := service.Serve(*addr, service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		SimParallelism: *simWorkers,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		SimParallelism:  *simWorkers,
+		MaxSweepMembers: *maxSweep,
+		BenchLimits:     benchLimits(*maxBench, *maxSignals),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "seqbistd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// benchLimits maps the flag values onto bench.Limits (zero keeps the
+// service defaults, negative disables the respective limit).
+func benchLimits(maxBytes int64, maxSignals int) bench.Limits {
+	lim := bench.UploadLimits
+	if maxBytes != 0 {
+		lim.MaxBytes = maxBytes
+	}
+	if maxSignals != 0 {
+		lim.MaxSignals = maxSignals
+	}
+	return lim
 }

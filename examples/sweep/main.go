@@ -1,15 +1,25 @@
-// Sweep explores the repetition count n — the scheme's one tuning knob.
-// Larger n makes each expanded sequence longer (more at-speed vectors per
-// stored vector), which lets Procedure 2 store shorter subsequences but
-// stretches test time. The paper picks the best n per circuit from
-// {2,4,8,16}; this example prints the whole trade-off for one circuit.
+// Sweep demonstrates the two sweep axes of the system.
+//
+// Part 1 explores the repetition count n — the scheme's one tuning knob —
+// on a single circuit. Larger n makes each expanded sequence longer (more
+// at-speed vectors per stored vector), which lets Procedure 2 store
+// shorter subsequences but stretches test time. The paper picks the best
+// n per circuit from {2,4,8,16}.
+//
+// Part 2 sweeps across circuits: it starts an in-process synthesis
+// service, submits one batch sweep (registry circuits plus the embedded
+// s27 uploaded as a raw .bench body), follows the NDJSON event stream,
+// and prints the aggregated Table-3-style summary — the same path
+// `seqbist -sweep` and POST /v1/sweeps take.
 //
 // Usage: go run ./examples/sweep [circuit]   (default s298)
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
 
 	"seqbist/internal/atpg"
@@ -17,6 +27,7 @@ import (
 	"seqbist/internal/faults"
 	"seqbist/internal/iscas"
 	"seqbist/internal/report"
+	"seqbist/internal/service"
 	"seqbist/internal/tcompact"
 )
 
@@ -60,4 +71,38 @@ func main() {
 	}
 	fmt.Println(tbl)
 	fmt.Println("reading the table: memory (max len) shrinks as n grows; test time (8n x tot) grows.")
+	fmt.Println()
+
+	batchSweep()
+}
+
+// batchSweep is part 2: one POST /v1/sweeps over several circuits through
+// a live (in-process) daemon, streamed as NDJSON.
+func batchSweep() {
+	svc := service.New(service.Config{Workers: 2, SimParallelism: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+	cl := &service.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+
+	fmt.Println("-- batch sweep over the service (3 registry circuits + 1 uploaded .bench) --")
+	fin, err := cl.RunSweep(context.Background(), service.SweepSpec{
+		Circuits: []service.CircuitRef{
+			{Circuit: "s27"},
+			{Circuit: "s298"},
+			{Circuit: "s344"},
+			{Bench: iscas.S27Source}, // a "user" netlist, uploaded inline
+		},
+		Config: service.GenConfig{N: 4, Seed: 1, ATPGMaxLen: 500, MaxOmissionTrials: 100},
+	}, func(ev service.SweepEvent) error {
+		if ev.Type == "member_update" && ev.Member.State.Terminal() {
+			fmt.Printf("  %-8s %s\n", ev.Member.Circuit, ev.Member.State)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(fin.Summary.Markdown)
 }

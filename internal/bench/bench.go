@@ -17,6 +17,7 @@ package bench
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -25,14 +26,50 @@ import (
 	"seqbist/internal/netlist"
 )
 
-// Parse reads a .bench netlist from r and builds the circuit. The name
-// parameter names the resulting circuit (the format itself carries no
-// name).
+// Limits bounds a .bench parse of untrusted input. The zero value means
+// unlimited, which is appropriate for files the operator chose; inputs
+// arriving over the network (the service's upload path) should use
+// UploadLimits or tighter.
+type Limits struct {
+	// MaxBytes caps the source size in bytes (0 = unlimited). Exceeding
+	// it aborts the parse before the excess is read.
+	MaxBytes int64
+	// MaxSignals caps the number of distinct signals (nets) the netlist
+	// may declare or reference (0 = unlimited). The check runs while
+	// parsing, so an oversized netlist is rejected without being built.
+	MaxSignals int
+}
+
+// UploadLimits is the default bound for network-supplied netlists: 1 MiB
+// of source and 250k signals, comfortably above the largest ISCAS-89
+// circuit (s38584: ~20k signals) while keeping a hostile upload from
+// exhausting daemon memory.
+var UploadLimits = Limits{MaxBytes: 1 << 20, MaxSignals: 250_000}
+
+// ErrTooLarge reports input that exceeds a parse limit.
+var ErrTooLarge = errors.New("bench: input exceeds size limit")
+
+// Parse reads a .bench netlist from r and builds the circuit, with no size
+// limits. The name parameter names the resulting circuit (the format
+// itself carries no name).
 func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
+	return ParseLimited(r, name, Limits{})
+}
+
+// ParseLimited is Parse with size limits enforced during the scan, for
+// input that crosses a trust boundary. Empty input (no statements after
+// stripping comments and blanks) is rejected explicitly rather than
+// surfacing as a missing-inputs netlist error.
+func ParseLimited(r io.Reader, name string, lim Limits) (*netlist.Circuit, error) {
+	var lr *limitedReader
+	if lim.MaxBytes > 0 {
+		lr = &limitedReader{r: r, max: lim.MaxBytes, remaining: lim.MaxBytes}
+		r = lr
+	}
 	b := netlist.NewBuilder(name)
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
-	lineNo := 0
+	lineNo, stmts := 0, 0
 	for scanner.Scan() {
 		lineNo++
 		line := scanner.Text()
@@ -44,11 +81,27 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 			continue
 		}
 		if err := parseLine(b, line); err != nil {
+			// A byte-budget overflow truncates the final buffered line;
+			// report the limit, not the parse artifact it produced.
+			if lr != nil && lr.exceeded {
+				return nil, fmt.Errorf("%w (more than %d bytes)", ErrTooLarge, lr.max)
+			}
 			return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+		}
+		stmts++
+		if lim.MaxSignals > 0 && b.NumSignals() > lim.MaxSignals {
+			return nil, fmt.Errorf("%w: more than %d signals (line %d)",
+				ErrTooLarge, lim.MaxSignals, lineNo)
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("bench: %v", err)
+		if errors.Is(err, ErrTooLarge) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if stmts == 0 {
+		return nil, errors.New("bench: empty netlist (no statements)")
 	}
 	return b.Build()
 }
@@ -56,6 +109,37 @@ func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
 // ParseString is Parse on a string.
 func ParseString(src, name string) (*netlist.Circuit, error) {
 	return Parse(strings.NewReader(src), name)
+}
+
+// limitedReader reads up to its byte budget and then fails with
+// ErrTooLarge (unlike io.LimitReader, which reports a silent EOF that
+// would truncate a netlist instead of rejecting it). No byte past the
+// budget is ever passed through, so the consumer never sees — and never
+// reports an error about — a line the limit cut in half.
+type limitedReader struct {
+	r              io.Reader
+	max, remaining int64
+	exceeded       bool
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if l.remaining <= 0 {
+		// Budget exhausted: distinguish exact fit from overflow with a
+		// one-byte probe.
+		var probe [1]byte
+		n, err := l.r.Read(probe[:])
+		if n > 0 {
+			l.exceeded = true
+			return 0, fmt.Errorf("%w (more than %d bytes)", ErrTooLarge, l.max)
+		}
+		return 0, err
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.r.Read(p)
+	l.remaining -= int64(n)
+	return n, err
 }
 
 func parseLine(b *netlist.Builder, line string) error {

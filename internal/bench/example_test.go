@@ -1,0 +1,43 @@
+package bench_test
+
+import (
+	"fmt"
+	"strings"
+
+	"seqbist/internal/bench"
+)
+
+// ExampleParseString parses a tiny synchronous circuit from .bench source
+// — the format every user-supplied netlist arrives in, whether through
+// `seqbist -bench`, the POST /v1/jobs upload path, or a sweep member.
+func ExampleParseString() {
+	src := `
+# a 2-bit shift register with an XOR tap
+INPUT(d)
+OUTPUT(q)
+ff1 = DFF(d)
+ff2 = DFF(ff1)
+q = XOR(ff1, ff2)
+`
+	c, err := bench.ParseString(src, "shifter")
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	fmt.Println(c.Stats())
+	// Output:
+	// shifter: 1 PIs, 1 POs, 2 DFFs, 1 gates, depth 1
+}
+
+// ExampleParseLimited shows the hardened parse used for untrusted input:
+// the same format, but with byte and signal budgets that reject oversized
+// netlists before they are built. The service's upload endpoints parse
+// with bench.UploadLimits and surface these errors as HTTP 400s.
+func ExampleParseLimited() {
+	src := "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n"
+	lim := bench.Limits{MaxBytes: 16, MaxSignals: 100} // far too small
+	_, err := bench.ParseLimited(strings.NewReader(src), "upload", lim)
+	fmt.Println(err)
+	// Output:
+	// bench: input exceeds size limit (more than 16 bytes)
+}

@@ -12,6 +12,11 @@
 // selected set always equals the coverage of T0, total stored length is a
 // fraction of |T0|, and the maximum stored length is a small fraction of
 // |T0|.
+//
+// The package also owns the sweep aggregation (SweepRow, SweepTable) that
+// the service layer uses to summarize batch sweeps: one deterministic
+// Table-3-style row per circuit, rendered identically whether the runs
+// came through the daemon or from RunAll/Synthesize directly.
 package experiments
 
 import (

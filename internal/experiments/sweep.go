@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"seqbist/internal/report"
+)
+
+// SweepRow is one circuit's line of a batch-sweep summary: the Table-3/5
+// quantities a BIST integrator compares across circuits. The service layer
+// fills rows from its per-job results and clients rebuild the identical
+// table from streamed events, so the struct carries plain serializable
+// fields only — no wall-clock times, which would break the bit-for-bit
+// reproducibility the sweep summary promises.
+type SweepRow struct {
+	Circuit      string  `json:"circuit"`
+	NumFaults    int     `json:"num_faults"`
+	Detected     int     `json:"detected"`
+	Coverage     float64 `json:"coverage"`
+	T0Len        int     `json:"t0_len"`
+	N            int     `json:"n"`
+	NumSequences int     `json:"num_sequences"`
+	TotalLen     int     `json:"total_len"`
+	MaxLen       int     `json:"max_len"`
+	TestLen      int     `json:"test_len"` // applied at-speed length, 8·n·TotalLen
+	MemoryBits   int     `json:"memory_bits"`
+	HardwareCost string  `json:"hardware_cost"`
+}
+
+// RowFromRun converts one completed CircuitRun (its best-n result) into a
+// SweepRow, so direct `experiments` runs and service sweeps aggregate
+// through the same table renderer.
+func RowFromRun(r *CircuitRun) SweepRow {
+	b := r.BestRun()
+	row := SweepRow{
+		Circuit:      r.Name,
+		NumFaults:    r.TotalFaults,
+		Detected:     r.DetectedByT0,
+		T0Len:        r.T0Len,
+		N:            b.N,
+		NumSequences: b.After.NumSequences,
+		TotalLen:     b.After.TotalLen,
+		MaxLen:       b.After.MaxLen,
+		TestLen:      r.TestLen(),
+	}
+	if r.TotalFaults > 0 {
+		row.Coverage = float64(r.DetectedByT0) / float64(r.TotalFaults)
+	}
+	return row
+}
+
+// SweepTable renders sweep rows as a Table-3-style markdown table:
+// per-circuit fault coverage, stored-set shape, the tot/T0 and max/T0
+// ratios, applied test length, and hardware cost, with the paper's
+// headline average ratios in the last row. The rendering is deterministic
+// given the rows, which is what makes the service's streamed summary
+// comparable bit-for-bit against a direct in-process run.
+func SweepTable(rows []SweepRow) string {
+	t := report.New("Batch sweep summary",
+		"circuit", "faults", "det", "cov", "|T0|", "n",
+		"|S|", "tot len", "tot/T0", "max len", "max/T0",
+		"test len", "mem bits", "hardware").AlignLeft(0, 13)
+	var totRatio, maxRatio float64
+	counted := 0
+	for _, r := range rows {
+		tot, max := "-", "-"
+		if r.T0Len > 0 {
+			tr := float64(r.TotalLen) / float64(r.T0Len)
+			mr := float64(r.MaxLen) / float64(r.T0Len)
+			tot, max = report.Ratio(tr), report.Ratio(mr)
+			totRatio += tr
+			maxRatio += mr
+			counted++
+		}
+		t.AddRow(r.Circuit,
+			report.Itoa(r.NumFaults), report.Itoa(r.Detected), report.Ratio(r.Coverage),
+			report.Itoa(r.T0Len), report.Itoa(r.N),
+			report.Itoa(r.NumSequences), report.Itoa(r.TotalLen), tot,
+			report.Itoa(r.MaxLen), max,
+			report.Itoa(r.TestLen), report.Itoa(r.MemoryBits), r.HardwareCost)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.Markdown())
+	if counted > 0 {
+		fmt.Fprintf(&sb, "\nAverages over %d circuits: total-stored/|T0| = %s, max-stored/|T0| = %s (paper: %s, %s).\n",
+			counted,
+			report.Ratio(totRatio/float64(counted)), report.Ratio(maxRatio/float64(counted)),
+			report.Ratio(PaperAverageTotRatio), report.Ratio(PaperAverageMaxRatio))
+	}
+	return sb.String()
+}

@@ -21,6 +21,7 @@ package fsim
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"seqbist/internal/faults"
 	"seqbist/internal/logic"
@@ -28,6 +29,21 @@ import (
 	"seqbist/internal/sim"
 	"seqbist/internal/vectors"
 )
+
+// patternsApplied counts, process-wide, the input vectors (patterns) the
+// simulation engines have applied: Incremental counts each vector once
+// per Extend/Evaluate call (simulating all live faults in parallel),
+// Single counts the vectors of each per-fault simulation, so the total is
+// a raw simulation-throughput measure, not a per-fault-pair count. It
+// feeds the daemon's GET /metrics observability endpoint; the counter is
+// deliberately global because one process hosts one daemon, and the
+// bookkeeping must not thread through every simulation call site.
+var patternsApplied atomic.Int64
+
+// PatternsApplied returns the cumulative number of input vectors applied
+// by the fault-simulation engines in this process (see patternsApplied
+// for the counting semantics).
+func PatternsApplied() int64 { return patternsApplied.Load() }
 
 // Undetected is the detection time reported for faults a sequence does not
 // detect.
@@ -300,6 +316,7 @@ func forceWord(w logic.Word, m0, m1 uint64) logic.Word {
 // scheduler in parallel.go runs instead; it returns identical detections
 // in the identical order.
 func (inc *Incremental) Extend(seq vectors.Sequence) []int {
+	patternsApplied.Add(int64(len(seq)))
 	if inc.workers > 1 && len(seq) > 0 {
 		if live := inc.liveGroups(); len(live) > 1 {
 			return inc.extendParallel(seq, live)
@@ -350,6 +367,7 @@ func (inc *Incremental) Peek(seq vectors.Sequence) []int {
 // the state brings those faults closer to detection even when it detects
 // nothing itself.
 func (inc *Incremental) Evaluate(seq vectors.Sequence) (newly []int, divergence int) {
+	patternsApplied.Add(int64(len(seq)))
 	goodState := make([]logic.Value, len(inc.goodState))
 	copy(goodState, inc.goodState)
 	goodPO := make([]logic.Value, inc.c.NumPOs())

@@ -94,6 +94,7 @@ func (s *Single) Detects(f faults.Fault, seq vectors.Sequence) (bool, int) {
 		for _, po := range c.POs {
 			gv, bv := s.goodVals[po], s.badVals[po]
 			if gv.IsBinary() && bv.IsBinary() && gv != bv {
+				patternsApplied.Add(int64(u + 1))
 				return true, u
 			}
 		}
@@ -107,6 +108,7 @@ func (s *Single) Detects(f faults.Fault, seq vectors.Sequence) (bool, int) {
 			s.badState[i] = v
 		}
 	}
+	patternsApplied.Add(int64(len(seq)))
 	return false, Undetected
 }
 

@@ -297,6 +297,12 @@ func NewBuilder(name string) *Builder {
 	}
 }
 
+// NumSignals returns the number of distinct signals declared or referenced
+// so far. Streaming parsers of untrusted input (see bench.ParseLimited) use
+// it to enforce size limits while the netlist is still being built, before
+// an oversized upload can accumulate into a full Circuit.
+func (b *Builder) NumSignals() int { return len(b.signalNames) }
+
 // Signal returns the SignalID for name, creating the signal if needed.
 func (b *Builder) Signal(name string) SignalID {
 	if id, ok := b.signalIndex[name]; ok {

@@ -1,5 +1,11 @@
-// Package report renders aligned monospace tables in the style of the
-// paper's result tables, with an optional Markdown form for EXPERIMENTS.md.
+// Package report renders small result tables in two forms: aligned
+// monospace text in the style of the paper's tables (Table.String), and
+// GitHub-flavored Markdown (Table.Markdown) used by the generated
+// experiment report (`cmd/tables -md`) and by the service's sweep
+// summaries. Columns default to right alignment for numeric data;
+// AlignLeft overrides per column. The Itoa/Ratio/Fixed helpers keep cell
+// formatting uniform across every table the repository emits, which is
+// what makes regenerated reports diff-stable.
 package report
 
 import (

@@ -3,10 +3,11 @@ package service
 import "container/list"
 
 // resultCache is a content-addressed LRU cache of completed synthesis
-// results, keyed by contentKey (hash of netlist fingerprint, supplied T0,
-// and normalized config). The pipeline is deterministic given that key,
-// so a hit can be served without re-running anything. Not safe for
-// concurrent use: the Service accesses it under its own mutex.
+// results, keyed by contentKey (hash of circuit name, netlist
+// fingerprint, supplied T0, and normalized config). The pipeline is
+// deterministic given that key, so a hit can be served without re-running
+// anything. Not safe for concurrent use: the Service accesses it under
+// its own mutex.
 type resultCache struct {
 	max   int // maximum entries; <= 0 disables caching
 	ll    *list.List

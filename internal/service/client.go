@@ -1,0 +1,184 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a minimal HTTP client for a running seqbist daemon, shared by
+// the `seqbist -sweep` subcommand, the examples, and the end-to-end
+// tests. It speaks the /v1 API documented in API.md.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient, when nil, falls back to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// apiError is the structured error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// do issues one JSON request and decodes the response into out (when
+// non-nil), translating structured error bodies into Go errors.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf := new(bytes.Buffer)
+		if err := json.NewEncoder(buf).Encode(in); err != nil {
+			return err
+		}
+		body = buf
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// SubmitJob submits one synthesis job.
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// JobStatus fetches one job's status.
+func (c *Client) JobStatus(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// JobResult fetches a finished job's result.
+func (c *Client) JobResult(ctx context.Context, id string) (*Result, error) {
+	var res Result
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SubmitSweep submits a batch sweep.
+func (c *Client) SubmitSweep(ctx context.Context, spec SweepSpec) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", spec, &st)
+	return st, err
+}
+
+// Sweep fetches one sweep's status (the polling fallback to streaming).
+func (c *Client) Sweep(ctx context.Context, id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// CancelSweep cancels every member of the sweep.
+func (c *Client) CancelSweep(ctx context.Context, id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// Metrics fetches the daemon's operational counters.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var snap MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &snap)
+	return snap, err
+}
+
+// StreamSweep follows the sweep's NDJSON event stream, invoking fn once
+// per event in order, until the sweep finishes (nil), fn returns an error
+// (that error), or ctx is canceled. The terminal "sweep_done" event
+// carries the summary.
+func (c *Client) StreamSweep(ctx context.Context, id string, fn func(SweepEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/sweeps/"+id+"/events"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			return fmt.Errorf("stream sweep %s: %s (HTTP %d)", id, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("stream sweep %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 16<<20) // results on member events can be large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev SweepEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("stream sweep %s: bad event line: %v", id, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// RunSweep is the full client-side batch path: submit the sweep, stream
+// its events (forwarding each to fn when non-nil), and return the
+// terminal sweep status including the summary.
+func (c *Client) RunSweep(ctx context.Context, spec SweepSpec, fn func(SweepEvent) error) (SweepStatus, error) {
+	st, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		return st, err
+	}
+	err = c.StreamSweep(ctx, st.ID, func(ev SweepEvent) error {
+		if fn != nil {
+			return fn(ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	return c.Sweep(ctx, st.ID)
+}

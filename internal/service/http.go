@@ -3,21 +3,37 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 )
 
-// NewHandler exposes svc over an HTTP JSON API:
+// NewHandler exposes svc over an HTTP JSON API (see API.md for schemas
+// and curl examples). Every route is also registered under the /v1
+// prefix, which is the canonical form; the unprefixed job routes predate
+// versioning and are kept for compatibility.
 //
-//	POST   /jobs             submit a JobSpec; 202 (or 200 on a cache hit)
-//	GET    /jobs             list job statuses in submission order
-//	GET    /jobs/{id}        one job's status
-//	GET    /jobs/{id}/result the finished job's Result; 409 until done
-//	DELETE /jobs/{id}        cancel the job
-//	GET    /healthz          liveness + operational stats
+//	POST   /v1/jobs              submit a JobSpec; 202 (or 200 on a cache hit)
+//	GET    /v1/jobs              list job statuses in submission order
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/result  the finished job's Result; 409 until done
+//	DELETE /v1/jobs/{id}         cancel the job
+//	POST   /v1/sweeps            submit a SweepSpec (batch of circuits); 202
+//	GET    /v1/sweeps            list sweep statuses in creation order
+//	GET    /v1/sweeps/{id}       one sweep's status (polling fallback)
+//	GET    /v1/sweeps/{id}/events  NDJSON stream of sweep progress events
+//	DELETE /v1/sweeps/{id}       cancel every member of the sweep
+//	GET    /metrics              cumulative operational counters
+//	GET    /healthz              liveness + operational stats
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers pattern under both the bare and /v1 prefixes.
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+path, h)
+		mux.HandleFunc(method+" /v1"+path, h)
+	}
+
+	handle("POST", "/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -35,11 +51,11 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, code, st)
 	})
 
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Jobs())
 	})
 
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := svc.Status(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err.Error())
@@ -48,7 +64,7 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
-	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		res, err := svc.Result(r.PathValue("id"))
 		switch {
 		case errors.Is(err, ErrNotFound):
@@ -62,7 +78,7 @@ func NewHandler(svc *Service) http.Handler {
 		}
 	})
 
-	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := svc.Cancel(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err.Error())
@@ -71,7 +87,51 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec SweepSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		st, err := svc.SubmitSweep(spec)
+		if err != nil {
+			writeError(w, submitStatusCode(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	handle("GET", "/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Sweeps())
+	})
+
+	handle("GET", "/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Sweep(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	handle("DELETE", "/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.CancelSweep(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	handle("GET", "/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		streamSweepEvents(svc, w, r)
+	})
+
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Metrics())
+	})
+
+	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Status string `json:"status"`
 			Stats  Stats  `json:"stats"`
@@ -81,12 +141,63 @@ func NewHandler(svc *Service) http.Handler {
 	return mux
 }
 
+// streamSweepEvents writes the sweep's event log as NDJSON (one compact
+// JSON event per line, application/x-ndjson), replaying history first and
+// then following live until the sweep is terminal or the client goes
+// away. Events are flushed per batch, so a curl reader sees per-circuit
+// progress as it happens.
+func streamSweepEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// Probe existence before committing to the stream content type; the
+	// past-the-end seq keeps the probe from copying the event log.
+	if _, _, _, err := svc.SweepEvents(id, math.MaxInt); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	for {
+		events, wake, done, err := svc.SweepEvents(id, next)
+		if err != nil {
+			return // sweep evicted mid-stream
+		}
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			next++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done && len(events) == 0 {
+			return
+		}
+		if done {
+			// Drain any events appended between the batch and the flag.
+			continue
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 func submitStatusCode(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrSweepTooLarge):
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusBadRequest
 	}

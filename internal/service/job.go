@@ -85,15 +85,16 @@ func (g GenConfig) withDefaults(simParallelism int) GenConfig {
 }
 
 // resolveCircuit loads the requested circuit, either from the registry or
-// by parsing the inline netlist.
-func resolveCircuit(spec JobSpec) (*netlist.Circuit, error) {
+// by parsing the inline netlist under lim (the service passes its
+// configured upload limits; zero means unlimited, for trusted callers).
+func resolveCircuit(spec JobSpec, lim bench.Limits) (*netlist.Circuit, error) {
 	switch {
 	case spec.Circuit != "" && spec.Bench != "":
 		return nil, fmt.Errorf("set either circuit or bench, not both")
 	case spec.Circuit != "":
 		return iscas.Load(spec.Circuit)
 	case spec.Bench != "":
-		return bench.ParseString(spec.Bench, "upload")
+		return bench.ParseLimited(strings.NewReader(spec.Bench), "upload", lim)
 	}
 	return nil, fmt.Errorf("one of circuit or bench is required")
 }
@@ -114,16 +115,21 @@ func resolveT0(spec JobSpec, c *netlist.Circuit) (vectors.Sequence, error) {
 	return t0, nil
 }
 
-// contentKey content-addresses a job: the hash of the circuit's
+// contentKey content-addresses a job: the hash of the circuit's name and
 // order-insensitive structural fingerprint, the supplied T0, and the
 // normalized configuration. Two submissions with the same key are
 // guaranteed to produce identical results (the pipeline is deterministic
-// given the config), which is what makes the result cache sound.
+// given the config), which is what makes the result cache sound. The name
+// participates because Result.Circuit carries it: a registry circuit and
+// a structurally identical upload produce equal numbers but differently
+// labeled results, so they must not share a cache entry.
 func contentKey(c *netlist.Circuit, t0 string, cfg GenConfig) string {
 	// Parallelism is an execution detail: results are bit-for-bit
 	// identical for any worker count, so it must not fragment the cache.
 	cfg.Parallelism = 0
 	h := sha256.New()
+	h.Write([]byte(c.Name))
+	h.Write([]byte{0})
 	h.Write([]byte(bench.Fingerprint(c)))
 	h.Write([]byte{0})
 	h.Write([]byte(strings.Join(strings.Fields(t0), " ")))
@@ -145,6 +151,18 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// onRunning and onTerminal, when non-nil, are invoked by the worker
+	// after the corresponding state commits and the Service mutex is
+	// released (so the hooks may call back into the Service). onRunning
+	// fires at most once, when the job is dequeued; onTerminal exactly
+	// once, with the final status and (for done jobs) the result — passed
+	// directly rather than re-fetched by ID, because the job record may
+	// be evicted the moment the mutex drops. Both hooks run on the
+	// worker's goroutine, so a job's onRunning always precedes its
+	// onTerminal. Sweeps use them to observe members without polling.
+	onRunning  func(Status)
+	onTerminal func(Status, *Result)
 
 	state     State
 	cacheHit  bool

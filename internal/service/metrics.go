@@ -1,0 +1,126 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+
+	"seqbist/internal/fsim"
+)
+
+// Metrics is the daemon's cumulative operational counter set, exposed as
+// expvar-style flat JSON at GET /metrics. All counters are monotonically
+// increasing atomics updated lock-free on the hot path; gauges (queue
+// depth, jobs by state, cache entries) are sampled from the Service at
+// snapshot time. One Metrics lives per Service.
+type Metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+
+	sweepsStarted  atomic.Int64
+	sweepsFinished atomic.Int64
+
+	// proc2Sims counts Procedure 2 expanded-sequence fault simulations
+	// (the dominant cost of the pipeline, Result.Sims summed over jobs).
+	proc2Sims atomic.Int64
+
+	// Per-phase cumulative wall time across all jobs, keyed by the
+	// pipeline stage names of pipeline.go.
+	phaseATPG    atomic.Int64 // nanoseconds
+	phaseSelect  atomic.Int64
+	phaseCompact atomic.Int64
+	phaseBIST    atomic.Int64
+}
+
+// observePhase accumulates one pipeline stage's wall time. The stage
+// names match pipeline.go's synthesize.
+func (m *Metrics) observePhase(stage string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	switch stage {
+	case "atpg":
+		m.phaseATPG.Add(int64(d))
+	case "select":
+		m.phaseSelect.Add(int64(d))
+	case "compact":
+		m.phaseCompact.Add(int64(d))
+	case "bist":
+		m.phaseBIST.Add(int64(d))
+	}
+}
+
+// observeResult accumulates a completed job's simulation work.
+func (m *Metrics) observeResult(res *Result) {
+	if m == nil || res == nil {
+		return
+	}
+	m.proc2Sims.Add(int64(res.Sims))
+}
+
+// MetricsSnapshot is the serialized form of GET /metrics: cumulative
+// counters plus point-in-time gauges.
+type MetricsSnapshot struct {
+	Jobs struct {
+		Submitted int64         `json:"submitted"`
+		Done      int64         `json:"done"`
+		Failed    int64         `json:"failed"`
+		Canceled  int64         `json:"canceled"`
+		ByState   map[State]int `json:"by_state"`
+	} `json:"jobs"`
+	Sweeps struct {
+		Started  int64 `json:"started"`
+		Finished int64 `json:"finished"`
+		Active   int   `json:"active"`
+	} `json:"sweeps"`
+	Cache CacheStats `json:"cache"`
+	Fsim  struct {
+		Proc2Sims int64 `json:"proc2_sims"`
+		// PatternsApplied is process-wide (see fsim.PatternsApplied).
+		PatternsApplied int64 `json:"patterns_applied"`
+	} `json:"fsim"`
+	// PhaseSeconds is cumulative wall time per pipeline stage across all
+	// jobs (parallel workers sum, so this can exceed elapsed real time).
+	PhaseSeconds map[string]float64 `json:"phase_seconds"`
+	Workers      int                `json:"workers"`
+	QueueDepth   int                `json:"queue_depth"`
+	QueueLen     int                `json:"queue_len"`
+}
+
+// Metrics snapshots the service's counters and gauges.
+func (s *Service) Metrics() MetricsSnapshot {
+	var snap MetricsSnapshot
+	m := &s.metrics
+	snap.Jobs.Submitted = m.jobsSubmitted.Load()
+	snap.Jobs.Done = m.jobsDone.Load()
+	snap.Jobs.Failed = m.jobsFailed.Load()
+	snap.Jobs.Canceled = m.jobsCanceled.Load()
+	snap.Sweeps.Started = m.sweepsStarted.Load()
+	snap.Sweeps.Finished = m.sweepsFinished.Load()
+	snap.Fsim.Proc2Sims = m.proc2Sims.Load()
+	snap.Fsim.PatternsApplied = fsim.PatternsApplied()
+	snap.PhaseSeconds = map[string]float64{
+		"atpg":    time.Duration(m.phaseATPG.Load()).Seconds(),
+		"select":  time.Duration(m.phaseSelect.Load()).Seconds(),
+		"compact": time.Duration(m.phaseCompact.Load()).Seconds(),
+		"bist":    time.Duration(m.phaseBIST.Load()).Seconds(),
+	}
+
+	s.mu.Lock()
+	snap.Jobs.ByState = make(map[State]int)
+	for _, j := range s.jobs {
+		snap.Jobs.ByState[j.state]++
+	}
+	for _, sw := range s.sweeps {
+		if !sw.state.Terminal() {
+			snap.Sweeps.Active++
+		}
+	}
+	snap.Cache = CacheStats{Entries: s.cache.len(), Hits: s.cache.hits, Misses: s.cache.misses}
+	snap.Workers = s.cfg.Workers
+	snap.QueueDepth = s.cfg.QueueDepth
+	snap.QueueLen = len(s.queue)
+	s.mu.Unlock()
+	return snap
+}

@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"seqbist/internal/atpg"
+	"seqbist/internal/bench"
 	"seqbist/internal/bist"
 	"seqbist/internal/core"
+	"seqbist/internal/experiments"
 	"seqbist/internal/faults"
 	"seqbist/internal/netlist"
 	"seqbist/internal/tcompact"
@@ -20,6 +22,7 @@ import (
 // accounting a BIST integrator needs.
 type Result struct {
 	Circuit      string  `json:"circuit"`
+	N            int     `json:"n"` // resolved repetition count
 	NumFaults    int     `json:"num_faults"`
 	DetectedByT0 int     `json:"detected_by_t0"`
 	Coverage     float64 `json:"coverage"`
@@ -40,6 +43,27 @@ type Result struct {
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
+// SweepRow projects the result onto the Table-3-style summary row the
+// sweep aggregator (experiments.SweepTable) renders. Every projected
+// field is deterministic given the job spec, so sweep summaries are
+// bit-for-bit reproducible.
+func (r *Result) SweepRow() experiments.SweepRow {
+	return experiments.SweepRow{
+		Circuit:      r.Circuit,
+		NumFaults:    r.NumFaults,
+		Detected:     r.DetectedByT0,
+		Coverage:     r.Coverage,
+		T0Len:        r.T0Len,
+		N:            r.N,
+		NumSequences: r.NumSequences,
+		TotalLen:     r.TotalLen,
+		MaxLen:       r.MaxLen,
+		TestLen:      8 * r.N * r.TotalLen, // the paper's applied-length rule
+		MemoryBits:   r.MemoryBits,
+		HardwareCost: r.HardwareCost,
+	}
+}
+
 // StoredSequence is one selected subsequence as loaded into the on-chip
 // memory, with its provenance and golden MISR signature.
 type StoredSequence struct {
@@ -50,12 +74,31 @@ type StoredSequence struct {
 	GoldenMISR  string   `json:"golden_misr"`
 }
 
+// Synthesize runs the full pipeline for one spec in-process, without a
+// Service: the same validation, defaulting, and stages a submitted job
+// goes through, minus the queue, cache, and metrics. It exists so batch
+// clients and differential tests can compare a daemon's output against a
+// direct run — every field of the returned Result except ElapsedMS is
+// deterministic given the spec.
+func Synthesize(ctx context.Context, spec JobSpec) (*Result, error) {
+	c, err := resolveCircuit(spec, bench.Limits{})
+	if err != nil {
+		return nil, fmt.Errorf("invalid job: %w", err)
+	}
+	t0, err := resolveT0(spec, c)
+	if err != nil {
+		return nil, fmt.Errorf("invalid job: %w", err)
+	}
+	return synthesize(ctx, c, t0, spec.Config.withDefaults(0), nil)
+}
+
 // synthesize runs the full pipeline for one job: T0 (supplied or ATPG +
 // compaction), Procedure 1 selection, §3.2 compaction, coverage
 // verification, and the BIST session that produces golden signatures and
 // the hardware cost report. ctx cancellation is polled between stages and
-// inside Procedure 1 via core.Config.Interrupt.
-func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cfg GenConfig) (*Result, error) {
+// inside Procedure 1 via core.Config.Interrupt. When obs is non-nil,
+// per-stage wall times are accumulated into it for GET /metrics.
+func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cfg GenConfig, obs *Metrics) (*Result, error) {
 	start := time.Now()
 	fl := faults.CollapsedUniverse(c)
 
@@ -64,6 +107,7 @@ func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cf
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		atpgStart := time.Now()
 		gen, err := atpg.Generate(c, fl, atpg.Config{Seed: cfg.Seed, MaxLen: cfg.ATPGMaxLen})
 		if err != nil {
 			return nil, fmt.Errorf("atpg: %v", err)
@@ -73,6 +117,7 @@ func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cf
 			return nil, err
 		}
 		t0, _ = tcompact.Compact(c, fl, gen.Seq)
+		obs.observePhase("atpg", time.Since(atpgStart))
 	}
 	if t0.Len() == 0 {
 		return nil, errors.New("no useful T0: ATPG detected nothing (or supplied T0 is empty)")
@@ -86,6 +131,7 @@ func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cf
 		Parallelism:       cfg.Parallelism,
 		Interrupt:         func() bool { return ctx.Err() != nil },
 	}
+	selectStart := time.Now()
 	res, err := core.Select(c, fl, t0, coreCfg)
 	if err != nil {
 		if errors.Is(err, core.ErrInterrupted) {
@@ -93,12 +139,15 @@ func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cf
 		}
 		return nil, err
 	}
+	obs.observePhase("select", time.Since(selectStart))
 	set := res.Set
 	if !cfg.SkipCompact {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		compactStart := time.Now()
 		set, _ = core.CompactSet(c, fl, res, coreCfg)
+		obs.observePhase("compact", time.Since(compactStart))
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -107,6 +156,7 @@ func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cf
 		return nil, fmt.Errorf("internal error: %d faults lost by selection", len(missed))
 	}
 
+	bistStart := time.Now()
 	stored := make([]vectors.Sequence, len(set))
 	for i, s := range set {
 		stored[i] = s.Seq
@@ -118,10 +168,12 @@ func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cf
 	if err := sess.RunGolden(); err != nil {
 		return nil, err
 	}
+	obs.observePhase("bist", time.Since(bistStart))
 
 	st := core.StatsOf(set)
 	out := &Result{
 		Circuit:      c.Name,
+		N:            cfg.N,
 		NumFaults:    len(fl),
 		DetectedByT0: res.NumTargets,
 		RawT0Len:     rawT0Len,

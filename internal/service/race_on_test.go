@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// raceEnabled downscales the heaviest differential tests when the race
+// detector multiplies their cost.
+const raceEnabled = true

@@ -4,13 +4,25 @@
 // session with golden signatures and hardware cost) per submitted job,
 // fronted by an HTTP JSON API (see NewHandler).
 //
-// Jobs are content-addressed: the hash of the circuit's structural
-// fingerprint, the supplied T0, and the normalized configuration keys an
-// LRU result cache, so resubmitting identical work completes instantly.
+// Jobs are content-addressed: the hash of the circuit's name and
+// structural fingerprint, the supplied T0, and the normalized
+// configuration keys an LRU result cache, so resubmitting identical work
+// completes instantly.
 // Each job's fault simulations run on the sharded parallel scheduler of
 // internal/fsim; cancellation reaches into Procedure 1 via the
 // core.Config.Interrupt hook, so a DELETE aborts a running job between
 // simulation trials rather than after the fact.
+//
+// On top of single jobs, the service runs batch sweeps (SubmitSweep): one
+// request fans a shared configuration out over many circuits — registry
+// names or uploaded .bench netlists, parsed under bench.Limits — through
+// the same worker pool and result cache. Sweep progress is observable as
+// an ordered event log that the HTTP layer exposes as an NDJSON stream
+// (and as a polling snapshot), and a finished sweep carries a
+// Table-3-style markdown summary aggregated via internal/experiments.
+// Operational counters for the whole daemon are exported at GET /metrics.
+// See DESIGN.md §6-§7 and API.md for the architecture and the HTTP
+// surface.
 package service
 
 import (
@@ -19,6 +31,10 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"seqbist/internal/bench"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
 )
 
 // Errors the API surfaces to clients.
@@ -51,6 +67,16 @@ type Config struct {
 	// SimParallelism is the default per-job fault-simulation goroutine
 	// count for jobs that do not set their own (0 = one per CPU).
 	SimParallelism int
+	// MaxSweepMembers caps the number of circuits one sweep may contain
+	// (default 64).
+	MaxSweepMembers int
+	// MaxSweeps bounds the number of retained sweep records (default 128;
+	// negative disables eviction). Oldest terminal sweeps are evicted
+	// first; running sweeps are never dropped.
+	MaxSweeps int
+	// BenchLimits bounds uploaded .bench netlists (default
+	// bench.UploadLimits; negative fields disable the respective limit).
+	BenchLimits bench.Limits
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +92,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 1024
 	}
+	if c.MaxSweepMembers < 1 {
+		c.MaxSweepMembers = 64
+	}
+	if c.MaxSweeps == 0 {
+		c.MaxSweeps = 128
+	}
+	if c.BenchLimits == (bench.Limits{}) {
+		c.BenchLimits = bench.UploadLimits
+	}
+	if c.BenchLimits.MaxBytes < 0 {
+		c.BenchLimits.MaxBytes = 0
+	}
+	if c.BenchLimits.MaxSignals < 0 {
+		c.BenchLimits.MaxSignals = 0
+	}
 	return c
 }
 
@@ -78,12 +119,17 @@ type Service struct {
 	rootCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // submission order, for listing
-	cache  *resultCache
-	seq    int64
-	closed bool
+	metrics Metrics
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string // submission order, for listing
+	cache      *resultCache
+	seq        int64
+	sweeps     map[string]*sweep
+	sweepOrder []string // creation order, for listing and eviction
+	sweepSeq   int64
+	closed     bool
 }
 
 // New starts a service with cfg's worker pool running.
@@ -96,6 +142,7 @@ func New(cfg Config) *Service {
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		jobs:       make(map[string]*job),
+		sweeps:     make(map[string]*sweep),
 		cache:      newResultCache(cfg.CacheSize),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -110,7 +157,7 @@ func New(cfg Config) *Service {
 // job is created directly in the done state with CacheHit set and the
 // cached result attached — no work is queued.
 func (s *Service) Submit(spec JobSpec) (Status, error) {
-	c, err := resolveCircuit(spec)
+	c, err := resolveCircuit(spec, s.cfg.BenchLimits)
 	if err != nil {
 		return Status{}, fmt.Errorf("invalid job: %w", err)
 	}
@@ -118,6 +165,14 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	if err != nil {
 		return Status{}, fmt.Errorf("invalid job: %w", err)
 	}
+	return s.submitJob(c, t0, spec, nil, nil)
+}
+
+// submitJob registers and enqueues one pre-resolved job with the given
+// lifecycle hooks (see the job struct; onTerminal fires immediately for
+// cache hits, after the Service mutex is released). Both Submit and the
+// sweep fan-out land here.
+func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpec, onRunning func(Status), onTerminal func(Status, *Result)) (Status, error) {
 	cfg := spec.Config.withDefaults(s.cfg.SimParallelism)
 	key := contentKey(c, spec.T0, cfg)
 
@@ -128,13 +183,15 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	}
 	s.seq++
 	j := &job{
-		id:        fmt.Sprintf("job-%06d", s.seq),
-		key:       key,
-		spec:      spec,
-		cfg:       cfg,
-		c:         c,
-		t0:        t0,
-		submitted: time.Now(),
+		id:         fmt.Sprintf("job-%06d", s.seq),
+		key:        key,
+		spec:       spec,
+		cfg:        cfg,
+		c:          c,
+		t0:         t0,
+		onRunning:  onRunning,
+		onTerminal: onTerminal,
+		submitted:  time.Now(),
 	}
 	if res, ok := s.cache.get(key); ok {
 		j.state = StateDone
@@ -144,6 +201,13 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 		s.register(j)
 		st := j.status()
 		s.mu.Unlock()
+		// Cache hits are tracked by the resultCache itself and surface in
+		// the snapshot's CacheStats.
+		s.metrics.jobsSubmitted.Add(1)
+		s.metrics.jobsDone.Add(1)
+		if onTerminal != nil {
+			onTerminal(st, res)
+		}
 		return st, nil
 	}
 	j.state = StateQueued
@@ -158,6 +222,7 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	s.register(j)
 	st := j.status()
 	s.mu.Unlock()
+	s.metrics.jobsSubmitted.Add(1)
 	return st, nil
 }
 
@@ -226,21 +291,34 @@ func (s *Service) Result(id string) (*Result, error) {
 // Canceling a terminal job is a no-op.
 func (s *Service) Cancel(id string) (Status, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return Status{}, ErrNotFound
 	}
+	var hook func(Status, *Result)
+	flipped := false
 	switch j.state {
 	case StateQueued:
 		j.state = StateCanceled
 		j.err = context.Canceled
 		j.finished = time.Now()
 		j.cancel()
+		flipped = true
+		hook = j.onTerminal
+		j.onTerminal = nil // the worker must not fire it again
 	case StateRunning:
-		j.cancel()
+		j.cancel() // the worker commits the terminal state and fires the hook
 	}
-	return j.status(), nil
+	st := j.status()
+	s.mu.Unlock()
+	if flipped {
+		s.metrics.jobsCanceled.Add(1)
+		if hook != nil {
+			hook(st, nil)
+		}
+	}
+	return st, nil
 }
 
 // Stats is an operational snapshot for health checks.
@@ -301,7 +379,9 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob executes one job end to end and commits its terminal state.
+// runJob executes one job end to end, commits its terminal state, and
+// fires the job's terminal hook (outside the mutex, so the hook may call
+// back into the Service).
 func (s *Service) runJob(j *job) {
 	s.mu.Lock()
 	if j.state != StateQueued { // canceled while queued
@@ -310,14 +390,17 @@ func (s *Service) runJob(j *job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	runningSt := j.status()
 	s.mu.Unlock()
+	if j.onRunning != nil {
+		j.onRunning(runningSt)
+	}
 
-	res, err := synthesize(j.ctx, j.c, j.t0, j.cfg)
+	res, err := synthesize(j.ctx, j.c, j.t0, j.cfg, &s.metrics)
 	ctxErr := j.ctx.Err()
 	j.cancel() // release the context's registration under rootCtx
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.finished = time.Now()
 	switch {
 	case ctxErr != nil:
@@ -330,5 +413,22 @@ func (s *Service) runJob(j *job) {
 		j.state = StateDone
 		j.result = res
 		s.cache.put(j.key, res)
+	}
+	st := j.status()
+	hook := j.onTerminal
+	j.onTerminal = nil
+	s.mu.Unlock()
+
+	switch st.State {
+	case StateDone:
+		s.metrics.jobsDone.Add(1)
+		s.metrics.observeResult(res)
+	case StateFailed:
+		s.metrics.jobsFailed.Add(1)
+	case StateCanceled:
+		s.metrics.jobsCanceled.Add(1)
+	}
+	if hook != nil {
+		hook(st, res)
 	}
 }

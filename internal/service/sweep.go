@@ -1,0 +1,456 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"seqbist/internal/experiments"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+// Sweep-specific errors the API surfaces to clients.
+var (
+	// ErrSweepNotFound reports an unknown sweep ID.
+	ErrSweepNotFound = errors.New("service: no such sweep")
+	// ErrSweepTooLarge reports a sweep with more members than the
+	// configured cap.
+	ErrSweepTooLarge = errors.New("service: too many sweep members")
+)
+
+// CircuitRef names one member of a sweep: a registry circuit or an inline
+// .bench netlist, with an optional caller-supplied T0. Exactly one of
+// Circuit and Bench must be set.
+type CircuitRef struct {
+	// Circuit names a benchmark from the registry (e.g. "s298").
+	Circuit string `json:"circuit,omitempty"`
+	// Bench is an inline .bench netlist (alternative to Circuit).
+	Bench string `json:"bench,omitempty"`
+	// T0 optionally supplies the deterministic test sequence for this
+	// member as whitespace-separated vectors; empty means ATPG.
+	T0 string `json:"t0,omitempty"`
+}
+
+// SweepSpec is a batch request: the member circuits and one shared
+// generation configuration applied to every member.
+type SweepSpec struct {
+	Circuits []CircuitRef `json:"circuits"`
+	Config   GenConfig    `json:"config"`
+}
+
+// SweepMemberStatus is the point-in-time state of one sweep member. The
+// Result field is populated on the member's done event and in terminal
+// sweep snapshots, so streaming clients never need a second fetch.
+type SweepMemberStatus struct {
+	Index    int     `json:"index"`
+	Circuit  string  `json:"circuit"`
+	JobID    string  `json:"job_id"`
+	State    State   `json:"state"`
+	CacheHit bool    `json:"cache_hit"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+}
+
+// SweepSummary aggregates a finished sweep: the per-member tally and the
+// Table-3-style rows and markdown rendered through internal/experiments.
+// Rows appear in member order and contain only deterministic quantities,
+// so the summary of a sweep is bit-for-bit identical to aggregating
+// direct Synthesize runs of the same specs.
+type SweepSummary struct {
+	Total     int                    `json:"total"`
+	Done      int                    `json:"done"`
+	Failed    int                    `json:"failed"`
+	Canceled  int                    `json:"canceled"`
+	CacheHits int                    `json:"cache_hits"`
+	Rows      []experiments.SweepRow `json:"rows,omitempty"`
+	Markdown  string                 `json:"markdown,omitempty"`
+}
+
+// SweepStatus is a serializable snapshot of a sweep.
+type SweepStatus struct {
+	ID      string              `json:"id"`
+	State   State               `json:"state"` // running -> done | canceled
+	Members []SweepMemberStatus `json:"members"`
+	Summary *SweepSummary       `json:"summary,omitempty"` // set once terminal
+
+	CreatedAt  time.Time  `json:"created_at"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// SweepEvent is one line of a sweep's ordered event log (the NDJSON
+// stream): the sweep started, a member changed state, or the sweep
+// reached a terminal state (carrying the summary).
+type SweepEvent struct {
+	// Type is "sweep_started", "member_update", or "sweep_done".
+	Type    string `json:"type"`
+	SweepID string `json:"sweep_id"`
+	// Seq numbers events within the sweep from 0, so clients can resume.
+	Seq     int                `json:"seq"`
+	State   State              `json:"state"`
+	Member  *SweepMemberStatus `json:"member,omitempty"`
+	Summary *SweepSummary      `json:"summary,omitempty"`
+}
+
+// sweep is the internal mutable record. The Service mutex guards every
+// field after the immutable header; member terminal hooks and HTTP
+// readers synchronize through it (sweep state changes are infrequent
+// relative to job work, so one lock is enough).
+type sweep struct {
+	id      string
+	created time.Time
+
+	state    State
+	canceled bool // cancellation requested
+	members  []sweepMember
+	pending  int // members not yet terminal
+	finished time.Time
+	summary  *SweepSummary
+
+	events []SweepEvent
+	// wake is closed and replaced whenever an event is appended, so any
+	// number of streaming readers can block on the current channel.
+	wake chan struct{}
+}
+
+type sweepMember struct {
+	index  int
+	jobID  string
+	status Status // last observed job status
+	result *Result
+}
+
+// memberStatus snapshots one member. Callers hold the Service mutex.
+func (sw *sweep) memberStatus(i int, includeResult bool) SweepMemberStatus {
+	m := &sw.members[i]
+	ms := SweepMemberStatus{
+		Index:    i,
+		Circuit:  m.status.Circuit,
+		JobID:    m.jobID,
+		State:    m.status.State,
+		CacheHit: m.status.CacheHit,
+		Error:    m.status.Error,
+	}
+	if includeResult {
+		ms.Result = m.result
+	}
+	return ms
+}
+
+// snapshot builds a SweepStatus. Callers hold the Service mutex (the
+// Metrics path calls it through Service.Metrics).
+func (sw *sweep) snapshot() SweepStatus {
+	st := SweepStatus{
+		ID:        sw.id,
+		State:     sw.state,
+		CreatedAt: sw.created,
+		Summary:   sw.summary,
+	}
+	terminal := sw.state.Terminal()
+	for i := range sw.members {
+		st.Members = append(st.Members, sw.memberStatus(i, terminal))
+	}
+	if !sw.finished.IsZero() {
+		t := sw.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// appendEvent appends to the ordered log and wakes streamers. Callers
+// hold the Service mutex.
+func (sw *sweep) appendEvent(ev SweepEvent) {
+	ev.SweepID = sw.id
+	ev.Seq = len(sw.events)
+	ev.State = sw.state
+	sw.events = append(sw.events, ev)
+	close(sw.wake)
+	sw.wake = make(chan struct{})
+}
+
+// SubmitSweep validates every member of spec up front (so a malformed or
+// oversized netlist rejects the whole sweep atomically, before any work
+// is queued), registers the sweep, and fans the members out over the
+// worker pool. Members hitting the result cache complete instantly; a
+// member that cannot be enqueued because the queue is full is recorded as
+// failed rather than failing the sweep.
+func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
+	if len(spec.Circuits) == 0 {
+		return SweepStatus{}, fmt.Errorf("invalid sweep: no circuits")
+	}
+	if len(spec.Circuits) > s.cfg.MaxSweepMembers {
+		return SweepStatus{}, fmt.Errorf("%w: %d members, at most %d allowed",
+			ErrSweepTooLarge, len(spec.Circuits), s.cfg.MaxSweepMembers)
+	}
+
+	type resolved struct {
+		spec JobSpec
+		c    *netlist.Circuit
+		t0   vectors.Sequence
+	}
+	members := make([]resolved, len(spec.Circuits))
+	for i, ref := range spec.Circuits {
+		js := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: spec.Config}
+		c, err := resolveCircuit(js, s.cfg.BenchLimits)
+		if err != nil {
+			return SweepStatus{}, fmt.Errorf("invalid sweep: member %d: %w", i, err)
+		}
+		t0, err := resolveT0(js, c)
+		if err != nil {
+			return SweepStatus{}, fmt.Errorf("invalid sweep: member %d: %w", i, err)
+		}
+		members[i] = resolved{spec: js, c: c, t0: t0}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SweepStatus{}, ErrClosed
+	}
+	s.sweepSeq++
+	sw := &sweep{
+		id:      fmt.Sprintf("sweep-%04d", s.sweepSeq),
+		created: time.Now(),
+		state:   StateRunning,
+		members: make([]sweepMember, len(members)),
+		pending: len(members),
+		wake:    make(chan struct{}),
+	}
+	for i := range sw.members {
+		sw.members[i] = sweepMember{index: i, status: Status{State: StateQueued, Circuit: members[i].c.Name}}
+	}
+	s.registerSweep(sw)
+	sw.appendEvent(SweepEvent{Type: "sweep_started"})
+	s.mu.Unlock()
+	s.metrics.sweepsStarted.Add(1)
+
+	// Fan out after releasing the mutex: submitJob takes it per member,
+	// and cache-hit members fire their terminal hook synchronously.
+	for i := range members {
+		i := i
+		s.mu.Lock()
+		if sw.canceled {
+			// CancelSweep arrived mid-fan-out: don't queue the rest.
+			sw.members[i].status = Status{State: StateCanceled, Circuit: members[i].c.Name, Error: context.Canceled.Error()}
+			sw.pending--
+			ms := sw.memberStatus(i, false)
+			sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+			s.finalizeSweepLocked(sw)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		st, err := s.submitJob(members[i].c, members[i].t0, members[i].spec,
+			func(running Status) { s.memberRunning(sw, i, running) },
+			func(final Status, res *Result) { s.memberTerminal(sw, i, final, res) })
+		s.mu.Lock()
+		if err != nil {
+			// Queue full or service closing: record the member as failed
+			// and count it terminal so the sweep still completes.
+			sw.members[i].status = Status{State: StateFailed, Circuit: members[i].c.Name, Error: err.Error()}
+			sw.pending--
+			ms := sw.memberStatus(i, false)
+			sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+			s.finalizeSweepLocked(sw)
+			s.mu.Unlock()
+			continue
+		}
+		if sw.members[i].jobID == "" { // a lifecycle hook may have run already
+			sw.members[i].jobID = st.ID
+		}
+		// Announce the queued member only if no lifecycle hook observed it
+		// first (hooks record a status with the job ID set); emitting the
+		// stale queued snapshot after a running/terminal event would put
+		// the stream out of order.
+		if sw.members[i].status.ID == "" && !st.State.Terminal() {
+			sw.members[i].status = st
+			ms := sw.memberStatus(i, false)
+			sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+		}
+		// CancelSweep may have run between submitJob releasing the mutex
+		// and this point: it saw no jobID for this member, so the cancel
+		// is ours to issue (Cancel is idempotent if both sides race).
+		cancelNow := sw.canceled && !sw.members[i].status.State.Terminal()
+		s.mu.Unlock()
+		if cancelNow {
+			_, _ = s.Cancel(st.ID)
+		}
+	}
+
+	s.mu.Lock()
+	snap := sw.snapshot()
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// memberRunning is the job lifecycle hook for a member leaving the
+// queue: record and announce the running state so streaming clients see
+// queued -> running -> terminal, not a jump. The worker fires it before
+// the terminal hook, but a queued-cancel may already have committed a
+// terminal status — never regress one.
+func (s *Service) memberRunning(sw *sweep, i int, running Status) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := &sw.members[i]
+	if m.status.State.Terminal() {
+		return
+	}
+	m.jobID = running.ID
+	m.status = running
+	ms := sw.memberStatus(i, false)
+	sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+}
+
+// memberTerminal is the job hook for sweep members: record the final
+// status (and result), emit the member event, and finalize the sweep when
+// the last member lands.
+func (s *Service) memberTerminal(sw *sweep, i int, final Status, res *Result) {
+	if final.State != StateDone {
+		res = nil
+	}
+	s.mu.Lock()
+	m := &sw.members[i]
+	m.jobID = final.ID
+	m.status = final
+	m.result = res
+	sw.pending--
+	ms := sw.memberStatus(i, true)
+	sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+	s.finalizeSweepLocked(sw)
+	s.mu.Unlock()
+}
+
+// finalizeSweepLocked transitions the sweep to its terminal state once
+// every member is terminal: aggregate the summary, emit the final event.
+// Callers hold the Service mutex.
+func (s *Service) finalizeSweepLocked(sw *sweep) {
+	if sw.pending > 0 || sw.state.Terminal() {
+		return
+	}
+	sum := &SweepSummary{Total: len(sw.members)}
+	for i := range sw.members {
+		m := &sw.members[i]
+		switch m.status.State {
+		case StateDone:
+			sum.Done++
+			if m.status.CacheHit {
+				sum.CacheHits++
+			}
+			if m.result != nil {
+				sum.Rows = append(sum.Rows, m.result.SweepRow())
+			}
+		case StateFailed:
+			sum.Failed++
+		case StateCanceled:
+			sum.Canceled++
+		}
+	}
+	sum.Markdown = experiments.SweepTable(sum.Rows)
+	sw.summary = sum
+	sw.finished = time.Now()
+	if sw.canceled {
+		sw.state = StateCanceled
+	} else {
+		sw.state = StateDone
+	}
+	sw.appendEvent(SweepEvent{Type: "sweep_done", Summary: sum})
+	s.metrics.sweepsFinished.Add(1)
+}
+
+// registerSweep records sw and evicts the oldest terminal sweeps beyond
+// the retention bound. Callers hold the Service mutex.
+func (s *Service) registerSweep(sw *sweep) {
+	s.sweeps[sw.id] = sw
+	s.sweepOrder = append(s.sweepOrder, sw.id)
+	if s.cfg.MaxSweeps < 0 || len(s.sweepOrder) <= s.cfg.MaxSweeps {
+		return
+	}
+	over := len(s.sweepOrder) - s.cfg.MaxSweeps
+	kept := s.sweepOrder[:0]
+	for _, id := range s.sweepOrder {
+		if over > 0 && s.sweeps[id].state.Terminal() {
+			delete(s.sweeps, id)
+			over--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.sweepOrder = kept
+}
+
+// Sweep returns a snapshot of the named sweep.
+func (s *Service) Sweep(id string) (SweepStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return SweepStatus{}, ErrSweepNotFound
+	}
+	return sw.snapshot(), nil
+}
+
+// Sweeps returns snapshots of every sweep in creation order.
+func (s *Service) Sweeps() []SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SweepStatus, 0, len(s.sweepOrder))
+	for _, id := range s.sweepOrder {
+		out = append(out, s.sweeps[id].snapshot())
+	}
+	return out
+}
+
+// CancelSweep requests cancellation of every non-terminal member of the
+// named sweep. The sweep reaches the canceled state once every member is
+// terminal (running members abort between simulation trials, as for
+// single-job cancellation).
+func (s *Service) CancelSweep(id string) (SweepStatus, error) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		s.mu.Unlock()
+		return SweepStatus{}, ErrSweepNotFound
+	}
+	var cancelIDs []string
+	if !sw.state.Terminal() {
+		sw.canceled = true
+		for i := range sw.members {
+			if m := &sw.members[i]; m.jobID != "" && !m.status.State.Terminal() {
+				cancelIDs = append(cancelIDs, m.jobID)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	for _, jid := range cancelIDs {
+		// Each cancel fires the member hook (queued members synchronously),
+		// which drives the sweep toward its terminal state.
+		_, _ = s.Cancel(jid)
+	}
+
+	s.mu.Lock()
+	snap := sw.snapshot()
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// SweepEvents returns the sweep's events from seq onward, a channel that
+// is closed when more events arrive, and whether the sweep is terminal
+// with every event already returned. The HTTP streaming handler loops:
+// drain the batch, flush, then block on wake (or the client context).
+func (s *Service) SweepEvents(id string, seq int) (events []SweepEvent, wake <-chan struct{}, done bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		return nil, nil, false, ErrSweepNotFound
+	}
+	if seq < 0 {
+		seq = 0
+	}
+	if seq < len(sw.events) {
+		events = append(events, sw.events[seq:]...)
+	}
+	return events, sw.wake, sw.state.Terminal(), nil
+}

@@ -7,6 +7,12 @@
 // T0[u] is Sequence indexing, T0[u1,u2] is Subsequence, and the per-vector
 // manipulations (complementation, circular shift) implemented on Vector are
 // the hardware operations of the paper's §2.
+//
+// The textual form round-trips: Vector.String emits "01x" characters and
+// ParseVector/ParseSequence read them back, which is how externally
+// supplied T0 sequences enter the system (the `seqbist -t0` flag and the
+// service's job/sweep upload paths) and how sequences are serialized into
+// job results.
 package vectors
 
 import (

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# checklinks.sh — verify that every repository file referenced from the
+# documentation actually exists, so README/DESIGN/API never drift from
+# the tree. Checked forms: backticked refs and markdown link targets
+# that either live under a package directory (internal/, cmd/,
+# examples/, scripts/, .github/) or are root-level markdown files.
+# Run from anywhere; CI runs it as the docs job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=(README.md DESIGN.md API.md)
+# Files legitimately referenced but not checked in (generated artifacts,
+# user-supplied placeholders).
+allow='^(EXPERIMENTS\.md|mydesign\.bench|t0\.txt)$'
+
+fail=0
+refs=$(grep -ohE '`[A-Za-z0-9_./-]+`|\]\([A-Za-z0-9_./-]+\)' "${docs[@]}" |
+    tr -d '`()]' | sort -u)
+for ref in $refs; do
+    case "$ref" in
+    internal/* | cmd/* | examples/* | scripts/* | .github/*) ;;
+    */*) continue ;; # other slashed refs are not repo paths
+    *.md) ;;         # root-level markdown must exist
+    *) continue ;;   # flags, bare file names, prose
+    esac
+    if [[ "$ref" =~ $allow ]]; then
+        continue
+    fi
+    if [ ! -e "$ref" ]; then
+        echo "checklinks: '$ref' is referenced in the docs but does not exist" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -eq 0 ]; then
+    echo "checklinks: all documentation references resolve"
+fi
+exit $fail

@@ -13,11 +13,18 @@
 // (internal/iscas) and the evaluation pipeline that regenerates every
 // table and figure of the paper (internal/experiments).
 //
-// Entry points: the executables under cmd/ (seqbist, tables, atpg,
-// circinfo), the runnable examples under examples/, and the benchmarks in
-// bench_test.go. See README.md for a tour and DESIGN.md for the system
-// inventory and the netlist-substitution rationale.
+// Beyond the reproduction, the repository grows the pipeline into a
+// service: internal/service runs synthesis jobs and batch sweeps (over
+// registry circuits and uploaded .bench netlists) on a worker pool with
+// a content-addressed result cache, streams sweep progress as NDJSON,
+// and exports operational metrics over an HTTP JSON API.
+//
+// Entry points: the executables under cmd/ (seqbist, seqbistd, tables,
+// atpg, circinfo), the runnable examples under examples/, and the
+// benchmarks in bench_test.go. See README.md for a tour, DESIGN.md for
+// the system inventory and the netlist-substitution rationale, and
+// API.md for the HTTP surface.
 package seqbist
 
 // Version identifies the reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"
