@@ -651,3 +651,63 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// ---------------------------------------------------------------------
+// Active-region engine benchmarks (BENCH_3.json; scripts/bench.sh).
+
+// BenchmarkFaultSimLarge measures serial whole-fault-list simulation on
+// the largest registry circuits — the Table-3-scale workload the
+// active-region engine targets. Serial so the number isolates the
+// evaluation engine rather than the sharded scheduler.
+func BenchmarkFaultSimLarge(b *testing.B) {
+	for _, name := range []string{"s1423", "s5378", "s35932"} {
+		c := iscas.MustLoad(name)
+		fl := faults.CollapsedUniverse(c)
+		seq := vectors.RandomSequence(xrand.New(1), c.NumPIs(), 200)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fsim.RunParallel(c, fl, seq, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkFaultSimEvaluate measures the non-committing
+// candidate-evaluation path — the ATPG inner loop, called thousands of
+// times per generation round.
+func BenchmarkFaultSimEvaluate(b *testing.B) {
+	for _, name := range []string{"s1423", "s5378"} {
+		c := iscas.MustLoad(name)
+		fl := faults.CollapsedUniverse(c)
+		inc := fsim.NewIncremental(c, fl)
+		inc.SetParallelism(1)
+		inc.Extend(vectors.RandomSequence(xrand.New(2), c.NumPIs(), 50))
+		cand := vectors.RandomSequence(xrand.New(3), c.NumPIs(), 32)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				inc.Evaluate(cand)
+			}
+		})
+	}
+}
+
+// BenchmarkFaultSimSingle measures the two-machine scalar simulator in
+// Procedure 2's access pattern: one target fault checked against many
+// candidate sequences.
+func BenchmarkFaultSimSingle(b *testing.B) {
+	for _, name := range []string{"s1423", "s5378"} {
+		c := iscas.MustLoad(name)
+		fl := faults.CollapsedUniverse(c)
+		f := fl[len(fl)/2]
+		seq := vectors.RandomSequence(xrand.New(4), c.NumPIs(), 100)
+		single := fsim.NewSingle(c)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				single.Detects(f, seq)
+			}
+		})
+	}
+}

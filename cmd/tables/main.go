@@ -34,6 +34,7 @@ func main() {
 	ns := flag.String("ns", "", "comma-separated repetition counts (overrides profile)")
 	seed := flag.Uint64("seed", 1, "pipeline seed")
 	verify := flag.Bool("verify", false, "re-verify coverage of every run (slow)")
+	engine := flag.Bool("engine", false, "print the fault-simulation engine's efficiency counters for the run")
 	markdown := flag.Bool("md", false, "emit the full paper-vs-measured Markdown report (EXPERIMENTS.md body)")
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 		}
 	}
 
+	engineBefore := experiments.EngineStats()
 	fmt.Fprintf(os.Stderr, "running pipeline on %v with n in %v...\n", prof.Circuits, prof.Ns)
 	prof.Progress = func(name string, elapsed time.Duration) {
 		fmt.Fprintf(os.Stderr, "  %-8s done in %v\n", name, elapsed.Round(time.Millisecond))
@@ -98,6 +100,9 @@ func main() {
 		for _, r := range runs {
 			fmt.Println(experiments.Figure1(r))
 		}
+	}
+	if *engine {
+		fmt.Println(experiments.EngineEfficiency(engineBefore, experiments.EngineStats()))
 	}
 	if *verify {
 		if problems := experiments.CoverageCheck(runs); len(problems) > 0 {

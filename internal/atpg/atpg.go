@@ -102,6 +102,15 @@ func Generate(c *netlist.Circuit, fl []faults.Fault, cfg Config) (*Result, error
 	exploreStreak := 0
 	var last vectors.Vector
 
+	// The inner loop — build a candidate, Evaluate it, occasionally
+	// Extend by the winner — runs thousands of times per circuit, so all
+	// candidate vectors come from a reusable pool (one buffer per pool
+	// slot) and Evaluate itself pools its good-trace snapshots; the loop
+	// allocates only when a winning candidate is committed into T0. The
+	// pooled builders consume exactly the random stream of the old
+	// allocating builders, so generated sequences are bit-identical.
+	pool := newCandPool(cfg.PoolSize, c.NumPIs(), max(cfg.InitLen, cfg.MaxCandLen))
+
 	for inc.NumDetected() < len(fl) {
 		if cfg.MaxLen > 0 && t0.Len() >= cfg.MaxLen {
 			break
@@ -110,7 +119,7 @@ func Generate(c *netlist.Circuit, fl []faults.Fault, cfg Config) (*Result, error
 		var best vectors.Sequence
 		bestCount, bestDiv := 0, -1
 		for p := 0; p < cfg.PoolSize; p++ {
-			cand := makeCandidate(rng, c.NumPIs(), candLen, p, last)
+			cand := pool.makeCandidate(rng, p, candLen, last)
 			if cfg.MaxLen > 0 && t0.Len()+cand.Len() > cfg.MaxLen {
 				cand = cand[:cfg.MaxLen-t0.Len()]
 				if cand.Len() == 0 {
@@ -123,20 +132,23 @@ func Generate(c *netlist.Circuit, fl []faults.Fault, cfg Config) (*Result, error
 				best = cand
 			}
 		}
-		if bestCount > 0 {
-			stale, exploreStreak = 0, 0
-			inc.Extend(best)
-			t0 = append(t0, best...)
-			last = best[best.Len()-1]
-			continue
-		}
-		if bestDiv > 0 && exploreStreak < cfg.MaxExploreStreak {
+		accept := bestCount > 0
+		if !accept && bestDiv > 0 && exploreStreak < cfg.MaxExploreStreak {
 			// Exploration move: nothing detected, but the best candidate
 			// drives fault effects into the state machine.
 			exploreStreak++
+			accept = true
+		} else if accept {
+			stale, exploreStreak = 0, 0
+		}
+		if accept {
 			inc.Extend(best)
-			t0 = append(t0, best...)
-			last = best[best.Len()-1]
+			// Deep-copy the winner out of its pool buffer: the buffer is
+			// overwritten next round, while T0 is long-lived.
+			for _, v := range best {
+				t0 = append(t0, v.Clone())
+			}
+			last = t0[len(t0)-1]
 			continue
 		}
 		if candLen < cfg.MaxCandLen {
@@ -164,19 +176,46 @@ func Generate(c *netlist.Circuit, fl []faults.Fault, cfg Config) (*Result, error
 	}, nil
 }
 
-// makeCandidate builds one candidate subsequence. The pool index selects
-// the strategy so every round mixes all four kinds.
-func makeCandidate(rng *xrand.RNG, width, length, poolIdx int, last vectors.Vector) vectors.Sequence {
-	switch poolIdx % 4 {
-	case 0:
-		return vectors.RandomSequence(rng, width, length)
-	case 1:
-		return walkCandidate(rng, width, length, last)
-	case 2:
-		return holdCandidate(rng, width, length)
-	default:
-		return constantProbe(rng, width, length)
+// candPool owns one preallocated candidate buffer per pool slot plus a
+// scratch vector for the walk strategy. Buffers are overwritten in place
+// every round; winners must be copied out before the next round.
+type candPool struct {
+	width int
+	bufs  []vectors.Sequence
+	cur   vectors.Vector
+}
+
+func newCandPool(poolSize, width, maxLen int) *candPool {
+	cp := &candPool{width: width, cur: make(vectors.Vector, width)}
+	cp.bufs = make([]vectors.Sequence, poolSize)
+	for p := range cp.bufs {
+		s := make(vectors.Sequence, maxLen)
+		for i := range s {
+			s[i] = make(vectors.Vector, width)
+		}
+		cp.bufs[p] = s
 	}
+	return cp
+}
+
+// makeCandidate builds one candidate subsequence into pool slot p's
+// buffer. The pool index selects the strategy so every round mixes all
+// four kinds.
+func (cp *candPool) makeCandidate(rng *xrand.RNG, p, length int, last vectors.Vector) vectors.Sequence {
+	buf := cp.bufs[p][:length]
+	switch p % 4 {
+	case 0:
+		for i := range buf {
+			vectors.FillRandom(rng, buf[i])
+		}
+	case 1:
+		cp.walkCandidate(rng, buf, last)
+	case 2:
+		cp.holdCandidate(rng, buf)
+	default:
+		cp.constantProbe(rng, buf)
+	}
+	return buf
 }
 
 // constantProbe holds a constant vector (all-ones or all-zeros) for a few
@@ -184,57 +223,53 @@ func makeCandidate(rng *xrand.RNG, width, length, poolIdx int, last vectors.Vect
 // synchronizing-sequence probes: many circuits (including the synthetic
 // benchmarks and reset-style designs) reach a known state under a held
 // constant input.
-func constantProbe(rng *xrand.RNG, width, length int) vectors.Sequence {
+func (cp *candPool) constantProbe(rng *xrand.RNG, buf vectors.Sequence) {
 	bit := 0
 	if rng.Bool() {
 		bit = 1
 	}
-	v := make(vectors.Vector, width)
-	for i := range v {
-		v[i] = logic.FromBit(bit)
-	}
 	hold := 1 + rng.Intn(4)
-	seq := make(vectors.Sequence, 0, length)
-	for i := 0; i < hold && len(seq) < length; i++ {
-		seq = append(seq, v)
+	i := 0
+	for ; i < hold && i < len(buf); i++ {
+		for k := range buf[i] {
+			buf[i][k] = logic.FromBit(bit)
+		}
 	}
-	for len(seq) < length {
-		seq = append(seq, vectors.Random(rng, width))
+	for ; i < len(buf); i++ {
+		vectors.FillRandom(rng, buf[i])
 	}
-	return seq
 }
 
 // walkCandidate starts from the last applied vector (or a random one) and
 // flips 1-2 random bits per time unit, exploring nearby states.
-func walkCandidate(rng *xrand.RNG, width, length int, last vectors.Vector) vectors.Sequence {
-	cur := last
-	if cur == nil {
-		cur = vectors.Random(rng, width)
+func (cp *candPool) walkCandidate(rng *xrand.RNG, buf vectors.Sequence, last vectors.Vector) {
+	if last == nil {
+		vectors.FillRandom(rng, cp.cur)
+	} else {
+		copy(cp.cur, last)
 	}
-	cur = cur.Clone()
-	seq := make(vectors.Sequence, 0, length)
-	for i := 0; i < length; i++ {
+	for i := range buf {
 		flips := 1 + rng.Intn(2)
 		for f := 0; f < flips; f++ {
-			pos := rng.Intn(width)
-			cur[pos] = cur[pos].Not()
+			pos := rng.Intn(cp.width)
+			cp.cur[pos] = cp.cur[pos].Not()
 		}
-		seq = append(seq, cur.Clone())
+		copy(buf[i], cp.cur)
 	}
-	return seq
 }
 
 // holdCandidate applies random vectors, each held for 2-8 time units (the
 // hold manipulation of reference [3], which helps synchronize flip-flops
 // through an unknown state).
-func holdCandidate(rng *xrand.RNG, width, length int) vectors.Sequence {
-	seq := make(vectors.Sequence, 0, length)
-	for len(seq) < length {
-		v := vectors.Random(rng, width)
+func (cp *candPool) holdCandidate(rng *xrand.RNG, buf vectors.Sequence) {
+	i := 0
+	for i < len(buf) {
+		vectors.FillRandom(rng, cp.cur)
 		hold := 2 + rng.Intn(7)
-		for h := 0; h < hold && len(seq) < length; h++ {
-			seq = append(seq, v)
+		for h := 0; h < hold && i < len(buf); h++ {
+			copy(buf[i], cp.cur)
+			i++
 		}
 	}
-	return seq
 }
+

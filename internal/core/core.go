@@ -168,6 +168,13 @@ type Result struct {
 }
 
 // Selector holds the circuit-dependent state shared by Procedure 1 and 2.
+//
+// Procedure 2's inner loop — one target fault checked against thousands
+// of candidate expanded sequences — runs on the reused fsim.Single,
+// which simulates the faulty machine only over the fault's active region
+// and skips quiescent cycles outright (DESIGN.md §8); the bulk
+// simulations of Procedure 1 and §3.2 compaction go through the
+// active-region fsim.RunParallel with cfg.simWorkers().
 type Selector struct {
 	c      *netlist.Circuit
 	fl     []faults.Fault

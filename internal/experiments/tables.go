@@ -189,3 +189,29 @@ func CoverageCheck(runs []*CircuitRun) []string {
 	}
 	return problems
 }
+
+// EngineStats snapshots the fault-simulation engine's process-wide
+// efficiency counters (see fsim.Stats); take one snapshot before and one
+// after a pipeline run and feed both to EngineEfficiency.
+func EngineStats() fsim.SimStats { return fsim.Stats() }
+
+// EngineEfficiency renders the active-region engine's work accounting
+// over the interval between two EngineStats snapshots: patterns applied,
+// gates actually evaluated versus gates a full-netlist sweep would have
+// evaluated, and whole group-time-units skipped by quiescence. The
+// "netlist touched" line is the engine's effective duty cycle — the
+// fraction of classical full-evaluation work that was actually necessary.
+func EngineEfficiency(before, after fsim.SimStats) string {
+	ev := after.GatesEvaluated - before.GatesEvaluated
+	sk := after.GatesSkipped - before.GatesSkipped
+	t := report.New("Fault-simulation engine efficiency", "counter", "value").
+		AlignLeft(0, 1)
+	t.AddRow("patterns applied", fmt.Sprintf("%d", after.PatternsApplied-before.PatternsApplied))
+	t.AddRow("gates evaluated", fmt.Sprintf("%d", ev))
+	t.AddRow("gates skipped", fmt.Sprintf("%d", sk))
+	t.AddRow("quiescent group-steps", fmt.Sprintf("%d", after.GroupsQuiescent-before.GroupsQuiescent))
+	if total := ev + sk; total > 0 {
+		t.AddRow("netlist touched", fmt.Sprintf("%.1f%%", 100*float64(ev)/float64(total)))
+	}
+	return t.String()
+}

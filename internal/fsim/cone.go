@@ -1,0 +1,331 @@
+package fsim
+
+// Fault-cone analysis and locality-aware fault packing.
+//
+// A stuck-at fault can only ever make a lane diverge from the fault-free
+// machine inside the fanout cone of its injection site, closed through
+// flip-flops to a fixpoint (an effect latched into state re-emerges at
+// the flip-flop's Q next cycle and fans out again). Everything outside
+// that closure provably carries the broadcast fault-free value in every
+// lane at every time unit, so the simulation engine never needs to look
+// there. This file computes the per-group union of those closures (the
+// group's static active region) from the netlist CSR, and orders the
+// fault list so that faults sharing cones land in the same 64-lane group,
+// keeping each group's union region — and therefore its work — small.
+
+import (
+	"sort"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+)
+
+// sigMask is a per-signal stem-forcing mask pair.
+type sigMask struct {
+	sig    netlist.SignalID
+	m0, m1 uint64
+}
+
+// gatePinMask is a branch-forcing mask pair on one gate input pin.
+type gatePinMask struct {
+	gate, pin int32
+	m0, m1    uint64
+}
+
+// dffMask is a branch-forcing mask pair on one flip-flop D pin.
+type dffMask struct {
+	dff    int32
+	m0, m1 uint64
+}
+
+// site is one distinct fault-injection site of a group with the lanes it
+// forces. A site is "activated" at a time unit when the fault-free value
+// of its signal is not definitely equal to the stuck value — only then
+// can the forcing perturb any lane.
+type site struct {
+	sig   netlist.SignalID
+	stuck logic.Value
+	lanes uint64
+}
+
+// plan is the static simulation plan of one fault group: the union active
+// region (gates/flip-flops/primary outputs the group's faults can ever
+// influence, in topological order) plus the sparse forcing lists that
+// replace per-signal mask probes over the whole netlist.
+type plan struct {
+	gates []int32 // region gate indices, ascending (= topological) order
+	dffs  []int32 // region flip-flop indices, ascending
+	pos   []int32 // region primary-output positions, ascending
+
+	// boundary lists the signals read by the region (gate inputs and
+	// flip-flop D pins) but produced outside it; they always carry the
+	// broadcast fault-free value. Dense-mode evaluation (engine.go)
+	// materializes them once per time unit.
+	boundary []int32
+
+	sites []site // distinct injection sites, for the quiescence check
+
+	stems     []sigMask          // stem forces, loaded into scratch per call
+	stemPIs   []netlist.SignalID // stem-forced primary inputs
+	stemQs    []int32            // flip-flops whose Q output carries a stem force
+	seedGates []int32            // gates always queued: forced pin or forced output
+	branches  []gatePinMask      // branch forces on gate input pins
+	dffForce  []dffMask          // branch forces on flip-flop D pins
+}
+
+// planBuilder holds the reusable marking scratch for region construction.
+// Marks are epoch-stamped so consecutive groups reuse the arrays without
+// clearing.
+type planBuilder struct {
+	c   *netlist.Circuit
+	csr *netlist.CSR
+
+	sigMark  []int32
+	gateMark []int32
+	dffMark  []int32
+	poMark   []int32
+	bndMark  []int32
+	epoch    int32
+
+	queue []netlist.SignalID
+}
+
+func newPlanBuilder(c *netlist.Circuit) *planBuilder {
+	return &planBuilder{
+		c:        c,
+		csr:      c.CSR(),
+		sigMark:  make([]int32, c.NumSignals()),
+		gateMark: make([]int32, c.NumGates()),
+		dffMark:  make([]int32, c.NumDFFs()),
+		poMark:   make([]int32, c.NumPOs()),
+		bndMark:  make([]int32, c.NumSignals()),
+	}
+}
+
+// addSignal marks a signal as region and queues it for fanout traversal.
+func (pb *planBuilder) addSignal(s netlist.SignalID) {
+	if pb.sigMark[s] != pb.epoch {
+		pb.sigMark[s] = pb.epoch
+		pb.queue = append(pb.queue, s)
+	}
+}
+
+// build computes the plan for the faults in fl indexed by g.fault, with
+// lane i of the masks corresponding to g.fault[i].
+func (pb *planBuilder) build(fl []faults.Fault, faultIdx []int) plan {
+	c, csr := pb.c, pb.csr
+	pb.epoch++
+	pb.queue = pb.queue[:0]
+	var p plan
+
+	// Sparse forcing lists, merged across lanes. Linear scans over the
+	// per-group lists are fine: a group has at most 64 faults.
+	addStem := func(sig netlist.SignalID, m0, m1 uint64) {
+		for i := range p.stems {
+			if p.stems[i].sig == sig {
+				p.stems[i].m0 |= m0
+				p.stems[i].m1 |= m1
+				return
+			}
+		}
+		p.stems = append(p.stems, sigMask{sig: sig, m0: m0, m1: m1})
+	}
+	addBranch := func(gate, pin int32, m0, m1 uint64) {
+		for i := range p.branches {
+			if p.branches[i].gate == gate && p.branches[i].pin == pin {
+				p.branches[i].m0 |= m0
+				p.branches[i].m1 |= m1
+				return
+			}
+		}
+		p.branches = append(p.branches, gatePinMask{gate: gate, pin: pin, m0: m0, m1: m1})
+	}
+	addDFFForce := func(dff int32, m0, m1 uint64) {
+		for i := range p.dffForce {
+			if p.dffForce[i].dff == dff {
+				p.dffForce[i].m0 |= m0
+				p.dffForce[i].m1 |= m1
+				return
+			}
+		}
+		p.dffForce = append(p.dffForce, dffMask{dff: dff, m0: m0, m1: m1})
+	}
+	addSite := func(sig netlist.SignalID, stuck logic.Value, lane uint64) {
+		for i := range p.sites {
+			if p.sites[i].sig == sig && p.sites[i].stuck == stuck {
+				p.sites[i].lanes |= lane
+				return
+			}
+		}
+		p.sites = append(p.sites, site{sig: sig, stuck: stuck, lanes: lane})
+	}
+
+	for lane, fi := range faultIdx {
+		f := fl[fi]
+		laneMask := uint64(1) << uint(lane)
+		var m0, m1 uint64
+		if f.Stuck == logic.Zero {
+			m0 = laneMask
+		} else {
+			m1 = laneMask
+		}
+		addSite(f.Signal, f.Stuck, laneMask)
+		if f.IsStem() {
+			addStem(f.Signal, m0, m1)
+			pb.addSignal(f.Signal)
+			continue
+		}
+		con := c.Consumers(f.Signal)[f.Consumer]
+		switch con.Kind {
+		case netlist.ConsumerGate:
+			addBranch(con.Index, con.Pin, m0, m1)
+			if pb.gateMark[con.Index] != pb.epoch {
+				pb.gateMark[con.Index] = pb.epoch
+			}
+			pb.addSignal(netlist.SignalID(csr.Out[con.Index]))
+		case netlist.ConsumerDFF:
+			addDFFForce(con.Index, m0, m1)
+			if pb.dffMark[con.Index] != pb.epoch {
+				pb.dffMark[con.Index] = pb.epoch
+			}
+			pb.addSignal(c.DFFs[con.Index].Q)
+		}
+	}
+
+	// Classify the stem forces by source kind and queue the driver gates
+	// of forced gate-output signals (they must always be evaluated so the
+	// force applies even when their inputs are clean).
+	for _, sm := range p.stems {
+		if d := c.Driver(sm.sig); d >= 0 {
+			if pb.gateMark[d] != pb.epoch {
+				pb.gateMark[d] = pb.epoch
+			}
+		} else if fi := c.DFFOf(sm.sig); fi >= 0 {
+			p.stemQs = append(p.stemQs, int32(fi))
+		} else {
+			p.stemPIs = append(p.stemPIs, sm.sig)
+		}
+	}
+
+	// Close the region over combinational fanout and flip-flops.
+	for len(pb.queue) > 0 {
+		s := pb.queue[len(pb.queue)-1]
+		pb.queue = pb.queue[:len(pb.queue)-1]
+		fan := csr.GateFanout(s)
+		for _, gi := range fan {
+			if pb.gateMark[gi] != pb.epoch {
+				pb.gateMark[gi] = pb.epoch
+			}
+			pb.addSignal(netlist.SignalID(csr.Out[gi]))
+		}
+		for _, di := range csr.DFFFanout(s) {
+			if pb.dffMark[di] != pb.epoch {
+				pb.dffMark[di] = pb.epoch
+			}
+			pb.addSignal(c.DFFs[di].Q)
+		}
+		for _, pi := range csr.POFanout(s) {
+			pb.poMark[pi] = pb.epoch
+		}
+	}
+
+	// Gather the region in ascending order (ascending gate index is
+	// topological order because Circuit.Gates is topologically sorted).
+	for gi := range pb.gateMark {
+		if pb.gateMark[gi] == pb.epoch {
+			p.gates = append(p.gates, int32(gi))
+		}
+	}
+	for di := range pb.dffMark {
+		if pb.dffMark[di] == pb.epoch {
+			p.dffs = append(p.dffs, int32(di))
+		}
+	}
+	for pi := range pb.poMark {
+		if pb.poMark[pi] == pb.epoch {
+			p.pos = append(p.pos, int32(pi))
+		}
+	}
+	// Boundary: signals the region reads (gate inputs and flip-flop D
+	// pins) that are not region signals themselves. A stem-forced signal
+	// that is a primary input or flip-flop output is region-marked above,
+	// so the two source lists never overlap the boundary.
+	addBoundary := func(sig int32) {
+		if pb.sigMark[sig] != pb.epoch && pb.bndMark[sig] != pb.epoch {
+			pb.bndMark[sig] = pb.epoch
+			p.boundary = append(p.boundary, sig)
+		}
+	}
+	for _, gi := range p.gates {
+		for _, in := range csr.GateIn(int(gi)) {
+			addBoundary(in)
+		}
+	}
+	for _, di := range p.dffs {
+		addBoundary(int32(c.DFFs[di].D))
+	}
+	// Seed gates: forced-pin gates plus drivers of stem-forced outputs —
+	// exactly the gates marked before the closure ran, deduplicated here
+	// by re-deriving them from the forcing lists.
+	seedSeen := make(map[int32]bool, len(p.branches)+len(p.stems))
+	for _, b := range p.branches {
+		if !seedSeen[b.gate] {
+			seedSeen[b.gate] = true
+			p.seedGates = append(p.seedGates, b.gate)
+		}
+	}
+	for _, sm := range p.stems {
+		if d := c.Driver(sm.sig); d >= 0 && !seedSeen[int32(d)] {
+			seedSeen[int32(d)] = true
+			p.seedGates = append(p.seedGates, int32(d))
+		}
+	}
+	sort.Slice(p.seedGates, func(i, j int) bool { return p.seedGates[i] < p.seedGates[j] })
+	return p
+}
+
+// packOrder returns a permutation of fault-list indices grouped by
+// structural locality: faults are keyed by the topological position of
+// the first gate their injection site can influence, so faults whose
+// cones overlap land in the same 64-lane group and the group's union
+// active region stays close to a single fault's cone. The sort is stable,
+// so the order (and with it every detection-report order) is
+// deterministic for a given circuit and fault list.
+func packOrder(c *netlist.Circuit, fl []faults.Fault) []int {
+	csr := c.CSR()
+	numGates := c.NumGates()
+	key := func(f faults.Fault) int {
+		// First gate influenced by the forced signal; faults whose effect
+		// enters a flip-flop before any gate sort after all gate keys,
+		// bucketed by flip-flop.
+		sig := f.Signal
+		if !f.IsStem() {
+			con := c.Consumers(f.Signal)[f.Consumer]
+			switch con.Kind {
+			case netlist.ConsumerGate:
+				return int(con.Index)
+			case netlist.ConsumerDFF:
+				return numGates + int(con.Index)
+			}
+		}
+		if d := c.Driver(sig); d >= 0 {
+			return d
+		}
+		if fan := csr.GateFanout(sig); len(fan) > 0 {
+			return int(fan[0])
+		}
+		if dfan := csr.DFFFanout(sig); len(dfan) > 0 {
+			return numGates + int(dfan[0])
+		}
+		return numGates + c.NumDFFs() // observed only at a primary output
+	}
+	order := make([]int, len(fl))
+	keys := make([]int, len(fl))
+	for i, f := range fl {
+		order[i] = i
+		keys[i] = key(f)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	return order
+}

@@ -11,6 +11,19 @@
 //     exit on detection. Procedure 2 of the paper calls this in its inner
 //     loop thousands of times, so it is allocation-free after creation.
 //
+// Both engines are active-region simulators in the PROOFS tradition:
+// faults are packed into groups by structural locality, each group's
+// static active region (the union of its faults' fanout cones, closed
+// through flip-flops — see cone.go) is precomputed, and each time unit
+// only the gates whose inputs actually diverged from the fault-free
+// machine are evaluated, in level order (engine.go). Everything outside
+// the diverged set provably carries the broadcast fault-free value, and a
+// group whose machines all agree with the fault-free machine and whose
+// fault sites are not activated is skipped outright (quiescence). The
+// results are bit-for-bit identical to full-netlist evaluation — the
+// pre-change full path is kept behind the SetFullEvaluation test hook and
+// differential tests prove the equivalence.
+//
 // Detection semantics are the classical pessimistic three-valued rule,
 // matching the paper's fault simulator: a fault is detected at time unit u
 // when some primary output has a definite binary fault-free value and the
@@ -21,6 +34,7 @@ package fsim
 
 import (
 	"math/bits"
+	"sort"
 	"sync/atomic"
 
 	"seqbist/internal/faults"
@@ -83,8 +97,11 @@ func RunParallel(c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence, wo
 	inc := NewIncremental(c, fl)
 	inc.SetParallelism(workers)
 	// Chunked extension with early exit: once every fault is detected the
-	// rest of the sequence cannot change the Result.
-	const chunk = 32
+	// rest of the sequence cannot change the Result. The chunk stride is
+	// derived from the circuit's sequential depth (see earlyExitStride):
+	// shallow circuits check the exit condition sooner, deep circuits
+	// amortize per-chunk scheduling overhead over longer extensions.
+	chunk := earlyExitStride(c)
 	for start := 0; start < len(seq); start += chunk {
 		if inc.NumDetected() == len(fl) {
 			break
@@ -98,31 +115,48 @@ func RunParallel(c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence, wo
 	return inc.Result()
 }
 
-// group is one batch of up to 64 faults simulated bit-parallel.
+// group is one batch of up to 64 faults simulated bit-parallel, with the
+// static simulation plan of its union active region.
 type group struct {
 	fault []int // indices into the fault list, one per lane
 	alive uint64
 
-	// Injection plan. stemTouched lists signals with stem forcing;
-	// stem0/stem1 are indexed by signal.
-	stemTouched []netlist.SignalID
-	branchGates []int32 // gates with branch-forced pins
-	dffTouched  []int32
+	plan plan
 
-	state []logic.Word // per DFF
+	// Machine state, sparse: state[di] is meaningful only for the
+	// flip-flop indices listed in divDFF (the flip-flops whose word
+	// differs from the broadcast fault-free state); every other flip-flop
+	// is implicitly at the fault-free value. In full-evaluation mode
+	// (SetFullEvaluation) state is dense and divDFF is unused.
+	state  []logic.Word
+	divDFF []int32
+
+	// lastEval is the gate count the previous time unit evaluated — the
+	// activity predictor that picks the propagation structure (engine.go).
+	lastEval int32
 }
 
 // Incremental is a parallel-fault simulator that retains machine state
 // between calls.
 type Incremental struct {
-	c  *netlist.Circuit
-	fl []faults.Fault
+	c   *netlist.Circuit
+	csr *netlist.CSR
+	fl  []faults.Fault
 
 	good      *sim.Simulator
 	goodState []logic.Value
 	goodPO    []logic.Value
 
-	groups []group
+	// Pooled non-committing good machine for Evaluate/Peek.
+	peekSim   *sim.Simulator
+	peekState []logic.Value
+	peekPO    []logic.Value
+
+	// Pooled good-value trace, one row per time unit of the current call.
+	trace goodTrace
+
+	groups  []group
+	liveBuf []int
 
 	// sc is the serial path's scratch; the sharded scheduler draws one
 	// private scratch per worker from workerScratch instead (parallel.go).
@@ -130,33 +164,60 @@ type Incremental struct {
 	workers       int
 	workerScratch []*scratch
 
+	// fullEval selects the pre-change full-netlist evaluation path
+	// (fullpath.go); a test hook, see SetFullEvaluation.
+	fullEval bool
+
 	detected []bool
 	detTime  []int
 	numDet   int
 	now      int // absolute time units simulated so far
 }
 
-// scratch holds the per-signal/gate/dff forcing masks and value words one
-// simulation pass needs. The mask arrays are repopulated per group
-// (loadPlan/unloadPlan); each concurrent shard owns its own scratch so
-// groups can be simulated in parallel without shared mutable state.
+// scratch holds the per-signal/gate/dff forcing masks, value words, and
+// event-propagation state one simulation pass needs. The mask arrays are
+// populated once per group per call (loadPlan/unloadPlan); each concurrent
+// shard owns its own scratch so groups can be simulated in parallel
+// without shared mutable state.
 type scratch struct {
 	stem0, stem1 []uint64
 	branchAt     [][]pinForce // per gate
 	dff0, dff1   []uint64     // per DFF
-	words        []logic.Word // per-signal values
+	words        []logic.Word // per-signal values (valid only when stamped)
 	state        []logic.Word // per-DFF state for non-committing passes
+	divDFF       []int32      // diverged-DFF list for non-committing passes
+
+	// Active-region propagation scratch (engine.go). Epoch stamps avoid
+	// clearing the arrays between time units; int32 keeps the hottest
+	// random-access arrays cache-dense (see bumpEpoch for wraparound).
+	epoch     int32
+	sigEpoch  []int32   // per signal: stamped when diverged this time unit
+	gateEpoch []int32   // per gate: stamped when queued this time unit
+	buckets   [][]int32 // per-level gate worklists (queue mode)
+	maxLev    int32     // deepest level queued this time unit
+	newDiv    []int32
+
+	dets []detection // per-call detection buffer (Extend)
+
+	// Locally accumulated efficiency counters, flushed per call
+	// (stats.go).
+	evaluated int64
+	skipped   int64
+	quiescent int64
 }
 
 func newScratch(c *netlist.Circuit) *scratch {
 	return &scratch{
-		stem0:    make([]uint64, c.NumSignals()),
-		stem1:    make([]uint64, c.NumSignals()),
-		branchAt: make([][]pinForce, c.NumGates()),
-		dff0:     make([]uint64, c.NumDFFs()),
-		dff1:     make([]uint64, c.NumDFFs()),
-		words:    make([]logic.Word, c.NumSignals()),
-		state:    make([]logic.Word, c.NumDFFs()),
+		stem0:     make([]uint64, c.NumSignals()),
+		stem1:     make([]uint64, c.NumSignals()),
+		branchAt:  make([][]pinForce, c.NumGates()),
+		dff0:      make([]uint64, c.NumDFFs()),
+		dff1:      make([]uint64, c.NumDFFs()),
+		words:     make([]logic.Word, c.NumSignals()),
+		state:     make([]logic.Word, c.NumDFFs()),
+		sigEpoch:  make([]int32, c.NumSignals()),
+		gateEpoch: make([]int32, c.NumGates()),
+		buckets:   make([][]int32, c.CSR().MaxLevel+1),
 	}
 }
 
@@ -165,136 +226,116 @@ type pinForce struct {
 	m0, m1 uint64
 }
 
+// goodTrace is a pooled arena of per-time-unit fault-free value
+// snapshots. One flat backing array is re-sliced into rows, so repeated
+// Evaluate/Extend calls allocate nothing once the arena has grown to the
+// longest sequence seen.
+type goodTrace struct {
+	rows [][]logic.Value
+	flat []logic.Value
+}
+
+// ensure returns n rows of the given width, growing the arena as needed.
+func (t *goodTrace) ensure(n, width int) [][]logic.Value {
+	need := n * width
+	if cap(t.flat) < need {
+		t.flat = make([]logic.Value, need)
+	}
+	t.flat = t.flat[:need]
+	if cap(t.rows) < n {
+		t.rows = make([][]logic.Value, n)
+	}
+	t.rows = t.rows[:n]
+	for i := range t.rows {
+		t.rows[i] = t.flat[i*width : (i+1)*width]
+	}
+	return t.rows
+}
+
 // NewIncremental prepares a simulator for the given circuit and fault
-// list. The initial state of every machine is all-unknown.
+// list. The initial state of every machine is all-unknown. Faults are
+// packed into 64-lane groups in locality order (packOrder), and each
+// group's static active region is precomputed, so construction does the
+// cone analysis once and every Extend/Evaluate call benefits.
 func NewIncremental(c *netlist.Circuit, fl []faults.Fault) *Incremental {
 	inc := &Incremental{
 		c:        c,
+		csr:      c.CSR(),
 		fl:       fl,
 		good:     sim.New(c),
 		goodPO:   make([]logic.Value, c.NumPOs()),
+		peekSim:  sim.New(c),
+		peekPO:   make([]logic.Value, c.NumPOs()),
 		sc:       newScratch(c),
 		workers:  1,
 		detected: make([]bool, len(fl)),
 		detTime:  make([]int, len(fl)),
 	}
 	inc.goodState = inc.good.InitialState()
+	inc.peekState = make([]logic.Value, c.NumDFFs())
 	for i := range inc.detTime {
 		inc.detTime[i] = Undetected
 	}
-	for start := 0; start < len(fl); start += 64 {
+	order := packOrder(c, fl)
+	pb := newPlanBuilder(c)
+	for start := 0; start < len(order); start += 64 {
 		end := start + 64
-		if end > len(fl) {
-			end = len(fl)
+		if end > len(order) {
+			end = len(order)
 		}
-		g := group{state: make([]logic.Word, c.NumDFFs())}
+		g := group{
+			fault: append([]int(nil), order[start:end]...),
+			state: make([]logic.Word, c.NumDFFs()),
+		}
 		for i := range g.state {
 			g.state[i] = logic.AllX()
-		}
-		for i := start; i < end; i++ {
-			g.fault = append(g.fault, i)
 		}
 		g.alive = ^uint64(0)
 		if n := end - start; n < 64 {
 			g.alive = (uint64(1) << uint(n)) - 1
 		}
-		inc.buildPlan(&g)
+		g.plan = pb.build(fl, g.fault)
 		inc.groups = append(inc.groups, g)
 	}
 	return inc
 }
 
-// buildPlan records which signals/pins each lane's fault forces.
-func (inc *Incremental) buildPlan(g *group) {
-	c := inc.c
-	seenStem := make(map[netlist.SignalID]bool)
-	seenGate := make(map[int32]bool)
-	seenDFF := make(map[int32]bool)
-	for lane, fi := range g.fault {
-		f := inc.fl[fi]
-		if f.IsStem() {
-			if !seenStem[f.Signal] {
-				seenStem[f.Signal] = true
-				g.stemTouched = append(g.stemTouched, f.Signal)
-			}
-			continue
-		}
-		con := c.Consumers(f.Signal)[f.Consumer]
-		switch con.Kind {
-		case netlist.ConsumerGate:
-			if !seenGate[con.Index] {
-				seenGate[con.Index] = true
-				g.branchGates = append(g.branchGates, con.Index)
-			}
-		case netlist.ConsumerDFF:
-			if !seenDFF[con.Index] {
-				seenDFF[con.Index] = true
-				g.dffTouched = append(g.dffTouched, con.Index)
-			}
-		}
-		_ = lane
-	}
-}
-
-// loadPlan populates sc's forcing-mask arrays for g. The arrays are reused
-// across groups, so unloadPlan must clear them afterwards.
+// loadPlan populates sc's forcing-mask arrays for g, once per call. The
+// arrays are reused across groups, so unloadPlan must clear them
+// afterwards. Masks are pre-merged in the plan, so loading is a straight
+// copy of the sparse lists, filtered down to the group's live lanes:
+// dropped faults stop forcing anything, which is what lets their groups
+// reach quiescence (dead lanes can never detect — every detection and
+// divergence report is masked by the live mask — so the filtering is
+// invisible in the results).
 func (inc *Incremental) loadPlan(sc *scratch, g *group) {
-	c := inc.c
-	for lane, fi := range g.fault {
-		f := inc.fl[fi]
-		mask := uint64(1) << uint(lane)
-		if f.IsStem() {
-			if f.Stuck == logic.Zero {
-				sc.stem0[f.Signal] |= mask
-			} else {
-				sc.stem1[f.Signal] |= mask
-			}
-			continue
+	alive := g.alive
+	for _, sm := range g.plan.stems {
+		sc.stem0[sm.sig] = sm.m0 & alive
+		sc.stem1[sm.sig] = sm.m1 & alive
+	}
+	for _, b := range g.plan.branches {
+		if m0, m1 := b.m0&alive, b.m1&alive; m0|m1 != 0 {
+			sc.branchAt[b.gate] = append(sc.branchAt[b.gate], pinForce{pin: b.pin, m0: m0, m1: m1})
 		}
-		con := c.Consumers(f.Signal)[f.Consumer]
-		switch con.Kind {
-		case netlist.ConsumerGate:
-			var m0, m1 uint64
-			if f.Stuck == logic.Zero {
-				m0 = mask
-			} else {
-				m1 = mask
-			}
-			merged := false
-			for i := range sc.branchAt[con.Index] {
-				pf := &sc.branchAt[con.Index][i]
-				if pf.pin == con.Pin {
-					pf.m0 |= m0
-					pf.m1 |= m1
-					merged = true
-					break
-				}
-			}
-			if !merged {
-				sc.branchAt[con.Index] = append(sc.branchAt[con.Index],
-					pinForce{pin: con.Pin, m0: m0, m1: m1})
-			}
-		case netlist.ConsumerDFF:
-			if f.Stuck == logic.Zero {
-				sc.dff0[con.Index] |= mask
-			} else {
-				sc.dff1[con.Index] |= mask
-			}
-		}
+	}
+	for _, df := range g.plan.dffForce {
+		sc.dff0[df.dff] = df.m0 & alive
+		sc.dff1[df.dff] = df.m1 & alive
 	}
 }
 
 func (inc *Incremental) unloadPlan(sc *scratch, g *group) {
-	for _, sig := range g.stemTouched {
-		sc.stem0[sig] = 0
-		sc.stem1[sig] = 0
+	for _, sm := range g.plan.stems {
+		sc.stem0[sm.sig] = 0
+		sc.stem1[sm.sig] = 0
 	}
-	for _, gi := range g.branchGates {
-		sc.branchAt[gi] = sc.branchAt[gi][:0]
+	for _, b := range g.plan.branches {
+		sc.branchAt[b.gate] = sc.branchAt[b.gate][:0]
 	}
-	for _, di := range g.dffTouched {
-		sc.dff0[di] = 0
-		sc.dff1[di] = 0
+	for _, df := range g.plan.dffForce {
+		sc.dff0[df.dff] = 0
+		sc.dff1[df.dff] = 0
 	}
 }
 
@@ -308,6 +349,36 @@ func forceWord(w logic.Word, m0, m1 uint64) logic.Word {
 	return w
 }
 
+// goodTraceCommit advances the good machine through seq (committing its
+// state) and snapshots the full signal-value vector at every time unit
+// into the pooled trace arena.
+func (inc *Incremental) goodTraceCommit(seq vectors.Sequence) [][]logic.Value {
+	rows := inc.trace.ensure(len(seq), inc.c.NumSignals())
+	for u, vec := range seq {
+		inc.good.Step(inc.goodState, vec, inc.goodPO)
+		copy(rows[u], inc.good.Values())
+	}
+	return rows
+}
+
+// goodTracePeek is goodTraceCommit without committing: the good machine
+// state is copied and the pooled peek simulator advances the copy.
+func (inc *Incremental) goodTracePeek(seq vectors.Sequence) [][]logic.Value {
+	rows := inc.trace.ensure(len(seq), inc.c.NumSignals())
+	copy(inc.peekState, inc.goodState)
+	for u, vec := range seq {
+		inc.peekSim.Step(inc.peekState, vec, inc.peekPO)
+		copy(rows[u], inc.peekSim.Values())
+	}
+	return rows
+}
+
+// detection locates one newly detected fault in the canonical reporting
+// schedule: relative time unit u, group index gi, lane within the group.
+type detection struct {
+	u, gi, lane int
+}
+
 // Extend simulates the vectors of seq (continuing from the current state),
 // commits the resulting machine states, and returns the indices of newly
 // detected faults. Detected faults are dropped from future simulation.
@@ -317,37 +388,80 @@ func forceWord(w logic.Word, m0, m1 uint64) logic.Word {
 // in the identical order.
 func (inc *Incremental) Extend(seq vectors.Sequence) []int {
 	patternsApplied.Add(int64(len(seq)))
-	if inc.workers > 1 && len(seq) > 0 {
-		if live := inc.liveGroups(); len(live) > 1 {
-			return inc.extendParallel(seq, live)
+	if len(seq) == 0 {
+		return nil
+	}
+	goodVals := inc.goodTraceCommit(seq)
+	live := inc.liveGroups()
+	if inc.workers > 1 && len(live) > 1 {
+		return inc.extendParallel(seq, goodVals, live)
+	}
+	sc := inc.sc
+	sc.dets = sc.dets[:0]
+	for _, gi := range live {
+		inc.extendGroup(sc, &inc.groups[gi], gi, seq, goodVals)
+	}
+	newly := inc.mergeDetections(sc.dets, len(seq))
+	sc.dets = sc.dets[:0]
+	sc.flushStats()
+	return newly
+}
+
+// extendGroup simulates seq for one group, committing its state words and
+// appending its detections (in relative time order) to sc.dets.
+func (inc *Incremental) extendGroup(sc *scratch, g *group, gi int, seq vectors.Sequence, goodVals [][]logic.Value) {
+	inc.loadPlan(sc, g)
+	alive := g.alive
+	var detAll uint64
+	for u := range seq {
+		var det uint64
+		if inc.fullEval {
+			det = inc.stepGroupFull(sc, g, seq[u], goodVals[u], g.state)
+		} else {
+			det = inc.stepGroup(sc, g, goodVals[u], g.state, &g.divDFF)
+		}
+		det = det & alive &^ detAll
+		for m := det; m != 0; {
+			lane := trailingZeros(m)
+			m &^= 1 << uint(lane)
+			sc.dets = append(sc.dets, detection{u: u, gi: gi, lane: lane})
+		}
+		detAll |= det
+		if alive&^detAll == 0 {
+			// Every lane of this group is detected; further vectors
+			// cannot change its outcome.
+			break
 		}
 	}
+	inc.unloadPlan(sc, g)
+}
+
+// mergeDetections commits collected detections in the canonical reporting
+// order — ascending time unit, then group index, then lane — updating the
+// per-fault records and dropping detected lanes. It advances inc.now by
+// seqLen and returns the newly detected fault indices.
+func (inc *Incremental) mergeDetections(dets []detection, seqLen int) []int {
+	sort.Slice(dets, func(i, j int) bool {
+		a, b := dets[i], dets[j]
+		if a.u != b.u {
+			return a.u < b.u
+		}
+		if a.gi != b.gi {
+			return a.gi < b.gi
+		}
+		return a.lane < b.lane
+	})
 	var newly []int
-	for _, vec := range seq {
-		// Advance the good machine one step.
-		inc.good.Step(inc.goodState, vec, inc.goodPO)
-		goodVals := inc.good.Values()
-		for gi := range inc.groups {
-			g := &inc.groups[gi]
-			if g.alive == 0 {
-				continue
-			}
-			inc.loadPlan(inc.sc, g)
-			det := inc.stepGroup(inc.sc, g, vec, goodVals, g.state)
-			inc.unloadPlan(inc.sc, g)
-			for det != 0 {
-				lane := trailingZeros(det)
-				det &^= 1 << uint(lane)
-				fi := g.fault[lane]
-				inc.detected[fi] = true
-				inc.detTime[fi] = inc.now
-				inc.numDet++
-				newly = append(newly, fi)
-				g.alive &^= 1 << uint(lane)
-			}
-		}
-		inc.now++
+	for _, d := range dets {
+		g := &inc.groups[d.gi]
+		fi := g.fault[d.lane]
+		inc.detected[fi] = true
+		inc.detTime[fi] = inc.now + d.u
+		inc.numDet++
+		newly = append(newly, fi)
+		g.alive &^= 1 << uint(d.lane)
 	}
+	inc.now += seqLen
 	return newly
 }
 
@@ -366,57 +480,59 @@ func (inc *Incremental) Peek(seq vectors.Sequence) []int {
 // as a secondary objective — a candidate that drives fault effects into
 // the state brings those faults closer to detection even when it detects
 // nothing itself.
+//
+// Evaluate is the ATPG inner loop and is allocation-free in the steady
+// state: the good-value trace, the peek simulator, and all propagation
+// scratch are pooled on the Incremental; only a nonempty newly slice
+// allocates.
 func (inc *Incremental) Evaluate(seq vectors.Sequence) (newly []int, divergence int) {
 	patternsApplied.Add(int64(len(seq)))
-	goodState := make([]logic.Value, len(inc.goodState))
-	copy(goodState, inc.goodState)
-	goodPO := make([]logic.Value, inc.c.NumPOs())
-	peekSim := sim.New(inc.c)
-
-	// Per-group simulation over the whole candidate, so plans are loaded
-	// once per group rather than once per group per vector. The good
-	// machine trace is computed first.
-	goodValsByTime := make([][]logic.Value, len(seq))
-	for u, vec := range seq {
-		peekSim.Step(goodState, vec, goodPO)
-		vals := peekSim.Values()
-		snapshot := make([]logic.Value, len(vals))
-		copy(snapshot, vals)
-		goodValsByTime[u] = snapshot
+	if len(seq) == 0 {
+		return nil, 0
 	}
-
-	if inc.workers > 1 && len(seq) > 0 {
-		if live := inc.liveGroups(); len(live) > 1 {
-			return inc.evaluateParallel(seq, goodValsByTime, live)
-		}
+	goodVals := inc.goodTracePeek(seq)
+	live := inc.liveGroups()
+	if inc.workers > 1 && len(live) > 1 {
+		return inc.evaluateParallel(seq, goodVals, live)
 	}
-
-	for gi := range inc.groups {
+	for _, gi := range live {
 		g := &inc.groups[gi]
-		if g.alive == 0 {
-			continue
-		}
-		detAll := inc.evaluateGroup(inc.sc, g, seq, goodValsByTime, &divergence)
+		detAll := inc.evaluateGroup(inc.sc, g, seq, goodVals, &divergence)
 		for detAll != 0 {
 			lane := trailingZeros(detAll)
 			detAll &^= 1 << uint(lane)
 			newly = append(newly, g.fault[lane])
 		}
 	}
+	inc.sc.flushStats()
 	return newly, divergence
 }
 
 // evaluateGroup simulates seq for one group without committing state,
 // using sc's state buffer, and returns the mask of newly detected lanes.
 // It adds the group's divergence contribution to *divergence.
-func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequence, goodValsByTime [][]logic.Value, divergence *int) uint64 {
-	copy(sc.state, g.state)
+func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequence, goodVals [][]logic.Value, divergence *int) uint64 {
+	if inc.fullEval {
+		copy(sc.state, g.state)
+	} else {
+		sc.divDFF = sc.divDFF[:0]
+		for _, di := range g.divDFF {
+			sc.state[di] = g.state[di]
+			sc.divDFF = append(sc.divDFF, di)
+		}
+	}
 	alive := g.alive
 	detAll := uint64(0)
 	inc.loadPlan(sc, g)
 	steps := 0
-	for u, vec := range seq {
-		det := inc.stepGroup(sc, g, vec, goodValsByTime[u], sc.state) & alive &^ detAll
+	for u := range seq {
+		var det uint64
+		if inc.fullEval {
+			det = inc.stepGroupFull(sc, g, seq[u], goodVals[u], sc.state)
+		} else {
+			det = inc.stepGroup(sc, g, goodVals[u], sc.state, &sc.divDFF)
+		}
+		det = det & alive &^ detAll
 		detAll |= det
 		steps = u + 1
 		if alive&^detAll == 0 {
@@ -428,13 +544,27 @@ func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequenc
 	// from the fault-free state after the last simulated vector.
 	if steps == len(seq) && len(seq) > 0 {
 		var diverged uint64
-		goodFinal := goodValsByTime[len(seq)-1]
-		for di, ff := range inc.c.DFFs {
-			switch goodFinal[ff.D] {
-			case logic.Zero:
-				diverged |= sc.state[di].DefiniteOne()
-			case logic.One:
-				diverged |= sc.state[di].DefiniteZero()
+		goodFinal := goodVals[len(seq)-1]
+		if inc.fullEval {
+			for di, ff := range inc.c.DFFs {
+				switch goodFinal[ff.D] {
+				case logic.Zero:
+					diverged |= sc.state[di].DefiniteOne()
+				case logic.One:
+					diverged |= sc.state[di].DefiniteZero()
+				}
+			}
+		} else {
+			// Flip-flops outside the diverged list equal the fault-free
+			// state and cannot contribute.
+			for _, di := range sc.divDFF {
+				ff := inc.c.DFFs[di]
+				switch goodFinal[ff.D] {
+				case logic.Zero:
+					diverged |= sc.state[di].DefiniteOne()
+				case logic.One:
+					diverged |= sc.state[di].DefiniteZero()
+				}
 			}
 		}
 		*divergence += popcount(diverged & alive &^ detAll)
@@ -444,134 +574,6 @@ func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequenc
 
 // popcount returns the number of set bits in x.
 func popcount(x uint64) int { return bits.OnesCount64(x) }
-
-// stepGroup evaluates one time unit for group g using sc's scratch words
-// and the given flip-flop state words (updated in place), and returns the
-// mask of lanes detected at a primary output this cycle. Forcing plans
-// must already be loaded into sc.
-func (inc *Incremental) stepGroup(sc *scratch, g *group, vec vectors.Vector, goodVals []logic.Value, state []logic.Word) uint64 {
-	c := inc.c
-	words := sc.words
-	for i, pi := range c.PIs {
-		w := logic.Broadcast(vec[i])
-		if m0, m1 := sc.stem0[pi], sc.stem1[pi]; m0|m1 != 0 {
-			w = forceWord(w, m0, m1)
-		}
-		words[pi] = w
-	}
-	for i, ff := range c.DFFs {
-		w := state[i]
-		if m0, m1 := sc.stem0[ff.Q], sc.stem1[ff.Q]; m0|m1 != 0 {
-			w = forceWord(w, m0, m1)
-		}
-		words[ff.Q] = w
-	}
-	for gi := range c.Gates {
-		gate := &c.Gates[gi]
-		var v logic.Word
-		if bf := sc.branchAt[gi]; len(bf) != 0 {
-			v = evalForced(words, gate, bf)
-		} else {
-			v = words[gate.In[0]]
-			switch gate.Type {
-			case netlist.Buf:
-			case netlist.Not:
-				v = v.Not()
-			case netlist.And:
-				for _, in := range gate.In[1:] {
-					v = v.And(words[in])
-				}
-			case netlist.Nand:
-				for _, in := range gate.In[1:] {
-					v = v.And(words[in])
-				}
-				v = v.Not()
-			case netlist.Or:
-				for _, in := range gate.In[1:] {
-					v = v.Or(words[in])
-				}
-			case netlist.Nor:
-				for _, in := range gate.In[1:] {
-					v = v.Or(words[in])
-				}
-				v = v.Not()
-			case netlist.Xor:
-				for _, in := range gate.In[1:] {
-					v = v.Xor(words[in])
-				}
-			case netlist.Xnor:
-				for _, in := range gate.In[1:] {
-					v = v.Xor(words[in])
-				}
-				v = v.Not()
-			}
-		}
-		if m0, m1 := sc.stem0[gate.Out], sc.stem1[gate.Out]; m0|m1 != 0 {
-			v = forceWord(v, m0, m1)
-		}
-		words[gate.Out] = v
-	}
-	// Detection at primary outputs.
-	var det uint64
-	for _, po := range c.POs {
-		switch goodVals[po] {
-		case logic.Zero:
-			det |= words[po].DefiniteOne()
-		case logic.One:
-			det |= words[po].DefiniteZero()
-		}
-	}
-	// Capture next state.
-	for i, ff := range c.DFFs {
-		w := words[ff.D]
-		if m0, m1 := sc.dff0[i], sc.dff1[i]; m0|m1 != 0 {
-			w = forceWord(w, m0, m1)
-		}
-		state[i] = w
-	}
-	return det & g.alive
-}
-
-// evalForced evaluates a gate whose input pins carry branch-forced lanes.
-func evalForced(words []logic.Word, gate *netlist.Gate, bf []pinForce) logic.Word {
-	in := func(pin int) logic.Word {
-		w := words[gate.In[pin]]
-		for i := range bf {
-			if int(bf[i].pin) == pin {
-				w = forceWord(w, bf[i].m0, bf[i].m1)
-			}
-		}
-		return w
-	}
-	v := in(0)
-	switch gate.Type {
-	case netlist.Buf:
-	case netlist.Not:
-		v = v.Not()
-	case netlist.And, netlist.Nand:
-		for p := 1; p < len(gate.In); p++ {
-			v = v.And(in(p))
-		}
-		if gate.Type == netlist.Nand {
-			v = v.Not()
-		}
-	case netlist.Or, netlist.Nor:
-		for p := 1; p < len(gate.In); p++ {
-			v = v.Or(in(p))
-		}
-		if gate.Type == netlist.Nor {
-			v = v.Not()
-		}
-	case netlist.Xor, netlist.Xnor:
-		for p := 1; p < len(gate.In); p++ {
-			v = v.Xor(in(p))
-		}
-		if gate.Type == netlist.Xnor {
-			v = v.Not()
-		}
-	}
-	return v
-}
 
 // Result snapshots the detection state accumulated so far.
 func (inc *Incremental) Result() Result {

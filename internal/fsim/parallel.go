@@ -4,28 +4,46 @@ package fsim
 //
 // Incremental packs 64 faulty machines per group, and the groups are
 // mutually independent once the fault-free value trace is known: each
-// group owns its state words, the circuit and fault list are read-only,
-// and the forcing masks live in a per-worker scratch. The scheduler
-// therefore computes the good-machine trace for the whole subsequence
-// first, fans the live groups out to a goroutine pool, and merges the
-// per-group detections back in the serial schedule's (time, group, lane)
-// order. Detection results — Detected, DetTime, NumDetected, and the
-// order of newly reported faults — are bit-for-bit identical to the
-// serial path for every worker count.
+// group owns its state words, the circuit, plans, and fault list are
+// read-only, and the forcing masks and propagation stamps live in a
+// per-worker scratch. The scheduler therefore computes the good-machine
+// trace for the whole subsequence first, fans the live groups out to a
+// goroutine pool, and merges the per-group detections back in the serial
+// schedule's (time, group, lane) order. Detection results — Detected,
+// DetTime, NumDetected, and the order of newly reported faults — are
+// bit-for-bit identical to the serial path for every worker count.
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
 	"seqbist/internal/vectors"
 )
 
 // DefaultParallelism is the goroutine count Run uses for group sharding:
 // one worker per available CPU.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// earlyExitStride is the number of time units RunParallel extends between
+// checks of the all-detected early-exit condition. It scales with the
+// circuit's sequential depth (memoized on the Circuit): a fault needs at
+// least that many cycles to traverse the state registers to an
+// observation point, so shallow circuits can afford frequent checks and
+// exit as soon as coverage completes, while deep circuits use longer
+// chunks that amortize trace construction and goroutine scheduling.
+func earlyExitStride(c *netlist.Circuit) int {
+	stride := 4 * (c.SequentialDepth() + 1)
+	if stride < 8 {
+		stride = 8
+	}
+	if stride > 256 {
+		stride = 256
+	}
+	return stride
+}
 
 // SetParallelism sets the number of goroutines used to shard fault groups
 // (n <= 1 selects the serial path). Any value produces identical
@@ -42,14 +60,16 @@ func (inc *Incremental) SetParallelism(n int) {
 func (inc *Incremental) Parallelism() int { return inc.workers }
 
 // liveGroups returns the indices of groups that still carry undetected
-// faults.
+// faults. The returned slice is pooled on the Incremental and valid until
+// the next call.
 func (inc *Incremental) liveGroups() []int {
-	live := make([]int, 0, len(inc.groups))
+	live := inc.liveBuf[:0]
 	for gi := range inc.groups {
 		if inc.groups[gi].alive != 0 {
 			live = append(live, gi)
 		}
 	}
+	inc.liveBuf = live
 	return live
 }
 
@@ -88,99 +108,37 @@ func (inc *Incremental) shard(n int, fn func(w, idx int)) {
 	wg.Wait()
 }
 
-// goodTrace advances the good machine through seq (committing its state)
-// and snapshots the full signal-value vector at every time unit.
-func (inc *Incremental) goodTrace(seq vectors.Sequence) [][]logic.Value {
-	trace := make([][]logic.Value, len(seq))
-	for u, vec := range seq {
-		inc.good.Step(inc.goodState, vec, inc.goodPO)
-		vals := inc.good.Values()
-		snapshot := make([]logic.Value, len(vals))
-		copy(snapshot, vals)
-		trace[u] = snapshot
-	}
-	return trace
-}
-
-// detection locates one newly detected fault in the serial schedule:
-// relative time unit u, group index gi, lane within the group.
-type detection struct {
-	u, gi, lane int
-}
-
 // extendParallel is Extend's sharded path: live groups are simulated
 // concurrently against the precomputed good trace, committing their state
 // words, and detections are merged in serial order afterwards.
-func (inc *Incremental) extendParallel(seq vectors.Sequence, live []int) []int {
-	goodVals := inc.goodTrace(seq)
-	detsByIdx := make([][]detection, len(live))
+func (inc *Incremental) extendParallel(seq vectors.Sequence, goodVals [][]logic.Value, live []int) []int {
 	inc.shard(len(live), func(w, idx int) {
 		gi := live[idx]
-		g := &inc.groups[gi]
-		sc := inc.workerScratch[w]
-		inc.loadPlan(sc, g)
-		alive := g.alive
-		var detAll uint64
-		var dets []detection
-		for u, vec := range seq {
-			det := inc.stepGroup(sc, g, vec, goodVals[u], g.state) & alive &^ detAll
-			for m := det; m != 0; {
-				lane := trailingZeros(m)
-				m &^= 1 << uint(lane)
-				dets = append(dets, detection{u: u, gi: gi, lane: lane})
-			}
-			detAll |= det
-			if alive&^detAll == 0 {
-				// Every lane of this group is detected; further vectors
-				// cannot change its outcome (matching the serial path,
-				// which skips dead groups).
-				break
-			}
-		}
-		inc.unloadPlan(sc, g)
-		detsByIdx[idx] = dets
+		inc.extendGroup(inc.workerScratch[w], &inc.groups[gi], gi, seq, goodVals)
 	})
-
-	// Merge in the serial emission order: ascending time unit, then group
-	// index, then lane.
-	var all []detection
-	for _, dets := range detsByIdx {
-		all = append(all, dets...)
+	// Gather the per-worker detection buffers and merge them in the
+	// serial emission order (mergeDetections sorts by time, group, lane).
+	all := inc.sc.dets[:0]
+	for _, sc := range inc.workerScratch {
+		all = append(all, sc.dets...)
+		sc.dets = sc.dets[:0]
+		sc.flushStats()
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.u != b.u {
-			return a.u < b.u
-		}
-		if a.gi != b.gi {
-			return a.gi < b.gi
-		}
-		return a.lane < b.lane
-	})
-	var newly []int
-	for _, d := range all {
-		g := &inc.groups[d.gi]
-		fi := g.fault[d.lane]
-		inc.detected[fi] = true
-		inc.detTime[fi] = inc.now + d.u
-		inc.numDet++
-		newly = append(newly, fi)
-		g.alive &^= 1 << uint(d.lane)
-	}
-	inc.now += len(seq)
+	newly := inc.mergeDetections(all, len(seq))
+	inc.sc.dets = all[:0]
 	return newly
 }
 
 // evaluateParallel is Evaluate's sharded path: non-committing, merging
 // per-group newly-detected lists in group order (the serial order) and
 // summing divergence.
-func (inc *Incremental) evaluateParallel(seq vectors.Sequence, goodValsByTime [][]logic.Value, live []int) (newly []int, divergence int) {
+func (inc *Incremental) evaluateParallel(seq vectors.Sequence, goodVals [][]logic.Value, live []int) (newly []int, divergence int) {
 	newlyByIdx := make([][]int, len(live))
 	divByIdx := make([]int, len(live))
 	inc.shard(len(live), func(w, idx int) {
 		g := &inc.groups[live[idx]]
 		sc := inc.workerScratch[w]
-		detAll := inc.evaluateGroup(sc, g, seq, goodValsByTime, &divByIdx[idx])
+		detAll := inc.evaluateGroup(sc, g, seq, goodVals, &divByIdx[idx])
 		var out []int
 		for detAll != 0 {
 			lane := trailingZeros(detAll)
@@ -189,6 +147,9 @@ func (inc *Incremental) evaluateParallel(seq vectors.Sequence, goodValsByTime []
 		}
 		newlyByIdx[idx] = out
 	})
+	for _, sc := range inc.workerScratch {
+		sc.flushStats()
+	}
 	for idx := range live {
 		newly = append(newly, newlyByIdx[idx]...)
 		divergence += divByIdx[idx]

@@ -84,3 +84,40 @@ func TestEvaluateMatchesPeek(t *testing.T) {
 		t.Fatalf("negative divergence %d", div)
 	}
 }
+
+// TestActiveRegionPropertyRandomNetlists is the randomized differential
+// property: on deterministic pseudo-random circuits of varying shape, the
+// active-region engine must match the full-evaluation reference and the
+// scalar Single simulator over the uncollapsed fault universe (stems,
+// gate-pin branches, and D-pin branches) under X-heavy stimuli.
+func TestActiveRegionPropertyRandomNetlists(t *testing.T) {
+	shapes := []iscas.Spec{
+		{Name: "rnd-a", PIs: 4, POs: 3, DFFs: 4, Gates: 40, Synthetic: true, Seed: 101},
+		{Name: "rnd-b", PIs: 6, POs: 5, DFFs: 9, Gates: 90, Synthetic: true, Seed: 202},
+		{Name: "rnd-c", PIs: 3, POs: 2, DFFs: 6, Gates: 55, Synthetic: true, Seed: 303},
+	}
+	for _, spec := range shapes {
+		c, err := iscas.Synthesize(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		fl := faults.Universe(c)
+		rng := xrand.New(spec.Seed)
+		for trial := 0; trial < 3; trial++ {
+			seq := xheavySequence(rng, c.NumPIs(), 12+rng.Intn(20))
+			diffCheck(t, spec.Name, c, fl, seq, 1)
+
+			// Cross-check a deterministic sample of faults against the
+			// scalar two-machine simulator.
+			active := Run(c, fl, seq)
+			single := NewSingle(c)
+			for i := trial; i < len(fl); i += 9 {
+				det, at := single.Detects(fl[i], seq)
+				if det != active.Detected[i] || (det && at != active.DetTime[i]) {
+					t.Fatalf("%s trial %d fault %s: single (%v,%d) vs parallel (%v,%d)",
+						spec.Name, trial, fl[i].Name(c), det, at, active.Detected[i], active.DetTime[i])
+				}
+			}
+		}
+	}
+}

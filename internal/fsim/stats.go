@@ -1,0 +1,76 @@
+package fsim
+
+import "sync/atomic"
+
+// Process-wide simulation-efficiency counters, alongside patternsApplied
+// (fsim.go). Like the pattern counter they are deliberately global: one
+// process hosts one daemon, and threading metric sinks through every
+// simulation call site would put bookkeeping on the hottest loop in the
+// system. The engines accumulate locally (per call, per worker scratch)
+// and flush once per call, so the atomics are off the inner loop.
+var (
+	// gatesEvaluated counts gates the parallel-fault engine actually
+	// evaluated: the work remaining after cone restriction, activity
+	// gating, and quiescence.
+	gatesEvaluated atomic.Int64
+	// gatesSkipped counts gates a full-netlist sweep would have evaluated
+	// but the active-region engine proved unnecessary (their value is the
+	// broadcast fault-free value by construction).
+	gatesSkipped atomic.Int64
+	// groupsQuiescent counts (group, time unit) evaluations skipped
+	// entirely by the quiescence check: no flip-flop diverged from the
+	// fault-free machine and no fault site activated.
+	groupsQuiescent atomic.Int64
+)
+
+// SimStats is a snapshot of the process-wide simulation-efficiency
+// counters. Ratios of GatesEvaluated to GatesEvaluated+GatesSkipped
+// measure how much of the netlist the active-region engine actually
+// touches; GroupsQuiescent counts whole group-time-unit evaluations
+// skipped outright.
+type SimStats struct {
+	PatternsApplied int64 `json:"patterns_applied"`
+	GatesEvaluated  int64 `json:"gates_evaluated"`
+	GatesSkipped    int64 `json:"gates_skipped"`
+	GroupsQuiescent int64 `json:"groups_quiescent"`
+}
+
+// Stats returns the cumulative simulation-efficiency counters for this
+// process. It feeds the daemon's GET /metrics endpoint.
+func Stats() SimStats {
+	return SimStats{
+		PatternsApplied: patternsApplied.Load(),
+		GatesEvaluated:  gatesEvaluated.Load(),
+		GatesSkipped:    gatesSkipped.Load(),
+		GroupsQuiescent: groupsQuiescent.Load(),
+	}
+}
+
+// GatesEvaluated returns the cumulative gate evaluations performed by the
+// parallel-fault engine.
+func GatesEvaluated() int64 { return gatesEvaluated.Load() }
+
+// GatesSkipped returns the cumulative gate evaluations avoided by cone
+// restriction, activity gating, and quiescence.
+func GatesSkipped() int64 { return gatesSkipped.Load() }
+
+// GroupsQuiescent returns the cumulative group-time-unit evaluations
+// skipped by the quiescence check.
+func GroupsQuiescent() int64 { return groupsQuiescent.Load() }
+
+// flushStats adds a scratch's locally accumulated counters to the
+// process-wide gauges and zeroes the local counts.
+func (sc *scratch) flushStats() {
+	if sc.evaluated != 0 {
+		gatesEvaluated.Add(sc.evaluated)
+		sc.evaluated = 0
+	}
+	if sc.skipped != 0 {
+		gatesSkipped.Add(sc.skipped)
+		sc.skipped = 0
+	}
+	if sc.quiescent != 0 {
+		groupsQuiescent.Add(sc.quiescent)
+		sc.quiescent = 0
+	}
+}

@@ -138,18 +138,22 @@ func (c *Circuit) SequentialControllability() []int {
 
 // SequentialDepth returns the maximum over signals of the minimum
 // input-to-output cycle distance — a lower bound on the test length any
-// single fault may need.
+// single fault may need. The value is memoized on the Circuit: fault
+// simulation consults it on every run to size its early-exit stride.
 func (c *Circuit) SequentialDepth() int {
-	ctrl := c.SequentialControllability()
-	obs := c.SequentialObservability()
-	depth := 0
-	for i := 0; i < c.NumSignals(); i++ {
-		if ctrl[i] < 0 || obs[i] < 0 {
-			continue
+	c.derived.depthOnce.Do(func() {
+		ctrl := c.SequentialControllability()
+		obs := c.SequentialObservability()
+		depth := 0
+		for i := 0; i < c.NumSignals(); i++ {
+			if ctrl[i] < 0 || obs[i] < 0 {
+				continue
+			}
+			if d := ctrl[i] + obs[i]; d > depth {
+				depth = d
+			}
 		}
-		if d := ctrl[i] + obs[i]; d > depth {
-			depth = d
-		}
-	}
-	return depth
+		c.derived.seqDepth = depth
+	})
+	return c.derived.seqDepth
 }

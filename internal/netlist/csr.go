@@ -1,0 +1,166 @@
+package netlist
+
+// Flattened, levelized compressed-sparse-row (CSR) view of a Circuit.
+//
+// The Gate/Consumer object graph is convenient to build and inspect, but
+// the simulation engines walk it millions of times per run: every pointer
+// chase into a per-gate input slice and every map-shaped consumer lookup
+// costs cache misses on the hottest loop in the system. The CSR view
+// flattens the whole combinational netlist into a handful of contiguous
+// int32 arrays — gate inputs, signal fanout (split by consumer kind), and
+// per-gate levels — so fault simulation, fault-cone construction, and the
+// fault-free simulator can iterate with pure index arithmetic.
+//
+// The view is derived data: it is built lazily on first use, cached on
+// the Circuit, and safe for concurrent readers (the Circuit is immutable
+// and the build is guarded by a sync.Once).
+
+import "sync"
+
+// CSR is the flattened netlist. All slices must be treated as read-only.
+//
+// Gates appear in the same topological order as Circuit.Gates, so a
+// linear walk of [0, NumGates) is a valid evaluation order, and any
+// ascending subset of gate indices (an active region) is too.
+type CSR struct {
+	// In holds every gate's input signals back to back; gate g reads
+	// In[InOff[g]:InOff[g+1]]. InOff has NumGates+1 entries.
+	In    []int32
+	InOff []int32
+	// Out[g] is gate g's output signal, Type[g] its boolean function,
+	// Level[g] its combinational level (1 + max input level; sources are
+	// level 0).
+	Out   []int32
+	Type  []GateType
+	Level []int32
+
+	// Signal fanout onto gate input pins: signal s feeds the gates
+	// FanGate[FanOff[s]:FanOff[s+1]] at the corresponding pins in FanPin.
+	// FanOff has NumSignals+1 entries.
+	FanGate []int32
+	FanPin  []int32
+	FanOff  []int32
+
+	// Signal fanout onto flip-flop D pins: signal s drives the DFFs
+	// FanDFF[FanDFFOff[s]:FanDFFOff[s+1]].
+	FanDFF    []int32
+	FanDFFOff []int32
+
+	// Signal fanout onto primary outputs: signal s is observed at PO
+	// positions FanPO[FanPOOff[s]:FanPOOff[s+1]] (indices into
+	// Circuit.POs).
+	FanPO    []int32
+	FanPOOff []int32
+
+	// MaxLevel is the deepest gate level (0 for a gate-free circuit).
+	MaxLevel int32
+}
+
+// GateIn returns gate g's input signals as a read-only slice.
+func (r *CSR) GateIn(g int) []int32 { return r.In[r.InOff[g]:r.InOff[g+1]] }
+
+// GateFanout returns the gate indices reading signal s, as a read-only
+// slice (pins are in the parallel FanPin range).
+func (r *CSR) GateFanout(s SignalID) []int32 { return r.FanGate[r.FanOff[s]:r.FanOff[s+1]] }
+
+// DFFFanout returns the flip-flop indices whose D pin reads signal s.
+func (r *CSR) DFFFanout(s SignalID) []int32 { return r.FanDFF[r.FanDFFOff[s]:r.FanDFFOff[s+1]] }
+
+// POFanout returns the primary-output positions observing signal s.
+func (r *CSR) POFanout(s SignalID) []int32 { return r.FanPO[r.FanPOOff[s]:r.FanPOOff[s+1]] }
+
+// csrCache holds the lazily built derived views of a Circuit. It lives in
+// a side struct so the exported Circuit fields stay purely structural.
+type csrCache struct {
+	once sync.Once
+	csr  *CSR
+
+	depthOnce sync.Once
+	seqDepth  int
+}
+
+// CSR returns the flattened netlist view, building it on first use. The
+// result is cached for the lifetime of the Circuit and shared by all
+// callers; it must not be modified.
+func (c *Circuit) CSR() *CSR {
+	c.derived.once.Do(func() { c.derived.csr = buildCSR(c) })
+	return c.derived.csr
+}
+
+func buildCSR(c *Circuit) *CSR {
+	numGates := c.NumGates()
+	numSignals := c.NumSignals()
+	r := &CSR{
+		InOff: make([]int32, numGates+1),
+		Out:   make([]int32, numGates),
+		Type:  make([]GateType, numGates),
+		Level: make([]int32, numGates),
+
+		FanOff:    make([]int32, numSignals+1),
+		FanDFFOff: make([]int32, numSignals+1),
+		FanPOOff:  make([]int32, numSignals+1),
+
+		MaxLevel: c.maxLevel,
+	}
+
+	// Gate inputs, flat.
+	totalIn := 0
+	for _, g := range c.Gates {
+		totalIn += len(g.In)
+	}
+	r.In = make([]int32, 0, totalIn)
+	for gi, g := range c.Gates {
+		r.InOff[gi] = int32(len(r.In))
+		for _, in := range g.In {
+			r.In = append(r.In, int32(in))
+		}
+		r.Out[gi] = int32(g.Out)
+		r.Type[gi] = g.Type
+		r.Level[gi] = c.level[gi]
+	}
+	r.InOff[numGates] = int32(len(r.In))
+
+	// Fanout, bucketed by consumer kind with the classic two-pass CSR
+	// build (count, prefix-sum, fill).
+	var nGate, nDFF, nPO int32
+	for s := 0; s < numSignals; s++ {
+		for _, con := range c.consumers[s] {
+			switch con.Kind {
+			case ConsumerGate:
+				nGate++
+			case ConsumerDFF:
+				nDFF++
+			case ConsumerPO:
+				nPO++
+			}
+		}
+	}
+	r.FanGate = make([]int32, nGate)
+	r.FanPin = make([]int32, nGate)
+	r.FanDFF = make([]int32, nDFF)
+	r.FanPO = make([]int32, nPO)
+	var offGate, offDFF, offPO int32
+	for s := 0; s < numSignals; s++ {
+		r.FanOff[s] = offGate
+		r.FanDFFOff[s] = offDFF
+		r.FanPOOff[s] = offPO
+		for _, con := range c.consumers[s] {
+			switch con.Kind {
+			case ConsumerGate:
+				r.FanGate[offGate] = con.Index
+				r.FanPin[offGate] = con.Pin
+				offGate++
+			case ConsumerDFF:
+				r.FanDFF[offDFF] = con.Index
+				offDFF++
+			case ConsumerPO:
+				r.FanPO[offPO] = con.Index
+				offPO++
+			}
+		}
+	}
+	r.FanOff[numSignals] = offGate
+	r.FanDFFOff[numSignals] = offDFF
+	r.FanPOOff[numSignals] = offPO
+	return r
+}

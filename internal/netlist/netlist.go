@@ -173,6 +173,8 @@ type Circuit struct {
 	consumers [][]Consumer
 	level     []int32 // per gate (topo position already implies levels)
 	maxLevel  int32
+
+	derived csrCache // lazily built flat views (csr.go)
 }
 
 // NumSignals returns the number of distinct signals in the circuit.

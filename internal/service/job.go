@@ -139,8 +139,41 @@ func contentKey(c *netlist.Circuit, t0 string, cfg GenConfig) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// job is the internal mutable record. All fields below the ctx pair are
-// guarded by the Service mutex.
+// execution is one physical run of the synthesis pipeline. Jobs with the
+// same content key submitted while an execution is in flight attach to it
+// instead of enqueueing duplicate work (in-flight coalescing): all
+// attached jobs observe the one run's lifecycle and share its result.
+// Canceling an attached job only detaches it; the pipeline itself is
+// interrupted when the last attached job detaches.
+type execution struct {
+	key string
+	c   *netlist.Circuit
+	t0  vectors.Sequence
+	cfg GenConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// jobs and started are guarded by the Service mutex. jobs holds the
+	// attached jobs in attach order (the submitter first); started flips
+	// when a worker dequeues the execution.
+	jobs    []*job
+	started bool
+}
+
+// detach removes j from the execution. Callers hold the Service mutex;
+// the caller must cancel the execution when no jobs remain.
+func (ex *execution) detach(j *job) {
+	for i, other := range ex.jobs {
+		if other == j {
+			ex.jobs = append(ex.jobs[:i], ex.jobs[i+1:]...)
+			return
+		}
+	}
+}
+
+// job is the internal mutable record. All fields below exec are guarded
+// by the Service mutex.
 type job struct {
 	id   string
 	key  string
@@ -149,8 +182,7 @@ type job struct {
 	c    *netlist.Circuit
 	t0   vectors.Sequence
 
-	ctx    context.Context
-	cancel context.CancelFunc
+	exec *execution // the run this job observes; nil for cache hits
 
 	// onRunning and onTerminal, when non-nil, are invoked by the worker
 	// after the corresponding state commits and the Service mutex is

@@ -17,6 +17,9 @@ type Metrics struct {
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCanceled  atomic.Int64
+	// jobsCoalesced counts submissions that attached to an identical
+	// in-flight execution instead of enqueueing duplicate work.
+	jobsCoalesced atomic.Int64
 
 	sweepsStarted  atomic.Int64
 	sweepsFinished atomic.Int64
@@ -63,10 +66,13 @@ func (m *Metrics) observeResult(res *Result) {
 // counters plus point-in-time gauges.
 type MetricsSnapshot struct {
 	Jobs struct {
-		Submitted int64         `json:"submitted"`
-		Done      int64         `json:"done"`
-		Failed    int64         `json:"failed"`
-		Canceled  int64         `json:"canceled"`
+		Submitted int64 `json:"submitted"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+		// Coalesced counts submissions served by attaching to an
+		// identical in-flight execution (no duplicate work queued).
+		Coalesced int64         `json:"coalesced"`
 		ByState   map[State]int `json:"by_state"`
 	} `json:"jobs"`
 	Sweeps struct {
@@ -77,8 +83,16 @@ type MetricsSnapshot struct {
 	Cache CacheStats `json:"cache"`
 	Fsim  struct {
 		Proc2Sims int64 `json:"proc2_sims"`
-		// PatternsApplied is process-wide (see fsim.PatternsApplied).
+		// The remaining gauges are process-wide (see fsim.Stats).
+		// PatternsApplied counts input vectors applied by the engines;
+		// GatesEvaluated/GatesSkipped split the full-netlist gate count
+		// into work done versus work proven unnecessary by the
+		// active-region engine, and GroupsQuiescent counts whole
+		// group-time-unit evaluations skipped by the quiescence check.
 		PatternsApplied int64 `json:"patterns_applied"`
+		GatesEvaluated  int64 `json:"gates_evaluated"`
+		GatesSkipped    int64 `json:"gates_skipped"`
+		GroupsQuiescent int64 `json:"groups_quiescent"`
 	} `json:"fsim"`
 	// PhaseSeconds is cumulative wall time per pipeline stage across all
 	// jobs (parallel workers sum, so this can exceed elapsed real time).
@@ -96,10 +110,15 @@ func (s *Service) Metrics() MetricsSnapshot {
 	snap.Jobs.Done = m.jobsDone.Load()
 	snap.Jobs.Failed = m.jobsFailed.Load()
 	snap.Jobs.Canceled = m.jobsCanceled.Load()
+	snap.Jobs.Coalesced = m.jobsCoalesced.Load()
 	snap.Sweeps.Started = m.sweepsStarted.Load()
 	snap.Sweeps.Finished = m.sweepsFinished.Load()
 	snap.Fsim.Proc2Sims = m.proc2Sims.Load()
-	snap.Fsim.PatternsApplied = fsim.PatternsApplied()
+	sim := fsim.Stats()
+	snap.Fsim.PatternsApplied = sim.PatternsApplied
+	snap.Fsim.GatesEvaluated = sim.GatesEvaluated
+	snap.Fsim.GatesSkipped = sim.GatesSkipped
+	snap.Fsim.GroupsQuiescent = sim.GroupsQuiescent
 	snap.PhaseSeconds = map[string]float64{
 		"atpg":    time.Duration(m.phaseATPG.Load()).Seconds(),
 		"select":  time.Duration(m.phaseSelect.Load()).Seconds(),

@@ -7,7 +7,10 @@
 // Jobs are content-addressed: the hash of the circuit's name and
 // structural fingerprint, the supplied T0, and the normalized
 // configuration keys an LRU result cache, so resubmitting identical work
-// completes instantly.
+// completes instantly. Identical jobs submitted while the first is still
+// queued or running are coalesced onto one in-flight execution: the
+// duplicates attach as observers, share the single run's result, and a
+// cancellation only interrupts the run when its last observer detaches.
 // Each job's fault simulations run on the sharded parallel scheduler of
 // internal/fsim; cancellation reaches into Procedure 1 via the
 // core.Config.Interrupt hook, so a DELETE aborts a running job between
@@ -113,7 +116,7 @@ func (c Config) withDefaults() Config {
 // Service is the synthesis job manager. Create with New, stop with Close.
 type Service struct {
 	cfg   Config
-	queue chan *job
+	queue chan *execution
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -125,6 +128,7 @@ type Service struct {
 	jobs       map[string]*job
 	order      []string // submission order, for listing
 	cache      *resultCache
+	inflight   map[string]*execution // content key -> in-flight run
 	seq        int64
 	sweeps     map[string]*sweep
 	sweepOrder []string // creation order, for listing and eviction
@@ -138,10 +142,11 @@ func New(cfg Config) *Service {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
-		queue:      make(chan *job, cfg.QueueDepth),
+		queue:      make(chan *execution, cfg.QueueDepth),
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*execution),
 		sweeps:     make(map[string]*sweep),
 		cache:      newResultCache(cfg.CacheSize),
 	}
@@ -172,6 +177,11 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 // lifecycle hooks (see the job struct; onTerminal fires immediately for
 // cache hits, after the Service mutex is released). Both Submit and the
 // sweep fan-out land here.
+//
+// Identical work is never run twice concurrently: if an execution with
+// the same content key is already queued or running, the new job attaches
+// to it (in-flight coalescing) and shares its lifecycle and result; the
+// coalesced counter in GET /metrics counts these attachments.
 func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpec, onRunning func(Status), onTerminal func(Status, *Result)) (Status, error) {
 	cfg := spec.Config.withDefaults(s.cfg.SimParallelism)
 	key := contentKey(c, spec.T0, cfg)
@@ -210,15 +220,39 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		}
 		return st, nil
 	}
+	if ex, ok := s.inflight[key]; ok {
+		// Coalesce: attach to the in-flight run.
+		j.exec = ex
+		j.state = StateQueued
+		running := ex.started
+		if running {
+			j.state = StateRunning
+			j.started = time.Now()
+		}
+		ex.jobs = append(ex.jobs, j)
+		s.register(j)
+		st := j.status()
+		s.mu.Unlock()
+		s.metrics.jobsSubmitted.Add(1)
+		s.metrics.jobsCoalesced.Add(1)
+		if running && onRunning != nil {
+			onRunning(st)
+		}
+		return st, nil
+	}
+	ex := &execution{key: key, c: c, t0: t0, cfg: cfg}
+	ex.ctx, ex.cancel = context.WithCancel(s.rootCtx)
+	ex.jobs = []*job{j}
+	j.exec = ex
 	j.state = StateQueued
-	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
 	select {
-	case s.queue <- j:
+	case s.queue <- ex:
 	default:
-		j.cancel() // release the context registration
+		ex.cancel() // release the context registration
 		s.mu.Unlock()
 		return Status{}, ErrQueueFull
 	}
+	s.inflight[key] = ex
 	s.register(j)
 	st := j.status()
 	s.mu.Unlock()
@@ -285,10 +319,12 @@ func (s *Service) Result(id string) (*Result, error) {
 	return j.result, nil
 }
 
-// Cancel requests cancellation of the named job. Queued jobs flip to
-// canceled immediately; running jobs are interrupted (Procedure 1 polls
-// the hook between trials) and reach the canceled state shortly after.
-// Canceling a terminal job is a no-op.
+// Cancel requests cancellation of the named job: it flips to canceled
+// immediately and detaches from its execution. The underlying pipeline
+// run is only interrupted (Procedure 1 polls the hook between trials)
+// when no other coalesced job remains attached — canceling one of several
+// identical submissions never disturbs the others. Canceling a terminal
+// job is a no-op.
 func (s *Service) Cancel(id string) (Status, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -299,16 +335,22 @@ func (s *Service) Cancel(id string) (Status, error) {
 	var hook func(Status, *Result)
 	flipped := false
 	switch j.state {
-	case StateQueued:
+	case StateQueued, StateRunning:
 		j.state = StateCanceled
 		j.err = context.Canceled
 		j.finished = time.Now()
-		j.cancel()
 		flipped = true
 		hook = j.onTerminal
 		j.onTerminal = nil // the worker must not fire it again
-	case StateRunning:
-		j.cancel() // the worker commits the terminal state and fires the hook
+		if ex := j.exec; ex != nil {
+			ex.detach(j)
+			if len(ex.jobs) == 0 {
+				// Last observer gone: interrupt the run and clear the
+				// coalescing slot so new submissions start fresh.
+				ex.cancel()
+				s.dropInflight(ex)
+			}
+		}
 	}
 	st := j.status()
 	s.mu.Unlock()
@@ -371,64 +413,111 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
-// worker drains the queue until Close.
-func (s *Service) worker() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+// dropInflight clears ex's coalescing slot, but only while the slot is
+// still ex's: an execution abandoned by cancellation may be processed by
+// a worker after a fresh identical submission has already registered a
+// new execution under the same content key, and deleting blindly would
+// evict the newer run's slot and let duplicates sneak past coalescing.
+// Callers hold s.mu.
+func (s *Service) dropInflight(ex *execution) {
+	if s.inflight[ex.key] == ex {
+		delete(s.inflight, ex.key)
 	}
 }
 
-// runJob executes one job end to end, commits its terminal state, and
-// fires the job's terminal hook (outside the mutex, so the hook may call
-// back into the Service).
-func (s *Service) runJob(j *job) {
+// worker drains the queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for ex := range s.queue {
+		s.runExec(ex)
+	}
+}
+
+// terminalHook pairs a job's terminal callback with its final status so
+// hooks can fire after the Service mutex is released.
+type terminalHook struct {
+	fn func(Status, *Result)
+	st Status
+}
+
+// runExec executes one coalesced run end to end, commits the terminal
+// state of every job still attached, and fires their hooks (outside the
+// mutex, so the hooks may call back into the Service).
+func (s *Service) runExec(ex *execution) {
 	s.mu.Lock()
-	if j.state != StateQueued { // canceled while queued
+	if len(ex.jobs) == 0 { // every attached job was canceled while queued
+		s.dropInflight(ex)
 		s.mu.Unlock()
 		return
 	}
-	j.state = StateRunning
-	j.started = time.Now()
-	runningSt := j.status()
+	ex.started = true
+	started := time.Now()
+	var runHooks []func(Status)
+	var runSts []Status
+	for _, j := range ex.jobs {
+		j.state = StateRunning
+		j.started = started
+		if j.onRunning != nil {
+			runHooks = append(runHooks, j.onRunning)
+			runSts = append(runSts, j.status())
+		}
+	}
 	s.mu.Unlock()
-	if j.onRunning != nil {
-		j.onRunning(runningSt)
+	for i, fn := range runHooks {
+		fn(runSts[i])
 	}
 
-	res, err := synthesize(j.ctx, j.c, j.t0, j.cfg, &s.metrics)
-	ctxErr := j.ctx.Err()
-	j.cancel() // release the context's registration under rootCtx
+	res, err := synthesize(ex.ctx, ex.c, ex.t0, ex.cfg, &s.metrics)
+	ctxErr := ex.ctx.Err()
+	ex.cancel() // release the context's registration under rootCtx
 
 	s.mu.Lock()
-	j.finished = time.Now()
-	switch {
-	case ctxErr != nil:
-		j.state = StateCanceled
-		j.err = ctxErr
-	case err != nil:
-		j.state = StateFailed
-		j.err = err
-	default:
-		j.state = StateDone
-		j.result = res
-		s.cache.put(j.key, res)
+	s.dropInflight(ex)
+	finished := time.Now()
+	jobs := ex.jobs
+	ex.jobs = nil
+	for _, j := range jobs {
+		j.finished = finished
+		switch {
+		case ctxErr != nil:
+			j.state = StateCanceled
+			j.err = ctxErr
+		case err != nil:
+			j.state = StateFailed
+			j.err = err
+		default:
+			j.state = StateDone
+			j.result = res
+		}
 	}
-	st := j.status()
-	hook := j.onTerminal
-	j.onTerminal = nil
+	if ctxErr == nil && err == nil {
+		s.cache.put(ex.key, res)
+	}
+	var hooks []terminalHook
+	for _, j := range jobs {
+		if j.onTerminal != nil {
+			hooks = append(hooks, terminalHook{fn: j.onTerminal, st: j.status()})
+			j.onTerminal = nil
+		}
+	}
 	s.mu.Unlock()
 
-	switch st.State {
-	case StateDone:
-		s.metrics.jobsDone.Add(1)
-		s.metrics.observeResult(res)
-	case StateFailed:
-		s.metrics.jobsFailed.Add(1)
-	case StateCanceled:
-		s.metrics.jobsCanceled.Add(1)
+	for range jobs {
+		switch {
+		case ctxErr != nil:
+			s.metrics.jobsCanceled.Add(1)
+		case err != nil:
+			s.metrics.jobsFailed.Add(1)
+		default:
+			s.metrics.jobsDone.Add(1)
+		}
 	}
-	if hook != nil {
-		hook(st, res)
+	// The pipeline ran once no matter how many coalesced jobs observed
+	// it, so simulation-work accounting is per execution, not per job.
+	if ctxErr == nil && err == nil {
+		s.metrics.observeResult(res)
+	}
+	for _, h := range hooks {
+		h.fn(h.st, res)
 	}
 }

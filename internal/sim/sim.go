@@ -22,6 +22,7 @@ import (
 // safe for concurrent use; create one Simulator per goroutine.
 type Simulator struct {
 	c      *netlist.Circuit
+	csr    *netlist.CSR  // flat netlist view; the Step hot loop walks this
 	values []logic.Value // per-signal values for the current time unit
 }
 
@@ -29,6 +30,7 @@ type Simulator struct {
 func New(c *netlist.Circuit) *Simulator {
 	return &Simulator{
 		c:      c,
+		csr:    c.CSR(),
 		values: make([]logic.Value, c.NumSignals()),
 	}
 }
@@ -100,42 +102,43 @@ func (s *Simulator) Step(state []logic.Value, vec vectors.Vector, po []logic.Val
 	for i, ff := range c.DFFs {
 		vals[ff.Q] = state[i]
 	}
-	for gi := range c.Gates {
-		g := &c.Gates[gi]
-		v := vals[g.In[0]]
-		switch g.Type {
+	csr := s.csr
+	for gi := 0; gi < len(csr.Out); gi++ {
+		ins := csr.In[csr.InOff[gi]:csr.InOff[gi+1]]
+		v := vals[ins[0]]
+		switch csr.Type[gi] {
 		case netlist.Buf:
 		case netlist.Not:
 			v = v.Not()
 		case netlist.And:
-			for _, in := range g.In[1:] {
+			for _, in := range ins[1:] {
 				v = v.And(vals[in])
 			}
 		case netlist.Nand:
-			for _, in := range g.In[1:] {
+			for _, in := range ins[1:] {
 				v = v.And(vals[in])
 			}
 			v = v.Not()
 		case netlist.Or:
-			for _, in := range g.In[1:] {
+			for _, in := range ins[1:] {
 				v = v.Or(vals[in])
 			}
 		case netlist.Nor:
-			for _, in := range g.In[1:] {
+			for _, in := range ins[1:] {
 				v = v.Or(vals[in])
 			}
 			v = v.Not()
 		case netlist.Xor:
-			for _, in := range g.In[1:] {
+			for _, in := range ins[1:] {
 				v = v.Xor(vals[in])
 			}
 		case netlist.Xnor:
-			for _, in := range g.In[1:] {
+			for _, in := range ins[1:] {
 				v = v.Xor(vals[in])
 			}
 			v = v.Not()
 		}
-		vals[g.Out] = v
+		vals[csr.Out[gi]] = v
 	}
 	for i, sig := range c.POs {
 		po[i] = vals[sig]

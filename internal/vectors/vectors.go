@@ -114,6 +114,15 @@ func (v Vector) ShiftLeftCircular() Vector {
 // values drawn from rng.
 func Random(rng *xrand.RNG, width int) Vector {
 	v := make(Vector, width)
+	FillRandom(rng, v)
+	return v
+}
+
+// FillRandom fills v in place with uniformly random binary values drawn
+// from rng. It consumes exactly the same random stream as Random, so
+// callers that reuse buffers (the ATPG candidate pool) generate
+// bit-identical sequences to the allocating path.
+func FillRandom(rng *xrand.RNG, v Vector) {
 	for i := range v {
 		if rng.Bool() {
 			v[i] = logic.One
@@ -121,7 +130,6 @@ func Random(rng *xrand.RNG, width int) Vector {
 			v[i] = logic.Zero
 		}
 	}
-	return v
 }
 
 // Sequence is an ordered list of vectors applied at consecutive time

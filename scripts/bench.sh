@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench.sh — run the fault-simulation micro-benchmarks (the
+# BenchmarkTable-class suite the active-region engine is measured by) with
+# -benchmem, and optionally emit the parsed numbers as JSON.
+#
+# Usage:
+#   scripts/bench.sh                     # full suite, 3 iterations each
+#   scripts/bench.sh -short              # CI subset, 1 iteration each
+#   scripts/bench.sh -benchtime 10x      # more iterations
+#   scripts/bench.sh -out bench.json     # also write parsed JSON
+#
+# BENCH_3.json in the repository root was produced from two runs of this
+# suite — one at the pre-active-region baseline commit, one after — and
+# records the speedups per benchmark.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH='Table2S27|FaultSimSharded|FaultSimLarge|FaultSimEvaluate|FaultSimSingle'
+COUNT=3x
+OUT=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        -short)
+            BENCH='Table2S27|FaultSimLarge/s1423|FaultSimEvaluate/s1423|FaultSimSingle/s1423'
+            COUNT=1x
+            ;;
+        -benchtime)
+            COUNT=$2
+            shift
+            ;;
+        -out)
+            OUT=$2
+            shift
+            ;;
+        *)
+            echo "usage: scripts/bench.sh [-short] [-benchtime Nx] [-out file.json]" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+TXT=$(mktemp)
+trap 'rm -f "$TXT"' EXIT
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$COUNT" . | tee "$TXT"
+
+if [ -n "$OUT" ]; then
+    awk -v benchtime="$COUNT" '
+    /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "ns/op") ns = $i
+            if ($(i+1) == "B/op") bytes = $i
+            if ($(i+1) == "allocs/op") allocs = $i
+        }
+        if (ns == "") next
+        if (n++) body = body ",\n"
+        body = body sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                            name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    }
+    END {
+        printf "{\n  \"benchtime\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": {\n%s\n  }\n}\n",
+               benchtime, cpu, body
+    }' "$TXT" > "$OUT"
+    echo "wrote $OUT" >&2
+fi
