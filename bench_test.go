@@ -83,12 +83,17 @@ func BenchmarkTable2S27(b *testing.B) {
 	fl := faults.CollapsedUniverse(c)
 	t0 := experiments.S27T0()
 	b.ReportAllocs()
+	var det int
 	for i := 0; i < b.N; i++ {
 		res := fsim.Run(c, fl, t0)
 		if res.NumDetected != 32 {
 			b.Fatalf("detected %d", res.NumDetected)
 		}
+		det = res.NumDetected
 	}
+	// The detection count is deterministic; CI diffs it against the
+	// committed counts in BENCH_3.json (scripts/bench_check.sh).
+	b.ReportMetric(float64(det), "detected")
 }
 
 // Table 3: the full per-circuit pipeline (Procedure 1 + §3.2) on a
@@ -461,9 +466,11 @@ func BenchmarkFaultSimSharded(b *testing.B) {
 	for _, workers := range counts {
 		b.Run(benchName("workers", workers), func(b *testing.B) {
 			b.ReportMetric(float64((len(fl)+63)/64), "fault_groups")
+			var det int
 			for i := 0; i < b.N; i++ {
-				fsim.RunParallel(c, fl, seq, workers)
+				det = fsim.RunParallel(c, fl, seq, workers).NumDetected
 			}
+			b.ReportMetric(float64(det), "detected")
 		})
 	}
 }
@@ -666,9 +673,11 @@ func BenchmarkFaultSimLarge(b *testing.B) {
 		seq := vectors.RandomSequence(xrand.New(1), c.NumPIs(), 200)
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
+			var det int
 			for i := 0; i < b.N; i++ {
-				fsim.RunParallel(c, fl, seq, 1)
+				det = fsim.RunParallel(c, fl, seq, 1).NumDetected
 			}
+			b.ReportMetric(float64(det), "detected")
 		})
 	}
 }
@@ -686,9 +695,12 @@ func BenchmarkFaultSimEvaluate(b *testing.B) {
 		cand := vectors.RandomSequence(xrand.New(3), c.NumPIs(), 32)
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
+			var det int
 			for i := 0; i < b.N; i++ {
-				inc.Evaluate(cand)
+				newly, _ := inc.Evaluate(cand)
+				det = len(newly)
 			}
+			b.ReportMetric(float64(det), "detected")
 		})
 	}
 }
@@ -705,9 +717,15 @@ func BenchmarkFaultSimSingle(b *testing.B) {
 		single := fsim.NewSingle(c)
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
+			det := 0
 			for i := 0; i < b.N; i++ {
-				single.Detects(f, seq)
+				if ok, _ := single.Detects(f, seq); ok {
+					det = 1
+				} else {
+					det = 0
+				}
 			}
+			b.ReportMetric(float64(det), "detected")
 		})
 	}
 }

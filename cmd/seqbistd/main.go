@@ -28,6 +28,7 @@ import (
 
 	"seqbist/internal/bench"
 	"seqbist/internal/service"
+	"seqbist/internal/store"
 )
 
 func main() {
@@ -39,17 +40,29 @@ func main() {
 	maxSweep := flag.Int("max-sweep-members", 0, "max circuits per sweep (0 = default 64)")
 	maxBench := flag.Int64("max-bench-bytes", 0, "uploaded .bench size cap in bytes (0 = default 1 MiB, negative = unlimited)")
 	maxSignals := flag.Int("max-bench-signals", 0, "uploaded netlist signal cap (0 = default 250k, negative = unlimited)")
+	dataDir := flag.String("data-dir", "", "persistence directory: jobs, sweeps, event logs, and results survive restarts and crashes (empty = in-memory only)")
+	fsync := flag.Bool("fsync", true, "with -data-dir, fsync the record log after every write (survives power loss; -fsync=false trades that for lower write latency and still survives SIGKILL)")
 	flag.Parse()
 
-	err := service.Serve(*addr, service.Config{
+	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheSize:       *cacheSize,
 		SimParallelism:  *simWorkers,
 		MaxSweepMembers: *maxSweep,
 		BenchLimits:     benchLimits(*maxBench, *maxSignals),
-	})
-	if err != nil {
+	}
+	if *dataDir != "" {
+		st, err := store.Open(store.Options{Dir: *dataDir, Fsync: *fsync})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbistd: opening -data-dir: %v\n", err)
+			os.Exit(1)
+		}
+		// The service owns the store and flushes it on graceful
+		// shutdown, after the worker pool drains.
+		cfg.Store = st
+	}
+	if err := service.Serve(*addr, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "seqbistd: %v\n", err)
 		os.Exit(1)
 	}

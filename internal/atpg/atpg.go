@@ -272,4 +272,3 @@ func (cp *candPool) holdCandidate(rng *xrand.RNG, buf vectors.Sequence) {
 		}
 	}
 }
-

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSweepTableRehydration pins the property the service's crash
+// recovery relies on: a sweep summary persists its rows only, and the
+// markdown table is re-rendered from them after a JSON round trip
+// through the store — so SweepTable must be deterministic and stable
+// under serialization, or a restarted daemon would disagree with the
+// summary it streamed before the crash.
+func TestSweepTableRehydration(t *testing.T) {
+	rows := []SweepRow{
+		{
+			Circuit: "s27", NumFaults: 32, Detected: 32, Coverage: 1,
+			T0Len: 14, N: 2, NumSequences: 3, TotalLen: 9, MaxLen: 5,
+			TestLen: 144, MemoryBits: 27, HardwareCost: "27b ROM",
+		},
+		{
+			Circuit: "s298", NumFaults: 308, Detected: 265,
+			Coverage: 265.0 / 308.0, T0Len: 120, N: 8, NumSequences: 11,
+			TotalLen: 63, MaxLen: 17, TestLen: 4032, MemoryBits: 189,
+			HardwareCost: "189b ROM",
+		},
+		// A zero-|T0| row exercises the ratio fallback branch.
+		{Circuit: "upload", NumFaults: 10, Detected: 0, N: 4},
+	}
+	first := SweepTable(rows)
+	if first == "" {
+		t.Fatal("empty table")
+	}
+	if second := SweepTable(rows); second != first {
+		t.Fatalf("SweepTable not deterministic:\n%q\n%q", first, second)
+	}
+
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []SweepRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if rehydrated := SweepTable(back); rehydrated != first {
+		t.Fatalf("rehydrated rendering differs:\n%q\n%q", first, rehydrated)
+	}
+}

@@ -13,6 +13,11 @@ type resultCache struct {
 	ll    *list.List
 	items map[string]*list.Element
 
+	// onEvict, when non-nil, observes each key leaving the cache via
+	// LRU eviction (the persistence layer uses it for result
+	// reference counting). Called under the Service mutex.
+	onEvict func(key string)
+
 	hits, misses int64
 }
 
@@ -35,21 +40,28 @@ func (c *resultCache) get(key string) (*Result, bool) {
 	return nil, false
 }
 
-func (c *resultCache) put(key string, res *Result) {
+// put inserts or refreshes an entry and reports whether key is newly
+// cached (false on overwrite or when caching is disabled).
+func (c *resultCache) put(key string, res *Result) bool {
 	if c.max <= 0 {
-		return
+		return false
 	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).res = res
-		return
+		return false
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		evicted := oldest.Value.(*cacheEntry).key
+		delete(c.items, evicted)
+		if c.onEvict != nil {
+			c.onEvict(evicted)
+		}
 	}
+	return true
 }
 
 func (c *resultCache) len() int { return c.ll.Len() }

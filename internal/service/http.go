@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"net/http"
+	"strconv"
 )
 
 // NewHandler exposes svc over an HTTP JSON API (see API.md for schemas
@@ -145,9 +146,21 @@ func NewHandler(svc *Service) http.Handler {
 // JSON event per line, application/x-ndjson), replaying history first and
 // then following live until the sweep is terminal or the client goes
 // away. Events are flushed per batch, so a curl reader sees per-circuit
-// progress as it happens.
+// progress as it happens. The optional ?seq=N query parameter starts
+// the replay at event N instead of 0, so a client that recorded the
+// last seq it saw resumes exactly where it left off — including across
+// a daemon restart, since the event log is replayed from the store.
 func streamSweepEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	next := 0
+	if v := r.URL.Query().Get("seq"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid seq: "+v)
+			return
+		}
+		next = n
+	}
 	// Probe existence before committing to the stream content type; the
 	// past-the-end seq keeps the probe from copying the event log.
 	if _, _, _, err := svc.SweepEvents(id, math.MaxInt); err != nil {
@@ -159,8 +172,6 @@ func streamSweepEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-
-	next := 0
 	for {
 		events, wake, done, err := svc.SweepEvents(id, next)
 		if err != nil {

@@ -175,12 +175,27 @@ func (ex *execution) detach(j *job) {
 // job is the internal mutable record. All fields below exec are guarded
 // by the Service mutex.
 type job struct {
-	id   string
-	key  string
-	spec JobSpec
-	cfg  GenConfig // normalized
-	c    *netlist.Circuit
-	t0   vectors.Sequence
+	id      string
+	seq     int64 // numeric suffix of id, mirrored into the store
+	key     string
+	spec    JobSpec
+	cfg     GenConfig // normalized
+	circuit string    // resolved circuit name (survives without c)
+	c       *netlist.Circuit
+	t0      vectors.Sequence
+
+	// sweepID and member link a sweep-member job to its sweep (member
+	// is the index; -1 otherwise), so a restarted daemon can rewire the
+	// sweep's lifecycle hooks from the persisted records.
+	sweepID string
+	member  int
+	// orphaned marks a job that was queued or running when a previous
+	// process crashed and was re-enqueued at recovery.
+	orphaned bool
+	// specPersisted flips once the store holds the job's (immutable)
+	// spec, so later state transitions write records without re-carrying
+	// a possibly-megabyte uploaded netlist.
+	specPersisted bool
 
 	exec *execution // the run this job observes; nil for cache hits
 
@@ -223,7 +238,7 @@ func (j *job) status() Status {
 	st := Status{
 		ID:          j.id,
 		State:       j.state,
-		Circuit:     j.c.Name,
+		Circuit:     j.circuit,
 		CacheHit:    j.cacheHit,
 		SubmittedAt: j.submitted,
 	}

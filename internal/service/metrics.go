@@ -24,6 +24,16 @@ type Metrics struct {
 	sweepsStarted  atomic.Int64
 	sweepsFinished atomic.Int64
 
+	// Persistence counters, all zero without a configured store.
+	// jobsRecovered / sweepsRecovered count records replayed at startup;
+	// orphansRequeued counts jobs that were queued or running at crash
+	// time and were put back on the queue; storeErrors counts store
+	// writes that failed (the in-memory state stays authoritative).
+	jobsRecovered   atomic.Int64
+	sweepsRecovered atomic.Int64
+	orphansRequeued atomic.Int64
+	storeErrors     atomic.Int64
+
 	// proc2Sims counts Procedure 2 expanded-sequence fault simulations
 	// (the dominant cost of the pipeline, Result.Sims summed over jobs).
 	proc2Sims atomic.Int64
@@ -94,12 +104,44 @@ type MetricsSnapshot struct {
 		GatesSkipped    int64 `json:"gates_skipped"`
 		GroupsQuiescent int64 `json:"groups_quiescent"`
 	} `json:"fsim"`
+	// Store reports the persistence layer; omitted when the daemon runs
+	// without a data directory.
+	Store *StoreSnapshot `json:"store,omitempty"`
 	// PhaseSeconds is cumulative wall time per pipeline stage across all
 	// jobs (parallel workers sum, so this can exceed elapsed real time).
 	PhaseSeconds map[string]float64 `json:"phase_seconds"`
 	Workers      int                `json:"workers"`
 	QueueDepth   int                `json:"queue_depth"`
 	QueueLen     int                `json:"queue_len"`
+}
+
+// StoreSnapshot is the "store" section of GET /metrics: the durable
+// layer's write/compaction counters plus this process's recovery
+// outcome.
+type StoreSnapshot struct {
+	// RecordsWritten counts record appends since the store opened.
+	RecordsWritten int64 `json:"records_written"`
+	// BytesOnDisk is the current footprint: log + snapshot + spilled
+	// result files.
+	BytesOnDisk int64 `json:"bytes_on_disk"`
+	// Compactions counts snapshot compactions; LastCompaction is the
+	// RFC 3339 time of the most recent one (empty if none yet).
+	Compactions    int64  `json:"compactions"`
+	LastCompaction string `json:"last_compaction,omitempty"`
+	// RecordsReplayed counts records rehydrated at startup;
+	// TruncatedTail reports that a torn record was discarded from the
+	// log tail (expected after a crash mid-write).
+	RecordsReplayed int64 `json:"records_replayed"`
+	TruncatedTail   bool  `json:"truncated_tail,omitempty"`
+	// JobsRecovered / SweepsRecovered count records rebuilt into live
+	// service state at startup; OrphansRequeued counts jobs that were
+	// queued or running at crash time and were re-enqueued.
+	JobsRecovered   int64 `json:"jobs_recovered"`
+	SweepsRecovered int64 `json:"sweeps_recovered"`
+	OrphansRequeued int64 `json:"orphans_requeued"`
+	// WriteErrors counts store writes that failed; the daemon keeps
+	// serving from memory, but durability is degraded.
+	WriteErrors int64 `json:"write_errors"`
 }
 
 // Metrics snapshots the service's counters and gauges.
@@ -124,6 +166,24 @@ func (s *Service) Metrics() MetricsSnapshot {
 		"select":  time.Duration(m.phaseSelect.Load()).Seconds(),
 		"compact": time.Duration(m.phaseCompact.Load()).Seconds(),
 		"bist":    time.Duration(m.phaseBIST.Load()).Seconds(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		ss := &StoreSnapshot{
+			RecordsWritten:  st.RecordsWritten,
+			BytesOnDisk:     st.BytesOnDisk,
+			Compactions:     st.Compactions,
+			RecordsReplayed: st.RecordsReplayed,
+			TruncatedTail:   st.TruncatedTail,
+			JobsRecovered:   m.jobsRecovered.Load(),
+			SweepsRecovered: m.sweepsRecovered.Load(),
+			OrphansRequeued: m.orphansRequeued.Load(),
+			WriteErrors:     m.storeErrors.Load(),
+		}
+		if !st.LastCompaction.IsZero() {
+			ss.LastCompaction = st.LastCompaction.UTC().Format(time.RFC3339)
+		}
+		snap.Store = ss
 	}
 
 	s.mu.Lock()

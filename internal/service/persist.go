@@ -1,0 +1,598 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"seqbist/internal/bench"
+	"seqbist/internal/experiments"
+	"seqbist/internal/netlist"
+	"seqbist/internal/store"
+	"seqbist/internal/vectors"
+)
+
+// This file is the bridge between the Service's in-memory state and its
+// optional store.Store: every durable transition is mirrored into the
+// store as it commits (the persist* helpers, all called under s.mu and
+// all no-ops without a store), and recover replays the store's state at
+// startup — rebuilding job and sweep records, rehydrating the result
+// cache and sweep event logs, and re-enqueueing work the previous
+// process never finished. See DESIGN.md §9.
+
+// resolvedMember is one validated sweep member awaiting fan-out.
+type resolvedMember struct {
+	spec JobSpec
+	c    *netlist.Circuit
+	t0   vectors.Sequence
+}
+
+// storeErr counts (but does not propagate) store write failures: the
+// in-memory state remains authoritative for the running process, and
+// the error surfaces via the store.write_errors metric rather than
+// failing the job that happened to trigger the write.
+func (s *Service) storeErr(err error) {
+	if err != nil {
+		s.metrics.storeErrors.Add(1)
+	}
+}
+
+// incResultRef notes one more live referent (done job record or cache
+// entry) of the stored result body for key. Callers hold s.mu.
+func (s *Service) incResultRef(key string) {
+	if s.store == nil {
+		return
+	}
+	s.resultRefs[key]++
+}
+
+// decResultRef drops one referent and deletes the stored body when the
+// last one is gone. Callers hold s.mu (the cache's onEvict lands here).
+func (s *Service) decResultRef(key string) {
+	if s.store == nil {
+		return
+	}
+	if s.resultRefs[key]--; s.resultRefs[key] <= 0 {
+		delete(s.resultRefs, key)
+		s.storeErr(s.store.DeleteResult(key))
+	}
+}
+
+// dropJobRecord mirrors a retention eviction. Callers hold s.mu.
+func (s *Service) dropJobRecord(j *job) {
+	if s.store == nil {
+		return
+	}
+	s.storeErr(s.store.DeleteJob(j.id))
+	if j.state == StateDone {
+		s.decResultRef(j.key)
+	}
+}
+
+// persistJob upserts j's current state. The immutable spec is sent on
+// the first successful write only; subsequent upserts leave it empty
+// and the store keeps the stored one (mergeJobRecord), so a state
+// transition costs bytes proportional to the state, not to an uploaded
+// netlist. Callers hold s.mu.
+func (s *Service) persistJob(j *job) {
+	if s.store == nil {
+		return
+	}
+	rec := store.JobRecord{
+		ID:        j.id,
+		Seq:       j.seq,
+		Key:       j.key,
+		Circuit:   j.circuit,
+		SweepID:   j.sweepID,
+		Member:    j.member,
+		State:     string(j.state),
+		CacheHit:  j.cacheHit,
+		Orphaned:  j.orphaned,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if !j.specPersisted {
+		spec, err := json.Marshal(j.spec)
+		if err != nil {
+			s.storeErr(err)
+			return
+		}
+		rec.Spec = spec
+	}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	if err := s.store.PutJob(rec); err != nil {
+		s.storeErr(err)
+		return
+	}
+	j.specPersisted = true
+}
+
+// persistSweep upserts sw's record (spec, member snapshot, summary).
+// The summary's markdown is not stored: it is a deterministic rendering
+// of the rows and is rehydrated through experiments.SweepTable at
+// recovery. Callers hold s.mu.
+func (s *Service) persistSweep(sw *sweep) {
+	if s.store == nil {
+		return
+	}
+	rec := store.SweepRecord{
+		ID:       sw.id,
+		Seq:      sw.seq,
+		State:    string(sw.state),
+		Canceled: sw.canceled,
+		Created:  sw.created,
+		Finished: sw.finished,
+	}
+	var err error
+	if rec.Spec, err = json.Marshal(sw.spec); err != nil {
+		s.storeErr(err)
+		return
+	}
+	for i := range sw.members {
+		m := &sw.members[i]
+		rec.Members = append(rec.Members, store.SweepMemberRecord{
+			JobID:    m.jobID,
+			Circuit:  m.status.Circuit,
+			State:    string(m.status.State),
+			CacheHit: m.status.CacheHit,
+			Error:    m.status.Error,
+		})
+	}
+	if sw.summary != nil {
+		sum := *sw.summary
+		sum.Markdown = ""
+		if rec.Summary, err = json.Marshal(&sum); err != nil {
+			s.storeErr(err)
+			return
+		}
+	}
+	s.storeErr(s.store.PutSweep(rec))
+}
+
+// persistSweepEvent appends one event line. Member results are stripped
+// before storage — the body already lives in the result store under the
+// member job's content key — and re-attached at recovery, so replayed
+// NDJSON streams carry the same payloads without duplicating megabyte
+// results into the log. Callers hold s.mu.
+func (s *Service) persistSweepEvent(sw *sweep, ev *SweepEvent) {
+	if s.store == nil {
+		return
+	}
+	e := *ev
+	if e.Member != nil && e.Member.Result != nil {
+		m := *e.Member
+		m.Result = nil
+		e.Member = &m
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		s.storeErr(err)
+		return
+	}
+	s.storeErr(s.store.AppendEvent(store.EventRecord{SweepID: sw.id, Seq: ev.Seq, Data: data}))
+}
+
+// persistResult stores one result body under its content key. Callers
+// hold s.mu.
+func (s *Service) persistResult(key string, res *Result) {
+	if s.store == nil {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		s.storeErr(err)
+		return
+	}
+	s.storeErr(s.store.PutResult(key, data))
+}
+
+// recover replays the store into the Service and returns the executions
+// to pre-load into the queue. It runs from New before any worker
+// starts, so the mutex it takes is uncontended; everything it decides
+// (orphan flags, repaired member statuses, re-submissions) is persisted
+// back, so a crash during recovery replays to the same place.
+//
+// Rules, per record:
+//
+//   - done job + stored result: rebuilt as done, result attached, cache
+//     rehydrated. done job whose result body is missing: re-enqueued
+//     (content-addressing makes re-running safe).
+//   - failed/canceled job: rebuilt terminal.
+//   - queued/running job: the crash orphaned it — marked orphaned and
+//     re-enqueued (or completed instantly when another job's stored
+//     result already covers its content key; or canceled when its
+//     sweep had cancellation requested).
+//   - terminal sweep: rebuilt with its event log and summary (markdown
+//     rehydrated via experiments.SweepTable).
+//   - running sweep: member statuses are repaired from the fresher job
+//     records, lifecycle hooks are rewired onto re-enqueued member
+//     jobs, members that never reached the queue are re-submitted from
+//     the persisted sweep spec, and the sweep finalizes normally once
+//     the re-run members land.
+func (s *Service) recover() []*execution {
+	if s.store == nil {
+		return nil
+	}
+	st, err := s.store.Load()
+	if err != nil {
+		s.storeErr(err)
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rc := &recovery{s: s, results: make(map[string]*Result), execByKey: make(map[string]*execution)}
+
+	// Sweeps first, so member jobs can link to them.
+	for i := range st.Sweeps {
+		rec := &st.Sweeps[i]
+		if rec.Seq > s.sweepSeq {
+			s.sweepSeq = rec.Seq
+		}
+		sw := &sweep{
+			id:       rec.ID,
+			seq:      rec.Seq,
+			created:  rec.Created,
+			finished: rec.Finished,
+			state:    State(rec.State),
+			canceled: rec.Canceled,
+			wake:     make(chan struct{}),
+		}
+		// Best effort: a spec that no longer unmarshals only disables
+		// lost-member re-submission.
+		_ = json.Unmarshal(rec.Spec, &sw.spec)
+		if rec.Summary != nil {
+			var sum SweepSummary
+			if json.Unmarshal(rec.Summary, &sum) == nil {
+				sum.Markdown = experiments.SweepTable(sum.Rows)
+				sw.summary = &sum
+			}
+		}
+		for mi, m := range rec.Members {
+			sw.members = append(sw.members, sweepMember{
+				index: mi,
+				jobID: m.JobID,
+				status: Status{
+					ID: m.JobID, State: State(m.State), Circuit: m.Circuit,
+					CacheHit: m.CacheHit, Error: m.Error,
+				},
+			})
+		}
+		for _, er := range st.Events[rec.ID] {
+			var ev SweepEvent
+			if json.Unmarshal(er.Data, &ev) != nil {
+				continue
+			}
+			sw.events = append(sw.events, ev)
+		}
+		s.sweeps[sw.id] = sw
+		s.sweepOrder = append(s.sweepOrder, sw.id)
+		s.metrics.sweepsRecovered.Add(1)
+	}
+
+	// Jobs in submission order; orphans collected for re-enqueueing.
+	var orphans []*job
+	memberJob := make(map[string]map[int]*job)
+	for i := range st.Jobs {
+		rec := &st.Jobs[i]
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			s.storeErr(err)
+			continue
+		}
+		j := &job{
+			id:        rec.ID,
+			seq:       rec.Seq,
+			key:       rec.Key,
+			spec:      spec,
+			cfg:       spec.Config.withDefaults(s.cfg.SimParallelism),
+			circuit:   rec.Circuit,
+			sweepID:   rec.SweepID,
+			member:    rec.Member,
+			orphaned:  rec.Orphaned,
+			submitted: rec.Submitted,
+			started:   rec.Started,
+			finished:  rec.Finished,
+			// The replayed record carries the spec already.
+			specPersisted: true,
+		}
+		switch state := State(rec.State); state {
+		case StateDone:
+			if res := rc.result(rec.Key); res != nil {
+				j.state = StateDone
+				j.cacheHit = rec.CacheHit
+				j.result = res
+				s.incResultRef(j.key)
+			} else {
+				orphans = append(orphans, j)
+			}
+		case StateFailed, StateCanceled:
+			j.state = state
+			if rec.Error != "" {
+				j.err = errors.New(rec.Error)
+			}
+		default:
+			orphans = append(orphans, j)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if j.sweepID != "" && j.member >= 0 {
+			mm := memberJob[j.sweepID]
+			if mm == nil {
+				mm = make(map[int]*job)
+				memberJob[j.sweepID] = mm
+			}
+			mm[j.member] = j
+		}
+		s.metrics.jobsRecovered.Add(1)
+	}
+
+	// Re-enqueue orphans, coalescing identical content keys onto one
+	// execution exactly as live submissions would.
+	requeue := func(j *job) {
+		j.orphaned = true
+		j.err = nil
+		j.started = time.Time{}
+		j.finished = time.Time{}
+		if rc.tryComplete(j) {
+			return
+		}
+		// Re-resolve without upload limits: the spec was validated
+		// under the limits in force when it was first accepted.
+		c, err := resolveCircuit(j.spec, bench.Limits{})
+		if err == nil {
+			var t0 vectors.Sequence
+			if t0, err = resolveT0(j.spec, c); err == nil {
+				rc.enqueue(j, c, t0)
+				return
+			}
+		}
+		j.state = StateFailed
+		j.err = fmt.Errorf("recovery: %v", err)
+		j.finished = time.Now()
+		s.persistJob(j)
+	}
+	for _, j := range orphans {
+		if sw := s.sweeps[j.sweepID]; sw != nil && sw.canceled {
+			// Cancellation was requested before the crash: honor it
+			// instead of resurrecting the work.
+			j.state = StateCanceled
+			j.err = context.Canceled
+			if j.finished.IsZero() {
+				j.finished = time.Now()
+			}
+			s.persistJob(j)
+			continue
+		}
+		requeue(j)
+	}
+
+	// Repair the sweeps: overlay the fresher job-record state onto each
+	// member, re-attach lifecycle hooks, re-submit members lost before
+	// their first enqueue, and re-attach stripped event results.
+	for _, id := range s.sweepOrder {
+		sw := s.sweeps[id]
+		if !sw.state.Terminal() {
+			s.repairSweep(rc, sw, memberJob[sw.id])
+		}
+		for i := range sw.members {
+			m := &sw.members[i]
+			if m.status.State == StateDone && m.result == nil {
+				if j := s.jobs[m.jobID]; j != nil {
+					m.result = j.result
+				}
+			}
+		}
+		for ei := range sw.events {
+			ev := &sw.events[ei]
+			if ev.Type == "member_update" && ev.Member != nil &&
+				ev.Member.State == StateDone && ev.Member.Result == nil {
+				if j := s.jobs[ev.Member.JobID]; j != nil {
+					ev.Member.Result = j.result
+				}
+			}
+		}
+	}
+
+	// Rehydrate the result cache oldest-first, so LRU order ends up
+	// freshest-last like the process that crashed.
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.state == StateDone && j.result != nil {
+			if s.cache.put(j.key, j.result) {
+				s.incResultRef(j.key)
+			}
+		}
+	}
+	return rc.execs
+}
+
+// recovery is the shared state of one recover pass: the memoized result
+// fetches and the executions being assembled for the queue. Its enqueue
+// and tryComplete helpers are the single implementation of the
+// coalesce/create/instant-complete logic every recovered job goes
+// through, so recovery cannot drift from live submission behavior.
+type recovery struct {
+	s         *Service
+	results   map[string]*Result
+	execByKey map[string]*execution
+	execs     []*execution
+}
+
+// result fetches and memoizes one stored result body (nil when absent
+// or unreadable).
+func (rc *recovery) result(key string) *Result {
+	if res, ok := rc.results[key]; ok {
+		return res
+	}
+	var res *Result
+	if data, ok, err := rc.s.store.Result(key); err != nil {
+		rc.s.storeErr(err)
+	} else if ok {
+		var r Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			rc.s.storeErr(err)
+		} else {
+			res = &r
+		}
+	}
+	rc.results[key] = res
+	return res
+}
+
+// tryComplete finishes j instantly when a stored result already covers
+// its content key (re-running would reproduce it bit-for-bit anyway)
+// and reports whether it did.
+func (rc *recovery) tryComplete(j *job) bool {
+	res := rc.result(j.key)
+	if res == nil {
+		return false
+	}
+	j.state = StateDone
+	j.cacheHit = true
+	j.result = res
+	j.finished = time.Now()
+	j.onRunning, j.onTerminal = nil, nil
+	rc.s.incResultRef(j.key)
+	rc.s.persistJob(j)
+	return true
+}
+
+// enqueue attaches j to the in-flight execution for its content key,
+// creating one (with the resolved circuit and T0) when this is the
+// key's first job.
+func (rc *recovery) enqueue(j *job, c *netlist.Circuit, t0 vectors.Sequence) {
+	s := rc.s
+	j.state = StateQueued
+	if ex := rc.execByKey[j.key]; ex != nil {
+		j.exec = ex
+		ex.jobs = append(ex.jobs, j)
+	} else {
+		ex := &execution{key: j.key, c: c, t0: t0, cfg: j.cfg}
+		ex.ctx, ex.cancel = context.WithCancel(s.rootCtx)
+		ex.jobs = []*job{j}
+		j.exec = ex
+		rc.execByKey[j.key] = ex
+		rc.execs = append(rc.execs, ex)
+		s.inflight[j.key] = ex
+	}
+	s.persistJob(j)
+	s.metrics.orphansRequeued.Add(1)
+}
+
+// repairSweep reconciles one non-terminal sweep with the recovered job
+// records and queues whatever work is still missing. Callers hold s.mu.
+func (s *Service) repairSweep(rc *recovery, sw *sweep, memberJob map[int]*job) {
+	sw.pending = 0
+	dirty := false
+	for i := range sw.members {
+		m := &sw.members[i]
+		j := memberJob[i]
+		if j == nil && m.jobID != "" {
+			j = s.jobs[m.jobID]
+		}
+		if j != nil {
+			m.jobID = j.id
+			wasTerminal := m.status.State.Terminal()
+			m.status = j.status()
+			if j.state == StateDone {
+				m.result = j.result
+			}
+			if j.state.Terminal() {
+				if !wasTerminal {
+					// The job finished but the crash ate the member
+					// update: emit it now so streams converge.
+					ms := sw.memberStatus(i, true)
+					s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
+					dirty = true
+				}
+				continue
+			}
+			idx := i
+			j.onRunning = func(running Status) { s.memberRunning(sw, idx, running) }
+			j.onTerminal = func(final Status, res *Result) { s.memberTerminal(sw, idx, final, res) }
+			sw.pending++
+			continue
+		}
+		if m.status.State.Terminal() {
+			continue // e.g. a queue-full failure recorded without a job
+		}
+		// No job record at all: the crash hit between sweep registration
+		// and this member's enqueue. Re-submit from the persisted spec.
+		if i < len(sw.spec.Circuits) {
+			if j := s.resubmitLostMember(rc, sw, i); j != nil {
+				m.jobID = j.id
+				m.status = j.status()
+				if j.state.Terminal() { // instant completion off a stored result
+					if j.state == StateDone {
+						m.result = j.result
+					}
+					ms := sw.memberStatus(i, true)
+					s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
+					dirty = true
+					continue
+				}
+				sw.pending++
+				continue
+			}
+		}
+		m.status.State = StateFailed
+		m.status.Error = "recovery: member lost before enqueue and sweep spec unavailable"
+		ms := sw.memberStatus(i, false)
+		s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
+		dirty = true
+	}
+	if dirty {
+		s.persistSweep(sw)
+	}
+	s.finalizeSweepLocked(sw) // no-op while members remain pending
+}
+
+// resubmitLostMember builds a fresh job for sweep member i from the
+// persisted sweep spec and queues it through the shared recovery path
+// (instant completion off a stored result, or coalescing by content key
+// with the other recovered executions). Returns nil when the member
+// spec no longer resolves. Callers hold s.mu.
+func (s *Service) resubmitLostMember(rc *recovery, sw *sweep, i int) *job {
+	ref := sw.spec.Circuits[i]
+	spec := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: sw.spec.Config}
+	c, err := resolveCircuit(spec, bench.Limits{})
+	if err != nil {
+		return nil
+	}
+	t0, err := resolveT0(spec, c)
+	if err != nil {
+		return nil
+	}
+	cfg := spec.Config.withDefaults(s.cfg.SimParallelism)
+	s.seq++
+	idx := i
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		seq:       s.seq,
+		key:       contentKey(c, spec.T0, cfg),
+		spec:      spec,
+		cfg:       cfg,
+		circuit:   c.Name,
+		sweepID:   sw.id,
+		member:    i,
+		orphaned:  true,
+		submitted: time.Now(),
+		onRunning: func(running Status) { s.memberRunning(sw, idx, running) },
+		onTerminal: func(final Status, res *Result) {
+			s.memberTerminal(sw, idx, final, res)
+		},
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if !rc.tryComplete(j) {
+		rc.enqueue(j, c, t0)
+	}
+	return j
+}

@@ -37,6 +37,7 @@ import (
 
 	"seqbist/internal/bench"
 	"seqbist/internal/netlist"
+	"seqbist/internal/store"
 	"seqbist/internal/vectors"
 )
 
@@ -80,6 +81,15 @@ type Config struct {
 	// BenchLimits bounds uploaded .bench netlists (default
 	// bench.UploadLimits; negative fields disable the respective limit).
 	BenchLimits bench.Limits
+	// Store, when non-nil, makes every piece of job, sweep, event-log,
+	// and result-cache state durable: each transition is mirrored into
+	// the store, and New replays the store's state — re-enqueueing jobs
+	// that were queued or running when the previous process died — so a
+	// restart resumes exactly where the crash left off (see DESIGN.md
+	// §9). The Service takes ownership and closes the store after the
+	// worker pool drains. Nil (the default) keeps the pre-store,
+	// process-memory-only behavior.
+	Store store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +134,8 @@ type Service struct {
 
 	metrics Metrics
 
+	store store.Store // nil = no persistence
+
 	mu         sync.Mutex
 	jobs       map[string]*job
 	order      []string // submission order, for listing
@@ -134,22 +146,44 @@ type Service struct {
 	sweepOrder []string // creation order, for listing and eviction
 	sweepSeq   int64
 	closed     bool
+
+	// resultRefs counts, per content key, the live referents of a
+	// stored result body: done job records plus cache entries. When the
+	// last referent disappears (retention or LRU eviction) the body is
+	// deleted from the store. Maintained only when store is non-nil.
+	resultRefs map[string]int
 }
 
-// New starts a service with cfg's worker pool running.
+// New starts a service with cfg's worker pool running. When cfg.Store
+// is set, the store's state is replayed first: terminal jobs, sweeps,
+// event logs, and cached results reappear, and jobs that were queued or
+// running when the previous process died are re-enqueued (marked
+// orphaned) before the workers start — re-running is safe because
+// results are content-addressed and coalescing dedups observers.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
-		queue:      make(chan *execution, cfg.QueueDepth),
+		store:      cfg.Store,
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*execution),
 		sweeps:     make(map[string]*sweep),
 		cache:      newResultCache(cfg.CacheSize),
+		resultRefs: make(map[string]int),
 	}
+	s.cache.onEvict = s.decResultRef
+	// Recovery may enlarge the queue so every re-enqueued execution
+	// fits ahead of new submissions; it needs no locking because the
+	// workers have not started.
+	recovered := s.recover()
+	queue := make(chan *execution, cfg.QueueDepth+len(recovered))
+	for _, ex := range recovered {
+		queue <- ex
+	}
+	s.queue = queue
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -170,7 +204,7 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	if err != nil {
 		return Status{}, fmt.Errorf("invalid job: %w", err)
 	}
-	return s.submitJob(c, t0, spec, nil, nil)
+	return s.submitJob(c, t0, spec, "", -1, nil, nil)
 }
 
 // submitJob registers and enqueues one pre-resolved job with the given
@@ -182,7 +216,7 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 // the same content key is already queued or running, the new job attaches
 // to it (in-flight coalescing) and shares its lifecycle and result; the
 // coalesced counter in GET /metrics counts these attachments.
-func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpec, onRunning func(Status), onTerminal func(Status, *Result)) (Status, error) {
+func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpec, sweepID string, member int, onRunning func(Status), onTerminal func(Status, *Result)) (Status, error) {
 	cfg := spec.Config.withDefaults(s.cfg.SimParallelism)
 	key := contentKey(c, spec.T0, cfg)
 
@@ -194,11 +228,15 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 	s.seq++
 	j := &job{
 		id:         fmt.Sprintf("job-%06d", s.seq),
+		seq:        s.seq,
 		key:        key,
 		spec:       spec,
 		cfg:        cfg,
+		circuit:    c.Name,
 		c:          c,
 		t0:         t0,
+		sweepID:    sweepID,
+		member:     member,
 		onRunning:  onRunning,
 		onTerminal: onTerminal,
 		submitted:  time.Now(),
@@ -208,6 +246,14 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		j.cacheHit = true
 		j.result = res
 		j.finished = j.submitted
+		// The cache entry keeps the result body alive in the store, so a
+		// cache-hit job only adds its own reference — and it must do so
+		// *before* register, whose retention pass may evict this very job
+		// (terminal on arrival) and release the reference again; the
+		// other order would drop the refcount below the cache entry's
+		// claim and delete the stored body out from under it.
+		s.incResultRef(key)
+		s.persistJob(j)
 		s.register(j)
 		st := j.status()
 		s.mu.Unlock()
@@ -231,6 +277,7 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		}
 		ex.jobs = append(ex.jobs, j)
 		s.register(j)
+		s.persistJob(j)
 		st := j.status()
 		s.mu.Unlock()
 		s.metrics.jobsSubmitted.Add(1)
@@ -254,6 +301,7 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 	}
 	s.inflight[key] = ex
 	s.register(j)
+	s.persistJob(j)
 	st := j.status()
 	s.mu.Unlock()
 	s.metrics.jobsSubmitted.Add(1)
@@ -273,6 +321,7 @@ func (s *Service) register(j *job) {
 	kept := s.order[:0]
 	for _, id := range s.order {
 		if over > 0 && s.jobs[id].state.Terminal() {
+			s.dropJobRecord(s.jobs[id])
 			delete(s.jobs, id)
 			over--
 			continue
@@ -351,6 +400,7 @@ func (s *Service) Cancel(id string) (Status, error) {
 				s.dropInflight(ex)
 			}
 		}
+		s.persistJob(j)
 	}
 	st := j.status()
 	s.mu.Unlock()
@@ -398,8 +448,10 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// Close stops accepting jobs, cancels everything in flight, and waits for
-// the workers to drain.
+// Close stops accepting jobs, cancels everything in flight, waits for
+// the workers to drain, and flushes and closes the store (when one is
+// configured), so every terminal record reaches disk before the daemon
+// exits.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -411,6 +463,9 @@ func (s *Service) Close() {
 	s.rootCancel()
 	close(s.queue)
 	s.wg.Wait()
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 // dropInflight clears ex's coalescing slot, but only while the slot is
@@ -457,6 +512,7 @@ func (s *Service) runExec(ex *execution) {
 	for _, j := range ex.jobs {
 		j.state = StateRunning
 		j.started = started
+		s.persistJob(j)
 		if j.onRunning != nil {
 			runHooks = append(runHooks, j.onRunning)
 			runSts = append(runSts, j.status())
@@ -476,6 +532,15 @@ func (s *Service) runExec(ex *execution) {
 	finished := time.Now()
 	jobs := ex.jobs
 	ex.jobs = nil
+	if ctxErr == nil && err == nil {
+		// The result body lands in the store before any job record that
+		// references it, so replay never sees a done job whose result is
+		// missing (if it somehow does, recovery re-enqueues the job).
+		s.persistResult(ex.key, res)
+		if s.cache.put(ex.key, res) {
+			s.incResultRef(ex.key)
+		}
+	}
 	for _, j := range jobs {
 		j.finished = finished
 		switch {
@@ -488,10 +553,9 @@ func (s *Service) runExec(ex *execution) {
 		default:
 			j.state = StateDone
 			j.result = res
+			s.incResultRef(j.key)
 		}
-	}
-	if ctxErr == nil && err == nil {
-		s.cache.put(ex.key, res)
+		s.persistJob(j)
 	}
 	var hooks []terminalHook
 	for _, j := range jobs {

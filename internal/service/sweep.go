@@ -7,8 +7,6 @@ import (
 	"time"
 
 	"seqbist/internal/experiments"
-	"seqbist/internal/netlist"
-	"seqbist/internal/vectors"
 )
 
 // Sweep-specific errors the API surfaces to clients.
@@ -98,7 +96,11 @@ type SweepEvent struct {
 // readers synchronize through it (sweep state changes are infrequent
 // relative to job work, so one lock is enough).
 type sweep struct {
-	id      string
+	id   string
+	seq  int64     // numeric suffix of id, for counter recovery
+	spec SweepSpec // original request, persisted so a crashed
+	// mid-fan-out sweep can re-submit members that never made it to the
+	// queue
 	created time.Time
 
 	state    State
@@ -159,7 +161,10 @@ func (sw *sweep) snapshot() SweepStatus {
 }
 
 // appendEvent appends to the ordered log and wakes streamers. Callers
-// hold the Service mutex.
+// hold the Service mutex. The Service-level appendSweepEvent wrapper
+// additionally persists the event and the updated sweep record; only
+// recovery (which replays already-persisted events) calls this
+// directly.
 func (sw *sweep) appendEvent(ev SweepEvent) {
 	ev.SweepID = sw.id
 	ev.Seq = len(sw.events)
@@ -167,6 +172,19 @@ func (sw *sweep) appendEvent(ev SweepEvent) {
 	sw.events = append(sw.events, ev)
 	close(sw.wake)
 	sw.wake = make(chan struct{})
+}
+
+// appendSweepEvent appends ev to the sweep's log and mirrors the event
+// into the store, so a restarted daemon replays the exact NDJSON lines
+// a streaming client saw before the crash. The sweep *record* is
+// persisted separately, only when durable fields change (creation,
+// cancellation, members failing without a job record, finalization) —
+// member progress is recovered from the job records instead, so one
+// sweep does not rewrite its spec into the log once per event. Callers
+// hold the Service mutex.
+func (s *Service) appendSweepEvent(sw *sweep, ev SweepEvent) {
+	sw.appendEvent(ev)
+	s.persistSweepEvent(sw, &sw.events[len(sw.events)-1])
 }
 
 // SubmitSweep validates every member of spec up front (so a malformed or
@@ -184,12 +202,7 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 			ErrSweepTooLarge, len(spec.Circuits), s.cfg.MaxSweepMembers)
 	}
 
-	type resolved struct {
-		spec JobSpec
-		c    *netlist.Circuit
-		t0   vectors.Sequence
-	}
-	members := make([]resolved, len(spec.Circuits))
+	members := make([]resolvedMember, len(spec.Circuits))
 	for i, ref := range spec.Circuits {
 		js := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: spec.Config}
 		c, err := resolveCircuit(js, s.cfg.BenchLimits)
@@ -200,7 +213,7 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 		if err != nil {
 			return SweepStatus{}, fmt.Errorf("invalid sweep: member %d: %w", i, err)
 		}
-		members[i] = resolved{spec: js, c: c, t0: t0}
+		members[i] = resolvedMember{spec: js, c: c, t0: t0}
 	}
 
 	s.mu.Lock()
@@ -211,6 +224,8 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 	s.sweepSeq++
 	sw := &sweep{
 		id:      fmt.Sprintf("sweep-%04d", s.sweepSeq),
+		seq:     s.sweepSeq,
+		spec:    spec,
 		created: time.Now(),
 		state:   StateRunning,
 		members: make([]sweepMember, len(members)),
@@ -221,7 +236,8 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 		sw.members[i] = sweepMember{index: i, status: Status{State: StateQueued, Circuit: members[i].c.Name}}
 	}
 	s.registerSweep(sw)
-	sw.appendEvent(SweepEvent{Type: "sweep_started"})
+	s.persistSweep(sw) // the spec lands before any member job record
+	s.appendSweepEvent(sw, SweepEvent{Type: "sweep_started"})
 	s.mu.Unlock()
 	s.metrics.sweepsStarted.Add(1)
 
@@ -235,13 +251,14 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 			sw.members[i].status = Status{State: StateCanceled, Circuit: members[i].c.Name, Error: context.Canceled.Error()}
 			sw.pending--
 			ms := sw.memberStatus(i, false)
-			sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+			s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
+			s.persistSweep(sw) // terminal member without a job record
 			s.finalizeSweepLocked(sw)
 			s.mu.Unlock()
 			continue
 		}
 		s.mu.Unlock()
-		st, err := s.submitJob(members[i].c, members[i].t0, members[i].spec,
+		st, err := s.submitJob(members[i].c, members[i].t0, members[i].spec, sw.id, i,
 			func(running Status) { s.memberRunning(sw, i, running) },
 			func(final Status, res *Result) { s.memberTerminal(sw, i, final, res) })
 		s.mu.Lock()
@@ -251,7 +268,8 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 			sw.members[i].status = Status{State: StateFailed, Circuit: members[i].c.Name, Error: err.Error()}
 			sw.pending--
 			ms := sw.memberStatus(i, false)
-			sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+			s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
+			s.persistSweep(sw) // terminal member without a job record
 			s.finalizeSweepLocked(sw)
 			s.mu.Unlock()
 			continue
@@ -266,7 +284,7 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 		if sw.members[i].status.ID == "" && !st.State.Terminal() {
 			sw.members[i].status = st
 			ms := sw.memberStatus(i, false)
-			sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+			s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
 		}
 		// CancelSweep may have run between submitJob releasing the mutex
 		// and this point: it saw no jobID for this member, so the cancel
@@ -299,7 +317,7 @@ func (s *Service) memberRunning(sw *sweep, i int, running Status) {
 	m.jobID = running.ID
 	m.status = running
 	ms := sw.memberStatus(i, false)
-	sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+	s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
 }
 
 // memberTerminal is the job hook for sweep members: record the final
@@ -316,7 +334,7 @@ func (s *Service) memberTerminal(sw *sweep, i int, final Status, res *Result) {
 	m.result = res
 	sw.pending--
 	ms := sw.memberStatus(i, true)
-	sw.appendEvent(SweepEvent{Type: "member_update", Member: &ms})
+	s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
 	s.finalizeSweepLocked(sw)
 	s.mu.Unlock()
 }
@@ -354,7 +372,8 @@ func (s *Service) finalizeSweepLocked(sw *sweep) {
 	} else {
 		sw.state = StateDone
 	}
-	sw.appendEvent(SweepEvent{Type: "sweep_done", Summary: sum})
+	s.appendSweepEvent(sw, SweepEvent{Type: "sweep_done", Summary: sum})
+	s.persistSweep(sw)
 	s.metrics.sweepsFinished.Add(1)
 }
 
@@ -372,6 +391,9 @@ func (s *Service) registerSweep(sw *sweep) {
 		if over > 0 && s.sweeps[id].state.Terminal() {
 			delete(s.sweeps, id)
 			over--
+			if s.store != nil {
+				s.storeErr(s.store.DeleteSweep(id))
+			}
 			continue
 		}
 		kept = append(kept, id)
@@ -415,6 +437,7 @@ func (s *Service) CancelSweep(id string) (SweepStatus, error) {
 	var cancelIDs []string
 	if !sw.state.Terminal() {
 		sw.canceled = true
+		s.persistSweep(sw) // a recovered sweep must not resurrect canceled members
 		for i := range sw.members {
 			if m := &sw.members[i]; m.jobID != "" && !m.status.State.Terminal() {
 				cancelIDs = append(cancelIDs, m.jobID)

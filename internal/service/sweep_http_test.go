@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -277,4 +279,58 @@ func manySignalsBench(n int) string {
 	}
 	fmt.Fprintf(&sb, "z = BUF(%s)\n", prev)
 	return sb.String()
+}
+
+// TestSweepEventStreamSeqOffset checks the ?seq=N resume parameter: a
+// reconnecting client gets exactly the events it has not seen yet, in
+// order, and a malformed offset is a structured 400.
+func TestSweepEventStreamSeqOffset(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 16, SimParallelism: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+
+	st, err := cl.SubmitSweep(context.Background(), SweepSpec{
+		Circuits: []CircuitRef{{Circuit: "s27"}, {Circuit: "s298"}},
+		Config:   tinyCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSweepTerminal(t, svc, st.ID)
+	all, _, _, err := svc.SweepEvents(st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 3 {
+		t.Fatalf("expected at least 3 events, got %d", len(all))
+	}
+
+	resume := len(all) - 2
+	resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/sweeps/%s/events?seq=%d", ts.URL, st.ID, resume))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<20)
+	n, _ := io.ReadFull(resp.Body, body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimSpace(string(body[:n])), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("resume at %d: expected 2 lines, got %d: %q", resume, len(lines), lines)
+	}
+	var first SweepEvent
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq != resume {
+		t.Fatalf("resumed stream starts at seq %d, want %d", first.Seq, resume)
+	}
+
+	if resp, err := ts.Client().Get(ts.URL + "/v1/sweeps/" + st.ID + "/events?seq=frogs"); err == nil {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad seq: status %d, want 400", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
 }

@@ -1,0 +1,685 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a Disk store.
+type Options struct {
+	// Dir is the data directory (created if missing). Layout:
+	//
+	//	wal.log        write-ahead record log (crc-framed NDJSON)
+	//	snapshot.json  last compaction's full state
+	//	results/       spilled result bodies, one <content-key>.json each
+	Dir string
+	// Fsync, when true (the durable setting), fsyncs the WAL after
+	// every appended record, so an acknowledged state transition
+	// survives an immediate power cut. When false, appends reach the
+	// OS page cache only — a process SIGKILL loses nothing, but a
+	// machine crash may lose the most recent records.
+	Fsync bool
+	// SpillBytes is the result-body size at or above which the body is
+	// written to results/<key>.json instead of inline into the WAL
+	// (default 4096; results for the big ISCAS'89 circuits run to
+	// megabytes and would otherwise dominate the log).
+	SpillBytes int
+	// CompactBytes triggers automatic snapshot compaction when the WAL
+	// grows past this size (default 8 MiB; <0 disables auto-compaction).
+	CompactBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SpillBytes <= 0 {
+		o.SpillBytes = 4096
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 8 << 20
+	}
+	return o
+}
+
+// Disk is the durable Store: every mutation is appended to a checksummed
+// write-ahead log before it is acknowledged, the full state is rewritten
+// as a snapshot when the log grows past Options.CompactBytes, and result
+// bodies at or above Options.SpillBytes live in content-named files.
+// Open replays snapshot + log; a torn record at the log tail (the
+// expected shape of a mid-write crash) is detected by its checksum,
+// discarded, and the log is truncated back to the last intact record.
+type Disk struct {
+	opts Options
+
+	mu       sync.Mutex
+	wal      *os.File
+	walBytes int64
+	nextLSN  int64
+
+	// Mirrors of the durable state, used to serve Load and to write
+	// snapshots. A nil results value marks a body spilled to its file.
+	jobs    map[string]JobRecord
+	sweeps  map[string]SweepRecord
+	events  map[string][]EventRecord
+	results map[string][]byte
+
+	// Incremental footprint accounting, so Stats never has to walk the
+	// spill directory: spillSize tracks each spilled body's bytes,
+	// snapBytes the current snapshot's.
+	spillSize map[string]int64
+	spillSum  int64
+	snapBytes int64
+
+	stats Stats
+}
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.json"
+	resDir   = "results"
+)
+
+// walEntry is one WAL line's payload (the bytes the frame checksums).
+type walEntry struct {
+	LSN  int64           `json:"lsn"`
+	Type string          `json:"t"`
+	Data json.RawMessage `json:"d,omitempty"`
+}
+
+// entry payload shapes for the non-record types.
+type (
+	delPayload struct {
+		ID string `json:"id"`
+	}
+	resultPayload struct {
+		Key  string          `json:"key"`
+		Data json.RawMessage `json:"data,omitempty"` // absent when spilled
+	}
+)
+
+// snapshot is the on-disk form of snapshot.json: the complete state as
+// of LSN. Spilled results appear in ResultRefs only; their bodies stay
+// in results/.
+type snapshot struct {
+	LSN        int64                      `json:"lsn"`
+	Jobs       []JobRecord                `json:"jobs,omitempty"`
+	Sweeps     []SweepRecord              `json:"sweeps,omitempty"`
+	Events     map[string][]EventRecord   `json:"events,omitempty"`
+	Results    map[string]json.RawMessage `json:"results,omitempty"`
+	ResultRefs []string                   `json:"result_refs,omitempty"`
+}
+
+// Open opens (creating if needed) the data directory and replays its
+// snapshot and log. Returns the store ready for use; inspect
+// Stats().TruncatedTail to learn whether a torn tail was discarded.
+func Open(opts Options) (*Disk, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: empty data dir")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, resDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{
+		opts:      opts,
+		jobs:      make(map[string]JobRecord),
+		sweeps:    make(map[string]SweepRecord),
+		events:    make(map[string][]EventRecord),
+		results:   make(map[string][]byte),
+		spillSize: make(map[string]int64),
+		nextLSN:   1,
+	}
+	dropTempFiles(opts.Dir)
+	snapLSN, err := d.replaySnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.replayWAL(snapLSN); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(opts.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d.wal = wal
+	if fi, err := wal.Stat(); err == nil {
+		d.walBytes = fi.Size()
+	}
+	d.sweepOrphanSpills()
+	return d, nil
+}
+
+// sweepOrphanSpills removes result files no replayed record references
+// — leftovers of a body written (or deleted from the log) whose WAL
+// record did not survive the crash; their puts were never acknowledged,
+// so dropping them is safe — and seeds the spill-size accounting for
+// the files that stay.
+func (d *Disk) sweepOrphanSpills() {
+	entries, err := os.ReadDir(filepath.Join(d.opts.Dir, resDir))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		key, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		if body, live := d.results[key]; !live || body != nil {
+			os.Remove(filepath.Join(d.opts.Dir, resDir, e.Name()))
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			d.spillSize[key] = info.Size()
+			d.spillSum += info.Size()
+		}
+	}
+}
+
+// dropTempFiles removes *.tmp leftovers from a crash mid-rename (their
+// contents were never acknowledged, so dropping them is always safe).
+func dropTempFiles(dir string) {
+	for _, sub := range []string{dir, filepath.Join(dir, resDir)} {
+		entries, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(sub, e.Name()))
+			}
+		}
+	}
+}
+
+// replaySnapshot loads snapshot.json (if present) into the mirrors and
+// returns its LSN; WAL records at or below it are stale and skipped.
+func (d *Disk) replaySnapshot() (int64, error) {
+	data, err := os.ReadFile(filepath.Join(d.opts.Dir, snapName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		// Snapshots are written via tmp+rename, so a corrupt one is
+		// damage, not a crash artifact — refuse rather than silently
+		// drop state.
+		return 0, fmt.Errorf("store: corrupt %s: %v", snapName, err)
+	}
+	d.snapBytes = int64(len(data))
+	for _, rec := range snap.Jobs {
+		d.jobs[rec.ID] = rec
+	}
+	for _, rec := range snap.Sweeps {
+		d.sweeps[rec.ID] = rec
+	}
+	for id, log := range snap.Events {
+		d.events[id] = log
+	}
+	for key, body := range snap.Results {
+		d.results[key] = body
+	}
+	for _, key := range snap.ResultRefs {
+		d.results[key] = nil
+	}
+	d.stats.RecordsReplayed += int64(len(snap.Jobs) + len(snap.Sweeps) + len(snap.Results) + len(snap.ResultRefs))
+	for _, log := range snap.Events {
+		d.stats.RecordsReplayed += int64(len(log))
+	}
+	if snap.LSN >= d.nextLSN {
+		d.nextLSN = snap.LSN + 1
+	}
+	return snap.LSN, nil
+}
+
+// replayWAL applies every intact record with LSN > snapLSN. A bad
+// frame at the very end of the log is a torn tail — the expected shape
+// of a crash mid-write — and is discarded by truncating the file back
+// to the last intact record, so the tear can never sit between old and
+// new appends. A bad frame *followed by intact frames* is a different
+// animal entirely: mid-log corruption of fsync-acknowledged state
+// (bit rot, external tampering). Truncating there would silently throw
+// away every later record, so Open refuses instead, mirroring the
+// corrupt-snapshot policy.
+func (d *Disk) replayWAL(snapLSN int64) error {
+	path := filepath.Join(d.opts.Dir, walName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var good int64 // byte offset of the end of the last intact record
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("store: reading %s: %w", walName, err)
+		}
+		if err == io.EOF && line == "" {
+			break
+		}
+		ent, ok := parseWALLine(line, err == nil)
+		if !ok {
+			// Distinguish a torn tail from mid-log damage: after a true
+			// tear nothing further can parse (appends only ever follow
+			// an Open that already truncated the tear away).
+			for {
+				rest, rerr := br.ReadString('\n')
+				if _, ok := parseWALLine(rest, rerr == nil); ok {
+					return fmt.Errorf("store: corrupt record mid-%s at byte %d (intact records follow — refusing to drop acknowledged state)", walName, good)
+				}
+				if rerr != nil {
+					break
+				}
+			}
+			d.stats.TruncatedTail = true
+			break
+		}
+		good += int64(len(line))
+		if ent.LSN >= d.nextLSN {
+			d.nextLSN = ent.LSN + 1
+		}
+		if ent.LSN <= snapLSN {
+			continue // predates the snapshot (crash before log rotation)
+		}
+		if err := d.applyEntry(ent); err != nil {
+			return err
+		}
+		d.stats.RecordsReplayed++
+	}
+	if d.stats.TruncatedTail {
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// parseWALLine validates one frame: "crc32hex space payload newline".
+// complete reports whether the line ended in a newline — a line without
+// one is a torn write by definition.
+func parseWALLine(line string, complete bool) (walEntry, bool) {
+	var ent walEntry
+	if !complete || len(line) < 10 || line[8] != ' ' {
+		return ent, false
+	}
+	payload := line[9 : len(line)-1]
+	var crc uint32
+	if _, err := fmt.Sscanf(line[:8], "%08x", &crc); err != nil {
+		return ent, false
+	}
+	if crc32.ChecksumIEEE([]byte(payload)) != crc {
+		return ent, false
+	}
+	if err := json.Unmarshal([]byte(payload), &ent); err != nil {
+		return ent, false
+	}
+	return ent, true
+}
+
+// applyEntry replays one WAL record into the mirrors.
+func (d *Disk) applyEntry(ent walEntry) error {
+	switch ent.Type {
+	case "job":
+		var rec JobRecord
+		if err := json.Unmarshal(ent.Data, &rec); err != nil {
+			return fmt.Errorf("store: bad job record: %v", err)
+		}
+		d.jobs[rec.ID] = mergeJobRecord(d.jobs[rec.ID], rec)
+	case "jobdel":
+		var p delPayload
+		if err := json.Unmarshal(ent.Data, &p); err != nil {
+			return fmt.Errorf("store: bad job delete: %v", err)
+		}
+		delete(d.jobs, p.ID)
+	case "sweep":
+		var rec SweepRecord
+		if err := json.Unmarshal(ent.Data, &rec); err != nil {
+			return fmt.Errorf("store: bad sweep record: %v", err)
+		}
+		d.sweeps[rec.ID] = rec
+	case "sweepdel":
+		var p delPayload
+		if err := json.Unmarshal(ent.Data, &p); err != nil {
+			return fmt.Errorf("store: bad sweep delete: %v", err)
+		}
+		delete(d.sweeps, p.ID)
+		delete(d.events, p.ID)
+	case "event":
+		var rec EventRecord
+		if err := json.Unmarshal(ent.Data, &rec); err != nil {
+			return fmt.Errorf("store: bad event record: %v", err)
+		}
+		d.events[rec.SweepID] = placeEvent(d.events[rec.SweepID], rec)
+	case "result":
+		var p resultPayload
+		if err := json.Unmarshal(ent.Data, &p); err != nil {
+			return fmt.Errorf("store: bad result record: %v", err)
+		}
+		if p.Data == nil {
+			d.results[p.Key] = nil // spilled; body lives in results/
+		} else {
+			d.results[p.Key] = p.Data
+		}
+	case "resultdel":
+		var p resultPayload
+		if err := json.Unmarshal(ent.Data, &p); err != nil {
+			return fmt.Errorf("store: bad result delete: %v", err)
+		}
+		// Replay only updates the mirror — spill files reflect the
+		// *final* runtime state, so removing one here could destroy the
+		// body of a later re-put of the same key. Files left orphaned by
+		// a crash are swept once replay has finished (see Open).
+		delete(d.results, p.Key)
+	default:
+		return fmt.Errorf("store: unknown record type %q", ent.Type)
+	}
+	return nil
+}
+
+// append frames and writes one record, fsyncing per Options.Fsync.
+// Callers hold d.mu and must apply the record to the mirrors before
+// calling maybeCompact — compacting here would snapshot the mirrors
+// *without* the record just acknowledged and then truncate the log
+// that holds it, losing it on the next replay.
+func (d *Disk) append(typ string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	payload, err := json.Marshal(walEntry{LSN: d.nextLSN, Type: typ, Data: raw})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	n, err := d.wal.WriteString(line)
+	if err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if d.opts.Fsync {
+		if err := d.wal.Sync(); err != nil {
+			return fmt.Errorf("store: wal fsync: %w", err)
+		}
+	}
+	d.nextLSN++
+	d.walBytes += int64(n)
+	d.stats.RecordsWritten++
+	return nil
+}
+
+// maybeCompact runs snapshot compaction when the log has outgrown
+// CompactBytes. Callers hold d.mu and have already applied the
+// just-appended record to the mirrors.
+func (d *Disk) maybeCompact() error {
+	if d.opts.CompactBytes > 0 && d.walBytes >= d.opts.CompactBytes {
+		return d.compactLocked()
+	}
+	return nil
+}
+
+// PutJob upserts a job record.
+func (d *Disk) PutJob(rec JobRecord) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append("job", rec); err != nil {
+		return err
+	}
+	d.jobs[rec.ID] = mergeJobRecord(d.jobs[rec.ID], rec)
+	return d.maybeCompact()
+}
+
+// DeleteJob removes a job record.
+func (d *Disk) DeleteJob(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append("jobdel", delPayload{ID: id}); err != nil {
+		return err
+	}
+	delete(d.jobs, id)
+	return d.maybeCompact()
+}
+
+// PutSweep upserts a sweep record.
+func (d *Disk) PutSweep(rec SweepRecord) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append("sweep", rec); err != nil {
+		return err
+	}
+	d.sweeps[rec.ID] = rec
+	return d.maybeCompact()
+}
+
+// DeleteSweep removes a sweep record and its event log.
+func (d *Disk) DeleteSweep(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append("sweepdel", delPayload{ID: id}); err != nil {
+		return err
+	}
+	delete(d.sweeps, id)
+	delete(d.events, id)
+	return d.maybeCompact()
+}
+
+// AppendEvent appends one sweep event.
+func (d *Disk) AppendEvent(ev EventRecord) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append("event", ev); err != nil {
+		return err
+	}
+	d.events[ev.SweepID] = placeEvent(d.events[ev.SweepID], ev)
+	return d.maybeCompact()
+}
+
+// PutResult stores one result body: inline in the WAL below SpillBytes,
+// otherwise in results/<key>.json (written atomically and synced before
+// the referencing WAL record, so a durable ref always resolves).
+func (d *Disk) PutResult(key string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(data) < d.opts.SpillBytes {
+		if err := d.append("result", resultPayload{Key: key, Data: json.RawMessage(data)}); err != nil {
+			return err
+		}
+		d.results[key] = append([]byte(nil), data...)
+		d.dropSpill(key) // a re-put that shrank below the threshold
+		return d.maybeCompact()
+	}
+	if err := writeFileAtomic(d.resultPath(key), data, d.opts.Fsync); err != nil {
+		return fmt.Errorf("store: spilling result: %w", err)
+	}
+	if err := d.append("result", resultPayload{Key: key}); err != nil {
+		return err
+	}
+	d.results[key] = nil
+	d.spillSum += int64(len(data)) - d.spillSize[key]
+	d.spillSize[key] = int64(len(data))
+	return d.maybeCompact()
+}
+
+// dropSpill removes key's spill file and its size accounting, if any.
+// Callers hold d.mu.
+func (d *Disk) dropSpill(key string) {
+	if size, ok := d.spillSize[key]; ok {
+		d.spillSum -= size
+		delete(d.spillSize, key)
+		os.Remove(d.resultPath(key))
+	}
+}
+
+// DeleteResult drops one result body (and its spill file, if any).
+func (d *Disk) DeleteResult(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append("resultdel", resultPayload{Key: key}); err != nil {
+		return err
+	}
+	d.dropSpill(key)
+	delete(d.results, key)
+	return d.maybeCompact()
+}
+
+// Result fetches one result body, reading spilled bodies from disk.
+func (d *Disk) Result(key string) ([]byte, bool, error) {
+	d.mu.Lock()
+	body, ok := d.results[key]
+	d.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	if body != nil {
+		return append([]byte(nil), body...), true, nil
+	}
+	data, err := os.ReadFile(d.resultPath(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	return data, true, nil
+}
+
+func (d *Disk) resultPath(key string) string {
+	return filepath.Join(d.opts.Dir, resDir, cleanKey(key)+".json")
+}
+
+// cleanKey defends the filesystem against a hostile key; content keys
+// are hex SHA-256 in practice, which passes through unchanged.
+func cleanKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, key)
+}
+
+// Load snapshots the current mirrored state.
+func (d *Disk) Load() (*State, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return stateOf(d.jobs, d.sweeps, d.events, d.results), nil
+}
+
+// Compact rewrites the snapshot from the current state and truncates
+// the log — a pure representation change: Load is identical before and
+// after, only the replay cost and on-disk footprint shrink.
+func (d *Disk) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactLocked()
+}
+
+func (d *Disk) compactLocked() error {
+	snap := snapshot{LSN: d.nextLSN - 1, Events: d.events}
+	st := stateOf(d.jobs, d.sweeps, d.events, d.results)
+	snap.Jobs = st.Jobs
+	snap.Sweeps = st.Sweeps
+	snap.Results = make(map[string]json.RawMessage)
+	for key, body := range d.results {
+		if body == nil {
+			snap.ResultRefs = append(snap.ResultRefs, key)
+		} else {
+			snap.Results[key] = body
+		}
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(d.opts.Dir, snapName), data, true); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	d.snapBytes = int64(len(data))
+	// The snapshot now covers every logged record; stale log records
+	// (LSN <= snapshot LSN) would be skipped at replay anyway, so a
+	// crash between the rename above and this truncation is harmless.
+	if err := d.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: rotating wal: %w", err)
+	}
+	d.walBytes = 0
+	d.stats.Compactions++
+	d.stats.LastCompaction = time.Now()
+	return nil
+}
+
+// Stats reports the store's counters and on-disk footprint.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.BytesOnDisk = d.walBytes + d.snapBytes + d.spillSum
+	return st
+}
+
+// Close compacts (dropping the replay cost of the accumulated log) and
+// releases the WAL handle.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal == nil {
+		return nil
+	}
+	err := d.compactLocked()
+	if serr := d.wal.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
+	d.wal = nil
+	return err
+}
+
+// writeFileAtomic writes data to path via a same-directory tmp file and
+// rename, optionally fsyncing the file (and always the directory on
+// sync) so the rename itself is durable.
+func writeFileAtomic(path string, data []byte, sync bool) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if sync {
+		if dir, err := os.Open(filepath.Dir(path)); err == nil {
+			dir.Sync()
+			dir.Close()
+		}
+	}
+	return nil
+}

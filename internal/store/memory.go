@@ -1,0 +1,186 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Memory is the in-memory Store: the reference semantics for every
+// implementation (the disk property tests replay identical operation
+// streams into a Memory and a Disk store and require identical State).
+// It persists nothing — a process restart loses everything — which is
+// exactly the service's pre-store behavior.
+type Memory struct {
+	mu      sync.Mutex
+	jobs    map[string]JobRecord
+	sweeps  map[string]SweepRecord
+	events  map[string][]EventRecord
+	results map[string][]byte
+	written int64
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{
+		jobs:    make(map[string]JobRecord),
+		sweeps:  make(map[string]SweepRecord),
+		events:  make(map[string][]EventRecord),
+		results: make(map[string][]byte),
+	}
+}
+
+// PutJob upserts a job record (see mergeJobRecord for the empty-Spec
+// convention).
+func (m *Memory) PutJob(rec JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[rec.ID] = mergeJobRecord(m.jobs[rec.ID], rec)
+	m.written++
+	return nil
+}
+
+// mergeJobRecord applies the upsert convention shared by every Store:
+// a record with an empty Spec inherits the previously stored spec, so
+// state transitions never re-carry the submission payload.
+func mergeJobRecord(old, rec JobRecord) JobRecord {
+	if len(rec.Spec) == 0 {
+		rec.Spec = old.Spec
+	}
+	return rec
+}
+
+// DeleteJob removes a job record.
+func (m *Memory) DeleteJob(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.jobs, id)
+	m.written++
+	return nil
+}
+
+// PutSweep upserts a sweep record.
+func (m *Memory) PutSweep(rec SweepRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweeps[rec.ID] = rec
+	m.written++
+	return nil
+}
+
+// DeleteSweep removes a sweep record and its event log.
+func (m *Memory) DeleteSweep(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sweeps, id)
+	delete(m.events, id)
+	m.written++
+	return nil
+}
+
+// AppendEvent appends (or, on replayed Seq, overwrites) one event.
+func (m *Memory) AppendEvent(ev EventRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events[ev.SweepID] = placeEvent(m.events[ev.SweepID], ev)
+	m.written++
+	return nil
+}
+
+// placeEvent inserts ev into a Seq-ordered log, overwriting a duplicate
+// Seq (last write wins, so re-appends after a partial replay converge).
+func placeEvent(log []EventRecord, ev EventRecord) []EventRecord {
+	if n := len(log); n == 0 || log[n-1].Seq < ev.Seq {
+		return append(log, ev)
+	}
+	i := sort.Search(len(log), func(i int) bool { return log[i].Seq >= ev.Seq })
+	if i < len(log) && log[i].Seq == ev.Seq {
+		log[i] = ev
+		return log
+	}
+	log = append(log, EventRecord{})
+	copy(log[i+1:], log[i:])
+	log[i] = ev
+	return log
+}
+
+// PutResult stores one result body under its content key.
+func (m *Memory) PutResult(key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.results[key] = append([]byte(nil), data...)
+	m.written++
+	return nil
+}
+
+// DeleteResult drops one result body.
+func (m *Memory) DeleteResult(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.results, key)
+	m.written++
+	return nil
+}
+
+// Result fetches one result body.
+func (m *Memory) Result(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.results[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), data...), true, nil
+}
+
+// Load snapshots the current state.
+func (m *Memory) Load() (*State, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return stateOf(m.jobs, m.sweeps, m.events, m.results), nil
+}
+
+// stateOf builds a deterministic State from the mirror maps: records in
+// Seq order, events already Seq-ordered, result keys sorted. Shared by
+// Memory and Disk so both rehydrate identically.
+func stateOf(jobs map[string]JobRecord, sweeps map[string]SweepRecord, events map[string][]EventRecord, results map[string][]byte) *State {
+	st := &State{Events: make(map[string][]EventRecord)}
+	for _, rec := range jobs {
+		st.Jobs = append(st.Jobs, rec)
+	}
+	sort.Slice(st.Jobs, func(i, j int) bool {
+		if st.Jobs[i].Seq != st.Jobs[j].Seq {
+			return st.Jobs[i].Seq < st.Jobs[j].Seq
+		}
+		return st.Jobs[i].ID < st.Jobs[j].ID
+	})
+	for _, rec := range sweeps {
+		st.Sweeps = append(st.Sweeps, rec)
+	}
+	sort.Slice(st.Sweeps, func(i, j int) bool {
+		if st.Sweeps[i].Seq != st.Sweeps[j].Seq {
+			return st.Sweeps[i].Seq < st.Sweeps[j].Seq
+		}
+		return st.Sweeps[i].ID < st.Sweeps[j].ID
+	})
+	for id, log := range events {
+		st.Events[id] = append([]EventRecord(nil), log...)
+	}
+	for key := range results {
+		st.ResultKeys = append(st.ResultKeys, key)
+	}
+	sort.Strings(st.ResultKeys)
+	return st
+}
+
+// Compact is a no-op: Memory has no log to rewrite.
+func (m *Memory) Compact() error { return nil }
+
+// Stats reports the write counter; Memory has no disk footprint.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{RecordsWritten: m.written}
+}
+
+// Close is a no-op.
+func (m *Memory) Close() error { return nil }

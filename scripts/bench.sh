@@ -8,16 +8,23 @@
 #   scripts/bench.sh -short              # CI subset, 1 iteration each
 #   scripts/bench.sh -benchtime 10x      # more iterations
 #   scripts/bench.sh -out bench.json     # also write parsed JSON
+#   scripts/bench.sh -json               # parsed JSON on stdout (raw
+#                                        # go test output on stderr)
+#
+# The parsed JSON carries, per benchmark, the timing numbers and the
+# deterministic `detected` fault count the benchmarks report; CI diffs
+# the counts against BENCH_3.json via scripts/bench_check.sh.
 #
 # BENCH_3.json in the repository root was produced from two runs of this
 # suite — one at the pre-active-region baseline commit, one after — and
-# records the speedups per benchmark.
+# records the speedups per benchmark plus the expected detection counts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH='Table2S27|FaultSimSharded|FaultSimLarge|FaultSimEvaluate|FaultSimSingle'
 COUNT=3x
 OUT=""
+STDOUT_JSON=0
 while [ $# -gt 0 ]; do
     case "$1" in
         -short)
@@ -32,8 +39,11 @@ while [ $# -gt 0 ]; do
             OUT=$2
             shift
             ;;
+        -json)
+            STDOUT_JSON=1
+            ;;
         *)
-            echo "usage: scripts/bench.sh [-short] [-benchtime Nx] [-out file.json]" >&2
+            echo "usage: scripts/bench.sh [-short] [-benchtime Nx] [-out file.json] [-json]" >&2
             exit 2
             ;;
     esac
@@ -42,7 +52,13 @@ done
 
 TXT=$(mktemp)
 trap 'rm -f "$TXT"' EXIT
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$COUNT" . | tee "$TXT"
+if [ "$STDOUT_JSON" = 1 ]; then
+    # Keep stdout clean for the JSON document.
+    go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$COUNT" . | tee "$TXT" >&2
+    OUT=${OUT:-/dev/stdout}
+else
+    go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$COUNT" . | tee "$TXT"
+fi
 
 if [ -n "$OUT" ]; then
     awk -v benchtime="$COUNT" '
@@ -50,16 +66,18 @@ if [ -n "$OUT" ]; then
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
-        ns = ""; bytes = ""; allocs = ""
+        ns = ""; bytes = ""; allocs = ""; detected = ""
         for (i = 2; i < NF; i++) {
             if ($(i+1) == "ns/op") ns = $i
             if ($(i+1) == "B/op") bytes = $i
             if ($(i+1) == "allocs/op") allocs = $i
+            if ($(i+1) == "detected") detected = $i
         }
         if (ns == "") next
         if (n++) body = body ",\n"
-        body = body sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                            name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+        body = body sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"detected\": %s}",
+                            name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs,
+                            detected == "" ? "null" : detected)
     }
     END {
         printf "{\n  \"benchtime\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": {\n%s\n  }\n}\n",

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# checklinks.sh — verify that every repository file referenced from the
-# documentation actually exists, so README/DESIGN/API never drift from
-# the tree. Checked forms: backticked refs and markdown link targets
-# that either live under a package directory (internal/, cmd/,
-# examples/, scripts/, .github/) or are root-level markdown files.
+# checklinks.sh — verify that the documentation never drifts from the
+# tree:
+#
+#   1. every repository file referenced from README/DESIGN/API exists
+#      (backticked refs and markdown link targets under package
+#      directories, plus root-level markdown files), and
+#   2. every metric name the API.md "GET /metrics" section documents
+#      actually exists in internal/service/metrics.go, so the reference
+#      cannot describe counters the daemon no longer exports.
+#
 # Run from anywhere; CI runs it as the docs job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,5 +38,31 @@ for ref in $refs; do
 done
 if [ "$fail" -eq 0 ]; then
     echo "checklinks: all documentation references resolve"
+fi
+
+# --- metrics reference check -------------------------------------------
+# Collect backticked snake_case tokens from the GET /metrics section of
+# API.md (dotted names like `store.records_written` check their last
+# component) and require each to appear in metrics.go — as a JSON tag
+# or map key — so documented counters can never silently disappear.
+metrics_src=internal/service/metrics.go
+section=$(sed -n '/^### GET \/metrics/,/^### /p' API.md)
+if [ -z "$section" ]; then
+    echo "checklinks: API.md has no 'GET /metrics' section" >&2
+    fail=1
+fi
+names=$(echo "$section" | grep -ohE '`[a-z][a-z0-9_.]*`' | tr -d '`' | sort -u)
+checked=0
+for name in $names; do
+    leaf=${name##*.}
+    if ! grep -qE "\"$leaf[\",]" "$metrics_src"; then
+        echo "checklinks: metric '$name' is documented in API.md but '$leaf' does not appear in $metrics_src" >&2
+        fail=1
+    else
+        checked=$((checked + 1))
+    fi
+done
+if [ "$fail" -eq 0 ]; then
+    echo "checklinks: all $checked documented metrics exist in $metrics_src"
 fi
 exit $fail
