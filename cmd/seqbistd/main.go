@@ -9,6 +9,14 @@
 //
 //	seqbistd -addr :8080 -workers 8
 //
+// Several daemons become one cluster by sharing a -data-dir under
+// distinct -node-id values: they cooperatively drain a single queue,
+// and a SIGKILLed member's in-flight jobs are stolen by survivors once
+// its -lease-ttl lapses (see DESIGN.md §10 and scripts/cluster_e2e.sh):
+//
+//	seqbistd -addr :8080 -data-dir ./cluster -node-id n1 &
+//	seqbistd -addr :8081 -data-dir ./cluster -node-id n2 &
+//
 // API (full reference with schemas in API.md):
 //
 //	curl -X POST localhost:8080/v1/jobs -d '{"circuit":"s298","config":{"n":8}}'
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"seqbist/internal/bench"
 	"seqbist/internal/service"
@@ -42,6 +51,10 @@ func main() {
 	maxSignals := flag.Int("max-bench-signals", 0, "uploaded netlist signal cap (0 = default 250k, negative = unlimited)")
 	dataDir := flag.String("data-dir", "", "persistence directory: jobs, sweeps, event logs, and results survive restarts and crashes (empty = in-memory only)")
 	fsync := flag.Bool("fsync", true, "with -data-dir, fsync the record log after every write (survives power loss; -fsync=false trades that for lower write latency and still survives SIGKILL)")
+	nodeID := flag.String("node-id", "", "cluster identity: daemons started with distinct -node-id values on one shared -data-dir cooperatively drain a single queue, stealing a killed member's leases (requires -data-dir)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "with -node-id, how long a claimed job stays fenced to its claimant without renewal")
+	rate := flag.Float64("rate", 0, "per-client submissions/second accepted on POST /v1/jobs and /v1/sweeps before answering 429 (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "with -rate, token-bucket burst depth (0 = max(1, ceil(rate)))")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -51,9 +64,25 @@ func main() {
 		SimParallelism:  *simWorkers,
 		MaxSweepMembers: *maxSweep,
 		BenchLimits:     benchLimits(*maxBench, *maxSignals),
+		LeaseTTL:        *leaseTTL,
+		RateLimit:       *rate,
+		RateBurst:       *rateBurst,
+	}
+	if *nodeID != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "seqbistd: -node-id requires -data-dir (the cluster coordinates through the shared store)")
+			os.Exit(1)
+		}
+		for _, r := range *nodeID {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+				fmt.Fprintf(os.Stderr, "seqbistd: -node-id %q: only letters, digits, '-' and '_' are allowed (it names records and IDs)\n", *nodeID)
+				os.Exit(1)
+			}
+		}
+		cfg.NodeID = *nodeID
 	}
 	if *dataDir != "" {
-		st, err := store.Open(store.Options{Dir: *dataDir, Fsync: *fsync})
+		st, err := store.Open(store.Options{Dir: *dataDir, Fsync: *fsync, NodeID: cfg.NodeID})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seqbistd: opening -data-dir: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,495 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"seqbist/internal/bench"
+	"seqbist/internal/netlist"
+	"seqbist/internal/store"
+	"seqbist/internal/vectors"
+)
+
+// This file is the cluster side of the service: the claim loop that
+// lets any number of daemons sharing one store cooperatively drain one
+// queue. Dispatch in cluster mode is pull-based — a submission becomes
+// a durable queued record (see submitJob), and every member's loop
+//
+//  1. refreshes its view of the shared log and heartbeats,
+//  2. renews the leases of its in-flight runs (detecting theft),
+//  3. folds peers' job transitions into the local jobs it owns
+//     (the submitter fires sweep hooks off these), and
+//  4. claims executable records up to its worker capacity — including
+//     records whose holder's lease expired, i.e. work stolen from a
+//     SIGKILLed peer.
+//
+// Correctness leans on two invariants. Results are content-addressed
+// and the pipeline deterministic, so the worst failure mode of lease
+// arbitration (two daemons running the same job) wastes cycles but
+// cannot produce divergent state; and every store implementation
+// arbitrates claims in the operation stream's total order, so all
+// members agree on each lease's holder. See DESIGN.md §10.
+
+// clusterLoop runs until Close; ticks are paced by PollInterval and
+// nudged early by local submissions.
+func (s *Service) clusterLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.rootCtx.Done():
+			return
+		case <-ticker.C:
+		case <-s.clusterWake:
+		}
+		s.clusterTick(time.Now())
+	}
+}
+
+// nudgeCluster asks the claim loop to tick ahead of schedule (local
+// submissions should not wait out a poll interval).
+func (s *Service) nudgeCluster() {
+	if !s.clustered() {
+		return
+	}
+	select {
+	case s.clusterWake <- struct{}{}:
+	default:
+	}
+}
+
+// clusterTick is one pass of the loop. No explicit Refresh: the Load
+// below (and every lease operation) folds peers' appends in on its own.
+func (s *Service) clusterTick(now time.Time) {
+	if hb := s.cfg.LeaseTTL / 3; now.Sub(s.lastHeartbeat) >= max(hb, s.cfg.PollInterval) {
+		s.storeErr(s.store.Heartbeat(store.NodeRecord{ID: s.cfg.NodeID, Started: s.started, Time: now}))
+		s.lastHeartbeat = now
+	}
+	s.renewLeases(now)
+	state, err := s.store.Load()
+	if err != nil {
+		s.storeErr(err)
+		return
+	}
+	claims, err := s.store.Claims()
+	if err != nil {
+		s.storeErr(err)
+		return
+	}
+	results := make(map[string]*Result) // per-tick result-fetch memo
+	s.observeRemote(state, results, now)
+	s.claimWork(state, claims, results, now)
+}
+
+// renewLeases extends the leases of locally-running claims that are
+// past half their TTL. A renewal that comes back lost means another
+// daemon stole the job after the lease expired (this process stalled):
+// the local run is interrupted and its jobs handed back to the poll
+// loop, which completes them off the thief's result.
+func (s *Service) renewLeases(now time.Time) {
+	ttl := s.cfg.LeaseTTL
+	type held struct {
+		id string
+		ex *execution
+	}
+	var due []held
+	s.mu.Lock()
+	for id, ex := range s.leases {
+		if now.Add(ttl / 2).After(ex.leaseExpiry) {
+			due = append(due, held{id, ex})
+		}
+	}
+	s.mu.Unlock()
+	for _, h := range due {
+		won, err := s.store.RenewLease(h.id, s.cfg.NodeID, ttl)
+		if err != nil {
+			s.storeErr(err)
+			continue
+		}
+		s.mu.Lock()
+		if won {
+			h.ex.leaseExpiry = now.Add(ttl)
+			s.mu.Unlock()
+			continue
+		}
+		s.metrics.leasesExpired.Add(1)
+		if s.leases[h.id] == h.ex {
+			delete(s.leases, h.id)
+		}
+		h.ex.leaseLost = true
+		h.ex.cancel()
+		s.mu.Unlock()
+	}
+}
+
+// releaseLeaseLocked dissolves the lease an execution holds (appended
+// after the terminal records, so peers never observe a released job in
+// a non-terminal state). A lease already lost to a thief is not
+// released — the thief owns it now. Callers hold s.mu.
+func (s *Service) releaseLeaseLocked(ex *execution) {
+	if !s.clustered() || ex.leaseID == "" {
+		return
+	}
+	if s.leases[ex.leaseID] == ex {
+		delete(s.leases, ex.leaseID)
+	}
+	if !ex.leaseLost {
+		s.storeErr(s.store.ReleaseJob(ex.leaseID, s.cfg.NodeID))
+	}
+	ex.leaseID = ""
+}
+
+// firedHook is one lifecycle callback collected under s.mu and fired
+// after it is released (hooks call back into the Service).
+type firedHook struct {
+	run  func(Status)
+	term func(Status, *Result)
+	st   Status
+	res  *Result
+}
+
+func fireHooks(hooks []firedHook) {
+	for _, h := range hooks {
+		if h.run != nil {
+			h.run(h.st)
+		}
+		if h.term != nil {
+			h.term(h.st, h.res)
+		}
+	}
+}
+
+// lookupResult fetches and memoizes one stored result body (nil when
+// absent or unreadable).
+func (s *Service) lookupResult(memo map[string]*Result, key string) *Result {
+	if res, ok := memo[key]; ok {
+		return res
+	}
+	var res *Result
+	if data, ok, err := s.store.Result(key); err != nil {
+		s.storeErr(err)
+	} else if ok {
+		var r Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			s.storeErr(err)
+		} else {
+			res = &r
+		}
+	}
+	memo[key] = res
+	return res
+}
+
+// observeRemote folds peers' job-record transitions into the local job
+// objects this daemon owns (its own submissions, plus mirrors of jobs
+// it once claimed): running records mark them running, terminal records
+// complete them — firing the sweep lifecycle hooks, which is how a
+// sweep finishes when its members execute on other daemons — and a
+// queued record whose content key already has a stored result completes
+// instantly (cross-daemon result visibility).
+func (s *Service) observeRemote(state *store.State, results map[string]*Result, now time.Time) {
+	var fired []firedHook
+	s.mu.Lock()
+	for i := range state.Jobs {
+		rec := &state.Jobs[i]
+		j, ok := s.jobs[rec.ID]
+		if !ok || j.state.Terminal() || j.exec != nil {
+			continue // unknown here, already final, or running locally
+		}
+		switch st := State(rec.State); st {
+		case StateRunning:
+			if j.state != StateQueued {
+				continue
+			}
+			j.state = StateRunning
+			j.started = rec.Started
+			if j.onRunning != nil {
+				fired = append(fired, firedHook{run: j.onRunning, st: j.status()})
+				j.onRunning = nil
+			}
+		case StateDone:
+			res := s.lookupResult(results, rec.Key)
+			if res == nil {
+				continue // record visible before body: settled next tick
+			}
+			finished := rec.Finished
+			if finished.IsZero() {
+				finished = now
+			}
+			j.cacheHit = rec.CacheHit
+			s.completeRemoteLocked(j, res, finished, &fired)
+			s.metrics.jobsDone.Add(1)
+			s.metrics.remoteDone.Add(1)
+		case StateFailed, StateCanceled:
+			j.state = st
+			if rec.Error != "" {
+				j.err = errors.New(rec.Error)
+			} else if st == StateCanceled {
+				j.err = context.Canceled
+			}
+			j.finished = rec.Finished
+			if j.finished.IsZero() {
+				j.finished = now
+			}
+			j.onRunning = nil
+			if j.onTerminal != nil {
+				fired = append(fired, firedHook{term: j.onTerminal, st: j.status()})
+				j.onTerminal = nil
+			}
+			if st == StateFailed {
+				s.metrics.jobsFailed.Add(1)
+			} else {
+				s.metrics.jobsCanceled.Add(1)
+			}
+			s.metrics.remoteDone.Add(1)
+		case StateQueued:
+			// Nobody is running it, but an identical job (same content
+			// key) finished somewhere: complete off the stored result.
+			res := s.lookupResult(results, rec.Key)
+			if res == nil {
+				continue
+			}
+			j.cacheHit = true
+			s.completeRemoteLocked(j, res, now, &fired)
+			s.persistJob(j) // the record must go terminal too
+			s.metrics.jobsDone.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	fireHooks(fired)
+}
+
+// completeRemoteLocked commits a done state produced elsewhere onto a
+// local job object. Callers hold s.mu and append the collected hooks.
+func (s *Service) completeRemoteLocked(j *job, res *Result, finished time.Time, fired *[]firedHook) {
+	j.state = StateDone
+	j.result = res
+	j.finished = finished
+	s.incResultRef(j.key)
+	if s.cache.put(j.key, res) {
+		s.incResultRef(j.key)
+	}
+	j.onRunning = nil
+	if j.onTerminal != nil {
+		*fired = append(*fired, firedHook{term: j.onTerminal, st: j.status(), res: res})
+		j.onTerminal = nil
+	}
+}
+
+// claimWork leases executable records — queued, or running under an
+// expired lease (a dead peer's work) — up to this daemon's capacity and
+// starts them on the local worker pool.
+func (s *Service) claimWork(state *store.State, claims map[string]store.Claim, results map[string]*Result, now time.Time) {
+	node := s.cfg.NodeID
+	for i := range state.Jobs {
+		rec := &state.Jobs[i]
+		st := State(rec.State)
+
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if ex := s.leases[rec.ID]; ex != nil && st == StateCanceled {
+			// The submitter canceled a job we are executing. Mirror the
+			// single-daemon Cancel contract: only the canceled job
+			// detaches; the run itself is interrupted (Procedure 1
+			// polls the hook between trials) only when no coalesced
+			// observer remains attached.
+			if j := s.jobs[rec.ID]; j != nil && j.exec == ex && !j.state.Terminal() {
+				j.state = StateCanceled
+				j.err = context.Canceled
+				j.finished = now
+				j.onRunning, j.onTerminal = nil, nil
+				ex.detach(j)
+			}
+			if len(ex.jobs) == 0 {
+				ex.cancel()
+			}
+		}
+		budget := s.cfg.Workers + 1 - len(s.leases)
+		j := s.jobs[rec.ID]
+		busy := j != nil && (j.exec != nil || j.state.Terminal())
+		s.mu.Unlock()
+
+		if st.Terminal() || busy {
+			continue
+		}
+		if budget <= 0 {
+			return // claim no more than the workers can absorb
+		}
+		cl, held := claims[rec.ID]
+		if held && cl.Node != node && now.Before(cl.Expires) {
+			continue // a live peer owns it
+		}
+		stolen := st == StateRunning || (held && cl.Node != node)
+		won, err := s.store.ClaimJob(rec.ID, node, s.cfg.LeaseTTL)
+		if err != nil {
+			s.storeErr(err)
+			continue
+		}
+		if !won {
+			s.metrics.claimsLost.Add(1)
+			continue
+		}
+		s.metrics.claimsWon.Add(1)
+		if stolen {
+			s.metrics.jobsStolen.Add(1)
+			s.metrics.leasesExpired.Add(1)
+		}
+		s.startClaimed(rec, results, now)
+	}
+}
+
+// startClaimed turns a freshly-won claim into local execution: complete
+// instantly when the content key's result is already stored, coalesce
+// onto an identical local in-flight run, or resolve the spec and push a
+// new execution onto the worker pool.
+func (s *Service) startClaimed(rec *store.JobRecord, results map[string]*Result, now time.Time) {
+	node := s.cfg.NodeID
+	release := func() { s.storeErr(s.store.ReleaseJob(rec.ID, node)) }
+
+	// Result fast path: executing would reproduce the stored bytes.
+	if res := s.lookupResult(results, rec.Key); res != nil {
+		var fired []firedHook
+		s.mu.Lock()
+		j := s.jobs[rec.ID]
+		if j == nil {
+			j = s.mirrorJob(rec)
+			s.register(j)
+		}
+		if j.state.Terminal() || j.exec != nil {
+			s.mu.Unlock()
+			release()
+			return
+		}
+		j.cacheHit = true
+		s.completeRemoteLocked(j, res, now, &fired)
+		s.persistJob(j)
+		s.mu.Unlock()
+		release()
+		s.metrics.jobsDone.Add(1)
+		fireHooks(fired)
+		return
+	}
+
+	// Resolve the execution inputs: the local job object carries them
+	// for this daemon's own submissions; a peer's record is re-resolved
+	// from its stored spec (validated by the accepting daemon, so no
+	// upload limits here).
+	var c *netlist.Circuit
+	var t0 vectors.Sequence
+	var cfg GenConfig
+	s.mu.Lock()
+	j := s.jobs[rec.ID]
+	if j != nil && j.c != nil {
+		c, t0, cfg = j.c, j.t0, j.cfg
+	}
+	s.mu.Unlock()
+	if c == nil {
+		var spec JobSpec
+		err := json.Unmarshal(rec.Spec, &spec)
+		if err == nil {
+			cfg = spec.Config.withDefaults(s.cfg.SimParallelism)
+			if c, err = resolveCircuit(spec, bench.Limits{}); err == nil {
+				t0, err = resolveT0(spec, c)
+			}
+		}
+		if err != nil {
+			// The spec no longer resolves (corrupt record, vanished
+			// registry name): fail the record so the submitter's poll
+			// loop surfaces it, and free the lease.
+			failed := store.JobRecord{
+				ID: rec.ID, Seq: rec.Seq, Key: rec.Key, Circuit: rec.Circuit,
+				Node: rec.Node, SweepID: rec.SweepID, Member: rec.Member,
+				State: string(StateFailed), Orphaned: rec.Orphaned,
+				Error:     "cluster claim: " + err.Error(),
+				Submitted: rec.Submitted, Finished: now,
+			}
+			s.storeErr(s.store.PutJob(failed))
+			release()
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		release()
+		return
+	}
+	if j == nil {
+		j = s.mirrorJob(rec)
+		s.register(j)
+	}
+	if j.state.Terminal() || j.exec != nil {
+		s.mu.Unlock()
+		release()
+		return
+	}
+	if j.c == nil {
+		j.c, j.t0, j.cfg = c, t0, cfg
+	}
+	if other, ok := s.inflight[j.key]; ok {
+		// An identical run is already in flight locally under another
+		// job: attach (in-flight coalescing) and give the lease back —
+		// the run's terminal commit covers j's record.
+		j.exec = other
+		j.state = StateQueued
+		if other.started {
+			j.state = StateRunning
+			j.started = now
+		}
+		other.jobs = append(other.jobs, j)
+		s.metrics.jobsCoalesced.Add(1)
+		s.mu.Unlock()
+		release()
+		return
+	}
+	ex := &execution{key: j.key, c: j.c, t0: j.t0, cfg: j.cfg,
+		leaseID: rec.ID, leaseExpiry: now.Add(s.cfg.LeaseTTL)}
+	ex.ctx, ex.cancel = context.WithCancel(s.rootCtx)
+	ex.jobs = []*job{j}
+	j.exec = ex
+	j.state = StateQueued
+	select {
+	case s.queue <- ex:
+	default:
+		// No local room after all: back out and free the lease so a
+		// less-loaded member takes it.
+		j.exec = nil
+		ex.cancel()
+		s.mu.Unlock()
+		release()
+		return
+	}
+	s.inflight[j.key] = ex
+	s.leases[rec.ID] = ex
+	s.mu.Unlock()
+}
+
+// mirrorJob builds the local object for a peer-submitted record this
+// daemon claimed, so /v1/jobs on the executing daemon shows it and the
+// shared execution machinery has a job to drive. Callers hold s.mu.
+func (s *Service) mirrorJob(rec *store.JobRecord) *job {
+	var spec JobSpec
+	_ = json.Unmarshal(rec.Spec, &spec)
+	return &job{
+		id:            rec.ID,
+		seq:           rec.Seq,
+		key:           rec.Key,
+		spec:          spec,
+		cfg:           spec.Config.withDefaults(s.cfg.SimParallelism),
+		circuit:       rec.Circuit,
+		node:          rec.Node,
+		sweepID:       rec.SweepID,
+		member:        rec.Member,
+		orphaned:      rec.Orphaned,
+		submitted:     rec.Submitted,
+		specPersisted: true,
+		state:         StateQueued,
+	}
+}

@@ -3,9 +3,11 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // NewHandler exposes svc over an HTTP JSON API (see API.md for schemas
@@ -13,7 +15,8 @@ import (
 // prefix, which is the canonical form; the unprefixed job routes predate
 // versioning and are kept for compatibility.
 //
-//	POST   /v1/jobs              submit a JobSpec; 202 (or 200 on a cache hit)
+//	POST   /v1/jobs              submit a JobSpec; 202 (or 200 on a cache hit;
+//	                             429 + Retry-After past the per-client rate limit)
 //	GET    /v1/jobs              list job statuses in submission order
 //	GET    /v1/jobs/{id}         one job's status
 //	GET    /v1/jobs/{id}/result  the finished job's Result; 409 until done
@@ -23,7 +26,8 @@ import (
 //	GET    /v1/sweeps/{id}       one sweep's status (polling fallback)
 //	GET    /v1/sweeps/{id}/events  NDJSON stream of sweep progress events
 //	DELETE /v1/sweeps/{id}       cancel every member of the sweep
-//	GET    /metrics              cumulative operational counters
+//	GET    /metrics              cumulative operational counters (JSON;
+//	                             ?format=prometheus for text exposition)
 //	GET    /healthz              liveness + operational stats
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -34,7 +38,32 @@ func NewHandler(svc *Service) http.Handler {
 		mux.HandleFunc(method+" /v1"+path, h)
 	}
 
-	handle("POST", "/jobs", func(w http.ResponseWriter, r *http.Request) {
+	// limited wraps the submission endpoints in the per-client token
+	// bucket (Config.RateLimit): an exhausted bucket answers 429 with a
+	// Retry-After header instead of queueing the work.
+	limiter := newRateLimiter(svc.cfg.RateLimit, svc.cfg.RateBurst)
+	limited := func(h http.HandlerFunc) http.HandlerFunc {
+		if limiter == nil {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			ok, wait := limiter.allow(clientKey(r), time.Now())
+			if !ok {
+				secs := int(math.Ceil(wait.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				svc.metrics.rateLimited.Add(1)
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Sprintf("rate limit exceeded; retry after %ds", secs))
+				return
+			}
+			h(w, r)
+		}
+	}
+
+	handle("POST", "/jobs", limited(func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -50,7 +79,7 @@ func NewHandler(svc *Service) http.Handler {
 			code = http.StatusOK
 		}
 		writeJSON(w, code, st)
-	})
+	}))
 
 	handle("GET", "/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Jobs())
@@ -88,7 +117,7 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
-	handle("POST", "/sweeps", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/sweeps", limited(func(w http.ResponseWriter, r *http.Request) {
 		var spec SweepSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -100,7 +129,7 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, st)
-	})
+	}))
 
 	handle("GET", "/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Sweeps())
@@ -129,7 +158,14 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Metrics())
+		snap := svc.Metrics()
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			writePrometheus(w, snap)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
 	})
 
 	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {

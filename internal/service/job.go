@@ -159,6 +159,16 @@ type execution struct {
 	// when a worker dequeues the execution.
 	jobs    []*job
 	started bool
+
+	// Cluster-mode lease bookkeeping, guarded by the Service mutex:
+	// leaseID is the claimed job record this run holds the execution
+	// lease for (empty outside cluster mode), leaseExpiry is when that
+	// lease lapses unless renewed, and leaseLost flips when a renewal
+	// discovers another daemon stole the job — the run is interrupted
+	// and its jobs handed back to the poll loop.
+	leaseID     string
+	leaseExpiry time.Time
+	leaseLost   bool
 }
 
 // detach removes j from the execution. Callers hold the Service mutex;
@@ -184,6 +194,10 @@ type job struct {
 	c       *netlist.Circuit
 	t0      vectors.Sequence
 
+	// node is the daemon that accepted the submission (empty outside
+	// cluster mode). A job whose node differs from the local NodeID is
+	// a mirror: a peer's record this daemon claimed for execution.
+	node string
 	// sweepID and member link a sweep-member job to its sweep (member
 	// is the index; -1 otherwise), so a restarted daemon can rewire the
 	// sweep's lifecycle hooks from the persisted records.

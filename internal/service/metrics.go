@@ -34,6 +34,23 @@ type Metrics struct {
 	orphansRequeued atomic.Int64
 	storeErrors     atomic.Int64
 
+	// Cluster counters, all zero outside cluster mode. claimsWon /
+	// claimsLost tally this daemon's lease arbitration outcomes;
+	// jobsStolen counts claims won on work whose previous holder's
+	// lease had expired (a killed or stalled peer); leasesExpired
+	// counts expired leases acted on — stolen from peers or lost by
+	// this daemon; remoteDone counts local jobs completed by peers'
+	// terminal records.
+	claimsWon     atomic.Int64
+	claimsLost    atomic.Int64
+	jobsStolen    atomic.Int64
+	leasesExpired atomic.Int64
+	remoteDone    atomic.Int64
+
+	// rateLimited counts submissions answered 429 by the HTTP layer's
+	// per-client token bucket.
+	rateLimited atomic.Int64
+
 	// proc2Sims counts Procedure 2 expanded-sequence fault simulations
 	// (the dominant cost of the pipeline, Result.Sims summed over jobs).
 	proc2Sims atomic.Int64
@@ -107,6 +124,14 @@ type MetricsSnapshot struct {
 	// Store reports the persistence layer; omitted when the daemon runs
 	// without a data directory.
 	Store *StoreSnapshot `json:"store,omitempty"`
+	// Cluster reports multi-daemon coordination; omitted outside
+	// cluster mode (no -node-id).
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+	// HTTP reports the API edge (currently the per-client rate limiter).
+	HTTP struct {
+		// RateLimited counts submissions answered 429.
+		RateLimited int64 `json:"rate_limited"`
+	} `json:"http"`
 	// PhaseSeconds is cumulative wall time per pipeline stage across all
 	// jobs (parallel workers sum, so this can exceed elapsed real time).
 	PhaseSeconds map[string]float64 `json:"phase_seconds"`
@@ -133,6 +158,11 @@ type StoreSnapshot struct {
 	// log tail (expected after a crash mid-write).
 	RecordsReplayed int64 `json:"records_replayed"`
 	TruncatedTail   bool  `json:"truncated_tail,omitempty"`
+	// RecordsRefreshed counts peers' records folded in after startup
+	// (cluster mode); SkippedFrames counts torn frames skipped while
+	// scanning the shared log (a crashed peer's interrupted append).
+	RecordsRefreshed int64 `json:"records_refreshed"`
+	SkippedFrames    int64 `json:"skipped_frames"`
 	// JobsRecovered / SweepsRecovered count records rebuilt into live
 	// service state at startup; OrphansRequeued counts jobs that were
 	// queued or running at crash time and were re-enqueued.
@@ -142,6 +172,30 @@ type StoreSnapshot struct {
 	// WriteErrors counts store writes that failed; the daemon keeps
 	// serving from memory, but durability is degraded.
 	WriteErrors int64 `json:"write_errors"`
+}
+
+// ClusterSnapshot is the "cluster" section of GET /metrics: this
+// daemon's view of the multi-daemon coordination over the shared store.
+type ClusterSnapshot struct {
+	// NodeID is this daemon's cluster identity (-node-id).
+	NodeID string `json:"node_id"`
+	// Peers counts *other* nodes whose heartbeat is fresh (within three
+	// lease TTLs); NodesSeen counts every node identity ever recorded
+	// in the store, dead or alive.
+	Peers     int `json:"peers"`
+	NodesSeen int `json:"nodes_seen"`
+	// ClaimsWon / ClaimsLost tally this daemon's lease arbitration
+	// outcomes; ClaimsHeld is the gauge of leases currently held.
+	ClaimsWon  int64 `json:"claims_won"`
+	ClaimsLost int64 `json:"claims_lost"`
+	ClaimsHeld int   `json:"claims_held"`
+	// LeasesExpired counts expired leases this daemon acted on (stolen
+	// from peers, or its own lost to one); JobsStolen counts claims won
+	// on work whose previous holder died or stalled.
+	LeasesExpired int64 `json:"leases_expired"`
+	JobsStolen    int64 `json:"jobs_stolen"`
+	// RemoteDone counts local jobs completed by peers' terminal records.
+	RemoteDone int64 `json:"remote_done"`
 }
 
 // Metrics snapshots the service's counters and gauges.
@@ -167,23 +221,48 @@ func (s *Service) Metrics() MetricsSnapshot {
 		"compact": time.Duration(m.phaseCompact.Load()).Seconds(),
 		"bist":    time.Duration(m.phaseBIST.Load()).Seconds(),
 	}
+	snap.HTTP.RateLimited = m.rateLimited.Load()
 	if s.store != nil {
 		st := s.store.Stats()
 		ss := &StoreSnapshot{
-			RecordsWritten:  st.RecordsWritten,
-			BytesOnDisk:     st.BytesOnDisk,
-			Compactions:     st.Compactions,
-			RecordsReplayed: st.RecordsReplayed,
-			TruncatedTail:   st.TruncatedTail,
-			JobsRecovered:   m.jobsRecovered.Load(),
-			SweepsRecovered: m.sweepsRecovered.Load(),
-			OrphansRequeued: m.orphansRequeued.Load(),
-			WriteErrors:     m.storeErrors.Load(),
+			RecordsWritten:   st.RecordsWritten,
+			BytesOnDisk:      st.BytesOnDisk,
+			Compactions:      st.Compactions,
+			RecordsReplayed:  st.RecordsReplayed,
+			TruncatedTail:    st.TruncatedTail,
+			RecordsRefreshed: st.RecordsRefreshed,
+			SkippedFrames:    st.SkippedFrames,
+			JobsRecovered:    m.jobsRecovered.Load(),
+			SweepsRecovered:  m.sweepsRecovered.Load(),
+			OrphansRequeued:  m.orphansRequeued.Load(),
+			WriteErrors:      m.storeErrors.Load(),
 		}
 		if !st.LastCompaction.IsZero() {
 			ss.LastCompaction = st.LastCompaction.UTC().Format(time.RFC3339)
 		}
 		snap.Store = ss
+	}
+	if s.clustered() {
+		cs := &ClusterSnapshot{
+			NodeID:        s.cfg.NodeID,
+			ClaimsWon:     m.claimsWon.Load(),
+			ClaimsLost:    m.claimsLost.Load(),
+			LeasesExpired: m.leasesExpired.Load(),
+			JobsStolen:    m.jobsStolen.Load(),
+			RemoteDone:    m.remoteDone.Load(),
+		}
+		if nodes, err := s.store.Nodes(); err != nil {
+			s.storeErr(err)
+		} else {
+			now := time.Now()
+			for _, n := range nodes {
+				cs.NodesSeen++
+				if n.ID != s.cfg.NodeID && now.Sub(n.Time) < 3*s.cfg.LeaseTTL {
+					cs.Peers++
+				}
+			}
+		}
+		snap.Cluster = cs
 	}
 
 	s.mu.Lock()
@@ -200,6 +279,9 @@ func (s *Service) Metrics() MetricsSnapshot {
 	snap.Workers = s.cfg.Workers
 	snap.QueueDepth = s.cfg.QueueDepth
 	snap.QueueLen = len(s.queue)
+	if snap.Cluster != nil {
+		snap.Cluster.ClaimsHeld = len(s.leases)
+	}
 	s.mu.Unlock()
 	return snap
 }

@@ -50,22 +50,32 @@ func (s *Service) incResultRef(key string) {
 
 // decResultRef drops one referent and deletes the stored body when the
 // last one is gone. Callers hold s.mu (the cache's onEvict lands here).
+// In cluster mode the local refcount says nothing about *other*
+// daemons' referents, so shared result bodies are never deleted online
+// — reclaiming a cluster directory is an offline compaction (DESIGN.md
+// §10).
 func (s *Service) decResultRef(key string) {
 	if s.store == nil {
 		return
 	}
 	if s.resultRefs[key]--; s.resultRefs[key] <= 0 {
 		delete(s.resultRefs, key)
-		s.storeErr(s.store.DeleteResult(key))
+		if !s.clustered() {
+			s.storeErr(s.store.DeleteResult(key))
+		}
 	}
 }
 
-// dropJobRecord mirrors a retention eviction. Callers hold s.mu.
+// dropJobRecord mirrors a retention eviction. Only records this daemon
+// submitted are deleted from a shared store — evicting a mirror of a
+// peer's job must not destroy the peer's record. Callers hold s.mu.
 func (s *Service) dropJobRecord(j *job) {
 	if s.store == nil {
 		return
 	}
-	s.storeErr(s.store.DeleteJob(j.id))
+	if !s.clustered() || j.node == s.cfg.NodeID {
+		s.storeErr(s.store.DeleteJob(j.id))
+	}
 	if j.state == StateDone {
 		s.decResultRef(j.key)
 	}
@@ -85,6 +95,7 @@ func (s *Service) persistJob(j *job) {
 		Seq:       j.seq,
 		Key:       j.key,
 		Circuit:   j.circuit,
+		Node:      j.node,
 		SweepID:   j.sweepID,
 		Member:    j.member,
 		State:     string(j.state),
@@ -125,6 +136,7 @@ func (s *Service) persistSweep(sw *sweep) {
 		Seq:      sw.seq,
 		State:    string(sw.state),
 		Canceled: sw.canceled,
+		Node:     sw.node,
 		Created:  sw.created,
 		Finished: sw.finished,
 	}
@@ -227,15 +239,22 @@ func (s *Service) recover() []*execution {
 	defer s.mu.Unlock()
 	rc := &recovery{s: s, results: make(map[string]*Result), execByKey: make(map[string]*execution)}
 
-	// Sweeps first, so member jobs can link to them.
+	// Sweeps first, so member jobs can link to them. In cluster mode
+	// each daemon rebuilds only what it owns: peers' records stay in
+	// the store (their submitters recover them), and claimable work is
+	// found by the claim loop, not by recovery.
 	for i := range st.Sweeps {
 		rec := &st.Sweeps[i]
+		if rec.Node != s.cfg.NodeID {
+			continue
+		}
 		if rec.Seq > s.sweepSeq {
 			s.sweepSeq = rec.Seq
 		}
 		sw := &sweep{
 			id:       rec.ID,
 			seq:      rec.Seq,
+			node:     rec.Node,
 			created:  rec.Created,
 			finished: rec.Finished,
 			state:    State(rec.State),
@@ -279,6 +298,9 @@ func (s *Service) recover() []*execution {
 	memberJob := make(map[string]map[int]*job)
 	for i := range st.Jobs {
 		rec := &st.Jobs[i]
+		if rec.Node != s.cfg.NodeID {
+			continue // a peer's job (cluster mode): not ours to rebuild
+		}
 		if rec.Seq > s.seq {
 			s.seq = rec.Seq
 		}
@@ -294,6 +316,7 @@ func (s *Service) recover() []*execution {
 			spec:      spec,
 			cfg:       spec.Config.withDefaults(s.cfg.SimParallelism),
 			circuit:   rec.Circuit,
+			node:      rec.Node,
 			sweepID:   rec.SweepID,
 			member:    rec.Member,
 			orphaned:  rec.Orphaned,
@@ -342,6 +365,13 @@ func (s *Service) recover() []*execution {
 		j.started = time.Time{}
 		j.finished = time.Time{}
 		if rc.tryComplete(j) {
+			return
+		}
+		if s.clustered() {
+			// Cluster dispatch: the queued record is the queue. Any
+			// member's claim loop (including this daemon's) leases it;
+			// spec resolution happens at claim time.
+			rc.enqueue(j, nil, nil)
 			return
 		}
 		// Re-resolve without upload limits: the spec was validated
@@ -466,10 +496,20 @@ func (rc *recovery) tryComplete(j *job) bool {
 
 // enqueue attaches j to the in-flight execution for its content key,
 // creating one (with the resolved circuit and T0) when this is the
-// key's first job.
+// key's first job. In cluster mode no execution is created at all: the
+// job is left a durable queued record (with the resolved inputs cached
+// on j for the local claim fast path) for the cluster's claim loops.
 func (rc *recovery) enqueue(j *job, c *netlist.Circuit, t0 vectors.Sequence) {
 	s := rc.s
 	j.state = StateQueued
+	if s.clustered() {
+		if c != nil {
+			j.c, j.t0 = c, t0
+		}
+		s.persistJob(j)
+		s.metrics.orphansRequeued.Add(1)
+		return
+	}
 	if ex := rc.execByKey[j.key]; ex != nil {
 		j.exec = ex
 		ex.jobs = append(ex.jobs, j)
@@ -574,12 +614,13 @@ func (s *Service) resubmitLostMember(rc *recovery, sw *sweep, i int) *job {
 	s.seq++
 	idx := i
 	j := &job{
-		id:        fmt.Sprintf("job-%06d", s.seq),
+		id:        s.newJobID(s.seq),
 		seq:       s.seq,
 		key:       contentKey(c, spec.T0, cfg),
 		spec:      spec,
 		cfg:       cfg,
 		circuit:   c.Name,
+		node:      s.cfg.NodeID,
 		sweepID:   sw.id,
 		member:    i,
 		orphaned:  true,

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// writePrometheus renders a MetricsSnapshot in the Prometheus text
+// exposition format (version 0.0.4), so standard scrapers consume the
+// daemon without bespoke glue: GET /metrics?format=prometheus. Every
+// counter documented for the JSON form appears here under a
+// seqbist_-prefixed name that embeds the same leaf (e.g.
+// `jobs.submitted` -> seqbist_jobs_submitted_total); scripts/
+// checklinks.sh holds the two surfaces to that rule.
+func writePrometheus(w io.Writer, snap MetricsSnapshot) {
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	c("seqbist_jobs_submitted_total", "Jobs accepted for execution.", snap.Jobs.Submitted)
+	c("seqbist_jobs_done_total", "Jobs finished successfully.", snap.Jobs.Done)
+	c("seqbist_jobs_failed_total", "Jobs that ended in error.", snap.Jobs.Failed)
+	c("seqbist_jobs_canceled_total", "Jobs canceled before completion.", snap.Jobs.Canceled)
+	c("seqbist_jobs_coalesced_total", "Submissions attached to an identical in-flight execution.", snap.Jobs.Coalesced)
+	fmt.Fprintf(w, "# HELP seqbist_jobs_by_state Jobs currently retained, by lifecycle state.\n# TYPE seqbist_jobs_by_state gauge\n")
+	states := make([]string, 0, len(snap.Jobs.ByState))
+	for st := range snap.Jobs.ByState {
+		states = append(states, string(st))
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "seqbist_jobs_by_state{state=%q} %d\n", st, snap.Jobs.ByState[State(st)])
+	}
+
+	c("seqbist_sweeps_started_total", "Batch sweeps accepted.", snap.Sweeps.Started)
+	c("seqbist_sweeps_finished_total", "Batch sweeps that reached a terminal state.", snap.Sweeps.Finished)
+	g("seqbist_sweeps_active", "Sweeps currently running.", float64(snap.Sweeps.Active))
+
+	g("seqbist_cache_entries", "Result-cache entries resident.", float64(snap.Cache.Entries))
+	c("seqbist_cache_hits_total", "Result-cache hits.", snap.Cache.Hits)
+	c("seqbist_cache_misses_total", "Result-cache misses.", snap.Cache.Misses)
+
+	c("seqbist_fsim_proc2_sims_total", "Procedure 2 expanded-sequence fault simulations.", snap.Fsim.Proc2Sims)
+	c("seqbist_fsim_patterns_applied_total", "Input vectors applied by the fault-simulation engines.", snap.Fsim.PatternsApplied)
+	c("seqbist_fsim_gates_evaluated_total", "Gate evaluations performed by the active-region engine.", snap.Fsim.GatesEvaluated)
+	c("seqbist_fsim_gates_skipped_total", "Gate evaluations proven unnecessary and skipped.", snap.Fsim.GatesSkipped)
+	c("seqbist_fsim_groups_quiescent_total", "Whole group-time-unit evaluations skipped as quiescent.", snap.Fsim.GroupsQuiescent)
+
+	fmt.Fprintf(w, "# HELP seqbist_phase_seconds_total Cumulative pipeline wall time by stage (atpg, select, compact, bist).\n# TYPE seqbist_phase_seconds_total counter\n")
+	phases := make([]string, 0, len(snap.PhaseSeconds))
+	for ph := range snap.PhaseSeconds {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	for _, ph := range phases {
+		fmt.Fprintf(w, "seqbist_phase_seconds_total{phase=%q} %g\n", ph, snap.PhaseSeconds[ph])
+	}
+
+	g("seqbist_workers", "Synthesis worker-pool size.", float64(snap.Workers))
+	g("seqbist_queue_depth", "Pending-job queue capacity.", float64(snap.QueueDepth))
+	g("seqbist_queue_len", "Executions currently queued.", float64(snap.QueueLen))
+	c("seqbist_http_rate_limited_total", "Submissions answered 429 by the per-client rate limiter.", snap.HTTP.RateLimited)
+
+	if st := snap.Store; st != nil {
+		c("seqbist_store_records_written_total", "Record-log appends since the store opened.", st.RecordsWritten)
+		g("seqbist_store_bytes_on_disk", "Store footprint: log + snapshot + spilled results.", float64(st.BytesOnDisk))
+		c("seqbist_store_compactions_total", "Snapshot compactions since open.", st.Compactions)
+		if st.LastCompaction != "" {
+			// last_compaction is exported as presence of the compactions
+			// counter plus this info label, text-format style.
+			fmt.Fprintf(w, "# HELP seqbist_store_last_compaction_info RFC 3339 time of the most recent compaction.\n# TYPE seqbist_store_last_compaction_info gauge\nseqbist_store_last_compaction_info{time=%q} 1\n", st.LastCompaction)
+		}
+		c("seqbist_store_records_replayed_total", "Records rehydrated at startup.", st.RecordsReplayed)
+		c("seqbist_store_records_refreshed_total", "Peers' records folded in after startup (cluster mode).", st.RecordsRefreshed)
+		c("seqbist_store_skipped_frames_total", "Torn or corrupt frames skipped scanning the shared log.", st.SkippedFrames)
+		g("seqbist_store_truncated_tail", "1 if a torn record was discarded from the log tail at startup.", boolGauge(st.TruncatedTail))
+		c("seqbist_store_jobs_recovered_total", "Job records rebuilt into live state at startup.", st.JobsRecovered)
+		c("seqbist_store_sweeps_recovered_total", "Sweep records rebuilt into live state at startup.", st.SweepsRecovered)
+		c("seqbist_store_orphans_requeued_total", "Jobs re-enqueued after being orphaned by a crash.", st.OrphansRequeued)
+		c("seqbist_store_write_errors_total", "Store writes that failed.", st.WriteErrors)
+	}
+
+	if cl := snap.Cluster; cl != nil {
+		fmt.Fprintf(w, "# HELP seqbist_cluster_node Identity of this cluster member (node_id label).\n# TYPE seqbist_cluster_node gauge\nseqbist_cluster_node{node_id=%q} 1\n", cl.NodeID)
+		g("seqbist_cluster_peers", "Other nodes with a fresh heartbeat.", float64(cl.Peers))
+		g("seqbist_cluster_nodes_seen", "Distinct node identities ever recorded in the store.", float64(cl.NodesSeen))
+		c("seqbist_cluster_claims_won_total", "Lease claims this daemon won.", cl.ClaimsWon)
+		c("seqbist_cluster_claims_lost_total", "Lease claims this daemon lost to a peer.", cl.ClaimsLost)
+		g("seqbist_cluster_claims_held", "Leases currently held.", float64(cl.ClaimsHeld))
+		c("seqbist_cluster_leases_expired_total", "Expired leases acted on (stolen or lost).", cl.LeasesExpired)
+		c("seqbist_cluster_jobs_stolen_total", "Claims won on a dead or stalled peer's work.", cl.JobsStolen)
+		c("seqbist_cluster_remote_done_total", "Local jobs completed by peers' terminal records.", cl.RemoteDone)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

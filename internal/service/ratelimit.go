@@ -1,0 +1,87 @@
+package service
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket protecting the submission
+// endpoints: each client key accrues `rate` tokens per second up to
+// `burst`, one submission spends one token, and an empty bucket answers
+// how long until the next token so the HTTP layer can emit Retry-After.
+// Buckets are materialized lazily per client and pruned once they are
+// both full (no debt to remember) and stale, so the map stays bounded
+// by the set of recently-active clients.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	sweepAt time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns nil when rate is non-positive (limiting off).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), clients: make(map[string]*bucket)}
+}
+
+// allow spends one token for key; when the bucket is empty it reports
+// false and the wait until one full token accrues.
+func (rl *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.clients[key]
+	if b == nil {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.clients[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = now
+	rl.maybeSweep(now)
+	if b.tokens < 1 {
+		return false, time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	}
+	b.tokens--
+	return true, 0
+}
+
+// maybeSweep drops buckets that have refilled completely and sat idle,
+// at most once a minute. Callers hold rl.mu.
+func (rl *rateLimiter) maybeSweep(now time.Time) {
+	if now.Before(rl.sweepAt) {
+		return
+	}
+	rl.sweepAt = now.Add(time.Minute)
+	idle := time.Duration(rl.burst/rl.rate*float64(time.Second)) + time.Minute
+	for key, b := range rl.clients {
+		if now.Sub(b.last) > idle {
+			delete(rl.clients, key)
+		}
+	}
+}
+
+// clientKey buckets requests by remote host (one bucket per client IP;
+// the port churns per connection and must not split the budget).
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

@@ -90,6 +90,35 @@ type Config struct {
 	// worker pool drains. Nil (the default) keeps the pre-store,
 	// process-memory-only behavior.
 	Store store.Store
+
+	// NodeID, together with Store, turns this service into one member
+	// of a multi-daemon cluster: every daemon that opens the same store
+	// under a distinct NodeID cooperatively drains one queue. Dispatch
+	// changes shape — submissions become durable queued records, and a
+	// claim loop on every member leases records for execution (stealing
+	// work whose holder's lease expired, e.g. a SIGKILLed peer), so any
+	// member's jobs and sweeps finish as long as one member survives.
+	// IDs are namespaced per node ("job-<node>-000001"). See DESIGN.md
+	// §10. Empty (the default) keeps single-daemon dispatch.
+	NodeID string
+	// LeaseTTL is how long a claimed job stays fenced to its claimant
+	// without renewal (default 10s). Shorter TTLs re-assign a killed
+	// member's work faster but tolerate less scheduling delay before
+	// peers steal a live member's jobs (safe — results are
+	// content-addressed — but wasteful).
+	LeaseTTL time.Duration
+	// PollInterval is the claim-loop cadence (default LeaseTTL/20,
+	// clamped to [100ms, 1s]).
+	PollInterval time.Duration
+
+	// RateLimit, when positive, enables a per-client token bucket on
+	// POST /v1/jobs and /v1/sweeps: each client (keyed by remote host)
+	// accrues RateLimit submissions per second up to a burst of
+	// RateBurst; beyond that the HTTP layer answers 429 with a
+	// Retry-After header. Zero disables limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth (default max(1, ceil(RateLimit))).
+	RateBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +149,29 @@ func (c Config) withDefaults() Config {
 	if c.BenchLimits.MaxSignals < 0 {
 		c.BenchLimits.MaxSignals = 0
 	}
+	if c.NodeID != "" {
+		if c.LeaseTTL <= 0 {
+			c.LeaseTTL = 10 * time.Second
+		}
+		if c.PollInterval <= 0 {
+			c.PollInterval = c.LeaseTTL / 20
+			if c.PollInterval < 100*time.Millisecond {
+				c.PollInterval = 100 * time.Millisecond
+			}
+			if c.PollInterval > time.Second {
+				c.PollInterval = time.Second
+			}
+		}
+	}
+	if c.RateLimit > 0 && c.RateBurst < 1 {
+		c.RateBurst = int(c.RateLimit)
+		if float64(c.RateBurst) < c.RateLimit {
+			c.RateBurst++
+		}
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
 	return c
 }
 
@@ -141,11 +193,20 @@ type Service struct {
 	order      []string // submission order, for listing
 	cache      *resultCache
 	inflight   map[string]*execution // content key -> in-flight run
+	leases     map[string]*execution // job ID -> locally-claimed run (cluster mode)
 	seq        int64
 	sweeps     map[string]*sweep
 	sweepOrder []string // creation order, for listing and eviction
 	sweepSeq   int64
 	closed     bool
+
+	// Cluster-mode plumbing: started stamps the heartbeat record,
+	// clusterWake nudges the claim loop ahead of its next tick (local
+	// submissions should not wait a full poll interval), lastHeartbeat
+	// throttles heartbeat records (touched only by the claim loop).
+	started       time.Time
+	clusterWake   chan struct{}
+	lastHeartbeat time.Time
 
 	// resultRefs counts, per content key, the live referents of a
 	// stored result body: done job records plus cache entries. When the
@@ -164,20 +225,25 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:        cfg,
-		store:      cfg.Store,
-		rootCtx:    ctx,
-		rootCancel: cancel,
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*execution),
-		sweeps:     make(map[string]*sweep),
-		cache:      newResultCache(cfg.CacheSize),
-		resultRefs: make(map[string]int),
+		cfg:         cfg,
+		store:       cfg.Store,
+		rootCtx:     ctx,
+		rootCancel:  cancel,
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*execution),
+		leases:      make(map[string]*execution),
+		sweeps:      make(map[string]*sweep),
+		cache:       newResultCache(cfg.CacheSize),
+		resultRefs:  make(map[string]int),
+		started:     time.Now(),
+		clusterWake: make(chan struct{}, 1),
 	}
 	s.cache.onEvict = s.decResultRef
 	// Recovery may enlarge the queue so every re-enqueued execution
 	// fits ahead of new submissions; it needs no locking because the
-	// workers have not started.
+	// workers have not started. (In cluster mode recovery re-queues
+	// nothing directly: orphans become durable queued records that the
+	// claim loop — any member's — picks up.)
 	recovered := s.recover()
 	queue := make(chan *execution, cfg.QueueDepth+len(recovered))
 	for _, ex := range recovered {
@@ -188,7 +254,32 @@ func New(cfg Config) *Service {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.clustered() {
+		s.wg.Add(1)
+		go s.clusterLoop()
+	}
 	return s
+}
+
+// clustered reports whether this service is a member of a multi-daemon
+// cluster (a store plus a node identity).
+func (s *Service) clustered() bool { return s.store != nil && s.cfg.NodeID != "" }
+
+// newJobID formats a job ID; cluster mode namespaces it by node so
+// concurrent daemons sharing one store cannot collide.
+func (s *Service) newJobID(seq int64) string {
+	if s.cfg.NodeID != "" {
+		return fmt.Sprintf("job-%s-%06d", s.cfg.NodeID, seq)
+	}
+	return fmt.Sprintf("job-%06d", seq)
+}
+
+// newSweepID formats a sweep ID, namespaced like newJobID.
+func (s *Service) newSweepID(seq int64) string {
+	if s.cfg.NodeID != "" {
+		return fmt.Sprintf("sweep-%s-%04d", s.cfg.NodeID, seq)
+	}
+	return fmt.Sprintf("sweep-%04d", seq)
 }
 
 // Submit validates spec, registers a job, and enqueues it. If an
@@ -227,7 +318,7 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 	}
 	s.seq++
 	j := &job{
-		id:         fmt.Sprintf("job-%06d", s.seq),
+		id:         s.newJobID(s.seq),
 		seq:        s.seq,
 		key:        key,
 		spec:       spec,
@@ -235,6 +326,7 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		circuit:    c.Name,
 		c:          c,
 		t0:         t0,
+		node:       s.cfg.NodeID,
 		sweepID:    sweepID,
 		member:     member,
 		onRunning:  onRunning,
@@ -285,6 +377,21 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		if running && onRunning != nil {
 			onRunning(st)
 		}
+		return st, nil
+	}
+	if s.clustered() {
+		// Cluster dispatch: the durable queued record *is* the queue.
+		// Every member's claim loop — including this daemon's — races to
+		// lease it; whoever wins executes and publishes the result under
+		// the content key, and this daemon's poll loop completes j and
+		// fires its hooks when the terminal record appears.
+		j.state = StateQueued
+		s.register(j)
+		s.persistJob(j)
+		st := j.status()
+		s.mu.Unlock()
+		s.metrics.jobsSubmitted.Add(1)
+		s.nudgeCluster()
 		return st, nil
 	}
 	ex := &execution{key: key, c: c, t0: t0, cfg: cfg}
@@ -502,6 +609,7 @@ func (s *Service) runExec(ex *execution) {
 	s.mu.Lock()
 	if len(ex.jobs) == 0 { // every attached job was canceled while queued
 		s.dropInflight(ex)
+		s.releaseLeaseLocked(ex)
 		s.mu.Unlock()
 		return
 	}
@@ -532,6 +640,22 @@ func (s *Service) runExec(ex *execution) {
 	finished := time.Now()
 	jobs := ex.jobs
 	ex.jobs = nil
+	if ctxErr != nil && ex.leaseLost {
+		// The run was interrupted because another daemon stole the lease
+		// after it expired (this process stalled, or renewal raced a
+		// restart). The thief now owns the claimed job's record; hand
+		// every attached job back to the poll loop un-terminal — the
+		// thief's result lands under the same content key and completes
+		// them without duplicate records from this side.
+		for _, j := range jobs {
+			j.state = StateQueued
+			j.started = time.Time{}
+			j.exec = nil
+		}
+		s.releaseLeaseLocked(ex)
+		s.mu.Unlock()
+		return
+	}
 	if ctxErr == nil && err == nil {
 		// The result body lands in the store before any job record that
 		// references it, so replay never sees a done job whose result is
@@ -564,6 +688,9 @@ func (s *Service) runExec(ex *execution) {
 			j.onTerminal = nil
 		}
 	}
+	// The terminal records above land in the store *before* the lease
+	// release, so no peer can claim the job in a non-terminal state.
+	s.releaseLeaseLocked(ex)
 	s.mu.Unlock()
 
 	for range jobs {

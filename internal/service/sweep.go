@@ -98,6 +98,7 @@ type SweepEvent struct {
 type sweep struct {
 	id   string
 	seq  int64     // numeric suffix of id, for counter recovery
+	node string    // owning daemon (cluster mode); appends events + summary
 	spec SweepSpec // original request, persisted so a crashed
 	// mid-fan-out sweep can re-submit members that never made it to the
 	// queue
@@ -223,8 +224,9 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 	}
 	s.sweepSeq++
 	sw := &sweep{
-		id:      fmt.Sprintf("sweep-%04d", s.sweepSeq),
+		id:      s.newSweepID(s.sweepSeq),
 		seq:     s.sweepSeq,
+		node:    s.cfg.NodeID,
 		spec:    spec,
 		created: time.Now(),
 		state:   StateRunning,

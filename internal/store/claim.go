@@ -1,0 +1,110 @@
+package store
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the lease layer of the store: the records and the
+// arbitration rule that let several daemons sharing one data directory
+// agree on which of them executes each job. A daemon claims a job by
+// appending a ClaimRecord; the claim wins if, at the point the record
+// lands in the log's total order, no other daemon holds an unexpired
+// lease on the job. Because every implementation folds claim records
+// into the claim table with the same rule (applyClaim) in the same
+// order — call order for Memory, log order for Disk — "who holds the
+// lease" is a pure function of the operation stream, exactly like the
+// rest of the replayed state.
+//
+// Leases are wall-clock based: a claim carries the claimant's clock and
+// its expiry, and a later claim by another node wins only if its
+// recorded time is past that expiry. Arbitration therefore never reads
+// the local clock during replay, which keeps replay deterministic; it
+// does assume the daemons' clocks are roughly in sync (they share a
+// machine or a cluster with NTP — see DESIGN.md §10 for the trade-off).
+
+// ClaimRecord is the durable form of one lease operation: a claim or
+// renewal (Released false) or a voluntary release (Released true).
+type ClaimRecord struct {
+	JobID string `json:"job_id"`
+	Node  string `json:"node"`
+	// Time is the claimant's wall clock when the record was appended;
+	// Expires is Time plus the requested lease TTL. Replay arbitrates
+	// with the recorded times only.
+	Time    time.Time `json:"time"`
+	Expires time.Time `json:"expires,omitempty"`
+	// Released marks a voluntary release: the job reached a terminal
+	// state on the holder, so the lease is dissolved rather than left
+	// to expire.
+	Released bool `json:"released,omitempty"`
+}
+
+// Claim is the evaluated lease state of one job: who holds it and when
+// the hold lapses unless renewed.
+type Claim struct {
+	Node    string    `json:"node"`
+	Expires time.Time `json:"expires"`
+}
+
+// NodeRecord is one daemon's identity and heartbeat. Each daemon
+// re-appends its record every poll interval; peers treat a node whose
+// Time is older than a few lease TTLs as dead.
+type NodeRecord struct {
+	ID      string    `json:"id"`
+	Started time.Time `json:"started,omitempty"`
+	Time    time.Time `json:"time"`
+}
+
+// terminalJobState mirrors service.State.Terminal for the raw strings
+// the store carries (the store stays free of service types).
+func terminalJobState(s string) bool {
+	return s == "done" || s == "failed" || s == "canceled"
+}
+
+// applyClaim folds one claim record into the claim table and reports
+// whether the claimant holds the lease afterwards. The rule, applied in
+// the operation stream's total order:
+//
+//   - a release dissolves the lease iff the releaser holds it;
+//   - a claim on a job whose record is terminal is void (the work is
+//     finished; leasing it again would only invite duplicate execution
+//     for nothing);
+//   - otherwise the claim wins iff the job is unclaimed, the claimant
+//     already holds it (renewal — allowed even after expiry, so a slow
+//     holder that nobody has displaced keeps its work), or the existing
+//     lease had expired by the claimant's recorded time.
+func applyClaim(claims map[string]Claim, jobs map[string]JobRecord, rec ClaimRecord) bool {
+	if rec.Released {
+		if cur, ok := claims[rec.JobID]; ok && cur.Node == rec.Node {
+			delete(claims, rec.JobID)
+		}
+		return false
+	}
+	if j, ok := jobs[rec.JobID]; ok && terminalJobState(j.State) {
+		return false
+	}
+	if cur, ok := claims[rec.JobID]; ok && cur.Node != rec.Node && rec.Time.Before(cur.Expires) {
+		return false
+	}
+	claims[rec.JobID] = Claim{Node: rec.Node, Expires: rec.Expires}
+	return true
+}
+
+// copyClaims snapshots a claim table.
+func copyClaims(claims map[string]Claim) map[string]Claim {
+	out := make(map[string]Claim, len(claims))
+	for id, c := range claims {
+		out[id] = c
+	}
+	return out
+}
+
+// nodeList snapshots a node table in ID order.
+func nodeList(nodes map[string]NodeRecord) []NodeRecord {
+	out := make([]NodeRecord, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

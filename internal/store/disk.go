@@ -35,6 +35,17 @@ type Options struct {
 	// CompactBytes triggers automatic snapshot compaction when the WAL
 	// grows past this size (default 8 MiB; <0 disables auto-compaction).
 	CompactBytes int64
+	// NodeID, when set, opens the directory in *shared* mode: several
+	// processes (one per NodeID) may hold the same directory open and
+	// append concurrently. Appends go through O_APPEND one-write()-
+	// per-record framing, so the kernel serializes them into a total
+	// order; Refresh tails the log and folds peers' records into this
+	// handle's view. Shared handles never truncate or compact the log
+	// (a peer may be mid-append past any point this handle has seen),
+	// so compaction of a cluster directory is an offline, exclusive
+	// operation. Empty (the default) keeps the exclusive single-process
+	// behavior of PR 4.
+	NodeID string
 }
 
 func (o Options) withDefaults() Options {
@@ -55,12 +66,23 @@ func (o Options) withDefaults() Options {
 // expected shape of a mid-write crash) is detected by its checksum,
 // discarded, and the log is truncated back to the last intact record.
 type Disk struct {
-	opts Options
+	opts   Options
+	shared bool // multi-writer mode (Options.NodeID set)
 
 	mu       sync.Mutex
 	wal      *os.File
 	walBytes int64
 	nextLSN  int64
+	// lsns tracks the highest LSN seen per node (LSN streams are
+	// per-writer in shared mode); snapLSNs is the per-node cutoff the
+	// current snapshot covers, so stale log records are skipped at
+	// replay. readOff is how far into the log the shared-mode scanner
+	// has consumed; opened flips once Open's replay finishes (it splits
+	// the RecordsReplayed / RecordsRefreshed accounting).
+	lsns     map[string]int64
+	snapLSNs map[string]int64
+	readOff  int64
+	opened   bool
 
 	// Mirrors of the durable state, used to serve Load and to write
 	// snapshots. A nil results value marks a body spilled to its file.
@@ -68,6 +90,8 @@ type Disk struct {
 	sweeps  map[string]SweepRecord
 	events  map[string][]EventRecord
 	results map[string][]byte
+	claims  map[string]Claim
+	nodes   map[string]NodeRecord
 
 	// Incremental footprint accounting, so Stats never has to walk the
 	// spill directory: spillSize tracks each spilled body's bytes,
@@ -86,8 +110,12 @@ const (
 )
 
 // walEntry is one WAL line's payload (the bytes the frame checksums).
+// Node identifies the writer in shared mode: LSN streams are per-node,
+// so the pair (Node, LSN) is unique while the log's byte order is the
+// total order every replay agrees on.
 type walEntry struct {
 	LSN  int64           `json:"lsn"`
+	Node string          `json:"n,omitempty"`
 	Type string          `json:"t"`
 	Data json.RawMessage `json:"d,omitempty"`
 }
@@ -108,11 +136,14 @@ type (
 // in results/.
 type snapshot struct {
 	LSN        int64                      `json:"lsn"`
+	LSNs       map[string]int64           `json:"lsns,omitempty"` // per-node cutoff (shared-era logs)
 	Jobs       []JobRecord                `json:"jobs,omitempty"`
 	Sweeps     []SweepRecord              `json:"sweeps,omitempty"`
 	Events     map[string][]EventRecord   `json:"events,omitempty"`
 	Results    map[string]json.RawMessage `json:"results,omitempty"`
 	ResultRefs []string                   `json:"result_refs,omitempty"`
+	Claims     map[string]Claim           `json:"claims,omitempty"`
+	Nodes      []NodeRecord               `json:"nodes,omitempty"`
 }
 
 // Open opens (creating if needed) the data directory and replays its
@@ -128,21 +159,35 @@ func Open(opts Options) (*Disk, error) {
 	}
 	d := &Disk{
 		opts:      opts,
+		shared:    opts.NodeID != "",
 		jobs:      make(map[string]JobRecord),
 		sweeps:    make(map[string]SweepRecord),
 		events:    make(map[string][]EventRecord),
 		results:   make(map[string][]byte),
+		claims:    make(map[string]Claim),
+		nodes:     make(map[string]NodeRecord),
 		spillSize: make(map[string]int64),
+		lsns:      make(map[string]int64),
+		snapLSNs:  make(map[string]int64),
 		nextLSN:   1,
 	}
-	dropTempFiles(opts.Dir)
-	snapLSN, err := d.replaySnapshot()
-	if err != nil {
+	if !d.shared {
+		// Crash leftovers are only safely removable with exclusive
+		// access: in shared mode a *.tmp or an unreferenced spill file
+		// may be a live peer's write in flight.
+		dropTempFiles(opts.Dir)
+	}
+	if err := d.replaySnapshot(); err != nil {
 		return nil, err
 	}
-	if err := d.replayWAL(snapLSN); err != nil {
+	if d.shared {
+		if err := d.refreshLocked(); err != nil {
+			return nil, err
+		}
+	} else if err := d.replayWAL(); err != nil {
 		return nil, err
 	}
+	d.nextLSN = d.lsns[opts.NodeID] + 1
 	wal, err := os.OpenFile(filepath.Join(opts.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -151,7 +196,10 @@ func Open(opts Options) (*Disk, error) {
 	if fi, err := wal.Stat(); err == nil {
 		d.walBytes = fi.Size()
 	}
-	d.sweepOrphanSpills()
+	if !d.shared {
+		d.sweepOrphanSpills()
+	}
+	d.opened = true
 	return d, nil
 }
 
@@ -198,21 +246,22 @@ func dropTempFiles(dir string) {
 }
 
 // replaySnapshot loads snapshot.json (if present) into the mirrors and
-// returns its LSN; WAL records at or below it are stale and skipped.
-func (d *Disk) replaySnapshot() (int64, error) {
+// records its per-node LSN cutoffs; WAL records at or below the cutoff
+// for their node are stale and skipped.
+func (d *Disk) replaySnapshot() error {
 	data, err := os.ReadFile(filepath.Join(d.opts.Dir, snapName))
 	if os.IsNotExist(err) {
-		return 0, nil
+		return nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
+		return fmt.Errorf("store: %w", err)
 	}
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		// Snapshots are written via tmp+rename, so a corrupt one is
 		// damage, not a crash artifact — refuse rather than silently
 		// drop state.
-		return 0, fmt.Errorf("store: corrupt %s: %v", snapName, err)
+		return fmt.Errorf("store: corrupt %s: %v", snapName, err)
 	}
 	d.snapBytes = int64(len(data))
 	for _, rec := range snap.Jobs {
@@ -230,14 +279,28 @@ func (d *Disk) replaySnapshot() (int64, error) {
 	for _, key := range snap.ResultRefs {
 		d.results[key] = nil
 	}
+	for id, c := range snap.Claims {
+		d.claims[id] = c
+	}
+	for _, n := range snap.Nodes {
+		d.nodes[n.ID] = n
+	}
 	d.stats.RecordsReplayed += int64(len(snap.Jobs) + len(snap.Sweeps) + len(snap.Results) + len(snap.ResultRefs))
 	for _, log := range snap.Events {
 		d.stats.RecordsReplayed += int64(len(log))
 	}
-	if snap.LSN >= d.nextLSN {
-		d.nextLSN = snap.LSN + 1
+	// Pre-shared-era snapshots carry a single LSN: those records were
+	// all written by the exclusive (empty-named) writer.
+	if snap.LSNs == nil && snap.LSN > 0 {
+		snap.LSNs = map[string]int64{"": snap.LSN}
 	}
-	return snap.LSN, nil
+	for node, lsn := range snap.LSNs {
+		d.snapLSNs[node] = lsn
+		if lsn > d.lsns[node] {
+			d.lsns[node] = lsn
+		}
+	}
+	return nil
 }
 
 // replayWAL applies every intact record with LSN > snapLSN. A bad
@@ -249,7 +312,7 @@ func (d *Disk) replaySnapshot() (int64, error) {
 // (bit rot, external tampering). Truncating there would silently throw
 // away every later record, so Open refuses instead, mirroring the
 // corrupt-snapshot policy.
-func (d *Disk) replayWAL(snapLSN int64) error {
+func (d *Disk) replayWAL() error {
 	path := filepath.Join(d.opts.Dir, walName)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -271,6 +334,23 @@ func (d *Disk) replayWAL(snapLSN int64) error {
 		}
 		ent, ok := parseWALLine(line, err == nil)
 		if !ok {
+			// A prior *shared-mode* writer may have died mid-append with
+			// a peer appending right after: the torn bytes and the
+			// peer's intact frame then share one "line". Recover the
+			// glued frame before judging the log corrupt.
+			if gent, gok := recoverGluedFrame(line, err == nil); gok {
+				d.stats.SkippedFrames++
+				good += int64(len(line))
+				d.noteLSN(gent)
+				if d.applyStale(gent) {
+					continue
+				}
+				if aerr := d.applyEntry(gent); aerr != nil {
+					return aerr
+				}
+				d.stats.RecordsReplayed++
+				continue
+			}
 			// Distinguish a torn tail from mid-log damage: after a true
 			// tear nothing further can parse (appends only ever follow
 			// an Open that already truncated the tear away).
@@ -287,10 +367,8 @@ func (d *Disk) replayWAL(snapLSN int64) error {
 			break
 		}
 		good += int64(len(line))
-		if ent.LSN >= d.nextLSN {
-			d.nextLSN = ent.LSN + 1
-		}
-		if ent.LSN <= snapLSN {
+		d.noteLSN(ent)
+		if d.applyStale(ent) {
 			continue // predates the snapshot (crash before log rotation)
 		}
 		if err := d.applyEntry(ent); err != nil {
@@ -304,6 +382,111 @@ func (d *Disk) replayWAL(snapLSN int64) error {
 		}
 	}
 	return nil
+}
+
+// noteLSN tracks the highest LSN seen per writer.
+func (d *Disk) noteLSN(ent walEntry) {
+	if ent.LSN > d.lsns[ent.Node] {
+		d.lsns[ent.Node] = ent.LSN
+	}
+}
+
+// applyStale reports whether the entry is already covered by the
+// loaded snapshot.
+func (d *Disk) applyStale(ent walEntry) bool {
+	return ent.LSN <= d.snapLSNs[ent.Node]
+}
+
+// refreshLocked is the shared-mode log scanner: it reads every complete
+// frame appended since readOff — this handle's own appends and every
+// peer's — and folds them into the mirrors in the log's byte order,
+// which is the total order all nodes agree on. An incomplete frame at
+// the end of the scan is left alone (a peer may be mid-write; the next
+// refresh retries from the same offset), a complete-but-corrupt frame
+// is skipped and counted, and a frame glued onto a crashed writer's
+// torn bytes is recovered by recoverGluedFrame. Shared handles never
+// truncate: any byte past readOff may be a peer's acknowledged state.
+// Callers hold d.mu.
+func (d *Disk) refreshLocked() error {
+	path := filepath.Join(d.opts.Dir, walName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(d.readOff, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	br := bufio.NewReader(f)
+	good := d.readOff
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("store: reading %s: %w", walName, err)
+		}
+		if line == "" {
+			break
+		}
+		if err == io.EOF {
+			break // incomplete tail: possibly a peer's write in flight
+		}
+		ent, ok := parseWALLine(line, true)
+		if !ok {
+			ent, ok = recoverGluedFrame(line, true)
+			d.stats.SkippedFrames++
+			if !ok {
+				// A complete line that holds no valid frame at all:
+				// skip it and keep scanning — refusing would wedge
+				// every node in the cluster on one damaged record.
+				good += int64(len(line))
+				continue
+			}
+		}
+		good += int64(len(line))
+		d.noteLSN(ent)
+		if d.applyStale(ent) {
+			continue
+		}
+		if err := d.applyEntry(ent); err != nil {
+			return err
+		}
+		if d.opened {
+			d.stats.RecordsRefreshed++
+		} else {
+			d.stats.RecordsReplayed++
+		}
+	}
+	d.readOff = good
+	return nil
+}
+
+// recoverGluedFrame hunts for a complete frame hidden at the end of an
+// unparseable line: when a writer dies mid-append its torn bytes carry
+// no newline, so the next writer's intact frame is glued onto them and
+// ReadString returns both as one line. The intact frame's payload
+// starts with `{"lsn"` and is preceded by its own "crc32hex space"
+// prefix; every candidate position is verified by checksum, so torn
+// garbage that happens to contain the marker cannot fool it.
+func recoverGluedFrame(line string, complete bool) (walEntry, bool) {
+	if !complete {
+		return walEntry{}, false
+	}
+	for i := 0; ; {
+		k := strings.Index(line[i:], `{"lsn"`)
+		if k < 0 {
+			return walEntry{}, false
+		}
+		p := i + k
+		if p >= 9 && line[p-1] == ' ' {
+			if ent, ok := parseWALLine(line[p-9:], true); ok {
+				return ent, true
+			}
+		}
+		i = p + 1
+	}
 }
 
 // parseWALLine validates one frame: "crc32hex space payload newline".
@@ -343,6 +526,7 @@ func (d *Disk) applyEntry(ent walEntry) error {
 			return fmt.Errorf("store: bad job delete: %v", err)
 		}
 		delete(d.jobs, p.ID)
+		delete(d.claims, p.ID)
 	case "sweep":
 		var rec SweepRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
@@ -369,8 +553,21 @@ func (d *Disk) applyEntry(ent walEntry) error {
 		}
 		if p.Data == nil {
 			d.results[p.Key] = nil // spilled; body lives in results/
+			if d.shared {
+				// The file may have been written by a peer process:
+				// account for it by size on disk (exclusive handles
+				// seed this accounting in sweepOrphanSpills instead).
+				d.forgetSpillAccounting(p.Key)
+				if info, err := os.Stat(d.resultPath(p.Key)); err == nil {
+					d.spillSize[p.Key] = info.Size()
+					d.spillSum += info.Size()
+				}
+			}
 		} else {
 			d.results[p.Key] = p.Data
+			if d.shared {
+				d.forgetSpillAccounting(p.Key)
+			}
 		}
 	case "resultdel":
 		var p resultPayload
@@ -380,12 +577,38 @@ func (d *Disk) applyEntry(ent walEntry) error {
 		// Replay only updates the mirror — spill files reflect the
 		// *final* runtime state, so removing one here could destroy the
 		// body of a later re-put of the same key. Files left orphaned by
-		// a crash are swept once replay has finished (see Open).
+		// a crash are swept once replay has finished (see Open); in
+		// shared mode only the process that issued the delete touches
+		// the file (see DeleteResult).
 		delete(d.results, p.Key)
+		if d.shared {
+			d.forgetSpillAccounting(p.Key)
+		}
+	case "claim":
+		var rec ClaimRecord
+		if err := json.Unmarshal(ent.Data, &rec); err != nil {
+			return fmt.Errorf("store: bad claim record: %v", err)
+		}
+		applyClaim(d.claims, d.jobs, rec)
+	case "node":
+		var rec NodeRecord
+		if err := json.Unmarshal(ent.Data, &rec); err != nil {
+			return fmt.Errorf("store: bad node record: %v", err)
+		}
+		d.nodes[rec.ID] = rec
 	default:
 		return fmt.Errorf("store: unknown record type %q", ent.Type)
 	}
 	return nil
+}
+
+// forgetSpillAccounting drops key's spill-size accounting without
+// touching the file (shared mode: the file may belong to a peer).
+func (d *Disk) forgetSpillAccounting(key string) {
+	if size, ok := d.spillSize[key]; ok {
+		d.spillSum -= size
+		delete(d.spillSize, key)
+	}
 }
 
 // append frames and writes one record, fsyncing per Options.Fsync.
@@ -398,10 +621,15 @@ func (d *Disk) append(typ string, data any) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	payload, err := json.Marshal(walEntry{LSN: d.nextLSN, Type: typ, Data: raw})
+	payload, err := json.Marshal(walEntry{LSN: d.nextLSN, Node: d.opts.NodeID, Type: typ, Data: raw})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	// One write() per record: the fd is O_APPEND, so in shared mode the
+	// kernel serializes concurrent appends from the cluster's processes
+	// into whole, non-interleaved frames — the log's byte order is the
+	// arbitration order (the CRC framing backstops the atomicity
+	// assumption; see DESIGN.md §10).
 	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
 	n, err := d.wal.WriteString(line)
 	if err != nil {
@@ -412,6 +640,7 @@ func (d *Disk) append(typ string, data any) error {
 			return fmt.Errorf("store: wal fsync: %w", err)
 		}
 	}
+	d.lsns[d.opts.NodeID] = d.nextLSN
 	d.nextLSN++
 	d.walBytes += int64(n)
 	d.stats.RecordsWritten++
@@ -420,12 +649,27 @@ func (d *Disk) append(typ string, data any) error {
 
 // maybeCompact runs snapshot compaction when the log has outgrown
 // CompactBytes. Callers hold d.mu and have already applied the
-// just-appended record to the mirrors.
+// just-appended record to the mirrors. Shared handles never compact:
+// truncating a log that peers are appending to would discard their
+// acknowledged records.
 func (d *Disk) maybeCompact() error {
-	if d.opts.CompactBytes > 0 && d.walBytes >= d.opts.CompactBytes {
+	if !d.shared && d.opts.CompactBytes > 0 && d.walBytes >= d.opts.CompactBytes {
 		return d.compactLocked()
 	}
 	return nil
+}
+
+// settle finishes one mutation after its append. In shared mode the
+// mirrors are updated by scanning the log forward, so this handle folds
+// its own record in at the record's position in the total order (peers'
+// interleaved records are applied on the way); in exclusive mode the
+// caller already applied the record directly and compaction may
+// trigger. Callers hold d.mu.
+func (d *Disk) settle() error {
+	if d.shared {
+		return d.refreshLocked()
+	}
+	return d.maybeCompact()
 }
 
 // PutJob upserts a job record.
@@ -435,19 +679,24 @@ func (d *Disk) PutJob(rec JobRecord) error {
 	if err := d.append("job", rec); err != nil {
 		return err
 	}
-	d.jobs[rec.ID] = mergeJobRecord(d.jobs[rec.ID], rec)
-	return d.maybeCompact()
+	if !d.shared {
+		d.jobs[rec.ID] = mergeJobRecord(d.jobs[rec.ID], rec)
+	}
+	return d.settle()
 }
 
-// DeleteJob removes a job record.
+// DeleteJob removes a job record (and any lease on it).
 func (d *Disk) DeleteJob(id string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.append("jobdel", delPayload{ID: id}); err != nil {
 		return err
 	}
-	delete(d.jobs, id)
-	return d.maybeCompact()
+	if !d.shared {
+		delete(d.jobs, id)
+		delete(d.claims, id)
+	}
+	return d.settle()
 }
 
 // PutSweep upserts a sweep record.
@@ -457,8 +706,10 @@ func (d *Disk) PutSweep(rec SweepRecord) error {
 	if err := d.append("sweep", rec); err != nil {
 		return err
 	}
-	d.sweeps[rec.ID] = rec
-	return d.maybeCompact()
+	if !d.shared {
+		d.sweeps[rec.ID] = rec
+	}
+	return d.settle()
 }
 
 // DeleteSweep removes a sweep record and its event log.
@@ -468,9 +719,11 @@ func (d *Disk) DeleteSweep(id string) error {
 	if err := d.append("sweepdel", delPayload{ID: id}); err != nil {
 		return err
 	}
-	delete(d.sweeps, id)
-	delete(d.events, id)
-	return d.maybeCompact()
+	if !d.shared {
+		delete(d.sweeps, id)
+		delete(d.events, id)
+	}
+	return d.settle()
 }
 
 // AppendEvent appends one sweep event.
@@ -480,8 +733,10 @@ func (d *Disk) AppendEvent(ev EventRecord) error {
 	if err := d.append("event", ev); err != nil {
 		return err
 	}
-	d.events[ev.SweepID] = placeEvent(d.events[ev.SweepID], ev)
-	return d.maybeCompact()
+	if !d.shared {
+		d.events[ev.SweepID] = placeEvent(d.events[ev.SweepID], ev)
+	}
+	return d.settle()
 }
 
 // PutResult stores one result body: inline in the WAL below SpillBytes,
@@ -494,9 +749,11 @@ func (d *Disk) PutResult(key string, data []byte) error {
 		if err := d.append("result", resultPayload{Key: key, Data: json.RawMessage(data)}); err != nil {
 			return err
 		}
-		d.results[key] = append([]byte(nil), data...)
-		d.dropSpill(key) // a re-put that shrank below the threshold
-		return d.maybeCompact()
+		if !d.shared {
+			d.results[key] = append([]byte(nil), data...)
+			d.dropSpill(key) // a re-put that shrank below the threshold
+		}
+		return d.settle()
 	}
 	if err := writeFileAtomic(d.resultPath(key), data, d.opts.Fsync); err != nil {
 		return fmt.Errorf("store: spilling result: %w", err)
@@ -504,10 +761,12 @@ func (d *Disk) PutResult(key string, data []byte) error {
 	if err := d.append("result", resultPayload{Key: key}); err != nil {
 		return err
 	}
-	d.results[key] = nil
-	d.spillSum += int64(len(data)) - d.spillSize[key]
-	d.spillSize[key] = int64(len(data))
-	return d.maybeCompact()
+	if !d.shared {
+		d.results[key] = nil
+		d.spillSum += int64(len(data)) - d.spillSize[key]
+		d.spillSize[key] = int64(len(data))
+	}
+	return d.settle()
 }
 
 // dropSpill removes key's spill file and its size accounting, if any.
@@ -521,15 +780,23 @@ func (d *Disk) dropSpill(key string) {
 }
 
 // DeleteResult drops one result body (and its spill file, if any).
+// Only the deleting process touches the spill file — peers just update
+// their mirrors when the record reaches them.
 func (d *Disk) DeleteResult(key string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.append("resultdel", resultPayload{Key: key}); err != nil {
 		return err
 	}
+	if d.shared {
+		if _, spilled := d.spillSize[key]; spilled {
+			os.Remove(d.resultPath(key))
+		}
+		return d.settle()
+	}
 	d.dropSpill(key)
 	delete(d.results, key)
-	return d.maybeCompact()
+	return d.settle()
 }
 
 // Result fetches one result body, reading spilled bodies from disk.
@@ -569,24 +836,145 @@ func cleanKey(key string) string {
 	}, key)
 }
 
-// Load snapshots the current mirrored state.
+// Load snapshots the current mirrored state (pulling in peers' latest
+// appends first, in shared mode).
 func (d *Disk) Load() (*State, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.shared {
+		if err := d.refreshLocked(); err != nil {
+			return nil, err
+		}
+	}
 	return stateOf(d.jobs, d.sweeps, d.events, d.results), nil
+}
+
+// Refresh folds records appended by peer processes into this handle's
+// view. No-op for an exclusive handle.
+func (d *Disk) Refresh() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.shared {
+		return nil
+	}
+	return d.refreshLocked()
+}
+
+// ClaimJob attempts to acquire the execution lease on a job: the claim
+// record is appended, the log is scanned forward, and the claim won iff
+// this node holds the lease once every record up to and including its
+// own has been arbitrated in log order. Exactly one of any set of
+// concurrent claimants wins.
+func (d *Disk) ClaimJob(jobID, nodeID string, ttl time.Duration) (bool, error) {
+	return d.claim(jobID, nodeID, ttl)
+}
+
+// RenewLease extends a held lease; false reports that it was lost to
+// another node (renewals and claims share one record type and rule).
+func (d *Disk) RenewLease(jobID, nodeID string, ttl time.Duration) (bool, error) {
+	return d.claim(jobID, nodeID, ttl)
+}
+
+func (d *Disk) claim(jobID, nodeID string, ttl time.Duration) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now()
+	rec := ClaimRecord{JobID: jobID, Node: nodeID, Time: now, Expires: now.Add(ttl)}
+	if err := d.append("claim", rec); err != nil {
+		return false, err
+	}
+	if d.shared {
+		if err := d.refreshLocked(); err != nil {
+			return false, err
+		}
+		// The scan arbitrated every record up to and including ours in
+		// log order: we won iff we ended up the holder. (A thief whose
+		// record already follows ours shows up here too — then we
+		// yield immediately instead of discovering the loss at renewal.)
+		cur, ok := d.claims[jobID]
+		return ok && cur.Node == nodeID, nil
+	}
+	won := applyClaim(d.claims, d.jobs, rec)
+	return won, d.maybeCompact()
+}
+
+// ReleaseJob dissolves a held lease (no-op for a non-holder).
+func (d *Disk) ReleaseJob(jobID, nodeID string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec := ClaimRecord{JobID: jobID, Node: nodeID, Time: time.Now(), Released: true}
+	if err := d.append("claim", rec); err != nil {
+		return err
+	}
+	if !d.shared {
+		applyClaim(d.claims, d.jobs, rec)
+	}
+	return d.settle()
+}
+
+// Heartbeat upserts this node's identity record.
+func (d *Disk) Heartbeat(rec NodeRecord) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.append("node", rec); err != nil {
+		return err
+	}
+	if !d.shared {
+		d.nodes[rec.ID] = rec
+	}
+	return d.settle()
+}
+
+// Claims snapshots the evaluated lease table.
+func (d *Disk) Claims() (map[string]Claim, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.shared {
+		if err := d.refreshLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return copyClaims(d.claims), nil
+}
+
+// Nodes snapshots the known node records in ID order.
+func (d *Disk) Nodes() ([]NodeRecord, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.shared {
+		if err := d.refreshLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return nodeList(d.nodes), nil
 }
 
 // Compact rewrites the snapshot from the current state and truncates
 // the log — a pure representation change: Load is identical before and
-// after, only the replay cost and on-disk footprint shrink.
+// after, only the replay cost and on-disk footprint shrink. Compaction
+// requires exclusive access: a shared handle refuses, because peers may
+// be appending past any point this handle has seen (compact a cluster
+// directory offline, with every daemon stopped).
 func (d *Disk) Compact() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.shared {
+		return fmt.Errorf("store: compaction requires exclusive access (shared handle %q)", d.opts.NodeID)
+	}
 	return d.compactLocked()
 }
 
 func (d *Disk) compactLocked() error {
 	snap := snapshot{LSN: d.nextLSN - 1, Events: d.events}
+	if len(d.lsns) > 1 || (len(d.lsns) == 1 && d.lsns[""] == 0) {
+		// The log has shared-era records: carry the per-node cutoffs.
+		snap.LSNs = make(map[string]int64, len(d.lsns))
+		for node, lsn := range d.lsns {
+			snap.LSNs[node] = lsn
+		}
+	}
+	snap.Claims = copyClaims(d.claims)
+	snap.Nodes = nodeList(d.nodes)
 	st := stateOf(d.jobs, d.sweeps, d.events, d.results)
 	snap.Jobs = st.Jobs
 	snap.Sweeps = st.Sweeps
@@ -623,19 +1011,31 @@ func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := d.stats
-	st.BytesOnDisk = d.walBytes + d.snapBytes + d.spillSum
+	walBytes := d.walBytes
+	if d.shared {
+		// Peers append to the same log, so this handle's own byte count
+		// undercounts; the file is the truth.
+		if fi, err := os.Stat(filepath.Join(d.opts.Dir, walName)); err == nil {
+			walBytes = fi.Size()
+		}
+	}
+	st.BytesOnDisk = walBytes + d.snapBytes + d.spillSum
 	return st
 }
 
 // Close compacts (dropping the replay cost of the accumulated log) and
-// releases the WAL handle.
+// releases the WAL handle. Shared handles skip the compaction — peers
+// may still be appending — and just flush.
 func (d *Disk) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.wal == nil {
 		return nil
 	}
-	err := d.compactLocked()
+	var err error
+	if !d.shared {
+		err = d.compactLocked()
+	}
 	if serr := d.wal.Sync(); err == nil {
 		err = serr
 	}
@@ -648,9 +1048,11 @@ func (d *Disk) Close() error {
 
 // writeFileAtomic writes data to path via a same-directory tmp file and
 // rename, optionally fsyncing the file (and always the directory on
-// sync) so the rename itself is durable.
+// sync) so the rename itself is durable. The tmp name carries the pid
+// so concurrent processes spilling the same content key (same bytes —
+// keys are content hashes) cannot interleave within one tmp file.
 func writeFileAtomic(path string, data []byte, sync bool) error {
-	tmp := path + ".tmp"
+	tmp := fmt.Sprintf("%s.%d.tmp", path, os.Getpid())
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package store
 import (
 	"sort"
 	"sync"
+	"time"
 )
 
 // Memory is the in-memory Store: the reference semantics for every
@@ -16,6 +17,8 @@ type Memory struct {
 	sweeps  map[string]SweepRecord
 	events  map[string][]EventRecord
 	results map[string][]byte
+	claims  map[string]Claim
+	nodes   map[string]NodeRecord
 	written int64
 }
 
@@ -26,6 +29,8 @@ func NewMemory() *Memory {
 		sweeps:  make(map[string]SweepRecord),
 		events:  make(map[string][]EventRecord),
 		results: make(map[string][]byte),
+		claims:  make(map[string]Claim),
+		nodes:   make(map[string]NodeRecord),
 	}
 }
 
@@ -49,11 +54,12 @@ func mergeJobRecord(old, rec JobRecord) JobRecord {
 	return rec
 }
 
-// DeleteJob removes a job record.
+// DeleteJob removes a job record (and any lease on it).
 func (m *Memory) DeleteJob(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.jobs, id)
+	delete(m.claims, id)
 	m.written++
 	return nil
 }
@@ -170,6 +176,65 @@ func stateOf(jobs map[string]JobRecord, sweeps map[string]SweepRecord, events ma
 	}
 	sort.Strings(st.ResultKeys)
 	return st
+}
+
+// ClaimJob attempts to acquire the execution lease on a job. A single
+// process sharing one Memory between several Services arbitrates in
+// call order, which *is* the operation stream's total order here.
+func (m *Memory) ClaimJob(jobID, nodeID string, ttl time.Duration) (bool, error) {
+	return m.claim(jobID, nodeID, ttl)
+}
+
+// RenewLease extends a held lease; false reports it was lost.
+func (m *Memory) RenewLease(jobID, nodeID string, ttl time.Duration) (bool, error) {
+	return m.claim(jobID, nodeID, ttl)
+}
+
+func (m *Memory) claim(jobID, nodeID string, ttl time.Duration) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	won := applyClaim(m.claims, m.jobs, ClaimRecord{
+		JobID: jobID, Node: nodeID, Time: now, Expires: now.Add(ttl),
+	})
+	m.written++
+	return won, nil
+}
+
+// ReleaseJob dissolves a held lease (no-op for a non-holder).
+func (m *Memory) ReleaseJob(jobID, nodeID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	applyClaim(m.claims, m.jobs, ClaimRecord{JobID: jobID, Node: nodeID, Time: time.Now(), Released: true})
+	m.written++
+	return nil
+}
+
+// Heartbeat upserts one node record.
+func (m *Memory) Heartbeat(rec NodeRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[rec.ID] = rec
+	m.written++
+	return nil
+}
+
+// Refresh is a no-op: writes through a shared Memory are visible to
+// every reader the moment they commit.
+func (m *Memory) Refresh() error { return nil }
+
+// Claims snapshots the lease table.
+func (m *Memory) Claims() (map[string]Claim, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return copyClaims(m.claims), nil
+}
+
+// Nodes snapshots the node records in ID order.
+func (m *Memory) Nodes() ([]NodeRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return nodeList(m.nodes), nil
 }
 
 // Compact is a no-op: Memory has no log to rewrite.

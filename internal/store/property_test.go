@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -13,13 +14,15 @@ import (
 // op is one randomized store mutation; the same stream is applied to
 // every store under test.
 type op struct {
-	kind    int // 0 PutJob, 1 DeleteJob, 2 PutSweep, 3 DeleteSweep, 4 AppendEvent, 5 PutResult, 6 DeleteResult
+	kind    int // 0 PutJob, 1 DeleteJob, 2 PutSweep, 3 DeleteSweep, 4 AppendEvent, 5 PutResult, 6 DeleteResult, 7 ClaimJob, 8 ReleaseJob
 	job     JobRecord
 	sweep   SweepRecord
 	event   EventRecord
 	key     string
 	body    []byte
-	compact bool // compact the compacting store after this op
+	node    string        // claim/release ops
+	ttl     time.Duration // claim ops: 0 (instantly stealable) or an hour
+	compact bool          // compact the compacting store after this op
 }
 
 // genOps builds a random but internally consistent operation stream:
@@ -30,8 +33,9 @@ func genOps(rng *rand.Rand, n int) []op {
 	var ops []op
 	var jobIDs, sweepIDs, resultKeys []string
 	jobSeq, sweepSeq := int64(0), int64(0)
+	nodes := []string{"n1", "n2", "n3"}
 	for i := 0; i < n; i++ {
-		o := op{kind: rng.Intn(7), compact: rng.Intn(8) == 0}
+		o := op{kind: rng.Intn(9), compact: rng.Intn(8) == 0}
 		switch o.kind {
 		case 0:
 			// Mix fresh submissions with upserts of existing jobs; some
@@ -116,6 +120,23 @@ func genOps(rng *rand.Rand, n int) []op {
 			k := rng.Intn(len(resultKeys))
 			o.key = resultKeys[k]
 			resultKeys = append(resultKeys[:k], resultKeys[k+1:]...)
+		case 7, 8:
+			// Claims and releases target a mix of live, deleted, and
+			// never-seen job IDs, from rotating nodes. Only the two
+			// deterministic TTL regimes appear: an hour (never expires
+			// within the run, the winner is decided by order alone) and
+			// zero (already expired when the next op looks, so any later
+			// claimant steals) — both arbitrate identically no matter
+			// whose wall clock stamped the record.
+			o.node = nodes[rng.Intn(len(nodes))]
+			if len(jobIDs) > 0 && rng.Intn(4) != 0 {
+				o.key = jobIDs[rng.Intn(len(jobIDs))]
+			} else {
+				o.key = fmt.Sprintf("job-%06d", 1+rng.Intn(30))
+			}
+			if rng.Intn(2) == 0 {
+				o.ttl = time.Hour
+			}
 		}
 		ops = append(ops, o)
 	}
@@ -174,6 +195,10 @@ func apply(t *testing.T, s Store, o op, compact bool) {
 		err = s.PutResult(o.key, o.body)
 	case 6:
 		err = s.DeleteResult(o.key)
+	case 7:
+		_, err = s.ClaimJob(o.key, o.node, o.ttl)
+	case 8:
+		err = s.ReleaseJob(o.key, o.node)
 	}
 	if err == nil && compact && o.compact {
 		err = s.Compact()
@@ -253,6 +278,26 @@ func TestReplayCompactionEquivalence(t *testing.T) {
 				t.Fatalf("crash at op %d: disk replay != memory oracle:\ndisk   %s\noracle %s",
 					crash, dumpState(sp), dumpState(so))
 			}
+			// The lease table is part of the replayed state: the two disk
+			// replays must agree exactly (they arbitrate the identical
+			// record stream), and both must agree with the memory oracle
+			// on who holds every lease (expiry instants differ between
+			// implementations' clocks, holders cannot).
+			cp, err1 := plain2.Claims()
+			cc, err2 := comp2.Claims()
+			co, err3 := oracle.Claims()
+			mustDo(t, err1, err2, err3)
+			// The three stores are separate physical histories whose
+			// claim records carry each store's own clock, so expiry
+			// instants differ by microseconds; the arbitration outcome —
+			// who holds each lease — must not.
+			if !reflect.DeepEqual(claimHolders(cp), claimHolders(cc)) {
+				t.Fatalf("crash at op %d: lease holders diverged between plain and compacted replay:\nplain %v\ncomp  %v",
+					crash, claimHolders(cp), claimHolders(cc))
+			}
+			if !reflect.DeepEqual(claimHolders(cp), claimHolders(co)) {
+				t.Fatalf("crash at op %d: claim holders diverged from oracle:\ndisk   %v\noracle %v", crash, claimHolders(cp), claimHolders(co))
+			}
 			// Result bodies, not just keys, must survive identically.
 			for _, key := range sp.ResultKeys {
 				bp, okp, err1 := plain2.Result(key)
@@ -264,12 +309,17 @@ func TestReplayCompactionEquivalence(t *testing.T) {
 				}
 			}
 			// Compaction is a pure representation change: Load must be
-			// bit-identical before and after.
+			// bit-identical before and after, and leases must survive it.
 			mustDo(t, plain2.Compact())
 			spAfter, _ := plain2.Load()
 			if !statesEqual(sp, spAfter) {
 				t.Fatalf("Compact changed observable state:\nbefore %s\nafter  %s",
 					dumpState(sp), dumpState(spAfter))
+			}
+			cpAfter, err := plain2.Claims()
+			mustDo(t, err)
+			if !reflect.DeepEqual(cp, cpAfter) {
+				t.Fatalf("Compact changed the lease table:\nbefore %v\nafter  %v", cp, cpAfter)
 			}
 		})
 	}

@@ -45,6 +45,11 @@ type JobRecord struct {
 	// (Member is the index; -1 when the job is not part of a sweep).
 	SweepID string `json:"sweep_id,omitempty"`
 	Member  int    `json:"member"`
+	// Node identifies the daemon that accepted the submission (empty
+	// outside cluster mode). In a multi-daemon cluster the submitter
+	// owns the in-memory job object and its lifecycle hooks; any daemon
+	// may execute the job by claiming it (see ClaimJob).
+	Node string `json:"node,omitempty"`
 
 	State    string `json:"state"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
@@ -78,6 +83,10 @@ type SweepRecord struct {
 	Seq      int64  `json:"seq"`
 	State    string `json:"state"`
 	Canceled bool   `json:"canceled,omitempty"`
+	// Node identifies the daemon that accepted (and owns) the sweep in
+	// cluster mode; member jobs execute anywhere, but the owner appends
+	// the event log and the final summary.
+	Node string `json:"node,omitempty"`
 	// Spec is the original service-level SweepSpec, kept so recovery
 	// can re-submit members the crash caught before they were enqueued
 	// (their job records never existed).
@@ -126,6 +135,14 @@ type Stats struct {
 	// RecordsReplayed counts the records rehydrated when the store was
 	// opened (snapshot entries + surviving WAL lines).
 	RecordsReplayed int64 `json:"records_replayed"`
+	// RecordsRefreshed counts records applied after open from other
+	// writers sharing the same directory (always zero outside shared
+	// mode — see Options.NodeID).
+	RecordsRefreshed int64 `json:"records_refreshed,omitempty"`
+	// SkippedFrames counts corrupt or torn frames skipped while
+	// scanning a shared log (a crashed peer's torn write; expected to
+	// stay 0 or very small).
+	SkippedFrames int64 `json:"skipped_frames,omitempty"`
 	// TruncatedTail reports that opening found (and discarded) a torn
 	// or corrupt record at the WAL tail — expected after a crash
 	// mid-write, a red flag otherwise.
@@ -159,6 +176,32 @@ type Store interface {
 	// Load returns the current rehydration snapshot. For Disk this is
 	// the state replayed at Open plus any writes since.
 	Load() (*State, error)
+
+	// The lease layer, used when several daemons share one store to
+	// agree on which of them executes each job (see claim.go for the
+	// arbitration rule and DESIGN.md §10 for the protocol).
+	//
+	// ClaimJob attempts to acquire (or steal, once a prior lease has
+	// expired) the execution lease on a job; RenewLease extends a held
+	// lease and reports false when it was lost to another node;
+	// ReleaseJob dissolves a held lease (no-op for a non-holder).
+	// Exactly one concurrent claimant wins: arbitration happens in the
+	// operation stream's total order, so every node that replays the
+	// stream agrees on the holder.
+	ClaimJob(jobID, nodeID string, ttl time.Duration) (bool, error)
+	RenewLease(jobID, nodeID string, ttl time.Duration) (bool, error)
+	ReleaseJob(jobID, nodeID string) error
+	// Heartbeat upserts this node's identity record; peers read the set
+	// via Nodes to size the cluster and detect dead members.
+	Heartbeat(NodeRecord) error
+	// Refresh pulls records appended by other processes sharing the
+	// same durable storage into this handle's view (no-op for Memory
+	// and for exclusive Disk handles).
+	Refresh() error
+	// Claims snapshots the evaluated lease table (job ID -> holder).
+	Claims() (map[string]Claim, error)
+	// Nodes snapshots the known node records in ID order.
+	Nodes() ([]NodeRecord, error)
 	// Compact rewrites durable storage to its minimal form (snapshot +
 	// empty log). Pure representation change: Load before and after
 	// are identical. A no-op for Memory.

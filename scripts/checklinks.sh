@@ -43,9 +43,12 @@ fi
 # --- metrics reference check -------------------------------------------
 # Collect backticked snake_case tokens from the GET /metrics section of
 # API.md (dotted names like `store.records_written` check their last
-# component) and require each to appear in metrics.go — as a JSON tag
-# or map key — so documented counters can never silently disappear.
+# component) and require each to appear in BOTH exposition surfaces:
+# metrics.go (the JSON form, as a JSON tag or map key) and prometheus.go
+# (the text form, whose seqbist_* family names embed the same leaves) —
+# so documented counters can never silently disappear from either.
 metrics_src=internal/service/metrics.go
+prom_src=internal/service/prometheus.go
 section=$(sed -n '/^### GET \/metrics/,/^### /p' API.md)
 if [ -z "$section" ]; then
     echo "checklinks: API.md has no 'GET /metrics' section" >&2
@@ -54,15 +57,35 @@ fi
 names=$(echo "$section" | grep -ohE '`[a-z][a-z0-9_.]*`' | tr -d '`' | sort -u)
 checked=0
 for name in $names; do
-    leaf=${name##*.}
-    if ! grep -qE "\"$leaf[\",]" "$metrics_src"; then
-        echo "checklinks: metric '$name' is documented in API.md but '$leaf' does not appear in $metrics_src" >&2
-        fail=1
-    else
+    ok=1
+    case "$name" in
+    seqbist_*)
+        # A prometheus family name: it must exist verbatim in the text
+        # exposition source.
+        if ! grep -q "$name" "$prom_src"; then
+            echo "checklinks: prometheus family '$name' is documented in API.md but does not appear in $prom_src" >&2
+            ok=0
+        fi
+        ;;
+    *)
+        leaf=${name##*.}
+        if ! grep -qE "\"$leaf[\",]" "$metrics_src"; then
+            echo "checklinks: metric '$name' is documented in API.md but '$leaf' does not appear in $metrics_src" >&2
+            ok=0
+        fi
+        if ! grep -q "$leaf" "$prom_src"; then
+            echo "checklinks: metric '$name' is documented in API.md but '$leaf' does not appear in $prom_src (prometheus exposition)" >&2
+            ok=0
+        fi
+        ;;
+    esac
+    if [ "$ok" -eq 1 ]; then
         checked=$((checked + 1))
+    else
+        fail=1
     fi
 done
 if [ "$fail" -eq 0 ]; then
-    echo "checklinks: all $checked documented metrics exist in $metrics_src"
+    echo "checklinks: all $checked documented metrics exist in $metrics_src and $prom_src"
 fi
 exit $fail

@@ -35,11 +35,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# start_daemon leaves the new pid in DAEMON_PID (no command
+# substitution: a subshell would strand the pid outside PIDS and the
+# cleanup trap would leak daemons across runs).
 start_daemon() { # addr data-dir log-file
     "$WORKDIR/seqbistd" -addr "$1" -workers 1 -sim-workers 1 -data-dir "$2" \
         >>"$3" 2>&1 &
-    PIDS+=($!)
-    echo $!
+    DAEMON_PID=$!
+    PIDS+=("$DAEMON_PID")
 }
 
 wait_ready() { # addr
@@ -60,7 +63,8 @@ sweep_state() { # addr sweep-id
 normalize() { grep -v '"elapsed_ms"'; }
 
 # --- run A: crash mid-sweep, recover -----------------------------------
-PID_A=$(start_daemon "$ADDR_A" "$WORKDIR/data-a" "$WORKDIR/daemon-a.log")
+start_daemon "$ADDR_A" "$WORKDIR/data-a" "$WORKDIR/daemon-a.log"
+PID_A=$DAEMON_PID
 wait_ready "$ADDR_A"
 
 SWEEP_ID=$(curl -sf -X POST "http://$ADDR_A/v1/sweeps" -d "$SWEEP" |
@@ -94,7 +98,7 @@ wait "$PID_A" 2>/dev/null || true
 
 # Restart on the same data directory; the daemon must finish the sweep
 # without any new submission.
-start_daemon "$ADDR_A" "$WORKDIR/data-a" "$WORKDIR/daemon-a.log" >/dev/null
+start_daemon "$ADDR_A" "$WORKDIR/data-a" "$WORKDIR/daemon-a.log"
 wait_ready "$ADDR_A"
 RECOVERED=$(curl -sf "http://$ADDR_A/metrics" | grep -o '"orphans_requeued": *[0-9]*' | grep -o '[0-9]*')
 echo "recovery_e2e: restarted daemon A, orphans_requeued=$RECOVERED"
@@ -119,7 +123,7 @@ fi
 curl -sf "http://$ADDR_A/v1/sweeps/$SWEEP_ID" | normalize >"$WORKDIR/sweep-recovered.json"
 
 # --- run B: the uninterrupted reference --------------------------------
-start_daemon "$ADDR_B" "$WORKDIR/data-b" "$WORKDIR/daemon-b.log" >/dev/null
+start_daemon "$ADDR_B" "$WORKDIR/data-b" "$WORKDIR/daemon-b.log"
 wait_ready "$ADDR_B"
 REF_ID=$(curl -sf -X POST "http://$ADDR_B/v1/sweeps" -d "$SWEEP" |
     grep -o '"id": *"sweep-[0-9]*"' | grep -o 'sweep-[0-9]*')
