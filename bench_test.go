@@ -26,6 +26,7 @@ import (
 	"seqbist/internal/iscas"
 	"seqbist/internal/netlist"
 	"seqbist/internal/service"
+	"seqbist/internal/strategy"
 	"seqbist/internal/tcompact"
 	"seqbist/internal/tfault"
 	"seqbist/internal/vectors"
@@ -726,6 +727,47 @@ func BenchmarkFaultSimSingle(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(det), "detected")
+		})
+	}
+}
+
+// BenchmarkStrategyPortfolio races the synthesis-strategy portfolio on
+// s5378 under a bounded search budget and reports what each strategy's
+// trials buy in coverage per kilobit of test memory (max stored length x
+// inputs) — the paper's storage-cost currency. Coverage is invariant
+// across strategies for a fixed T0, so the metric isolates storage.
+func BenchmarkStrategyPortfolio(b *testing.B) {
+	s := setupFor(b, "s5378")
+	cfg := strategy.Config{Core: core.Config{
+		N:                 2,
+		Seed:              1,
+		OmissionRestart:   true,
+		MaxOmissionTrials: 20,
+		Parallelism:       runtime.GOMAXPROCS(0),
+	}}
+	for _, name := range strategy.Concrete() {
+		strat, err := strategy.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var st core.Stats
+			var cov float64
+			trials := 0
+			for i := 0; i < b.N; i++ {
+				out, err := strat.Select(s.c, s.fl, s.t0, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				set, _ := core.CompactSet(s.c, s.fl, out.Result, cfg.Core)
+				st = core.StatsOf(set)
+				cov = float64(out.Result.NumTargets) / float64(len(s.fl))
+				trials = out.Trials
+			}
+			memKbit := float64(st.MaxLen*s.c.NumPIs()) / 1000
+			b.ReportMetric(float64(trials), "trials")
+			b.ReportMetric(float64(st.TotalLen), "totlen")
+			b.ReportMetric(cov/memKbit, "cov/kbit")
 		})
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"seqbist/internal/iscas"
 	"seqbist/internal/netlist"
 	"seqbist/internal/service"
+	"seqbist/internal/strategy"
 	"seqbist/internal/tcompact"
 	"seqbist/internal/vectors"
 )
@@ -58,7 +59,12 @@ func main() {
 	sweepList := flag.String("sweep", "", "batch sweep: comma-separated registry names and/or .bench paths, or \"table3\"")
 	serverURL := flag.String("server", "", "daemon base URL for -sweep (empty = run an ephemeral in-process daemon)")
 	maxTrials := flag.Int("max-omission-trials", 0, "bound Procedure 2 omission simulations per subsequence (0 = unlimited; sweeps on big circuits want a bound)")
+	stratName := flag.String("strategy", strategy.Default, "synthesis strategy: greedy (the paper baseline), restart, anneal, genetic, or race (run the whole portfolio, keep the cheapest stored set)")
 	flag.Parse()
+
+	if !strategy.Valid(*stratName) {
+		fatalf("-strategy %q: unknown (have %v)", *stratName, strategy.Names())
+	}
 
 	if *serveAddr != "" {
 		if err := service.Serve(*serveAddr, service.Config{
@@ -77,6 +83,7 @@ func main() {
 			MaxOmissionTrials: *maxTrials,
 			SkipCompact:       *skipCompact,
 			Parallelism:       *fsimWorkers,
+			Strategy:          *stratName,
 		}, *serveWorkers)
 		return
 	}
@@ -89,9 +96,17 @@ func main() {
 	t0 := obtainT0(c, fl, *t0File, *seed)
 
 	cfg := core.Config{N: *n, Seed: *seed, OmissionRestart: true, Parallelism: *fsimWorkers}
-	res, err := core.Select(c, fl, t0, cfg)
+	strat, err := strategy.Get(*stratName)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	selOut, err := strat.Select(c, fl, t0, strategy.Config{Core: cfg, SkipCompact: *skipCompact})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := selOut.Result
+	if *stratName != strategy.Default {
+		fmt.Printf("strategy %s: %d selection trials, kept %s\n\n", *stratName, selOut.Trials, selOut.Winner)
 	}
 	set := res.Set
 	if !*skipCompact {

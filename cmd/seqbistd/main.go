@@ -38,6 +38,7 @@ import (
 	"seqbist/internal/bench"
 	"seqbist/internal/service"
 	"seqbist/internal/store"
+	"seqbist/internal/strategy"
 )
 
 func main() {
@@ -55,7 +56,13 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "with -node-id, how long a claimed job stays fenced to its claimant without renewal")
 	rate := flag.Float64("rate", 0, "per-client submissions/second accepted on POST /v1/jobs and /v1/sweeps before answering 429 (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "with -rate, token-bucket burst depth (0 = max(1, ceil(rate)))")
+	defaultStrategy := flag.String("default-strategy", "", "strategy applied to submissions that set none: greedy, restart, anneal, genetic, or race (empty = greedy)")
 	flag.Parse()
+
+	if *defaultStrategy != "" && !strategy.Valid(*defaultStrategy) {
+		fmt.Fprintf(os.Stderr, "seqbistd: -default-strategy %q: unknown (have %v)\n", *defaultStrategy, strategy.Names())
+		os.Exit(1)
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
@@ -67,6 +74,7 @@ func main() {
 		LeaseTTL:        *leaseTTL,
 		RateLimit:       *rate,
 		RateBurst:       *rateBurst,
+		DefaultStrategy: *defaultStrategy,
 	}
 	if *nodeID != "" {
 		if *dataDir == "" {

@@ -36,7 +36,23 @@ func main() {
 	verify := flag.Bool("verify", false, "re-verify coverage of every run (slow)")
 	engine := flag.Bool("engine", false, "print the fault-simulation engine's efficiency counters for the run")
 	markdown := flag.Bool("md", false, "emit the full paper-vs-measured Markdown report (EXPERIMENTS.md body)")
+	strategyStudy := flag.String("strategy-study", "", "compare the synthesis-strategy portfolio (greedy/restart/anneal/genetic) on this circuit and exit")
+	studyN := flag.Int("strategy-study-n", 2, "repetition count for -strategy-study")
 	flag.Parse()
+
+	if *strategyStudy != "" {
+		prof := experiments.FastProfile()
+		if *profile == "full" {
+			prof = experiments.FullProfile()
+		}
+		prof.Seed = *seed
+		study, err := experiments.StrategyStudy(*strategyStudy, prof, *studyN, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(study.Markdown())
+		return
+	}
 
 	needPipeline := *figure == 1 || *table == "all" || *markdown ||
 		*table == "3" || *table == "4" || *table == "5"

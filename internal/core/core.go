@@ -183,6 +183,10 @@ type Selector struct {
 	single *fsim.Single
 	rng    *xrand.RNG
 	sims   int
+	// baseRes memoizes the T0 fault simulation (step 1 of Procedure 1),
+	// which depends only on the circuit, fault list, and T0 — strategies
+	// that call RunOrder many times on one Selector pay for it once.
+	baseRes *fsim.Result
 }
 
 // NewSelector prepares selection of subsequences of t0 for the given
@@ -217,15 +221,42 @@ func Select(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, cfg Conf
 	return sel.Run()
 }
 
+// base simulates T0 once and memoizes the outcome (step 1 of
+// Procedure 1).
+func (sel *Selector) base() *fsim.Result {
+	if sel.baseRes == nil {
+		r := fsim.RunParallel(sel.c, sel.fl, sel.t0, sel.cfg.simWorkers())
+		sel.baseRes = &r
+	}
+	return sel.baseRes
+}
+
+// Targets returns the fault-list indices of the faults T0 detects, in
+// index order, alongside their first-detection times (indexed by fault,
+// not by position). Strategies use this to enumerate the search space of
+// target orders before calling RunOrder.
+func (sel *Selector) Targets() (targets []int, detTime []int) {
+	base := sel.base()
+	targets = make([]int, 0, base.NumDetected)
+	for i := range sel.fl {
+		if base.Detected[i] {
+			targets = append(targets, i)
+		}
+	}
+	return targets, base.DetTime
+}
+
+// Reseed replaces the selector's random stream. Strategies that run many
+// selection trials on one Selector use it to give each trial an
+// independent, reproducible omission order.
+func (sel *Selector) Reseed(seed uint64) {
+	sel.rng = xrand.New(seed)
+}
+
 // Run executes Procedure 1.
 func (sel *Selector) Run() (*Result, error) {
 	// Step 1: simulate T0; F = detected faults with first detection times.
-	base := fsim.RunParallel(sel.c, sel.fl, sel.t0, sel.cfg.simWorkers())
-	res := &Result{
-		DetectedByT0: base.Detected,
-		UDet:         base.DetTime,
-		NumTargets:   base.NumDetected,
-	}
+	base := sel.base()
 
 	// Ftarg as index list, kept sorted by (udet desc, index asc) so step 2
 	// is a deterministic pop.
@@ -252,6 +283,47 @@ func (sel *Selector) Run() (*Result, error) {
 		})
 	case OrderRandom:
 		sel.rng.Shuffle(targ)
+	}
+	return sel.runTargets(targ)
+}
+
+// RunOrder executes Procedure 1 with an explicit target-priority order:
+// order lists fault-list indices, highest priority first. Indices that T0
+// does not detect are skipped; detected faults missing from order are
+// appended in index order, so every detected fault is always covered.
+// Strategies search over such orders — each permutation yields a
+// different (coverage-equivalent) subsequence set.
+func (sel *Selector) RunOrder(order []int) (*Result, error) {
+	base := sel.base()
+	targ := make([]int, 0, base.NumDetected)
+	seen := make(map[int]bool, len(order))
+	for _, fi := range order {
+		if fi < 0 || fi >= len(sel.fl) || !base.Detected[fi] || seen[fi] {
+			continue
+		}
+		seen[fi] = true
+		targ = append(targ, fi)
+	}
+	for i := range sel.fl {
+		if base.Detected[i] && !seen[i] {
+			targ = append(targ, i)
+		}
+	}
+	return sel.runTargets(targ)
+}
+
+// runTargets is the shared body of Procedure 1: pop targets in the given
+// priority order, construct a subsequence for each (Procedure 2), and
+// drop every target the expansion newly detects. Result.Sims counts only
+// this run's trials, so repeated runs on one Selector report per-run
+// cost.
+func (sel *Selector) runTargets(targ []int) (*Result, error) {
+	base := sel.base()
+	simsBefore := sel.sims
+	res := &Result{
+		DetectedByT0: base.Detected,
+		UDet:         base.DetTime,
+		NumTargets:   base.NumDetected,
 	}
 
 	remaining := make(map[int]bool, len(targ))
@@ -308,7 +380,7 @@ func (sel *Selector) Run() (*Result, error) {
 			break
 		}
 	}
-	res.Sims = sel.sims
+	res.Sims = sel.sims - simsBefore
 	return res, nil
 }
 

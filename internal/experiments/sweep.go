@@ -14,7 +14,11 @@ import (
 // fields only — no wall-clock times, which would break the bit-for-bit
 // reproducibility the sweep summary promises.
 type SweepRow struct {
-	Circuit      string  `json:"circuit"`
+	Circuit string `json:"circuit"`
+	// Strategy names the synthesis strategy that produced the row
+	// (empty for pre-portfolio rows and direct experiment runs; the
+	// table renders the column only when some row carries one).
+	Strategy     string  `json:"strategy,omitempty"`
 	NumFaults    int     `json:"num_faults"`
 	Detected     int     `json:"detected"`
 	Coverage     float64 `json:"coverage"`
@@ -57,10 +61,25 @@ func RowFromRun(r *CircuitRun) SweepRow {
 // given the rows, which is what makes the service's streamed summary
 // comparable bit-for-bit against a direct in-process run.
 func SweepTable(rows []SweepRow) string {
-	t := report.New("Batch sweep summary",
-		"circuit", "faults", "det", "cov", "|T0|", "n",
+	// The strategy column appears only when some row names one, so
+	// tables from pre-portfolio rows render exactly as before.
+	withStrategy := false
+	for _, r := range rows {
+		if r.Strategy != "" {
+			withStrategy = true
+			break
+		}
+	}
+	cols := []string{"circuit", "faults", "det", "cov", "|T0|", "n",
 		"|S|", "tot len", "tot/T0", "max len", "max/T0",
-		"test len", "mem bits", "hardware").AlignLeft(0, 13)
+		"test len", "mem bits", "hardware"}
+	if withStrategy {
+		cols = append([]string{cols[0], "strategy"}, cols[1:]...)
+	}
+	t := report.New("Batch sweep summary", cols...).AlignLeft(0, len(cols)-1)
+	if withStrategy {
+		t.AlignLeft(1)
+	}
 	var totRatio, maxRatio float64
 	counted := 0
 	for _, r := range rows {
@@ -73,12 +92,16 @@ func SweepTable(rows []SweepRow) string {
 			maxRatio += mr
 			counted++
 		}
-		t.AddRow(r.Circuit,
+		cells := []string{r.Circuit,
 			report.Itoa(r.NumFaults), report.Itoa(r.Detected), report.Ratio(r.Coverage),
 			report.Itoa(r.T0Len), report.Itoa(r.N),
 			report.Itoa(r.NumSequences), report.Itoa(r.TotalLen), tot,
 			report.Itoa(r.MaxLen), max,
-			report.Itoa(r.TestLen), report.Itoa(r.MemoryBits), r.HardwareCost)
+			report.Itoa(r.TestLen), report.Itoa(r.MemoryBits), r.HardwareCost}
+		if withStrategy {
+			cells = append([]string{cells[0], r.Strategy}, cells[1:]...)
+		}
+		t.AddRow(cells...)
 	}
 	var sb strings.Builder
 	sb.WriteString(t.Markdown())

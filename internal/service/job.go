@@ -12,6 +12,7 @@ import (
 	"seqbist/internal/bench"
 	"seqbist/internal/iscas"
 	"seqbist/internal/netlist"
+	"seqbist/internal/strategy"
 	"seqbist/internal/vectors"
 )
 
@@ -65,9 +66,19 @@ type GenConfig struct {
 	// Parallelism is the per-job fault-simulation goroutine count
 	// (0 = the service default).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Strategy names the synthesis strategy from internal/strategy
+	// ("greedy", "restart", "anneal", "genetic", or "race"; default
+	// "greedy", the paper baseline). In a sweep, "race" additionally
+	// fans the member out as one job per concrete strategy so a cluster
+	// races them on different nodes (see sweep.go).
+	Strategy string `json:"strategy,omitempty"`
 }
 
-// withDefaults resolves zero fields to the service defaults.
+// withDefaults resolves zero fields to the service defaults. The
+// strategy default is fixed (strategy.Default), never the configurable
+// Service default: claim loops re-resolve peer specs through this
+// function, so it must be a pure function of the spec or two cluster
+// members could disagree about what a stored record means.
 func (g GenConfig) withDefaults(simParallelism int) GenConfig {
 	if g.N < 1 {
 		g.N = 4
@@ -80,6 +91,9 @@ func (g GenConfig) withDefaults(simParallelism int) GenConfig {
 	}
 	if g.Parallelism < 1 {
 		g.Parallelism = simParallelism
+	}
+	if g.Strategy == "" {
+		g.Strategy = strategy.Default
 	}
 	return g
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,6 +62,20 @@ type Metrics struct {
 	phaseSelect  atomic.Int64
 	phaseCompact atomic.Int64
 	phaseBIST    atomic.Int64
+
+	// Strategy-portfolio counters (internal/strategy): per-strategy
+	// runs/trials/wall time plus race accounting. Strategy names arrive
+	// from job configs, so the per-name map is mutex-guarded rather than
+	// a fixed set of atomics; updates are once per pipeline run, far off
+	// the simulation hot path.
+	strategyMu sync.Mutex
+	// races counts decided races: in-pipeline `strategy=race` jobs plus
+	// sweep-level race members whose winner was chosen.
+	races int64
+	// perStrategy is keyed by strategy name ("race" included: a race
+	// run's wall time lands there, its legs' wins land under the
+	// concrete winners).
+	perStrategy map[string]*StrategyCounters
 }
 
 // observePhase accumulates one pipeline stage's wall time. The stage
@@ -79,6 +94,52 @@ func (m *Metrics) observePhase(stage string, d time.Duration) {
 	case "bist":
 		m.phaseBIST.Add(int64(d))
 	}
+}
+
+// strategyCounters returns the (lazily created) counter cell for one
+// strategy name. Callers hold m.strategyMu.
+func (m *Metrics) strategyCounters(name string) *StrategyCounters {
+	if m.perStrategy == nil {
+		m.perStrategy = make(map[string]*StrategyCounters)
+	}
+	sc := m.perStrategy[name]
+	if sc == nil {
+		sc = &StrategyCounters{}
+		m.perStrategy[name] = sc
+	}
+	return sc
+}
+
+// observeStrategy accumulates one pipeline selection run: the configured
+// strategy's runs/trials/wall time, and — when the run was an
+// in-pipeline race — the race tally and the winning leg's win.
+func (m *Metrics) observeStrategy(name, winner string, trials int, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.strategyMu.Lock()
+	defer m.strategyMu.Unlock()
+	sc := m.strategyCounters(name)
+	sc.Runs++
+	sc.Trials += int64(trials)
+	sc.WallSeconds += wall.Seconds()
+	if name != winner {
+		m.races++
+		m.strategyCounters(winner).Wins++
+	}
+}
+
+// observeRaceWin records a sweep-level race member's decision: the
+// winning leg's strategy gets the win (its run/trial/wall accounting
+// already landed when the leg's own pipeline run finished).
+func (m *Metrics) observeRaceWin(winner string) {
+	if m == nil {
+		return
+	}
+	m.strategyMu.Lock()
+	defer m.strategyMu.Unlock()
+	m.races++
+	m.strategyCounters(winner).Wins++
 }
 
 // observeResult accumulates a completed job's simulation work.
@@ -121,6 +182,9 @@ type MetricsSnapshot struct {
 		GatesSkipped    int64 `json:"gates_skipped"`
 		GroupsQuiescent int64 `json:"groups_quiescent"`
 	} `json:"fsim"`
+	// Strategy reports the synthesis-strategy portfolio: decided races
+	// and per-strategy run/trial/win/wall-time counters.
+	Strategy StrategySnapshot `json:"strategy"`
 	// Store reports the persistence layer; omitted when the daemon runs
 	// without a data directory.
 	Store *StoreSnapshot `json:"store,omitempty"`
@@ -174,6 +238,29 @@ type StoreSnapshot struct {
 	WriteErrors int64 `json:"write_errors"`
 }
 
+// StrategySnapshot is the "strategy" section of GET /metrics: the
+// synthesis-strategy portfolio's race tally and per-strategy counters.
+type StrategySnapshot struct {
+	// Races counts decided races: in-pipeline `strategy=race` runs plus
+	// sweep-level race members whose winning leg was chosen.
+	Races int64 `json:"races"`
+	// PerStrategy is keyed by strategy name.
+	PerStrategy map[string]StrategyCounters `json:"per_strategy"`
+}
+
+// StrategyCounters is one strategy's cumulative accounting.
+type StrategyCounters struct {
+	// Runs counts pipeline selection runs configured with this strategy.
+	Runs int64 `json:"runs"`
+	// Trials counts full Procedure 1 selection runs evaluated (greedy
+	// contributes 1 per run; searchers contribute their trial budget).
+	Trials int64 `json:"trials"`
+	// Wins counts races this strategy's result won.
+	Wins int64 `json:"wins"`
+	// WallSeconds is cumulative selection wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
 // ClusterSnapshot is the "cluster" section of GET /metrics: this
 // daemon's view of the multi-daemon coordination over the shared store.
 type ClusterSnapshot struct {
@@ -222,6 +309,13 @@ func (s *Service) Metrics() MetricsSnapshot {
 		"bist":    time.Duration(m.phaseBIST.Load()).Seconds(),
 	}
 	snap.HTTP.RateLimited = m.rateLimited.Load()
+	m.strategyMu.Lock()
+	snap.Strategy.Races = m.races
+	snap.Strategy.PerStrategy = make(map[string]StrategyCounters, len(m.perStrategy))
+	for name, sc := range m.perStrategy {
+		snap.Strategy.PerStrategy[name] = *sc
+	}
+	m.strategyMu.Unlock()
 	if s.store != nil {
 		st := s.store.Stats()
 		ss := &StoreSnapshot{

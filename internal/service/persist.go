@@ -11,6 +11,7 @@ import (
 	"seqbist/internal/experiments"
 	"seqbist/internal/netlist"
 	"seqbist/internal/store"
+	"seqbist/internal/strategy"
 	"seqbist/internal/vectors"
 )
 
@@ -529,6 +530,11 @@ func (rc *recovery) enqueue(j *job, c *netlist.Circuit, t0 vectors.Sequence) {
 // repairSweep reconciles one non-terminal sweep with the recovered job
 // records and queues whatever work is still missing. Callers hold s.mu.
 func (s *Service) repairSweep(rc *recovery, sw *sweep, memberJob map[int]*job) {
+	// pending is recomputed incrementally below, so an early member that
+	// completes instantly (a re-decided race whose legs all hit stored
+	// results) must not observe a transient pending of 0 and finalize
+	// the sweep before the remaining members are repaired.
+	sw.repairing = true
 	sw.pending = 0
 	dirty := false
 	for i := range sw.members {
@@ -564,9 +570,20 @@ func (s *Service) repairSweep(rc *recovery, sw *sweep, memberJob map[int]*job) {
 			continue // e.g. a queue-full failure recorded without a job
 		}
 		// No job record at all: the crash hit between sweep registration
-		// and this member's enqueue. Re-submit from the persisted spec.
+		// and this member's enqueue — or the member was racing (legs are
+		// plain sweep jobs, the member itself never had a job ID).
+		// Re-submit from the persisted spec.
 		if i < len(sw.spec.Circuits) {
-			if j := s.resubmitLostMember(rc, sw, i); j != nil {
+			memberCfg := sw.spec.Circuits[i].Override.apply(sw.spec.Config)
+			if memberCfg.Strategy == strategy.Race {
+				m.status = Status{State: StateQueued, Circuit: m.status.Circuit}
+				sw.pending++
+				if s.resubmitLostRace(rc, sw, i, memberCfg) {
+					dirty = true
+					continue
+				}
+				sw.pending--
+			} else if j := s.resubmitLostMember(rc, sw, i); j != nil {
 				m.jobID = j.id
 				m.status = j.status()
 				if j.state.Terminal() { // instant completion off a stored result
@@ -591,6 +608,7 @@ func (s *Service) repairSweep(rc *recovery, sw *sweep, memberJob map[int]*job) {
 	if dirty {
 		s.persistSweep(sw)
 	}
+	sw.repairing = false
 	s.finalizeSweepLocked(sw) // no-op while members remain pending
 }
 
@@ -601,7 +619,7 @@ func (s *Service) repairSweep(rc *recovery, sw *sweep, memberJob map[int]*job) {
 // spec no longer resolves. Callers hold s.mu.
 func (s *Service) resubmitLostMember(rc *recovery, sw *sweep, i int) *job {
 	ref := sw.spec.Circuits[i]
-	spec := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: sw.spec.Config}
+	spec := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: ref.Override.apply(sw.spec.Config)}
 	c, err := resolveCircuit(spec, bench.Limits{})
 	if err != nil {
 		return nil
@@ -636,4 +654,72 @@ func (s *Service) resubmitLostMember(rc *recovery, sw *sweep, i int) *job {
 		rc.enqueue(j, c, t0)
 	}
 	return j
+}
+
+// resubmitLostRace rebuilds a racing member at recovery: fresh leg jobs
+// (one per concrete strategy, member = -1 like live race legs) are
+// created from the persisted sweep spec and queued through the shared
+// recovery path. Legs whose content keys already have stored results
+// complete instantly — on a fully-finished race this re-runs nothing and
+// re-decides the same winner, since the decision is deterministic given
+// the legs' results. Reports whether the member spec resolved; the race
+// decision (if all legs completed instantly) has already run on return.
+// Callers hold s.mu and have counted the member in sw.pending.
+func (s *Service) resubmitLostRace(rc *recovery, sw *sweep, i int, memberCfg GenConfig) bool {
+	ref := sw.spec.Circuits[i]
+	spec := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: memberCfg}
+	c, err := resolveCircuit(spec, bench.Limits{})
+	if err != nil {
+		return false
+	}
+	t0, err := resolveT0(spec, c)
+	if err != nil {
+		return false
+	}
+	names := strategy.Concrete()
+	rs := &raceState{legs: make([]raceLeg, len(names)), pending: len(names)}
+	for li, name := range names {
+		rs.legs[li].strategy = name
+	}
+	sw.members[i].race = rs
+	for li, name := range names {
+		li := li
+		legSpec := spec
+		legSpec.Config.Strategy = name
+		cfg := legSpec.Config.withDefaults(s.cfg.SimParallelism)
+		s.seq++
+		j := &job{
+			id:        s.newJobID(s.seq),
+			seq:       s.seq,
+			key:       contentKey(c, legSpec.T0, cfg),
+			spec:      legSpec,
+			cfg:       cfg,
+			circuit:   c.Name,
+			node:      s.cfg.NodeID,
+			sweepID:   sw.id,
+			member:    -1,
+			orphaned:  true,
+			submitted: time.Now(),
+			onRunning: func(running Status) { s.raceLegRunning(sw, i, li, running) },
+			onTerminal: func(final Status, res *Result) {
+				s.raceLegTerminal(sw, i, li, final, res)
+			},
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		leg := &rs.legs[li]
+		leg.jobID = j.id
+		if rc.tryComplete(j) {
+			// tryComplete cleared the hooks, so record the leg directly
+			// under the held mutex (the live path records via the hook).
+			leg.status = j.status()
+			leg.result = j.result
+			rs.pending--
+			continue
+		}
+		rc.enqueue(j, c, t0)
+		leg.status = j.status()
+	}
+	s.decideRaceLocked(sw, i)
+	return true
 }

@@ -13,6 +13,7 @@ import (
 	"seqbist/internal/experiments"
 	"seqbist/internal/faults"
 	"seqbist/internal/netlist"
+	"seqbist/internal/strategy"
 	"seqbist/internal/tcompact"
 	"seqbist/internal/vectors"
 )
@@ -41,6 +42,14 @@ type Result struct {
 
 	Sims      int   `json:"sims"`
 	ElapsedMS int64 `json:"elapsed_ms"`
+
+	// Strategy names the concrete synthesis strategy that produced this
+	// result: the configured one, or — when the job ran `strategy=race`
+	// — the portfolio leg that won.
+	Strategy string `json:"strategy,omitempty"`
+	// StrategyTrials counts the full Procedure 1 selection runs the
+	// strategy evaluated (greedy: 1).
+	StrategyTrials int `json:"strategy_trials,omitempty"`
 }
 
 // SweepRow projects the result onto the Table-3-style summary row the
@@ -50,6 +59,7 @@ type Result struct {
 func (r *Result) SweepRow() experiments.SweepRow {
 	return experiments.SweepRow{
 		Circuit:      r.Circuit,
+		Strategy:     r.Strategy,
 		NumFaults:    r.NumFaults,
 		Detected:     r.DetectedByT0,
 		Coverage:     r.Coverage,
@@ -131,15 +141,22 @@ func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cf
 		Parallelism:       cfg.Parallelism,
 		Interrupt:         func() bool { return ctx.Err() != nil },
 	}
+	strat, err := strategy.Get(cfg.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("invalid job: %v", err)
+	}
 	selectStart := time.Now()
-	res, err := core.Select(c, fl, t0, coreCfg)
+	selOut, err := strat.Select(c, fl, t0, strategy.Config{Core: coreCfg, SkipCompact: cfg.SkipCompact})
 	if err != nil {
 		if errors.Is(err, core.ErrInterrupted) {
 			return nil, ctx.Err()
 		}
 		return nil, err
 	}
-	obs.observePhase("select", time.Since(selectStart))
+	res := selOut.Result
+	selectWall := time.Since(selectStart)
+	obs.observePhase("select", selectWall)
+	obs.observeStrategy(cfg.Strategy, selOut.Winner, selOut.Trials, selectWall)
 	set := res.Set
 	if !cfg.SkipCompact {
 		if err := ctx.Err(); err != nil {
@@ -189,6 +206,9 @@ func synthesize(ctx context.Context, c *netlist.Circuit, t0 vectors.Sequence, cf
 
 		Sims:      res.Sims,
 		ElapsedMS: time.Since(start).Milliseconds(),
+
+		Strategy:       selOut.Winner,
+		StrategyTrials: selOut.Trials,
 	}
 	if len(fl) > 0 {
 		out.Coverage = float64(res.NumTargets) / float64(len(fl))

@@ -60,6 +60,27 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 		fmt.Fprintf(w, "seqbist_phase_seconds_total{phase=%q} %g\n", ph, snap.PhaseSeconds[ph])
 	}
 
+	c("seqbist_strategy_races_total", "Decided strategy races (in-pipeline and sweep-level).", snap.Strategy.Races)
+	strategies := make([]string, 0, len(snap.Strategy.PerStrategy))
+	for name := range snap.Strategy.PerStrategy {
+		strategies = append(strategies, name)
+	}
+	sort.Strings(strategies)
+	labeled := func(name, help string, value func(StrategyCounters) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, st := range strategies {
+			fmt.Fprintf(w, "%s{strategy=%q} %g\n", name, st, value(snap.Strategy.PerStrategy[st]))
+		}
+	}
+	labeled("seqbist_strategy_runs_total", "Pipeline selection runs by configured strategy.",
+		func(sc StrategyCounters) float64 { return float64(sc.Runs) })
+	labeled("seqbist_strategy_trials_total", "Full Procedure 1 selection runs evaluated, by strategy.",
+		func(sc StrategyCounters) float64 { return float64(sc.Trials) })
+	labeled("seqbist_strategy_wins_total", "Races won, by winning strategy.",
+		func(sc StrategyCounters) float64 { return float64(sc.Wins) })
+	labeled("seqbist_strategy_wall_seconds_total", "Cumulative selection wall time by strategy.",
+		func(sc StrategyCounters) float64 { return sc.WallSeconds })
+
 	g("seqbist_workers", "Synthesis worker-pool size.", float64(snap.Workers))
 	g("seqbist_queue_depth", "Pending-job queue capacity.", float64(snap.QueueDepth))
 	g("seqbist_queue_len", "Executions currently queued.", float64(snap.QueueLen))

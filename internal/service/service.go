@@ -38,6 +38,7 @@ import (
 	"seqbist/internal/bench"
 	"seqbist/internal/netlist"
 	"seqbist/internal/store"
+	"seqbist/internal/strategy"
 	"seqbist/internal/vectors"
 )
 
@@ -71,6 +72,13 @@ type Config struct {
 	// SimParallelism is the default per-job fault-simulation goroutine
 	// count for jobs that do not set their own (0 = one per CPU).
 	SimParallelism int
+	// DefaultStrategy is applied to submissions that leave
+	// GenConfig.Strategy empty (default strategy.Default, the paper's
+	// greedy baseline). It is resolved at the submission edge — before
+	// the spec is content-addressed or persisted — so a stored spec is
+	// always explicit about its strategy and cluster members with
+	// different defaults still agree on what every record means.
+	DefaultStrategy string
 	// MaxSweepMembers caps the number of circuits one sweep may contain
 	// (default 64).
 	MaxSweepMembers int
@@ -136,6 +144,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSweepMembers < 1 {
 		c.MaxSweepMembers = 64
+	}
+	if c.DefaultStrategy == "" {
+		c.DefaultStrategy = strategy.Default
 	}
 	if c.MaxSweeps == 0 {
 		c.MaxSweeps = 128
@@ -287,6 +298,12 @@ func (s *Service) newSweepID(seq int64) string {
 // job is created directly in the done state with CacheHit set and the
 // cached result attached — no work is queued.
 func (s *Service) Submit(spec JobSpec) (Status, error) {
+	if spec.Config.Strategy == "" {
+		spec.Config.Strategy = s.cfg.DefaultStrategy
+	}
+	if !strategy.Valid(spec.Config.Strategy) {
+		return Status{}, fmt.Errorf("invalid job: unknown strategy %q (have %v)", spec.Config.Strategy, strategy.Names())
+	}
 	c, err := resolveCircuit(spec, s.cfg.BenchLimits)
 	if err != nil {
 		return Status{}, fmt.Errorf("invalid job: %w", err)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"seqbist/internal/experiments"
+	"seqbist/internal/strategy"
 )
 
 // Sweep-specific errors the API surfaces to clients.
@@ -29,6 +30,53 @@ type CircuitRef struct {
 	// T0 optionally supplies the deterministic test sequence for this
 	// member as whitespace-separated vectors; empty means ATPG.
 	T0 string `json:"t0,omitempty"`
+	// Override selectively replaces fields of the sweep's shared
+	// generation config for this member (nil = use the shared config
+	// unchanged), so one sweep can race strategies or seeds across its
+	// members.
+	Override *MemberOverride `json:"override,omitempty"`
+}
+
+// MemberOverride is a per-member overlay on SweepSpec.Config: every
+// non-zero field replaces the shared value for that member only. Zero
+// values keep the shared setting, so {"strategy":"anneal"} changes just
+// the strategy.
+type MemberOverride struct {
+	// Strategy names this member's synthesis strategy ("greedy",
+	// "restart", "anneal", "genetic", or "race").
+	Strategy string `json:"strategy,omitempty"`
+	// N overrides the expansion repetition count.
+	N int `json:"n,omitempty"`
+	// Seed overrides the ATPG / Procedure 2 seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// ATPGMaxLen overrides the raw generated T0 length cap.
+	ATPGMaxLen int `json:"atpg_max_len,omitempty"`
+	// MaxOmissionTrials overrides the Procedure 2 omission budget.
+	MaxOmissionTrials int `json:"max_omission_trials,omitempty"`
+}
+
+// apply overlays o's non-zero fields on g. A nil receiver applies
+// nothing, so callers never need to branch on the optional field.
+func (o *MemberOverride) apply(g GenConfig) GenConfig {
+	if o == nil {
+		return g
+	}
+	if o.Strategy != "" {
+		g.Strategy = o.Strategy
+	}
+	if o.N != 0 {
+		g.N = o.N
+	}
+	if o.Seed != 0 {
+		g.Seed = o.Seed
+	}
+	if o.ATPGMaxLen != 0 {
+		g.ATPGMaxLen = o.ATPGMaxLen
+	}
+	if o.MaxOmissionTrials != 0 {
+		g.MaxOmissionTrials = o.MaxOmissionTrials
+	}
+	return g
 }
 
 // SweepSpec is a batch request: the member circuits and one shared
@@ -106,10 +154,14 @@ type sweep struct {
 
 	state    State
 	canceled bool // cancellation requested
-	members  []sweepMember
-	pending  int // members not yet terminal
-	finished time.Time
-	summary  *SweepSummary
+	// repairing suppresses finalization while recovery rebuilds the
+	// member states (pending is recomputed incrementally there, so an
+	// early member's instant race decision must not see a transient 0).
+	repairing bool
+	members   []sweepMember
+	pending   int // members not yet terminal
+	finished  time.Time
+	summary   *SweepSummary
 
 	events []SweepEvent
 	// wake is closed and replaced whenever an event is appended, so any
@@ -122,6 +174,29 @@ type sweepMember struct {
 	jobID  string
 	status Status // last observed job status
 	result *Result
+	// race, when non-nil, marks a member whose effective strategy is
+	// "race": instead of one job the member fanned out as one leg job
+	// per concrete strategy (distinct content keys, so a cluster's claim
+	// loops spread the legs across nodes), and jobID/status/result above
+	// are decided from the legs once the last one lands.
+	race *raceState
+}
+
+// raceState tracks one racing member's legs. Guarded by the Service
+// mutex like the rest of the sweep.
+type raceState struct {
+	legs    []raceLeg
+	pending int  // legs not yet terminal
+	running bool // a running member_update was already emitted
+	decided bool // the winner was chosen (guards double decision)
+}
+
+// raceLeg is one concrete strategy's entry in a member race.
+type raceLeg struct {
+	strategy string
+	jobID    string
+	status   Status
+	result   *Result
 }
 
 // memberStatus snapshots one member. Callers hold the Service mutex.
@@ -202,10 +277,24 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 		return SweepStatus{}, fmt.Errorf("%w: %d members, at most %d allowed",
 			ErrSweepTooLarge, len(spec.Circuits), s.cfg.MaxSweepMembers)
 	}
+	// The configurable default is resolved into the spec here, at the
+	// submission edge, so the persisted sweep spec (and every member
+	// job's content key) is explicit about its strategy.
+	if spec.Config.Strategy == "" {
+		spec.Config.Strategy = s.cfg.DefaultStrategy
+	}
+	if !strategy.Valid(spec.Config.Strategy) {
+		return SweepStatus{}, fmt.Errorf("invalid sweep: unknown strategy %q (have %v)",
+			spec.Config.Strategy, strategy.Names())
+	}
 
 	members := make([]resolvedMember, len(spec.Circuits))
 	for i, ref := range spec.Circuits {
-		js := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: spec.Config}
+		js := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: ref.Override.apply(spec.Config)}
+		if !strategy.Valid(js.Config.Strategy) {
+			return SweepStatus{}, fmt.Errorf("invalid sweep: member %d: unknown strategy %q (have %v)",
+				i, js.Config.Strategy, strategy.Names())
+		}
 		c, err := resolveCircuit(js, s.cfg.BenchLimits)
 		if err != nil {
 			return SweepStatus{}, fmt.Errorf("invalid sweep: member %d: %w", i, err)
@@ -260,6 +349,10 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 			continue
 		}
 		s.mu.Unlock()
+		if members[i].spec.Config.Strategy == strategy.Race {
+			s.raceFanOut(sw, i, members[i])
+			continue
+		}
 		st, err := s.submitJob(members[i].c, members[i].t0, members[i].spec, sw.id, i,
 			func(running Status) { s.memberRunning(sw, i, running) },
 			func(final Status, res *Result) { s.memberTerminal(sw, i, final, res) })
@@ -341,11 +434,187 @@ func (s *Service) memberTerminal(sw *sweep, i int, final Status, res *Result) {
 	s.mu.Unlock()
 }
 
+// raceFanOut fans one racing member out as one leg job per concrete
+// strategy. Every leg carries the member's full config with only the
+// strategy replaced, so the legs have distinct content keys and — in
+// cluster mode — land on whichever nodes' claim loops win them. Legs are
+// plain sweep jobs with member = -1 (they are not members themselves);
+// the member's own status is decided in decideRaceLocked once the last
+// leg is terminal. Callers must NOT hold the Service mutex.
+func (s *Service) raceFanOut(sw *sweep, i int, rm resolvedMember) {
+	names := strategy.Concrete()
+	s.mu.Lock()
+	rs := &raceState{legs: make([]raceLeg, len(names)), pending: len(names)}
+	for li, name := range names {
+		rs.legs[li].strategy = name
+	}
+	// pending counts every leg before any is submitted, so a leg that
+	// completes synchronously (cache hit) cannot decide the race while
+	// later legs are still unsubmitted.
+	sw.members[i].race = rs
+	s.mu.Unlock()
+
+	for li, name := range names {
+		li := li
+		s.mu.Lock()
+		if sw.canceled {
+			leg := &rs.legs[li]
+			if !leg.status.State.Terminal() {
+				leg.status = Status{State: StateCanceled, Circuit: rm.c.Name, Error: context.Canceled.Error()}
+				rs.pending--
+				s.decideRaceLocked(sw, i)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		legSpec := rm.spec
+		legSpec.Config.Strategy = name
+		st, err := s.submitJob(rm.c, rm.t0, legSpec, sw.id, -1,
+			func(running Status) { s.raceLegRunning(sw, i, li, running) },
+			func(final Status, res *Result) { s.raceLegTerminal(sw, i, li, final, res) })
+		s.mu.Lock()
+		leg := &rs.legs[li]
+		if err != nil {
+			// Queue full or service closing: the leg is out of the race,
+			// but the member still completes from the remaining legs.
+			if !leg.status.State.Terminal() {
+				leg.status = Status{State: StateFailed, Circuit: rm.c.Name, Error: err.Error()}
+				rs.pending--
+				s.decideRaceLocked(sw, i)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		if leg.jobID == "" { // a lifecycle hook may have run already
+			leg.jobID = st.ID
+		}
+		if leg.status.ID == "" && !st.State.Terminal() {
+			leg.status = st
+		}
+		// CancelSweep may have raced the submit (it saw no leg jobID),
+		// so the cancel is ours to issue.
+		cancelNow := sw.canceled && !leg.status.State.Terminal()
+		s.mu.Unlock()
+		if cancelNow {
+			_, _ = s.Cancel(st.ID)
+		}
+	}
+}
+
+// raceLegRunning is the job lifecycle hook for a race leg leaving the
+// queue. The member is announced running when its first leg runs;
+// individual legs are not separate stream events.
+func (s *Service) raceLegRunning(sw *sweep, i, li int, running Status) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := &sw.members[i]
+	leg := &m.race.legs[li]
+	if leg.status.State.Terminal() {
+		return
+	}
+	leg.jobID = running.ID
+	leg.status = running
+	if m.race.running || m.status.State.Terminal() {
+		return
+	}
+	m.race.running = true
+	m.status.State = StateRunning
+	ms := sw.memberStatus(i, false)
+	s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
+}
+
+// raceLegTerminal is the job hook for a race leg landing: record it and
+// decide the race when it was the last one out.
+func (s *Service) raceLegTerminal(sw *sweep, i, li int, final Status, res *Result) {
+	if final.State != StateDone {
+		res = nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := &sw.members[i]
+	leg := &m.race.legs[li]
+	if leg.status.State.Terminal() {
+		return
+	}
+	leg.jobID = final.ID
+	leg.status = final
+	leg.result = res
+	m.race.pending--
+	s.decideRaceLocked(sw, i)
+}
+
+// betterResult reports whether a strictly beats b under the race
+// comparator: higher fault coverage first, then smaller stored cost
+// (total stored length, then max stored length, then sequence count).
+// Exact ties keep the incumbent, so iterating legs in portfolio order
+// makes the earlier strategy win ties — the same canonical rule as
+// internal/strategy's in-pipeline race.
+func betterResult(a, b *Result) bool {
+	if a.Coverage != b.Coverage {
+		return a.Coverage > b.Coverage
+	}
+	if a.TotalLen != b.TotalLen {
+		return a.TotalLen < b.TotalLen
+	}
+	if a.MaxLen != b.MaxLen {
+		return a.MaxLen < b.MaxLen
+	}
+	return a.NumSequences < b.NumSequences
+}
+
+// decideRaceLocked settles a racing member once its last leg is
+// terminal: the best done leg becomes the member's job, status, and
+// result, the winner is tallied in the metrics, and the member's event
+// and the sweep's finalization proceed exactly as for a plain member.
+// With no done leg the member fails (first failed leg's error) or is
+// canceled. Deterministic given the legs' results, so a crash-recovered
+// race re-decides identically. Callers hold the Service mutex.
+func (s *Service) decideRaceLocked(sw *sweep, i int) {
+	m := &sw.members[i]
+	rs := m.race
+	if rs == nil || rs.pending > 0 || rs.decided {
+		return
+	}
+	rs.decided = true
+	var win *raceLeg
+	for li := range rs.legs {
+		leg := &rs.legs[li]
+		if leg.status.State == StateDone && leg.result != nil {
+			if win == nil || betterResult(leg.result, win.result) {
+				win = leg
+			}
+		}
+	}
+	if win != nil {
+		m.jobID = win.jobID
+		m.status = win.status
+		m.result = win.result
+		s.metrics.observeRaceWin(win.strategy)
+	} else {
+		// No leg finished. Prefer a failure diagnosis over "canceled":
+		// an all-canceled race only happens under sweep cancellation.
+		m.status.State = StateCanceled
+		for li := range rs.legs {
+			if leg := &rs.legs[li]; leg.status.State == StateFailed {
+				m.jobID = leg.jobID
+				m.status = leg.status
+				break
+			}
+		}
+	}
+	sw.pending--
+	ms := sw.memberStatus(i, true)
+	s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
+	s.persistSweep(sw) // the decided member references a leg job record
+	s.finalizeSweepLocked(sw)
+}
+
 // finalizeSweepLocked transitions the sweep to its terminal state once
 // every member is terminal: aggregate the summary, emit the final event.
 // Callers hold the Service mutex.
 func (s *Service) finalizeSweepLocked(sw *sweep) {
-	if sw.pending > 0 || sw.state.Terminal() {
+	if sw.repairing || sw.pending > 0 || sw.state.Terminal() {
 		return
 	}
 	sum := &SweepSummary{Total: len(sw.members)}
@@ -441,7 +710,21 @@ func (s *Service) CancelSweep(id string) (SweepStatus, error) {
 		sw.canceled = true
 		s.persistSweep(sw) // a recovered sweep must not resurrect canceled members
 		for i := range sw.members {
-			if m := &sw.members[i]; m.jobID != "" && !m.status.State.Terminal() {
+			m := &sw.members[i]
+			if m.status.State.Terminal() {
+				continue
+			}
+			if m.race != nil && !m.race.decided {
+				// A racing member is canceled leg by leg; the race
+				// decides once the last leg lands.
+				for li := range m.race.legs {
+					if leg := &m.race.legs[li]; leg.jobID != "" && !leg.status.State.Terminal() {
+						cancelIDs = append(cancelIDs, leg.jobID)
+					}
+				}
+				continue
+			}
+			if m.jobID != "" {
 				cancelIDs = append(cancelIDs, m.jobID)
 			}
 		}

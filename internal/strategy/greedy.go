@@ -1,0 +1,27 @@
+package strategy
+
+import (
+	"seqbist/internal/core"
+	"seqbist/internal/faults"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+func init() { register(greedy{}) }
+
+// greedy is the paper baseline: Procedure 1 exactly as core.Select runs
+// it, targeting faults by decreasing first-detection time. It is a thin
+// adapter — same code path, same RNG draw sequence — so its results are
+// bit-identical to the pre-portfolio pipeline (pinned by
+// TestGreedyMatchesCoreSelect and the service differential test).
+type greedy struct{}
+
+func (greedy) Name() string { return "greedy" }
+
+func (greedy) Select(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, cfg Config) (*Outcome, error) {
+	res, err := core.Select(c, fl, t0, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Result: res, Winner: "greedy", Trials: 1}, nil
+}
