@@ -52,6 +52,8 @@ func main() {
 	maxSignals := flag.Int("max-bench-signals", 0, "uploaded netlist signal cap (0 = default 250k, negative = unlimited)")
 	dataDir := flag.String("data-dir", "", "persistence directory: jobs, sweeps, event logs, and results survive restarts and crashes (empty = in-memory only)")
 	fsync := flag.Bool("fsync", true, "with -data-dir, fsync the record log after every write (survives power loss; -fsync=false trades that for lower write latency and still survives SIGKILL)")
+	compactBytes := flag.Int64("compact-bytes", 0, "with -data-dir, log size that triggers an online compaction round (0 = default 8 MiB, negative disables automatic compaction)")
+	staleAfter := flag.Duration("stale-after", 0, "with -data-dir, how long a cluster member may go silent before compaction stops waiting for it and GC reclaims past its watermark (0 = default 30s)")
 	nodeID := flag.String("node-id", "", "cluster identity: daemons started with distinct -node-id values on one shared -data-dir cooperatively drain a single queue, stealing a killed member's leases (requires -data-dir)")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "with -node-id, how long a claimed job stays fenced to its claimant without renewal")
 	rate := flag.Float64("rate", 0, "per-client submissions/second accepted on POST /v1/jobs and /v1/sweeps before answering 429 (0 = unlimited)")
@@ -90,7 +92,10 @@ func main() {
 		cfg.NodeID = *nodeID
 	}
 	if *dataDir != "" {
-		st, err := store.Open(store.Options{Dir: *dataDir, Fsync: *fsync, NodeID: cfg.NodeID})
+		st, err := store.Open(store.Options{
+			Dir: *dataDir, Fsync: *fsync, NodeID: cfg.NodeID,
+			CompactBytes: *compactBytes, StaleAfter: *staleAfter,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seqbistd: opening -data-dir: %v\n", err)
 			os.Exit(1)

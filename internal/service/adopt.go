@@ -1,0 +1,222 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"sort"
+	"time"
+
+	"seqbist/internal/store"
+)
+
+// This file is sweep adoption: the cluster mechanism that keeps a
+// sweep's event log and summary finalizing after its owning daemon
+// dies. Member *jobs* already survive owner death — they are durable
+// records any member's claim loop leases — but the sweep object itself
+// (lifecycle hooks, event appends, summary aggregation) lived only in
+// the submitter's memory. Adoption moves that ownership: when a sweep's
+// owner has stopped heartbeating, a live member wins a lease-arbitrated
+// race, rebuilds the sweep from the store exactly like crash recovery
+// rebuilds the owner's own sweeps (persist.go), commits itself as the
+// new owner, and drives the members to a finalized summary. See
+// DESIGN.md §12.
+
+// adoptStaleSweeps scans the sweep mirror — throttled to about one scan
+// per lease TTL, since owner death is detected on heartbeat timescales
+// anyway — for non-terminal sweeps whose owner looks dead, and adopts
+// each. Called from the cluster goroutine.
+func (s *Service) adoptStaleSweeps(now time.Time) {
+	if now.Sub(s.lastAdoptScan) < s.cfg.LeaseTTL {
+		return
+	}
+	s.lastAdoptScan = now
+	stale := 3 * s.cfg.LeaseTTL
+	var cands []store.SweepRecord
+	for _, rec := range s.remoteSweeps {
+		if rec.Node == s.cfg.NodeID || State(rec.State).Terminal() {
+			continue
+		}
+		// A sweep younger than the staleness window cannot have a
+		// provably-dead owner: the owner's most recent heartbeat may
+		// simply predate the submission.
+		if now.Sub(rec.Created) < stale {
+			continue
+		}
+		cands = append(cands, rec)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	nodes, err := s.store.Nodes()
+	if err != nil {
+		s.storeErr(err)
+		return
+	}
+	fresh := make(map[string]bool)
+	for _, n := range nodes {
+		if now.Sub(n.Time) < stale {
+			fresh[n.ID] = true
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Seq != cands[j].Seq {
+			return cands[i].Seq < cands[j].Seq
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	for _, rec := range cands {
+		// An owner that never heartbeat at all is as dead as a lapsed
+		// one (it cannot be running a claim loop).
+		if fresh[rec.Node] {
+			continue
+		}
+		s.adoptSweep(rec)
+	}
+}
+
+// adoptSweep takes over one orphaned sweep. Concurrent adopters are
+// arbitrated through the existing lease layer under a synthetic claim
+// ID — no new store primitive — and the commit point is the PutSweep
+// naming this daemon as owner: a crash before it leaves the original
+// record intact for the next adopter, a crash after it is ordinary
+// owner death handled by this daemon's own recovery (or re-adoption).
+func (s *Service) adoptSweep(rec store.SweepRecord) {
+	claimID := "sweep-adopt/" + rec.ID
+	won, err := s.store.ClaimJob(claimID, s.cfg.NodeID, 3*s.cfg.LeaseTTL)
+	if err != nil {
+		s.storeErr(err)
+		return
+	}
+	if !won {
+		return // another member is adopting it right now
+	}
+	defer func() { s.storeErr(s.store.ReleaseJob(claimID, s.cfg.NodeID)) }()
+
+	// Adoption needs the sweep's event log and member job records, which
+	// the poll deltas deliberately omit: the one full Load outside
+	// startup happens here, on the rare owner-death path.
+	st, err := s.store.Load()
+	if err != nil {
+		s.storeErr(err)
+		return
+	}
+	// Re-read the record from the Load view: it is fresher than the
+	// mirror, and the sweep may have finished — or been adopted and
+	// re-owned — between the scan and winning the claim.
+	var cur *store.SweepRecord
+	for i := range st.Sweeps {
+		if st.Sweeps[i].ID == rec.ID {
+			cur = &st.Sweeps[i]
+			break
+		}
+	}
+	if cur == nil || cur.Node != rec.Node || State(cur.State).Terminal() {
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.sweeps[cur.ID] != nil {
+		return
+	}
+	sw := &sweep{
+		id:       cur.ID,
+		seq:      cur.Seq,
+		node:     s.cfg.NodeID, // ours from here on
+		created:  cur.Created,
+		finished: cur.Finished,
+		state:    State(cur.State),
+		canceled: cur.Canceled,
+		wake:     make(chan struct{}),
+	}
+	// Best effort, as at recovery: a spec that no longer unmarshals only
+	// disables lost-member re-submission.
+	_ = json.Unmarshal(cur.Spec, &sw.spec)
+	for mi, m := range cur.Members {
+		sw.members = append(sw.members, sweepMember{
+			index: mi,
+			jobID: m.JobID,
+			status: Status{
+				ID: m.JobID, State: State(m.State), Circuit: m.Circuit,
+				CacheHit: m.CacheHit, Error: m.Error,
+			},
+		})
+	}
+	for _, er := range st.Events[cur.ID] {
+		var ev SweepEvent
+		if json.Unmarshal(er.Data, &ev) != nil {
+			continue
+		}
+		sw.events = append(sw.events, ev)
+	}
+
+	// Materialize local mirrors of the sweep's member jobs — whichever
+	// node submitted or ran them — so repairSweep can overlay their
+	// fresher state and re-attach hooks, and so observeRemote (which
+	// only touches locally-known jobs) drives those hooks as peers
+	// finish the remaining work.
+	rc := &recovery{s: s, results: make(map[string]*Result), execByKey: make(map[string]*execution)}
+	memberJob := make(map[int]*job)
+	for i := range st.Jobs {
+		jr := &st.Jobs[i]
+		if jr.SweepID != cur.ID {
+			continue
+		}
+		j := s.jobs[jr.ID]
+		if j == nil {
+			j = s.mirrorJob(jr)
+			j.started = jr.Started
+			j.finished = jr.Finished
+			switch state := State(jr.State); state {
+			case StateDone:
+				if res := rc.result(jr.Key); res != nil {
+					j.state = StateDone
+					j.cacheHit = jr.CacheHit
+					j.result = res
+					s.incResultRef(j.key)
+				} else {
+					// The result body died with the owner before it was
+					// spilled: re-enqueue, as recovery would (re-running
+					// is safe, results are content-addressed).
+					j.state = StateQueued
+					j.orphaned = true
+					j.started, j.finished = time.Time{}, time.Time{}
+					s.persistJob(j)
+				}
+			case StateFailed, StateCanceled:
+				j.state = state
+				if jr.Error != "" {
+					j.err = errors.New(jr.Error)
+				}
+			}
+			s.register(j)
+		}
+		if j.member >= 0 {
+			memberJob[j.member] = j
+		}
+	}
+
+	s.registerSweep(sw)
+	s.repairSweep(rc, sw, memberJob)
+	// Re-attach results stripped before storage (persistSweepEvent) to
+	// the member snapshots and replayed events, as recovery does.
+	for i := range sw.members {
+		m := &sw.members[i]
+		if m.status.State == StateDone && m.result == nil {
+			if j := s.jobs[m.jobID]; j != nil {
+				m.result = j.result
+			}
+		}
+	}
+	for ei := range sw.events {
+		ev := &sw.events[ei]
+		if ev.Type == "member_update" && ev.Member != nil &&
+			ev.Member.State == StateDone && ev.Member.Result == nil {
+			if j := s.jobs[ev.Member.JobID]; j != nil {
+				ev.Member.Result = j.result
+			}
+		}
+	}
+	s.persistSweep(sw) // commit: the durable record now names this owner
+	s.metrics.sweepsAdopted.Add(1)
+}

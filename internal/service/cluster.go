@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"sort"
 	"time"
 
 	"seqbist/internal/bench"
@@ -17,20 +18,25 @@ import (
 // queue. Dispatch in cluster mode is pull-based — a submission becomes
 // a durable queued record (see submitJob), and every member's loop
 //
-//  1. refreshes its view of the shared log and heartbeats,
+//  1. heartbeats and pulls the *incremental* record delta since its
+//     previous tick (store.Changes), folding it into a local mirror so
+//     a tick costs O(new records), not O(total state),
 //  2. renews the leases of its in-flight runs (detecting theft),
 //  3. folds peers' job transitions into the local jobs it owns
-//     (the submitter fires sweep hooks off these), and
+//     (the submitter fires sweep hooks off these),
 //  4. claims executable records up to its worker capacity — including
 //     records whose holder's lease expired, i.e. work stolen from a
-//     SIGKILLed peer.
+//     SIGKILLed peer — and prunes mirror records it is done with, and
+//  5. scans (throttled) for sweeps whose owning daemon stopped
+//     heartbeating and adopts them (see adopt.go), so a sweep's event
+//     log and summary finalize even when its submitter is gone.
 //
 // Correctness leans on two invariants. Results are content-addressed
 // and the pipeline deterministic, so the worst failure mode of lease
 // arbitration (two daemons running the same job) wastes cycles but
 // cannot produce divergent state; and every store implementation
 // arbitrates claims in the operation stream's total order, so all
-// members agree on each lease's holder. See DESIGN.md §10.
+// members agree on each lease's holder. See DESIGN.md §10 and §12.
 
 // clusterLoop runs until Close; ticks are paced by PollInterval and
 // nudged early by local submissions.
@@ -61,27 +67,100 @@ func (s *Service) nudgeCluster() {
 	}
 }
 
-// clusterTick is one pass of the loop. No explicit Refresh: the Load
-// below (and every lease operation) folds peers' appends in on its own.
+// clusterTick is one pass of the loop. No explicit Refresh: the Changes
+// call below (and every lease operation) folds peers' appends in on its
+// own, and hands back only the records that changed since the previous
+// tick's cursor.
 func (s *Service) clusterTick(now time.Time) {
 	if hb := s.cfg.LeaseTTL / 3; now.Sub(s.lastHeartbeat) >= max(hb, s.cfg.PollInterval) {
 		s.storeErr(s.store.Heartbeat(store.NodeRecord{ID: s.cfg.NodeID, Started: s.started, Time: now}))
 		s.lastHeartbeat = now
 	}
 	s.renewLeases(now)
-	state, err := s.store.Load()
+	delta, cursor, err := s.store.Changes(s.changeCursor)
 	if err != nil {
 		s.storeErr(err)
 		return
 	}
+	s.changeCursor = cursor
+	s.foldDelta(delta)
 	claims, err := s.store.Claims()
 	if err != nil {
 		s.storeErr(err)
 		return
 	}
+	jobs := s.mirrorSnapshot()
 	results := make(map[string]*Result) // per-tick result-fetch memo
-	s.observeRemote(state, results, now)
-	s.claimWork(state, claims, results, now)
+	s.observeRemote(jobs, results, now)
+	s.claimWork(jobs, claims, results, now)
+	s.pruneMirror()
+	s.adoptStaleSweeps(now)
+}
+
+// foldDelta applies one Changes delta to the record mirror. The mirror
+// is the claim loop's working set: every record the loop may still have
+// to act on, upserted from the deltas and pruned once processed, so the
+// per-tick iteration is over the active set rather than the whole
+// store. Only the cluster goroutine writes it.
+func (s *Service) foldDelta(delta *store.Delta) {
+	if delta.Full {
+		clear(s.remoteRecs)
+		clear(s.remoteSweeps)
+	}
+	for _, rec := range delta.Jobs {
+		s.remoteRecs[rec.ID] = rec
+	}
+	for _, rec := range delta.Sweeps {
+		s.remoteSweeps[rec.ID] = rec
+	}
+	for _, id := range delta.DeletedJobs {
+		delete(s.remoteRecs, id)
+	}
+	for _, id := range delta.DeletedSweeps {
+		delete(s.remoteSweeps, id)
+	}
+}
+
+// mirrorSnapshot returns the mirrored job records in Seq order (ties by
+// ID) — the deterministic order Load used to hand the loop, so claim
+// priority across members is unchanged by the incremental rewrite.
+func (s *Service) mirrorSnapshot() []store.JobRecord {
+	jobs := make([]store.JobRecord, 0, len(s.remoteRecs))
+	for _, rec := range s.remoteRecs {
+		jobs = append(jobs, rec)
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].Seq != jobs[j].Seq {
+			return jobs[i].Seq < jobs[j].Seq
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
+	return jobs
+}
+
+// pruneMirror drops terminal records the loop is finished with: unknown
+// locally (a peer's completed work) or already terminal locally.
+// Records under a locally-held lease stay — claimWork's cancel-detach
+// path still needs to see a canceled record for a job this daemon is
+// executing — and so does a done record whose result body has not
+// appeared yet (its local job is still non-terminal then, and
+// observeRemote settles it on a later tick).
+func (s *Service) pruneMirror() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, rec := range s.remoteRecs {
+		if !State(rec.State).Terminal() || s.leases[id] != nil {
+			continue
+		}
+		if j := s.jobs[id]; j == nil || j.state.Terminal() {
+			delete(s.remoteRecs, id)
+		}
+	}
+	for id, rec := range s.remoteSweeps {
+		if State(rec.State).Terminal() {
+			delete(s.remoteSweeps, id)
+		}
+	}
 }
 
 // renewLeases extends the leases of locally-running claims that are
@@ -190,11 +269,11 @@ func (s *Service) lookupResult(memo map[string]*Result, key string) *Result {
 // sweep finishes when its members execute on other daemons — and a
 // queued record whose content key already has a stored result completes
 // instantly (cross-daemon result visibility).
-func (s *Service) observeRemote(state *store.State, results map[string]*Result, now time.Time) {
+func (s *Service) observeRemote(jobs []store.JobRecord, results map[string]*Result, now time.Time) {
 	var fired []firedHook
 	s.mu.Lock()
-	for i := range state.Jobs {
-		rec := &state.Jobs[i]
+	for i := range jobs {
+		rec := &jobs[i]
 		j, ok := s.jobs[rec.ID]
 		if !ok || j.state.Terminal() || j.exec != nil {
 			continue // unknown here, already final, or running locally
@@ -282,10 +361,10 @@ func (s *Service) completeRemoteLocked(j *job, res *Result, finished time.Time, 
 // claimWork leases executable records — queued, or running under an
 // expired lease (a dead peer's work) — up to this daemon's capacity and
 // starts them on the local worker pool.
-func (s *Service) claimWork(state *store.State, claims map[string]store.Claim, results map[string]*Result, now time.Time) {
+func (s *Service) claimWork(jobs []store.JobRecord, claims map[string]store.Claim, results map[string]*Result, now time.Time) {
 	node := s.cfg.NodeID
-	for i := range state.Jobs {
-		rec := &state.Jobs[i]
+	for i := range jobs {
+		rec := &jobs[i]
 		st := State(rec.State)
 
 		s.mu.Lock()

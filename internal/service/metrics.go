@@ -41,12 +41,14 @@ type Metrics struct {
 	// lease had expired (a killed or stalled peer); leasesExpired
 	// counts expired leases acted on — stolen from peers or lost by
 	// this daemon; remoteDone counts local jobs completed by peers'
-	// terminal records.
+	// terminal records; sweepsAdopted counts orphaned sweeps this
+	// daemon took over after their owner stopped heartbeating.
 	claimsWon     atomic.Int64
 	claimsLost    atomic.Int64
 	jobsStolen    atomic.Int64
 	leasesExpired atomic.Int64
 	remoteDone    atomic.Int64
+	sweepsAdopted atomic.Int64
 
 	// rateLimited counts submissions answered 429 by the HTTP layer's
 	// per-client token bucket.
@@ -236,6 +238,16 @@ type StoreSnapshot struct {
 	// WriteErrors counts store writes that failed; the daemon keeps
 	// serving from memory, but durability is degraded.
 	WriteErrors int64 `json:"write_errors"`
+	// Epoch is the segmented WAL's current log generation (the fold
+	// frontier advanced by each compaction round); SegmentsLive counts
+	// per-node segment files currently on disk and SegmentsDeleted the
+	// segment files removed by compaction GC since open; ManifestBytes
+	// is the on-disk size of the manifest (shared ordering log) files,
+	// a subset of bytes_on_disk. All zero for a memory store.
+	Epoch           int64 `json:"epoch"`
+	SegmentsLive    int64 `json:"segments_live"`
+	SegmentsDeleted int64 `json:"segments_deleted"`
+	ManifestBytes   int64 `json:"manifest_bytes"`
 }
 
 // StrategySnapshot is the "strategy" section of GET /metrics: the
@@ -283,6 +295,10 @@ type ClusterSnapshot struct {
 	JobsStolen    int64 `json:"jobs_stolen"`
 	// RemoteDone counts local jobs completed by peers' terminal records.
 	RemoteDone int64 `json:"remote_done"`
+	// SweepsAdopted counts orphaned sweeps this daemon took over after
+	// their owning daemon stopped heartbeating (the adopter replays the
+	// sweep's event log and finalizes its summary).
+	SweepsAdopted int64 `json:"sweeps_adopted"`
 }
 
 // Metrics snapshots the service's counters and gauges.
@@ -330,6 +346,10 @@ func (s *Service) Metrics() MetricsSnapshot {
 			SweepsRecovered:  m.sweepsRecovered.Load(),
 			OrphansRequeued:  m.orphansRequeued.Load(),
 			WriteErrors:      m.storeErrors.Load(),
+			Epoch:            st.Epoch,
+			SegmentsLive:     st.SegmentsLive,
+			SegmentsDeleted:  st.SegmentsDeleted,
+			ManifestBytes:    st.ManifestBytes,
 		}
 		if !st.LastCompaction.IsZero() {
 			ss.LastCompaction = st.LastCompaction.UTC().Format(time.RFC3339)
@@ -344,6 +364,7 @@ func (s *Service) Metrics() MetricsSnapshot {
 			LeasesExpired: m.leasesExpired.Load(),
 			JobsStolen:    m.jobsStolen.Load(),
 			RemoteDone:    m.remoteDone.Load(),
+			SweepsAdopted: m.sweepsAdopted.Load(),
 		}
 		if nodes, err := s.store.Nodes(); err != nil {
 			s.storeErr(err)

@@ -103,6 +103,10 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 		c("seqbist_store_sweeps_recovered_total", "Sweep records rebuilt into live state at startup.", st.SweepsRecovered)
 		c("seqbist_store_orphans_requeued_total", "Jobs re-enqueued after being orphaned by a crash.", st.OrphansRequeued)
 		c("seqbist_store_write_errors_total", "Store writes that failed.", st.WriteErrors)
+		g("seqbist_store_epoch", "Current log generation of the segmented WAL.", float64(st.Epoch))
+		g("seqbist_store_segments_live", "Per-node WAL segment files currently on disk.", float64(st.SegmentsLive))
+		c("seqbist_store_segments_deleted_total", "Segment files removed by compaction GC since open.", st.SegmentsDeleted)
+		g("seqbist_store_manifest_bytes", "On-disk size of the manifest (shared ordering log) files.", float64(st.ManifestBytes))
 	}
 
 	if cl := snap.Cluster; cl != nil {
@@ -115,6 +119,7 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 		c("seqbist_cluster_leases_expired_total", "Expired leases acted on (stolen or lost).", cl.LeasesExpired)
 		c("seqbist_cluster_jobs_stolen_total", "Claims won on a dead or stalled peer's work.", cl.JobsStolen)
 		c("seqbist_cluster_remote_done_total", "Local jobs completed by peers' terminal records.", cl.RemoteDone)
+		c("seqbist_cluster_sweeps_adopted_total", "Orphaned sweeps adopted from owners that stopped heartbeating.", cl.SweepsAdopted)
 	}
 }
 

@@ -219,6 +219,17 @@ type Service struct {
 	clusterWake   chan struct{}
 	lastHeartbeat time.Time
 
+	// The claim loop's incremental working set (see cluster.go): the
+	// store Changes cursor, the record mirror it maintains from the
+	// deltas, and the sweep-adoption scan throttle. Touched only by the
+	// cluster goroutine, so they need no lock of their own (the mirror
+	// maps are read under s.mu where observe/claim state is consulted,
+	// but written by that same goroutine).
+	changeCursor  uint64
+	remoteRecs    map[string]store.JobRecord
+	remoteSweeps  map[string]store.SweepRecord
+	lastAdoptScan time.Time
+
 	// resultRefs counts, per content key, the live referents of a
 	// stored result body: done job records plus cache entries. When the
 	// last referent disappears (retention or LRU eviction) the body is
@@ -236,18 +247,20 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:         cfg,
-		store:       cfg.Store,
-		rootCtx:     ctx,
-		rootCancel:  cancel,
-		jobs:        make(map[string]*job),
-		inflight:    make(map[string]*execution),
-		leases:      make(map[string]*execution),
-		sweeps:      make(map[string]*sweep),
-		cache:       newResultCache(cfg.CacheSize),
-		resultRefs:  make(map[string]int),
-		started:     time.Now(),
-		clusterWake: make(chan struct{}, 1),
+		cfg:          cfg,
+		store:        cfg.Store,
+		rootCtx:      ctx,
+		rootCancel:   cancel,
+		jobs:         make(map[string]*job),
+		inflight:     make(map[string]*execution),
+		leases:       make(map[string]*execution),
+		sweeps:       make(map[string]*sweep),
+		cache:        newResultCache(cfg.CacheSize),
+		resultRefs:   make(map[string]int),
+		started:      time.Now(),
+		clusterWake:  make(chan struct{}, 1),
+		remoteRecs:   make(map[string]store.JobRecord),
+		remoteSweeps: make(map[string]store.SweepRecord),
 	}
 	s.cache.onEvict = s.decResultRef
 	// Recovery may enlarge the queue so every re-enqueued execution

@@ -1,0 +1,156 @@
+package store
+
+import "sort"
+
+// This file is the incremental-change layer: instead of calling Load
+// (full state) every poll tick, a consumer calls Changes with the
+// cursor returned by its previous call and receives only the job and
+// sweep records that changed in between. Both implementations maintain
+// a bounded ring of change references; a cursor that has fallen out of
+// the ring (or a zero cursor) degrades to a full resync, so the API
+// never misses a change — it only occasionally over-delivers.
+//
+// Events and result bodies are deliberately absent from deltas: the
+// service consumes events only when adopting a sweep (a one-shot Load)
+// and fetches result bodies lazily by content key.
+
+// Delta is the changed-records answer of one Changes call.
+type Delta struct {
+	// Jobs and Sweeps carry the *current* record of every ID that
+	// changed (coalesced: an ID that changed five times appears once),
+	// in Seq order. When Full is set they carry the complete current
+	// record sets instead.
+	Jobs   []JobRecord
+	Sweeps []SweepRecord
+	// DeletedJobs and DeletedSweeps list IDs whose records are gone.
+	// Empty when Full is set (a full resync carries no tombstones; the
+	// consumer rebuilds from the complete sets).
+	DeletedJobs   []string
+	DeletedSweeps []string
+	// Full marks a resync: the cursor was zero or too old for the
+	// change ring, so Jobs/Sweeps are the whole current state.
+	Full bool
+}
+
+type changeKind uint8
+
+const (
+	changeJob changeKind = iota
+	changeSweep
+)
+
+type changeRef struct {
+	kind changeKind
+	id   string
+}
+
+// changeRingCap bounds the per-handle change memory. A consumer polling
+// anywhere near the store's write rate never comes close; one asleep
+// for thousands of writes pays one full resync.
+const changeRingCap = 4096
+
+// changeLog is the bounded ring. Guarded by the owning store's mutex.
+type changeLog struct {
+	ring [changeRingCap]changeRef
+	ver  uint64 // change references ever noted
+}
+
+func (c *changeLog) note(kind changeKind, id string) {
+	c.ring[c.ver%changeRingCap] = changeRef{kind: kind, id: id}
+	c.ver++
+}
+
+// invalidate forces every outstanding cursor into a full resync — used
+// when the mirrors are rebuilt wholesale (records may vanish without
+// individual tombstone notes).
+func (c *changeLog) invalidate() {
+	c.ver += changeRingCap + 1
+}
+
+// window returns the references noted in (cursor, ver]; ok is false
+// when the window is unavailable (cursor from another era or older than
+// the ring) and the caller must fall back to a full resync.
+func (c *changeLog) window(cursor uint64) ([]changeRef, bool) {
+	if cursor > c.ver {
+		return nil, false
+	}
+	n := c.ver - cursor
+	if n == 0 {
+		return nil, true
+	}
+	if n > changeRingCap {
+		return nil, false
+	}
+	out := make([]changeRef, 0, n)
+	for i := cursor; i < c.ver; i++ {
+		out = append(out, c.ring[i%changeRingCap])
+	}
+	return out, true
+}
+
+// buildDelta materializes a Delta from a reference window against the
+// current mirrors: present IDs yield their current record, absent ones
+// a tombstone.
+func buildDelta(refs []changeRef, jobs map[string]JobRecord, sweeps map[string]SweepRecord) *Delta {
+	delta := &Delta{}
+	seenJobs := make(map[string]bool)
+	seenSweeps := make(map[string]bool)
+	for _, r := range refs {
+		switch r.kind {
+		case changeJob:
+			if seenJobs[r.id] {
+				continue
+			}
+			seenJobs[r.id] = true
+			if rec, ok := jobs[r.id]; ok {
+				delta.Jobs = append(delta.Jobs, rec)
+			} else {
+				delta.DeletedJobs = append(delta.DeletedJobs, r.id)
+			}
+		case changeSweep:
+			if seenSweeps[r.id] {
+				continue
+			}
+			seenSweeps[r.id] = true
+			if rec, ok := sweeps[r.id]; ok {
+				delta.Sweeps = append(delta.Sweeps, rec)
+			} else {
+				delta.DeletedSweeps = append(delta.DeletedSweeps, r.id)
+			}
+		}
+	}
+	sortDelta(delta)
+	return delta
+}
+
+// fullDelta materializes a resync Delta from the current mirrors.
+func fullDelta(jobs map[string]JobRecord, sweeps map[string]SweepRecord) *Delta {
+	delta := &Delta{Full: true}
+	for _, rec := range jobs {
+		delta.Jobs = append(delta.Jobs, rec)
+	}
+	for _, rec := range sweeps {
+		delta.Sweeps = append(delta.Sweeps, rec)
+	}
+	sortDelta(delta)
+	return delta
+}
+
+// sortDelta orders a delta deterministically (Seq then ID, like
+// stateOf), plus sorted tombstones.
+func sortDelta(delta *Delta) {
+	sort.Slice(delta.Jobs, func(i, j int) bool {
+		if delta.Jobs[i].Seq != delta.Jobs[j].Seq {
+			return delta.Jobs[i].Seq < delta.Jobs[j].Seq
+		}
+		return delta.Jobs[i].ID < delta.Jobs[j].ID
+	})
+	sort.Slice(delta.Sweeps, func(i, j int) bool {
+		if delta.Sweeps[i].Seq != delta.Sweeps[j].Seq {
+			return delta.Sweeps[i].Seq < delta.Sweeps[j].Seq
+		}
+		return delta.Sweeps[i].ID < delta.Sweeps[j].ID
+	})
+	sort.Strings(delta.DeletedJobs)
+	sort.Strings(delta.DeletedSweeps)
+}

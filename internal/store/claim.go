@@ -53,6 +53,14 @@ type NodeRecord struct {
 	ID      string    `json:"id"`
 	Started time.Time `json:"started,omitempty"`
 	Time    time.Time `json:"time"`
+	// FoldedEpoch/FoldedOff are the node's fold watermark — the manifest
+	// position it had fully applied when the heartbeat was appended. The
+	// Disk store stamps them itself; compactors delete log generations
+	// only below every live node's watermark. (Zero FoldedEpoch — a node
+	// that has not heartbeated since the segmented log appeared — pins
+	// everything until its first stamped heartbeat.)
+	FoldedEpoch int64 `json:"fe,omitempty"`
+	FoldedOff   int64 `json:"fo,omitempty"`
 }
 
 // terminalJobState mirrors service.State.Terminal for the raw strings

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -81,7 +80,7 @@ func TestSharedInterleavedReplayEquivalence(t *testing.T) {
 			// Crash: no Close (shared Close would not compact, but even
 			// the flush must not be needed).
 			for _, h := range handles {
-				h.wal.Close()
+				h.crash()
 			}
 
 			// Survivor replays: a fresh shared handle and a fresh
@@ -117,7 +116,7 @@ func TestSharedInterleavedReplayEquivalence(t *testing.T) {
 						t.Fatalf("result %q diverged after multi-writer crash", key)
 					}
 				}
-				d.wal.Close()
+				d.crash()
 			}
 		})
 	}
@@ -177,7 +176,7 @@ func TestSharedConcurrentAppends(t *testing.T) {
 		}
 	}
 	for _, h := range handles {
-		h.wal.Close() // crash, not Close
+		h.crash() // crash, not Close
 	}
 	d, err := Open(Options{Dir: dir})
 	if err != nil {
@@ -246,7 +245,7 @@ func TestClaimExactlyOneWinner(t *testing.T) {
 			if c, ok := claims[rec.ID]; !ok || c.Node != winner {
 				t.Fatalf("seed %d: handle %d sees holder %q, want %q", seed, i, c.Node, winner)
 			}
-			h.wal.Close()
+			h.crash()
 		}
 	}
 }
@@ -263,7 +262,7 @@ func TestClaimLeaseEdgeCases(t *testing.T) {
 	}
 	defer disk.Close()
 	shared := openShared(t, t.TempDir(), "n1") // shared path
-	defer shared.wal.Close()
+	defer shared.crash()
 	impls := []struct {
 		name string
 		s    Store
@@ -346,10 +345,11 @@ func TestSharedGluedFrameRecovery(t *testing.T) {
 	dir := t.TempDir()
 	a := openShared(t, dir, "n1")
 	mustDo(t, a.PutJob(jobRec(1, "queued")))
-	a.wal.Close() // n1 dies...
+	a.crash() // n1 dies...
 
-	// ...mid-append: torn bytes, no trailing newline.
-	wal := filepath.Join(dir, walName)
+	// ...mid-append: torn bytes in the shared manifest, no trailing
+	// newline.
+	wal := curManifest(t, dir)
 	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -370,11 +370,11 @@ func TestSharedGluedFrameRecovery(t *testing.T) {
 	if st := b.Stats(); st.SkippedFrames == 0 {
 		t.Fatal("torn frame not counted as skipped")
 	}
-	b.wal.Close()
+	b.crash()
 
 	// A later shared open replays both intact records the same way.
 	c := openShared(t, dir, "n3")
-	defer c.wal.Close()
+	defer c.crash()
 	got2, err := c.Load()
 	if err != nil {
 		t.Fatal(err)

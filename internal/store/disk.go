@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,35 +18,41 @@ import (
 type Options struct {
 	// Dir is the data directory (created if missing). Layout:
 	//
-	//	wal.log        write-ahead record log (crc-framed NDJSON)
+	//	wal/           segmented record log (see segment.go)
+	//	wal.log        pre-segmentation log, replayed once and retired
 	//	snapshot.json  last compaction's full state
 	//	results/       spilled result bodies, one <content-key>.json each
 	Dir string
-	// Fsync, when true (the durable setting), fsyncs the WAL after
-	// every appended record, so an acknowledged state transition
-	// survives an immediate power cut. When false, appends reach the
-	// OS page cache only — a process SIGKILL loses nothing, but a
-	// machine crash may lose the most recent records.
+	// Fsync, when true (the durable setting), fsyncs segment and
+	// manifest after every appended record, so an acknowledged state
+	// transition survives an immediate power cut. When false, appends
+	// reach the OS page cache only — a process SIGKILL loses nothing,
+	// but a machine crash may lose the most recent records.
 	Fsync bool
 	// SpillBytes is the result-body size at or above which the body is
 	// written to results/<key>.json instead of inline into the WAL
 	// (default 4096; results for the big ISCAS'89 circuits run to
 	// megabytes and would otherwise dominate the log).
 	SpillBytes int
-	// CompactBytes triggers automatic snapshot compaction when the WAL
+	// CompactBytes triggers a compaction round when the wal/ directory
 	// grows past this size (default 8 MiB; <0 disables auto-compaction).
 	CompactBytes int64
 	// NodeID, when set, opens the directory in *shared* mode: several
 	// processes (one per NodeID) may hold the same directory open and
-	// append concurrently. Appends go through O_APPEND one-write()-
-	// per-record framing, so the kernel serializes them into a total
-	// order; Refresh tails the log and folds peers' records into this
-	// handle's view. Shared handles never truncate or compact the log
-	// (a peer may be mid-append past any point this handle has seen),
-	// so compaction of a cluster directory is an offline, exclusive
-	// operation. Empty (the default) keeps the exclusive single-process
-	// behavior of PR 4.
+	// append concurrently. Each node appends data records to its own
+	// segment file and a mark frame to the shared manifest (O_APPEND
+	// one-write()-per-frame, so the kernel serializes marks into the
+	// total order every node agrees on). Compaction is *online*: any
+	// node may claim a round via an epoch record, seal the current
+	// generation, fold it into the snapshot and delete generations
+	// every live node has acknowledged. Empty (the default) keeps the
+	// exclusive single-process behavior.
 	NodeID string
+	// StaleAfter is how long a node may go without heartbeating before
+	// compaction stops waiting for it: a stale node no longer pins old
+	// log generations, and its unfinished compaction round may be taken
+	// over (default 30s).
+	StaleAfter time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +61,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactBytes == 0 {
 		o.CompactBytes = 8 << 20
+	}
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 30 * time.Second
 	}
 	return o
 }
@@ -69,20 +79,51 @@ type Disk struct {
 	opts   Options
 	shared bool // multi-writer mode (Options.NodeID set)
 
-	mu       sync.Mutex
-	wal      *os.File
-	walBytes int64
-	nextLSN  int64
+	mu sync.Mutex
+
+	// Append targets: man is the current generation's manifest (shared
+	// ordering log), seg this node's private data segment of segGen.
+	man    *os.File
+	manGen int64
+	seg    *os.File
+	segGen int64
+
+	// Fold frontier: everything in the total order up to (foldGen,
+	// foldOff) has been applied to the mirrors. foldF/foldBR cache the
+	// open manifest reader; segCurs the per-segment read cursors.
+	foldGen int64
+	foldOff int64
+	foldF   *os.File
+	foldBR  *bufio.Reader
+	segCurs map[string]*segCursor
+
 	// lsns tracks the highest LSN seen per node (LSN streams are
-	// per-writer in shared mode); snapLSNs is the per-node cutoff the
-	// current snapshot covers, so stale log records are skipped at
-	// replay. readOff is how far into the log the shared-mode scanner
-	// has consumed; opened flips once Open's replay finishes (it splits
-	// the RecordsReplayed / RecordsRefreshed accounting).
+	// per-writer); snapLSNs is the per-node cutoff the current snapshot
+	// covers, so stale log records are skipped at replay. opened flips
+	// once Open's replay finishes (it splits the RecordsReplayed /
+	// RecordsRefreshed accounting).
+	nextLSN  int64
 	lsns     map[string]int64
 	snapLSNs map[string]int64
-	readOff  int64
 	opened   bool
+	closed   bool
+
+	reloading  bool
+	compacting bool
+	// legacySafe records that the loaded/written snapshot is
+	// segmentation-era (it carries an exact replay-resume position), so
+	// the legacy wal.log is fully superseded and may be deleted.
+	// legacyExisted records whether wal.log was present at replay.
+	legacySafe    bool
+	legacyExisted bool
+	// roundClaim is the winning epoch claim of the current generation's
+	// compaction round (nil when unclaimed).
+	roundClaim *epochClaim
+
+	// logBytes approximates the wal/ footprint for the compaction
+	// trigger: incremented by own appends, recomputed from the
+	// directory at Open and after every compaction round.
+	logBytes int64
 
 	// Mirrors of the durable state, used to serve Load and to write
 	// snapshots. A nil results value marks a body spilled to its file.
@@ -100,23 +141,33 @@ type Disk struct {
 	spillSum  int64
 	snapBytes int64
 
-	stats Stats
+	changes changeLog
+	stats   Stats
+}
+
+// segCursor is one segment file's read position: off bytes consumed,
+// lsn the highest record LSN applied from it.
+type segCursor struct {
+	off int64
+	lsn int64
+	f   *os.File
+	br  *bufio.Reader
 }
 
 const (
-	walName  = "wal.log"
 	snapName = "snapshot.json"
 	resDir   = "results"
 )
 
 // walEntry is one WAL line's payload (the bytes the frame checksums).
-// Node identifies the writer in shared mode: LSN streams are per-node,
-// so the pair (Node, LSN) is unique while the log's byte order is the
-// total order every replay agrees on.
+// Node identifies the writer: LSN streams are per-node, so the pair
+// (Node, LSN) is unique. For "mark" frames W is the LSN of the data
+// record the mark acknowledges in the writer's segment.
 type walEntry struct {
 	LSN  int64           `json:"lsn"`
 	Node string          `json:"n,omitempty"`
 	Type string          `json:"t"`
+	W    int64           `json:"w,omitempty"`
 	Data json.RawMessage `json:"d,omitempty"`
 }
 
@@ -129,14 +180,25 @@ type (
 		Key  string          `json:"key"`
 		Data json.RawMessage `json:"data,omitempty"` // absent when spilled
 	}
+	// epochClaim is the payload of an "epoch" frame: Node volunteers to
+	// run the current generation's compaction round. The first claim in
+	// a generation wins; a later claim supersedes it only once the
+	// winner has been silent for StaleAfter.
+	epochClaim struct {
+		Node string    `json:"node"`
+		Time time.Time `json:"time"`
+	}
 )
 
 // snapshot is the on-disk form of snapshot.json: the complete state as
-// of LSN. Spilled results appear in ResultRefs only; their bodies stay
-// in results/.
+// of the fold position (Epoch, Off). Spilled results appear in
+// ResultRefs only; their bodies stay in results/.
 type snapshot struct {
-	LSN        int64                      `json:"lsn"`
-	LSNs       map[string]int64           `json:"lsns,omitempty"` // per-node cutoff (shared-era logs)
+	LSN        int64                      `json:"lsn,omitempty"`  // pre-shared-era cutoff
+	LSNs       map[string]int64           `json:"lsns,omitempty"` // per-node cutoff
+	Epoch      int64                      `json:"epoch,omitempty"`
+	Off        int64                      `json:"off,omitempty"`      // manifest bytes consumed in Epoch
+	SegOffs    map[string]int64           `json:"seg_offs,omitempty"` // segment file -> bytes consumed
 	Jobs       []JobRecord                `json:"jobs,omitempty"`
 	Sweeps     []SweepRecord              `json:"sweeps,omitempty"`
 	Events     map[string][]EventRecord   `json:"events,omitempty"`
@@ -154,7 +216,13 @@ func Open(opts Options) (*Disk, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("store: empty data dir")
 	}
+	if opts.NodeID != "" && !validNodeID(opts.NodeID) {
+		return nil, fmt.Errorf("store: invalid node id %q", opts.NodeID)
+	}
 	if err := os.MkdirAll(filepath.Join(opts.Dir, resDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, walDirName), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	d := &Disk{
@@ -169,7 +237,9 @@ func Open(opts Options) (*Disk, error) {
 		spillSize: make(map[string]int64),
 		lsns:      make(map[string]int64),
 		snapLSNs:  make(map[string]int64),
+		segCurs:   make(map[string]*segCursor),
 		nextLSN:   1,
+		foldGen:   1,
 	}
 	if !d.shared {
 		// Crash leftovers are only safely removable with exclusive
@@ -180,25 +250,36 @@ func Open(opts Options) (*Disk, error) {
 	if err := d.replaySnapshot(); err != nil {
 		return nil, err
 	}
-	if d.shared {
-		if err := d.refreshLocked(); err != nil {
-			return nil, err
-		}
-	} else if err := d.replayWAL(); err != nil {
+	if err := d.replayLegacyLocked(); err != nil {
 		return nil, err
 	}
-	d.nextLSN = d.lsns[opts.NodeID] + 1
-	wal, err := os.OpenFile(filepath.Join(opts.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	if err := d.foldLocked(); err != nil {
+		return nil, err
 	}
-	d.wal = wal
-	if fi, err := wal.Stat(); err == nil {
-		d.walBytes = fi.Size()
+	// GC race: an old-format snapshot was read, then a compactor's
+	// round replaced it and a later round deleted wal.log before we got
+	// to it. The segmented files prove the directory has moved on —
+	// reload from the (now segmentation-era) snapshot.
+	if !d.legacySafe && !d.legacyExisted {
+		for _, wf := range d.scanWALDir() {
+			if wf.manifest {
+				if err := d.reloadLocked(); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	if n := d.lsns[opts.NodeID] + 1; n > d.nextLSN {
+		d.nextLSN = n
+	}
+	if err := d.truncateOwnTailLocked(); err != nil {
+		return nil, err
 	}
 	if !d.shared {
 		d.sweepOrphanSpills()
 	}
+	d.recomputeLogBytesLocked()
 	d.opened = true
 	return d, nil
 }
@@ -221,6 +302,9 @@ func (d *Disk) sweepOrphanSpills() {
 		if body, live := d.results[key]; !live || body != nil {
 			os.Remove(filepath.Join(d.opts.Dir, resDir, e.Name()))
 			continue
+		}
+		if _, ok := d.spillSize[key]; ok {
+			continue // already accounted during replay
 		}
 		if info, err := e.Info(); err == nil {
 			d.spillSize[key] = info.Size()
@@ -246,8 +330,8 @@ func dropTempFiles(dir string) {
 }
 
 // replaySnapshot loads snapshot.json (if present) into the mirrors and
-// records its per-node LSN cutoffs; WAL records at or below the cutoff
-// for their node are stale and skipped.
+// records its per-node LSN cutoffs and exact fold-resume position; log
+// records at or below the cutoff for their node are stale and skipped.
 func (d *Disk) replaySnapshot() error {
 	data, err := os.ReadFile(filepath.Join(d.opts.Dir, snapName))
 	if os.IsNotExist(err) {
@@ -300,20 +384,35 @@ func (d *Disk) replaySnapshot() error {
 			d.lsns[node] = lsn
 		}
 	}
+	if snap.Epoch > 0 {
+		// Segmentation-era snapshot: resume folding at the exact
+		// position it was written (applyClaim is order-sensitive, so an
+		// approximate resume would diverge) and seed each still-live
+		// segment's cursor. The cursor LSN is the node's snapshot
+		// cutoff: marks at or below it acknowledge records the snapshot
+		// already holds.
+		d.foldGen = snap.Epoch
+		d.foldOff = snap.Off
+		d.legacySafe = true
+		for name, off := range snap.SegOffs {
+			wf, ok := parseWALFile(name)
+			if !ok || wf.manifest || wf.sentinel {
+				continue
+			}
+			d.segCurs[name] = &segCursor{off: off, lsn: d.snapLSNs[wf.node]}
+		}
+	}
 	return nil
 }
 
-// replayWAL applies every intact record with LSN > snapLSN. A bad
-// frame at the very end of the log is a torn tail — the expected shape
-// of a crash mid-write — and is discarded by truncating the file back
-// to the last intact record, so the tear can never sit between old and
-// new appends. A bad frame *followed by intact frames* is a different
-// animal entirely: mid-log corruption of fsync-acknowledged state
-// (bit rot, external tampering). Truncating there would silently throw
-// away every later record, so Open refuses instead, mirroring the
-// corrupt-snapshot policy.
-func (d *Disk) replayWAL() error {
-	path := filepath.Join(d.opts.Dir, walName)
+// replayLegacyLocked applies the pre-segmentation wal.log, if present.
+// Exclusive handles keep the strict legacy semantics — a torn tail is
+// truncated away, mid-log corruption of acknowledged state is refused —
+// while shared handles skip unreadable frames (truncating a file other
+// live nodes replay would be destructive). The file itself is retired
+// by the compactor once a segmentation-era snapshot fully covers it.
+func (d *Disk) replayLegacyLocked() error {
+	path := filepath.Join(d.opts.Dir, legacyWAL)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil
@@ -322,19 +421,20 @@ func (d *Disk) replayWAL() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
+	d.legacyExisted = true
 	br := bufio.NewReader(f)
 	var good int64 // byte offset of the end of the last intact record
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil && err != io.EOF {
-			return fmt.Errorf("store: reading %s: %w", walName, err)
+			return fmt.Errorf("store: reading %s: %w", legacyWAL, err)
 		}
 		if err == io.EOF && line == "" {
 			break
 		}
 		ent, ok := parseWALLine(line, err == nil)
 		if !ok {
-			// A prior *shared-mode* writer may have died mid-append with
+			// A prior shared-mode writer may have died mid-append with
 			// a peer appending right after: the torn bytes and the
 			// peer's intact frame then share one "line". Recover the
 			// glued frame before judging the log corrupt.
@@ -351,35 +451,41 @@ func (d *Disk) replayWAL() error {
 				d.stats.RecordsReplayed++
 				continue
 			}
+			if d.shared {
+				d.stats.SkippedFrames++
+				if err == io.EOF {
+					break
+				}
+				good += int64(len(line))
+				continue
+			}
 			// Distinguish a torn tail from mid-log damage: after a true
 			// tear nothing further can parse (appends only ever follow
 			// an Open that already truncated the tear away).
 			for {
 				rest, rerr := br.ReadString('\n')
 				if _, ok := parseWALLine(rest, rerr == nil); ok {
-					return fmt.Errorf("store: corrupt record mid-%s at byte %d (intact records follow — refusing to drop acknowledged state)", walName, good)
+					return fmt.Errorf("store: corrupt record mid-%s at byte %d (intact records follow — refusing to drop acknowledged state)", legacyWAL, good)
 				}
 				if rerr != nil {
 					break
 				}
 			}
 			d.stats.TruncatedTail = true
+			if terr := os.Truncate(path, good); terr != nil {
+				return fmt.Errorf("store: truncating torn tail: %w", terr)
+			}
 			break
 		}
 		good += int64(len(line))
 		d.noteLSN(ent)
 		if d.applyStale(ent) {
-			continue // predates the snapshot (crash before log rotation)
+			continue // predates the snapshot
 		}
-		if err := d.applyEntry(ent); err != nil {
-			return err
+		if aerr := d.applyEntry(ent); aerr != nil {
+			return aerr
 		}
 		d.stats.RecordsReplayed++
-	}
-	if d.stats.TruncatedTail {
-		if err := os.Truncate(path, good); err != nil {
-			return fmt.Errorf("store: truncating torn tail: %w", err)
-		}
 	}
 	return nil
 }
@@ -395,72 +501,6 @@ func (d *Disk) noteLSN(ent walEntry) {
 // loaded snapshot.
 func (d *Disk) applyStale(ent walEntry) bool {
 	return ent.LSN <= d.snapLSNs[ent.Node]
-}
-
-// refreshLocked is the shared-mode log scanner: it reads every complete
-// frame appended since readOff — this handle's own appends and every
-// peer's — and folds them into the mirrors in the log's byte order,
-// which is the total order all nodes agree on. An incomplete frame at
-// the end of the scan is left alone (a peer may be mid-write; the next
-// refresh retries from the same offset), a complete-but-corrupt frame
-// is skipped and counted, and a frame glued onto a crashed writer's
-// torn bytes is recovered by recoverGluedFrame. Shared handles never
-// truncate: any byte past readOff may be a peer's acknowledged state.
-// Callers hold d.mu.
-func (d *Disk) refreshLocked() error {
-	path := filepath.Join(d.opts.Dir, walName)
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	if _, err := f.Seek(d.readOff, io.SeekStart); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	br := bufio.NewReader(f)
-	good := d.readOff
-	for {
-		line, err := br.ReadString('\n')
-		if err != nil && err != io.EOF {
-			return fmt.Errorf("store: reading %s: %w", walName, err)
-		}
-		if line == "" {
-			break
-		}
-		if err == io.EOF {
-			break // incomplete tail: possibly a peer's write in flight
-		}
-		ent, ok := parseWALLine(line, true)
-		if !ok {
-			ent, ok = recoverGluedFrame(line, true)
-			d.stats.SkippedFrames++
-			if !ok {
-				// A complete line that holds no valid frame at all:
-				// skip it and keep scanning — refusing would wedge
-				// every node in the cluster on one damaged record.
-				good += int64(len(line))
-				continue
-			}
-		}
-		good += int64(len(line))
-		d.noteLSN(ent)
-		if d.applyStale(ent) {
-			continue
-		}
-		if err := d.applyEntry(ent); err != nil {
-			return err
-		}
-		if d.opened {
-			d.stats.RecordsRefreshed++
-		} else {
-			d.stats.RecordsReplayed++
-		}
-	}
-	d.readOff = good
-	return nil
 }
 
 // recoverGluedFrame hunts for a complete frame hidden at the end of an
@@ -520,6 +560,7 @@ func (d *Disk) applyEntry(ent walEntry) error {
 			return fmt.Errorf("store: bad job record: %v", err)
 		}
 		d.jobs[rec.ID] = mergeJobRecord(d.jobs[rec.ID], rec)
+		d.changes.note(changeJob, rec.ID)
 	case "jobdel":
 		var p delPayload
 		if err := json.Unmarshal(ent.Data, &p); err != nil {
@@ -527,12 +568,14 @@ func (d *Disk) applyEntry(ent walEntry) error {
 		}
 		delete(d.jobs, p.ID)
 		delete(d.claims, p.ID)
+		d.changes.note(changeJob, p.ID)
 	case "sweep":
 		var rec SweepRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
 			return fmt.Errorf("store: bad sweep record: %v", err)
 		}
 		d.sweeps[rec.ID] = rec
+		d.changes.note(changeSweep, rec.ID)
 	case "sweepdel":
 		var p delPayload
 		if err := json.Unmarshal(ent.Data, &p); err != nil {
@@ -540,6 +583,7 @@ func (d *Disk) applyEntry(ent walEntry) error {
 		}
 		delete(d.sweeps, p.ID)
 		delete(d.events, p.ID)
+		d.changes.note(changeSweep, p.ID)
 	case "event":
 		var rec EventRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
@@ -553,21 +597,16 @@ func (d *Disk) applyEntry(ent walEntry) error {
 		}
 		if p.Data == nil {
 			d.results[p.Key] = nil // spilled; body lives in results/
-			if d.shared {
-				// The file may have been written by a peer process:
-				// account for it by size on disk (exclusive handles
-				// seed this accounting in sweepOrphanSpills instead).
-				d.forgetSpillAccounting(p.Key)
-				if info, err := os.Stat(d.resultPath(p.Key)); err == nil {
-					d.spillSize[p.Key] = info.Size()
-					d.spillSum += info.Size()
-				}
+			// The file may have been written by a peer process (or by a
+			// previous run of this one): account for it by size on disk.
+			d.forgetSpillAccounting(p.Key)
+			if info, err := os.Stat(d.resultPath(p.Key)); err == nil {
+				d.spillSize[p.Key] = info.Size()
+				d.spillSum += info.Size()
 			}
 		} else {
 			d.results[p.Key] = p.Data
-			if d.shared {
-				d.forgetSpillAccounting(p.Key)
-			}
+			d.forgetSpillAccounting(p.Key)
 		}
 	case "resultdel":
 		var p resultPayload
@@ -577,13 +616,10 @@ func (d *Disk) applyEntry(ent walEntry) error {
 		// Replay only updates the mirror — spill files reflect the
 		// *final* runtime state, so removing one here could destroy the
 		// body of a later re-put of the same key. Files left orphaned by
-		// a crash are swept once replay has finished (see Open); in
-		// shared mode only the process that issued the delete touches
-		// the file (see DeleteResult).
+		// a crash are swept once replay has finished (see Open); only
+		// the process that issued the delete touches the file.
 		delete(d.results, p.Key)
-		if d.shared {
-			d.forgetSpillAccounting(p.Key)
-		}
+		d.forgetSpillAccounting(p.Key)
 	case "claim":
 		var rec ClaimRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
@@ -603,7 +639,7 @@ func (d *Disk) applyEntry(ent walEntry) error {
 }
 
 // forgetSpillAccounting drops key's spill-size accounting without
-// touching the file (shared mode: the file may belong to a peer).
+// touching the file (it may belong to a peer).
 func (d *Disk) forgetSpillAccounting(key string) {
 	if size, ok := d.spillSize[key]; ok {
 		d.spillSum -= size
@@ -611,76 +647,12 @@ func (d *Disk) forgetSpillAccounting(key string) {
 	}
 }
 
-// append frames and writes one record, fsyncing per Options.Fsync.
-// Callers hold d.mu and must apply the record to the mirrors before
-// calling maybeCompact — compacting here would snapshot the mirrors
-// *without* the record just acknowledged and then truncate the log
-// that holds it, losing it on the next replay.
-func (d *Disk) append(typ string, data any) error {
-	raw, err := json.Marshal(data)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	payload, err := json.Marshal(walEntry{LSN: d.nextLSN, Node: d.opts.NodeID, Type: typ, Data: raw})
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	// One write() per record: the fd is O_APPEND, so in shared mode the
-	// kernel serializes concurrent appends from the cluster's processes
-	// into whole, non-interleaved frames — the log's byte order is the
-	// arbitration order (the CRC framing backstops the atomicity
-	// assumption; see DESIGN.md §10).
-	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
-	n, err := d.wal.WriteString(line)
-	if err != nil {
-		return fmt.Errorf("store: wal append: %w", err)
-	}
-	if d.opts.Fsync {
-		if err := d.wal.Sync(); err != nil {
-			return fmt.Errorf("store: wal fsync: %w", err)
-		}
-	}
-	d.lsns[d.opts.NodeID] = d.nextLSN
-	d.nextLSN++
-	d.walBytes += int64(n)
-	d.stats.RecordsWritten++
-	return nil
-}
-
-// maybeCompact runs snapshot compaction when the log has outgrown
-// CompactBytes. Callers hold d.mu and have already applied the
-// just-appended record to the mirrors. Shared handles never compact:
-// truncating a log that peers are appending to would discard their
-// acknowledged records.
-func (d *Disk) maybeCompact() error {
-	if !d.shared && d.opts.CompactBytes > 0 && d.walBytes >= d.opts.CompactBytes {
-		return d.compactLocked()
-	}
-	return nil
-}
-
-// settle finishes one mutation after its append. In shared mode the
-// mirrors are updated by scanning the log forward, so this handle folds
-// its own record in at the record's position in the total order (peers'
-// interleaved records are applied on the way); in exclusive mode the
-// caller already applied the record directly and compaction may
-// trigger. Callers hold d.mu.
-func (d *Disk) settle() error {
-	if d.shared {
-		return d.refreshLocked()
-	}
-	return d.maybeCompact()
-}
-
 // PutJob upserts a job record.
 func (d *Disk) PutJob(rec JobRecord) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.append("job", rec); err != nil {
+	if err := d.appendData("job", rec); err != nil {
 		return err
-	}
-	if !d.shared {
-		d.jobs[rec.ID] = mergeJobRecord(d.jobs[rec.ID], rec)
 	}
 	return d.settle()
 }
@@ -689,12 +661,8 @@ func (d *Disk) PutJob(rec JobRecord) error {
 func (d *Disk) DeleteJob(id string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.append("jobdel", delPayload{ID: id}); err != nil {
+	if err := d.appendData("jobdel", delPayload{ID: id}); err != nil {
 		return err
-	}
-	if !d.shared {
-		delete(d.jobs, id)
-		delete(d.claims, id)
 	}
 	return d.settle()
 }
@@ -703,11 +671,8 @@ func (d *Disk) DeleteJob(id string) error {
 func (d *Disk) PutSweep(rec SweepRecord) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.append("sweep", rec); err != nil {
+	if err := d.appendData("sweep", rec); err != nil {
 		return err
-	}
-	if !d.shared {
-		d.sweeps[rec.ID] = rec
 	}
 	return d.settle()
 }
@@ -716,12 +681,8 @@ func (d *Disk) PutSweep(rec SweepRecord) error {
 func (d *Disk) DeleteSweep(id string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.append("sweepdel", delPayload{ID: id}); err != nil {
+	if err := d.appendData("sweepdel", delPayload{ID: id}); err != nil {
 		return err
-	}
-	if !d.shared {
-		delete(d.sweeps, id)
-		delete(d.events, id)
 	}
 	return d.settle()
 }
@@ -730,11 +691,8 @@ func (d *Disk) DeleteSweep(id string) error {
 func (d *Disk) AppendEvent(ev EventRecord) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.append("event", ev); err != nil {
+	if err := d.appendData("event", ev); err != nil {
 		return err
-	}
-	if !d.shared {
-		d.events[ev.SweepID] = placeEvent(d.events[ev.SweepID], ev)
 	}
 	return d.settle()
 }
@@ -746,37 +704,22 @@ func (d *Disk) PutResult(key string, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(data) < d.opts.SpillBytes {
-		if err := d.append("result", resultPayload{Key: key, Data: json.RawMessage(data)}); err != nil {
+		_, hadSpill := d.spillSize[key]
+		if err := d.appendData("result", resultPayload{Key: key, Data: json.RawMessage(data)}); err != nil {
 			return err
 		}
-		if !d.shared {
-			d.results[key] = append([]byte(nil), data...)
-			d.dropSpill(key) // a re-put that shrank below the threshold
+		if hadSpill {
+			os.Remove(d.resultPath(key)) // a re-put that shrank below the threshold
 		}
 		return d.settle()
 	}
 	if err := writeFileAtomic(d.resultPath(key), data, d.opts.Fsync); err != nil {
 		return fmt.Errorf("store: spilling result: %w", err)
 	}
-	if err := d.append("result", resultPayload{Key: key}); err != nil {
+	if err := d.appendData("result", resultPayload{Key: key}); err != nil {
 		return err
 	}
-	if !d.shared {
-		d.results[key] = nil
-		d.spillSum += int64(len(data)) - d.spillSize[key]
-		d.spillSize[key] = int64(len(data))
-	}
 	return d.settle()
-}
-
-// dropSpill removes key's spill file and its size accounting, if any.
-// Callers hold d.mu.
-func (d *Disk) dropSpill(key string) {
-	if size, ok := d.spillSize[key]; ok {
-		d.spillSum -= size
-		delete(d.spillSize, key)
-		os.Remove(d.resultPath(key))
-	}
 }
 
 // DeleteResult drops one result body (and its spill file, if any).
@@ -785,17 +728,13 @@ func (d *Disk) dropSpill(key string) {
 func (d *Disk) DeleteResult(key string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.append("resultdel", resultPayload{Key: key}); err != nil {
+	_, hadSpill := d.spillSize[key]
+	if err := d.appendData("resultdel", resultPayload{Key: key}); err != nil {
 		return err
 	}
-	if d.shared {
-		if _, spilled := d.spillSize[key]; spilled {
-			os.Remove(d.resultPath(key))
-		}
-		return d.settle()
+	if hadSpill {
+		os.Remove(d.resultPath(key))
 	}
-	d.dropSpill(key)
-	delete(d.results, key)
 	return d.settle()
 }
 
@@ -837,34 +776,45 @@ func cleanKey(key string) string {
 }
 
 // Load snapshots the current mirrored state (pulling in peers' latest
-// appends first, in shared mode).
+// appends first).
 func (d *Disk) Load() (*State, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.shared {
-		if err := d.refreshLocked(); err != nil {
-			return nil, err
-		}
+	if err := d.foldLocked(); err != nil {
+		return nil, err
 	}
 	return stateOf(d.jobs, d.sweeps, d.events, d.results), nil
 }
 
 // Refresh folds records appended by peer processes into this handle's
-// view. No-op for an exclusive handle.
+// view.
 func (d *Disk) Refresh() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if !d.shared {
-		return nil
+	return d.foldLocked()
+}
+
+// Changes folds the latest records and returns what changed since
+// cursor (0 or a stale cursor yields a full resync), plus the cursor
+// for the next call.
+func (d *Disk) Changes(cursor uint64) (*Delta, uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.foldLocked(); err != nil {
+		return nil, 0, err
 	}
-	return d.refreshLocked()
+	refs, ok := d.changes.window(cursor)
+	if !ok {
+		return fullDelta(d.jobs, d.sweeps), d.changes.ver, nil
+	}
+	return buildDelta(refs, d.jobs, d.sweeps), d.changes.ver, nil
 }
 
 // ClaimJob attempts to acquire the execution lease on a job: the claim
-// record is appended, the log is scanned forward, and the claim won iff
-// this node holds the lease once every record up to and including its
-// own has been arbitrated in log order. Exactly one of any set of
-// concurrent claimants wins.
+// record is appended to the manifest, the log is folded forward, and
+// the claim won iff this node holds the lease once every record up to
+// and including its own has been arbitrated in manifest order. Exactly
+// one of any set of concurrent claimants wins.
 func (d *Disk) ClaimJob(jobID, nodeID string, ttl time.Duration) (bool, error) {
 	return d.claim(jobID, nodeID, ttl)
 }
@@ -880,22 +830,18 @@ func (d *Disk) claim(jobID, nodeID string, ttl time.Duration) (bool, error) {
 	defer d.mu.Unlock()
 	now := time.Now()
 	rec := ClaimRecord{JobID: jobID, Node: nodeID, Time: now, Expires: now.Add(ttl)}
-	if err := d.append("claim", rec); err != nil {
+	if err := d.appendControl("claim", rec); err != nil {
 		return false, err
 	}
-	if d.shared {
-		if err := d.refreshLocked(); err != nil {
-			return false, err
-		}
-		// The scan arbitrated every record up to and including ours in
-		// log order: we won iff we ended up the holder. (A thief whose
-		// record already follows ours shows up here too — then we
-		// yield immediately instead of discovering the loss at renewal.)
-		cur, ok := d.claims[jobID]
-		return ok && cur.Node == nodeID, nil
+	if err := d.foldLocked(); err != nil {
+		return false, err
 	}
-	won := applyClaim(d.claims, d.jobs, rec)
-	return won, d.maybeCompact()
+	// The fold arbitrated every record up to and including ours in
+	// manifest order: we won iff we ended up the holder. (A thief whose
+	// record already follows ours shows up here too — then we yield
+	// immediately instead of discovering the loss at renewal.)
+	cur, ok := d.claims[jobID]
+	return ok && cur.Node == nodeID, d.maybeCompactLocked()
 }
 
 // ReleaseJob dissolves a held lease (no-op for a non-holder).
@@ -903,24 +849,22 @@ func (d *Disk) ReleaseJob(jobID, nodeID string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	rec := ClaimRecord{JobID: jobID, Node: nodeID, Time: time.Now(), Released: true}
-	if err := d.append("claim", rec); err != nil {
+	if err := d.appendControl("claim", rec); err != nil {
 		return err
-	}
-	if !d.shared {
-		applyClaim(d.claims, d.jobs, rec)
 	}
 	return d.settle()
 }
 
-// Heartbeat upserts this node's identity record.
+// Heartbeat upserts this node's identity record, stamping the fold
+// watermark peers' compactors use to decide which generations this
+// node still needs.
 func (d *Disk) Heartbeat(rec NodeRecord) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.append("node", rec); err != nil {
+	rec.FoldedEpoch = d.foldGen
+	rec.FoldedOff = d.foldOff
+	if err := d.appendControl("node", rec); err != nil {
 		return err
-	}
-	if !d.shared {
-		d.nodes[rec.ID] = rec
 	}
 	return d.settle()
 }
@@ -929,10 +873,8 @@ func (d *Disk) Heartbeat(rec NodeRecord) error {
 func (d *Disk) Claims() (map[string]Claim, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.shared {
-		if err := d.refreshLocked(); err != nil {
-			return nil, err
-		}
+	if err := d.foldLocked(); err != nil {
+		return nil, err
 	}
 	return copyClaims(d.claims), nil
 }
@@ -941,69 +883,22 @@ func (d *Disk) Claims() (map[string]Claim, error) {
 func (d *Disk) Nodes() ([]NodeRecord, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.shared {
-		if err := d.refreshLocked(); err != nil {
-			return nil, err
-		}
+	if err := d.foldLocked(); err != nil {
+		return nil, err
 	}
 	return nodeList(d.nodes), nil
 }
 
-// Compact rewrites the snapshot from the current state and truncates
-// the log — a pure representation change: Load is identical before and
-// after, only the replay cost and on-disk footprint shrink. Compaction
-// requires exclusive access: a shared handle refuses, because peers may
-// be appending past any point this handle has seen (compact a cluster
-// directory offline, with every daemon stopped).
+// Compact runs one online compaction round: claim the current
+// generation's epoch, seal it, fold it into the snapshot and delete
+// the generations every live node has folded. A pure representation
+// change — Load is identical before and after, only the replay cost
+// and on-disk footprint shrink. Safe (and a no-op returning nil) when
+// another live node owns the round.
 func (d *Disk) Compact() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.shared {
-		return fmt.Errorf("store: compaction requires exclusive access (shared handle %q)", d.opts.NodeID)
-	}
-	return d.compactLocked()
-}
-
-func (d *Disk) compactLocked() error {
-	snap := snapshot{LSN: d.nextLSN - 1, Events: d.events}
-	if len(d.lsns) > 1 || (len(d.lsns) == 1 && d.lsns[""] == 0) {
-		// The log has shared-era records: carry the per-node cutoffs.
-		snap.LSNs = make(map[string]int64, len(d.lsns))
-		for node, lsn := range d.lsns {
-			snap.LSNs[node] = lsn
-		}
-	}
-	snap.Claims = copyClaims(d.claims)
-	snap.Nodes = nodeList(d.nodes)
-	st := stateOf(d.jobs, d.sweeps, d.events, d.results)
-	snap.Jobs = st.Jobs
-	snap.Sweeps = st.Sweeps
-	snap.Results = make(map[string]json.RawMessage)
-	for key, body := range d.results {
-		if body == nil {
-			snap.ResultRefs = append(snap.ResultRefs, key)
-		} else {
-			snap.Results[key] = body
-		}
-	}
-	data, err := json.Marshal(&snap)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := writeFileAtomic(filepath.Join(d.opts.Dir, snapName), data, true); err != nil {
-		return fmt.Errorf("store: writing snapshot: %w", err)
-	}
-	d.snapBytes = int64(len(data))
-	// The snapshot now covers every logged record; stale log records
-	// (LSN <= snapshot LSN) would be skipped at replay anyway, so a
-	// crash between the rename above and this truncation is harmless.
-	if err := d.wal.Truncate(0); err != nil {
-		return fmt.Errorf("store: rotating wal: %w", err)
-	}
-	d.walBytes = 0
-	d.stats.Compactions++
-	d.stats.LastCompaction = time.Now()
-	return nil
+	return d.compactRoundLocked(time.Now())
 }
 
 // Stats reports the store's counters and on-disk footprint.
@@ -1011,38 +906,64 @@ func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := d.stats
-	walBytes := d.walBytes
-	if d.shared {
-		// Peers append to the same log, so this handle's own byte count
-		// undercounts; the file is the truth.
-		if fi, err := os.Stat(filepath.Join(d.opts.Dir, walName)); err == nil {
-			walBytes = fi.Size()
+	var walBytes, manBytes, segs int64
+	for _, wf := range d.scanWALDir() {
+		if wf.sentinel {
+			continue
+		}
+		walBytes += wf.size
+		if wf.manifest {
+			manBytes += wf.size
+		} else {
+			segs++
 		}
 	}
+	if fi, err := os.Stat(filepath.Join(d.opts.Dir, legacyWAL)); err == nil {
+		walBytes += fi.Size()
+	}
+	st.Epoch = d.foldGen
+	st.SegmentsLive = segs
+	st.ManifestBytes = manBytes
 	st.BytesOnDisk = walBytes + d.snapBytes + d.spillSum
 	return st
 }
 
-// Close compacts (dropping the replay cost of the accumulated log) and
-// releases the WAL handle. Shared handles skip the compaction — peers
-// may still be appending — and just flush.
+// Close compacts (exclusive handles only — dropping the replay cost of
+// the accumulated log) and releases every file handle. Shared handles
+// skip the compaction — peers may still be appending — and just flush.
 func (d *Disk) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.wal == nil {
+	if d.closed {
 		return nil
 	}
 	var err error
 	if !d.shared {
-		err = d.compactLocked()
+		if cerr := d.compactRoundLocked(time.Now()); err == nil {
+			err = cerr
+		}
 	}
-	if serr := d.wal.Sync(); err == nil {
-		err = serr
+	d.closed = true
+	for _, f := range []*os.File{d.seg, d.man} {
+		if f == nil {
+			continue
+		}
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	}
-	if cerr := d.wal.Close(); err == nil {
-		err = cerr
+	d.seg, d.man = nil, nil
+	d.dropFoldReader()
+	for _, cur := range d.segCurs {
+		if cur.f != nil {
+			cur.f.Close()
+			cur.f = nil
+			cur.br = nil
+		}
 	}
-	d.wal = nil
 	return err
 }
 
@@ -1051,8 +972,13 @@ func (d *Disk) Close() error {
 // sync) so the rename itself is durable. The tmp name carries the pid
 // so concurrent processes spilling the same content key (same bytes —
 // keys are content hashes) cannot interleave within one tmp file.
+// tmpSeq disambiguates concurrent writeFileAtomic calls within one
+// process (several handles on one directory can compact concurrently;
+// pid alone would make them fight over the same tmp name).
+var tmpSeq atomic.Int64
+
 func writeFileAtomic(path string, data []byte, sync bool) error {
-	tmp := fmt.Sprintf("%s.%d.tmp", path, os.Getpid())
+	tmp := fmt.Sprintf("%s.%d.%d.tmp", path, os.Getpid(), tmpSeq.Add(1))
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err

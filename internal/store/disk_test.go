@@ -16,6 +16,72 @@ import (
 // drops the monotonic clock) comparably.
 var t0 = time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
 
+// crash abandons a handle without Close — the SIGKILL shape: every fd
+// is dropped (releasing its flocks, as process death would), nothing is
+// flushed or compacted.
+func (d *Disk) crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	for _, f := range []*os.File{d.seg, d.man} {
+		if f != nil {
+			f.Close()
+		}
+	}
+	d.seg, d.man = nil, nil
+	d.dropFoldReader()
+	for _, cur := range d.segCurs {
+		if cur.f != nil {
+			cur.f.Close()
+			cur.f = nil
+			cur.br = nil
+		}
+	}
+}
+
+// curManifest returns the path of dir's newest manifest generation.
+func curManifest(t *testing.T, dir string) string {
+	t.Helper()
+	p := newestWALFile(t, dir, func(wf walFile) bool { return wf.manifest })
+	if p == "" {
+		t.Fatal("no manifest file on disk")
+	}
+	return p
+}
+
+// curSegment returns the path of node's newest segment in dir.
+func curSegment(t *testing.T, dir, node string) string {
+	t.Helper()
+	p := newestWALFile(t, dir, func(wf walFile) bool {
+		return !wf.manifest && !wf.sentinel && wf.node == node
+	})
+	if p == "" {
+		t.Fatalf("no segment file for node %q on disk", node)
+	}
+	return p
+}
+
+func newestWALFile(t *testing.T, dir string, match func(walFile) bool) string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, walDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best string
+	var bestGen int64
+	for _, e := range entries {
+		wf, ok := parseWALFile(e.Name())
+		if ok && match(wf) && wf.gen >= bestGen {
+			bestGen = wf.gen
+			best = e.Name()
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return filepath.Join(dir, walDirName, best)
+}
+
 func jobRec(seq int64, state string) JobRecord {
 	return JobRecord{
 		ID:        fmt.Sprintf("job-%06d", seq),
@@ -107,10 +173,11 @@ func TestDiskTornTailDiscarded(t *testing.T) {
 	}
 	mustDo(t, d.PutJob(jobRec(1, "queued")), d.PutJob(jobRec(2, "queued")))
 	want, _ := d.Load()
-	d.wal.Close() // abandon without Close: simulate SIGKILL
+	d.crash() // abandon without Close: simulate SIGKILL
 
-	// Tear the tail: append half of a record's worth of garbage.
-	wal := filepath.Join(dir, walName)
+	// Tear the tail: append half of a record's worth of garbage to the
+	// manifest (the shared ordering log, where a crash mid-append lands).
+	wal := curManifest(t, dir)
 	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +201,7 @@ func TestDiskTornTailDiscarded(t *testing.T) {
 	if err := d2.PutJob(jobRec(3, "queued")); err != nil {
 		t.Fatal(err)
 	}
-	d2.wal.Close()
+	d2.crash()
 	d3, err := Open(Options{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
@@ -147,28 +214,41 @@ func TestDiskTornTailDiscarded(t *testing.T) {
 }
 
 func TestDiskMidLogCorruptionRefused(t *testing.T) {
-	dir := t.TempDir()
-	d, err := Open(Options{Dir: dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	mustDo(t, d.PutJob(jobRec(1, "queued")), d.PutJob(jobRec(2, "queued")), d.PutJob(jobRec(3, "queued")))
-	d.wal.Close()
-
-	// Flip one byte inside the *middle* record's payload: intact,
+	// Flip one byte inside a *middle* record's payload: intact,
 	// fsync-acknowledged records follow, so this is damage — Open must
-	// refuse rather than silently truncate away records 2 and 3.
-	wal := filepath.Join(dir, walName)
-	data, err := os.ReadFile(wal)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data[len(data)/2] ^= 0x40
-	if err := os.WriteFile(wal, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(Options{Dir: dir}); err == nil || !strings.Contains(err.Error(), "corrupt record mid-") {
-		t.Fatalf("mid-log corruption not refused: err=%v", err)
+	// refuse rather than silently truncate away later records. Both
+	// halves of the segmented log get the same treatment: the manifest
+	// (ordering log) and a per-node data segment.
+	for _, tc := range []struct {
+		name   string
+		target func(t *testing.T, dir string) string
+		errSub string
+	}{
+		{"manifest", func(t *testing.T, dir string) string { return curManifest(t, dir) }, "corrupt record mid-"},
+		{"segment", func(t *testing.T, dir string) string { return curSegment(t, dir, "") }, "corrupt record in segment"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustDo(t, d.PutJob(jobRec(1, "queued")), d.PutJob(jobRec(2, "queued")), d.PutJob(jobRec(3, "queued")))
+			d.crash()
+
+			wal := tc.target(t, dir)
+			data, err := os.ReadFile(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x40
+			if err := os.WriteFile(wal, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(Options{Dir: dir}); err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("mid-log corruption not refused: err=%v", err)
+			}
+		})
 	}
 }
 
@@ -186,7 +266,7 @@ func TestDiskJobSpecMerge(t *testing.T) {
 	slim.Spec = nil
 	slim.State = "done"
 	mustDo(t, d.PutJob(slim))
-	d.wal.Close()
+	d.crash()
 
 	d2, err := Open(Options{Dir: dir})
 	if err != nil {
@@ -226,7 +306,7 @@ func TestDiskCompactionPreservesState(t *testing.T) {
 	if !statesEqual(want, got) {
 		t.Fatalf("compaction changed state:\nwant %s\ngot  %s", dumpState(want), dumpState(got))
 	}
-	d.wal.Close()
+	d.crash()
 
 	d2, err := Open(Options{Dir: dir})
 	if err != nil {
@@ -259,7 +339,7 @@ func TestDiskAutoCompaction(t *testing.T) {
 	// in the snapshot that compaction writes. Crash (no Close) right
 	// after the writes and replay — every acknowledged record must
 	// survive.
-	d.wal.Close()
+	d.crash()
 	d2, err := Open(Options{Dir: dir, CompactBytes: 2048})
 	if err != nil {
 		t.Fatal(err)

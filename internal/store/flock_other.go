@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix builds have no flock(2). The locks degrade to no-ops: a
+// single-process store (the only supported deployment there) never
+// contends with itself, and multi-process shared directories are a
+// unix-only feature.
+
+func flockShared(f *os.File) error    { return nil }
+func flockExclusive(f *os.File) error { return nil }
+func funlock(f *os.File) error        { return nil }

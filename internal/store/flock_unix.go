@@ -1,0 +1,33 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// The manifest seal protocol (see segment.go) relies on BSD flock(2):
+// every writer holds a *shared* lock for the duration of one append and
+// a sealing compactor takes an *exclusive* lock before creating the
+// sealed sentinel, so the sentinel's existence proves that no append to
+// the sealed generation is still in flight. flock is advisory, lives on
+// the open file description (it survives fork, dies with the process —
+// a SIGKILLed holder releases automatically), and is supported on every
+// unix the module targets.
+
+// flockShared blocks until a shared (reader-style) lock is held on f.
+func flockShared(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_SH)
+}
+
+// flockExclusive blocks until an exclusive lock is held on f, i.e.
+// until every concurrent shared holder has finished its append.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+// funlock releases the lock held on f.
+func funlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -19,6 +19,7 @@ type Memory struct {
 	results map[string][]byte
 	claims  map[string]Claim
 	nodes   map[string]NodeRecord
+	changes changeLog
 	written int64
 }
 
@@ -40,6 +41,7 @@ func (m *Memory) PutJob(rec JobRecord) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.jobs[rec.ID] = mergeJobRecord(m.jobs[rec.ID], rec)
+	m.changes.note(changeJob, rec.ID)
 	m.written++
 	return nil
 }
@@ -60,6 +62,7 @@ func (m *Memory) DeleteJob(id string) error {
 	defer m.mu.Unlock()
 	delete(m.jobs, id)
 	delete(m.claims, id)
+	m.changes.note(changeJob, id)
 	m.written++
 	return nil
 }
@@ -69,6 +72,7 @@ func (m *Memory) PutSweep(rec SweepRecord) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.sweeps[rec.ID] = rec
+	m.changes.note(changeSweep, rec.ID)
 	m.written++
 	return nil
 }
@@ -79,6 +83,7 @@ func (m *Memory) DeleteSweep(id string) error {
 	defer m.mu.Unlock()
 	delete(m.sweeps, id)
 	delete(m.events, id)
+	m.changes.note(changeSweep, id)
 	m.written++
 	return nil
 }
@@ -222,6 +227,18 @@ func (m *Memory) Heartbeat(rec NodeRecord) error {
 // Refresh is a no-op: writes through a shared Memory are visible to
 // every reader the moment they commit.
 func (m *Memory) Refresh() error { return nil }
+
+// Changes returns the records changed since cursor (0 or a stale
+// cursor yields a full resync), plus the cursor for the next call.
+func (m *Memory) Changes(cursor uint64) (*Delta, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	refs, ok := m.changes.window(cursor)
+	if !ok {
+		return fullDelta(m.jobs, m.sweeps), m.changes.ver, nil
+	}
+	return buildDelta(refs, m.jobs, m.sweeps), m.changes.ver, nil
+}
 
 // Claims snapshots the lease table.
 func (m *Memory) Claims() (map[string]Claim, error) {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
@@ -244,8 +243,8 @@ func TestReplayCompactionEquivalence(t *testing.T) {
 			}
 			// Crash: drop the handles without Close (no flush, no final
 			// compaction), then replay both directories.
-			plain.wal.Close()
-			comp.wal.Close()
+			plain.crash()
+			comp.crash()
 
 			plain2, err := Open(Options{Dir: plainDir, CompactBytes: -1})
 			if err != nil {
@@ -325,9 +324,27 @@ func TestReplayCompactionEquivalence(t *testing.T) {
 	}
 }
 
-// TestCrashMidLineEquivalence corrupts the WAL at a random byte offset
+// fileSize returns path's size, or 0 when it does not exist yet (a
+// control-only prefix of ops never creates the data segment).
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// TestCrashMidLineEquivalence tears the log at a random byte offset
 // within the tail record (a torn write) and checks the replayed state
-// equals the state after the last intact record.
+// equals the state after the last intact record. An op's bytes land in
+// two files in order — data frame into the writer's segment, then the
+// mark (or a control frame) into the manifest — so a mid-op crash is a
+// cut anywhere along that concatenation: partial segment bytes with no
+// mark, or a complete segment record with a missing or torn mark.
 func TestCrashMidLineEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 4; seed++ {
 		rng := rand.New(rand.NewSource(seed * 101))
@@ -336,20 +353,34 @@ func TestCrashMidLineEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		manPath := d.manifestPath(1)
+		segPath := d.segmentPath(segmentFile("", 1))
 		oracle := NewMemory()
 		ops := genOps(rng, 40)
-		var offsets []int64 // WAL size after each op
+		var manOffs, segOffs []int64 // file sizes after each op
 		for _, o := range ops {
 			apply(t, d, o, false)
 			apply(t, oracle, o, false)
-			offsets = append(offsets, d.walBytes)
+			manOffs = append(manOffs, fileSize(t, manPath))
+			segOffs = append(segOffs, fileSize(t, segPath))
 		}
-		d.wal.Close()
+		d.crash()
 
-		// Tear inside the bytes of op k+1: state must equal after op k.
+		// Cut inside the bytes of op k+1: state must equal after op k.
 		k := rng.Intn(len(ops) - 1)
-		cut := offsets[k] + 1 + rng.Int63n(offsets[k+1]-offsets[k]-1)
-		if err := os.Truncate(filepath.Join(dir, walName), cut); err != nil {
+		dSeg := segOffs[k+1] - segOffs[k]
+		dMan := manOffs[k+1] - manOffs[k]
+		c := 1 + rng.Int63n(dSeg+dMan-1)
+		cutSeg, cutMan := segOffs[k]+c, manOffs[k]
+		if c >= dSeg { // segment record complete; mark torn or missing
+			cutSeg, cutMan = segOffs[k+1], manOffs[k]+(c-dSeg)
+		}
+		if cutSeg > 0 || fileSize(t, segPath) > 0 {
+			if err := os.Truncate(segPath, cutSeg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.Truncate(manPath, cutMan); err != nil {
 			t.Fatal(err)
 		}
 		// Rebuild the oracle up to op k.
@@ -368,8 +399,8 @@ func TestCrashMidLineEquivalence(t *testing.T) {
 		// happened before its WAL ref: the body file exists but the key
 		// is unreferenced — invisible via Load, so no adjustment needed.
 		if !statesEqual(want, got) {
-			t.Fatalf("seed %d: torn write at byte %d (op %d): \nwant %s\ngot  %s",
-				seed, cut, k+1, dumpState(want), dumpState(got))
+			t.Fatalf("seed %d: torn write %d bytes into op %d: \nwant %s\ngot  %s",
+				seed, c, k+1, dumpState(want), dumpState(got))
 		}
 		if !d2.Stats().TruncatedTail {
 			t.Fatalf("seed %d: expected TruncatedTail after cut", seed)

@@ -147,6 +147,17 @@ type Stats struct {
 	// or corrupt record at the WAL tail — expected after a crash
 	// mid-write, a red flag otherwise.
 	TruncatedTail bool `json:"truncated_tail,omitempty"`
+	// Epoch is the current log generation (the fold frontier of the
+	// segmented WAL). Zero for Memory.
+	Epoch int64 `json:"epoch,omitempty"`
+	// SegmentsLive counts per-node segment files currently on disk;
+	// SegmentsDeleted counts segment files removed by compaction GC
+	// since open.
+	SegmentsLive    int64 `json:"segments_live,omitempty"`
+	SegmentsDeleted int64 `json:"segments_deleted,omitempty"`
+	// ManifestBytes is the on-disk size of the manifest (shared
+	// ordering log) files, a subset of BytesOnDisk.
+	ManifestBytes int64 `json:"manifest_bytes,omitempty"`
 }
 
 // Store persists service state. Implementations serialize their own
@@ -198,13 +209,23 @@ type Store interface {
 	// same durable storage into this handle's view (no-op for Memory
 	// and for exclusive Disk handles).
 	Refresh() error
+	// Changes returns the job and sweep records that changed since
+	// cursor (as returned by the previous call; 0 means "everything"),
+	// plus the cursor for the next call. A cursor that has fallen too
+	// far behind degrades to a full resync (Delta.Full) — the API may
+	// over-deliver but never misses a change. Like Refresh, it folds
+	// peers' appends first, but hands back only the changed records, so
+	// a poll tick costs O(new records) instead of O(total state).
+	Changes(cursor uint64) (*Delta, uint64, error)
 	// Claims snapshots the evaluated lease table (job ID -> holder).
 	Claims() (map[string]Claim, error)
 	// Nodes snapshots the known node records in ID order.
 	Nodes() ([]NodeRecord, error)
-	// Compact rewrites durable storage to its minimal form (snapshot +
-	// empty log). Pure representation change: Load before and after
-	// are identical. A no-op for Memory.
+	// Compact rewrites durable storage toward its minimal form
+	// (snapshot + pruned log). Pure representation change: Load before
+	// and after are identical. Safe online in shared mode — the round
+	// is arbitrated through the log itself, and losing the round to a
+	// live peer is a successful no-op. A no-op for Memory.
 	Compact() error
 	Stats() Stats
 	// Close flushes and releases the store. The service calls it after
