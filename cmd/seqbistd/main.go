@@ -59,6 +59,9 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client submissions/second accepted on POST /v1/jobs and /v1/sweeps before answering 429 (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "with -rate, token-bucket burst depth (0 = max(1, ceil(rate)))")
 	defaultStrategy := flag.String("default-strategy", "", "strategy applied to submissions that set none: greedy, restart, anneal, genetic, or race (empty = greedy)")
+	probeInterval := flag.Duration("probe-interval", 0, "with -data-dir, how often a degraded daemon probes the store for recovery — also the Retry-After it advertises on 503 (0 = default 2s)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 0, "graceful-shutdown drain bound before in-flight HTTP requests are abandoned (0 = default 10s)")
+	faultFlag := flag.String("fault-enospc-flag", "", "TEST ONLY: path of a flag file; while it exists, every store write fails with ENOSPC (drives scripts/chaos_e2e.sh)")
 	flag.Parse()
 
 	if *defaultStrategy != "" && !strategy.Valid(*defaultStrategy) {
@@ -77,6 +80,8 @@ func main() {
 		RateLimit:       *rate,
 		RateBurst:       *rateBurst,
 		DefaultStrategy: *defaultStrategy,
+		ProbeInterval:   *probeInterval,
+		ShutdownTimeout: *shutdownTimeout,
 	}
 	if *nodeID != "" {
 		if *dataDir == "" {
@@ -92,10 +97,14 @@ func main() {
 		cfg.NodeID = *nodeID
 	}
 	if *dataDir != "" {
-		st, err := store.Open(store.Options{
+		opts := store.Options{
 			Dir: *dataDir, Fsync: *fsync, NodeID: cfg.NodeID,
 			CompactBytes: *compactBytes, StaleAfter: *staleAfter,
-		})
+		}
+		if *faultFlag != "" {
+			opts.FS = store.NewFlagFaultFS(*faultFlag)
+		}
+		st, err := store.Open(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seqbistd: opening -data-dir: %v\n", err)
 			os.Exit(1)

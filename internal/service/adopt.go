@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -26,6 +27,9 @@ import (
 // anyway — for non-terminal sweeps whose owner looks dead, and adopts
 // each. Called from the cluster goroutine.
 func (s *Service) adoptStaleSweeps(now time.Time) {
+	if s.degraded.Load() {
+		return // adoption takes on ownership this node cannot persist
+	}
 	if now.Sub(s.lastAdoptScan) < s.cfg.LeaseTTL {
 		return
 	}
@@ -49,7 +53,7 @@ func (s *Service) adoptStaleSweeps(now time.Time) {
 	}
 	nodes, err := s.store.Nodes()
 	if err != nil {
-		s.storeErr(err)
+		s.noteStoreErr(err)
 		return
 	}
 	fresh := make(map[string]bool)
@@ -84,20 +88,20 @@ func (s *Service) adoptSweep(rec store.SweepRecord) {
 	claimID := "sweep-adopt/" + rec.ID
 	won, err := s.store.ClaimJob(claimID, s.cfg.NodeID, 3*s.cfg.LeaseTTL)
 	if err != nil {
-		s.storeErr(err)
+		s.degradeOn(err)
 		return
 	}
 	if !won {
 		return // another member is adopting it right now
 	}
-	defer func() { s.storeErr(s.store.ReleaseJob(claimID, s.cfg.NodeID)) }()
+	defer func() { s.degradeOn(s.store.ReleaseJob(claimID, s.cfg.NodeID)) }()
 
 	// Adoption needs the sweep's event log and member job records, which
 	// the poll deltas deliberately omit: the one full Load outside
 	// startup happens here, on the rare owner-death path.
 	st, err := s.store.Load()
 	if err != nil {
-		s.storeErr(err)
+		s.noteStoreErr(err) // read fault: re-adoption retries next scan
 		return
 	}
 	// Re-read the record from the Load view: it is fresher than the
@@ -129,9 +133,15 @@ func (s *Service) adoptSweep(rec store.SweepRecord) {
 		canceled: cur.Canceled,
 		wake:     make(chan struct{}),
 	}
-	// Best effort, as at recovery: a spec that no longer unmarshals only
-	// disables lost-member re-submission.
-	_ = json.Unmarshal(cur.Spec, &sw.spec)
+	// A spec that no longer unmarshals is corruption, not an option the
+	// sweep can do without: record it so repairSweep fails lost members
+	// loudly instead of silently re-submitting from a zero spec.
+	if len(cur.Spec) > 0 {
+		if err := json.Unmarshal(cur.Spec, &sw.spec); err != nil {
+			sw.specErr = fmt.Errorf("stored sweep spec corrupt: %v", err)
+			s.noteStoreErr(sw.specErr)
+		}
+	}
 	for mi, m := range cur.Members {
 		sw.members = append(sw.members, sweepMember{
 			index: mi,

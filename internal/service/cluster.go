@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -72,27 +73,41 @@ func (s *Service) nudgeCluster() {
 // own, and hands back only the records that changed since the previous
 // tick's cursor.
 func (s *Service) clusterTick(now time.Time) {
+	s.lastClusterTick.Store(now.UnixNano())
 	if hb := s.cfg.LeaseTTL / 3; now.Sub(s.lastHeartbeat) >= max(hb, s.cfg.PollInterval) {
-		s.storeErr(s.store.Heartbeat(store.NodeRecord{ID: s.cfg.NodeID, Started: s.started, Time: now}))
+		// The heartbeat carries the degraded flag, so peers steal this
+		// node's leases proactively (store.applyClaim) instead of
+		// waiting out expiry. Best effort while the disk is down — the
+		// append itself may fail, and then peers fall back to lease
+		// expiry (the failing renewals below stop extending them).
+		s.degradeOn(s.store.Heartbeat(store.NodeRecord{
+			ID: s.cfg.NodeID, Started: s.started, Time: now,
+			Degraded: s.degraded.Load(),
+		}))
 		s.lastHeartbeat = now
 	}
 	s.renewLeases(now)
 	delta, cursor, err := s.store.Changes(s.changeCursor)
 	if err != nil {
-		s.storeErr(err)
+		s.noteStoreErr(err)
 		return
 	}
 	s.changeCursor = cursor
 	s.foldDelta(delta)
 	claims, err := s.store.Claims()
 	if err != nil {
-		s.storeErr(err)
+		s.noteStoreErr(err)
 		return
 	}
 	jobs := s.mirrorSnapshot()
 	results := make(map[string]*Result) // per-tick result-fetch memo
 	s.observeRemote(jobs, results, now)
-	s.claimWork(jobs, claims, results, now)
+	if !s.degraded.Load() {
+		// A degraded node takes on no new work: it cannot persist the
+		// terminal records, and every claim it wins fences a healthy
+		// peer out for a lease TTL.
+		s.claimWork(jobs, claims, results, s.degradedPeers(), now)
+	}
 	s.pruneMirror()
 	s.adoptStaleSweeps(now)
 }
@@ -185,7 +200,7 @@ func (s *Service) renewLeases(now time.Time) {
 	for _, h := range due {
 		won, err := s.store.RenewLease(h.id, s.cfg.NodeID, ttl)
 		if err != nil {
-			s.storeErr(err)
+			s.degradeOn(err)
 			continue
 		}
 		s.mu.Lock()
@@ -216,7 +231,10 @@ func (s *Service) releaseLeaseLocked(ex *execution) {
 		delete(s.leases, ex.leaseID)
 	}
 	if !ex.leaseLost {
-		s.storeErr(s.store.ReleaseJob(ex.leaseID, s.cfg.NodeID))
+		// Not parked on failure: an unreleased lease self-heals by
+		// expiry, and replaying an old release could free a lease the
+		// node re-won in the meantime.
+		s.degradeOn(s.store.ReleaseJob(ex.leaseID, s.cfg.NodeID))
 	}
 	ex.leaseID = ""
 }
@@ -249,11 +267,11 @@ func (s *Service) lookupResult(memo map[string]*Result, key string) *Result {
 	}
 	var res *Result
 	if data, ok, err := s.store.Result(key); err != nil {
-		s.storeErr(err)
+		s.noteStoreErr(err) // read fault: retried next tick
 	} else if ok {
 		var r Result
 		if err := json.Unmarshal(data, &r); err != nil {
-			s.storeErr(err)
+			s.noteStoreErr(err)
 		} else {
 			res = &r
 		}
@@ -358,10 +376,32 @@ func (s *Service) completeRemoteLocked(j *job, res *Result, finished time.Time, 
 	}
 }
 
-// claimWork leases executable records — queued, or running under an
-// expired lease (a dead peer's work) — up to this daemon's capacity and
-// starts them on the local worker pool.
-func (s *Service) claimWork(jobs []store.JobRecord, claims map[string]store.Claim, results map[string]*Result, now time.Time) {
+// degradedPeers returns the set of peers currently advertising
+// Degraded in their heartbeat — their leases are stealable before
+// expiry (claimWork below, mirroring store.applyClaim's arbitration).
+func (s *Service) degradedPeers() map[string]bool {
+	nodes, err := s.store.Nodes()
+	if err != nil {
+		s.noteStoreErr(err)
+		return nil
+	}
+	var peers map[string]bool
+	for _, n := range nodes {
+		if n.Degraded && n.ID != s.cfg.NodeID {
+			if peers == nil {
+				peers = make(map[string]bool)
+			}
+			peers[n.ID] = true
+		}
+	}
+	return peers
+}
+
+// claimWork leases executable records — queued, running under an
+// expired lease (a dead peer's work), or held by a peer that declared
+// itself degraded — up to this daemon's capacity and starts them on the
+// local worker pool.
+func (s *Service) claimWork(jobs []store.JobRecord, claims map[string]store.Claim, results map[string]*Result, degradedPeers map[string]bool, now time.Time) {
 	node := s.cfg.NodeID
 	for i := range jobs {
 		rec := &jobs[i]
@@ -401,13 +441,13 @@ func (s *Service) claimWork(jobs []store.JobRecord, claims map[string]store.Clai
 			return // claim no more than the workers can absorb
 		}
 		cl, held := claims[rec.ID]
-		if held && cl.Node != node && now.Before(cl.Expires) {
-			continue // a live peer owns it
+		if held && cl.Node != node && now.Before(cl.Expires) && !degradedPeers[cl.Node] {
+			continue // a live, healthy peer owns it
 		}
 		stolen := st == StateRunning || (held && cl.Node != node)
 		won, err := s.store.ClaimJob(rec.ID, node, s.cfg.LeaseTTL)
 		if err != nil {
-			s.storeErr(err)
+			s.degradeOn(err)
 			continue
 		}
 		if !won {
@@ -429,7 +469,7 @@ func (s *Service) claimWork(jobs []store.JobRecord, claims map[string]store.Clai
 // new execution onto the worker pool.
 func (s *Service) startClaimed(rec *store.JobRecord, results map[string]*Result, now time.Time) {
 	node := s.cfg.NodeID
-	release := func() { s.storeErr(s.store.ReleaseJob(rec.ID, node)) }
+	release := func() { s.degradeOn(s.store.ReleaseJob(rec.ID, node)) }
 
 	// Result fast path: executing would reproduce the stored bytes.
 	if res := s.lookupResult(results, rec.Key); res != nil {
@@ -488,7 +528,9 @@ func (s *Service) startClaimed(rec *store.JobRecord, results map[string]*Result,
 				Error:     "cluster claim: " + err.Error(),
 				Submitted: rec.Submitted, Finished: now,
 			}
-			s.storeErr(s.store.PutJob(failed))
+			s.persistWrite("job", failed.ID, func(st store.Store) error {
+				return st.PutJob(failed)
+			})
 			release()
 			return
 		}
@@ -555,7 +597,14 @@ func (s *Service) startClaimed(rec *store.JobRecord, results map[string]*Result,
 // shared execution machinery has a job to drive. Callers hold s.mu.
 func (s *Service) mirrorJob(rec *store.JobRecord) *job {
 	var spec JobSpec
-	_ = json.Unmarshal(rec.Spec, &spec)
+	if len(rec.Spec) > 0 {
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			// The mirror's spec is display and coalescing metadata only —
+			// every execution path re-resolves from the stored bytes and
+			// fails typed — but a corrupt record still gets counted.
+			s.noteStoreErr(fmt.Errorf("stored job spec corrupt: %v", err))
+		}
+	}
 	return &job{
 		id:            rec.ID,
 		seq:           rec.Seq,

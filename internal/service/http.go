@@ -28,9 +28,24 @@ import (
 //	DELETE /v1/sweeps/{id}       cancel every member of the sweep
 //	GET    /metrics              cumulative operational counters (JSON;
 //	                             ?format=prometheus for text exposition)
-//	GET    /healthz              liveness + operational stats
+//	GET    /healthz              liveness + operational stats (200 while
+//	                             the process serves, even degraded)
+//	GET    /readyz               readiness: 200 when accepting work, 503 +
+//	                             Retry-After when degraded, full, or stalled
+//
+// A node whose store stopped accepting writes degrades (DESIGN.md §13):
+// submissions answer 503 with an honest Retry-After of one probe
+// interval, the soonest recovery could be detected.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
+
+	// degradedRetryAfter stamps Retry-After on a degraded 503 before the
+	// error body is written.
+	degradedRetryAfter := func(w http.ResponseWriter, err error) {
+		if errors.Is(err, ErrDegraded) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(svc.cfg.ProbeInterval)))
+		}
+	}
 
 	// handle registers pattern under both the bare and /v1 prefixes.
 	handle := func(method, path string, h http.HandlerFunc) {
@@ -71,6 +86,7 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		st, err := svc.Submit(spec)
 		if err != nil {
+			degradedRetryAfter(w, err)
 			writeError(w, submitStatusCode(err), err.Error())
 			return
 		}
@@ -125,6 +141,7 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		st, err := svc.SubmitSweep(spec)
 		if err != nil {
+			degradedRetryAfter(w, err)
 			writeError(w, submitStatusCode(err), err.Error())
 			return
 		}
@@ -168,14 +185,45 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, snap)
 	})
 
+	// Liveness: 200 for as long as the process can serve HTTP at all — a
+	// degraded node is alive (it still finishes in-flight work and
+	// streams results); restarting it would only lose the parked records.
 	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		if svc.degraded.Load() {
+			status = "degraded"
+		}
 		writeJSON(w, http.StatusOK, struct {
 			Status string `json:"status"`
 			Stats  Stats  `json:"stats"`
-		}{Status: "ok", Stats: svc.Stats()})
+		}{Status: status, Stats: svc.Stats()})
+	})
+
+	// Readiness: should a load balancer route new submissions here?
+	handle("GET", "/readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := svc.Readiness()
+		code := http.StatusOK
+		if !ready {
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(svc.cfg.ProbeInterval)))
+		}
+		writeJSON(w, code, struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason"`
+		}{Ready: ready, Reason: reason})
 	})
 
 	return mux
+}
+
+// retryAfterSecs renders a duration as a Retry-After value (whole
+// seconds, at least 1).
+func retryAfterSecs(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // streamSweepEvents writes the sweep's event log as NDJSON (one compact
@@ -243,6 +291,8 @@ func submitStatusCode(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDegraded):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrSweepTooLarge):
 		return http.StatusRequestEntityTooLarge
 	default:
@@ -255,6 +305,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	// Headers are already out; an encode error means the peer hung up.
 	_ = enc.Encode(v)
 }
 

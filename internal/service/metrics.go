@@ -238,6 +238,12 @@ type StoreSnapshot struct {
 	// WriteErrors counts store writes that failed; the daemon keeps
 	// serving from memory, but durability is degraded.
 	WriteErrors int64 `json:"write_errors"`
+	// Degraded reports the health state machine (DESIGN.md §13): true
+	// while persistence is failing and the node rejects new submissions;
+	// ParkedRecords is the gauge of writes held in memory awaiting
+	// replay by the recovery probe.
+	Degraded      bool  `json:"degraded"`
+	ParkedRecords int64 `json:"parked_records"`
 	// Epoch is the segmented WAL's current log generation (the fold
 	// frontier advanced by each compaction round); SegmentsLive counts
 	// per-node segment files currently on disk and SegmentsDeleted the
@@ -299,6 +305,9 @@ type ClusterSnapshot struct {
 	// their owning daemon stopped heartbeating (the adopter replays the
 	// sweep's event log and finalizes its summary).
 	SweepsAdopted int64 `json:"sweeps_adopted"`
+	// DegradedPeers counts fresh peers currently advertising Degraded in
+	// their heartbeat (their leases are stolen proactively).
+	DegradedPeers int `json:"degraded_peers"`
 }
 
 // Metrics snapshots the service's counters and gauges.
@@ -346,6 +355,8 @@ func (s *Service) Metrics() MetricsSnapshot {
 			SweepsRecovered:  m.sweepsRecovered.Load(),
 			OrphansRequeued:  m.orphansRequeued.Load(),
 			WriteErrors:      m.storeErrors.Load(),
+			Degraded:         s.degraded.Load(),
+			ParkedRecords:    int64(s.parkedCount()),
 			Epoch:            st.Epoch,
 			SegmentsLive:     st.SegmentsLive,
 			SegmentsDeleted:  st.SegmentsDeleted,
@@ -367,13 +378,16 @@ func (s *Service) Metrics() MetricsSnapshot {
 			SweepsAdopted: m.sweepsAdopted.Load(),
 		}
 		if nodes, err := s.store.Nodes(); err != nil {
-			s.storeErr(err)
+			s.noteStoreErr(err)
 		} else {
 			now := time.Now()
 			for _, n := range nodes {
 				cs.NodesSeen++
 				if n.ID != s.cfg.NodeID && now.Sub(n.Time) < 3*s.cfg.LeaseTTL {
 					cs.Peers++
+					if n.Degraded {
+						cs.DegradedPeers++
+					}
 				}
 			}
 		}

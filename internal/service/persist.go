@@ -30,15 +30,10 @@ type resolvedMember struct {
 	t0   vectors.Sequence
 }
 
-// storeErr counts (but does not propagate) store write failures: the
-// in-memory state remains authoritative for the running process, and
-// the error surfaces via the store.write_errors metric rather than
-// failing the job that happened to trigger the write.
-func (s *Service) storeErr(err error) {
-	if err != nil {
-		s.metrics.storeErrors.Add(1)
-	}
-}
+// Store write failures are not dropped here: every persist helper
+// routes through persistWrite (degrade.go), which parks the failed
+// write for replay and degrades the node. The in-memory state remains
+// authoritative for the running process either way.
 
 // incResultRef notes one more live referent (done job record or cache
 // entry) of the stored result body for key. Callers hold s.mu.
@@ -62,7 +57,9 @@ func (s *Service) decResultRef(key string) {
 	if s.resultRefs[key]--; s.resultRefs[key] <= 0 {
 		delete(s.resultRefs, key)
 		if !s.clustered() {
-			s.storeErr(s.store.DeleteResult(key))
+			s.persistWrite("result-delete", key, func(st store.Store) error {
+				return st.DeleteResult(key)
+			})
 		}
 	}
 }
@@ -75,7 +72,10 @@ func (s *Service) dropJobRecord(j *job) {
 		return
 	}
 	if !s.clustered() || j.node == s.cfg.NodeID {
-		s.storeErr(s.store.DeleteJob(j.id))
+		id := j.id
+		s.persistWrite("job-delete", id, func(st store.Store) error {
+			return st.DeleteJob(id)
+		})
 	}
 	if j.state == StateDone {
 		s.decResultRef(j.key)
@@ -109,7 +109,9 @@ func (s *Service) persistJob(j *job) {
 	if !j.specPersisted {
 		spec, err := json.Marshal(j.spec)
 		if err != nil {
-			s.storeErr(err)
+			// A spec that cannot marshal is a bug, not a disk fault; no
+			// probe will cure it, so count it rather than degrade.
+			s.noteStoreErr(err)
 			return
 		}
 		rec.Spec = spec
@@ -117,11 +119,12 @@ func (s *Service) persistJob(j *job) {
 	if j.err != nil {
 		rec.Error = j.err.Error()
 	}
-	if err := s.store.PutJob(rec); err != nil {
-		s.storeErr(err)
-		return
+	if s.persistWrite("job", j.id, func(st store.Store) error { return st.PutJob(rec) }) {
+		// Latched only on a live write: a parked record carries the spec
+		// inside its closure, and a dedup replacement must keep carrying
+		// it until some write truly lands.
+		j.specPersisted = true
 	}
-	j.specPersisted = true
 }
 
 // persistSweep upserts sw's record (spec, member snapshot, summary).
@@ -143,7 +146,7 @@ func (s *Service) persistSweep(sw *sweep) {
 	}
 	var err error
 	if rec.Spec, err = json.Marshal(sw.spec); err != nil {
-		s.storeErr(err)
+		s.noteStoreErr(err)
 		return
 	}
 	for i := range sw.members {
@@ -160,11 +163,11 @@ func (s *Service) persistSweep(sw *sweep) {
 		sum := *sw.summary
 		sum.Markdown = ""
 		if rec.Summary, err = json.Marshal(&sum); err != nil {
-			s.storeErr(err)
+			s.noteStoreErr(err)
 			return
 		}
 	}
-	s.storeErr(s.store.PutSweep(rec))
+	s.persistWrite("sweep", sw.id, func(st store.Store) error { return st.PutSweep(rec) })
 }
 
 // persistSweepEvent appends one event line. Member results are stripped
@@ -184,10 +187,15 @@ func (s *Service) persistSweepEvent(sw *sweep, ev *SweepEvent) {
 	}
 	data, err := json.Marshal(&e)
 	if err != nil {
-		s.storeErr(err)
+		s.noteStoreErr(err)
 		return
 	}
-	s.storeErr(s.store.AppendEvent(store.EventRecord{SweepID: sw.id, Seq: ev.Seq, Data: data}))
+	rec := store.EventRecord{SweepID: sw.id, Seq: ev.Seq, Data: data}
+	// Events are append-only, so the park key carries the seq: each
+	// event replays exactly once, in order, never deduped away.
+	s.persistWrite("event", fmt.Sprintf("%s/%d", sw.id, ev.Seq), func(st store.Store) error {
+		return st.AppendEvent(rec)
+	})
 }
 
 // persistResult stores one result body under its content key. Callers
@@ -198,10 +206,10 @@ func (s *Service) persistResult(key string, res *Result) {
 	}
 	data, err := json.Marshal(res)
 	if err != nil {
-		s.storeErr(err)
+		s.noteStoreErr(err)
 		return
 	}
-	s.storeErr(s.store.PutResult(key, data))
+	s.persistWrite("result", key, func(st store.Store) error { return st.PutResult(key, data) })
 }
 
 // recover replays the store into the Service and returns the executions
@@ -233,7 +241,10 @@ func (s *Service) recover() []*execution {
 	}
 	st, err := s.store.Load()
 	if err != nil {
-		s.storeErr(err)
+		// A failed startup Load is a read fault: nothing was lost and
+		// nothing can be parked, so count it and start empty (the claim
+		// loop's Changes resync folds the state in once readable).
+		s.noteStoreErr(err)
 		return nil
 	}
 	s.mu.Lock()
@@ -262,9 +273,16 @@ func (s *Service) recover() []*execution {
 			canceled: rec.Canceled,
 			wake:     make(chan struct{}),
 		}
-		// Best effort: a spec that no longer unmarshals only disables
-		// lost-member re-submission.
-		_ = json.Unmarshal(rec.Spec, &sw.spec)
+		if len(rec.Spec) > 0 {
+			if err := json.Unmarshal(rec.Spec, &sw.spec); err != nil {
+				// A stored spec that no longer unmarshals is corruption,
+				// not a recoverable condition: remember it so repairSweep
+				// fails the affected members loudly (naming the parse
+				// error) instead of re-running them from a zero spec.
+				sw.specErr = fmt.Errorf("stored sweep spec corrupt: %v", err)
+				s.noteStoreErr(sw.specErr)
+			}
+		}
 		if rec.Summary != nil {
 			var sum SweepSummary
 			if json.Unmarshal(rec.Summary, &sum) == nil {
@@ -307,7 +325,7 @@ func (s *Service) recover() []*execution {
 		}
 		var spec JobSpec
 		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
-			s.storeErr(err)
+			s.noteStoreErr(err)
 			continue
 		}
 		j := &job{
@@ -464,11 +482,11 @@ func (rc *recovery) result(key string) *Result {
 	}
 	var res *Result
 	if data, ok, err := rc.s.store.Result(key); err != nil {
-		rc.s.storeErr(err)
+		rc.s.noteStoreErr(err)
 	} else if ok {
 		var r Result
 		if err := json.Unmarshal(data, &r); err != nil {
-			rc.s.storeErr(err)
+			rc.s.noteStoreErr(err)
 		} else {
 			res = &r
 		}
@@ -573,7 +591,7 @@ func (s *Service) repairSweep(rc *recovery, sw *sweep, memberJob map[int]*job) {
 		// and this member's enqueue — or the member was racing (legs are
 		// plain sweep jobs, the member itself never had a job ID).
 		// Re-submit from the persisted spec.
-		if i < len(sw.spec.Circuits) {
+		if sw.specErr == nil && i < len(sw.spec.Circuits) {
 			memberCfg := sw.spec.Circuits[i].Override.apply(sw.spec.Config)
 			if memberCfg.Strategy == strategy.Race {
 				m.status = Status{State: StateQueued, Circuit: m.status.Circuit}
@@ -600,7 +618,11 @@ func (s *Service) repairSweep(rc *recovery, sw *sweep, memberJob map[int]*job) {
 			}
 		}
 		m.status.State = StateFailed
-		m.status.Error = "recovery: member lost before enqueue and sweep spec unavailable"
+		if sw.specErr != nil {
+			m.status.Error = "recovery: cannot re-submit member: " + sw.specErr.Error()
+		} else {
+			m.status.Error = "recovery: member lost before enqueue and sweep spec unavailable"
+		}
 		ms := sw.memberStatus(i, false)
 		s.appendSweepEvent(sw, SweepEvent{Type: "member_update", Member: &ms})
 		dirty = true

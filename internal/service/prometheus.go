@@ -103,6 +103,8 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 		c("seqbist_store_sweeps_recovered_total", "Sweep records rebuilt into live state at startup.", st.SweepsRecovered)
 		c("seqbist_store_orphans_requeued_total", "Jobs re-enqueued after being orphaned by a crash.", st.OrphansRequeued)
 		c("seqbist_store_write_errors_total", "Store writes that failed.", st.WriteErrors)
+		g("seqbist_store_degraded", "1 while persistence is failing and new submissions are rejected.", boolGauge(st.Degraded))
+		g("seqbist_store_parked_records", "Writes held in memory awaiting replay by the recovery probe.", float64(st.ParkedRecords))
 		g("seqbist_store_epoch", "Current log generation of the segmented WAL.", float64(st.Epoch))
 		g("seqbist_store_segments_live", "Per-node WAL segment files currently on disk.", float64(st.SegmentsLive))
 		c("seqbist_store_segments_deleted_total", "Segment files removed by compaction GC since open.", st.SegmentsDeleted)
@@ -112,6 +114,7 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 	if cl := snap.Cluster; cl != nil {
 		fmt.Fprintf(w, "# HELP seqbist_cluster_node Identity of this cluster member (node_id label).\n# TYPE seqbist_cluster_node gauge\nseqbist_cluster_node{node_id=%q} 1\n", cl.NodeID)
 		g("seqbist_cluster_peers", "Other nodes with a fresh heartbeat.", float64(cl.Peers))
+		g("seqbist_cluster_degraded_peers", "Fresh peers advertising Degraded in their heartbeat.", float64(cl.DegradedPeers))
 		g("seqbist_cluster_nodes_seen", "Distinct node identities ever recorded in the store.", float64(cl.NodesSeen))
 		c("seqbist_cluster_claims_won_total", "Lease claims this daemon won.", cl.ClaimsWon)
 		c("seqbist_cluster_claims_lost_total", "Lease claims this daemon lost to a peer.", cl.ClaimsLost)

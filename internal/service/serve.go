@@ -45,7 +45,8 @@ func Serve(addr string, cfg Config) error {
 		return err
 	case sig := <-stop:
 		log.Printf("received %s, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// svc.cfg is the defaulted copy, so the timeout is always set.
+		ctx, cancel := context.WithTimeout(context.Background(), svc.cfg.ShutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seqbist/internal/bench"
@@ -119,6 +120,18 @@ type Config struct {
 	// clamped to [100ms, 1s]).
 	PollInterval time.Duration
 
+	// ProbeInterval paces the degraded-mode recovery probe (default 2s):
+	// how often a node whose store writes failed replays its parked
+	// records to test whether the disk recovered (see degrade.go). It is
+	// also the honest Retry-After the HTTP layer attaches to degraded
+	// 503s. Meaningful only with a Store.
+	ProbeInterval time.Duration
+	// ShutdownTimeout bounds the graceful drain in Serve: how long
+	// in-flight HTTP requests (including sweep event streams) get to
+	// finish after SIGINT/SIGTERM before the listener is torn down
+	// (default 10s).
+	ShutdownTimeout time.Duration
+
 	// RateLimit, when positive, enables a per-client token bucket on
 	// POST /v1/jobs and /v1/sweeps: each client (keyed by remote host)
 	// accrues RateLimit submissions per second up to a burst of
@@ -173,6 +186,12 @@ func (c Config) withDefaults() Config {
 				c.PollInterval = time.Second
 			}
 		}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 10 * time.Second
 	}
 	if c.RateLimit > 0 && c.RateBurst < 1 {
 		c.RateBurst = int(c.RateLimit)
@@ -235,6 +254,20 @@ type Service struct {
 	// last referent disappears (retention or LRU eviction) the body is
 	// deleted from the store. Maintained only when store is non-nil.
 	resultRefs map[string]int
+
+	// Degradation state machine (degrade.go). degraded is atomic so the
+	// submission and readiness hot paths read it without a lock; the
+	// buffer of parked writes and the failure cause live under healthMu,
+	// which is leaf-ordered after s.mu (code holding s.mu may park, the
+	// probe never takes s.mu while holding healthMu). lastClusterTick is
+	// the claim loop's liveness stamp for /readyz (unix nanos).
+	degraded        atomic.Bool
+	healthMu        sync.Mutex
+	degradeReason   error
+	parked          []parkedRecord
+	parkedHead      int
+	parkedIdx       map[string]int
+	lastClusterTick atomic.Int64
 }
 
 // New starts a service with cfg's worker pool running. When cfg.Store
@@ -261,8 +294,10 @@ func New(cfg Config) *Service {
 		clusterWake:  make(chan struct{}, 1),
 		remoteRecs:   make(map[string]store.JobRecord),
 		remoteSweeps: make(map[string]store.SweepRecord),
+		parkedIdx:    make(map[string]int),
 	}
 	s.cache.onEvict = s.decResultRef
+	s.lastClusterTick.Store(s.started.UnixNano())
 	// Recovery may enlarge the queue so every re-enqueued execution
 	// fits ahead of new submissions; it needs no locking because the
 	// workers have not started. (In cluster mode recovery re-queues
@@ -281,6 +316,10 @@ func New(cfg Config) *Service {
 	if s.clustered() {
 		s.wg.Add(1)
 		go s.clusterLoop()
+	}
+	if s.store != nil {
+		s.wg.Add(1)
+		go s.probeLoop()
 	}
 	return s
 }
@@ -311,6 +350,12 @@ func (s *Service) newSweepID(seq int64) string {
 // job is created directly in the done state with CacheHit set and the
 // cached result attached — no work is queued.
 func (s *Service) Submit(spec JobSpec) (Status, error) {
+	if s.degraded.Load() {
+		// Accepting work we cannot persist would silently shed the
+		// durability contract; reject at the edge and let the client's
+		// retry (or a healthy peer) take it.
+		return Status{}, s.degradedErr()
+	}
 	if spec.Config.Strategy == "" {
 		spec.Config.Strategy = s.cfg.DefaultStrategy
 	}
@@ -601,7 +646,10 @@ func (s *Service) Close() {
 	close(s.queue)
 	s.wg.Wait()
 	if s.store != nil {
-		s.store.Close()
+		// Every acknowledged write is already on disk (the WAL syncs
+		// per-append); a close failure here can only lose records that
+		// were never acknowledged to a caller.
+		_ = s.store.Close()
 	}
 }
 

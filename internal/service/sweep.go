@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"seqbist/internal/experiments"
+	"seqbist/internal/store"
 	"seqbist/internal/strategy"
 )
 
@@ -152,6 +153,11 @@ type sweep struct {
 	// queue
 	created time.Time
 
+	// specErr records that the persisted spec failed to unmarshal at
+	// recovery or adoption: members needing re-submission fail loudly
+	// with this error instead of silently running from a zero spec.
+	specErr error
+
 	state    State
 	canceled bool // cancellation requested
 	// repairing suppresses finalization while recovery rebuilds the
@@ -270,6 +276,11 @@ func (s *Service) appendSweepEvent(sw *sweep, ev SweepEvent) {
 // member that cannot be enqueued because the queue is full is recorded as
 // failed rather than failing the sweep.
 func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
+	if s.degraded.Load() {
+		// Same edge rejection as Submit: already-accepted sweeps keep
+		// running (their writes park), but no new durable obligations.
+		return SweepStatus{}, s.degradedErr()
+	}
 	if len(spec.Circuits) == 0 {
 		return SweepStatus{}, fmt.Errorf("invalid sweep: no circuits")
 	}
@@ -387,6 +398,7 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 		cancelNow := sw.canceled && !sw.members[i].status.State.Terminal()
 		s.mu.Unlock()
 		if cancelNow {
+			// Idempotent when both sides race; see above.
 			_, _ = s.Cancel(st.ID)
 		}
 	}
@@ -497,6 +509,7 @@ func (s *Service) raceFanOut(sw *sweep, i int, rm resolvedMember) {
 		cancelNow := sw.canceled && !leg.status.State.Terminal()
 		s.mu.Unlock()
 		if cancelNow {
+			// Idempotent when both sides race; see above.
 			_, _ = s.Cancel(st.ID)
 		}
 	}
@@ -663,7 +676,10 @@ func (s *Service) registerSweep(sw *sweep) {
 			delete(s.sweeps, id)
 			over--
 			if s.store != nil {
-				s.storeErr(s.store.DeleteSweep(id))
+				id := id
+				s.persistWrite("sweep-delete", id, func(st store.Store) error {
+					return st.DeleteSweep(id)
+				})
 			}
 			continue
 		}

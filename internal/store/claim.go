@@ -61,6 +61,11 @@ type NodeRecord struct {
 	// everything until its first stamped heartbeat.)
 	FoldedEpoch int64 `json:"fe,omitempty"`
 	FoldedOff   int64 `json:"fo,omitempty"`
+	// Degraded marks a node whose local persistence is failing (it can
+	// read the shared log but not reliably append). Peers treat its
+	// leases as stealable without waiting for heartbeat staleness, and
+	// stop expecting it to claim queued work until it recovers.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // terminalJobState mirrors service.State.Terminal for the raw strings
@@ -79,9 +84,18 @@ func terminalJobState(s string) bool {
 //     for nothing);
 //   - otherwise the claim wins iff the job is unclaimed, the claimant
 //     already holds it (renewal — allowed even after expiry, so a slow
-//     holder that nobody has displaced keeps its work), or the existing
-//     lease had expired by the claimant's recorded time.
-func applyClaim(claims map[string]Claim, jobs map[string]JobRecord, rec ClaimRecord) bool {
+//     holder that nobody has displaced keeps its work), the existing
+//     lease had expired by the claimant's recorded time, or the holder's
+//     most recent heartbeat (at this point in the stream) marked it
+//     Degraded — a node that cannot persist results should not fence
+//     work from healthy peers, and re-execution is safe because results
+//     are content-addressed.
+//
+// The degraded-holder rule stays deterministic for the same reason the
+// expiry rule does: the nodes table consulted here is itself folded from
+// the operation stream, so every replayer sees the same table state at
+// the same claim record.
+func applyClaim(claims map[string]Claim, jobs map[string]JobRecord, nodes map[string]NodeRecord, rec ClaimRecord) bool {
 	if rec.Released {
 		if cur, ok := claims[rec.JobID]; ok && cur.Node == rec.Node {
 			delete(claims, rec.JobID)
@@ -91,7 +105,8 @@ func applyClaim(claims map[string]Claim, jobs map[string]JobRecord, rec ClaimRec
 	if j, ok := jobs[rec.JobID]; ok && terminalJobState(j.State) {
 		return false
 	}
-	if cur, ok := claims[rec.JobID]; ok && cur.Node != rec.Node && rec.Time.Before(cur.Expires) {
+	if cur, ok := claims[rec.JobID]; ok && cur.Node != rec.Node &&
+		rec.Time.Before(cur.Expires) && !nodes[cur.Node].Degraded {
 		return false
 	}
 	claims[rec.JobID] = Claim{Node: rec.Node, Expires: rec.Expires}

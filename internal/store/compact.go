@@ -81,41 +81,53 @@ func (d *Disk) compactRoundLocked(now time.Time) error {
 	// read wal.log.
 	legacySafe := d.legacySafe
 	// Seal generation g.
-	next, err := os.OpenFile(d.manifestPath(g+1), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	next, err := d.fs.OpenFile(d.manifestPath(g+1), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return fmt.Errorf("store: %w", classify(err))
 	}
 	if d.man == nil || d.manGen != g {
 		// The epoch claim above appended to g, so the handle should
 		// still target it; if not, a racing sealer won — stand down.
-		next.Close()
+		// (Close results on abandoned/replaced handles carry no
+		// information: nothing was written through them here.)
+		_ = next.Close()
 		d.recomputeLogBytesLocked()
 		return nil
 	}
 	if err := flockExclusive(d.man); err != nil {
-		next.Close()
-		return fmt.Errorf("store: seal lock: %w", err)
+		_ = next.Close()
+		return fmt.Errorf("store: seal lock: %w", classify(err))
 	}
-	sf, err := os.OpenFile(d.sealedPath(g), os.O_CREATE|os.O_WRONLY, 0o644)
+	sf, err := d.fs.OpenFile(d.sealedPath(g), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
-		funlock(d.man)
-		next.Close()
-		return fmt.Errorf("store: sealing generation %d: %w", g, err)
+		_ = funlock(d.man)
+		_ = next.Close()
+		return fmt.Errorf("store: sealing generation %d: %w", g, classify(err))
 	}
-	sf.Close()
+	// The sentinel is its O_CREATE: an empty file whose close writes no
+	// data, so its close result is informationless.
+	_ = sf.Close()
 	if d.opts.Fsync {
-		if dir, err := os.Open(d.walDir()); err == nil {
-			dir.Sync()
-			dir.Close()
+		// Best effort: if the directory sync is lost to a power cut the
+		// sentinel may vanish — then the generation is simply still
+		// unsealed and the next round re-seals it; no state is lost.
+		if dir, err := d.fs.Open(d.walDir()); err == nil {
+			_ = dir.Sync()
+			_ = dir.Close()
 		}
 	}
-	funlock(d.man)
+	// The seal is complete; a failed unlock only parks the epoch
+	// until this handle closes, it cannot corrupt it.
+	_ = funlock(d.man)
 	// Swap the append target to g+1; the segment follows on next write.
-	d.man.Close()
+	// The old generation's handle saw only already-acknowledged (or
+	// already-failed) appends, so its close result is not actionable.
+	_ = d.man.Close()
 	d.man = next
 	d.manGen = g + 1
 	if d.seg != nil {
-		d.seg.Close()
+		// Superseded read-only cursor handle.
+		_ = d.seg.Close()
 		d.seg = nil
 	}
 	// Consume the rest of g — including appends that raced the seal —
@@ -170,8 +182,8 @@ func (d *Disk) writeSnapshotLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(d.opts.Dir, snapName), data, true); err != nil {
-		return fmt.Errorf("store: writing snapshot: %w", err)
+	if err := writeFileAtomic(d.fs, filepath.Join(d.opts.Dir, snapName), data, true); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", classify(err))
 	}
 	d.snapBytes = int64(len(data))
 	d.snapLSNs = make(map[string]int64, len(snap.LSNs))
@@ -204,19 +216,23 @@ func (d *Disk) gcLocked(now time.Time, legacySafe bool) {
 		if wf.gen >= bound {
 			continue
 		}
-		os.Remove(d.segmentPath(wf.name))
+		// GC is best-effort pure deletion of superseded files: one that
+		// survives is retried by every later round.
+		_ = d.fs.Remove(d.segmentPath(wf.name))
 		if !wf.manifest && !wf.sentinel {
 			d.stats.SegmentsDeleted++
 		}
 		if cur, ok := d.segCurs[wf.name]; ok {
 			if cur.f != nil {
-				cur.f.Close()
+				// Read-only cursor handle.
+				_ = cur.f.Close()
 			}
 			delete(d.segCurs, wf.name)
 		}
 	}
 	if legacySafe {
-		os.Remove(filepath.Join(d.opts.Dir, legacyWAL))
+		// Best-effort GC: a surviving legacy WAL is retried next round.
+		_ = d.fs.Remove(filepath.Join(d.opts.Dir, legacyWAL))
 	}
 }
 
@@ -228,7 +244,7 @@ func (d *Disk) recomputeLogBytesLocked() {
 	for _, wf := range d.scanWALDir() {
 		sum += wf.size
 	}
-	if fi, err := os.Stat(filepath.Join(d.opts.Dir, legacyWAL)); err == nil {
+	if fi, err := d.fs.Stat(filepath.Join(d.opts.Dir, legacyWAL)); err == nil {
 		sum += fi.Size()
 	}
 	d.logBytes = sum

@@ -53,6 +53,9 @@ type Options struct {
 	// log generations, and its unfinished compaction round may be taken
 	// over (default 30s).
 	StaleAfter time.Duration
+	// FS overrides the filesystem every store operation goes through —
+	// the fault-injection seam (vfs.go). Nil uses the real filesystem.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +67,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StaleAfter <= 0 {
 		o.StaleAfter = 30 * time.Second
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
 	}
 	return o
 }
@@ -77,15 +83,16 @@ func (o Options) withDefaults() Options {
 // discarded, and the log is truncated back to the last intact record.
 type Disk struct {
 	opts   Options
+	fs     FS   // all I/O goes through this seam (vfs.go)
 	shared bool // multi-writer mode (Options.NodeID set)
 
 	mu sync.Mutex
 
 	// Append targets: man is the current generation's manifest (shared
 	// ordering log), seg this node's private data segment of segGen.
-	man    *os.File
+	man    File
 	manGen int64
-	seg    *os.File
+	seg    File
 	segGen int64
 
 	// Fold frontier: everything in the total order up to (foldGen,
@@ -93,7 +100,7 @@ type Disk struct {
 	// open manifest reader; segCurs the per-segment read cursors.
 	foldGen int64
 	foldOff int64
-	foldF   *os.File
+	foldF   File
 	foldBR  *bufio.Reader
 	segCurs map[string]*segCursor
 
@@ -150,7 +157,7 @@ type Disk struct {
 type segCursor struct {
 	off int64
 	lsn int64
-	f   *os.File
+	f   File
 	br  *bufio.Reader
 }
 
@@ -219,14 +226,20 @@ func Open(opts Options) (*Disk, error) {
 	if opts.NodeID != "" && !validNodeID(opts.NodeID) {
 		return nil, fmt.Errorf("store: invalid node id %q", opts.NodeID)
 	}
-	if err := os.MkdirAll(filepath.Join(opts.Dir, resDir), 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	if opts.NodeID != "" && !flockSupported {
+		// Shared mode's seal protocol needs flock(2); without it the
+		// sealed sentinel would prove nothing (flock_other.go).
+		return nil, fmt.Errorf("store: shared mode (NodeID) requires flock(2), unsupported on this platform")
 	}
-	if err := os.MkdirAll(filepath.Join(opts.Dir, walDirName), 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	if err := opts.FS.MkdirAll(filepath.Join(opts.Dir, resDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", classify(err))
+	}
+	if err := opts.FS.MkdirAll(filepath.Join(opts.Dir, walDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", classify(err))
 	}
 	d := &Disk{
 		opts:      opts,
+		fs:        opts.FS,
 		shared:    opts.NodeID != "",
 		jobs:      make(map[string]JobRecord),
 		sweeps:    make(map[string]SweepRecord),
@@ -245,7 +258,7 @@ func Open(opts Options) (*Disk, error) {
 		// Crash leftovers are only safely removable with exclusive
 		// access: in shared mode a *.tmp or an unreferenced spill file
 		// may be a live peer's write in flight.
-		dropTempFiles(opts.Dir)
+		dropTempFiles(d.fs, opts.Dir)
 	}
 	if err := d.replaySnapshot(); err != nil {
 		return nil, err
@@ -290,7 +303,7 @@ func Open(opts Options) (*Disk, error) {
 // so dropping them is safe — and seeds the spill-size accounting for
 // the files that stay.
 func (d *Disk) sweepOrphanSpills() {
-	entries, err := os.ReadDir(filepath.Join(d.opts.Dir, resDir))
+	entries, err := d.fs.ReadDir(filepath.Join(d.opts.Dir, resDir))
 	if err != nil {
 		return
 	}
@@ -300,7 +313,9 @@ func (d *Disk) sweepOrphanSpills() {
 			continue
 		}
 		if body, live := d.results[key]; !live || body != nil {
-			os.Remove(filepath.Join(d.opts.Dir, resDir, e.Name()))
+			// Best-effort cleanup: a leftover that survives is swept
+			// again at the next exclusive Open.
+			_ = d.fs.Remove(filepath.Join(d.opts.Dir, resDir, e.Name()))
 			continue
 		}
 		if _, ok := d.spillSize[key]; ok {
@@ -314,16 +329,18 @@ func (d *Disk) sweepOrphanSpills() {
 }
 
 // dropTempFiles removes *.tmp leftovers from a crash mid-rename (their
-// contents were never acknowledged, so dropping them is always safe).
-func dropTempFiles(dir string) {
+// contents were never acknowledged, so dropping them is always safe —
+// and best-effort: a survivor is retried at the next Open).
+func dropTempFiles(fsys FS, dir string) {
 	for _, sub := range []string{dir, filepath.Join(dir, resDir)} {
-		entries, err := os.ReadDir(sub)
+		entries, err := fsys.ReadDir(sub)
 		if err != nil {
 			continue
 		}
 		for _, e := range entries {
 			if strings.HasSuffix(e.Name(), ".tmp") {
-				os.Remove(filepath.Join(sub, e.Name()))
+				// Best-effort orphan sweep: a survivor is retried next open.
+				_ = fsys.Remove(filepath.Join(sub, e.Name()))
 			}
 		}
 	}
@@ -333,19 +350,19 @@ func dropTempFiles(dir string) {
 // records its per-node LSN cutoffs and exact fold-resume position; log
 // records at or below the cutoff for their node are stale and skipped.
 func (d *Disk) replaySnapshot() error {
-	data, err := os.ReadFile(filepath.Join(d.opts.Dir, snapName))
+	data, err := d.fs.ReadFile(filepath.Join(d.opts.Dir, snapName))
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return fmt.Errorf("store: %w", classify(err))
 	}
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		// Snapshots are written via tmp+rename, so a corrupt one is
 		// damage, not a crash artifact — refuse rather than silently
 		// drop state.
-		return fmt.Errorf("store: corrupt %s: %v", snapName, err)
+		return corruptErr(fmt.Errorf("store: corrupt %s: %v", snapName, err))
 	}
 	d.snapBytes = int64(len(data))
 	for _, rec := range snap.Jobs {
@@ -413,14 +430,15 @@ func (d *Disk) replaySnapshot() error {
 // by the compactor once a segmentation-era snapshot fully covers it.
 func (d *Disk) replayLegacyLocked() error {
 	path := filepath.Join(d.opts.Dir, legacyWAL)
-	f, err := os.Open(path)
+	f, err := d.fs.Open(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return fmt.Errorf("store: %w", classify(err))
 	}
-	defer f.Close()
+	// Read-only handle: nothing to lose on close failure.
+	defer func() { _ = f.Close() }()
 	d.legacyExisted = true
 	br := bufio.NewReader(f)
 	var good int64 // byte offset of the end of the last intact record
@@ -465,15 +483,15 @@ func (d *Disk) replayLegacyLocked() error {
 			for {
 				rest, rerr := br.ReadString('\n')
 				if _, ok := parseWALLine(rest, rerr == nil); ok {
-					return fmt.Errorf("store: corrupt record mid-%s at byte %d (intact records follow — refusing to drop acknowledged state)", legacyWAL, good)
+					return corruptErr(fmt.Errorf("store: corrupt record mid-%s at byte %d (intact records follow — refusing to drop acknowledged state)", legacyWAL, good))
 				}
 				if rerr != nil {
 					break
 				}
 			}
 			d.stats.TruncatedTail = true
-			if terr := os.Truncate(path, good); terr != nil {
-				return fmt.Errorf("store: truncating torn tail: %w", terr)
+			if terr := d.fs.Truncate(path, good); terr != nil {
+				return fmt.Errorf("store: truncating torn tail: %w", classify(terr))
 			}
 			break
 		}
@@ -557,14 +575,14 @@ func (d *Disk) applyEntry(ent walEntry) error {
 	case "job":
 		var rec JobRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
-			return fmt.Errorf("store: bad job record: %v", err)
+			return corruptErr(fmt.Errorf("store: bad job record: %v", err))
 		}
 		d.jobs[rec.ID] = mergeJobRecord(d.jobs[rec.ID], rec)
 		d.changes.note(changeJob, rec.ID)
 	case "jobdel":
 		var p delPayload
 		if err := json.Unmarshal(ent.Data, &p); err != nil {
-			return fmt.Errorf("store: bad job delete: %v", err)
+			return corruptErr(fmt.Errorf("store: bad job delete: %v", err))
 		}
 		delete(d.jobs, p.ID)
 		delete(d.claims, p.ID)
@@ -572,14 +590,14 @@ func (d *Disk) applyEntry(ent walEntry) error {
 	case "sweep":
 		var rec SweepRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
-			return fmt.Errorf("store: bad sweep record: %v", err)
+			return corruptErr(fmt.Errorf("store: bad sweep record: %v", err))
 		}
 		d.sweeps[rec.ID] = rec
 		d.changes.note(changeSweep, rec.ID)
 	case "sweepdel":
 		var p delPayload
 		if err := json.Unmarshal(ent.Data, &p); err != nil {
-			return fmt.Errorf("store: bad sweep delete: %v", err)
+			return corruptErr(fmt.Errorf("store: bad sweep delete: %v", err))
 		}
 		delete(d.sweeps, p.ID)
 		delete(d.events, p.ID)
@@ -587,20 +605,20 @@ func (d *Disk) applyEntry(ent walEntry) error {
 	case "event":
 		var rec EventRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
-			return fmt.Errorf("store: bad event record: %v", err)
+			return corruptErr(fmt.Errorf("store: bad event record: %v", err))
 		}
 		d.events[rec.SweepID] = placeEvent(d.events[rec.SweepID], rec)
 	case "result":
 		var p resultPayload
 		if err := json.Unmarshal(ent.Data, &p); err != nil {
-			return fmt.Errorf("store: bad result record: %v", err)
+			return corruptErr(fmt.Errorf("store: bad result record: %v", err))
 		}
 		if p.Data == nil {
 			d.results[p.Key] = nil // spilled; body lives in results/
 			// The file may have been written by a peer process (or by a
 			// previous run of this one): account for it by size on disk.
 			d.forgetSpillAccounting(p.Key)
-			if info, err := os.Stat(d.resultPath(p.Key)); err == nil {
+			if info, err := d.fs.Stat(d.resultPath(p.Key)); err == nil {
 				d.spillSize[p.Key] = info.Size()
 				d.spillSum += info.Size()
 			}
@@ -611,7 +629,7 @@ func (d *Disk) applyEntry(ent walEntry) error {
 	case "resultdel":
 		var p resultPayload
 		if err := json.Unmarshal(ent.Data, &p); err != nil {
-			return fmt.Errorf("store: bad result delete: %v", err)
+			return corruptErr(fmt.Errorf("store: bad result delete: %v", err))
 		}
 		// Replay only updates the mirror — spill files reflect the
 		// *final* runtime state, so removing one here could destroy the
@@ -623,17 +641,17 @@ func (d *Disk) applyEntry(ent walEntry) error {
 	case "claim":
 		var rec ClaimRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
-			return fmt.Errorf("store: bad claim record: %v", err)
+			return corruptErr(fmt.Errorf("store: bad claim record: %v", err))
 		}
-		applyClaim(d.claims, d.jobs, rec)
+		applyClaim(d.claims, d.jobs, d.nodes, rec)
 	case "node":
 		var rec NodeRecord
 		if err := json.Unmarshal(ent.Data, &rec); err != nil {
-			return fmt.Errorf("store: bad node record: %v", err)
+			return corruptErr(fmt.Errorf("store: bad node record: %v", err))
 		}
 		d.nodes[rec.ID] = rec
 	default:
-		return fmt.Errorf("store: unknown record type %q", ent.Type)
+		return corruptErr(fmt.Errorf("store: unknown record type %q", ent.Type))
 	}
 	return nil
 }
@@ -709,12 +727,15 @@ func (d *Disk) PutResult(key string, data []byte) error {
 			return err
 		}
 		if hadSpill {
-			os.Remove(d.resultPath(key)) // a re-put that shrank below the threshold
+			// A re-put that shrank below the threshold. Best-effort: a
+			// surviving file is an unreferenced orphan the next
+			// exclusive Open sweeps.
+			_ = d.fs.Remove(d.resultPath(key))
 		}
 		return d.settle()
 	}
-	if err := writeFileAtomic(d.resultPath(key), data, d.opts.Fsync); err != nil {
-		return fmt.Errorf("store: spilling result: %w", err)
+	if err := writeFileAtomic(d.fs, d.resultPath(key), data, d.opts.Fsync); err != nil {
+		return fmt.Errorf("store: spilling result: %w", classify(err))
 	}
 	if err := d.appendData("result", resultPayload{Key: key}); err != nil {
 		return err
@@ -733,7 +754,9 @@ func (d *Disk) DeleteResult(key string) error {
 		return err
 	}
 	if hadSpill {
-		os.Remove(d.resultPath(key))
+		// Best-effort: the delete record is what counts; an orphaned
+		// body is swept at the next exclusive Open.
+		_ = d.fs.Remove(d.resultPath(key))
 	}
 	return d.settle()
 }
@@ -749,12 +772,12 @@ func (d *Disk) Result(key string) ([]byte, bool, error) {
 	if body != nil {
 		return append([]byte(nil), body...), true, nil
 	}
-	data, err := os.ReadFile(d.resultPath(key))
+	data, err := d.fs.ReadFile(d.resultPath(key))
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("store: %w", err)
+		return nil, false, fmt.Errorf("store: %w", classify(err))
 	}
 	return data, true, nil
 }
@@ -918,7 +941,7 @@ func (d *Disk) Stats() Stats {
 			segs++
 		}
 	}
-	if fi, err := os.Stat(filepath.Join(d.opts.Dir, legacyWAL)); err == nil {
+	if fi, err := d.fs.Stat(filepath.Join(d.opts.Dir, legacyWAL)); err == nil {
 		walBytes += fi.Size()
 	}
 	st.Epoch = d.foldGen
@@ -944,22 +967,23 @@ func (d *Disk) Close() error {
 		}
 	}
 	d.closed = true
-	for _, f := range []*os.File{d.seg, d.man} {
+	for _, f := range []File{d.seg, d.man} {
 		if f == nil {
 			continue
 		}
 		if serr := f.Sync(); err == nil {
-			err = serr
+			err = classify(serr)
 		}
 		if cerr := f.Close(); err == nil {
-			err = cerr
+			err = classify(cerr)
 		}
 	}
 	d.seg, d.man = nil, nil
 	d.dropFoldReader()
 	for _, cur := range d.segCurs {
 		if cur.f != nil {
-			cur.f.Close()
+			// Read-only cursors: close failure loses nothing.
+			_ = cur.f.Close()
 			cur.f = nil
 			cur.br = nil
 		}
@@ -977,36 +1001,48 @@ func (d *Disk) Close() error {
 // pid alone would make them fight over the same tmp name).
 var tmpSeq atomic.Int64
 
-func writeFileAtomic(path string, data []byte, sync bool) error {
+func writeFileAtomic(fsys FS, path string, data []byte, sync bool) error {
+	// Failed tmp files are removed best-effort: they were never
+	// acknowledged, and a survivor is cleaned by dropTempFiles.
 	tmp := fmt.Sprintf("%s.%d.%d.tmp", path, os.Getpid(), tmpSeq.Add(1))
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
-		return err
+		return classify(err)
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return classify(err)
 	}
 	if sync {
 		if err := f.Sync(); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
+			_ = f.Close()
+			_ = fsys.Remove(tmp)
+			return classify(err)
 		}
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+		_ = fsys.Remove(tmp)
+		return classify(err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return classify(err)
 	}
 	if sync {
-		if dir, err := os.Open(filepath.Dir(path)); err == nil {
-			dir.Sync()
-			dir.Close()
+		// The rename is durable only once the directory is synced; a
+		// sync failure must surface, not be swallowed — callers treat
+		// the whole write as failed and retry it.
+		dir, err := fsys.Open(filepath.Dir(path))
+		if err != nil {
+			return classify(err)
+		}
+		if err := dir.Sync(); err != nil {
+			_ = dir.Close()
+			return classify(err)
+		}
+		if err := dir.Close(); err != nil {
+			return classify(err)
 		}
 	}
 	return nil

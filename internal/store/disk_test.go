@@ -23,7 +23,7 @@ func (d *Disk) crash() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.closed = true
-	for _, f := range []*os.File{d.seg, d.man} {
+	for _, f := range []File{d.seg, d.man} {
 		if f != nil {
 			f.Close()
 		}

@@ -1,0 +1,304 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// applyErr is apply without the Fatal: it returns the operation's error
+// so fault tests can assert on failures instead of dying on them.
+func applyErr(s Store, o op) error {
+	switch o.kind {
+	case 0:
+		return s.PutJob(o.job)
+	case 1:
+		return s.DeleteJob(o.key)
+	case 2:
+		return s.PutSweep(o.sweep)
+	case 3:
+		return s.DeleteSweep(o.key)
+	case 4:
+		return s.AppendEvent(o.event)
+	case 5:
+		return s.PutResult(o.key, o.body)
+	case 6:
+		return s.DeleteResult(o.key)
+	case 7:
+		_, err := s.ClaimJob(o.key, o.node, o.ttl)
+		return err
+	case 8:
+		return s.ReleaseJob(o.key, o.node)
+	}
+	return nil
+}
+
+// TestFaultTypedErrors pins the failure taxonomy: ENOSPC surfaces as
+// ErrDiskFull and transient, EIO as transient-but-not-disk-full, and a
+// corrupt snapshot as ErrCorrupt and permanent.
+func TestFaultTypedErrors(t *testing.T) {
+	t.Run("enospc", func(t *testing.T) {
+		ffs := NewFaultFS(nil)
+		d, err := Open(Options{Dir: t.TempDir(), FS: ffs, CompactBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		ffs.Inject(FaultRule{Op: OpWrite}) // default Err is ENOSPC
+		err = d.PutJob(randJob(rand.New(rand.NewSource(1)), 1, "queued"))
+		if !errors.Is(err, ErrDiskFull) {
+			t.Fatalf("want ErrDiskFull, got %v", err)
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("cause lost from chain: %v", err)
+		}
+		if !IsTransient(err) || IsPermanent(err) {
+			t.Fatalf("disk full must classify transient: %v", err)
+		}
+	})
+
+	t.Run("eio", func(t *testing.T) {
+		ffs := NewFaultFS(nil)
+		d, err := Open(Options{Dir: t.TempDir(), FS: ffs, Fsync: true, CompactBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		ffs.Inject(FaultRule{Op: OpSync, Err: syscall.EIO})
+		err = d.PutJob(randJob(rand.New(rand.NewSource(2)), 1, "queued"))
+		if err == nil {
+			t.Fatal("want fsync failure to surface")
+		}
+		if errors.Is(err, ErrDiskFull) || !errors.Is(err, syscall.EIO) {
+			t.Fatalf("EIO misclassified: %v", err)
+		}
+		if !IsTransient(err) {
+			t.Fatalf("EIO must classify transient: %v", err)
+		}
+	})
+
+	t.Run("corrupt snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		d, err := Open(Options{Dir: dir, CompactBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustDo(t, d.PutJob(randJob(rand.New(rand.NewSource(3)), 1, "queued")), d.Compact(), d.Close())
+		if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte("{garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Open(Options{Dir: dir})
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt opening a damaged snapshot, got %v", err)
+		}
+		if !IsPermanent(err) || IsTransient(err) {
+			t.Fatalf("corruption must classify permanent: %v", err)
+		}
+	})
+}
+
+// TestFaultShortWriteGlueRecovery injects a fail-after-N-bytes write on
+// the manifest — a torn mark — and checks three things: the append
+// reports a typed error, a retry on the *same live handle* lands intact
+// (the reader resyncs past the torn bytes glued to the next frame), and
+// a crash+reopen replays exactly the acknowledged records.
+func TestFaultShortWriteGlueRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	d, err := Open(Options{Dir: dir, FS: ffs, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job1, job2 := randJob(rng, 1, "queued"), randJob(rng, 2, "queued")
+	mustDo(t, d.PutJob(job1))
+
+	// Let 5 bytes of the next manifest write through, then ENOSPC: the
+	// mark is torn mid-frame, so job2 is not acknowledged.
+	ffs.Inject(FaultRule{Op: OpWrite, Path: "manifest", Bytes: 5, Once: true})
+	if err := d.PutJob(job2); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("torn mark must surface as ErrDiskFull, got %v", err)
+	}
+	ffs.Clear()
+
+	// Retry on the live handle: the new mark glues onto the torn bytes;
+	// checksum resync must still recover it.
+	mustDo(t, d.PutJob(job2))
+	st, err := d.Load()
+	mustDo(t, err)
+	if len(st.Jobs) != 2 {
+		t.Fatalf("after retry want 2 jobs, got %d", len(st.Jobs))
+	}
+
+	// Crash and replay: both acknowledged records survive, nothing else.
+	d.crash()
+	d2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	st2, err := d2.Load()
+	mustDo(t, err)
+	if !statesEqual(st, st2) {
+		t.Fatalf("replay diverged:\nlive   %s\nreplay %s", dumpState(st), dumpState(st2))
+	}
+	if d2.Stats().SkippedFrames == 0 {
+		t.Fatal("expected the torn mark to be counted in SkippedFrames")
+	}
+}
+
+// TestFaultRecoveryConvergence is the degraded-mode durability property:
+// a random operation stream hits a sticky mid-stream write outage; every
+// op that errored is replayed, in order, once the fault clears — exactly
+// the service's parked-record protocol — and the final state must match
+// a memory oracle that saw each op at the position it finally succeeded.
+// Then a crash+reopen must reproduce that state byte for byte.
+func TestFaultRecoveryConvergence(t *testing.T) {
+	seeds := []int64{11, 12, 13, 14, 15, 16}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			ops := genOps(rng, 80)
+			ffs := NewFaultFS(nil)
+			dir := t.TempDir()
+			d, err := Open(Options{Dir: dir, FS: ffs, CompactBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := NewMemory()
+
+			// A sticky outage starting at a random op. Only write-path
+			// faults: a failed write is guaranteed unacknowledged (its
+			// mark never landed), so replaying it cannot double-apply.
+			faultAt := rng.Intn(len(ops) - 1)
+			rule := FaultRule{Op: OpWrite}
+			if rng.Intn(2) == 0 {
+				rule.Bytes = int64(rng.Intn(64)) // torn first failure
+			}
+			var failed []op
+			for i, o := range ops {
+				if i == faultAt {
+					ffs.Inject(rule)
+				}
+				if err := applyErr(d, o); err != nil {
+					if IsPermanent(err) {
+						t.Fatalf("op %d: injected fault classified permanent: %v", i, err)
+					}
+					failed = append(failed, o)
+					continue
+				}
+				apply(t, oracle, o, false)
+			}
+			if faultAt >= 0 && len(failed) == 0 {
+				t.Fatalf("outage from op %d injected no failures", faultAt)
+			}
+
+			// The disk recovers; replay the parked ops in park order.
+			ffs.Clear()
+			for _, o := range failed {
+				if err := applyErr(d, o); err != nil {
+					t.Fatalf("replay after recovery failed: %v", err)
+				}
+				apply(t, oracle, o, false)
+			}
+
+			checkConverged(t, d, oracle)
+
+			// A crash after convergence must replay to the same state.
+			d.crash()
+			d2, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d2.Close()
+			checkConverged(t, d2, oracle)
+		})
+	}
+}
+
+// checkConverged asserts d and the oracle agree on jobs, sweeps, events,
+// result bodies, and lease holders.
+func checkConverged(t *testing.T, d Store, oracle *Memory) {
+	t.Helper()
+	sd, err1 := d.Load()
+	so, err2 := oracle.Load()
+	mustDo(t, err1, err2)
+	if !statesEqual(sd, so) {
+		t.Fatalf("state diverged from oracle:\ndisk   %s\noracle %s", dumpState(sd), dumpState(so))
+	}
+	cd, err1 := d.Claims()
+	co, err2 := oracle.Claims()
+	mustDo(t, err1, err2)
+	if !reflect.DeepEqual(claimHolders(cd), claimHolders(co)) {
+		t.Fatalf("lease holders diverged:\ndisk   %v\noracle %v", claimHolders(cd), claimHolders(co))
+	}
+	for _, key := range so.ResultKeys {
+		bd, okd, err1 := d.Result(key)
+		bo, oko, err2 := oracle.Result(key)
+		mustDo(t, err1, err2)
+		if !okd || !oko || string(bd) != string(bo) {
+			t.Fatalf("result %q diverged after recovery", key)
+		}
+	}
+}
+
+// TestClaimDegradedHolderStolen pins the proactive-steal rule both store
+// implementations share (applyClaim): an unexpired lease blocks a
+// foreign claim while its holder is healthy, and stops blocking the
+// moment the holder's heartbeat says Degraded.
+func TestClaimDegradedHolderStolen(t *testing.T) {
+	stores := map[string]func(t *testing.T) Store{
+		"memory": func(t *testing.T) Store { return NewMemory() },
+		"disk": func(t *testing.T) Store {
+			d, err := Open(Options{Dir: t.TempDir(), NodeID: "n1", CompactBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+	}
+	for name, open := range stores {
+		t.Run(name, func(t *testing.T) {
+			s := open(t)
+			rec := randJob(rand.New(rand.NewSource(21)), 1, "queued")
+			mustDo(t, s.PutJob(rec))
+			now := time.Now()
+			mustDo(t, s.Heartbeat(NodeRecord{ID: "n1", Time: now}))
+			won, err := s.ClaimJob(rec.ID, "n1", time.Hour)
+			mustDo(t, err)
+			if !won {
+				t.Fatal("n1 must win the fresh claim")
+			}
+			won, err = s.ClaimJob(rec.ID, "n2", time.Hour)
+			mustDo(t, err)
+			if won {
+				t.Fatal("n2 must not steal from a healthy unexpired holder")
+			}
+			// n1's store starts failing: its heartbeat turns Degraded.
+			mustDo(t, s.Heartbeat(NodeRecord{ID: "n1", Time: now.Add(time.Second), Degraded: true}))
+			won, err = s.ClaimJob(rec.ID, "n2", time.Hour)
+			mustDo(t, err)
+			if !won {
+				t.Fatal("n2 must steal a degraded holder's lease before expiry")
+			}
+			// And the stolen lease is again fenced: n1, still degraded,
+			// cannot win it back.
+			won, err = s.ClaimJob(rec.ID, "n1", time.Hour)
+			mustDo(t, err)
+			if won {
+				t.Fatal("a healthy holder's lease must fence the degraded ex-holder")
+			}
+		})
+	}
+}

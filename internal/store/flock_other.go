@@ -2,13 +2,15 @@
 
 package store
 
-import "os"
+// Non-unix builds have no flock(2), so the locks degrade to no-ops.
+// That is sound only for a single-process store: the seal protocol's
+// sentinel guarantee ("no append in flight") would be silently void
+// with multiple processes. Open therefore *refuses* shared mode
+// (Options.NodeID) on these platforms via flockSupported, rather than
+// letting a cluster run on locks that do not lock.
 
-// Non-unix builds have no flock(2). The locks degrade to no-ops: a
-// single-process store (the only supported deployment there) never
-// contends with itself, and multi-process shared directories are a
-// unix-only feature.
+const flockSupported = false
 
-func flockShared(f *os.File) error    { return nil }
-func flockExclusive(f *os.File) error { return nil }
-func funlock(f *os.File) error        { return nil }
+func flockShared(f File) error    { return nil }
+func flockExclusive(f File) error { return nil }
+func funlock(f File) error        { return nil }

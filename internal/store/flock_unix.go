@@ -3,7 +3,6 @@
 package store
 
 import (
-	"os"
 	"syscall"
 )
 
@@ -16,18 +15,24 @@ import (
 // a SIGKILLed holder releases automatically), and is supported on every
 // unix the module targets.
 
+// flockSupported gates shared (multi-process) mode: Open refuses NodeID
+// on platforms where the seal protocol has no lock to stand on.
+const flockSupported = true
+
 // flockShared blocks until a shared (reader-style) lock is held on f.
-func flockShared(f *os.File) error {
+func flockShared(f File) error {
 	return syscall.Flock(int(f.Fd()), syscall.LOCK_SH)
 }
 
 // flockExclusive blocks until an exclusive lock is held on f, i.e.
 // until every concurrent shared holder has finished its append.
-func flockExclusive(f *os.File) error {
+func flockExclusive(f File) error {
 	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
 }
 
-// funlock releases the lock held on f.
-func funlock(f *os.File) error {
+// funlock releases the lock held on f. An error is unobservable
+// damage-wise — the advisory lock dies with the file description
+// regardless — so callers ignore it explicitly.
+func funlock(f File) error {
 	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
 }

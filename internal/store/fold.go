@@ -28,7 +28,8 @@ func (d *Disk) strictFold() bool {
 
 func (d *Disk) dropFoldReader() {
 	if d.foldF != nil {
-		d.foldF.Close()
+		// Read-only handle: close failure loses nothing.
+		_ = d.foldF.Close()
 		d.foldF = nil
 		d.foldBR = nil
 	}
@@ -41,7 +42,8 @@ func (d *Disk) dropGenCursors(gen int64) {
 	for name, cur := range d.segCurs {
 		if wf, ok := parseWALFile(name); ok && wf.gen <= gen {
 			if cur.f != nil {
-				cur.f.Close()
+				// Read-only cursor handles.
+				_ = cur.f.Close()
 			}
 			delete(d.segCurs, name)
 		}
@@ -79,7 +81,7 @@ func (d *Disk) foldGenPass() (bool, error) {
 	tailRetried := false
 	for {
 		if d.foldF == nil {
-			f, err := os.Open(d.manifestPath(d.foldGen))
+			f, err := d.fs.Open(d.manifestPath(d.foldGen))
 			if os.IsNotExist(err) {
 				if d.genAheadExists(d.foldGen) {
 					// Our generation was GC'd under us: this handle
@@ -90,12 +92,12 @@ func (d *Disk) foldGenPass() (bool, error) {
 				return false, nil // not yet created: the frontier
 			}
 			if err != nil {
-				return false, fmt.Errorf("store: %w", err)
+				return false, fmt.Errorf("store: %w", classify(err))
 			}
 			if d.foldOff > 0 {
 				if _, err := f.Seek(d.foldOff, io.SeekStart); err != nil {
-					f.Close()
-					return false, fmt.Errorf("store: %w", err)
+					_ = f.Close()
+					return false, fmt.Errorf("store: %w", classify(err))
 				}
 			}
 			d.foldF = f
@@ -137,8 +139,8 @@ func (d *Disk) foldGenPass() (bool, error) {
 				return true, nil
 			}
 			if d.strictFold() {
-				if err := os.Truncate(d.manifestPath(d.foldGen), d.foldOff); err != nil {
-					return false, fmt.Errorf("store: truncating torn tail: %w", err)
+				if err := d.fs.Truncate(d.manifestPath(d.foldGen), d.foldOff); err != nil {
+					return false, fmt.Errorf("store: truncating torn tail: %w", classify(err))
 				}
 				d.stats.TruncatedTail = true
 				return false, nil
@@ -171,11 +173,11 @@ func (d *Disk) foldGenPass() (bool, error) {
 					}
 				}
 				if damaged {
-					return false, fmt.Errorf("store: corrupt record mid-manifest at byte %d of generation %d (intact records follow — refusing to drop acknowledged state)", d.foldOff, d.foldGen)
+					return false, corruptErr(fmt.Errorf("store: corrupt record mid-manifest at byte %d of generation %d (intact records follow — refusing to drop acknowledged state)", d.foldOff, d.foldGen))
 				}
 				d.dropFoldReader()
-				if err := os.Truncate(d.manifestPath(d.foldGen), d.foldOff); err != nil {
-					return false, fmt.Errorf("store: truncating torn tail: %w", err)
+				if err := d.fs.Truncate(d.manifestPath(d.foldGen), d.foldOff); err != nil {
+					return false, fmt.Errorf("store: truncating torn tail: %w", classify(err))
 				}
 				d.stats.TruncatedTail = true
 				return false, nil
@@ -231,7 +233,8 @@ func (d *Disk) applyManifestEntry(ent walEntry) error {
 // foldSegmentLocked consumes node's segment of generation gen up
 // through the record with LSN upTo. The mark being in the manifest
 // means the record's write completed first (the writer orders them),
-// so anything unreadable below a mark is genuine damage.
+// so below a mark anything unreadable beyond a recoverable glued frame
+// (a failed append's torn bytes fused to the retry) is genuine damage.
 func (d *Disk) foldSegmentLocked(node string, gen, upTo int64) error {
 	name := segmentFile(node, gen)
 	cur := d.segCurs[name]
@@ -243,14 +246,14 @@ func (d *Disk) foldSegmentLocked(node string, gen, upTo int64) error {
 		return nil // this mark's record predates the snapshot cutoff
 	}
 	if cur.f == nil {
-		f, err := os.Open(d.segmentPath(name))
+		f, err := d.fs.Open(d.segmentPath(name))
 		if err != nil {
-			return fmt.Errorf("store: segment %s: %w", name, err)
+			return fmt.Errorf("store: segment %s: %w", name, classify(err))
 		}
 		if cur.off > 0 {
 			if _, err := f.Seek(cur.off, io.SeekStart); err != nil {
-				f.Close()
-				return fmt.Errorf("store: %w", err)
+				_ = f.Close()
+				return fmt.Errorf("store: %w", classify(err))
 			}
 		}
 		cur.f = f
@@ -263,7 +266,16 @@ func (d *Disk) foldSegmentLocked(node string, gen, upTo int64) error {
 		}
 		ent, ok := parseWALLine(line, rerr == nil)
 		if !ok {
-			return fmt.Errorf("store: corrupt record in segment %s at byte %d below acknowledged mark (lsn %d)", name, cur.off, upTo)
+			// A failed append (ENOSPC, short write) leaves torn bytes the
+			// writer's retry then glues its next frame onto — the same
+			// shape a dead shared-mode peer leaves in the manifest.
+			// Recover the intact frame before judging the segment corrupt.
+			if gent, gok := recoverGluedFrame(line, rerr == nil); gok {
+				d.stats.SkippedFrames++
+				ent = gent
+			} else {
+				return corruptErr(fmt.Errorf("store: corrupt record in segment %s at byte %d below acknowledged mark (lsn %d)", name, cur.off, upTo))
+			}
 		}
 		cur.off += int64(len(line))
 		if ent.LSN > cur.lsn {
@@ -303,7 +315,8 @@ func (d *Disk) reloadLocked() error {
 	d.dropFoldReader()
 	for _, cur := range d.segCurs {
 		if cur.f != nil {
-			cur.f.Close()
+			// Read-only cursor handles.
+			_ = cur.f.Close()
 		}
 	}
 	d.segCurs = make(map[string]*segCursor)
@@ -350,7 +363,7 @@ func (d *Disk) reloadLocked() error {
 // (folds stop at the last mark) and removed with their generation.
 func (d *Disk) truncateOwnTailLocked() error {
 	name := segmentFile(d.opts.NodeID, d.foldGen)
-	fi, err := os.Stat(d.segmentPath(name))
+	fi, err := d.fs.Stat(d.segmentPath(name))
 	if err != nil {
 		return nil
 	}
@@ -362,11 +375,12 @@ func (d *Disk) truncateOwnTailLocked() error {
 	if fi.Size() <= off {
 		return nil
 	}
-	if err := os.Truncate(d.segmentPath(name), off); err != nil {
-		return fmt.Errorf("store: truncating segment tail: %w", err)
+	if err := d.fs.Truncate(d.segmentPath(name), off); err != nil {
+		return fmt.Errorf("store: truncating segment tail: %w", classify(err))
 	}
 	if cur != nil && cur.f != nil {
-		cur.f.Close()
+		// Read-only cursor handle.
+		_ = cur.f.Close()
 		cur.f = nil
 		cur.br = nil
 	}

@@ -199,7 +199,7 @@ func (m *Memory) claim(jobID, nodeID string, ttl time.Duration) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := time.Now()
-	won := applyClaim(m.claims, m.jobs, ClaimRecord{
+	won := applyClaim(m.claims, m.jobs, m.nodes, ClaimRecord{
 		JobID: jobID, Node: nodeID, Time: now, Expires: now.Add(ttl),
 	})
 	m.written++
@@ -210,7 +210,7 @@ func (m *Memory) claim(jobID, nodeID string, ttl time.Duration) (bool, error) {
 func (m *Memory) ReleaseJob(jobID, nodeID string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	applyClaim(m.claims, m.jobs, ClaimRecord{JobID: jobID, Node: nodeID, Time: time.Now(), Released: true})
+	applyClaim(m.claims, m.jobs, m.nodes, ClaimRecord{JobID: jobID, Node: nodeID, Time: time.Now(), Released: true})
 	m.written++
 	return nil
 }

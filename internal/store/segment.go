@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -95,7 +94,7 @@ func (d *Disk) segmentPath(name string) string {
 // Observing it guarantees no append to gen is in flight (the sealer
 // created it under an exclusive flock on the generation file).
 func (d *Disk) sealedGen(gen int64) bool {
-	_, err := os.Stat(d.sealedPath(gen))
+	_, err := d.fs.Stat(d.sealedPath(gen))
 	return err == nil
 }
 
@@ -134,9 +133,12 @@ func parseWALFile(name string) (walFile, bool) {
 	return wf, true
 }
 
-// scanWALDir lists the parsed contents of wal/.
+// scanWALDir lists the parsed contents of wal/. A read failure yields
+// an empty listing — callers treat that like a missing directory (no
+// generations visible), which only ever defers work (GC, roll-forward)
+// to a later scan; it never fabricates state.
 func (d *Disk) scanWALDir() []walFile {
-	entries, err := os.ReadDir(d.walDir())
+	entries, err := d.fs.ReadDir(d.walDir())
 	if err != nil {
 		return nil
 	}

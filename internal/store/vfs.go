@@ -1,0 +1,457 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// This file is the store's filesystem seam. Every byte the Disk store
+// reads or writes goes through an FS, so tests (and the chaos e2e
+// harness) can inject the failures real deployments hit — ENOSPC, EIO,
+// short writes, failing fsyncs — at exact points in an append, seal, or
+// snapshot, and every caller gets a *typed* error it can classify
+// instead of an opaque one.
+//
+// Failure taxonomy (see DESIGN.md §13):
+//
+//   - ErrDiskFull: out of space (ENOSPC/EDQUOT). Transient — the write
+//     may succeed once space is freed, so the service parks the record
+//     and probes.
+//   - ErrCorrupt: acknowledged on-disk state is damaged (checksum or
+//     decode failure below a durable mark, corrupt snapshot). Permanent
+//     — no retry can repair it; the store refuses rather than silently
+//     dropping state.
+//   - anything else (EIO, transport-level close/sync failures): treated
+//     as transient. A flaky volume may recover; the degradation probe
+//     keeps retrying until it does.
+
+// Typed error classes every append/seal/snapshot path reports.
+var (
+	// ErrDiskFull classifies an out-of-space failure (ENOSPC, EDQUOT).
+	ErrDiskFull = errors.New("store: disk full")
+	// ErrCorrupt classifies damage to acknowledged durable state.
+	ErrCorrupt = errors.New("store: corrupt state")
+)
+
+// classifiedError attaches a class sentinel to an underlying error while
+// keeping the original chain intact: errors.Is matches both the class
+// (ErrDiskFull / ErrCorrupt) and the wrapped cause (e.g. syscall.ENOSPC).
+type classifiedError struct {
+	class error
+	err   error
+}
+
+func (e *classifiedError) Error() string   { return e.class.Error() + ": " + e.err.Error() }
+func (e *classifiedError) Is(t error) bool { return t == e.class }
+func (e *classifiedError) Unwrap() error   { return e.err }
+
+// classify wraps err with the typed class its cause belongs to. Errors
+// that already carry a class, and errors with no known class, pass
+// through unchanged (unclassified errors are treated as transient).
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrDiskFull) || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT) {
+		return &classifiedError{class: ErrDiskFull, err: err}
+	}
+	return err
+}
+
+// corruptErr marks err as permanent on-disk damage.
+func corruptErr(err error) error {
+	return &classifiedError{class: ErrCorrupt, err: err}
+}
+
+// IsPermanent reports whether err denotes unrecoverable damage (retrying
+// the operation cannot succeed). Everything else — disk full, I/O errors,
+// injected faults — is worth re-probing once conditions change.
+func IsPermanent(err error) bool {
+	return errors.Is(err, ErrCorrupt)
+}
+
+// IsTransient reports whether err is a failure that may clear on its own
+// (space freed, volume recovered): any store error that is not permanent.
+func IsTransient(err error) bool {
+	return err != nil && !IsPermanent(err)
+}
+
+// File is the store's view of one open file. *os.File implements it;
+// FaultFS wraps it to inject write/sync failures. Fd is exposed for the
+// flock(2)-based seal protocol (flock_unix.go).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	WriteString(s string) (int, error)
+	Sync() error
+	Name() string
+	Fd() uintptr
+}
+
+// FS is the set of filesystem operations the Disk store performs. The
+// default implementation (OSFS) delegates to package os; FaultFS
+// decorates any FS with per-operation error schedules.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OSFS) Open(name string) (File, error)               { return os.Open(name) }
+func (OSFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (OSFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (OSFS) Remove(name string) error                     { return os.Remove(name) }
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Op names one class of filesystem operation for fault scheduling.
+type Op string
+
+const (
+	OpOpen     Op = "open"     // OpenFile with write intent
+	OpWrite    Op = "write"    // File.Write / File.WriteString
+	OpSync     Op = "sync"     // File.Sync
+	OpRename   Op = "rename"   // FS.Rename (snapshot commit)
+	OpRemove   Op = "remove"   // FS.Remove (GC, spill cleanup)
+	OpTruncate Op = "truncate" // FS.Truncate (torn-tail repair)
+)
+
+// FaultRule schedules one injected failure.
+type FaultRule struct {
+	// Op selects the operation class the rule applies to.
+	Op Op
+	// Path, when non-empty, restricts the rule to paths containing it
+	// as a substring (e.g. "manifest", "snapshot", a node's segment).
+	Path string
+	// Skip lets this many matching calls succeed before the rule fires.
+	Skip int
+	// Bytes applies to OpWrite only: the total bytes allowed through
+	// matching writes after Skip, so a frame can be torn mid-write (the
+	// fail-after-N-bytes / short-write schedule). Zero fails the whole
+	// write.
+	Bytes int64
+	// Err is the injected error; nil injects syscall.ENOSPC (which the
+	// store classifies as ErrDiskFull).
+	Err error
+	// Once disarms the rule after it fires once. The default is sticky:
+	// the rule keeps failing every matching call, like a disk that
+	// stays full, until Clear.
+	Once bool
+}
+
+type faultRule struct {
+	FaultRule
+	skipLeft  int
+	bytesLeft int64
+	spent     bool
+}
+
+// FaultFS decorates an FS with injectable per-operation error schedules:
+// the errorfs-style seam the store's robustness tests (and the chaos
+// e2e harness, via NewFlagFaultFS) drive.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []*faultRule
+	injected int64
+}
+
+// NewFaultFS wraps inner (nil means the real filesystem).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner}
+}
+
+// Inject arms one fault rule. Rules are consulted in injection order;
+// the first armed match decides.
+func (f *FaultFS) Inject(r FaultRule) {
+	if r.Err == nil {
+		r.Err = syscall.ENOSPC
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &faultRule{FaultRule: r, skipLeft: r.Skip, bytesLeft: r.Bytes})
+}
+
+// Clear disarms every rule — the injected "disk" recovers.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Injected reports how many faults have fired.
+func (f *FaultFS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// match finds the first armed rule for (op, path).
+func (f *FaultFS) match(op Op, path string) *faultRule {
+	for _, r := range f.rules {
+		if r.spent || r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+// check gates one non-write operation.
+func (f *FaultFS) check(op Op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.match(op, path)
+	if r == nil {
+		return nil
+	}
+	if r.skipLeft > 0 {
+		r.skipLeft--
+		return nil
+	}
+	f.injected++
+	if r.Once {
+		r.spent = true
+	}
+	return r.Err
+}
+
+// checkWrite gates one write of n bytes: it returns how many bytes may
+// pass through (short writes) and the error to report if fewer than n.
+func (f *FaultFS) checkWrite(path string, n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.match(OpWrite, path)
+	if r == nil {
+		return n, nil
+	}
+	if r.skipLeft > 0 {
+		r.skipLeft--
+		return n, nil
+	}
+	if r.bytesLeft >= int64(n) {
+		r.bytesLeft -= int64(n)
+		return n, nil
+	}
+	allowed := int(r.bytesLeft)
+	r.bytesLeft = 0
+	f.injected++
+	if r.Once {
+		r.spent = true
+	}
+	return allowed, r.Err
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_APPEND|os.O_TRUNC) != 0 {
+		if err := f.check(OpOpen, name); err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error)       { return f.inner.ReadFile(name) }
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+func (f *FaultFS) Stat(name string) (os.FileInfo, error)      { return f.inner.Stat(name) }
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(OpRemove, name); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.check(OpRename, newpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.check(OpTruncate, name); err != nil {
+		return &fs.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+// faultFile routes writes and syncs through the schedule. Reads, seeks,
+// closes, and Fd (the flock handle) pass through.
+type faultFile struct {
+	File
+	fs   *FaultFS
+	path string
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allowed, ferr := f.fs.checkWrite(f.path, len(p))
+	var n int
+	var err error
+	if allowed > 0 {
+		n, err = f.File.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+	}
+	if ferr != nil {
+		return n, &fs.PathError{Op: "write", Path: f.path, Err: ferr}
+	}
+	return n, nil
+}
+
+func (f *faultFile) WriteString(s string) (int, error) {
+	return f.Write([]byte(s))
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.check(OpSync, f.path); err != nil {
+		return &fs.PathError{Op: "sync", Path: f.path, Err: err}
+	}
+	return f.File.Sync()
+}
+
+// NewFlagFaultFS is the chaos-test hook (seqbistd -fault-enospc-flag):
+// an FS over the real filesystem that fails every *mutating* operation
+// with ENOSPC while flagPath exists, and behaves normally once it is
+// removed. An external harness "fills" one daemon's disk by touching
+// the flag file and "frees space" by deleting it, without affecting the
+// peers sharing the same data directory. Reads always pass through, so
+// a degraded node keeps folding its peers' appends.
+func NewFlagFaultFS(flagPath string) FS {
+	return &flagFS{inner: OSFS{}, flag: flagPath}
+}
+
+type flagFS struct {
+	inner FS
+	flag  string
+}
+
+func (f *flagFS) full() error {
+	if _, err := os.Stat(f.flag); err == nil {
+		return syscall.ENOSPC
+	}
+	return nil
+}
+
+func (f *flagFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_APPEND|os.O_TRUNC) != 0 {
+		if err := f.full(); err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &flagFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *flagFS) Open(name string) (File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &flagFile{File: file, fs: f, path: name}, nil
+}
+
+func (f *flagFS) ReadFile(name string) ([]byte, error)       { return f.inner.ReadFile(name) }
+func (f *flagFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+func (f *flagFS) Stat(name string) (os.FileInfo, error)      { return f.inner.Stat(name) }
+
+func (f *flagFS) Remove(name string) error {
+	if err := f.full(); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *flagFS) Rename(oldpath, newpath string) error {
+	if err := f.full(); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *flagFS) Truncate(name string, size int64) error {
+	if err := f.full(); err != nil {
+		return &fs.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *flagFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.full(); err != nil {
+		return &fs.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+type flagFile struct {
+	File
+	fs   *flagFS
+	path string
+}
+
+func (f *flagFile) Write(p []byte) (int, error) {
+	if err := f.fs.full(); err != nil {
+		return 0, &fs.PathError{Op: "write", Path: f.path, Err: err}
+	}
+	return f.File.Write(p)
+}
+
+func (f *flagFile) WriteString(s string) (int, error) { return f.Write([]byte(s)) }
+
+func (f *flagFile) Sync() error {
+	if err := f.fs.full(); err != nil {
+		return &fs.PathError{Op: "sync", Path: f.path, Err: err}
+	}
+	return f.File.Sync()
+}

@@ -36,16 +36,19 @@ func frameEntry(ent walEntry) (string, error) {
 // missing while later generations exist, this handle slept through a
 // GC and must resync instead (ok=false).
 func (d *Disk) rollManifestLocked(gen int64) (bool, error) {
-	if _, err := os.Stat(d.manifestPath(gen)); os.IsNotExist(err) && d.genAheadExists(gen) {
+	if _, err := d.fs.Stat(d.manifestPath(gen)); os.IsNotExist(err) && d.genAheadExists(gen) {
 		return false, nil
 	}
 	if d.man != nil {
-		d.man.Close()
+		// The handle is being replaced; its appends were already synced
+		// (or intentionally not, -fsync=false), so the close result
+		// carries no information.
+		_ = d.man.Close()
 		d.man = nil
 	}
-	f, err := os.OpenFile(d.manifestPath(gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := d.fs.OpenFile(d.manifestPath(gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return false, fmt.Errorf("store: %w", err)
+		return false, fmt.Errorf("store: %w", classify(err))
 	}
 	d.man = f
 	d.manGen = gen
@@ -56,7 +59,7 @@ func (d *Disk) rollManifestLocked(gen int64) (bool, error) {
 // current (unsealed) generation's manifest, rolling forward past
 // sealed generations and resyncing if the handle's generation was
 // GC'd under it. fn receives the locked manifest and its generation.
-func (d *Disk) withManifestLocked(fn func(man *os.File, gen int64) error) error {
+func (d *Disk) withManifestLocked(fn func(man File, gen int64) error) error {
 	for {
 		if d.man == nil || d.manGen < d.foldGen {
 			ok, err := d.rollManifestLocked(d.foldGen)
@@ -71,25 +74,25 @@ func (d *Disk) withManifestLocked(fn func(man *os.File, gen int64) error) error 
 			}
 		}
 		if err := flockShared(d.man); err != nil {
-			return fmt.Errorf("store: manifest lock: %w", err)
+			return fmt.Errorf("store: manifest lock: %w", classify(err))
 		}
 		// Re-check under the lock: the generation may have been sealed
 		// (roll forward) or even GC'd — its path unlinked — while this
 		// handle was away (resync; appending to an unlinked file would
 		// silently lose the write).
-		if _, err := os.Stat(d.manifestPath(d.manGen)); err != nil {
-			funlock(d.man)
+		if _, err := d.fs.Stat(d.manifestPath(d.manGen)); err != nil {
+			_ = funlock(d.man)
 			if os.IsNotExist(err) {
 				if rerr := d.reloadLocked(); rerr != nil {
 					return rerr
 				}
 				continue
 			}
-			return fmt.Errorf("store: %w", err)
+			return fmt.Errorf("store: %w", classify(err))
 		}
 		if d.sealedGen(d.manGen) {
 			next := d.manGen + 1
-			funlock(d.man)
+			_ = funlock(d.man)
 			ok, err := d.rollManifestLocked(next)
 			if err != nil {
 				return err
@@ -102,7 +105,9 @@ func (d *Disk) withManifestLocked(fn func(man *os.File, gen int64) error) error 
 			continue
 		}
 		err := fn(d.man, d.manGen)
-		funlock(d.man)
+		// Unlock failure is unobservable damage-wise: the advisory lock
+		// dies with the file description (and the process) regardless.
+		_ = funlock(d.man)
 		return err
 	}
 }
@@ -116,15 +121,17 @@ func (d *Disk) appendData(typ string, data any) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	var written int64
-	err = d.withManifestLocked(func(man *os.File, gen int64) error {
+	err = d.withManifestLocked(func(man File, gen int64) error {
 		if d.seg == nil || d.segGen != gen {
 			if d.seg != nil {
-				d.seg.Close()
+				// Rolling to a new generation; the old segment's frames
+				// are already acknowledged or already failed.
+				_ = d.seg.Close()
 				d.seg = nil
 			}
-			f, err := os.OpenFile(d.segmentPath(segmentFile(d.opts.NodeID, gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			f, err := d.fs.OpenFile(d.segmentPath(segmentFile(d.opts.NodeID, gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
-				return fmt.Errorf("store: %w", err)
+				return fmt.Errorf("store: %w", classify(err))
 			}
 			d.seg = f
 			d.segGen = gen
@@ -138,11 +145,11 @@ func (d *Disk) appendData(typ string, data any) error {
 			return err
 		}
 		if _, err := d.seg.WriteString(dline); err != nil {
-			return fmt.Errorf("store: segment append: %w", err)
+			return fmt.Errorf("store: segment append: %w", classify(err))
 		}
 		if d.opts.Fsync {
 			if err := d.seg.Sync(); err != nil {
-				return fmt.Errorf("store: segment fsync: %w", err)
+				return fmt.Errorf("store: segment fsync: %w", classify(err))
 			}
 		}
 		// The record is on disk (and, page-cache-wise, visible) before
@@ -153,11 +160,11 @@ func (d *Disk) appendData(typ string, data any) error {
 			return err
 		}
 		if _, err := man.WriteString(mline); err != nil {
-			return fmt.Errorf("store: manifest append: %w", err)
+			return fmt.Errorf("store: manifest append: %w", classify(err))
 		}
 		if d.opts.Fsync {
 			if err := man.Sync(); err != nil {
-				return fmt.Errorf("store: manifest fsync: %w", err)
+				return fmt.Errorf("store: manifest fsync: %w", classify(err))
 			}
 		}
 		written = int64(len(dline) + len(mline))
@@ -181,18 +188,18 @@ func (d *Disk) appendControl(typ string, data any) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	var written int64
-	err = d.withManifestLocked(func(man *os.File, gen int64) error {
+	err = d.withManifestLocked(func(man File, gen int64) error {
 		lsn := d.nextLSN
 		line, err := frameEntry(walEntry{LSN: lsn, Node: d.opts.NodeID, Type: typ, Data: raw})
 		if err != nil {
 			return err
 		}
 		if _, err := man.WriteString(line); err != nil {
-			return fmt.Errorf("store: manifest append: %w", err)
+			return fmt.Errorf("store: manifest append: %w", classify(err))
 		}
 		if d.opts.Fsync {
 			if err := man.Sync(); err != nil {
-				return fmt.Errorf("store: manifest fsync: %w", err)
+				return fmt.Errorf("store: manifest fsync: %w", classify(err))
 			}
 		}
 		written = int64(len(line))

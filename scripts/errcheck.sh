@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# errcheck.sh — an errcheck-style gate for the error-discard rules this
+# repo actually cares about, with zero tool installs:
+#
+#   1. In internal/store, file/fs error returns (Close, Sync, Remove,
+#      Rename, Truncate, flock/funlock) may never be dropped implicitly:
+#      a bare statement-position call is a lint failure. Handle the
+#      error or discard it explicitly with `_ =`.
+#   2. Every explicit `_ =` discard in internal/store and internal/service
+#      non-test code must carry a justifying comment on the same line or
+#      within the three lines above it. The WAL's durability argument
+#      leans on each of these being deliberate; an uncommented discard
+#      is indistinguishable from a swallowed failure.
+#   3. `_ = json.Unmarshal(...)` / `_ = json.Marshal(...)` is banned
+#      outright in non-test code: a spec that silently fails to decode
+#      resurrects the corrupt-sweep-recovery bug (members re-submitted
+#      from a zero-valued spec). Decode errors must surface.
+#
+# CI runs this in the lint job. Usage: scripts/errcheck.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+src_files() { # dir...
+    find "$@" -name '*.go' ! -name '*_test.go' | sort
+}
+
+# --- rule 1: no implicit drops of fs/file errors in the store ---------
+implicit=$(grep -nE '^[[:space:]]*[A-Za-z_][A-Za-z0-9_.]*\.(Close|Sync|Remove|Rename|Truncate)\(|^[[:space:]]*(funlock|flockShared|flockExclusive)\(' \
+    $(src_files internal/store) /dev/null | grep -vE '(:=|=[^=]|\berr\b|\breturn\b|\bif\b|\bdefer\b)' || true)
+if [ -n "$implicit" ]; then
+    echo "errcheck: implicitly dropped error returns (handle, or discard with '_ =' and a comment):" >&2
+    echo "$implicit" >&2
+    fail=1
+fi
+
+# --- rule 2: every explicit discard is commented ----------------------
+# A discard is justified by a comment on the line itself or within the
+# three lines above. One idiom passes uncommented: cleanup immediately
+# before propagating a real error (a `return ...` within the next three
+# lines) — the failure already surfaces, the discard is just tidying.
+undocumented=$(awk '
+    function expire(  k) { # pending discards older than 3 lines: report
+        for (k in pend) if (FNR - pendAt[k] > 3 || FNR < pendAt[k]) {
+            printf "%s:%s\n", k, pend[k]
+            delete pend[k]; delete pendAt[k]
+        }
+    }
+    FNR == 1 {
+        for (k in pend) { printf "%s:%s\n", k, pend[k]; delete pend[k]; delete pendAt[k] }
+        for (i = 1; i <= 3; i++) prev[i] = ""
+    }
+    { expire() }
+    /(^|[^A-Za-z0-9_])return([^A-Za-z0-9_]|$)/ { # error propagates: pending discards were cleanup
+        for (k in pend) { delete pend[k]; delete pendAt[k] }
+    }
+    /^[[:space:]]*_(,[[:space:]]*_)* =/ && $0 !~ /\/\// {
+        doc = 0
+        for (i = 1; i <= 3; i++) if (prev[i] ~ /\/\//) doc = 1
+        if (!doc) { pend[FILENAME ":" FNR] = $0; pendAt[FILENAME ":" FNR] = FNR }
+    }
+    { prev[3] = prev[2]; prev[2] = prev[1]; prev[1] = $0 }
+    END {
+        for (k in pend) printf "%s:%s\n", k, pend[k]
+    }
+' $(src_files internal/store internal/service) /dev/null | sort)
+if [ -n "$undocumented" ]; then
+    echo "errcheck: '_ =' discards with no justifying comment nearby:" >&2
+    echo "$undocumented" >&2
+    fail=1
+fi
+
+# --- rule 3: JSON decode/encode errors must surface -------------------
+swallowed=$(grep -nE '_[[:space:]]*=[[:space:]]*json\.(Unmarshal|Marshal)' \
+    $(src_files internal cmd) /dev/null || true)
+if [ -n "$swallowed" ]; then
+    echo "errcheck: swallowed json.Marshal/Unmarshal errors (decode failures must surface):" >&2
+    echo "$swallowed" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "errcheck: OK — no implicit drops, all discards documented, no swallowed JSON errors"
