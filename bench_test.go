@@ -469,10 +469,33 @@ func BenchmarkFaultSimSharded(b *testing.B) {
 			b.ReportMetric(float64((len(fl)+63)/64), "fault_groups")
 			var det int
 			for i := 0; i < b.N; i++ {
-				det = fsim.RunParallel(c, fl, seq, workers).NumDetected
+				det = fsim.New(c, fl, fsim.Options{Workers: workers}).Run(seq).NumDetected
 			}
 			b.ReportMetric(float64(det), "detected")
 		})
+	}
+}
+
+// BenchmarkFaultSimLanes measures the multi-word fault-packing engine:
+// the same serial whole-fault-list workload at 64, 128, and 256 lanes
+// per group. Wider lanes amortize region-walk and queue overhead across
+// more faulty machines per evaluated gate; detections are bit-for-bit
+// identical at every width.
+func BenchmarkFaultSimLanes(b *testing.B) {
+	for _, name := range []string{"s1423", "s5378"} {
+		c := iscas.MustLoad(name)
+		fl := faults.CollapsedUniverse(c)
+		seq := vectors.RandomSequence(xrand.New(1), c.NumPIs(), 200)
+		for _, lanes := range []int{64, 128, 256} {
+			b.Run(name+"/"+benchName("lanes", lanes), func(b *testing.B) {
+				b.ReportAllocs()
+				var det int
+				for i := 0; i < b.N; i++ {
+					det = fsim.New(c, fl, fsim.Options{Lanes: lanes}).Run(seq).NumDetected
+				}
+				b.ReportMetric(float64(det), "detected")
+			})
+		}
 	}
 }
 
@@ -676,7 +699,7 @@ func BenchmarkFaultSimLarge(b *testing.B) {
 			b.ReportAllocs()
 			var det int
 			for i := 0; i < b.N; i++ {
-				det = fsim.RunParallel(c, fl, seq, 1).NumDetected
+				det = fsim.New(c, fl, fsim.Options{Workers: 1}).Run(seq).NumDetected
 			}
 			b.ReportMetric(float64(det), "detected")
 		})
@@ -690,8 +713,7 @@ func BenchmarkFaultSimEvaluate(b *testing.B) {
 	for _, name := range []string{"s1423", "s5378"} {
 		c := iscas.MustLoad(name)
 		fl := faults.CollapsedUniverse(c)
-		inc := fsim.NewIncremental(c, fl)
-		inc.SetParallelism(1)
+		inc := fsim.New(c, fl, fsim.Options{Workers: 1})
 		inc.Extend(vectors.RandomSequence(xrand.New(2), c.NumPIs(), 50))
 		cand := vectors.RandomSequence(xrand.New(3), c.NumPIs(), 32)
 		b.Run(name, func(b *testing.B) {

@@ -37,6 +37,7 @@ import (
 	"seqbist/internal/core"
 	"seqbist/internal/experiments"
 	"seqbist/internal/faults"
+	"seqbist/internal/fsim"
 	"seqbist/internal/iscas"
 	"seqbist/internal/netlist"
 	"seqbist/internal/service"
@@ -54,6 +55,7 @@ func main() {
 	skipCompact := flag.Bool("no-compact", false, "skip §3.2 static compaction of S")
 	verilogOut := flag.String("verilog", "", "write the on-chip BIST hardware (expander + MISR) as Verilog to this path")
 	fsimWorkers := flag.Int("fsim-workers", 0, "fault-simulation goroutines (0 = one per CPU, 1 = serial)")
+	fsimLanes := flag.Int("fsim-lanes", 0, "fault-simulation packing width: 0 = default 64, or a multiple of 64 (e.g. 128, 256); speed only, results identical")
 	serveAddr := flag.String("serve", "", "run as the synthesis daemon on this address instead of one-shot mode")
 	serveWorkers := flag.Int("workers", 4, "daemon synthesis worker-pool size (with -serve and -sweep without -server)")
 	sweepList := flag.String("sweep", "", "batch sweep: comma-separated registry names and/or .bench paths, or \"table3\"")
@@ -65,11 +67,15 @@ func main() {
 	if !strategy.Valid(*stratName) {
 		fatalf("-strategy %q: unknown (have %v)", *stratName, strategy.Names())
 	}
+	if !fsim.ValidLanes(*fsimLanes) {
+		fatalf("-fsim-lanes %d: must be 0 or a multiple of 64", *fsimLanes)
+	}
 
 	if *serveAddr != "" {
 		if err := service.Serve(*serveAddr, service.Config{
 			Workers:        *serveWorkers,
 			SimParallelism: *fsimWorkers,
+			SimLanes:       *fsimLanes,
 		}); err != nil {
 			fatalf("%v", err)
 		}
@@ -83,6 +89,7 @@ func main() {
 			MaxOmissionTrials: *maxTrials,
 			SkipCompact:       *skipCompact,
 			Parallelism:       *fsimWorkers,
+			Lanes:             *fsimLanes,
 			Strategy:          *stratName,
 		}, *serveWorkers)
 		return
@@ -95,7 +102,7 @@ func main() {
 
 	t0 := obtainT0(c, fl, *t0File, *seed)
 
-	cfg := core.Config{N: *n, Seed: *seed, OmissionRestart: true, Parallelism: *fsimWorkers}
+	cfg := core.Config{N: *n, Seed: *seed, OmissionRestart: true, Parallelism: *fsimWorkers, Lanes: *fsimLanes}
 	strat, err := strategy.Get(*stratName)
 	if err != nil {
 		fatalf("%v", err)

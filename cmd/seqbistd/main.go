@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"seqbist/internal/bench"
+	"seqbist/internal/fsim"
 	"seqbist/internal/service"
 	"seqbist/internal/store"
 	"seqbist/internal/strategy"
@@ -47,6 +48,7 @@ func main() {
 	queue := flag.Int("queue", 64, "pending-job queue capacity")
 	cacheSize := flag.Int("cache", 128, "result-cache entries (negative disables)")
 	simWorkers := flag.Int("sim-workers", 0, "per-job fault-simulation goroutines (0 = one per CPU)")
+	simLanes := flag.Int("sim-lanes", 0, "per-job fault-simulation packing width: 0 = default 64, or a multiple of 64 (e.g. 128, 256); speed only, results identical")
 	maxSweep := flag.Int("max-sweep-members", 0, "max circuits per sweep (0 = default 64)")
 	maxBench := flag.Int64("max-bench-bytes", 0, "uploaded .bench size cap in bytes (0 = default 1 MiB, negative = unlimited)")
 	maxSignals := flag.Int("max-bench-signals", 0, "uploaded netlist signal cap (0 = default 250k, negative = unlimited)")
@@ -68,12 +70,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "seqbistd: -default-strategy %q: unknown (have %v)\n", *defaultStrategy, strategy.Names())
 		os.Exit(1)
 	}
+	if !fsim.ValidLanes(*simLanes) {
+		fmt.Fprintf(os.Stderr, "seqbistd: -sim-lanes %d: must be 0 or a multiple of 64\n", *simLanes)
+		os.Exit(1)
+	}
 
 	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheSize:       *cacheSize,
 		SimParallelism:  *simWorkers,
+		SimLanes:        *simLanes,
 		MaxSweepMembers: *maxSweep,
 		BenchLimits:     benchLimits(*maxBench, *maxSignals),
 		LeaseTTL:        *leaseTTL,

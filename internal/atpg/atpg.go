@@ -8,7 +8,7 @@
 // first-detection times — using the same building blocks the GA evolves:
 //
 //   - pools of candidate subsequences evaluated by fault simulation from
-//     the current circuit state (fsim.Incremental.Peek);
+//     the current circuit state (fsim.Engine.Evaluate);
 //   - pure-random candidates, random-walk candidates (bit flips from the
 //     previous vector), and vector-hold candidates (each vector repeated
 //     for several time units, the manipulation of reference [3] that aids
@@ -93,7 +93,7 @@ func Generate(c *netlist.Circuit, fl []faults.Fault, cfg Config) (*Result, error
 		return nil, fmt.Errorf("atpg: circuit %s has no primary inputs", c.Name)
 	}
 	rng := xrand.New(cfg.Seed ^ 0xa7e65d3c0fd2b1e9)
-	inc := fsim.NewIncremental(c, fl)
+	inc := fsim.New(c, fl, fsim.Options{})
 	var t0 vectors.Sequence
 
 	candLen := cfg.InitLen

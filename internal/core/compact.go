@@ -110,7 +110,7 @@ func CompactSetPasses(c *netlist.Circuit, fl []faults.Fault, res *Result, cfg Co
 			}
 			newly := 0
 			if len(live) > 0 {
-				r := fsim.RunParallel(c, live, expand.Compose(s.Seq, cfg.N, cfg.expandOps()), cfg.simWorkers())
+				r := fsim.New(c, live, cfg.simOptions()).Run(expand.Compose(s.Seq, cfg.N, cfg.expandOps()))
 				for k := range live {
 					if r.Detected[k] {
 						covered[liveIdx[k]] = true
@@ -154,7 +154,7 @@ func VerifyCoverage(c *netlist.Circuit, fl []faults.Fault, res *Result, set []Se
 	}
 	covered := make([]bool, len(targFl))
 	for _, s := range set {
-		r := fsim.RunParallel(c, targFl, expand.Compose(s.Seq, cfg.N, cfg.expandOps()), cfg.simWorkers())
+		r := fsim.New(c, targFl, cfg.simOptions()).Run(expand.Compose(s.Seq, cfg.N, cfg.expandOps()))
 		for k := range targFl {
 			if r.Detected[k] {
 				covered[k] = true

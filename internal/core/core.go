@@ -61,8 +61,12 @@ type Config struct {
 	ExpandOps expand.Ops
 	// Parallelism is the goroutine count for the sharded fault simulator
 	// that backs Procedure 1's bulk simulations (0 = one worker per CPU,
-	// 1 = serial). Any value yields identical results; see fsim.RunParallel.
+	// 1 = serial). Any value yields identical results; see fsim.Options.
 	Parallelism int
+	// Lanes is the fault-packing width for those bulk simulations: 0 or
+	// 64 packs 64 faults per word, 128/256 pack wider word-vectors. Any
+	// width yields identical results; see fsim.Options.
+	Lanes int
 	// Interrupt, when non-nil, is polled between units of work (once per
 	// targeted fault and once per omission trial). When it returns true,
 	// selection stops with ErrInterrupted. The service layer uses this to
@@ -79,6 +83,18 @@ func (cfg Config) simWorkers() int {
 		return cfg.Parallelism
 	}
 	return fsim.DefaultParallelism()
+}
+
+// simOptions assembles the fsim.Options for the bulk simulations. An
+// invalid Lanes value falls back to the engine default here so entry
+// points that skip NewSelector's validation (CompactSet, VerifyCoverage)
+// degrade instead of panicking inside fsim.New.
+func (cfg Config) simOptions() fsim.Options {
+	lanes := cfg.Lanes
+	if !fsim.ValidLanes(lanes) {
+		lanes = 0
+	}
+	return fsim.Options{Workers: cfg.simWorkers(), Lanes: lanes}
 }
 
 // interrupted polls the cancellation hook.
@@ -173,8 +189,8 @@ type Result struct {
 // of candidate expanded sequences — runs on the reused fsim.Single,
 // which simulates the faulty machine only over the fault's active region
 // and skips quiescent cycles outright (DESIGN.md §8); the bulk
-// simulations of Procedure 1 and §3.2 compaction go through the
-// active-region fsim.RunParallel with cfg.simWorkers().
+// simulations of Procedure 1 and §3.2 compaction go through a sharded
+// active-region fsim.Engine built from cfg.simOptions().
 type Selector struct {
 	c      *netlist.Circuit
 	fl     []faults.Fault
@@ -201,6 +217,9 @@ func NewSelector(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, cfg
 	if t0.Width() != c.NumPIs() {
 		return nil, fmt.Errorf("core: T0 width %d, circuit has %d PIs", t0.Width(), c.NumPIs())
 	}
+	if !fsim.ValidLanes(cfg.Lanes) {
+		return nil, fmt.Errorf("core: lanes %d, must be 0 or a multiple of 64", cfg.Lanes)
+	}
 	return &Selector{
 		c:      c,
 		fl:     fl,
@@ -225,7 +244,7 @@ func Select(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, cfg Conf
 // Procedure 1).
 func (sel *Selector) base() *fsim.Result {
 	if sel.baseRes == nil {
-		r := fsim.RunParallel(sel.c, sel.fl, sel.t0, sel.cfg.simWorkers())
+		r := fsim.New(sel.c, sel.fl, sel.cfg.simOptions()).Run(sel.t0)
 		sel.baseRes = &r
 	}
 	return sel.baseRes
@@ -355,7 +374,7 @@ func (sel *Selector) runTargets(targ []int) (*Result, error) {
 			}
 		}
 		sexp := expand.Compose(s, sel.cfg.N, sel.cfg.expandOps())
-		r := fsim.RunParallel(sel.c, subset, sexp, sel.cfg.simWorkers())
+		r := fsim.New(sel.c, subset, sel.cfg.simOptions()).Run(sexp)
 		newly := 0
 		for k, fi := range subsetIdx {
 			if r.Detected[k] {

@@ -301,9 +301,10 @@ func timeSimT0(c *netlist.Circuit, fl []faults.Fault, t0 vectors.Sequence, paral
 	const minTotal = 20 * time.Millisecond
 	var total time.Duration
 	reps := 0
+	eng := fsim.New(c, fl, fsim.Options{Workers: parallelism})
 	for total < minTotal && reps < 200 {
 		start := time.Now()
-		fsim.RunParallel(c, fl, t0, parallelism)
+		eng.Run(t0)
 		total += time.Since(start)
 		reps++
 	}

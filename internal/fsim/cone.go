@@ -10,8 +10,16 @@ package fsim
 // lane at every time unit, so the simulation engine never needs to look
 // there. This file computes the per-group union of those closures (the
 // group's static active region) from the netlist CSR, and orders the
-// fault list so that faults sharing cones land in the same 64-lane group,
+// fault list so that faults sharing cones land in the same group,
 // keeping each group's union region — and therefore its work — small.
+//
+// Forcing masks are stored as nw-word vectors ([]uint64) so the same
+// plan machinery serves both the 64-lane engine (nw = 1, masks read at
+// index [0]) and the wide engines (Options.Lanes = 128/256, wide.go).
+// All plan storage is carved from shared slabs owned by the builder:
+// one Engine construction performs a handful of block allocations
+// instead of hundreds of per-list appends. Plan slices must therefore
+// never be appended to after build.
 
 import (
 	"sort"
@@ -21,22 +29,45 @@ import (
 	"seqbist/internal/netlist"
 )
 
-// sigMask is a per-signal stem-forcing mask pair.
+// slab is a bump allocator handing out exact-size slices carved from
+// shared blocks. Carved slices are full-capacity-clamped so an
+// accidental append cannot bleed into a neighbour.
+type slab[T any] struct {
+	buf []T
+}
+
+func (s *slab[T]) alloc(n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if cap(s.buf)-len(s.buf) < n {
+		size := 1 << 12
+		for size < n {
+			size <<= 1
+		}
+		s.buf = make([]T, 0, size)
+	}
+	off := len(s.buf)
+	s.buf = s.buf[:off+n]
+	return s.buf[off : off+n : off+n]
+}
+
+// sigMask is a per-signal stem-forcing mask pair (nw words per mask).
 type sigMask struct {
 	sig    netlist.SignalID
-	m0, m1 uint64
+	m0, m1 []uint64
 }
 
 // gatePinMask is a branch-forcing mask pair on one gate input pin.
 type gatePinMask struct {
 	gate, pin int32
-	m0, m1    uint64
+	m0, m1    []uint64
 }
 
 // dffMask is a branch-forcing mask pair on one flip-flop D pin.
 type dffMask struct {
 	dff    int32
-	m0, m1 uint64
+	m0, m1 []uint64
 }
 
 // site is one distinct fault-injection site of a group with the lanes it
@@ -46,7 +77,7 @@ type dffMask struct {
 type site struct {
 	sig   netlist.SignalID
 	stuck logic.Value
-	lanes uint64
+	lanes []uint64
 }
 
 // plan is the static simulation plan of one fault group: the union active
@@ -74,33 +105,93 @@ type plan struct {
 	dffForce  []dffMask          // branch forces on flip-flop D pins
 }
 
-// planBuilder holds the reusable marking scratch for region construction.
-// Marks are epoch-stamped so consecutive groups reuse the arrays without
-// clearing.
+// planBuilder holds the reusable marking scratch, the per-group build
+// buffers, and the slabs that back the finished plans. Marks are
+// epoch-stamped so consecutive groups reuse the arrays without clearing;
+// the temporary build lists are reset (not reallocated) per group and
+// copied exact-size into slab storage by finalize.
 type planBuilder struct {
 	c   *netlist.Circuit
 	csr *netlist.CSR
+	nw  int // mask words per lane set (Options.Lanes / 64)
 
 	sigMark  []int32
 	gateMark []int32
 	dffMark  []int32
 	poMark   []int32
 	bndMark  []int32
+	seedMark []int32
 	epoch    int32
 
 	queue []netlist.SignalID
+
+	// Per-group temporaries, reset per build.
+	tGates, tDFFs, tPOs, tBoundary []int32
+	tStemQs, tSeed                 []int32
+	tStemPIs                       []netlist.SignalID
+	tStems                         []sigMask
+	tBranches                      []gatePinMask
+	tDFFForce                      []dffMask
+	tSites                         []site
+	maskArena                      []uint64
+
+	// Slabs backing the finished plans.
+	i32Slab   slab[int32]
+	sigSlab   slab[netlist.SignalID]
+	maskSlab  slab[uint64]
+	stemSlab  slab[sigMask]
+	brSlab    slab[gatePinMask]
+	dffSlab   slab[dffMask]
+	siteSlab  slab[site]
+	faultSlab slab[int]
+	wordSlab  slab[logic.Word]
 }
 
-func newPlanBuilder(c *netlist.Circuit) *planBuilder {
+func newPlanBuilder(c *netlist.Circuit, nw int) *planBuilder {
 	return &planBuilder{
 		c:        c,
 		csr:      c.CSR(),
+		nw:       nw,
 		sigMark:  make([]int32, c.NumSignals()),
 		gateMark: make([]int32, c.NumGates()),
 		dffMark:  make([]int32, c.NumDFFs()),
 		poMark:   make([]int32, c.NumPOs()),
 		bndMark:  make([]int32, c.NumSignals()),
+		seedMark: make([]int32, c.NumGates()),
 	}
+}
+
+// maskAlloc returns a zeroed nw-word mask from the per-group arena. The
+// arena may reallocate as it grows; previously returned masks stay valid
+// (they keep pointing into the old block), and finalize copies every
+// mask into slab storage anyway.
+func (pb *planBuilder) maskAlloc() []uint64 {
+	off := len(pb.maskArena)
+	need := off + pb.nw
+	if need > cap(pb.maskArena) {
+		grow := 2 * cap(pb.maskArena)
+		if grow < need {
+			grow = need
+		}
+		if grow < 256 {
+			grow = 256
+		}
+		next := make([]uint64, off, grow)
+		copy(next, pb.maskArena)
+		pb.maskArena = next
+	}
+	pb.maskArena = pb.maskArena[:need]
+	m := pb.maskArena[off:need:need]
+	for i := range m {
+		m[i] = 0
+	}
+	return m
+}
+
+func (pb *planBuilder) maskCopy(m []uint64) []uint64 {
+	out := pb.maskSlab.alloc(pb.nw)
+	copy(out, m)
+	return out
 }
 
 // addSignal marks a signal as region and queues it for fanout traversal.
@@ -111,81 +202,95 @@ func (pb *planBuilder) addSignal(s netlist.SignalID) {
 	}
 }
 
-// build computes the plan for the faults in fl indexed by g.fault, with
-// lane i of the masks corresponding to g.fault[i].
+// build computes the plan for the faults in fl indexed by faultIdx, with
+// lane i of the masks corresponding to faultIdx[i] (word i/64, bit i%64).
+// len(faultIdx) must not exceed 64*nw.
 func (pb *planBuilder) build(fl []faults.Fault, faultIdx []int) plan {
 	c, csr := pb.c, pb.csr
 	pb.epoch++
 	pb.queue = pb.queue[:0]
-	var p plan
+	pb.tGates, pb.tDFFs, pb.tPOs, pb.tBoundary = pb.tGates[:0], pb.tDFFs[:0], pb.tPOs[:0], pb.tBoundary[:0]
+	pb.tStemQs, pb.tSeed = pb.tStemQs[:0], pb.tSeed[:0]
+	pb.tStemPIs = pb.tStemPIs[:0]
+	pb.tStems, pb.tBranches, pb.tDFFForce, pb.tSites = pb.tStems[:0], pb.tBranches[:0], pb.tDFFForce[:0], pb.tSites[:0]
+	pb.maskArena = pb.maskArena[:0]
 
 	// Sparse forcing lists, merged across lanes. Linear scans over the
-	// per-group lists are fine: a group has at most 64 faults.
-	addStem := func(sig netlist.SignalID, m0, m1 uint64) {
-		for i := range p.stems {
-			if p.stems[i].sig == sig {
-				p.stems[i].m0 |= m0
-				p.stems[i].m1 |= m1
+	// per-group lists are fine: a group has at most 64*nw faults.
+	addStem := func(sig netlist.SignalID, word int, m0, m1 uint64) {
+		for i := range pb.tStems {
+			if pb.tStems[i].sig == sig {
+				pb.tStems[i].m0[word] |= m0
+				pb.tStems[i].m1[word] |= m1
 				return
 			}
 		}
-		p.stems = append(p.stems, sigMask{sig: sig, m0: m0, m1: m1})
+		sm := sigMask{sig: sig, m0: pb.maskAlloc(), m1: pb.maskAlloc()}
+		sm.m0[word], sm.m1[word] = m0, m1
+		pb.tStems = append(pb.tStems, sm)
 	}
-	addBranch := func(gate, pin int32, m0, m1 uint64) {
-		for i := range p.branches {
-			if p.branches[i].gate == gate && p.branches[i].pin == pin {
-				p.branches[i].m0 |= m0
-				p.branches[i].m1 |= m1
+	addBranch := func(gate, pin int32, word int, m0, m1 uint64) {
+		for i := range pb.tBranches {
+			if pb.tBranches[i].gate == gate && pb.tBranches[i].pin == pin {
+				pb.tBranches[i].m0[word] |= m0
+				pb.tBranches[i].m1[word] |= m1
 				return
 			}
 		}
-		p.branches = append(p.branches, gatePinMask{gate: gate, pin: pin, m0: m0, m1: m1})
+		b := gatePinMask{gate: gate, pin: pin, m0: pb.maskAlloc(), m1: pb.maskAlloc()}
+		b.m0[word], b.m1[word] = m0, m1
+		pb.tBranches = append(pb.tBranches, b)
 	}
-	addDFFForce := func(dff int32, m0, m1 uint64) {
-		for i := range p.dffForce {
-			if p.dffForce[i].dff == dff {
-				p.dffForce[i].m0 |= m0
-				p.dffForce[i].m1 |= m1
+	addDFFForce := func(dff int32, word int, m0, m1 uint64) {
+		for i := range pb.tDFFForce {
+			if pb.tDFFForce[i].dff == dff {
+				pb.tDFFForce[i].m0[word] |= m0
+				pb.tDFFForce[i].m1[word] |= m1
 				return
 			}
 		}
-		p.dffForce = append(p.dffForce, dffMask{dff: dff, m0: m0, m1: m1})
+		df := dffMask{dff: dff, m0: pb.maskAlloc(), m1: pb.maskAlloc()}
+		df.m0[word], df.m1[word] = m0, m1
+		pb.tDFFForce = append(pb.tDFFForce, df)
 	}
-	addSite := func(sig netlist.SignalID, stuck logic.Value, lane uint64) {
-		for i := range p.sites {
-			if p.sites[i].sig == sig && p.sites[i].stuck == stuck {
-				p.sites[i].lanes |= lane
+	addSite := func(sig netlist.SignalID, stuck logic.Value, word int, lane uint64) {
+		for i := range pb.tSites {
+			if pb.tSites[i].sig == sig && pb.tSites[i].stuck == stuck {
+				pb.tSites[i].lanes[word] |= lane
 				return
 			}
 		}
-		p.sites = append(p.sites, site{sig: sig, stuck: stuck, lanes: lane})
+		s := site{sig: sig, stuck: stuck, lanes: pb.maskAlloc()}
+		s.lanes[word] = lane
+		pb.tSites = append(pb.tSites, s)
 	}
 
 	for lane, fi := range faultIdx {
 		f := fl[fi]
-		laneMask := uint64(1) << uint(lane)
+		word := lane >> 6
+		laneMask := uint64(1) << uint(lane&63)
 		var m0, m1 uint64
 		if f.Stuck == logic.Zero {
 			m0 = laneMask
 		} else {
 			m1 = laneMask
 		}
-		addSite(f.Signal, f.Stuck, laneMask)
+		addSite(f.Signal, f.Stuck, word, laneMask)
 		if f.IsStem() {
-			addStem(f.Signal, m0, m1)
+			addStem(f.Signal, word, m0, m1)
 			pb.addSignal(f.Signal)
 			continue
 		}
 		con := c.Consumers(f.Signal)[f.Consumer]
 		switch con.Kind {
 		case netlist.ConsumerGate:
-			addBranch(con.Index, con.Pin, m0, m1)
+			addBranch(con.Index, con.Pin, word, m0, m1)
 			if pb.gateMark[con.Index] != pb.epoch {
 				pb.gateMark[con.Index] = pb.epoch
 			}
 			pb.addSignal(netlist.SignalID(csr.Out[con.Index]))
 		case netlist.ConsumerDFF:
-			addDFFForce(con.Index, m0, m1)
+			addDFFForce(con.Index, word, m0, m1)
 			if pb.dffMark[con.Index] != pb.epoch {
 				pb.dffMark[con.Index] = pb.epoch
 			}
@@ -196,15 +301,15 @@ func (pb *planBuilder) build(fl []faults.Fault, faultIdx []int) plan {
 	// Classify the stem forces by source kind and queue the driver gates
 	// of forced gate-output signals (they must always be evaluated so the
 	// force applies even when their inputs are clean).
-	for _, sm := range p.stems {
+	for _, sm := range pb.tStems {
 		if d := c.Driver(sm.sig); d >= 0 {
 			if pb.gateMark[d] != pb.epoch {
 				pb.gateMark[d] = pb.epoch
 			}
 		} else if fi := c.DFFOf(sm.sig); fi >= 0 {
-			p.stemQs = append(p.stemQs, int32(fi))
+			pb.tStemQs = append(pb.tStemQs, int32(fi))
 		} else {
-			p.stemPIs = append(p.stemPIs, sm.sig)
+			pb.tStemPIs = append(pb.tStemPIs, sm.sig)
 		}
 	}
 
@@ -234,17 +339,17 @@ func (pb *planBuilder) build(fl []faults.Fault, faultIdx []int) plan {
 	// topological order because Circuit.Gates is topologically sorted).
 	for gi := range pb.gateMark {
 		if pb.gateMark[gi] == pb.epoch {
-			p.gates = append(p.gates, int32(gi))
+			pb.tGates = append(pb.tGates, int32(gi))
 		}
 	}
 	for di := range pb.dffMark {
 		if pb.dffMark[di] == pb.epoch {
-			p.dffs = append(p.dffs, int32(di))
+			pb.tDFFs = append(pb.tDFFs, int32(di))
 		}
 	}
 	for pi := range pb.poMark {
 		if pb.poMark[pi] == pb.epoch {
-			p.pos = append(p.pos, int32(pi))
+			pb.tPOs = append(pb.tPOs, int32(pi))
 		}
 	}
 	// Boundary: signals the region reads (gate inputs and flip-flop D
@@ -254,44 +359,94 @@ func (pb *planBuilder) build(fl []faults.Fault, faultIdx []int) plan {
 	addBoundary := func(sig int32) {
 		if pb.sigMark[sig] != pb.epoch && pb.bndMark[sig] != pb.epoch {
 			pb.bndMark[sig] = pb.epoch
-			p.boundary = append(p.boundary, sig)
+			pb.tBoundary = append(pb.tBoundary, sig)
 		}
 	}
-	for _, gi := range p.gates {
+	for _, gi := range pb.tGates {
 		for _, in := range csr.GateIn(int(gi)) {
 			addBoundary(in)
 		}
 	}
-	for _, di := range p.dffs {
+	for _, di := range pb.tDFFs {
 		addBoundary(int32(c.DFFs[di].D))
 	}
 	// Seed gates: forced-pin gates plus drivers of stem-forced outputs —
-	// exactly the gates marked before the closure ran, deduplicated here
-	// by re-deriving them from the forcing lists.
-	seedSeen := make(map[int32]bool, len(p.branches)+len(p.stems))
-	for _, b := range p.branches {
-		if !seedSeen[b.gate] {
-			seedSeen[b.gate] = true
-			p.seedGates = append(p.seedGates, b.gate)
+	// exactly the gates marked before the closure ran, deduplicated by
+	// re-deriving them from the forcing lists with an epoch-stamped mark.
+	for _, b := range pb.tBranches {
+		if pb.seedMark[b.gate] != pb.epoch {
+			pb.seedMark[b.gate] = pb.epoch
+			pb.tSeed = append(pb.tSeed, b.gate)
 		}
 	}
-	for _, sm := range p.stems {
-		if d := c.Driver(sm.sig); d >= 0 && !seedSeen[int32(d)] {
-			seedSeen[int32(d)] = true
-			p.seedGates = append(p.seedGates, int32(d))
+	for _, sm := range pb.tStems {
+		if d := c.Driver(sm.sig); d >= 0 && pb.seedMark[d] != pb.epoch {
+			pb.seedMark[d] = pb.epoch
+			pb.tSeed = append(pb.tSeed, int32(d))
 		}
 	}
-	sort.Slice(p.seedGates, func(i, j int) bool { return p.seedGates[i] < p.seedGates[j] })
+	sort.Slice(pb.tSeed, func(i, j int) bool { return pb.tSeed[i] < pb.tSeed[j] })
+	return pb.finalize()
+}
+
+// finalize copies the temporary build lists into exact-size slab-backed
+// slices. Mask slices are re-carved from the mask slab so each finished
+// plan is self-contained and the arena can be reused by the next group.
+func (pb *planBuilder) finalize() plan {
+	var p plan
+	p.gates = pb.carveI32(pb.tGates)
+	p.dffs = pb.carveI32(pb.tDFFs)
+	p.pos = pb.carveI32(pb.tPOs)
+	p.boundary = pb.carveI32(pb.tBoundary)
+	p.stemQs = pb.carveI32(pb.tStemQs)
+	p.seedGates = pb.carveI32(pb.tSeed)
+	if n := len(pb.tStemPIs); n > 0 {
+		p.stemPIs = pb.sigSlab.alloc(n)
+		copy(p.stemPIs, pb.tStemPIs)
+	}
+	if n := len(pb.tStems); n > 0 {
+		p.stems = pb.stemSlab.alloc(n)
+		for i, sm := range pb.tStems {
+			p.stems[i] = sigMask{sig: sm.sig, m0: pb.maskCopy(sm.m0), m1: pb.maskCopy(sm.m1)}
+		}
+	}
+	if n := len(pb.tBranches); n > 0 {
+		p.branches = pb.brSlab.alloc(n)
+		for i, b := range pb.tBranches {
+			p.branches[i] = gatePinMask{gate: b.gate, pin: b.pin, m0: pb.maskCopy(b.m0), m1: pb.maskCopy(b.m1)}
+		}
+	}
+	if n := len(pb.tDFFForce); n > 0 {
+		p.dffForce = pb.dffSlab.alloc(n)
+		for i, df := range pb.tDFFForce {
+			p.dffForce[i] = dffMask{dff: df.dff, m0: pb.maskCopy(df.m0), m1: pb.maskCopy(df.m1)}
+		}
+	}
+	if n := len(pb.tSites); n > 0 {
+		p.sites = pb.siteSlab.alloc(n)
+		for i, s := range pb.tSites {
+			p.sites[i] = site{sig: s.sig, stuck: s.stuck, lanes: pb.maskCopy(s.lanes)}
+		}
+	}
 	return p
+}
+
+func (pb *planBuilder) carveI32(src []int32) []int32 {
+	if len(src) == 0 {
+		return nil
+	}
+	out := pb.i32Slab.alloc(len(src))
+	copy(out, src)
+	return out
 }
 
 // packOrder returns a permutation of fault-list indices grouped by
 // structural locality: faults are keyed by the topological position of
 // the first gate their injection site can influence, so faults whose
-// cones overlap land in the same 64-lane group and the group's union
-// active region stays close to a single fault's cone. The sort is stable,
-// so the order (and with it every detection-report order) is
-// deterministic for a given circuit and fault list.
+// cones overlap land in the same group and the group's union active
+// region stays close to a single fault's cone. The sort is stable, so
+// the order (and with it every detection-report order) is deterministic
+// for a given circuit and fault list.
 func packOrder(c *netlist.Circuit, fl []faults.Fault) []int {
 	csr := c.CSR()
 	numGates := c.NumGates()

@@ -1,0 +1,71 @@
+package fsim
+
+// Deprecated shims over the old mutable Incremental API. They exist for
+// one release so stacked changes can migrate call sites incrementally;
+// new code should construct an Engine with New and an Options block
+// (options.go), which fixes all configuration up front.
+
+import (
+	"seqbist/internal/faults"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+// Incremental is the former name of Engine.
+//
+// Deprecated: use Engine, constructed by New with an Options block.
+type Incremental = Engine
+
+// NewIncremental prepares a serial 64-lane Engine.
+//
+// Deprecated: use New(c, fl, Options{}).
+func NewIncremental(c *netlist.Circuit, fl []faults.Fault) *Incremental {
+	return New(c, fl, Options{})
+}
+
+// RunParallel fault-simulates seq with the given worker count.
+//
+// Deprecated: use New(c, fl, Options{Workers: workers}).Run(seq).
+func RunParallel(c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence, workers int) Result {
+	return New(c, fl, Options{Workers: workers}).Run(seq)
+}
+
+// SetParallelism sets the number of worker goroutines used to shard fault
+// groups (n <= 1 selects the serial path). Any value produces identical
+// detection results. The cone shards are rebuilt on the next parallel
+// call.
+//
+// Deprecated: set Options.Workers at construction.
+func (e *Engine) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+	e.opts.Workers = n
+	e.shards = nil
+	e.shardLive = 0
+}
+
+// Parallelism returns the configured worker count.
+//
+// Deprecated: use Options().Workers.
+func (e *Engine) Parallelism() int { return e.workers }
+
+// SetFullEvaluation switches the simulator to the full-netlist reference
+// path (true) or the active-region engine (false, the default). The two
+// paths represent machine state differently (dense versus sparse), so it
+// must be called before any simulation; SetFullEvaluation panics if any
+// time units have already been simulated, or if the engine was built with
+// more than 64 lanes.
+//
+// Deprecated: set Options.FullEvaluation at construction.
+func (e *Engine) SetFullEvaluation(full bool) {
+	if e.now != 0 {
+		panic("fsim: SetFullEvaluation after simulation started")
+	}
+	if full && e.nw != 1 {
+		panic("fsim: full evaluation requires Lanes == 64")
+	}
+	e.fullEval = full
+	e.opts.FullEvaluation = full
+}

@@ -1,0 +1,71 @@
+package fsim
+
+import (
+	"reflect"
+	"testing"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// TestDeprecatedShims pins the one-release compatibility surface: the old
+// mutable Incremental API must behave exactly like the Options
+// constructor it wraps.
+func TestDeprecatedShims(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	seq := vectors.RandomSequence(xrand.New(11), c.NumPIs(), 60)
+
+	want := New(c, fl, Options{Workers: 2}).Run(seq)
+	if got := RunParallel(c, fl, seq, 2); !reflect.DeepEqual(got, want) {
+		t.Fatal("RunParallel differs from Options-constructed Run")
+	}
+
+	inc := NewIncremental(c, fl)
+	if opts := inc.Options(); opts.Workers != 1 || opts.Lanes != 64 || opts.FullEvaluation {
+		t.Fatalf("NewIncremental options = %+v, want serial 64-lane defaults", opts)
+	}
+	inc.SetParallelism(-3)
+	if got := inc.Parallelism(); got != 1 {
+		t.Fatalf("Parallelism after SetParallelism(-3) = %d, want 1", got)
+	}
+	inc.SetParallelism(4)
+	if got := inc.Options().Workers; got != 4 {
+		t.Fatalf("Options().Workers after SetParallelism(4) = %d, want 4", got)
+	}
+	inc.Extend(seq)
+	if got := inc.Result(); !reflect.DeepEqual(got, want) {
+		t.Fatal("shimmed Incremental differs from Options-constructed Run")
+	}
+}
+
+// TestSetFullEvaluationPanicsAfterStart pins the shim's contract: the two
+// paths represent state differently, so flipping after simulation has
+// started must panic.
+func TestSetFullEvaluationPanicsAfterStart(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	inc := NewIncremental(c, fl)
+	inc.Extend(s27T0()[:2])
+	defer func() {
+		if recover() == nil {
+			t.Error("SetFullEvaluation after Extend did not panic")
+		}
+	}()
+	inc.SetFullEvaluation(true)
+}
+
+// TestSetFullEvaluationRejectsWideLanes pins the shim's lane-width guard.
+func TestSetFullEvaluationRejectsWideLanes(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	e := New(c, fl, Options{Lanes: 128})
+	defer func() {
+		if recover() == nil {
+			t.Error("SetFullEvaluation on a 128-lane engine did not panic")
+		}
+	}()
+	e.SetFullEvaluation(true)
+}

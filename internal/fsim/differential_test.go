@@ -48,11 +48,17 @@ func xheavySequence(rng *xrand.RNG, width, n int) vectors.Sequence {
 // observable difference.
 func diffCheck(t *testing.T, name string, c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence, workers int) {
 	t.Helper()
-	active := NewIncremental(c, fl)
-	full := NewIncremental(c, fl)
-	full.SetFullEvaluation(true)
-	active.SetParallelism(workers)
-	full.SetParallelism(workers)
+	diffCheckOpts(t, name, c, fl, seq, Options{Workers: workers})
+}
+
+// diffCheckOpts is diffCheck with a full Options block for the engine
+// under test: lane width, forced propagation mode, and worker count all
+// must reproduce the 64-lane full-evaluation reference bit for bit.
+func diffCheckOpts(t *testing.T, name string, c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence, opts Options) {
+	t.Helper()
+	active := New(c, fl, opts)
+	full := New(c, fl, Options{Workers: opts.Workers, FullEvaluation: true})
+	workers := opts.Workers
 
 	chunk := 7
 	for start := 0; start < seq.Len(); start += chunk {
@@ -193,7 +199,7 @@ func TestSimStatsAccounting(t *testing.T) {
 	fl := faults.CollapsedUniverse(c)
 	seq := vectors.RandomSequence(xrand.New(5), c.NumPIs(), 30)
 	before := Stats()
-	RunParallel(c, fl, seq, 1)
+	New(c, fl, Options{Workers: 1}).Run(seq)
 	after := Stats()
 	total := (after.GatesEvaluated - before.GatesEvaluated) + (after.GatesSkipped - before.GatesSkipped)
 	if total <= 0 || total%int64(c.NumGates()) != 0 {
@@ -210,7 +216,7 @@ func TestSimStatsAccounting(t *testing.T) {
 func TestEvaluateSteadyStateAllocationFree(t *testing.T) {
 	c := iscas.MustLoad("s298")
 	fl := faults.CollapsedUniverse(c)
-	inc := NewIncremental(c, fl)
+	inc := New(c, fl, Options{})
 	warm := vectors.RandomSequence(xrand.New(8), c.NumPIs(), 60)
 	inc.Extend(warm)
 	cand := vectors.RandomSequence(xrand.New(9), c.NumPIs(), 16)
@@ -224,18 +230,4 @@ func TestEvaluateSteadyStateAllocationFree(t *testing.T) {
 	if allocs > 0 {
 		t.Errorf("Evaluate allocated %.1f times per call in steady state, want 0", allocs)
 	}
-}
-
-// TestSetFullEvaluationPanicsAfterStart pins the test hook's contract.
-func TestSetFullEvaluationPanicsAfterStart(t *testing.T) {
-	c := iscas.S27()
-	fl := faults.CollapsedUniverse(c)
-	inc := NewIncremental(c, fl)
-	inc.Extend(s27T0()[:2])
-	defer func() {
-		if recover() == nil {
-			t.Error("SetFullEvaluation after Extend did not panic")
-		}
-	}()
-	inc.SetFullEvaluation(true)
 }

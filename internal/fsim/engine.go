@@ -123,7 +123,7 @@ func (sc *scratch) activate(csr *netlist.CSR, s int32, w logic.Word) {
 // words plus the diverged list at *divDFF) in place, and returns the mask
 // of lanes detected at a primary output this cycle (not yet masked by
 // g.alive). Forcing plans must already be loaded into sc.
-func (inc *Incremental) stepGroup(sc *scratch, g *group, goodVals []logic.Value, state []logic.Word, divDFF *[]int32) uint64 {
+func (e *Engine) stepGroup(sc *scratch, g *group, goodVals []logic.Value, state []logic.Word, divDFF *[]int32) uint64 {
 	p := &g.plan
 	div := *divDFF
 	alive := g.alive
@@ -134,7 +134,7 @@ func (inc *Incremental) stepGroup(sc *scratch, g *group, goodVals []logic.Value,
 		activated := false
 		for i := range p.sites {
 			s := &p.sites[i]
-			if s.lanes&alive == 0 {
+			if s.lanes[0]&alive == 0 {
 				continue
 			}
 			if goodVals[s.sig] != s.stuck {
@@ -144,7 +144,7 @@ func (inc *Incremental) stepGroup(sc *scratch, g *group, goodVals []logic.Value,
 		}
 		if !activated {
 			sc.quiescent++
-			sc.skipped += int64(len(inc.csr.Out))
+			sc.skipped += int64(len(e.csr.Out))
 			g.lastEval = 0
 			return 0
 		}
@@ -154,12 +154,12 @@ func (inc *Incremental) stepGroup(sc *scratch, g *group, goodVals []logic.Value,
 	// (lastEval: gates evaluated by the last queue step, or diverged
 	// outputs seen by the last dense step). Wide divergence pays for a
 	// straight dense walk of the region; sparse divergence is cheaper
-	// event-driven.
-	if int(g.lastEval)*5 > len(p.gates)*2 {
-		return inc.stepGroupDense(sc, g, goodVals, state, divDFF)
+	// event-driven. Options.Mode can pin either structure.
+	if e.opts.Mode == ModeDense || (e.opts.Mode == ModeAuto && int(g.lastEval)*5 > len(p.gates)*2) {
+		return e.stepGroupDense(sc, g, goodVals, state, divDFF)
 	}
 
-	c, csr := inc.c, inc.csr
+	c, csr := e.c, e.csr
 	sc.bumpEpoch()
 	epoch := sc.epoch
 	sc.maxLev = 0
@@ -318,9 +318,9 @@ func (inc *Incremental) stepGroup(sc *scratch, g *group, goodVals []logic.Value,
 // the full-netlist path but restricted to the region. It maintains the
 // same sparse state representation as the queue path, so the two modes
 // interleave freely.
-func (inc *Incremental) stepGroupDense(sc *scratch, g *group, goodVals []logic.Value, state []logic.Word, divDFF *[]int32) uint64 {
+func (e *Engine) stepGroupDense(sc *scratch, g *group, goodVals []logic.Value, state []logic.Word, divDFF *[]int32) uint64 {
 	p := &g.plan
-	c, csr := inc.c, inc.csr
+	c, csr := e.c, e.csr
 	alive := g.alive
 	words := sc.words
 

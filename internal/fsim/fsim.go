@@ -2,11 +2,13 @@
 //
 // Two engines are provided:
 //
-//   - Incremental (and the convenience Run): a parallel-fault simulator
-//     packing 64 faulty machines per pass into logic.Word lanes, with
-//     fault dropping and first-detection-time recording. Incremental can
-//     carry machine state across calls, which the ATPG substrate uses to
-//     evaluate candidate subsequences cheaply from the current state.
+//   - Engine (constructed by New with an Options block, see options.go;
+//     the convenience Run wraps it): a parallel-fault simulator packing
+//     64 faulty machines per logic.Word lane set — or 128/256 with
+//     Options.Lanes — with fault dropping and first-detection-time
+//     recording. Engine can carry machine state across calls, which the
+//     ATPG substrate uses to evaluate candidate subsequences cheaply
+//     from the current state.
 //   - Single: a two-machine scalar simulator for one fault with early
 //     exit on detection. Procedure 2 of the paper calls this in its inner
 //     loop thousands of times, so it is allocation-free after creation.
@@ -19,10 +21,14 @@
 // machine are evaluated, in level order (engine.go). Everything outside
 // the diverged set provably carries the broadcast fault-free value, and a
 // group whose machines all agree with the fault-free machine and whose
-// fault sites are not activated is skipped outright (quiescence). The
-// results are bit-for-bit identical to full-netlist evaluation — the
-// pre-change full path is kept behind the SetFullEvaluation test hook and
-// differential tests prove the equivalence.
+// fault sites are not activated is skipped outright (quiescence). A group
+// whose recent activity shows the cone restriction is not paying — the
+// feedback-heavy circuits where most of the netlist stays active — is
+// escalated to the full-netlist stepper (fullpath.go), which is exactly
+// the flat pre-cone engine. The results are bit-for-bit identical to
+// full-netlist evaluation in every mode — the full path doubles as the
+// Options.FullEvaluation reference and differential tests prove the
+// equivalence.
 //
 // Detection semantics are the classical pessimistic three-valued rule,
 // matching the paper's fault simulator: a fault is detected at time unit u
@@ -45,11 +51,11 @@ import (
 )
 
 // patternsApplied counts, process-wide, the input vectors (patterns) the
-// simulation engines have applied: Incremental counts each vector once
-// per Extend/Evaluate call (simulating all live faults in parallel),
-// Single counts the vectors of each per-fault simulation, so the total is
-// a raw simulation-throughput measure, not a per-fault-pair count. It
-// feeds the daemon's GET /metrics observability endpoint; the counter is
+// simulation engines have applied: Engine counts each vector once per
+// Extend/Evaluate call (simulating all live faults in parallel), Single
+// counts the vectors of each per-fault simulation, so the total is a raw
+// simulation-throughput measure, not a per-fault-pair count. It feeds the
+// daemon's GET /metrics observability endpoint; the counter is
 // deliberately global because one process hosts one daemon, and the
 // bookkeeping must not thread through every simulation call site.
 var patternsApplied atomic.Int64
@@ -85,38 +91,14 @@ func (r Result) Coverage() float64 {
 // Run fault-simulates seq from the all-unknown state against the given
 // fault list and returns per-fault detection results. It shards the fault
 // groups across DefaultParallelism goroutines; the results are identical
-// to the serial path (RunParallel with workers=1).
+// to any other worker count or lane width.
 func Run(c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence) Result {
-	return RunParallel(c, fl, seq, DefaultParallelism())
-}
-
-// RunParallel is Run with an explicit goroutine count for the group-sharded
-// scheduler. workers <= 1 selects the serial path; any worker count yields
-// bit-for-bit identical detection results.
-func RunParallel(c *netlist.Circuit, fl []faults.Fault, seq vectors.Sequence, workers int) Result {
-	inc := NewIncremental(c, fl)
-	inc.SetParallelism(workers)
-	// Chunked extension with early exit: once every fault is detected the
-	// rest of the sequence cannot change the Result. The chunk stride is
-	// derived from the circuit's sequential depth (see earlyExitStride):
-	// shallow circuits check the exit condition sooner, deep circuits
-	// amortize per-chunk scheduling overhead over longer extensions.
-	chunk := earlyExitStride(c)
-	for start := 0; start < len(seq); start += chunk {
-		if inc.NumDetected() == len(fl) {
-			break
-		}
-		end := start + chunk
-		if end > len(seq) {
-			end = len(seq)
-		}
-		inc.Extend(seq[start:end])
-	}
-	return inc.Result()
+	return New(c, fl, Options{Workers: DefaultParallelism()}).Run(seq)
 }
 
 // group is one batch of up to 64 faults simulated bit-parallel, with the
-// static simulation plan of its union active region.
+// static simulation plan of its union active region. Wider lane widths
+// use wgroup (wide.go) instead.
 type group struct {
 	fault []int // indices into the fault list, one per lane
 	alive uint64
@@ -127,21 +109,33 @@ type group struct {
 	// flip-flop indices listed in divDFF (the flip-flops whose word
 	// differs from the broadcast fault-free state); every other flip-flop
 	// is implicitly at the fault-free value. In full-evaluation mode
-	// (SetFullEvaluation) state is dense and divDFF is unused.
+	// (Options.FullEvaluation) and while the group is escalated, state is
+	// dense.
 	state  []logic.Word
 	divDFF []int32
 
 	// lastEval is the gate count the previous time unit evaluated — the
 	// activity predictor that picks the propagation structure (engine.go).
 	lastEval int32
+
+	// Escalation state (ModeAuto): hotCalls counts consecutive committing
+	// calls whose average activity exceeded the escalation threshold;
+	// escalated groups run the full-netlist stepper with dense state until
+	// they reconverge (see noteActivity).
+	hotCalls  int32
+	escalated bool
 }
 
-// Incremental is a parallel-fault simulator that retains machine state
-// between calls.
-type Incremental struct {
+// Engine is a parallel-fault simulator that retains machine state between
+// calls. Construct it with New; an Engine is not safe for concurrent use,
+// but all its methods are safe to call repeatedly and in any order.
+type Engine struct {
 	c   *netlist.Circuit
 	csr *netlist.CSR
 	fl  []faults.Fault
+
+	opts Options
+	nw   int // words per lane set: Options.Lanes / 64
 
 	good      *sim.Simulator
 	goodState []logic.Value
@@ -152,10 +146,16 @@ type Incremental struct {
 	peekState []logic.Value
 	peekPO    []logic.Value
 
+	// entryGood snapshots the fault-free flip-flop state at the top of
+	// every call, before the good machine advances: escalated groups
+	// densify their sparse state against it (densifyState).
+	entryGood []logic.Value
+
 	// Pooled good-value trace, one row per time unit of the current call.
 	trace goodTrace
 
-	groups  []group
+	groups  []group  // 64-lane groups (nw == 1)
+	wgroups []wgroup // wide groups (nw > 1, wide.go)
 	liveBuf []int
 
 	// sc is the serial path's scratch; the sharded scheduler draws one
@@ -163,15 +163,40 @@ type Incremental struct {
 	sc            *scratch
 	workers       int
 	workerScratch []*scratch
+	wsc           *wscratch
+	workerWide    []*wscratch
 
-	// fullEval selects the pre-change full-netlist evaluation path
-	// (fullpath.go); a test hook, see SetFullEvaluation.
+	// Cone-aware static shards for the parallel scheduler: shards[w]
+	// lists the group indices worker w owns (parallel.go). Rebuilt when
+	// enough groups die that the balance drifts. conesBuf pools the
+	// region-list view handed to netlist.ConePartition.
+	shards    [][]int
+	shardLive int
+	conesBuf  [][]int32
+
+	// fullEval selects the full-netlist evaluation path (fullpath.go);
+	// the Options.FullEvaluation reference mode.
 	fullEval bool
+
+	// singleSim is the pooled scalar simulator behind Engine.Single.
+	singleSim *Single
+
+	// estat accumulates this engine's share of the efficiency counters;
+	// Engine.Stats returns a snapshot. The process-wide counters
+	// (stats.go) advance in the same flushes.
+	estat SimStats
 
 	detected []bool
 	detTime  []int
 	numDet   int
 	now      int // absolute time units simulated so far
+
+	// Pooled merge buffers for the parallel Evaluate path.
+	newlyBuf [][]int
+	divBuf   []int
+
+	// stride memoizes earlyExitStride(c) for Run's chunking.
+	stride int
 }
 
 // scratch holds the per-signal/gate/dff forcing masks, value words, and
@@ -204,6 +229,7 @@ type scratch struct {
 	evaluated int64
 	skipped   int64
 	quiescent int64
+	escalated int64
 }
 
 func newScratch(c *netlist.Circuit) *scratch {
@@ -217,8 +243,27 @@ func newScratch(c *netlist.Circuit) *scratch {
 		state:     make([]logic.Word, c.NumDFFs()),
 		sigEpoch:  make([]int32, c.NumSignals()),
 		gateEpoch: make([]int32, c.NumGates()),
-		buckets:   make([][]int32, c.CSR().MaxLevel+1),
+		buckets:   levelBuckets(c.CSR()),
 	}
+}
+
+// levelBuckets allocates the per-level gate worklists at their exact
+// worst-case capacities (every gate of the level queued), carved from one
+// flat backing array. push can then never grow a bucket, so the queue
+// mode allocates nothing after construction.
+func levelBuckets(csr *netlist.CSR) [][]int32 {
+	counts := make([]int32, csr.MaxLevel+1)
+	for _, lev := range csr.Level {
+		counts[lev]++
+	}
+	flat := make([]int32, len(csr.Level))
+	buckets := make([][]int32, csr.MaxLevel+1)
+	off := int32(0)
+	for l := range buckets {
+		buckets[l] = flat[off : off : off+counts[l]]
+		off += counts[l]
+	}
+	return buckets
 }
 
 type pinForce struct {
@@ -252,52 +297,41 @@ func (t *goodTrace) ensure(n, width int) [][]logic.Value {
 	return t.rows
 }
 
-// NewIncremental prepares a simulator for the given circuit and fault
-// list. The initial state of every machine is all-unknown. Faults are
-// packed into 64-lane groups in locality order (packOrder), and each
-// group's static active region is precomputed, so construction does the
-// cone analysis once and every Extend/Evaluate call benefits.
-func NewIncremental(c *netlist.Circuit, fl []faults.Fault) *Incremental {
-	inc := &Incremental{
-		c:        c,
-		csr:      c.CSR(),
-		fl:       fl,
-		good:     sim.New(c),
-		goodPO:   make([]logic.Value, c.NumPOs()),
-		peekSim:  sim.New(c),
-		peekPO:   make([]logic.Value, c.NumPOs()),
-		sc:       newScratch(c),
-		workers:  1,
-		detected: make([]bool, len(fl)),
-		detTime:  make([]int, len(fl)),
-	}
-	inc.goodState = inc.good.InitialState()
-	inc.peekState = make([]logic.Value, c.NumDFFs())
-	for i := range inc.detTime {
-		inc.detTime[i] = Undetected
-	}
-	order := packOrder(c, fl)
-	pb := newPlanBuilder(c)
-	for start := 0; start < len(order); start += 64 {
-		end := start + 64
+// buildGroups packs the fault list into lane groups in locality order
+// (packOrder) and precomputes each group's static active region, drawing
+// all plan and state storage from the builder's slabs.
+func (e *Engine) buildGroups() {
+	c := e.c
+	order := packOrder(c, e.fl)
+	pb := newPlanBuilder(c, e.nw)
+	lanes := 64 * e.nw
+	for start := 0; start < len(order); start += lanes {
+		end := start + lanes
 		if end > len(order) {
 			end = len(order)
 		}
-		g := group{
-			fault: append([]int(nil), order[start:end]...),
-			state: make([]logic.Word, c.NumDFFs()),
+		n := end - start
+		faultIdx := pb.faultSlab.alloc(n)
+		copy(faultIdx, order[start:end])
+		p := pb.build(e.fl, faultIdx)
+		if e.nw == 1 {
+			g := group{
+				fault: faultIdx,
+				state: pb.wordSlab.alloc(c.NumDFFs()),
+				plan:  p,
+			}
+			for i := range g.state {
+				g.state[i] = logic.AllX()
+			}
+			g.alive = ^uint64(0)
+			if n < 64 {
+				g.alive = (uint64(1) << uint(n)) - 1
+			}
+			e.groups = append(e.groups, g)
+		} else {
+			e.wgroups = append(e.wgroups, newWGroup(pb, faultIdx, p, n, c.NumDFFs()))
 		}
-		for i := range g.state {
-			g.state[i] = logic.AllX()
-		}
-		g.alive = ^uint64(0)
-		if n := end - start; n < 64 {
-			g.alive = (uint64(1) << uint(n)) - 1
-		}
-		g.plan = pb.build(fl, g.fault)
-		inc.groups = append(inc.groups, g)
 	}
-	return inc
 }
 
 // loadPlan populates sc's forcing-mask arrays for g, once per call. The
@@ -308,24 +342,24 @@ func NewIncremental(c *netlist.Circuit, fl []faults.Fault) *Incremental {
 // reach quiescence (dead lanes can never detect — every detection and
 // divergence report is masked by the live mask — so the filtering is
 // invisible in the results).
-func (inc *Incremental) loadPlan(sc *scratch, g *group) {
+func (e *Engine) loadPlan(sc *scratch, g *group) {
 	alive := g.alive
 	for _, sm := range g.plan.stems {
-		sc.stem0[sm.sig] = sm.m0 & alive
-		sc.stem1[sm.sig] = sm.m1 & alive
+		sc.stem0[sm.sig] = sm.m0[0] & alive
+		sc.stem1[sm.sig] = sm.m1[0] & alive
 	}
 	for _, b := range g.plan.branches {
-		if m0, m1 := b.m0&alive, b.m1&alive; m0|m1 != 0 {
+		if m0, m1 := b.m0[0]&alive, b.m1[0]&alive; m0|m1 != 0 {
 			sc.branchAt[b.gate] = append(sc.branchAt[b.gate], pinForce{pin: b.pin, m0: m0, m1: m1})
 		}
 	}
 	for _, df := range g.plan.dffForce {
-		sc.dff0[df.dff] = df.m0 & alive
-		sc.dff1[df.dff] = df.m1 & alive
+		sc.dff0[df.dff] = df.m0[0] & alive
+		sc.dff1[df.dff] = df.m1[0] & alive
 	}
 }
 
-func (inc *Incremental) unloadPlan(sc *scratch, g *group) {
+func (e *Engine) unloadPlan(sc *scratch, g *group) {
 	for _, sm := range g.plan.stems {
 		sc.stem0[sm.sig] = 0
 		sc.stem1[sm.sig] = 0
@@ -352,29 +386,31 @@ func forceWord(w logic.Word, m0, m1 uint64) logic.Word {
 // goodTraceCommit advances the good machine through seq (committing its
 // state) and snapshots the full signal-value vector at every time unit
 // into the pooled trace arena.
-func (inc *Incremental) goodTraceCommit(seq vectors.Sequence) [][]logic.Value {
-	rows := inc.trace.ensure(len(seq), inc.c.NumSignals())
+func (e *Engine) goodTraceCommit(seq vectors.Sequence) [][]logic.Value {
+	rows := e.trace.ensure(len(seq), e.c.NumSignals())
 	for u, vec := range seq {
-		inc.good.Step(inc.goodState, vec, inc.goodPO)
-		copy(rows[u], inc.good.Values())
+		e.good.Step(e.goodState, vec, e.goodPO)
+		copy(rows[u], e.good.Values())
 	}
 	return rows
 }
 
 // goodTracePeek is goodTraceCommit without committing: the good machine
 // state is copied and the pooled peek simulator advances the copy.
-func (inc *Incremental) goodTracePeek(seq vectors.Sequence) [][]logic.Value {
-	rows := inc.trace.ensure(len(seq), inc.c.NumSignals())
-	copy(inc.peekState, inc.goodState)
+func (e *Engine) goodTracePeek(seq vectors.Sequence) [][]logic.Value {
+	rows := e.trace.ensure(len(seq), e.c.NumSignals())
+	copy(e.peekState, e.goodState)
 	for u, vec := range seq {
-		inc.peekSim.Step(inc.peekState, vec, inc.peekPO)
-		copy(rows[u], inc.peekSim.Values())
+		e.peekSim.Step(e.peekState, vec, e.peekPO)
+		copy(rows[u], e.peekSim.Values())
 	}
 	return rows
 }
 
 // detection locates one newly detected fault in the canonical reporting
 // schedule: relative time unit u, group index gi, lane within the group.
+// Lane numbering is word-major (lane = word*64 + bit), so the order is
+// identical at every lane width.
 type detection struct {
 	u, gi, lane int
 }
@@ -383,42 +419,62 @@ type detection struct {
 // commits the resulting machine states, and returns the indices of newly
 // detected faults. Detected faults are dropped from future simulation.
 //
-// With SetParallelism > 1 and more than one live group, the sharded
+// With Options.Workers > 1 and more than one live group, the cone-sharded
 // scheduler in parallel.go runs instead; it returns identical detections
 // in the identical order.
-func (inc *Incremental) Extend(seq vectors.Sequence) []int {
+func (e *Engine) Extend(seq vectors.Sequence) []int {
 	patternsApplied.Add(int64(len(seq)))
+	e.estat.PatternsApplied += int64(len(seq))
 	if len(seq) == 0 {
 		return nil
 	}
-	goodVals := inc.goodTraceCommit(seq)
-	live := inc.liveGroups()
-	if inc.workers > 1 && len(live) > 1 {
-		return inc.extendParallel(seq, goodVals, live)
+	copy(e.entryGood, e.goodState)
+	goodVals := e.goodTraceCommit(seq)
+	live := e.liveGroups()
+	if e.workers > 1 && len(live) > 1 {
+		return e.extendParallel(seq, goodVals, live)
 	}
-	sc := inc.sc
+	if e.nw > 1 {
+		wsc := e.wsc
+		wsc.dets = wsc.dets[:0]
+		for _, gi := range live {
+			e.wextendGroup(wsc, &e.wgroups[gi], gi, seq, goodVals)
+		}
+		newly := e.mergeDetections(wsc.dets, len(seq))
+		wsc.dets = wsc.dets[:0]
+		wsc.flushInto(e)
+		return newly
+	}
+	sc := e.sc
 	sc.dets = sc.dets[:0]
 	for _, gi := range live {
-		inc.extendGroup(sc, &inc.groups[gi], gi, seq, goodVals)
+		e.extendGroup(sc, &e.groups[gi], gi, seq, goodVals)
 	}
-	newly := inc.mergeDetections(sc.dets, len(seq))
+	newly := e.mergeDetections(sc.dets, len(seq))
 	sc.dets = sc.dets[:0]
-	sc.flushStats()
+	sc.flushInto(e)
 	return newly
 }
 
 // extendGroup simulates seq for one group, committing its state words and
 // appending its detections (in relative time order) to sc.dets.
-func (inc *Incremental) extendGroup(sc *scratch, g *group, gi int, seq vectors.Sequence, goodVals [][]logic.Value) {
-	inc.loadPlan(sc, g)
+func (e *Engine) extendGroup(sc *scratch, g *group, gi int, seq vectors.Sequence, goodVals [][]logic.Value) {
+	e.loadPlan(sc, g)
 	alive := g.alive
+	full := e.fullEval
+	if g.escalated && !full {
+		e.densifyState(g.state, g.divDFF, alive)
+		full = true
+	}
+	evalBefore := sc.evaluated
+	steps := 0
 	var detAll uint64
 	for u := range seq {
 		var det uint64
-		if inc.fullEval {
-			det = inc.stepGroupFull(sc, g, seq[u], goodVals[u], g.state)
+		if full {
+			det = e.stepGroupFull(sc, g, seq[u], goodVals[u], g.state)
 		} else {
-			det = inc.stepGroup(sc, g, goodVals[u], g.state, &g.divDFF)
+			det = e.stepGroup(sc, g, goodVals[u], g.state, &g.divDFF)
 		}
 		det = det & alive &^ detAll
 		for m := det; m != 0; {
@@ -427,20 +483,103 @@ func (inc *Incremental) extendGroup(sc *scratch, g *group, gi int, seq vectors.S
 			sc.dets = append(sc.dets, detection{u: u, gi: gi, lane: lane})
 		}
 		detAll |= det
+		steps = u + 1
 		if alive&^detAll == 0 {
 			// Every lane of this group is detected; further vectors
 			// cannot change its outcome.
 			break
 		}
 	}
-	inc.unloadPlan(sc, g)
+	e.unloadPlan(sc, g)
+	if g.escalated && !e.fullEval {
+		// Convert the dense state back to the sparse representation
+		// against the good flip-flop values after the last stepped unit;
+		// a reconverged group de-escalates.
+		e.sparsifyState(g, goodVals[steps-1], alive)
+		if len(g.divDFF) == 0 {
+			g.escalated = false
+			g.hotCalls = 0
+			g.lastEval = 0
+		}
+	} else if !e.fullEval {
+		e.noteActivity(sc, g, sc.evaluated-evalBefore, steps)
+	}
+}
+
+// Escalation thresholds (ModeAuto, 64-lane engine): a group escalates to
+// the full-netlist stepper when its region spans at least
+// escRegionNum/escRegionDen of the netlist AND its measured activity
+// (gates evaluated per time unit) stays above escActivityNum/
+// escActivityDen of the region for escalateAfter consecutive committing
+// calls. Only then is the flat full walk — no boundary materialization,
+// no sparse capture, no per-unit quiescence probing — cheaper than the
+// region engine; for small regions the cone restriction always wins.
+const (
+	escRegionNum, escRegionDen     = 3, 4
+	escActivityNum, escActivityDen = 1, 4
+	escalateAfter                  = 2
+)
+
+// noteActivity updates the group's escalation predictor after a
+// committing region-engine call that evaluated the given gate count over
+// the given number of time units.
+func (e *Engine) noteActivity(sc *scratch, g *group, evaluated int64, steps int) {
+	if e.opts.Mode != ModeAuto || steps == 0 {
+		return
+	}
+	region := len(g.plan.gates)
+	if region*escRegionDen < e.c.NumGates()*escRegionNum {
+		return
+	}
+	if evaluated*escActivityDen >= int64(region)*int64(steps)*escActivityNum {
+		g.hotCalls++
+		if g.hotCalls >= escalateAfter && !g.escalated {
+			g.escalated = true
+			sc.escalated++
+		}
+	} else {
+		g.hotCalls = 0
+	}
+}
+
+// densifyState converts a group's sparse state (state words valid only at
+// divDFF entries, everything else implicitly fault-free) into the dense
+// representation the full-netlist stepper reads, pinning dead lanes to
+// the fault-free value. entryGood holds the fault-free flip-flop values
+// at the start of the current call.
+func (e *Engine) densifyState(state []logic.Word, divDFF []int32, alive uint64) {
+	j := 0
+	for di := range state {
+		bg := bcast[e.entryGood[di]]
+		if j < len(divDFF) && int(divDFF[j]) == di {
+			state[di] = mixAlive(state[di], bg, alive)
+			j++
+		} else {
+			state[di] = bg
+		}
+	}
+}
+
+// sparsifyState rebuilds a group's sparse diverged-DFF list from its
+// dense state words against the fault-free values of the last simulated
+// time unit (goodRow), pinning dead lanes so dropped faults go inert.
+func (e *Engine) sparsifyState(g *group, goodRow []logic.Value, alive uint64) {
+	g.divDFF = g.divDFF[:0]
+	for di := range g.state {
+		bg := bcast[goodRow[e.c.DFFs[di].D]]
+		w := mixAlive(g.state[di], bg, alive)
+		if w != bg {
+			g.state[di] = w
+			g.divDFF = append(g.divDFF, int32(di))
+		}
+	}
 }
 
 // mergeDetections commits collected detections in the canonical reporting
 // order — ascending time unit, then group index, then lane — updating the
-// per-fault records and dropping detected lanes. It advances inc.now by
+// per-fault records and dropping detected lanes. It advances e.now by
 // seqLen and returns the newly detected fault indices.
-func (inc *Incremental) mergeDetections(dets []detection, seqLen int) []int {
+func (e *Engine) mergeDetections(dets []detection, seqLen int) []int {
 	sort.Slice(dets, func(i, j int) bool {
 		a, b := dets[i], dets[j]
 		if a.u != b.u {
@@ -453,23 +592,30 @@ func (inc *Incremental) mergeDetections(dets []detection, seqLen int) []int {
 	})
 	var newly []int
 	for _, d := range dets {
-		g := &inc.groups[d.gi]
-		fi := g.fault[d.lane]
-		inc.detected[fi] = true
-		inc.detTime[fi] = inc.now + d.u
-		inc.numDet++
+		var fi int
+		if e.nw > 1 {
+			g := &e.wgroups[d.gi]
+			fi = g.fault[d.lane]
+			g.dropLane(d.lane)
+		} else {
+			g := &e.groups[d.gi]
+			fi = g.fault[d.lane]
+			g.alive &^= 1 << uint(d.lane)
+		}
+		e.detected[fi] = true
+		e.detTime[fi] = e.now + d.u
+		e.numDet++
 		newly = append(newly, fi)
-		g.alive &^= 1 << uint(d.lane)
 	}
-	inc.now += seqLen
+	e.now += seqLen
 	return newly
 }
 
 // Peek simulates seq from the current state without committing any state
 // or detection bookkeeping, and returns the indices of live faults that
 // seq would newly detect.
-func (inc *Incremental) Peek(seq vectors.Sequence) []int {
-	newly, _ := inc.Evaluate(seq)
+func (e *Engine) Peek(seq vectors.Sequence) []int {
+	newly, _ := e.Evaluate(seq)
 	return newly
 }
 
@@ -483,37 +629,54 @@ func (inc *Incremental) Peek(seq vectors.Sequence) []int {
 //
 // Evaluate is the ATPG inner loop and is allocation-free in the steady
 // state: the good-value trace, the peek simulator, and all propagation
-// scratch are pooled on the Incremental; only a nonempty newly slice
+// scratch are pooled on the Engine; only a nonempty newly slice
 // allocates.
-func (inc *Incremental) Evaluate(seq vectors.Sequence) (newly []int, divergence int) {
+func (e *Engine) Evaluate(seq vectors.Sequence) (newly []int, divergence int) {
 	patternsApplied.Add(int64(len(seq)))
+	e.estat.PatternsApplied += int64(len(seq))
 	if len(seq) == 0 {
 		return nil, 0
 	}
-	goodVals := inc.goodTracePeek(seq)
-	live := inc.liveGroups()
-	if inc.workers > 1 && len(live) > 1 {
-		return inc.evaluateParallel(seq, goodVals, live)
+	copy(e.entryGood, e.goodState)
+	goodVals := e.goodTracePeek(seq)
+	live := e.liveGroups()
+	if e.workers > 1 && len(live) > 1 {
+		return e.evaluateParallel(seq, goodVals, live)
+	}
+	if e.nw > 1 {
+		for _, gi := range live {
+			g := &e.wgroups[gi]
+			e.wevaluateGroup(e.wsc, g, seq, goodVals, &divergence)
+			newly = appendDetected(newly, g.fault, e.wsc.detAll)
+		}
+		e.wsc.flushInto(e)
+		return newly, divergence
 	}
 	for _, gi := range live {
-		g := &inc.groups[gi]
-		detAll := inc.evaluateGroup(inc.sc, g, seq, goodVals, &divergence)
+		g := &e.groups[gi]
+		detAll := e.evaluateGroup(e.sc, g, seq, goodVals, &divergence)
 		for detAll != 0 {
 			lane := trailingZeros(detAll)
 			detAll &^= 1 << uint(lane)
 			newly = append(newly, g.fault[lane])
 		}
 	}
-	inc.sc.flushStats()
+	e.sc.flushInto(e)
 	return newly, divergence
 }
 
 // evaluateGroup simulates seq for one group without committing state,
 // using sc's state buffer, and returns the mask of newly detected lanes.
 // It adds the group's divergence contribution to *divergence.
-func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequence, goodVals [][]logic.Value, divergence *int) uint64 {
-	if inc.fullEval {
+func (e *Engine) evaluateGroup(sc *scratch, g *group, seq vectors.Sequence, goodVals [][]logic.Value, divergence *int) uint64 {
+	full := e.fullEval || g.escalated
+	if e.fullEval {
 		copy(sc.state, g.state)
+	} else if g.escalated {
+		// Non-committing densification: expand the sparse state into the
+		// scratch state buffer, leaving the group's own words untouched.
+		copy(sc.state, g.state)
+		e.densifyState(sc.state, g.divDFF, g.alive)
 	} else {
 		sc.divDFF = sc.divDFF[:0]
 		for _, di := range g.divDFF {
@@ -523,14 +686,14 @@ func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequenc
 	}
 	alive := g.alive
 	detAll := uint64(0)
-	inc.loadPlan(sc, g)
+	e.loadPlan(sc, g)
 	steps := 0
 	for u := range seq {
 		var det uint64
-		if inc.fullEval {
-			det = inc.stepGroupFull(sc, g, seq[u], goodVals[u], sc.state)
+		if full {
+			det = e.stepGroupFull(sc, g, seq[u], goodVals[u], sc.state)
 		} else {
-			det = inc.stepGroup(sc, g, goodVals[u], sc.state, &sc.divDFF)
+			det = e.stepGroup(sc, g, goodVals[u], sc.state, &sc.divDFF)
 		}
 		det = det & alive &^ detAll
 		detAll |= det
@@ -539,14 +702,14 @@ func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequenc
 			break
 		}
 	}
-	inc.unloadPlan(sc, g)
+	e.unloadPlan(sc, g)
 	// Divergence: undetected live lanes whose state definitely differs
 	// from the fault-free state after the last simulated vector.
 	if steps == len(seq) && len(seq) > 0 {
 		var diverged uint64
 		goodFinal := goodVals[len(seq)-1]
-		if inc.fullEval {
-			for di, ff := range inc.c.DFFs {
+		if full {
+			for di, ff := range e.c.DFFs {
 				switch goodFinal[ff.D] {
 				case logic.Zero:
 					diverged |= sc.state[di].DefiniteOne()
@@ -558,7 +721,7 @@ func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequenc
 			// Flip-flops outside the diverged list equal the fault-free
 			// state and cannot contribute.
 			for _, di := range sc.divDFF {
-				ff := inc.c.DFFs[di]
+				ff := e.c.DFFs[di]
 				switch goodFinal[ff.D] {
 				case logic.Zero:
 					diverged |= sc.state[di].DefiniteOne()
@@ -576,22 +739,22 @@ func (inc *Incremental) evaluateGroup(sc *scratch, g *group, seq vectors.Sequenc
 func popcount(x uint64) int { return bits.OnesCount64(x) }
 
 // Result snapshots the detection state accumulated so far.
-func (inc *Incremental) Result() Result {
-	det := make([]bool, len(inc.detected))
-	copy(det, inc.detected)
-	dt := make([]int, len(inc.detTime))
-	copy(dt, inc.detTime)
-	return Result{Detected: det, DetTime: dt, NumDetected: inc.numDet}
+func (e *Engine) Result() Result {
+	det := make([]bool, len(e.detected))
+	copy(det, e.detected)
+	dt := make([]int, len(e.detTime))
+	copy(dt, e.detTime)
+	return Result{Detected: det, DetTime: dt, NumDetected: e.numDet}
 }
 
 // NumDetected returns the number of faults detected so far.
-func (inc *Incremental) NumDetected() int { return inc.numDet }
+func (e *Engine) NumDetected() int { return e.numDet }
 
 // Now returns the number of time units simulated so far.
-func (inc *Incremental) Now() int { return inc.now }
+func (e *Engine) Now() int { return e.now }
 
 // GoodState returns the current fault-free flip-flop state (live view).
-func (inc *Incremental) GoodState() []logic.Value { return inc.goodState }
+func (e *Engine) GoodState() []logic.Value { return e.goodState }
 
 // trailingZeros returns the index of the lowest set bit of x (x != 0).
 func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

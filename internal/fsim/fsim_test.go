@@ -124,7 +124,7 @@ func TestIncrementalExtendMatchesOneShot(t *testing.T) {
 	t0 := s27T0()
 	oneShot := Run(c, fl, t0)
 
-	inc := NewIncremental(c, fl)
+	inc := New(c, fl, Options{})
 	inc.Extend(t0[:3])
 	inc.Extend(t0[3:7])
 	inc.Extend(t0[7:])
@@ -146,7 +146,7 @@ func TestPeekDoesNotCommit(t *testing.T) {
 	fl := faults.CollapsedUniverse(c)
 	t0 := s27T0()
 
-	inc := NewIncremental(c, fl)
+	inc := New(c, fl, Options{})
 	inc.Extend(t0[:2])
 	before := inc.Result()
 
@@ -180,7 +180,7 @@ func TestPeekDoesNotCommit(t *testing.T) {
 func TestExtendReturnsNewlyDetected(t *testing.T) {
 	c := iscas.S27()
 	fl := faults.CollapsedUniverse(c)
-	inc := NewIncremental(c, fl)
+	inc := New(c, fl, Options{})
 	newly := inc.Extend(s27T0())
 	if len(newly) != 32 {
 		t.Fatalf("Extend returned %d newly detected, want 32", len(newly))
@@ -311,7 +311,7 @@ y = OR(a, na)
 func TestAccessors(t *testing.T) {
 	c := iscas.S27()
 	fl := faults.CollapsedUniverse(c)
-	inc := NewIncremental(c, fl)
+	inc := New(c, fl, Options{})
 	if len(inc.GoodState()) != c.NumDFFs() {
 		t.Errorf("GoodState length %d", len(inc.GoodState()))
 	}

@@ -1,12 +1,14 @@
 package fsim
 
-// The pre-change full-netlist evaluation path, kept verbatim as the
-// differential-testing reference for the active-region engine
-// (engine.go): every gate of the circuit is evaluated for every group at
+// The flat full-netlist evaluation path, kept verbatim from the pre-cone
+// engine: every gate of the circuit is evaluated for every group at
 // every time unit, with dense per-group state words and per-signal
-// forcing-mask probes. Production code never runs it; the differential
-// and property tests drive it through SetFullEvaluation and require
-// bit-for-bit identical results from the two paths.
+// forcing-mask probes. It serves two roles: the differential-testing
+// reference (Options.FullEvaluation — the active-region engine must
+// produce bit-for-bit identical results), and the escalation target the
+// activity heuristic falls back to for persistently hot whole-netlist
+// groups, where the cone restriction's bookkeeping costs more than it
+// saves (fsim.go, noteActivity).
 
 import (
 	"seqbist/internal/logic"
@@ -14,28 +16,14 @@ import (
 	"seqbist/internal/vectors"
 )
 
-// SetFullEvaluation switches the simulator to the full-netlist reference
-// path (true) or the active-region engine (false, the default). It is a
-// test hook for differential testing and must be called directly after
-// NewIncremental, before any simulation: the two paths represent machine
-// state differently (dense versus sparse), so flipping mid-run would read
-// stale words. SetFullEvaluation panics if any time units have already
-// been simulated.
-func (inc *Incremental) SetFullEvaluation(full bool) {
-	if inc.now != 0 {
-		panic("fsim: SetFullEvaluation after simulation started")
-	}
-	inc.fullEval = full
-}
-
 // stepGroupFull evaluates one time unit for group g over the entire
 // netlist using sc's scratch words and the given dense flip-flop state
 // words (updated in place), and returns the mask of lanes detected at a
 // primary output this cycle. Forcing plans must already be loaded into
 // sc. This is the pre-change engine, byte for byte except that the
 // fault-free values arrive as a precomputed snapshot.
-func (inc *Incremental) stepGroupFull(sc *scratch, g *group, vec vectors.Vector, goodVals []logic.Value, state []logic.Word) uint64 {
-	c := inc.c
+func (e *Engine) stepGroupFull(sc *scratch, g *group, vec vectors.Vector, goodVals []logic.Value, state []logic.Word) uint64 {
+	c := e.c
 	words := sc.words
 	for i, pi := range c.PIs {
 		w := logic.Broadcast(vec[i])

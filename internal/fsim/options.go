@@ -1,0 +1,221 @@
+package fsim
+
+// The Engine options surface. One constructor, one options block: every
+// knob the simulator exposes — worker count, lane width, propagation
+// mode, and the full-evaluation reference path — is fixed at
+// construction, so an Engine's behavior never changes under a caller's
+// feet and its methods are safe to call repeatedly in any order.
+
+import (
+	"fmt"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+	"seqbist/internal/sim"
+	"seqbist/internal/vectors"
+)
+
+// Mode selects the propagation structure of the active-region engine.
+type Mode int
+
+const (
+	// ModeAuto picks per group and per time unit between event-driven
+	// (queue) and dense-region propagation from recent activity, and
+	// escalates persistently hot whole-netlist groups to the flat full
+	// stepper. The default, and the only mode production code should use.
+	ModeAuto Mode = iota
+	// ModeQueue forces event-driven level-ordered propagation.
+	ModeQueue
+	// ModeDense forces dense region walks.
+	ModeDense
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeQueue:
+		return "queue"
+	case ModeDense:
+		return "dense"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures an Engine. The zero value is the default
+// configuration: serial, 64 lanes, adaptive propagation.
+type Options struct {
+	// Workers is the goroutine count for the cone-sharded group
+	// scheduler; 0 or 1 selects the serial path. Any value produces
+	// bit-for-bit identical detection results.
+	Workers int
+
+	// Lanes is the number of faulty machines packed per group: 64 (the
+	// default when 0) simulates one machine per bit of a uint64 word;
+	// 128/256 pack multiple words per group, amortizing region-walk and
+	// queue overhead per evaluated gate at the cost of wider value
+	// operations. Must be a positive multiple of 64. Results are
+	// bit-for-bit identical at every lane width.
+	Lanes int
+
+	// Mode selects the propagation structure; see Mode. ModeQueue and
+	// ModeDense exist for differential testing and diagnosis.
+	Mode Mode
+
+	// FullEvaluation selects the flat full-netlist reference path
+	// (fullpath.go) instead of the active-region engine: every gate, every
+	// group, every time unit. It is the differential-testing reference and
+	// requires Lanes == 64.
+	FullEvaluation bool
+}
+
+// ValidLanes reports whether n is an acceptable Options.Lanes value
+// (0 selects the default width). Layers that accept a lane width from
+// external input use it to reject bad values as errors before they reach
+// New, which panics.
+func ValidLanes(n int) bool {
+	return n == 0 || (n >= 64 && n%64 == 0)
+}
+
+// normalize validates opts and fills defaults. It panics on option
+// combinations that have no meaning — misconfiguration is a programming
+// error, not a runtime condition.
+func (o Options) normalize() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Lanes == 0 {
+		o.Lanes = 64
+	}
+	if o.Lanes < 64 || o.Lanes%64 != 0 {
+		panic(fmt.Sprintf("fsim: Options.Lanes must be a positive multiple of 64, got %d", o.Lanes))
+	}
+	if o.Mode != ModeAuto && o.Mode != ModeQueue && o.Mode != ModeDense {
+		panic(fmt.Sprintf("fsim: unknown Options.Mode %d", int(o.Mode)))
+	}
+	if o.FullEvaluation && o.Lanes != 64 {
+		panic("fsim: Options.FullEvaluation requires Lanes == 64")
+	}
+	return o
+}
+
+// New prepares an Engine for the given circuit and fault list. The
+// initial state of every machine is all-unknown. Faults are packed into
+// lane groups in locality order (packOrder), and each group's static
+// active region is precomputed, so construction does the cone analysis
+// once and every Run/Extend/Evaluate call benefits.
+func New(c *netlist.Circuit, fl []faults.Fault, opts Options) *Engine {
+	opts = opts.normalize()
+	e := &Engine{
+		c:         c,
+		csr:       c.CSR(),
+		fl:        fl,
+		opts:      opts,
+		nw:        opts.Lanes / 64,
+		good:      sim.New(c),
+		goodPO:    make([]logic.Value, c.NumPOs()),
+		peekSim:   sim.New(c),
+		peekPO:    make([]logic.Value, c.NumPOs()),
+		workers:   opts.Workers,
+		fullEval:  opts.FullEvaluation,
+		detected:  make([]bool, len(fl)),
+		detTime:   make([]int, len(fl)),
+		entryGood: make([]logic.Value, c.NumDFFs()),
+	}
+	e.goodState = e.good.InitialState()
+	e.peekState = make([]logic.Value, c.NumDFFs())
+	e.stride = earlyExitStride(c)
+	for i := range e.detTime {
+		e.detTime[i] = Undetected
+	}
+	if e.nw == 1 {
+		e.sc = newScratch(c)
+	} else {
+		e.wsc = newWScratch(c, e.nw)
+	}
+	e.buildGroups()
+	return e
+}
+
+// Options returns the engine's (normalized) configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Run simulates seq from the all-unknown initial state and returns the
+// per-fault detection results. Any state carried from earlier calls is
+// reset first, so Run is safe to call repeatedly — each call is an
+// independent whole-sequence simulation reusing the engine's plans and
+// buffers. Extension is chunked with an early exit: once every fault is
+// detected the rest of the sequence cannot change the Result (see
+// earlyExitStride).
+func (e *Engine) Run(seq vectors.Sequence) Result {
+	e.Reset()
+	chunk := e.stride
+	for start := 0; start < len(seq); start += chunk {
+		if e.numDet == len(e.fl) {
+			break
+		}
+		end := start + chunk
+		if end > len(seq) {
+			end = len(seq)
+		}
+		e.Extend(seq[start:end])
+	}
+	return e.Result()
+}
+
+// Reset returns the engine to its initial state: all machines all-unknown,
+// no faults detected, time zero. Plans, shards, and pooled buffers are
+// retained. The cumulative Stats are not reset.
+func (e *Engine) Reset() {
+	for i := range e.goodState {
+		e.goodState[i] = logic.X
+	}
+	for i := range e.detected {
+		e.detected[i] = false
+		e.detTime[i] = Undetected
+	}
+	e.numDet = 0
+	e.now = 0
+	for gi := range e.groups {
+		g := &e.groups[gi]
+		g.alive = fullAlive64(len(g.fault))
+		for i := range g.state {
+			g.state[i] = logic.AllX()
+		}
+		g.divDFF = g.divDFF[:0]
+		g.lastEval = 0
+		g.hotCalls = 0
+		g.escalated = false
+	}
+	for gi := range e.wgroups {
+		e.wgroups[gi].reset()
+	}
+	// Detection dropped groups from the shards' balance; force a rebuild.
+	e.shards = nil
+	e.shardLive = 0
+}
+
+// fullAlive64 returns the live mask for n lanes in one word (n <= 64).
+func fullAlive64(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Single simulates fault f alone against seq from the all-unknown state
+// using the pooled scalar two-machine simulator, returning whether (and
+// when) it is detected. It is independent of the engine's carried
+// parallel-machine state.
+func (e *Engine) Single(f faults.Fault, seq vectors.Sequence) (detected bool, at int) {
+	if e.singleSim == nil {
+		e.singleSim = NewSingle(e.c)
+	}
+	return e.singleSim.Detects(f, seq)
+}
+
+// Stats returns the cumulative simulation-efficiency counters accumulated
+// by this engine (across Reset calls). The process-wide aggregate over
+// all engines is the package-level Stats.
+func (e *Engine) Stats() SimStats { return e.estat }

@@ -1,39 +1,51 @@
 package fsim
 
-// Sharded parallel scheduler for the Incremental simulator.
+// Cone-sharded parallel scheduler for the Engine.
 //
-// Incremental packs 64 faulty machines per group, and the groups are
-// mutually independent once the fault-free value trace is known: each
-// group owns its state words, the circuit, plans, and fault list are
-// read-only, and the forcing masks and propagation stamps live in a
-// per-worker scratch. The scheduler therefore computes the good-machine
-// trace for the whole subsequence first, fans the live groups out to a
-// goroutine pool, and merges the per-group detections back in the serial
-// schedule's (time, group, lane) order. Detection results — Detected,
-// DetTime, NumDetected, and the order of newly reported faults — are
-// bit-for-bit identical to the serial path for every worker count.
+// Groups are mutually independent once the fault-free value trace is
+// known: each group owns its state words, the circuit, plans, and fault
+// list are read-only, and the forcing masks and propagation stamps live
+// in a per-worker scratch. The scheduler therefore computes the
+// good-machine trace for the whole subsequence first, fans the live
+// groups out to a fixed set of workers, and merges the per-group
+// detections back in the serial schedule's (time, group, lane) order.
+// Detection results — Detected, DetTime, NumDetected, and the order of
+// newly reported faults — are bit-for-bit identical to the serial path
+// for every worker count.
+//
+// Work is divided by static cone-aware shards rather than a dynamic
+// work-stealing queue. Groups are packed in cone-locality order
+// (packOrder), so consecutive groups share most of their active regions;
+// netlist.ConePartition cuts that ordered list into contiguous,
+// weight-balanced shards at the points of least region overlap. Each
+// worker then owns a near-disjoint slice of the netlist: its scratch's
+// per-signal words, stamps, and forcing masks keep touching the same
+// cache lines from group to group instead of interleaving the whole
+// netlist with every other worker. Shards are rebuilt only when enough
+// groups die for the balance to drift (half the groups since the last
+// build), so the steady state has no scheduling overhead beyond one
+// goroutine launch per shard.
 
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"seqbist/internal/logic"
 	"seqbist/internal/netlist"
 	"seqbist/internal/vectors"
 )
 
-// DefaultParallelism is the goroutine count Run uses for group sharding:
-// one worker per available CPU.
+// DefaultParallelism is the worker count Run uses for group sharding: one
+// worker per available CPU.
 func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
 
-// earlyExitStride is the number of time units RunParallel extends between
-// checks of the all-detected early-exit condition. It scales with the
-// circuit's sequential depth (memoized on the Circuit): a fault needs at
-// least that many cycles to traverse the state registers to an
-// observation point, so shallow circuits can afford frequent checks and
-// exit as soon as coverage completes, while deep circuits use longer
-// chunks that amortize trace construction and goroutine scheduling.
+// earlyExitStride is the number of time units Run extends between checks
+// of the all-detected early-exit condition. It scales with the circuit's
+// sequential depth (memoized on the Circuit): a fault needs at least that
+// many cycles to traverse the state registers to an observation point, so
+// shallow circuits can afford frequent checks and exit as soon as
+// coverage completes, while deep circuits use longer chunks that amortize
+// trace construction and goroutine scheduling.
 func earlyExitStride(c *netlist.Circuit) int {
 	stride := 4 * (c.SequentialDepth() + 1)
 	if stride < 8 {
@@ -45,63 +57,103 @@ func earlyExitStride(c *netlist.Circuit) int {
 	return stride
 }
 
-// SetParallelism sets the number of goroutines used to shard fault groups
-// (n <= 1 selects the serial path). Any value produces identical
-// detection results; parallelism only helps when the fault list spans
-// several 64-fault groups.
-func (inc *Incremental) SetParallelism(n int) {
-	if n < 1 {
-		n = 1
-	}
-	inc.workers = n
-}
-
-// Parallelism returns the configured worker count.
-func (inc *Incremental) Parallelism() int { return inc.workers }
-
 // liveGroups returns the indices of groups that still carry undetected
-// faults. The returned slice is pooled on the Incremental and valid until
-// the next call.
-func (inc *Incremental) liveGroups() []int {
-	live := inc.liveBuf[:0]
-	for gi := range inc.groups {
-		if inc.groups[gi].alive != 0 {
-			live = append(live, gi)
+// faults. The returned slice is pooled on the Engine and valid until the
+// next call.
+func (e *Engine) liveGroups() []int {
+	live := e.liveBuf[:0]
+	if e.nw > 1 {
+		for gi := range e.wgroups {
+			if e.wgroups[gi].anyAlive() {
+				live = append(live, gi)
+			}
+		}
+	} else {
+		for gi := range e.groups {
+			if e.groups[gi].alive != 0 {
+				live = append(live, gi)
+			}
 		}
 	}
-	inc.liveBuf = live
+	e.liveBuf = live
 	return live
+}
+
+// planOf returns the simulation plan of group gi at the engine's lane
+// width.
+func (e *Engine) planOf(gi int) *plan {
+	if e.nw > 1 {
+		return &e.wgroups[gi].plan
+	}
+	return &e.groups[gi].plan
+}
+
+// ensureShards (re)builds the static cone-aware shards over the live
+// groups. A shard is a contiguous run of the locality-ordered group list;
+// netlist.ConePartition balances the region weights and places the cuts
+// where adjacent regions overlap least. Shards are kept until half the
+// groups they were built over have died, then rebuilt to restore balance.
+func (e *Engine) ensureShards(live []int) {
+	if e.shards != nil && len(live)*2 > e.shardLive {
+		return
+	}
+	cones := e.conesBuf[:0]
+	for _, gi := range live {
+		cones = append(cones, e.planOf(gi).gates)
+	}
+	e.conesBuf = cones
+	parts := netlist.ConePartition(cones, e.workers)
+	shards := e.shards[:0]
+	for _, part := range parts {
+		var shard []int
+		if len(shards) < len(e.shards) {
+			shard = e.shards[len(shards)][:0]
+		}
+		for _, idx := range part {
+			shard = append(shard, live[idx])
+		}
+		shards = append(shards, shard)
+	}
+	e.shards = shards
+	e.shardLive = len(live)
 }
 
 // ensureWorkerScratch grows the per-worker scratch pool to n entries.
 // Scratches are retained across calls: Extend/Evaluate invocations are
 // sequential, so reuse is safe and keeps the hot path allocation-free.
-func (inc *Incremental) ensureWorkerScratch(n int) {
-	for len(inc.workerScratch) < n {
-		inc.workerScratch = append(inc.workerScratch, newScratch(inc.c))
+func (e *Engine) ensureWorkerScratch(n int) {
+	if e.nw > 1 {
+		for len(e.workerWide) < n {
+			e.workerWide = append(e.workerWide, newWScratch(e.c, e.nw))
+		}
+		return
+	}
+	for len(e.workerScratch) < n {
+		e.workerScratch = append(e.workerScratch, newScratch(e.c))
 	}
 }
 
-// shard runs fn(workerID, idx) for every idx in [0, n) on a pool of at
-// most inc.workers goroutines, each holding a private scratch.
-func (inc *Incremental) shard(n int, fn func(w, idx int)) {
-	workers := inc.workers
-	if workers > n {
-		workers = n
-	}
-	inc.ensureWorkerScratch(workers)
-	var next int64 = -1
+// runShards executes fn(worker, group index) for every live group of
+// every shard, one goroutine per shard. Dead groups (detected since the
+// shards were built) are skipped.
+func (e *Engine) runShards(fn func(w, gi int)) {
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := range e.shards {
+		if len(e.shards[w]) == 0 {
+			continue
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
-				idx := int(atomic.AddInt64(&next, 1))
-				if idx >= n {
-					return
+			for _, gi := range e.shards[w] {
+				if e.nw > 1 {
+					if !e.wgroups[gi].anyAlive() {
+						continue
+					}
+				} else if e.groups[gi].alive == 0 {
+					continue
 				}
-				fn(w, idx)
+				fn(w, gi)
 			}
 		}(w)
 	}
@@ -111,48 +163,89 @@ func (inc *Incremental) shard(n int, fn func(w, idx int)) {
 // extendParallel is Extend's sharded path: live groups are simulated
 // concurrently against the precomputed good trace, committing their state
 // words, and detections are merged in serial order afterwards.
-func (inc *Incremental) extendParallel(seq vectors.Sequence, goodVals [][]logic.Value, live []int) []int {
-	inc.shard(len(live), func(w, idx int) {
-		gi := live[idx]
-		inc.extendGroup(inc.workerScratch[w], &inc.groups[gi], gi, seq, goodVals)
+func (e *Engine) extendParallel(seq vectors.Sequence, goodVals [][]logic.Value, live []int) []int {
+	e.ensureShards(live)
+	e.ensureWorkerScratch(len(e.shards))
+	if e.nw > 1 {
+		e.runShards(func(w, gi int) {
+			e.wextendGroup(e.workerWide[w], &e.wgroups[gi], gi, seq, goodVals)
+		})
+		// Gather the per-worker detection buffers and merge them in the
+		// serial emission order (mergeDetections sorts by time, group,
+		// lane).
+		all := e.wsc.dets[:0]
+		for _, wsc := range e.workerWide {
+			all = append(all, wsc.dets...)
+			wsc.dets = wsc.dets[:0]
+			wsc.flushInto(e)
+		}
+		newly := e.mergeDetections(all, len(seq))
+		e.wsc.dets = all[:0]
+		return newly
+	}
+	e.runShards(func(w, gi int) {
+		e.extendGroup(e.workerScratch[w], &e.groups[gi], gi, seq, goodVals)
 	})
-	// Gather the per-worker detection buffers and merge them in the
-	// serial emission order (mergeDetections sorts by time, group, lane).
-	all := inc.sc.dets[:0]
-	for _, sc := range inc.workerScratch {
+	all := e.sc.dets[:0]
+	for _, sc := range e.workerScratch {
 		all = append(all, sc.dets...)
 		sc.dets = sc.dets[:0]
-		sc.flushStats()
+		sc.flushInto(e)
 	}
-	newly := inc.mergeDetections(all, len(seq))
-	inc.sc.dets = all[:0]
+	newly := e.mergeDetections(all, len(seq))
+	e.sc.dets = all[:0]
 	return newly
 }
 
 // evaluateParallel is Evaluate's sharded path: non-committing, merging
 // per-group newly-detected lists in group order (the serial order) and
-// summing divergence.
-func (inc *Incremental) evaluateParallel(seq vectors.Sequence, goodVals [][]logic.Value, live []int) (newly []int, divergence int) {
-	newlyByIdx := make([][]int, len(live))
-	divByIdx := make([]int, len(live))
-	inc.shard(len(live), func(w, idx int) {
-		g := &inc.groups[live[idx]]
-		sc := inc.workerScratch[w]
-		detAll := inc.evaluateGroup(sc, g, seq, goodVals, &divByIdx[idx])
-		var out []int
-		for detAll != 0 {
-			lane := trailingZeros(detAll)
-			detAll &^= 1 << uint(lane)
-			out = append(out, g.fault[lane])
-		}
-		newlyByIdx[idx] = out
-	})
-	for _, sc := range inc.workerScratch {
-		sc.flushStats()
+// summing divergence. The per-group merge buffers are pooled on the
+// Engine.
+func (e *Engine) evaluateParallel(seq vectors.Sequence, goodVals [][]logic.Value, live []int) (newly []int, divergence int) {
+	e.ensureShards(live)
+	e.ensureWorkerScratch(len(e.shards))
+	ngroups := len(e.groups)
+	if e.nw > 1 {
+		ngroups = len(e.wgroups)
 	}
-	for idx := range live {
-		newly = append(newly, newlyByIdx[idx]...)
-		divergence += divByIdx[idx]
+	for len(e.newlyBuf) < ngroups {
+		e.newlyBuf = append(e.newlyBuf, nil)
+	}
+	if cap(e.divBuf) < ngroups {
+		e.divBuf = make([]int, ngroups)
+	}
+	e.divBuf = e.divBuf[:ngroups]
+	for _, gi := range live {
+		e.newlyBuf[gi] = e.newlyBuf[gi][:0]
+		e.divBuf[gi] = 0
+	}
+	if e.nw > 1 {
+		e.runShards(func(w, gi int) {
+			g := &e.wgroups[gi]
+			wsc := e.workerWide[w]
+			e.wevaluateGroup(wsc, g, seq, goodVals, &e.divBuf[gi])
+			e.newlyBuf[gi] = appendDetected(e.newlyBuf[gi], g.fault, wsc.detAll)
+		})
+		for _, wsc := range e.workerWide {
+			wsc.flushInto(e)
+		}
+	} else {
+		e.runShards(func(w, gi int) {
+			g := &e.groups[gi]
+			detAll := e.evaluateGroup(e.workerScratch[w], g, seq, goodVals, &e.divBuf[gi])
+			for detAll != 0 {
+				lane := trailingZeros(detAll)
+				detAll &^= 1 << uint(lane)
+				e.newlyBuf[gi] = append(e.newlyBuf[gi], g.fault[lane])
+			}
+		})
+		for _, sc := range e.workerScratch {
+			sc.flushInto(e)
+		}
+	}
+	for _, gi := range live {
+		newly = append(newly, e.newlyBuf[gi]...)
+		divergence += e.divBuf[gi]
 	}
 	return newly, divergence
 }

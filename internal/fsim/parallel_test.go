@@ -12,8 +12,8 @@ import (
 
 // TestParallelMatchesSerialRun is the differential check behind the
 // sharded scheduler's contract: for random circuits, sequences, and
-// worker counts, RunParallel must be bit-for-bit identical to the serial
-// path — same Detected flags, same first-detection times.
+// worker counts, the cone-sharded Run must be bit-for-bit identical to
+// the serial path — same Detected flags, same first-detection times.
 func TestParallelMatchesSerialRun(t *testing.T) {
 	circuits := []string{"s27", "s298", "s344", "s382"}
 	workerCounts := []int{2, 3, 4, 8}
@@ -22,9 +22,9 @@ func TestParallelMatchesSerialRun(t *testing.T) {
 		fl := faults.CollapsedUniverse(c)
 		for seed := uint64(1); seed <= 3; seed++ {
 			seq := vectors.RandomSequence(xrand.New(seed), c.NumPIs(), 150)
-			serial := RunParallel(c, fl, seq, 1)
+			serial := New(c, fl, Options{Workers: 1}).Run(seq)
 			for _, w := range workerCounts {
-				par := RunParallel(c, fl, seq, w)
+				par := New(c, fl, Options{Workers: w}).Run(seq)
 				if !reflect.DeepEqual(serial.Detected, par.Detected) {
 					t.Fatalf("%s seed=%d workers=%d: Detected differs from serial", name, seed, w)
 				}
@@ -41,7 +41,7 @@ func TestParallelMatchesSerialRun(t *testing.T) {
 }
 
 // TestParallelExtendOrderAndState interleaves Extend calls on a serial
-// and a parallel Incremental and checks that every call reports the same
+// and a parallel Engine and checks that every call reports the same
 // newly-detected faults in the same order, and that the carried machine
 // state stays in lockstep (witnessed by identical detections afterwards).
 func TestParallelExtendOrderAndState(t *testing.T) {
@@ -49,9 +49,8 @@ func TestParallelExtendOrderAndState(t *testing.T) {
 	fl := faults.CollapsedUniverse(c)
 	seq := vectors.RandomSequence(xrand.New(7), c.NumPIs(), 120)
 
-	serial := NewIncremental(c, fl)
-	par := NewIncremental(c, fl)
-	par.SetParallelism(4)
+	serial := New(c, fl, Options{})
+	par := New(c, fl, Options{Workers: 4})
 
 	for start := 0; start < seq.Len(); start += 17 {
 		end := start + 17
@@ -83,9 +82,8 @@ func TestParallelEvaluateMatchesSerial(t *testing.T) {
 	fl := faults.CollapsedUniverse(c)
 	warmup := vectors.RandomSequence(xrand.New(3), c.NumPIs(), 40)
 
-	serial := NewIncremental(c, fl)
-	par := NewIncremental(c, fl)
-	par.SetParallelism(4)
+	serial := New(c, fl, Options{})
+	par := New(c, fl, Options{Workers: 4})
 	serial.Extend(warmup)
 	par.Extend(warmup)
 
@@ -106,19 +104,17 @@ func TestParallelEvaluateMatchesSerial(t *testing.T) {
 }
 
 // TestParallelismClamp checks the configuration edge cases: nonpositive
-// worker counts fall back to the serial path.
+// worker counts normalize to the serial path.
 func TestParallelismClamp(t *testing.T) {
 	c := iscas.MustLoad("s27")
 	fl := faults.CollapsedUniverse(c)
-	inc := NewIncremental(c, fl)
-	inc.SetParallelism(-3)
-	if got := inc.Parallelism(); got != 1 {
-		t.Fatalf("Parallelism after SetParallelism(-3) = %d, want 1", got)
+	if got := New(c, fl, Options{Workers: -3}).Options().Workers; got != 1 {
+		t.Fatalf("normalized Workers for -3 = %d, want 1", got)
 	}
 	seq := vectors.RandomSequence(xrand.New(1), c.NumPIs(), 30)
-	want := RunParallel(c, fl, seq, 1)
-	got := RunParallel(c, fl, seq, 0)
+	want := New(c, fl, Options{Workers: 1}).Run(seq)
+	got := New(c, fl, Options{}).Run(seq)
 	if !reflect.DeepEqual(want, got) {
-		t.Fatal("RunParallel with workers=0 differs from serial")
+		t.Fatal("Run with zero-value Options differs from serial")
 	}
 }

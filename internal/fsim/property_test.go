@@ -20,7 +20,7 @@ func TestChunkingInvariance(t *testing.T) {
 		seq := vectors.RandomSequence(xrand.New(seed), c.NumPIs(), 24)
 		want := Run(c, fl, seq)
 
-		inc := NewIncremental(c, fl)
+		inc := New(c, fl, Options{})
 		prev := 0
 		for _, cRaw := range cuts {
 			cut := prev + int(cRaw%7)
@@ -73,7 +73,7 @@ func TestDetectionSubsetUnderConcatenation(t *testing.T) {
 func TestEvaluateMatchesPeek(t *testing.T) {
 	c := iscas.S27()
 	fl := faults.CollapsedUniverse(c)
-	inc := NewIncremental(c, fl)
+	inc := New(c, fl, Options{})
 	seq := vectors.RandomSequence(xrand.New(5), c.NumPIs(), 10)
 	newlyA, div := inc.Evaluate(seq)
 	newlyB := inc.Peek(seq)

@@ -7,11 +7,13 @@ import "sync/atomic"
 // process hosts one daemon, and threading metric sinks through every
 // simulation call site would put bookkeeping on the hottest loop in the
 // system. The engines accumulate locally (per call, per worker scratch)
-// and flush once per call, so the atomics are off the inner loop.
+// and flush once per call, so the atomics are off the inner loop; the
+// same flush feeds the owning Engine's private counters (Engine.Stats).
 var (
 	// gatesEvaluated counts gates the parallel-fault engine actually
 	// evaluated: the work remaining after cone restriction, activity
-	// gating, and quiescence.
+	// gating, and quiescence. A wide group (Options.Lanes > 64) counts one
+	// evaluation per gate regardless of lane width.
 	gatesEvaluated atomic.Int64
 	// gatesSkipped counts gates a full-netlist sweep would have evaluated
 	// but the active-region engine proved unnecessary (their value is the
@@ -21,18 +23,30 @@ var (
 	// entirely by the quiescence check: no flip-flop diverged from the
 	// fault-free machine and no fault site activated.
 	groupsQuiescent atomic.Int64
+	// groupsEscalated counts groups the activity heuristic escalated from
+	// the active-region engine to the flat full-netlist stepper because
+	// their region spans the netlist and stays hot (fsim.go,
+	// noteActivity). Each escalation transition counts once.
+	groupsEscalated atomic.Int64
+	// wordsInert counts per-gate word evaluations the wide engines skipped
+	// because every lane of the word slot was already dropped (dead-word
+	// inerting, wide.go).
+	wordsInert atomic.Int64
 )
 
-// SimStats is a snapshot of the process-wide simulation-efficiency
-// counters. Ratios of GatesEvaluated to GatesEvaluated+GatesSkipped
-// measure how much of the netlist the active-region engine actually
-// touches; GroupsQuiescent counts whole group-time-unit evaluations
-// skipped outright.
+// SimStats is a snapshot of simulation-efficiency counters — the
+// process-wide totals from the package-level Stats, or one engine's share
+// from Engine.Stats. Ratios of GatesEvaluated to
+// GatesEvaluated+GatesSkipped measure how much of the netlist the
+// active-region engine actually touches; GroupsQuiescent counts whole
+// group-time-unit evaluations skipped outright.
 type SimStats struct {
 	PatternsApplied int64 `json:"patterns_applied"`
 	GatesEvaluated  int64 `json:"gates_evaluated"`
 	GatesSkipped    int64 `json:"gates_skipped"`
 	GroupsQuiescent int64 `json:"groups_quiescent"`
+	GroupsEscalated int64 `json:"groups_escalated"`
+	WordsInert      int64 `json:"words_inert"`
 }
 
 // Stats returns the cumulative simulation-efficiency counters for this
@@ -43,6 +57,8 @@ func Stats() SimStats {
 		GatesEvaluated:  gatesEvaluated.Load(),
 		GatesSkipped:    gatesSkipped.Load(),
 		GroupsQuiescent: groupsQuiescent.Load(),
+		GroupsEscalated: groupsEscalated.Load(),
+		WordsInert:      wordsInert.Load(),
 	}
 }
 
@@ -58,19 +74,61 @@ func GatesSkipped() int64 { return gatesSkipped.Load() }
 // skipped by the quiescence check.
 func GroupsQuiescent() int64 { return groupsQuiescent.Load() }
 
-// flushStats adds a scratch's locally accumulated counters to the
-// process-wide gauges and zeroes the local counts.
-func (sc *scratch) flushStats() {
+// GroupsEscalated returns the cumulative count of fault groups escalated
+// to full-netlist evaluation by the activity heuristic.
+func GroupsEscalated() int64 { return groupsEscalated.Load() }
+
+// WordsInert returns the cumulative per-gate word evaluations skipped by
+// the wide engines' dead-word inerting.
+func WordsInert() int64 { return wordsInert.Load() }
+
+// flushInto adds a scratch's locally accumulated counters to the
+// process-wide gauges and the owning engine's private counters, then
+// zeroes the local counts. The parallel scheduler calls it after its
+// workers have joined, so the engine-side adds are single-threaded.
+func (sc *scratch) flushInto(e *Engine) {
 	if sc.evaluated != 0 {
 		gatesEvaluated.Add(sc.evaluated)
+		e.estat.GatesEvaluated += sc.evaluated
 		sc.evaluated = 0
 	}
 	if sc.skipped != 0 {
 		gatesSkipped.Add(sc.skipped)
+		e.estat.GatesSkipped += sc.skipped
 		sc.skipped = 0
 	}
 	if sc.quiescent != 0 {
 		groupsQuiescent.Add(sc.quiescent)
+		e.estat.GroupsQuiescent += sc.quiescent
 		sc.quiescent = 0
+	}
+	if sc.escalated != 0 {
+		groupsEscalated.Add(sc.escalated)
+		e.estat.GroupsEscalated += sc.escalated
+		sc.escalated = 0
+	}
+}
+
+// flushInto is the wide-scratch counterpart of (*scratch).flushInto.
+func (wsc *wscratch) flushInto(e *Engine) {
+	if wsc.evaluated != 0 {
+		gatesEvaluated.Add(wsc.evaluated)
+		e.estat.GatesEvaluated += wsc.evaluated
+		wsc.evaluated = 0
+	}
+	if wsc.skipped != 0 {
+		gatesSkipped.Add(wsc.skipped)
+		e.estat.GatesSkipped += wsc.skipped
+		wsc.skipped = 0
+	}
+	if wsc.quiescent != 0 {
+		groupsQuiescent.Add(wsc.quiescent)
+		e.estat.GroupsQuiescent += wsc.quiescent
+		wsc.quiescent = 0
+	}
+	if wsc.inert != 0 {
+		wordsInert.Add(wsc.inert)
+		e.estat.WordsInert += wsc.inert
+		wsc.inert = 0
 	}
 }

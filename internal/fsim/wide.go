@@ -1,0 +1,801 @@
+package fsim
+
+// The wide-lane engines: multi-word fault packing (Options.Lanes = 128,
+// 256, ...). A wide group packs 64*nw faulty machines, one per bit of an
+// nw-word vector, so every region walk, quiescence probe, and level-queue
+// operation is amortized over nw times as many faults as the 64-lane
+// engine (fewer groups, fewer plans, fewer seed/capture sweeps per
+// pattern). The flip side is nw-fold wider value operations, so wider is
+// not automatically faster — the benchmarks record the trade.
+//
+// The wide path mirrors engine.go structurally: the same quiescence
+// check, the same queue/dense mode split driven by lastEval, the same
+// sparse diverged-flip-flop state. Per-signal values live in flat
+// word-major arrays ([signal*nw + w]); a signal counts as diverged when
+// any live word differs from the broadcast fault-free value, and an
+// activated signal stores all its live words so readers never need
+// per-word divergence tracking.
+//
+// Dead lanes are inerted exactly like the 64-lane engine (forcing masks
+// filtered by the live mask at plan load, stale divergence pinned at
+// seed). On top of that, dead *words* — word slots whose 64 lanes have
+// all been dropped — are skipped wholesale: every per-word loop iterates
+// the group's liveWords list instead of [0, nw), so a wide group whose
+// faults die off converges to the cost of a narrower one. The skipped
+// word-evaluations are counted in the WordsInert stat.
+//
+// Detection lanes are numbered word-major (lane = word*64 + bit), which
+// is the fault's position in the group's pack order — so the canonical
+// (time, group, lane) detection order, and with it every Result, is
+// bit-for-bit identical at every lane width. The differential tests pin
+// this against the 64-lane and full-evaluation paths.
+
+import (
+	"math"
+
+	"seqbist/internal/logic"
+	"seqbist/internal/netlist"
+	"seqbist/internal/vectors"
+)
+
+// wgroup is one batch of up to 64*nw faults simulated bit-parallel.
+type wgroup struct {
+	fault []int    // indices into the fault list, one per lane (word-major)
+	alive []uint64 // live-lane mask, nw words
+
+	// liveWords lists the word slots with at least one live lane,
+	// ascending; every per-word loop in the wide engine iterates this.
+	liveWords []int32
+
+	plan plan
+
+	// Machine state, sparse: state[di*nw+w] is meaningful only for the
+	// flip-flop indices listed in divDFF; every other flip-flop is
+	// implicitly at the fault-free value.
+	state  []logic.Word
+	divDFF []int32
+
+	// lastEval is the gate count the previous time unit evaluated — the
+	// activity predictor shared with the 64-lane engine.
+	lastEval int32
+}
+
+// newWGroup builds a wide group over faultIdx (n faults) with plan p,
+// drawing mask and state storage from the builder's slabs.
+func newWGroup(pb *planBuilder, faultIdx []int, p plan, n, numDFFs int) wgroup {
+	nw := pb.nw
+	g := wgroup{
+		fault:     faultIdx,
+		alive:     pb.maskSlab.alloc(nw),
+		liveWords: pb.i32Slab.alloc(nw)[:0],
+		plan:      p,
+		state:     pb.wordSlab.alloc(numDFFs * nw),
+	}
+	for lane := 0; lane < n; lane++ {
+		g.alive[lane>>6] |= 1 << uint(lane&63)
+	}
+	g.recomputeLive()
+	return g
+}
+
+// recomputeLive rebuilds the live-word list from the live-lane mask.
+func (g *wgroup) recomputeLive() {
+	g.liveWords = g.liveWords[:0]
+	for w, m := range g.alive {
+		if m != 0 {
+			g.liveWords = append(g.liveWords, int32(w))
+		}
+	}
+}
+
+// dropLane marks one detected lane dead, retiring its word slot when the
+// last lane in it dies.
+func (g *wgroup) dropLane(lane int) {
+	w := lane >> 6
+	g.alive[w] &^= 1 << uint(lane&63)
+	if g.alive[w] == 0 {
+		g.recomputeLive()
+	}
+}
+
+// anyAlive reports whether the group still carries undetected faults.
+func (g *wgroup) anyAlive() bool { return len(g.liveWords) > 0 }
+
+// reset restores the group to its initial state (all lanes live, machine
+// state all-unknown).
+func (g *wgroup) reset() {
+	for w := range g.alive {
+		g.alive[w] = 0
+	}
+	for lane := 0; lane < len(g.fault); lane++ {
+		g.alive[lane>>6] |= 1 << uint(lane&63)
+	}
+	g.recomputeLive()
+	g.divDFF = g.divDFF[:0]
+	g.lastEval = 0
+}
+
+// wpinForce is a branch force on one gate input pin with per-word masks
+// (the wide counterpart of pinForce). Masks point into the scratch's
+// per-load arena.
+type wpinForce struct {
+	pin    int32
+	m0, m1 []uint64
+}
+
+// wscratch is the wide engine's per-worker scratch: flat word-major
+// forcing and value arrays plus the propagation state of engine.go's
+// scratch.
+type wscratch struct {
+	nw           int
+	stem0, stem1 []uint64      // [signal*nw + w]
+	branchAt     [][]wpinForce // per gate
+	dff0, dff1   []uint64      // [dff*nw + w]
+	words        []logic.Word  // [signal*nw + w] (valid only when stamped)
+	state        []logic.Word  // [dff*nw + w] for non-committing passes
+	divDFF       []int32
+
+	bmask []uint64 // per-load arena backing the branchAt masks
+
+	epoch     int32
+	sigEpoch  []int32
+	gateEpoch []int32
+	buckets   [][]int32
+	maxLev    int32
+	newDiv    []int32
+
+	dets   []detection
+	det    []uint64     // per-unit detection masks, nw words
+	detAll []uint64     // per-group-call cumulative detection masks
+	vbuf   []logic.Word // per-gate/per-dff word staging buffer
+
+	evaluated int64
+	skipped   int64
+	quiescent int64
+	inert     int64
+}
+
+func newWScratch(c *netlist.Circuit, nw int) *wscratch {
+	return &wscratch{
+		nw:        nw,
+		stem0:     make([]uint64, c.NumSignals()*nw),
+		stem1:     make([]uint64, c.NumSignals()*nw),
+		branchAt:  make([][]wpinForce, c.NumGates()),
+		dff0:      make([]uint64, c.NumDFFs()*nw),
+		dff1:      make([]uint64, c.NumDFFs()*nw),
+		words:     make([]logic.Word, c.NumSignals()*nw),
+		state:     make([]logic.Word, c.NumDFFs()*nw),
+		sigEpoch:  make([]int32, c.NumSignals()),
+		gateEpoch: make([]int32, c.NumGates()),
+		buckets:   levelBuckets(c.CSR()),
+		det:       make([]uint64, nw),
+		detAll:    make([]uint64, nw),
+		vbuf:      make([]logic.Word, nw),
+	}
+}
+
+// loadPlanW populates the scratch's forcing arrays for g, filtering every
+// mask word by the group's live mask (dead lanes must not force — that is
+// what lets drained groups reach quiescence). Branch masks are carved
+// from the per-load arena; the arena stabilizes after the first load, so
+// the steady state allocates nothing.
+func (e *Engine) loadPlanW(wsc *wscratch, g *wgroup) {
+	nw := wsc.nw
+	alive := g.alive
+	for _, sm := range g.plan.stems {
+		off := int(sm.sig) * nw
+		for w := 0; w < nw; w++ {
+			wsc.stem0[off+w] = sm.m0[w] & alive[w]
+			wsc.stem1[off+w] = sm.m1[w] & alive[w]
+		}
+	}
+	wsc.bmask = wsc.bmask[:0]
+	for _, b := range g.plan.branches {
+		m0, any0 := wsc.maskTmp(b.m0, alive)
+		m1, any1 := wsc.maskTmp(b.m1, alive)
+		if any0 || any1 {
+			wsc.branchAt[b.gate] = append(wsc.branchAt[b.gate], wpinForce{pin: b.pin, m0: m0, m1: m1})
+		}
+	}
+	for _, df := range g.plan.dffForce {
+		off := int(df.dff) * nw
+		for w := 0; w < nw; w++ {
+			wsc.dff0[off+w] = df.m0[w] & alive[w]
+			wsc.dff1[off+w] = df.m1[w] & alive[w]
+		}
+	}
+}
+
+// maskTmp carves an alive-filtered copy of src from the per-load arena,
+// reporting whether any word is nonzero. The arena may reallocate while
+// growing; previously carved slices keep pointing into the old block and
+// stay valid for the duration of the load.
+func (wsc *wscratch) maskTmp(src, alive []uint64) ([]uint64, bool) {
+	off := len(wsc.bmask)
+	any := false
+	for w := range src {
+		v := src[w] & alive[w]
+		wsc.bmask = append(wsc.bmask, v)
+		if v != 0 {
+			any = true
+		}
+	}
+	return wsc.bmask[off:len(wsc.bmask):len(wsc.bmask)], any
+}
+
+func (e *Engine) unloadPlanW(wsc *wscratch, g *wgroup) {
+	nw := wsc.nw
+	for _, sm := range g.plan.stems {
+		off := int(sm.sig) * nw
+		for w := 0; w < nw; w++ {
+			wsc.stem0[off+w] = 0
+			wsc.stem1[off+w] = 0
+		}
+	}
+	for _, b := range g.plan.branches {
+		wsc.branchAt[b.gate] = wsc.branchAt[b.gate][:0]
+	}
+	for _, df := range g.plan.dffForce {
+		off := int(df.dff) * nw
+		for w := 0; w < nw; w++ {
+			wsc.dff0[off+w] = 0
+			wsc.dff1[off+w] = 0
+		}
+	}
+}
+
+// bumpEpoch advances the per-time-unit stamp (see scratch.bumpEpoch).
+func (wsc *wscratch) bumpEpoch() {
+	if wsc.epoch == math.MaxInt32-1 {
+		for i := range wsc.sigEpoch {
+			wsc.sigEpoch[i] = 0
+		}
+		for i := range wsc.gateEpoch {
+			wsc.gateEpoch[i] = 0
+		}
+		wsc.epoch = 0
+	}
+	wsc.epoch++
+}
+
+// push queues gate gi into its level bucket, once per time unit.
+func (wsc *wscratch) push(csr *netlist.CSR, gi int32) {
+	if wsc.gateEpoch[gi] != wsc.epoch {
+		wsc.gateEpoch[gi] = wsc.epoch
+		lev := csr.Level[gi]
+		wsc.buckets[lev] = append(wsc.buckets[lev], gi)
+		if lev > wsc.maxLev {
+			wsc.maxLev = lev
+		}
+	}
+}
+
+// activate stamps signal s as diverged (its live words must already be
+// stored in wsc.words) and queues its consumer gates.
+func (wsc *wscratch) activate(csr *netlist.CSR, s int32) {
+	wsc.sigEpoch[s] = wsc.epoch
+	for _, gi := range csr.GateFanout(netlist.SignalID(s)) {
+		wsc.push(csr, gi)
+	}
+}
+
+// inputW returns the value of signal s, word w: the stored word if s
+// diverged this epoch, else the broadcast fault-free value.
+func (wsc *wscratch) inputW(goodVals []logic.Value, s int32, w int) logic.Word {
+	if wsc.sigEpoch[s] == wsc.epoch {
+		return wsc.words[int(s)*wsc.nw+w]
+	}
+	return bcast[goodVals[s]]
+}
+
+// evalGateW computes word w of one gate, reading inputs through read.
+func evalGateW(t netlist.GateType, ins []int32, bf []wpinForce, w int, read func(int32) logic.Word) logic.Word {
+	if len(bf) != 0 {
+		in := func(p int) logic.Word {
+			v := read(ins[p])
+			for i := range bf {
+				if int(bf[i].pin) == p {
+					v = forceWord(v, bf[i].m0[w], bf[i].m1[w])
+				}
+			}
+			return v
+		}
+		return evalForcedWith(t, len(ins), in)
+	}
+	v := read(ins[0])
+	switch t {
+	case netlist.Buf:
+	case netlist.Not:
+		v = v.Not()
+	case netlist.And:
+		for _, in := range ins[1:] {
+			v = v.And(read(in))
+		}
+	case netlist.Nand:
+		for _, in := range ins[1:] {
+			v = v.And(read(in))
+		}
+		v = v.Not()
+	case netlist.Or:
+		for _, in := range ins[1:] {
+			v = v.Or(read(in))
+		}
+	case netlist.Nor:
+		for _, in := range ins[1:] {
+			v = v.Or(read(in))
+		}
+		v = v.Not()
+	case netlist.Xor:
+		for _, in := range ins[1:] {
+			v = v.Xor(read(in))
+		}
+	case netlist.Xnor:
+		for _, in := range ins[1:] {
+			v = v.Xor(read(in))
+		}
+		v = v.Not()
+	}
+	return v
+}
+
+// wstepGroup evaluates one time unit for wide group g, updating the
+// sparse state in place, and returns the per-word masks of lanes detected
+// at a primary output this cycle (not yet masked by g.alive), or nil when
+// the quiescence check skipped the unit. The returned slice is the
+// scratch's per-unit buffer, valid until the next call. Forcing plans
+// must already be loaded.
+func (e *Engine) wstepGroup(wsc *wscratch, g *wgroup, goodVals []logic.Value, state []logic.Word, divDFF *[]int32) []uint64 {
+	p := &g.plan
+	div := *divDFF
+	nw := wsc.nw
+	lw := g.liveWords
+
+	// Quiescence: every machine equals the fault-free machine and no live
+	// fault site is activated, so this time unit cannot change anything.
+	if len(div) == 0 {
+		activated := false
+		for i := range p.sites {
+			s := &p.sites[i]
+			if goodVals[s.sig] == s.stuck {
+				continue
+			}
+			for _, wi := range lw {
+				if s.lanes[wi]&g.alive[wi] != 0 {
+					activated = true
+					break
+				}
+			}
+			if activated {
+				break
+			}
+		}
+		if !activated {
+			wsc.quiescent++
+			wsc.skipped += int64(len(e.csr.Out))
+			g.lastEval = 0
+			return nil
+		}
+	}
+
+	// Same mode split as the 64-lane engine: dense region walks once the
+	// recent activity covers most of the region.
+	if e.opts.Mode == ModeDense || (e.opts.Mode == ModeAuto && int(g.lastEval)*5 > len(p.gates)*2) {
+		return e.wstepGroupDense(wsc, g, goodVals, state, divDFF)
+	}
+
+	c, csr := e.c, e.csr
+	wsc.bumpEpoch()
+	epoch := wsc.epoch
+	wsc.maxLev = 0
+	evalStart := wsc.evaluated
+
+	// Seed: flip-flops that entered this time unit diverged, with dead
+	// lanes pinned back to the fault-free value.
+	for _, di := range div {
+		q := c.DFFs[di].Q
+		bg := bcast[goodVals[q]]
+		qoff := int(q) * nw
+		soff := int(di) * nw
+		diverged := false
+		for _, wi := range lw {
+			w := mixAlive(state[soff+int(wi)], bg, g.alive[wi])
+			if m0, m1 := wsc.stem0[qoff+int(wi)], wsc.stem1[qoff+int(wi)]; m0|m1 != 0 {
+				w = forceWord(w, m0, m1)
+			}
+			wsc.words[qoff+int(wi)] = w
+			if w != bg {
+				diverged = true
+			}
+		}
+		if diverged {
+			wsc.activate(csr, int32(q))
+		}
+	}
+	// Seed: stem forces on clean flip-flop outputs and primary inputs.
+	for _, di := range p.stemQs {
+		q := c.DFFs[di].Q
+		if wsc.sigEpoch[q] == epoch {
+			continue // already seeded as diverged (force applied above)
+		}
+		e.wseedStem(wsc, int32(q), goodVals, lw)
+	}
+	for _, sig := range p.stemPIs {
+		e.wseedStem(wsc, int32(sig), goodVals, lw)
+	}
+	for _, gi := range p.seedGates {
+		wsc.push(csr, gi)
+	}
+
+	// Levelized event propagation over live words only.
+	for lev := int32(1); lev <= wsc.maxLev; lev++ {
+		bucket := wsc.buckets[lev]
+		for bi := 0; bi < len(bucket); bi++ {
+			gi := bucket[bi]
+			ins := csr.In[csr.InOff[gi]:csr.InOff[gi+1]]
+			out := csr.Out[gi]
+			ooff := int(out) * nw
+			bg := bcast[goodVals[out]]
+			bf := wsc.branchAt[gi]
+			diverged := false
+			for _, wi := range lw {
+				wint := int(wi)
+				v := evalGateW(csr.Type[gi], ins, bf, wint, func(s int32) logic.Word {
+					return wsc.inputW(goodVals, s, wint)
+				})
+				if m0, m1 := wsc.stem0[ooff+wint], wsc.stem1[ooff+wint]; m0|m1 != 0 {
+					v = forceWord(v, m0, m1)
+				}
+				wsc.words[ooff+wint] = v
+				if v != bg {
+					diverged = true
+				}
+			}
+			wsc.evaluated++
+			wsc.inert += int64(nw - len(lw))
+			if diverged {
+				wsc.activate(csr, out)
+			}
+		}
+		wsc.buckets[lev] = bucket[:0]
+	}
+	evaluated := wsc.evaluated - evalStart
+	g.lastEval = int32(evaluated)
+	wsc.skipped += int64(len(csr.Out)) - evaluated
+
+	// Detection at the region's primary outputs.
+	det := wsc.det
+	for w := range det {
+		det[w] = 0
+	}
+	for _, pp := range p.pos {
+		po := c.POs[pp]
+		if wsc.sigEpoch[po] != epoch {
+			continue
+		}
+		poff := int(po) * nw
+		switch goodVals[po] {
+		case logic.Zero:
+			for _, wi := range lw {
+				det[wi] |= wsc.words[poff+int(wi)].DefiniteOne()
+			}
+		case logic.One:
+			for _, wi := range lw {
+				det[wi] |= wsc.words[poff+int(wi)].DefiniteZero()
+			}
+		}
+	}
+
+	// Capture next state at the region's flip-flops.
+	wsc.newDiv = wsc.newDiv[:0]
+	for _, di := range p.dffs {
+		d := c.DFFs[di].D
+		doff := int(d) * nw
+		foff := int(di) * nw
+		forced := false
+		for _, wi := range lw {
+			if wsc.dff0[foff+int(wi)]|wsc.dff1[foff+int(wi)] != 0 {
+				forced = true
+				break
+			}
+		}
+		if wsc.sigEpoch[d] != epoch && !forced {
+			continue
+		}
+		bg := bcast[goodVals[d]]
+		soff := int(di) * nw
+		diverged := false
+		for _, wi := range lw {
+			wint := int(wi)
+			w := bg
+			if wsc.sigEpoch[d] == epoch {
+				w = wsc.words[doff+wint]
+			}
+			if m0, m1 := wsc.dff0[foff+wint], wsc.dff1[foff+wint]; m0|m1 != 0 {
+				w = forceWord(w, m0, m1)
+			}
+			wsc.vbuf[wint] = w
+			if w != bg {
+				diverged = true
+			}
+		}
+		if diverged {
+			for _, wi := range lw {
+				state[soff+int(wi)] = wsc.vbuf[int(wi)]
+			}
+			wsc.newDiv = append(wsc.newDiv, di)
+		}
+	}
+	*divDFF, wsc.newDiv = wsc.newDiv, (*divDFF)[:0]
+	return det
+}
+
+// wseedStem activates signal sig when its stem forcing actually changes
+// it from the broadcast fault-free value.
+func (e *Engine) wseedStem(wsc *wscratch, sig int32, goodVals []logic.Value, lw []int32) {
+	nw := wsc.nw
+	bg := bcast[goodVals[sig]]
+	off := int(sig) * nw
+	diverged := false
+	for _, wi := range lw {
+		w := forceWord(bg, wsc.stem0[off+int(wi)], wsc.stem1[off+int(wi)])
+		wsc.words[off+int(wi)] = w
+		if w != bg {
+			diverged = true
+		}
+	}
+	if diverged {
+		wsc.activate(e.csr, sig)
+	}
+}
+
+// wstepGroupDense is the wide dense-region walk: materialize the region's
+// boundary and sources once, then evaluate every region gate per live
+// word with direct array reads.
+func (e *Engine) wstepGroupDense(wsc *wscratch, g *wgroup, goodVals []logic.Value, state []logic.Word, divDFF *[]int32) []uint64 {
+	p := &g.plan
+	c, csr := e.c, e.csr
+	nw := wsc.nw
+	lw := g.liveWords
+	words := wsc.words
+
+	fill := func(sig int32) {
+		bg := bcast[goodVals[sig]]
+		off := int(sig) * nw
+		for _, wi := range lw {
+			words[off+int(wi)] = bg
+		}
+	}
+	for _, sig := range p.boundary {
+		fill(sig)
+	}
+	for _, di := range p.dffs {
+		fill(int32(c.DFFs[di].Q))
+	}
+	for _, di := range p.stemQs {
+		fill(int32(c.DFFs[di].Q))
+	}
+	for _, di := range *divDFF {
+		q := c.DFFs[di].Q
+		bg := bcast[goodVals[q]]
+		qoff := int(q) * nw
+		soff := int(di) * nw
+		for _, wi := range lw {
+			words[qoff+int(wi)] = mixAlive(state[soff+int(wi)], bg, g.alive[wi])
+		}
+	}
+	applyStem := func(sig int32) {
+		off := int(sig) * nw
+		for _, wi := range lw {
+			if m0, m1 := wsc.stem0[off+int(wi)], wsc.stem1[off+int(wi)]; m0|m1 != 0 {
+				words[off+int(wi)] = forceWord(words[off+int(wi)], m0, m1)
+			}
+		}
+	}
+	for _, di := range p.stemQs {
+		applyStem(int32(c.DFFs[di].Q))
+	}
+	for _, sig := range p.stemPIs {
+		bg := bcast[goodVals[sig]]
+		off := int(sig) * nw
+		for _, wi := range lw {
+			words[off+int(wi)] = forceWord(bg, wsc.stem0[off+int(wi)], wsc.stem1[off+int(wi)])
+		}
+	}
+
+	// Evaluate every region gate; count diverged outputs for the activity
+	// predictor.
+	diverged := 0
+	for _, gi := range p.gates {
+		ins := csr.In[csr.InOff[gi]:csr.InOff[gi+1]]
+		out := csr.Out[gi]
+		ooff := int(out) * nw
+		bg := bcast[goodVals[out]]
+		bf := wsc.branchAt[gi]
+		outDiv := false
+		for _, wi := range lw {
+			wint := int(wi)
+			v := evalGateW(csr.Type[gi], ins, bf, wint, func(s int32) logic.Word {
+				return words[int(s)*nw+wint]
+			})
+			if m0, m1 := wsc.stem0[ooff+wint], wsc.stem1[ooff+wint]; m0|m1 != 0 {
+				v = forceWord(v, m0, m1)
+			}
+			words[ooff+wint] = v
+			if v != bg {
+				outDiv = true
+			}
+		}
+		if outDiv {
+			diverged++
+		}
+	}
+	g.lastEval = int32(diverged)
+	wsc.evaluated += int64(len(p.gates))
+	wsc.skipped += int64(len(csr.Out) - len(p.gates))
+	wsc.inert += int64(len(p.gates)) * int64(nw-len(lw))
+
+	// Detection at the region's primary outputs.
+	det := wsc.det
+	for w := range det {
+		det[w] = 0
+	}
+	for _, pp := range p.pos {
+		po := c.POs[pp]
+		poff := int(po) * nw
+		switch goodVals[po] {
+		case logic.Zero:
+			for _, wi := range lw {
+				det[wi] |= words[poff+int(wi)].DefiniteOne()
+			}
+		case logic.One:
+			for _, wi := range lw {
+				det[wi] |= words[poff+int(wi)].DefiniteZero()
+			}
+		}
+	}
+
+	// Capture next state at the region's flip-flops, rebuilding the
+	// sparse diverged list.
+	wsc.newDiv = wsc.newDiv[:0]
+	for _, di := range p.dffs {
+		d := c.DFFs[di].D
+		doff := int(d) * nw
+		foff := int(di) * nw
+		soff := int(di) * nw
+		bg := bcast[goodVals[d]]
+		divd := false
+		for _, wi := range lw {
+			wint := int(wi)
+			w := words[doff+wint]
+			if m0, m1 := wsc.dff0[foff+wint], wsc.dff1[foff+wint]; m0|m1 != 0 {
+				w = forceWord(w, m0, m1)
+			}
+			wsc.vbuf[wint] = w
+			if w != bg {
+				divd = true
+			}
+		}
+		if divd {
+			for _, wi := range lw {
+				state[soff+int(wi)] = wsc.vbuf[int(wi)]
+			}
+			wsc.newDiv = append(wsc.newDiv, di)
+		}
+	}
+	*divDFF, wsc.newDiv = wsc.newDiv, (*divDFF)[:0]
+	return det
+}
+
+// wextendGroup simulates seq for one wide group, committing its state and
+// appending detections (lane = word*64 + bit) to wsc.dets.
+func (e *Engine) wextendGroup(wsc *wscratch, g *wgroup, gi int, seq vectors.Sequence, goodVals [][]logic.Value) {
+	e.loadPlanW(wsc, g)
+	detAll := wsc.detAll
+	for w := range detAll {
+		detAll[w] = 0
+	}
+	for u := range seq {
+		det := e.wstepGroup(wsc, g, goodVals[u], g.state, &g.divDFF)
+		if det != nil {
+			for _, wi := range g.liveWords {
+				d := det[wi] & g.alive[wi] &^ detAll[wi]
+				for m := d; m != 0; {
+					b := trailingZeros(m)
+					m &^= 1 << uint(b)
+					wsc.dets = append(wsc.dets, detection{u: u, gi: gi, lane: int(wi)*64 + b})
+				}
+				detAll[wi] |= d
+			}
+		}
+		done := true
+		for _, wi := range g.liveWords {
+			if g.alive[wi]&^detAll[wi] != 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	e.unloadPlanW(wsc, g)
+}
+
+// wevaluateGroup simulates seq for one wide group without committing
+// state, leaving the per-word newly-detected masks in wsc.detAll and
+// adding the group's divergence contribution to *divergence.
+func (e *Engine) wevaluateGroup(wsc *wscratch, g *wgroup, seq vectors.Sequence, goodVals [][]logic.Value, divergence *int) {
+	nw := wsc.nw
+	wsc.divDFF = wsc.divDFF[:0]
+	for _, di := range g.divDFF {
+		off := int(di) * nw
+		copy(wsc.state[off:off+nw], g.state[off:off+nw])
+		wsc.divDFF = append(wsc.divDFF, di)
+	}
+	e.loadPlanW(wsc, g)
+	detAll := wsc.detAll
+	for w := range detAll {
+		detAll[w] = 0
+	}
+	steps := 0
+	for u := range seq {
+		det := e.wstepGroup(wsc, g, goodVals[u], wsc.state, &wsc.divDFF)
+		if det != nil {
+			for _, wi := range g.liveWords {
+				detAll[wi] |= det[wi] & g.alive[wi]
+			}
+		}
+		steps = u + 1
+		done := true
+		for _, wi := range g.liveWords {
+			if g.alive[wi]&^detAll[wi] != 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	e.unloadPlanW(wsc, g)
+	// Divergence over the diverged flip-flops only (everything else
+	// equals the fault-free state by the sparse invariant). A lane counts
+	// once however many flip-flops it diverges in, so the per-flip-flop
+	// masks are ORed per word before the popcount (wsc.det is free here —
+	// the step loop has ended).
+	if steps == len(seq) && len(seq) > 0 {
+		div := wsc.det
+		for w := range div {
+			div[w] = 0
+		}
+		goodFinal := goodVals[len(seq)-1]
+		for _, di := range wsc.divDFF {
+			ff := e.c.DFFs[di]
+			off := int(di) * nw
+			for _, wi := range g.liveWords {
+				switch goodFinal[ff.D] {
+				case logic.Zero:
+					div[wi] |= wsc.state[off+int(wi)].DefiniteOne()
+				case logic.One:
+					div[wi] |= wsc.state[off+int(wi)].DefiniteZero()
+				}
+			}
+		}
+		for _, wi := range g.liveWords {
+			*divergence += popcount(div[wi] & g.alive[wi] &^ detAll[wi])
+		}
+	}
+}
+
+// appendDetected appends the fault indices of the set lanes in det
+// (word-major) to newly, in ascending lane order.
+func appendDetected(newly []int, fault []int, det []uint64) []int {
+	for w, m := range det {
+		for m != 0 {
+			b := trailingZeros(m)
+			m &^= 1 << uint(b)
+			newly = append(newly, fault[w*64+b])
+		}
+	}
+	return newly
+}

@@ -1,0 +1,162 @@
+package fsim
+
+import (
+	"reflect"
+	"testing"
+
+	"seqbist/internal/faults"
+	"seqbist/internal/iscas"
+	"seqbist/internal/vectors"
+	"seqbist/internal/xrand"
+)
+
+// These tests pin the multi-word fault-packing engine (wide.go), the
+// forced propagation modes, and the escalation heuristic against the
+// same contract as the 64-lane engine: bit-for-bit identity with the
+// full-evaluation reference, at every lane width, worker count, and
+// mode, under binary and X-heavy stimuli.
+
+// TestWideLanesMatchFullRegistry runs the wide engines over every
+// registry circuit against the 64-lane full-evaluation reference.
+func TestWideLanesMatchFullRegistry(t *testing.T) {
+	for _, name := range iscas.Names() {
+		c := iscas.MustLoad(name)
+		fl := faults.CollapsedUniverse(c)
+		n := 60
+		if c.NumGates() > 1000 {
+			n = 24
+		}
+		if testing.Short() && c.NumGates() > 1000 {
+			continue
+		}
+		rng := xrand.New(uint64(len(name)) * 1299709)
+		bin := vectors.RandomSequence(rng, c.NumPIs(), n)
+		xh := xheavySequence(rng, c.NumPIs(), n)
+		for _, lanes := range []int{128, 256} {
+			diffCheckOpts(t, name, c, fl, bin, Options{Lanes: lanes})
+			diffCheckOpts(t, name+"/xheavy", c, fl, xh, Options{Lanes: lanes})
+		}
+	}
+}
+
+// TestWideLanesSharded repeats the wide differential under the
+// cone-sharded scheduler.
+func TestWideLanesSharded(t *testing.T) {
+	for _, name := range []string{"s298", "s1423"} {
+		c := iscas.MustLoad(name)
+		fl := faults.CollapsedUniverse(c)
+		seq := vectors.RandomSequence(xrand.New(2424), c.NumPIs(), 60)
+		for _, w := range []int{2, 4} {
+			for _, lanes := range []int{128, 256} {
+				diffCheckOpts(t, name, c, fl, seq, Options{Workers: w, Lanes: lanes})
+			}
+		}
+	}
+}
+
+// TestWideLanesRandomNetlists runs the wide differential over synthetic
+// pseudo-random circuits and the uncollapsed fault universe (all three
+// site kinds) with X-heavy stimuli.
+func TestWideLanesRandomNetlists(t *testing.T) {
+	shapes := []iscas.Spec{
+		{Name: "rnd-w1", PIs: 4, POs: 3, DFFs: 5, Gates: 45, Synthetic: true, Seed: 404},
+		{Name: "rnd-w2", PIs: 6, POs: 4, DFFs: 8, Gates: 85, Synthetic: true, Seed: 505},
+	}
+	for _, spec := range shapes {
+		c, err := iscas.Synthesize(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		fl := faults.Universe(c)
+		rng := xrand.New(spec.Seed)
+		for trial := 0; trial < 3; trial++ {
+			seq := xheavySequence(rng, c.NumPIs(), 12+rng.Intn(20))
+			for _, lanes := range []int{128, 256} {
+				diffCheckOpts(t, spec.Name, c, fl, seq, Options{Lanes: lanes})
+			}
+		}
+	}
+}
+
+// TestLaneWidthInvariance pins the canonical detection order directly:
+// whole-run Results must be identical at 64, 128, and 256 lanes, for
+// serial and sharded schedules.
+func TestLaneWidthInvariance(t *testing.T) {
+	for _, name := range []string{"s298", "s526", "s1423"} {
+		c := iscas.MustLoad(name)
+		fl := faults.CollapsedUniverse(c)
+		seq := vectors.RandomSequence(xrand.New(606), c.NumPIs(), 80)
+		want := New(c, fl, Options{}).Run(seq)
+		for _, lanes := range []int{128, 256} {
+			for _, w := range []int{1, 3} {
+				got := New(c, fl, Options{Lanes: lanes, Workers: w}).Run(seq)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: Result differs at lanes=%d workers=%d", name, lanes, w)
+				}
+			}
+		}
+	}
+}
+
+// TestForcedModesMatchFull pins ModeQueue and ModeDense: each forced
+// propagation structure must match the reference on its own, at 64 and
+// 128 lanes.
+func TestForcedModesMatchFull(t *testing.T) {
+	for _, name := range []string{"s298", "s526"} {
+		c := iscas.MustLoad(name)
+		fl := faults.CollapsedUniverse(c)
+		rng := xrand.New(707)
+		bin := vectors.RandomSequence(rng, c.NumPIs(), 40)
+		xh := xheavySequence(rng, c.NumPIs(), 40)
+		for _, mode := range []Mode{ModeQueue, ModeDense} {
+			for _, lanes := range []int{64, 128} {
+				opts := Options{Mode: mode, Lanes: lanes}
+				diffCheckOpts(t, name+"/"+mode.String(), c, fl, bin, opts)
+				diffCheckOpts(t, name+"/"+mode.String()+"/xheavy", c, fl, xh, opts)
+			}
+		}
+	}
+}
+
+// TestEngineRunReuse pins the Options-API contract that an Engine is
+// reusable: two Run calls on one engine must equal a fresh engine's Run,
+// and an Extend after a Run must start from the reset state.
+func TestEngineRunReuse(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	fl := faults.CollapsedUniverse(c)
+	seq := vectors.RandomSequence(xrand.New(808), c.NumPIs(), 50)
+	e := New(c, fl, Options{Workers: 2})
+	first := e.Run(seq)
+	second := e.Run(seq)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("second Run on the same engine differs from the first")
+	}
+	fresh := New(c, fl, Options{}).Run(seq)
+	if !reflect.DeepEqual(first, fresh) {
+		t.Fatal("reused engine differs from a fresh engine")
+	}
+}
+
+// TestOptionsValidation pins the constructor's panics on meaningless
+// configurations and the zero-value defaults.
+func TestOptionsValidation(t *testing.T) {
+	c := iscas.S27()
+	fl := faults.CollapsedUniverse(c)
+	if got := New(c, fl, Options{}).Options(); got.Workers != 1 || got.Lanes != 64 {
+		t.Fatalf("normalized zero Options = %+v, want Workers=1 Lanes=64", got)
+	}
+	mustPanic := func(name string, opts Options) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: New did not panic", name)
+			}
+		}()
+		New(c, fl, opts)
+	}
+	mustPanic("lanes=32", Options{Lanes: 32})
+	mustPanic("lanes=100", Options{Lanes: 100})
+	mustPanic("lanes=-64", Options{Lanes: -64})
+	mustPanic("mode=99", Options{Mode: Mode(99)})
+	mustPanic("full+wide", Options{Lanes: 128, FullEvaluation: true})
+}

@@ -1,0 +1,227 @@
+package netlist
+
+// Cone-overlap analysis over the CSR view.
+//
+// A fault group's active region is a set of gate indices in the CSR's
+// topological order (see internal/fsim). When several groups are
+// simulated concurrently, the scheduling question is which groups should
+// share a worker: two groups whose regions overlap heavily re-walk the
+// same gates, and placing them on different workers duplicates that
+// region's cache footprint in both workers' scratch arrays. This file
+// provides the two primitives the scheduler needs — an intersection
+// counter for sorted gate-index lists, and a contiguous partitioner that
+// balances total region weight across k shards while preferring to cut
+// between cones that share the fewest gates.
+//
+// The partitioner is deliberately restricted to contiguous ranges: cone
+// lists arrive in topological locality order (the fault packer sorts
+// faults by the first gate their effect reaches), so neighbouring cones
+// overlap far more than distant ones, and an optimal contiguous partition
+// captures almost all of the separable structure at a fraction of the
+// cost of general clustering.
+
+// OverlapCount returns the size of the intersection of two ascending
+// int32 slices. Both inputs must be sorted ascending and duplicate-free;
+// region gate lists from the CSR's topological order satisfy this by
+// construction.
+func OverlapCount(a, b []int32) int {
+	n := 0
+	for len(a) > 0 && len(b) > 0 {
+		switch {
+		case a[0] == b[0]:
+			n++
+			a, b = a[1:], b[1:]
+		case a[0] < b[0]:
+			a = a[1:]
+		default:
+			b = b[1:]
+		}
+	}
+	return n
+}
+
+// ConePartition splits n cones — given as ascending, duplicate-free gate
+// index lists in locality order — into at most k contiguous shards.
+// Every cone index in [0, n) appears in exactly one shard, shards are
+// non-empty contiguous ranges in input order, and the result is
+// deterministic for a given input.
+//
+// The partition minimizes the maximum shard weight (sum of cone sizes, a
+// proxy for simulation cost) first; among weight-optimal partitions it
+// minimizes the total overlap across cut boundaries, so shards own
+// near-disjoint unions of cones. Weight optimality is relaxed by a small
+// slack (1/8) to give the overlap objective room to move cuts.
+func ConePartition(cones [][]int32, k int) [][]int {
+	n := len(cones)
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	weights := make([]int64, n)
+	var total int64
+	for i, c := range cones {
+		// Weight at least 1 so degenerate empty cones still partition.
+		w := int64(len(c))
+		if w < 1 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	if k == 1 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+
+	// Phase 1: minimal feasible max-load via binary search + greedy fill.
+	lo, hi := int64(0), total
+	for _, w := range weights {
+		if w > lo {
+			lo = w
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if partitionFeasible(weights, k, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	budget := lo + lo/8 // slack for the overlap objective
+
+	// Adjacent-boundary overlap costs: cutting between cone i and i+1
+	// duplicates their shared gates across two shards.
+	cut := make([]int64, n-1)
+	for i := 0; i+1 < n; i++ {
+		cut[i] = int64(OverlapCount(cones[i], cones[i+1]))
+	}
+
+	// Phase 2: DP over (cones prefix, shards used) minimizing total cut
+	// overlap subject to every shard weight <= budget. n is the number of
+	// fault groups (tens to low hundreds) and k the worker count, so the
+	// cubic scan is cheap and runs once per partition (re)build.
+	prefix := make([]int64, n+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	const inf = int64(1) << 62
+	// best[j][i]: minimal total cut cost splitting cones[0:i] into j shards.
+	best := make([][]int64, k+1)
+	from := make([][]int32, k+1)
+	for j := range best {
+		best[j] = make([]int64, n+1)
+		from[j] = make([]int32, n+1)
+		for i := range best[j] {
+			best[j][i] = inf
+		}
+	}
+	best[0][0] = 0
+	for j := 1; j <= k; j++ {
+		for i := 1; i <= n; i++ {
+			// Last shard is cones[s:i]; its weight must fit the budget.
+			for s := i - 1; s >= 0; s-- {
+				if prefix[i]-prefix[s] > budget {
+					break
+				}
+				if best[j-1][s] == inf {
+					continue
+				}
+				cost := best[j-1][s]
+				if s > 0 {
+					cost += cut[s-1]
+				}
+				if cost < best[j][i] {
+					best[j][i] = cost
+					from[j][i] = int32(s)
+				}
+			}
+		}
+	}
+	// Fewer shards than k can be optimal (cut costs are nonnegative, so
+	// merging never pays, but feasibility can force exactly k; pick the
+	// cheapest shard count that is feasible).
+	bestJ := -1
+	for j := 1; j <= k; j++ {
+		if best[j][n] == inf {
+			continue
+		}
+		if bestJ == -1 || best[j][n] < best[bestJ][n] {
+			bestJ = j
+		}
+	}
+	if bestJ == -1 {
+		// Cannot happen (budget >= the largest single weight, so one-cone
+		// shards are always feasible); defensively fall back to a greedy
+		// contiguous fill.
+		return greedyPartition(weights, k, budget)
+	}
+	// Walk the DP back-pointers to recover the shard boundaries, then
+	// rebuild the shards front to back.
+	shards := make([][]int, 0, bestJ)
+	starts := make([]int, bestJ+1)
+	starts[bestJ] = n
+	i := n
+	for j := bestJ; j > 0; j-- {
+		starts[j-1] = int(from[j][i])
+		i = starts[j-1]
+	}
+	for j := 0; j < bestJ; j++ {
+		lo, hi := starts[j], starts[j+1]
+		shard := make([]int, 0, hi-lo)
+		for idx := lo; idx < hi; idx++ {
+			shard = append(shard, idx)
+		}
+		shards = append(shards, shard)
+	}
+	return shards
+}
+
+// partitionFeasible reports whether weights can be split into at most k
+// contiguous shards of weight <= load each.
+func partitionFeasible(weights []int64, k int, load int64) bool {
+	shards := 1
+	var acc int64
+	for _, w := range weights {
+		if w > load {
+			return false
+		}
+		if acc+w > load {
+			shards++
+			acc = 0
+			if shards > k {
+				return false
+			}
+		}
+		acc += w
+	}
+	return true
+}
+
+// greedyPartition is the fallback contiguous fill used if the DP finds no
+// solution (defensive; see ConePartition).
+func greedyPartition(weights []int64, k int, load int64) [][]int {
+	var shards [][]int
+	var cur []int
+	var acc int64
+	for i, w := range weights {
+		if len(cur) > 0 && acc+w > load && len(shards) < k-1 {
+			shards = append(shards, cur)
+			cur, acc = nil, 0
+		}
+		cur = append(cur, i)
+		acc += w
+	}
+	if len(cur) > 0 {
+		shards = append(shards, cur)
+	}
+	return shards
+}

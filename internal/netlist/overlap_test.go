@@ -1,0 +1,178 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seqbist/internal/xrand"
+)
+
+// randomCones builds n ascending duplicate-free gate-index lists over a
+// universe of `gates` gates, with a sliding window so neighbouring cones
+// overlap the way locality-ordered fault regions do.
+func randomCones(rng *xrand.RNG, n, gates int) [][]int32 {
+	cones := make([][]int32, n)
+	for i := range cones {
+		base := 0
+		if gates > 1 && n > 1 {
+			base = i * (gates - 1) / (n - 1) / 2
+		}
+		size := 1 + rng.Intn(gates/2+1)
+		seen := make(map[int32]bool)
+		var c []int32
+		for j := 0; j < size; j++ {
+			g := int32(base+rng.Intn(gates-base)) % int32(gates)
+			if !seen[g] {
+				seen[g] = true
+				c = append(c, g)
+			}
+		}
+		// Sort ascending (insertion sort; lists are tiny).
+		for a := 1; a < len(c); a++ {
+			for b := a; b > 0 && c[b] < c[b-1]; b-- {
+				c[b], c[b-1] = c[b-1], c[b]
+			}
+		}
+		cones[i] = c
+	}
+	return cones
+}
+
+// TestConePartitionProperties: for random cone sets and shard counts,
+// every cone index is assigned to exactly one shard, shards are
+// non-empty contiguous ranges in input order, and at most k shards are
+// produced. Together these give the coverage guarantee: the union of
+// the shard regions is the union of all cones.
+func TestConePartitionProperties(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw, gRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := 1 + int(nRaw%40)
+		k := 1 + int(kRaw%9)
+		gates := 4 + int(gRaw%120)
+		cones := randomCones(rng, n, gates)
+		shards := ConePartition(cones, k)
+		if len(shards) == 0 || len(shards) > k {
+			return false
+		}
+		next := 0
+		for _, sh := range shards {
+			if len(sh) == 0 {
+				return false
+			}
+			for _, idx := range sh {
+				if idx != next {
+					return false // not contiguous / duplicated / skipped
+				}
+				next++
+			}
+		}
+		return next == n // every cone assigned exactly once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConePartitionBalance: the partition's max shard weight must stay
+// within the slack factor of a perfectly balanced split, so the overlap
+// objective cannot starve a worker.
+func TestConePartitionBalance(t *testing.T) {
+	rng := xrand.New(7)
+	cones := randomCones(rng, 64, 200)
+	var total, maxCone int64
+	for _, c := range cones {
+		w := int64(len(c))
+		if w < 1 {
+			w = 1
+		}
+		total += w
+		if w > maxCone {
+			maxCone = w
+		}
+	}
+	for _, k := range []int{2, 3, 4, 8} {
+		shards := ConePartition(cones, k)
+		var worst int64
+		for _, sh := range shards {
+			var acc int64
+			for _, idx := range sh {
+				w := int64(len(cones[idx]))
+				if w < 1 {
+					w = 1
+				}
+				acc += w
+			}
+			if acc > worst {
+				worst = acc
+			}
+		}
+		// Optimal max-load is at least ceil(total/k) and at least the
+		// largest cone; the DP relaxes it by 1/8.
+		bound := total/int64(k) + maxCone
+		bound += bound / 8
+		if worst > bound {
+			t.Errorf("k=%d: max shard weight %d exceeds bound %d", k, worst, bound)
+		}
+	}
+}
+
+// TestConePartitionCutPreference: with clearly clustered cones the
+// partitioner must cut at the cluster boundary, where overlap is zero.
+func TestConePartitionCutPreference(t *testing.T) {
+	// Two clusters of heavily overlapping cones with no cross overlap.
+	cones := [][]int32{
+		{0, 1, 2, 3}, {1, 2, 3, 4}, {0, 2, 3, 4},
+		{10, 11, 12, 13}, {11, 12, 13, 14}, {10, 12, 13, 14},
+	}
+	shards := ConePartition(cones, 2)
+	if len(shards) != 2 {
+		t.Fatalf("got %d shards, want 2", len(shards))
+	}
+	if len(shards[0]) != 3 || shards[0][0] != 0 || shards[1][0] != 3 {
+		t.Errorf("cut not at cluster boundary: %v", shards)
+	}
+}
+
+// TestConePartitionEdgeCases pins degenerate inputs.
+func TestConePartitionEdgeCases(t *testing.T) {
+	if got := ConePartition(nil, 4); got != nil {
+		t.Errorf("empty input: got %v, want nil", got)
+	}
+	one := [][]int32{{1, 2}}
+	if got := ConePartition(one, 4); len(got) != 1 || len(got[0]) != 1 || got[0][0] != 0 {
+		t.Errorf("single cone: got %v", got)
+	}
+	// Empty cones (weight clamped to 1) must still partition cleanly.
+	empty := [][]int32{nil, nil, nil, nil}
+	shards := ConePartition(empty, 2)
+	n := 0
+	for _, sh := range shards {
+		n += len(sh)
+	}
+	if n != 4 {
+		t.Errorf("empty cones: %d assigned, want 4", n)
+	}
+	// k <= 0 behaves as k = 1.
+	if got := ConePartition(one, 0); len(got) != 1 {
+		t.Errorf("k=0: got %v", got)
+	}
+}
+
+// TestOverlapCount pins the intersection counter.
+func TestOverlapCount(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int32{1, 2, 3}, nil, 0},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 2},
+		{[]int32{1, 5, 9}, []int32{2, 6, 10}, 0},
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 3},
+	}
+	for _, tc := range cases {
+		if got := OverlapCount(tc.a, tc.b); got != tc.want {
+			t.Errorf("OverlapCount(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

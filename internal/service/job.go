@@ -66,6 +66,10 @@ type GenConfig struct {
 	// Parallelism is the per-job fault-simulation goroutine count
 	// (0 = the service default).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Lanes is the per-job fault-packing width (0/64/128/256; 0 = the
+	// engine default of 64). Like Parallelism, it changes speed only,
+	// never results.
+	Lanes int `json:"lanes,omitempty"`
 	// Strategy names the synthesis strategy from internal/strategy
 	// ("greedy", "restart", "anneal", "genetic", or "race"; default
 	// "greedy", the paper baseline). In a sweep, "race" additionally
@@ -79,7 +83,7 @@ type GenConfig struct {
 // Service default: claim loops re-resolve peer specs through this
 // function, so it must be a pure function of the spec or two cluster
 // members could disagree about what a stored record means.
-func (g GenConfig) withDefaults(simParallelism int) GenConfig {
+func (g GenConfig) withDefaults(simParallelism, simLanes int) GenConfig {
 	if g.N < 1 {
 		g.N = 4
 	}
@@ -91,6 +95,9 @@ func (g GenConfig) withDefaults(simParallelism int) GenConfig {
 	}
 	if g.Parallelism < 1 {
 		g.Parallelism = simParallelism
+	}
+	if g.Lanes < 1 {
+		g.Lanes = simLanes
 	}
 	if g.Strategy == "" {
 		g.Strategy = strategy.Default
@@ -138,9 +145,11 @@ func resolveT0(spec JobSpec, c *netlist.Circuit) (vectors.Sequence, error) {
 // a structurally identical upload produce equal numbers but differently
 // labeled results, so they must not share a cache entry.
 func contentKey(c *netlist.Circuit, t0 string, cfg GenConfig) string {
-	// Parallelism is an execution detail: results are bit-for-bit
-	// identical for any worker count, so it must not fragment the cache.
+	// Parallelism and Lanes are execution details: results are bit-for-bit
+	// identical for any worker count and lane width, so they must not
+	// fragment the cache.
 	cfg.Parallelism = 0
+	cfg.Lanes = 0
 	h := sha256.New()
 	h.Write([]byte(c.Name))
 	h.Write([]byte{0})

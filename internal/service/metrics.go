@@ -179,10 +179,16 @@ type MetricsSnapshot struct {
 		// into work done versus work proven unnecessary by the
 		// active-region engine, and GroupsQuiescent counts whole
 		// group-time-unit evaluations skipped by the quiescence check.
+		// GroupsEscalated counts group-calls promoted to the flat
+		// full-netlist stepper by the activity heuristic, and WordsInert
+		// counts per-gate word evaluations skipped as dead in wide-lane
+		// (lanes > 64) engines.
 		PatternsApplied int64 `json:"patterns_applied"`
 		GatesEvaluated  int64 `json:"gates_evaluated"`
 		GatesSkipped    int64 `json:"gates_skipped"`
 		GroupsQuiescent int64 `json:"groups_quiescent"`
+		GroupsEscalated int64 `json:"groups_escalated"`
+		WordsInert      int64 `json:"words_inert"`
 	} `json:"fsim"`
 	// Strategy reports the synthesis-strategy portfolio: decided races
 	// and per-strategy run/trial/win/wall-time counters.
@@ -327,6 +333,8 @@ func (s *Service) Metrics() MetricsSnapshot {
 	snap.Fsim.GatesEvaluated = sim.GatesEvaluated
 	snap.Fsim.GatesSkipped = sim.GatesSkipped
 	snap.Fsim.GroupsQuiescent = sim.GroupsQuiescent
+	snap.Fsim.GroupsEscalated = sim.GroupsEscalated
+	snap.Fsim.WordsInert = sim.WordsInert
 	snap.PhaseSeconds = map[string]float64{
 		"atpg":    time.Duration(m.phaseATPG.Load()).Seconds(),
 		"select":  time.Duration(m.phaseSelect.Load()).Seconds(),

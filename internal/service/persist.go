@@ -333,7 +333,7 @@ func (s *Service) recover() []*execution {
 			seq:       rec.Seq,
 			key:       rec.Key,
 			spec:      spec,
-			cfg:       spec.Config.withDefaults(s.cfg.SimParallelism),
+			cfg:       spec.Config.withDefaults(s.cfg.SimParallelism, s.cfg.SimLanes),
 			circuit:   rec.Circuit,
 			node:      rec.Node,
 			sweepID:   rec.SweepID,
@@ -650,7 +650,7 @@ func (s *Service) resubmitLostMember(rc *recovery, sw *sweep, i int) *job {
 	if err != nil {
 		return nil
 	}
-	cfg := spec.Config.withDefaults(s.cfg.SimParallelism)
+	cfg := spec.Config.withDefaults(s.cfg.SimParallelism, s.cfg.SimLanes)
 	s.seq++
 	idx := i
 	j := &job{
@@ -708,7 +708,7 @@ func (s *Service) resubmitLostRace(rc *recovery, sw *sweep, i int, memberCfg Gen
 		li := li
 		legSpec := spec
 		legSpec.Config.Strategy = name
-		cfg := legSpec.Config.withDefaults(s.cfg.SimParallelism)
+		cfg := legSpec.Config.withDefaults(s.cfg.SimParallelism, s.cfg.SimLanes)
 		s.seq++
 		j := &job{
 			id:        s.newJobID(s.seq),

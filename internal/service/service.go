@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"seqbist/internal/bench"
+	"seqbist/internal/fsim"
 	"seqbist/internal/netlist"
 	"seqbist/internal/store"
 	"seqbist/internal/strategy"
@@ -73,6 +74,11 @@ type Config struct {
 	// SimParallelism is the default per-job fault-simulation goroutine
 	// count for jobs that do not set their own (0 = one per CPU).
 	SimParallelism int
+	// SimLanes is the default per-job fault-packing width for jobs that
+	// do not set their own (0 = the engine default of 64; otherwise a
+	// multiple of 64, typically 128 or 256). Lane width changes speed
+	// only, never results.
+	SimLanes int
 	// DefaultStrategy is applied to submissions that leave
 	// GenConfig.Strategy empty (default strategy.Default, the paper's
 	// greedy baseline). It is resolved at the submission edge — before
@@ -362,6 +368,9 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	if !strategy.Valid(spec.Config.Strategy) {
 		return Status{}, fmt.Errorf("invalid job: unknown strategy %q (have %v)", spec.Config.Strategy, strategy.Names())
 	}
+	if !fsim.ValidLanes(spec.Config.Lanes) {
+		return Status{}, fmt.Errorf("invalid job: lanes %d: must be 0 or a multiple of 64", spec.Config.Lanes)
+	}
 	c, err := resolveCircuit(spec, s.cfg.BenchLimits)
 	if err != nil {
 		return Status{}, fmt.Errorf("invalid job: %w", err)
@@ -383,7 +392,7 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 // to it (in-flight coalescing) and shares its lifecycle and result; the
 // coalesced counter in GET /metrics counts these attachments.
 func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpec, sweepID string, member int, onRunning func(Status), onTerminal func(Status, *Result)) (Status, error) {
-	cfg := spec.Config.withDefaults(s.cfg.SimParallelism)
+	cfg := spec.Config.withDefaults(s.cfg.SimParallelism, s.cfg.SimLanes)
 	key := contentKey(c, spec.T0, cfg)
 
 	s.mu.Lock()

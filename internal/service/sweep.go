@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"seqbist/internal/experiments"
+	"seqbist/internal/fsim"
 	"seqbist/internal/store"
 	"seqbist/internal/strategy"
 )
@@ -297,6 +298,9 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 	if !strategy.Valid(spec.Config.Strategy) {
 		return SweepStatus{}, fmt.Errorf("invalid sweep: unknown strategy %q (have %v)",
 			spec.Config.Strategy, strategy.Names())
+	}
+	if !fsim.ValidLanes(spec.Config.Lanes) {
+		return SweepStatus{}, fmt.Errorf("invalid sweep: lanes %d: must be 0 or a multiple of 64", spec.Config.Lanes)
 	}
 
 	members := make([]resolvedMember, len(spec.Circuits))

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — sharded-scheduler scaling gate. Runs the
+# BenchmarkFaultSimSharded workers=1,2,4 legs and fails when the
+# 4-worker schedule is slower than serial beyond a tolerance: the
+# cone-aware shard partitioning exists precisely so that adding workers
+# never costs throughput, and this gate keeps that property from
+# silently regressing.
+#
+# The comparison is tolerance-gated (default: workers=4 may be at most
+# 10% slower than workers=1, TOL=1.10) to absorb runner noise, and it
+# only *enforces* on hosts with at least 4 CPUs — on smaller hosts the
+# workers cannot help by construction, so the script still runs the
+# benchmarks (crash coverage) but reports the ratio informationally.
+#
+# Usage: scripts/bench_smoke.sh
+#   TOL=1.2 BENCHTIME=5x scripts/bench_smoke.sh   # override knobs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL=${TOL:-1.10}
+BENCHTIME=${BENCHTIME:-3x}
+
+TXT=$(mktemp)
+trap 'rm -f "$TXT"' EXIT
+go test -run '^$' -bench 'FaultSimSharded/workers=[124]$' -benchtime "$BENCHTIME" . | tee "$TXT"
+
+ns_of() {
+    # The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1, so it is
+    # optional in the match.
+    awk -v leg="BenchmarkFaultSimSharded/workers=$1" '
+        $1 ~ "^"leg"(-[0-9]+)?$" { print $3; exit }' "$TXT"
+}
+
+NS1=$(ns_of 1)
+NS2=$(ns_of 2)
+NS4=$(ns_of 4)
+if [ -z "$NS1" ] || [ -z "$NS2" ] || [ -z "$NS4" ]; then
+    echo "bench_smoke: missing a workers leg in the benchmark output (renamed?)" >&2
+    exit 1
+fi
+
+CPUS=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+R2=$(awk -v a="$NS2" -v b="$NS1" 'BEGIN { printf "%.2f", a / b }')
+R4=$(awk -v a="$NS4" -v b="$NS1" 'BEGIN { printf "%.2f", a / b }')
+echo "bench_smoke: workers=2 is ${R2}x of serial, workers=4 is ${R4}x of serial (cpus=$CPUS, tolerance ${TOL}x)"
+
+if [ "$CPUS" -lt 4 ]; then
+    echo "bench_smoke: SKIP scaling gate — host has $CPUS CPUs, extra workers cannot help"
+    exit 0
+fi
+if awk -v r="$NS4" -v s="$NS1" -v t="$TOL" 'BEGIN { exit (r <= s * t) ? 0 : 1 }'; then
+    echo "bench_smoke: PASS — workers=4 within ${TOL}x of serial"
+else
+    echo "bench_smoke: FAIL — workers=4 ($NS4 ns/op) slower than ${TOL}x serial ($NS1 ns/op)" >&2
+    exit 1
+fi
