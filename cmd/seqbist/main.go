@@ -37,7 +37,6 @@ import (
 	"seqbist/internal/core"
 	"seqbist/internal/experiments"
 	"seqbist/internal/faults"
-	"seqbist/internal/fsim"
 	"seqbist/internal/iscas"
 	"seqbist/internal/netlist"
 	"seqbist/internal/service"
@@ -64,11 +63,20 @@ func main() {
 	stratName := flag.String("strategy", strategy.Default, "synthesis strategy: greedy (the paper baseline), restart, anneal, genetic, or race (run the whole portfolio, keep the cheapest stored set)")
 	flag.Parse()
 
-	if !strategy.Valid(*stratName) {
-		fatalf("-strategy %q: unknown (have %v)", *stratName, strategy.Names())
-	}
-	if !fsim.ValidLanes(*fsimLanes) {
-		fatalf("-fsim-lanes %d: must be 0 or a multiple of 64", *fsimLanes)
+	// Flag validation rides the service's single validation edge (the
+	// placeholder circuit satisfies the shape check; the real circuit or
+	// bench resolves per mode below).
+	if err := service.ValidateSpec(service.JobSpec{
+		Circuit: "s27",
+		Config: service.GenConfig{
+			Strategy:          *stratName,
+			Lanes:             *fsimLanes,
+			N:                 *n,
+			MaxOmissionTrials: *maxTrials,
+			Parallelism:       *fsimWorkers,
+		},
+	}); err != nil {
+		fatalf("invalid flags: %v", err)
 	}
 
 	if *serveAddr != "" {

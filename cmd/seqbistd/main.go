@@ -17,6 +17,14 @@
 //	seqbistd -addr :8080 -data-dir ./cluster -node-id n1 &
 //	seqbistd -addr :8081 -data-dir ./cluster -node-id n2 &
 //
+// With -tenants pointing at a tenant config file, submissions
+// authenticate with "Authorization: Bearer <key>", per-tenant quotas
+// and rate budgets gate admission, and queued work is claimed by
+// weighted fair share instead of strict FIFO (see API.md
+// "Multi-tenancy" and scripts/fairness_e2e.sh):
+//
+//	seqbistd -addr :8080 -data-dir ./d -node-id n1 -tenants tenants.json
+//
 // API (full reference with schemas in API.md):
 //
 //	curl -X POST localhost:8080/v1/jobs -d '{"circuit":"s298","config":{"n":8}}'
@@ -36,10 +44,8 @@ import (
 	"time"
 
 	"seqbist/internal/bench"
-	"seqbist/internal/fsim"
 	"seqbist/internal/service"
 	"seqbist/internal/store"
-	"seqbist/internal/strategy"
 )
 
 func main() {
@@ -58,21 +64,38 @@ func main() {
 	staleAfter := flag.Duration("stale-after", 0, "with -data-dir, how long a cluster member may go silent before compaction stops waiting for it and GC reclaims past its watermark (0 = default 30s)")
 	nodeID := flag.String("node-id", "", "cluster identity: daemons started with distinct -node-id values on one shared -data-dir cooperatively drain a single queue, stealing a killed member's leases (requires -data-dir)")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "with -node-id, how long a claimed job stays fenced to its claimant without renewal")
-	rate := flag.Float64("rate", 0, "per-client submissions/second accepted on POST /v1/jobs and /v1/sweeps before answering 429 (0 = unlimited)")
+	rate := flag.Float64("rate", 0, "per-client submissions/second accepted on POST /v1/jobs and /v1/sweeps before answering 429 (0 = unlimited; a tenant's configured rate overrides this for its bucket)")
 	rateBurst := flag.Int("rate-burst", 0, "with -rate, token-bucket burst depth (0 = max(1, ceil(rate)))")
+	tenantsFile := flag.String("tenants", "", "multi-tenant config file: {\"tenants\":[{\"name\",\"key\",\"weight\",\"priority\",\"max_queued_jobs\",\"max_active_sweeps\",\"rate\",\"rate_burst\"}]}; submissions authenticate with 'Authorization: Bearer <key>' and are scheduled by weighted fair share (empty = single-tenant mode, everything anonymous)")
 	defaultStrategy := flag.String("default-strategy", "", "strategy applied to submissions that set none: greedy, restart, anneal, genetic, or race (empty = greedy)")
 	probeInterval := flag.Duration("probe-interval", 0, "with -data-dir, how often a degraded daemon probes the store for recovery — also the Retry-After it advertises on 503 (0 = default 2s)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 0, "graceful-shutdown drain bound before in-flight HTTP requests are abandoned (0 = default 10s)")
 	faultFlag := flag.String("fault-enospc-flag", "", "TEST ONLY: path of a flag file; while it exists, every store write fails with ENOSPC (drives scripts/chaos_e2e.sh)")
 	flag.Parse()
 
-	if *defaultStrategy != "" && !strategy.Valid(*defaultStrategy) {
-		fmt.Fprintf(os.Stderr, "seqbistd: -default-strategy %q: unknown (have %v)\n", *defaultStrategy, strategy.Names())
+	// Flag validation rides the service's single validation edge (the
+	// placeholder circuit satisfies the shape check; real submissions
+	// carry their own).
+	if err := service.ValidateSpec(service.JobSpec{
+		Circuit: "s27",
+		Config:  service.GenConfig{Strategy: *defaultStrategy, Lanes: *simLanes},
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "seqbistd: invalid flags: %v\n", err)
 		os.Exit(1)
 	}
-	if !fsim.ValidLanes(*simLanes) {
-		fmt.Fprintf(os.Stderr, "seqbistd: -sim-lanes %d: must be 0 or a multiple of 64\n", *simLanes)
-		os.Exit(1)
+	var tenants []service.TenantConfig
+	if *tenantsFile != "" {
+		f, err := os.Open(*tenantsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbistd: -tenants: %v\n", err)
+			os.Exit(1)
+		}
+		tenants, err = service.ParseTenants(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqbistd: -tenants %s: %v\n", *tenantsFile, err)
+			os.Exit(1)
+		}
 	}
 
 	cfg := service.Config{
@@ -86,6 +109,7 @@ func main() {
 		LeaseTTL:        *leaseTTL,
 		RateLimit:       *rate,
 		RateBurst:       *rateBurst,
+		Tenants:         tenants,
 		DefaultStrategy: *defaultStrategy,
 		ProbeInterval:   *probeInterval,
 		ShutdownTimeout: *shutdownTimeout,

@@ -127,6 +127,7 @@ func (s *Service) adoptSweep(rec store.SweepRecord) {
 		id:       cur.ID,
 		seq:      cur.Seq,
 		node:     s.cfg.NodeID, // ours from here on
+		tenant:   cur.Tenant,   // ownership transfers, attribution does not
 		created:  cur.Created,
 		finished: cur.Finished,
 		state:    State(cur.State),

@@ -105,7 +105,7 @@ func TestClusterSweepAdoption(t *testing.T) {
 	swID := "sweep-dead-0001"
 	if err := seed.PutSweep(store.SweepRecord{
 		ID: swID, Seq: 1, State: string(StateRunning), Node: "dead",
-		Spec: specData, Created: created,
+		Tenant: "alpha", Spec: specData, Created: created,
 		Members: []store.SweepMemberRecord{
 			{Circuit: "s27", State: string(StateQueued)},
 			{Circuit: "s298", State: string(StateQueued)},
@@ -125,7 +125,7 @@ func TestClusterSweepAdoption(t *testing.T) {
 	if err := seed.PutJob(store.JobRecord{
 		ID: "job-dead-000001", Seq: 1, Key: contentKey(c, "", cfg.withDefaults(1, 0)),
 		Circuit: "s27", Spec: msData, Node: "dead", SweepID: swID, Member: 0,
-		State: string(StateQueued), Submitted: created,
+		Tenant: "alpha", State: string(StateQueued), Submitted: created,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -161,6 +161,11 @@ func TestClusterSweepAdoption(t *testing.T) {
 	}
 	if done.Summary.Markdown == "" || len(done.Summary.Rows) != 2 {
 		t.Fatalf("adopted summary not aggregated: %+v", done.Summary)
+	}
+	// Ownership transfers to the adopter; tenant attribution does not —
+	// the adopter doesn't even have "alpha" in its (empty) tenant file.
+	if done.Tenant != "alpha" {
+		t.Fatalf("adopted sweep tenant %q, want alpha", done.Tenant)
 	}
 	if n := svc.Metrics().Cluster.SweepsAdopted; n != 1 {
 		t.Fatalf("sweeps_adopted = %d, want 1", n)
@@ -199,6 +204,9 @@ func TestClusterSweepAdoption(t *testing.T) {
 	}
 	if rec == nil || rec.Node != "b" || rec.State != string(StateDone) {
 		t.Fatalf("durable sweep record after adoption: %+v, want node b, done", rec)
+	}
+	if rec.Tenant != "alpha" {
+		t.Fatalf("durable sweep record lost its tenant across adoption: %+v", rec)
 	}
 }
 

@@ -39,6 +39,10 @@ type Client struct {
 	// capped at 5s, jittered to a uniform random fraction); 0 means the
 	// default (200ms). A server Retry-After overrides the computed delay.
 	RetryBaseDelay time.Duration
+	// APIKey, when non-empty, is sent as "Authorization: Bearer <key>"
+	// so the daemon attributes submissions to the matching tenant. Empty
+	// submits as the anonymous tenant.
+	APIKey string
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -70,15 +74,53 @@ func (c *Client) baseDelay() time.Duration {
 	return 200 * time.Millisecond
 }
 
-// apiError is the structured error body every non-2xx response carries.
+// apiError is the structured error body every non-2xx response carries:
+// the typed envelope of errors.go. The `error` field is kept raw so the
+// pre-envelope bare-string form still decodes (servers one release back).
 type apiError struct {
-	Error string `json:"error"`
+	Error       json.RawMessage `json:"error"`
+	ErrorString string          `json:"error_string"`
+}
+
+// detail extracts the typed detail, tolerating the legacy shapes: an
+// `error` object, a bare `error` string, or only the transitional
+// `error_string`. ok reports whether anything usable was present.
+func (ae *apiError) detail() (ErrorDetail, bool) {
+	var d ErrorDetail
+	if len(ae.Error) > 0 {
+		if json.Unmarshal(ae.Error, &d) == nil && (d.Code != "" || d.Message != "") {
+			return d, true
+		}
+		var s string
+		if json.Unmarshal(ae.Error, &s) == nil && s != "" {
+			return ErrorDetail{Message: s}, true
+		}
+	}
+	if ae.ErrorString != "" {
+		return ErrorDetail{Message: ae.ErrorString}, true
+	}
+	return d, false
 }
 
 // retryableStatus reports whether an HTTP status is worth retrying: the
-// server said "not now", not "never".
+// server said "not now", not "never". The status fallback applies when
+// the body carried no machine-readable code (an old server, or a proxy
+// answering for it).
 func retryableStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryableCode classifies the envelope's error code. Codes are the
+// authoritative retry signal: they distinguish "not now" (rate budget,
+// quota, full queue, degraded or draining node — all of which a later
+// attempt, possibly on another cluster member, can succeed at) from
+// "never" (invalid spec, unknown key, not found).
+func retryableCode(code string) bool {
+	switch code {
+	case CodeRateLimited, CodeQuotaExceeded, CodeQueueFull, CodeDegraded, CodeShuttingDown:
+		return true
+	}
+	return false
 }
 
 // backoffDelay computes the sleep before retry attempt (1-based),
@@ -146,13 +188,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 				return json.NewDecoder(resp.Body).Decode(out)
 			}
 			var ae apiError
-			if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-				lastErr = fmt.Errorf("%s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+			retry := retryableStatus(resp.StatusCode)
+			if json.NewDecoder(resp.Body).Decode(&ae) == nil {
+				if d, ok := ae.detail(); ok {
+					if d.Code != "" {
+						retry = retryableCode(d.Code)
+						lastErr = fmt.Errorf("%s %s: %s (%s, HTTP %d)", method, path, d.Message, d.Code, resp.StatusCode)
+					} else {
+						lastErr = fmt.Errorf("%s %s: %s (HTTP %d)", method, path, d.Message, resp.StatusCode)
+					}
+				} else {
+					lastErr = fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+				}
 			} else {
 				lastErr = fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
 			}
 			_ = resp.Body.Close() // error body already consumed
-			if !retryableStatus(resp.StatusCode) {
+			if !retry {
 				return lastErr
 			}
 		} else {
@@ -185,6 +237,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
 	}
 	return c.httpClient().Do(req)
 }
@@ -299,6 +354,9 @@ func (c *Client) streamOnce(ctx context.Context, id string, next *int, fn func(S
 	if err != nil {
 		return &streamErr{err}
 	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err // transport error: retryable
@@ -306,8 +364,10 @@ func (c *Client) streamOnce(ctx context.Context, id string, next *int, fn func(S
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var ae apiError
-		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
-			return &streamErr{fmt.Errorf("stream sweep %s: %s (HTTP %d)", id, ae.Error, resp.StatusCode)}
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil {
+			if d, ok := ae.detail(); ok {
+				return &streamErr{fmt.Errorf("stream sweep %s: %s (HTTP %d)", id, d.Message, resp.StatusCode)}
+			}
 		}
 		return &streamErr{fmt.Errorf("stream sweep %s: HTTP %d", id, resp.StatusCode)}
 	}

@@ -223,3 +223,56 @@ func TestStreamSweepCallbackErrorIsTerminal(t *testing.T) {
 		t.Fatalf("callback errors must not reconnect: %d connections", conns.Load())
 	}
 }
+
+// TestClientTypedEnvelopeClassification pins that the typed error code,
+// when present, overrides status-based retry classification — and that
+// the client authenticates with its APIKey on every attempt.
+func TestClientTypedEnvelopeClassification(t *testing.T) {
+	var calls atomic.Int32
+	var auths []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		auths = append(auths, r.Header.Get("Authorization"))
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"quota_exceeded","message":"tenant \"alpha\" over queued_jobs quota (limit 2)","retry_after_s":1},"error_string":"tenant \"alpha\" over queued_jobs quota (limit 2)"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-000002","state":"queued","tenant":"alpha"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, APIKey: "ka", RetryBaseDelay: time.Millisecond}
+	st, err := c.SubmitJob(context.Background(), JobSpec{Circuit: "s27"})
+	if err != nil {
+		t.Fatalf("quota_exceeded must be retried: %v", err)
+	}
+	if st.Tenant != "alpha" || calls.Load() != 2 {
+		t.Fatalf("status %+v after %d calls, want tenant alpha after 2", st, calls.Load())
+	}
+	for i, a := range auths {
+		if a != "Bearer ka" {
+			t.Fatalf("attempt %d sent Authorization %q, want Bearer ka", i, a)
+		}
+	}
+
+	// The reverse override: a 503 carrying a non-retryable typed code
+	// fails fast instead of burning the retry budget, and the code is
+	// surfaced in the error text.
+	var calls2 atomic.Int32
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls2.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"internal","message":"wedged"},"error_string":"wedged"}`))
+	}))
+	defer srv2.Close()
+	c2 := &Client{BaseURL: srv2.URL, RetryBaseDelay: time.Millisecond}
+	_, err = c2.SubmitJob(context.Background(), JobSpec{Circuit: "s27"})
+	if err == nil || !strings.Contains(err.Error(), "internal") || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("want the typed code and message through, got %v", err)
+	}
+	if calls2.Load() != 1 {
+		t.Fatalf("non-retryable typed code must not retry: %d attempts", calls2.Load())
+	}
+}

@@ -105,8 +105,11 @@ func (s *Service) clusterTick(now time.Time) {
 	if !s.degraded.Load() {
 		// A degraded node takes on no new work: it cannot persist the
 		// terminal records, and every claim it wins fences a healthy
-		// peer out for a lease TTL.
-		s.claimWork(jobs, claims, results, s.degradedPeers(), now)
+		// peer out for a lease TTL. Claims are attempted in the fair-share
+		// order (schedule.go), not raw Seq order: terminal records first,
+		// then running (steal candidates), then the queued backlog under
+		// weighted deficit-round-robin by tenant.
+		s.claimWork(s.scheduleRecords(jobs), claims, results, s.degradedPeers(), now)
 	}
 	s.pruneMirror()
 	s.adoptStaleSweeps(now)
@@ -318,7 +321,9 @@ func (s *Service) observeRemote(jobs []store.JobRecord, results map[string]*Resu
 			}
 			j.cacheHit = rec.CacheHit
 			s.completeRemoteLocked(j, res, finished, &fired)
+			s.noteDrainLocked(j.tenant, finished)
 			s.metrics.jobsDone.Add(1)
+			s.metrics.observeTenantDone(j.tenant)
 			s.metrics.remoteDone.Add(1)
 		case StateFailed, StateCanceled:
 			j.state = st
@@ -336,6 +341,7 @@ func (s *Service) observeRemote(jobs []store.JobRecord, results map[string]*Resu
 				fired = append(fired, firedHook{term: j.onTerminal, st: j.status()})
 				j.onTerminal = nil
 			}
+			s.noteDrainLocked(j.tenant, j.finished)
 			if st == StateFailed {
 				s.metrics.jobsFailed.Add(1)
 			} else {
@@ -455,6 +461,7 @@ func (s *Service) claimWork(jobs []store.JobRecord, claims map[string]store.Clai
 			continue
 		}
 		s.metrics.claimsWon.Add(1)
+		s.metrics.observeTenantClaimWon(rec.Tenant)
 		if stolen {
 			s.metrics.jobsStolen.Add(1)
 			s.metrics.leasesExpired.Add(1)
@@ -523,7 +530,7 @@ func (s *Service) startClaimed(rec *store.JobRecord, results map[string]*Result,
 			// loop surfaces it, and free the lease.
 			failed := store.JobRecord{
 				ID: rec.ID, Seq: rec.Seq, Key: rec.Key, Circuit: rec.Circuit,
-				Node: rec.Node, SweepID: rec.SweepID, Member: rec.Member,
+				Node: rec.Node, Tenant: rec.Tenant, SweepID: rec.SweepID, Member: rec.Member,
 				State: string(StateFailed), Orphaned: rec.Orphaned,
 				Error:     "cluster claim: " + err.Error(),
 				Submitted: rec.Submitted, Finished: now,
@@ -613,6 +620,7 @@ func (s *Service) mirrorJob(rec *store.JobRecord) *job {
 		cfg:           spec.Config.withDefaults(s.cfg.SimParallelism, s.cfg.SimLanes),
 		circuit:       rec.Circuit,
 		node:          rec.Node,
+		tenant:        rec.Tenant,
 		sweepID:       rec.SweepID,
 		member:        rec.Member,
 		orphaned:      rec.Orphaned,

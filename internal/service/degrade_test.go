@@ -262,11 +262,12 @@ func TestDegradedHTTP(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("degraded 503 must carry Retry-After")
 	}
-	var ae struct {
-		Error string `json:"error"`
+	var ae errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || !strings.Contains(ae.Error.Message, "degraded") {
+		t.Fatalf("degraded 503 body must say why: %q (%v)", ae.Error.Message, err)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || !strings.Contains(ae.Error, "degraded") {
-		t.Fatalf("degraded 503 body must say why: %q (%v)", ae.Error, err)
+	if ae.Error.Code != CodeDegraded {
+		t.Fatalf("degraded 503 code %q, want %q", ae.Error.Code, CodeDegraded)
 	}
 
 	if resp := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {

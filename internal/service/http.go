@@ -15,8 +15,7 @@ import (
 // prefix, which is the canonical form; the unprefixed job routes predate
 // versioning and are kept for compatibility.
 //
-//	POST   /v1/jobs              submit a JobSpec; 202 (or 200 on a cache hit;
-//	                             429 + Retry-After past the per-client rate limit)
+//	POST   /v1/jobs              submit a JobSpec; 202 (or 200 on a cache hit)
 //	GET    /v1/jobs              list job statuses in submission order
 //	GET    /v1/jobs/{id}         one job's status
 //	GET    /v1/jobs/{id}/result  the finished job's Result; 409 until done
@@ -33,19 +32,15 @@ import (
 //	GET    /readyz               readiness: 200 when accepting work, 503 +
 //	                             Retry-After when degraded, full, or stalled
 //
-// A node whose store stopped accepting writes degrades (DESIGN.md §13):
-// submissions answer 503 with an honest Retry-After of one probe
-// interval, the soonest recovery could be detected.
+// The submission endpoints resolve the caller's tenant from the
+// Authorization bearer key (tenant.go) before admission: an unknown key
+// answers 401, an exhausted tenant rate budget 429 rate_limited, a
+// tenant over quota 429 quota_exceeded. Every 4xx/5xx body is the typed
+// error envelope of errors.go, and every 429/503 carries a Retry-After
+// derived from a measured drain rate (or the probe interval for a
+// degraded node — the soonest recovery could be detected, DESIGN.md §13).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
-
-	// degradedRetryAfter stamps Retry-After on a degraded 503 before the
-	// error body is written.
-	degradedRetryAfter := func(w http.ResponseWriter, err error) {
-		if errors.Is(err, ErrDegraded) {
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(svc.cfg.ProbeInterval)))
-		}
-	}
 
 	// handle registers pattern under both the bare and /v1 prefixes.
 	handle := func(method, path string, h http.HandlerFunc) {
@@ -53,41 +48,52 @@ func NewHandler(svc *Service) http.Handler {
 		mux.HandleFunc(method+" /v1"+path, h)
 	}
 
-	// limited wraps the submission endpoints in the per-client token
-	// bucket (Config.RateLimit): an exhausted bucket answers 429 with a
-	// Retry-After header instead of queueing the work.
-	limiter := newRateLimiter(svc.cfg.RateLimit, svc.cfg.RateBurst)
-	limited := func(h http.HandlerFunc) http.HandlerFunc {
-		if limiter == nil {
-			return h
-		}
-		return func(w http.ResponseWriter, r *http.Request) {
-			ok, wait := limiter.allow(clientKey(r), time.Now())
-			if !ok {
-				secs := int(math.Ceil(wait.Seconds()))
-				if secs < 1 {
-					secs = 1
-				}
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
-				svc.metrics.rateLimited.Add(1)
-				writeError(w, http.StatusTooManyRequests,
-					fmt.Sprintf("rate limit exceeded; retry after %ds", secs))
-				return
-			}
-			h(w, r)
+	// The limiter exists when anything configures a rate: the service
+	// default and per-tenant budgets share it (distinct keys).
+	var limiter *rateLimiter
+	if svc.cfg.RateLimit > 0 {
+		limiter = newRateLimiter()
+	}
+	for _, tc := range svc.cfg.Tenants {
+		if tc.Rate > 0 && limiter == nil {
+			limiter = newRateLimiter()
 		}
 	}
 
-	handle("POST", "/jobs", limited(func(w http.ResponseWriter, r *http.Request) {
+	// submission wraps the submitting endpoints in tenant admission:
+	// resolve the tenant, then spend its token bucket.
+	submission := func(h func(w http.ResponseWriter, r *http.Request, tenant string)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			tenant, err := svc.ResolveTenant(r.Header.Get("Authorization"))
+			if err != nil {
+				writeAPIError(w, http.StatusUnauthorized, CodeUnauthorized, err.Error(), 0)
+				return
+			}
+			if limiter != nil {
+				key, rate, burst := svc.rateProfile(tenant, r)
+				ok, wait := limiter.allow(key, rate, burst, time.Now())
+				if !ok {
+					svc.metrics.rateLimited.Add(1)
+					svc.metrics.observeTenantRateReject(tenant)
+					writeAPIError(w, http.StatusTooManyRequests, CodeRateLimited,
+						fmt.Sprintf("rate limit exceeded; retry after %ds", retryAfterSecs(wait)), wait)
+					return
+				}
+			}
+			h(w, r, tenant)
+		}
+	}
+
+	handle("POST", "/jobs", submission(func(w http.ResponseWriter, r *http.Request, tenant string) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			writeAPIError(w, http.StatusBadRequest, CodeInvalidSpec, "invalid JSON: "+err.Error(), 0)
 			return
 		}
-		st, err := svc.Submit(spec)
+		st, err := svc.SubmitAs(tenant, spec)
 		if err != nil {
-			degradedRetryAfter(w, err)
-			writeError(w, submitStatusCode(err), err.Error())
+			status, code, retry := svc.submitError(err, time.Now())
+			writeAPIError(w, status, code, err.Error(), retry)
 			return
 		}
 		code := http.StatusAccepted
@@ -104,7 +110,7 @@ func NewHandler(svc *Service) http.Handler {
 	handle("GET", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := svc.Status(r.PathValue("id"))
 		if err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
+			writeAPIError(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -114,11 +120,11 @@ func NewHandler(svc *Service) http.Handler {
 		res, err := svc.Result(r.PathValue("id"))
 		switch {
 		case errors.Is(err, ErrNotFound):
-			writeError(w, http.StatusNotFound, err.Error())
+			writeAPIError(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 		case errors.Is(err, ErrNotDone):
-			writeError(w, http.StatusConflict, err.Error())
+			writeAPIError(w, http.StatusConflict, CodeNotDone, err.Error(), 0)
 		case err != nil:
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeAPIError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
 		default:
 			writeJSON(w, http.StatusOK, res)
 		}
@@ -127,22 +133,22 @@ func NewHandler(svc *Service) http.Handler {
 	handle("DELETE", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := svc.Cancel(r.PathValue("id"))
 		if err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
+			writeAPIError(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
 
-	handle("POST", "/sweeps", limited(func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/sweeps", submission(func(w http.ResponseWriter, r *http.Request, tenant string) {
 		var spec SweepSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			writeAPIError(w, http.StatusBadRequest, CodeInvalidSpec, "invalid JSON: "+err.Error(), 0)
 			return
 		}
-		st, err := svc.SubmitSweep(spec)
+		st, err := svc.SubmitSweepAs(tenant, spec)
 		if err != nil {
-			degradedRetryAfter(w, err)
-			writeError(w, submitStatusCode(err), err.Error())
+			status, code, retry := svc.submitError(err, time.Now())
+			writeAPIError(w, status, code, err.Error(), retry)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, st)
@@ -155,7 +161,7 @@ func NewHandler(svc *Service) http.Handler {
 	handle("GET", "/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := svc.Sweep(r.PathValue("id"))
 		if err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
+			writeAPIError(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -164,7 +170,7 @@ func NewHandler(svc *Service) http.Handler {
 	handle("DELETE", "/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := svc.CancelSweep(r.PathValue("id"))
 		if err != nil {
-			writeError(w, http.StatusNotFound, err.Error())
+			writeAPIError(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
@@ -216,6 +222,26 @@ func NewHandler(svc *Service) http.Handler {
 	return mux
 }
 
+// rateProfile resolves the token-bucket key and effective budget for one
+// submission: a named tenant spends one tenant-wide bucket (its
+// configured Rate, falling back to the service default), the anonymous
+// tenant one bucket per client IP — anonymous submitters share no
+// identity, so a per-IP split is the only budget that cannot be gamed by
+// simply not sending a key.
+func (s *Service) rateProfile(tenant string, r *http.Request) (key string, rate float64, burst int) {
+	tc := s.tenantConfig(tenant)
+	rate, burst = tc.Rate, tc.RateBurst
+	if rate <= 0 {
+		rate, burst = s.cfg.RateLimit, s.cfg.RateBurst
+	}
+	if tenant == AnonymousTenant {
+		return clientKey(r), rate, burst
+	}
+	// NUL cannot appear in an IP, so tenant buckets never collide with
+	// anonymous per-IP ones.
+	return "tenant\x00" + tenant, rate, burst
+}
+
 // retryAfterSecs renders a duration as a Retry-After value (whole
 // seconds, at least 1).
 func retryAfterSecs(d time.Duration) int {
@@ -240,7 +266,7 @@ func streamSweepEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("seq"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "invalid seq: "+v)
+			writeAPIError(w, http.StatusBadRequest, CodeInvalidSpec, "invalid seq: "+v, 0)
 			return
 		}
 		next = n
@@ -248,7 +274,7 @@ func streamSweepEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
 	// Probe existence before committing to the stream content type; the
 	// past-the-end seq keeps the probe from copying the event log.
 	if _, _, _, err := svc.SweepEvents(id, math.MaxInt); err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		writeAPIError(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -285,21 +311,6 @@ func streamSweepEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func submitStatusCode(err error) int {
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrDegraded):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrSweepTooLarge):
-		return http.StatusRequestEntityTooLarge
-	default:
-		return http.StatusBadRequest
-	}
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -307,10 +318,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.SetIndent("", "  ")
 	// Headers are already out; an encode error means the peer hung up.
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, struct {
-		Error string `json:"error"`
-	}{Error: msg})
 }

@@ -221,6 +221,11 @@ type job struct {
 	// cluster mode). A job whose node differs from the local NodeID is
 	// a mirror: a peer's record this daemon claimed for execution.
 	node string
+	// tenant is the tenant the submission resolved to (never empty:
+	// unauthenticated work is AnonymousTenant). Immutable after creation;
+	// persisted on every record so ownership survives recovery, claims,
+	// and adoption.
+	tenant string
 	// sweepID and member link a sweep-member job to its sweep (member
 	// is the index; -1 otherwise), so a restarted daemon can rewire the
 	// sweep's lifecycle hooks from the persisted records.
@@ -262,6 +267,7 @@ type Status struct {
 	ID       string `json:"id"`
 	State    State  `json:"state"`
 	Circuit  string `json:"circuit"`
+	Tenant   string `json:"tenant,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
 	Error    string `json:"error,omitempty"`
 
@@ -276,6 +282,7 @@ func (j *job) status() Status {
 		ID:          j.id,
 		State:       j.state,
 		Circuit:     j.circuit,
+		Tenant:      j.tenant,
 		CacheHit:    j.cacheHit,
 		SubmittedAt: j.submitted,
 	}

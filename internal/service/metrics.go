@@ -78,6 +78,87 @@ type Metrics struct {
 	// run's wall time lands there, its legs' wins land under the
 	// concrete winners).
 	perStrategy map[string]*StrategyCounters
+
+	// Per-tenant counters, keyed by tenant name. Tenant names arrive
+	// from configs and recovered records, so — like the strategy map —
+	// the cells are mutex-guarded; updates are once per submission or
+	// completion, off the simulation hot path. The per-tenant gauges
+	// (queue occupancy, drain rate, weight) are sampled from the Service
+	// at snapshot time, not stored here.
+	tenantMu  sync.Mutex
+	perTenant map[string]*TenantCounters
+}
+
+// tenantCounters returns the (lazily created) counter cell for one
+// tenant, normalizing the legacy empty name. Callers hold m.tenantMu.
+func (m *Metrics) tenantCounters(name string) *TenantCounters {
+	if name == "" {
+		name = AnonymousTenant
+	}
+	if m.perTenant == nil {
+		m.perTenant = make(map[string]*TenantCounters)
+	}
+	tc := m.perTenant[name]
+	if tc == nil {
+		tc = &TenantCounters{}
+		m.perTenant[name] = tc
+	}
+	return tc
+}
+
+// observeTenantSubmit counts one admitted submission (direct job, sweep
+// member, or race leg) for the tenant.
+func (m *Metrics) observeTenantSubmit(name string) {
+	if m == nil {
+		return
+	}
+	m.tenantMu.Lock()
+	m.tenantCounters(name).Submitted++
+	m.tenantMu.Unlock()
+}
+
+// observeTenantDone counts one of the tenant's jobs finishing done.
+func (m *Metrics) observeTenantDone(name string) {
+	if m == nil {
+		return
+	}
+	m.tenantMu.Lock()
+	m.tenantCounters(name).Done++
+	m.tenantMu.Unlock()
+}
+
+// observeTenantQuotaReject counts a submission rejected by the tenant's
+// queued-jobs or active-sweeps quota (HTTP 429 quota_exceeded).
+func (m *Metrics) observeTenantQuotaReject(name string) {
+	if m == nil {
+		return
+	}
+	m.tenantMu.Lock()
+	m.tenantCounters(name).RejectedQuota++
+	m.tenantMu.Unlock()
+}
+
+// observeTenantRateReject counts a submission rejected by the tenant's
+// token bucket (HTTP 429 rate_limited).
+func (m *Metrics) observeTenantRateReject(name string) {
+	if m == nil {
+		return
+	}
+	m.tenantMu.Lock()
+	m.tenantCounters(name).RejectedRate++
+	m.tenantMu.Unlock()
+}
+
+// observeTenantClaimWon counts a cluster claim this daemon won on the
+// tenant's behalf (the fair-share scheduler's output, observable per
+// tenant).
+func (m *Metrics) observeTenantClaimWon(name string) {
+	if m == nil {
+		return
+	}
+	m.tenantMu.Lock()
+	m.tenantCounters(name).ClaimsWon++
+	m.tenantMu.Unlock()
 }
 
 // observePhase accumulates one pipeline stage's wall time. The stage
@@ -193,6 +274,8 @@ type MetricsSnapshot struct {
 	// Strategy reports the synthesis-strategy portfolio: decided races
 	// and per-strategy run/trial/win/wall-time counters.
 	Strategy StrategySnapshot `json:"strategy"`
+	// Tenant reports per-tenant admission and fair-share accounting.
+	Tenant TenantSnapshot `json:"tenant"`
 	// Store reports the persistence layer; omitted when the daemon runs
 	// without a data directory.
 	Store *StoreSnapshot `json:"store,omitempty"`
@@ -285,6 +368,39 @@ type StrategyCounters struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// TenantSnapshot is the "tenant" section of GET /metrics: per-tenant
+// admission, completion, and fair-share accounting. Every tenant that
+// is configured, has live work, or has counted anything since startup
+// appears.
+type TenantSnapshot struct {
+	// PerTenant is keyed by tenant name ("anonymous" included).
+	PerTenant map[string]TenantCounters `json:"per_tenant"`
+}
+
+// TenantCounters is one tenant's cumulative counters plus point-in-time
+// gauges (sampled at snapshot).
+type TenantCounters struct {
+	// Submitted counts admitted submissions (direct jobs, sweep members,
+	// race legs); Done counts jobs finishing done.
+	Submitted int64 `json:"submitted"`
+	Done      int64 `json:"done"`
+	// RejectedQuota counts 429 quota_exceeded answers; RejectedRate
+	// counts 429 rate_limited answers.
+	RejectedQuota int64 `json:"rejected_quota"`
+	RejectedRate  int64 `json:"rejected_rate"`
+	// ClaimsWon counts cluster claims won on the tenant's records.
+	ClaimsWon int64 `json:"claims_won"`
+	// Gauges: current queue occupancy, non-terminal sweeps, the measured
+	// drain rate behind the tenant's Retry-After answers, and the
+	// scheduling profile in force.
+	Queued       int     `json:"queued"`
+	Running      int     `json:"running"`
+	ActiveSweeps int     `json:"active_sweeps"`
+	DrainPerSec  float64 `json:"drain_per_sec"`
+	Weight       int     `json:"weight"`
+	Priority     int     `json:"priority"`
+}
+
 // ClusterSnapshot is the "cluster" section of GET /metrics: this
 // daemon's view of the multi-daemon coordination over the shared store.
 type ClusterSnapshot struct {
@@ -349,6 +465,26 @@ func (s *Service) Metrics() MetricsSnapshot {
 		snap.Strategy.PerStrategy[name] = *sc
 	}
 	m.strategyMu.Unlock()
+	// Copy the tenant counter cells; the gauges are filled in under s.mu
+	// below, then the merged map lands in the snapshot.
+	perTenant := make(map[string]*TenantCounters)
+	m.tenantMu.Lock()
+	for name, tc := range m.perTenant {
+		cp := *tc
+		perTenant[name] = &cp
+	}
+	m.tenantMu.Unlock()
+	tenantCell := func(name string) *TenantCounters {
+		if name == "" {
+			name = AnonymousTenant
+		}
+		tc := perTenant[name]
+		if tc == nil {
+			tc = &TenantCounters{}
+			perTenant[name] = tc
+		}
+		return tc
+	}
 	if s.store != nil {
 		st := s.store.Stats()
 		ss := &StoreSnapshot{
@@ -404,13 +540,34 @@ func (s *Service) Metrics() MetricsSnapshot {
 
 	s.mu.Lock()
 	snap.Jobs.ByState = make(map[State]int)
+	for name := range s.tenantByName {
+		tenantCell(name) // configured tenants appear even while idle
+	}
 	for _, j := range s.jobs {
 		snap.Jobs.ByState[j.state]++
+		switch j.state {
+		case StateQueued:
+			tenantCell(j.tenant).Queued++
+		case StateRunning:
+			tenantCell(j.tenant).Running++
+		}
 	}
 	for _, sw := range s.sweeps {
 		if !sw.state.Terminal() {
 			snap.Sweeps.Active++
+			tenantCell(sw.tenant).ActiveSweeps++
 		}
+	}
+	gaugeNow := time.Now()
+	for name, ts := range s.tstate {
+		if r, ok := ts.drain.rate(gaugeNow); ok {
+			tenantCell(name).DrainPerSec = r
+		}
+	}
+	for name, tc := range perTenant {
+		cls := s.schedClass(name)
+		tc.Weight = cls.weight
+		tc.Priority = cls.priority
 	}
 	snap.Cache = CacheStats{Entries: s.cache.len(), Hits: s.cache.hits, Misses: s.cache.misses}
 	snap.Workers = s.cfg.Workers
@@ -420,5 +577,9 @@ func (s *Service) Metrics() MetricsSnapshot {
 		snap.Cluster.ClaimsHeld = len(s.leases)
 	}
 	s.mu.Unlock()
+	snap.Tenant.PerTenant = make(map[string]TenantCounters, len(perTenant))
+	for name, tc := range perTenant {
+		snap.Tenant.PerTenant[name] = *tc
+	}
 	return snap
 }

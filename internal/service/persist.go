@@ -97,6 +97,7 @@ func (s *Service) persistJob(j *job) {
 		Key:       j.key,
 		Circuit:   j.circuit,
 		Node:      j.node,
+		Tenant:    j.tenant,
 		SweepID:   j.sweepID,
 		Member:    j.member,
 		State:     string(j.state),
@@ -141,6 +142,7 @@ func (s *Service) persistSweep(sw *sweep) {
 		State:    string(sw.state),
 		Canceled: sw.canceled,
 		Node:     sw.node,
+		Tenant:   sw.tenant,
 		Created:  sw.created,
 		Finished: sw.finished,
 	}
@@ -267,6 +269,7 @@ func (s *Service) recover() []*execution {
 			id:       rec.ID,
 			seq:      rec.Seq,
 			node:     rec.Node,
+			tenant:   rec.Tenant,
 			created:  rec.Created,
 			finished: rec.Finished,
 			state:    State(rec.State),
@@ -336,6 +339,7 @@ func (s *Service) recover() []*execution {
 			cfg:       spec.Config.withDefaults(s.cfg.SimParallelism, s.cfg.SimLanes),
 			circuit:   rec.Circuit,
 			node:      rec.Node,
+			tenant:    rec.Tenant,
 			sweepID:   rec.SweepID,
 			member:    rec.Member,
 			orphaned:  rec.Orphaned,
@@ -661,6 +665,7 @@ func (s *Service) resubmitLostMember(rc *recovery, sw *sweep, i int) *job {
 		cfg:       cfg,
 		circuit:   c.Name,
 		node:      s.cfg.NodeID,
+		tenant:    sw.tenant,
 		sweepID:   sw.id,
 		member:    i,
 		orphaned:  true,
@@ -718,6 +723,7 @@ func (s *Service) resubmitLostRace(rc *recovery, sw *sweep, i int, memberCfg Gen
 			cfg:       cfg,
 			circuit:   c.Name,
 			node:      s.cfg.NodeID,
+			tenant:    sw.tenant,
 			sweepID:   sw.id,
 			member:    -1,
 			orphaned:  true,

@@ -83,6 +83,40 @@ func writePrometheus(w io.Writer, snap MetricsSnapshot) {
 	labeled("seqbist_strategy_wall_seconds_total", "Cumulative selection wall time by strategy.",
 		func(sc StrategyCounters) float64 { return sc.WallSeconds })
 
+	tenants := make([]string, 0, len(snap.Tenant.PerTenant))
+	for name := range snap.Tenant.PerTenant {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	tenantMetric := func(name, help, kind string, value func(TenantCounters) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s{tenant=%q} %g\n", name, t, value(snap.Tenant.PerTenant[t]))
+		}
+	}
+	tenantMetric("seqbist_tenant_submitted_total", "Admitted submissions by tenant.", "counter",
+		func(tc TenantCounters) float64 { return float64(tc.Submitted) })
+	tenantMetric("seqbist_tenant_done_total", "Jobs finished successfully, by tenant.", "counter",
+		func(tc TenantCounters) float64 { return float64(tc.Done) })
+	tenantMetric("seqbist_tenant_rejected_quota_total", "Submissions rejected by a tenant quota (429 quota_exceeded).", "counter",
+		func(tc TenantCounters) float64 { return float64(tc.RejectedQuota) })
+	tenantMetric("seqbist_tenant_rejected_rate_total", "Submissions rejected by the tenant's token bucket (429 rate_limited).", "counter",
+		func(tc TenantCounters) float64 { return float64(tc.RejectedRate) })
+	tenantMetric("seqbist_tenant_claims_won_total", "Cluster claims won on the tenant's records.", "counter",
+		func(tc TenantCounters) float64 { return float64(tc.ClaimsWon) })
+	tenantMetric("seqbist_tenant_queued", "Tenant's jobs currently queued.", "gauge",
+		func(tc TenantCounters) float64 { return float64(tc.Queued) })
+	tenantMetric("seqbist_tenant_running", "Tenant's jobs currently running.", "gauge",
+		func(tc TenantCounters) float64 { return float64(tc.Running) })
+	tenantMetric("seqbist_tenant_active_sweeps", "Tenant's non-terminal sweeps.", "gauge",
+		func(tc TenantCounters) float64 { return float64(tc.ActiveSweeps) })
+	tenantMetric("seqbist_tenant_drain_per_sec", "Measured completion rate feeding the tenant's Retry-After answers.", "gauge",
+		func(tc TenantCounters) float64 { return tc.DrainPerSec })
+	tenantMetric("seqbist_tenant_weight", "Deficit-round-robin weight in force.", "gauge",
+		func(tc TenantCounters) float64 { return float64(tc.Weight) })
+	tenantMetric("seqbist_tenant_priority", "Scheduling priority class in force.", "gauge",
+		func(tc TenantCounters) float64 { return float64(tc.Priority) })
+
 	g("seqbist_workers", "Synthesis worker-pool size.", float64(snap.Workers))
 	g("seqbist_queue_depth", "Pending-job queue capacity.", float64(snap.QueueDepth))
 	g("seqbist_queue_len", "Executions currently queued.", float64(snap.QueueLen))

@@ -7,58 +7,61 @@ import (
 	"time"
 )
 
-// rateLimiter is a per-client token bucket protecting the submission
-// endpoints: each client key accrues `rate` tokens per second up to
-// `burst`, one submission spends one token, and an empty bucket answers
-// how long until the next token so the HTTP layer can emit Retry-After.
-// Buckets are materialized lazily per client and pruned once they are
-// both full (no debt to remember) and stale, so the map stays bounded
-// by the set of recently-active clients.
+// rateLimiter is a keyed token-bucket set protecting the submission
+// endpoints: each key accrues `rate` tokens per second up to `burst`,
+// one submission spends one token, and an empty bucket answers how long
+// until the next token so the HTTP layer can emit an honest Retry-After.
+// The rate and burst arrive per call (the HTTP layer resolves them per
+// tenant — named tenants spend one tenant-wide bucket, anonymous
+// submitters one bucket per client IP), so differently-budgeted keys
+// coexist in one limiter. Buckets are materialized lazily and pruned
+// once they are both full (no debt to remember) and stale, so the map
+// stays bounded by the set of recently-active keys.
 type rateLimiter struct {
-	rate  float64 // tokens per second
-	burst float64
-
 	mu      sync.Mutex
 	clients map[string]*bucket
 	sweepAt time.Time
 }
 
 type bucket struct {
+	rate   float64 // tokens per second (fixed per key: config is static)
+	burst  float64
 	tokens float64
 	last   time.Time
 }
 
-// newRateLimiter returns nil when rate is non-positive (limiting off).
-func newRateLimiter(rate float64, burst int) *rateLimiter {
-	if rate <= 0 {
-		return nil
-	}
-	if burst < 1 {
-		burst = 1
-	}
-	return &rateLimiter{rate: rate, burst: float64(burst), clients: make(map[string]*bucket)}
+func newRateLimiter() *rateLimiter {
+	return &rateLimiter{clients: make(map[string]*bucket)}
 }
 
-// allow spends one token for key; when the bucket is empty it reports
-// false and the wait until one full token accrues.
-func (rl *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
+// allow spends one token for key at the given budget; when the bucket is
+// empty it reports false and the wait until one full token accrues. A
+// non-positive rate means this key is unlimited (always allowed).
+func (rl *rateLimiter) allow(key string, rate float64, burst int, now time.Time) (bool, time.Duration) {
+	if rate <= 0 {
+		return true, 0
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
-	b := rl.clients[key]
-	if b == nil {
-		b = &bucket{tokens: rl.burst, last: now}
-		rl.clients[key] = b
+	bk := rl.clients[key]
+	if bk == nil {
+		bk = &bucket{rate: rate, burst: b, tokens: b, last: now}
+		rl.clients[key] = bk
 	}
-	b.tokens += now.Sub(b.last).Seconds() * rl.rate
-	if b.tokens > rl.burst {
-		b.tokens = rl.burst
+	bk.tokens += now.Sub(bk.last).Seconds() * bk.rate
+	if bk.tokens > bk.burst {
+		bk.tokens = bk.burst
 	}
-	b.last = now
+	bk.last = now
 	rl.maybeSweep(now)
-	if b.tokens < 1 {
-		return false, time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	if bk.tokens < 1 {
+		return false, time.Duration((1 - bk.tokens) / bk.rate * float64(time.Second))
 	}
-	b.tokens--
+	bk.tokens--
 	return true, 0
 }
 
@@ -69,8 +72,8 @@ func (rl *rateLimiter) maybeSweep(now time.Time) {
 		return
 	}
 	rl.sweepAt = now.Add(time.Minute)
-	idle := time.Duration(rl.burst/rl.rate*float64(time.Second)) + time.Minute
 	for key, b := range rl.clients {
+		idle := time.Duration(b.burst/b.rate*float64(time.Second)) + time.Minute
 		if now.Sub(b.last) > idle {
 			delete(rl.clients, key)
 		}

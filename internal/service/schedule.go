@@ -1,0 +1,138 @@
+package service
+
+import (
+	"sort"
+
+	"seqbist/internal/store"
+)
+
+// This file is the claim loop's scheduling policy: the order in which
+// claimWork considers records. PR 5's loop walked the mirror in Seq
+// order — strict FIFO — which lets one tenant's saturating sweep starve
+// everyone behind it. The replacement is deficit-round-robin over
+// tenants within descending priority classes, applied to *queued*
+// records only: running work is never preempted (stealing still follows
+// lease expiry, not priority), and terminal records keep absolute
+// precedence so cancel-detach stays as responsive as before. The
+// deficit counters are soft local state owned by the cluster goroutine;
+// the durable fairness input is the Tenant field on every record, so
+// any member's loop computes the same shares from the same store.
+// See DESIGN.md §15.
+
+// tenantClass is the scheduling profile drrOrder needs per tenant.
+type tenantClass struct {
+	weight   int
+	priority int
+}
+
+// schedClass adapts the tenant config table for drrOrder. Weight 0
+// (unconfigured or unlisted tenant) schedules as 1.
+func (s *Service) schedClass(name string) tenantClass {
+	tc := s.tenantConfig(name)
+	w := tc.Weight
+	if w < 1 {
+		w = 1
+	}
+	return tenantClass{weight: w, priority: tc.Priority}
+}
+
+// drrOrder returns queued records reordered for claiming: priority
+// classes descending, deficit-round-robin by tenant weight within each
+// class, FIFO (input order) within each tenant. deficits carries credit
+// across calls — a tenant that got less than its share this tick is
+// owed next tick — and follows the classic DRR reset: a tenant whose
+// backlog empties forfeits its remaining credit (no hoarding while
+// idle), and tenants absent from the input are dropped from the map.
+//
+// The fairness invariant (pinned by TestDRROrderWeightedBound): among
+// continuously-backlogged tenants of one class, tenant t's k-th job
+// appears within ceil(k/w_t)+1 rounds, i.e. by global position
+// (ceil(k/w_t)+1)·W where W is the class's total weight.
+func drrOrder(recs []store.JobRecord, class func(string) tenantClass, deficits map[string]float64) []store.JobRecord {
+	if len(recs) <= 1 {
+		return recs
+	}
+	// Group by tenant, preserving input order per tenant.
+	byTenant := make(map[string][]store.JobRecord)
+	var names []string
+	for _, rec := range recs {
+		name := rec.Tenant
+		if name == "" {
+			name = AnonymousTenant
+		}
+		if _, seen := byTenant[name]; !seen {
+			names = append(names, name)
+		}
+		byTenant[name] = append(byTenant[name], rec)
+	}
+	// Forget deficits of tenants with no backlog right now.
+	for name := range deficits {
+		if _, ok := byTenant[name]; !ok {
+			delete(deficits, name)
+		}
+	}
+	// Partition tenants into priority classes, highest first; tenants
+	// sort by name within a class so every cluster member visits them
+	// in the same rotation.
+	sort.Strings(names)
+	classes := make(map[int][]string)
+	var prios []int
+	for _, name := range names {
+		p := class(name).priority
+		if _, seen := classes[p]; !seen {
+			prios = append(prios, p)
+		}
+		classes[p] = append(classes[p], name)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+
+	out := make([]store.JobRecord, 0, len(recs))
+	for _, p := range prios {
+		members := classes[p]
+		remaining := len(members)
+		for remaining > 0 {
+			for _, name := range members {
+				pending := byTenant[name]
+				if len(pending) == 0 {
+					continue
+				}
+				deficits[name] += float64(class(name).weight)
+				for deficits[name] >= 1 && len(pending) > 0 {
+					out = append(out, pending[0])
+					pending = pending[1:]
+					deficits[name]--
+				}
+				byTenant[name] = pending
+				if len(pending) == 0 {
+					deficits[name] = 0 // classic DRR: empty queue forfeits credit
+					remaining--
+				}
+			}
+		}
+	}
+	return out
+}
+
+// scheduleRecords orders one tick's mirror snapshot for claimWork:
+// terminal records first (the cancel-detach path must stay immediate),
+// then non-queued records (running work — steal candidates on lease
+// expiry — keeps its Seq order), then the queued backlog under DRR.
+// Called from the cluster goroutine, which owns s.drrDeficit.
+func (s *Service) scheduleRecords(jobs []store.JobRecord) []store.JobRecord {
+	var terminal, running, queued []store.JobRecord
+	for _, rec := range jobs {
+		switch {
+		case State(rec.State).Terminal():
+			terminal = append(terminal, rec)
+		case State(rec.State) == StateQueued:
+			queued = append(queued, rec)
+		default:
+			running = append(running, rec)
+		}
+	}
+	out := make([]store.JobRecord, 0, len(jobs))
+	out = append(out, terminal...)
+	out = append(out, running...)
+	out = append(out, drrOrder(queued, s.schedClass, s.drrDeficit)...)
+	return out
+}

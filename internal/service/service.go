@@ -37,7 +37,6 @@ import (
 	"time"
 
 	"seqbist/internal/bench"
-	"seqbist/internal/fsim"
 	"seqbist/internal/netlist"
 	"seqbist/internal/store"
 	"seqbist/internal/strategy"
@@ -138,14 +137,21 @@ type Config struct {
 	// (default 10s).
 	ShutdownTimeout time.Duration
 
-	// RateLimit, when positive, enables a per-client token bucket on
-	// POST /v1/jobs and /v1/sweeps: each client (keyed by remote host)
-	// accrues RateLimit submissions per second up to a burst of
-	// RateBurst; beyond that the HTTP layer answers 429 with a
-	// Retry-After header. Zero disables limiting.
+	// RateLimit, when positive, enables a submission token bucket on
+	// POST /v1/jobs and /v1/sweeps: anonymous clients are keyed by
+	// remote host and each named tenant gets one budget of its own
+	// (TenantConfig.Rate overrides this service-wide rate per tenant);
+	// beyond the budget the HTTP layer answers 429 with a Retry-After
+	// header. Zero disables limiting for tenants that set no rate.
 	RateLimit float64
 	// RateBurst is the token-bucket depth (default max(1, ceil(RateLimit))).
 	RateBurst int
+
+	// Tenants declares the multi-tenant admission-control table: API
+	// keys, weights, priority classes, and quotas (see TenantConfig and
+	// the -tenants flag). Empty keeps legacy single-tenant behavior —
+	// everything runs as the built-in anonymous tenant with no quotas.
+	Tenants []TenantConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -255,6 +261,22 @@ type Service struct {
 	remoteSweeps  map[string]store.SweepRecord
 	lastAdoptScan time.Time
 
+	// Tenant lookup tables, built once by New (buildTenants) and
+	// immutable afterwards, so the HTTP auth path and the claim loop
+	// read them without locking. anonDefault backs the synthesized
+	// anonymous entry when the config lists none.
+	tenantByName map[string]*TenantConfig
+	tenantByKey  map[string]*TenantConfig
+	anonDefault  TenantConfig
+
+	// Per-tenant runtime accounting (drain meters) and the service-wide
+	// drain meter, guarded by s.mu. drrDeficit is the claim loop's
+	// deficit-round-robin credit, touched only by the cluster goroutine
+	// (like the mirror maps above).
+	tstate      map[string]*tenantState
+	globalDrain drainMeter
+	drrDeficit  map[string]float64
+
 	// resultRefs counts, per content key, the live referents of a
 	// stored result body: done job records plus cache entries. When the
 	// last referent disappears (retention or LRU eviction) the body is
@@ -301,7 +323,10 @@ func New(cfg Config) *Service {
 		remoteRecs:   make(map[string]store.JobRecord),
 		remoteSweeps: make(map[string]store.SweepRecord),
 		parkedIdx:    make(map[string]int),
+		tstate:       make(map[string]*tenantState),
+		drrDeficit:   make(map[string]float64),
 	}
+	s.buildTenants()
 	s.cache.onEvict = s.decResultRef
 	s.lastClusterTick.Store(s.started.UnixNano())
 	// Recovery may enlarge the queue so every re-enqueued execution
@@ -351,11 +376,21 @@ func (s *Service) newSweepID(seq int64) string {
 	return fmt.Sprintf("sweep-%04d", seq)
 }
 
-// Submit validates spec, registers a job, and enqueues it. If an
-// identical job (same content key) has already completed, the returned
-// job is created directly in the done state with CacheHit set and the
-// cached result attached — no work is queued.
+// Submit validates spec, registers a job, and enqueues it as the
+// anonymous tenant. If an identical job (same content key) has already
+// completed, the returned job is created directly in the done state
+// with CacheHit set and the cached result attached — no work is queued.
 func (s *Service) Submit(spec JobSpec) (Status, error) {
+	return s.SubmitAs(AnonymousTenant, spec)
+}
+
+// SubmitAs is Submit attributed to a named tenant (resolved by the HTTP
+// layer from the request's bearer key — tenant identity is never
+// client-suppliable in the spec body). The tenant's queued-jobs quota
+// is enforced atomically with registration; rejections carry a
+// QuotaError whose RetryAfter reflects the tenant's measured drain
+// rate.
+func (s *Service) SubmitAs(tenant string, spec JobSpec) (Status, error) {
 	if s.degraded.Load() {
 		// Accepting work we cannot persist would silently shed the
 		// durability contract; reject at the edge and let the client's
@@ -365,11 +400,8 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	if spec.Config.Strategy == "" {
 		spec.Config.Strategy = s.cfg.DefaultStrategy
 	}
-	if !strategy.Valid(spec.Config.Strategy) {
-		return Status{}, fmt.Errorf("invalid job: unknown strategy %q (have %v)", spec.Config.Strategy, strategy.Names())
-	}
-	if !fsim.ValidLanes(spec.Config.Lanes) {
-		return Status{}, fmt.Errorf("invalid job: lanes %d: must be 0 or a multiple of 64", spec.Config.Lanes)
+	if err := ValidateSpec(spec); err != nil {
+		return Status{}, fmt.Errorf("invalid job: %w", err)
 	}
 	c, err := resolveCircuit(spec, s.cfg.BenchLimits)
 	if err != nil {
@@ -379,7 +411,7 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	if err != nil {
 		return Status{}, fmt.Errorf("invalid job: %w", err)
 	}
-	return s.submitJob(c, t0, spec, "", -1, nil, nil)
+	return s.submitJob(c, t0, spec, tenant, "", -1, nil, nil)
 }
 
 // submitJob registers and enqueues one pre-resolved job with the given
@@ -391,9 +423,12 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 // the same content key is already queued or running, the new job attaches
 // to it (in-flight coalescing) and shares its lifecycle and result; the
 // coalesced counter in GET /metrics counts these attachments.
-func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpec, sweepID string, member int, onRunning func(Status), onTerminal func(Status, *Result)) (Status, error) {
+func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpec, tenant, sweepID string, member int, onRunning func(Status), onTerminal func(Status, *Result)) (Status, error) {
 	cfg := spec.Config.withDefaults(s.cfg.SimParallelism, s.cfg.SimLanes)
 	key := contentKey(c, spec.T0, cfg)
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -411,6 +446,7 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		c:          c,
 		t0:         t0,
 		node:       s.cfg.NodeID,
+		tenant:     tenant,
 		sweepID:    sweepID,
 		member:     member,
 		onRunning:  onRunning,
@@ -437,10 +473,24 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		// the snapshot's CacheStats.
 		s.metrics.jobsSubmitted.Add(1)
 		s.metrics.jobsDone.Add(1)
+		s.metrics.observeTenantSubmit(tenant)
+		s.metrics.observeTenantDone(tenant)
 		if onTerminal != nil {
 			onTerminal(st, res)
 		}
 		return st, nil
+	}
+	if sweepID == "" {
+		// Quota admission for direct submissions only: sweep members
+		// were admitted with their sweep, and cache hits above hold no
+		// queue slot. Checked under the same mutex hold that registers
+		// the job, so racing submissions cannot both squeeze under the
+		// limit.
+		if err := s.admitJobLocked(tenant, j.submitted); err != nil {
+			s.mu.Unlock()
+			s.metrics.observeTenantQuotaReject(tenant)
+			return Status{}, err
+		}
 	}
 	if ex, ok := s.inflight[key]; ok {
 		// Coalesce: attach to the in-flight run.
@@ -458,6 +508,7 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		s.mu.Unlock()
 		s.metrics.jobsSubmitted.Add(1)
 		s.metrics.jobsCoalesced.Add(1)
+		s.metrics.observeTenantSubmit(tenant)
 		if running && onRunning != nil {
 			onRunning(st)
 		}
@@ -475,6 +526,7 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 		st := j.status()
 		s.mu.Unlock()
 		s.metrics.jobsSubmitted.Add(1)
+		s.metrics.observeTenantSubmit(tenant)
 		s.nudgeCluster()
 		return st, nil
 	}
@@ -496,6 +548,7 @@ func (s *Service) submitJob(c *netlist.Circuit, t0 vectors.Sequence, spec JobSpe
 	st := j.status()
 	s.mu.Unlock()
 	s.metrics.jobsSubmitted.Add(1)
+	s.metrics.observeTenantSubmit(tenant)
 	return st, nil
 }
 
@@ -592,6 +645,7 @@ func (s *Service) Cancel(id string) (Status, error) {
 			}
 		}
 		s.persistJob(j)
+		s.noteDrainLocked(j.tenant, j.finished)
 	}
 	st := j.status()
 	s.mu.Unlock()
@@ -767,6 +821,7 @@ func (s *Service) runExec(ex *execution) {
 			s.incResultRef(j.key)
 		}
 		s.persistJob(j)
+		s.noteDrainLocked(j.tenant, finished)
 	}
 	var hooks []terminalHook
 	for _, j := range jobs {
@@ -780,7 +835,7 @@ func (s *Service) runExec(ex *execution) {
 	s.releaseLeaseLocked(ex)
 	s.mu.Unlock()
 
-	for range jobs {
+	for _, j := range jobs {
 		switch {
 		case ctxErr != nil:
 			s.metrics.jobsCanceled.Add(1)
@@ -788,6 +843,7 @@ func (s *Service) runExec(ex *execution) {
 			s.metrics.jobsFailed.Add(1)
 		default:
 			s.metrics.jobsDone.Add(1)
+			s.metrics.observeTenantDone(j.tenant)
 		}
 	}
 	// The pipeline ran once no matter how many coalesced jobs observed

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"seqbist/internal/experiments"
-	"seqbist/internal/fsim"
 	"seqbist/internal/store"
 	"seqbist/internal/strategy"
 )
@@ -120,6 +119,7 @@ type SweepSummary struct {
 type SweepStatus struct {
 	ID      string              `json:"id"`
 	State   State               `json:"state"` // running -> done | canceled
+	Tenant  string              `json:"tenant,omitempty"`
 	Members []SweepMemberStatus `json:"members"`
 	Summary *SweepSummary       `json:"summary,omitempty"` // set once terminal
 
@@ -146,10 +146,11 @@ type SweepEvent struct {
 // readers synchronize through it (sweep state changes are infrequent
 // relative to job work, so one lock is enough).
 type sweep struct {
-	id   string
-	seq  int64     // numeric suffix of id, for counter recovery
-	node string    // owning daemon (cluster mode); appends events + summary
-	spec SweepSpec // original request, persisted so a crashed
+	id     string
+	seq    int64     // numeric suffix of id, for counter recovery
+	node   string    // owning daemon (cluster mode); appends events + summary
+	tenant string    // owning tenant; carried onto every member job
+	spec   SweepSpec // original request, persisted so a crashed
 	// mid-fan-out sweep can re-submit members that never made it to the
 	// queue
 	created time.Time
@@ -229,6 +230,7 @@ func (sw *sweep) snapshot() SweepStatus {
 	st := SweepStatus{
 		ID:        sw.id,
 		State:     sw.state,
+		Tenant:    sw.tenant,
 		CreatedAt: sw.created,
 		Summary:   sw.summary,
 	}
@@ -270,13 +272,23 @@ func (s *Service) appendSweepEvent(sw *sweep, ev SweepEvent) {
 	s.persistSweepEvent(sw, &sw.events[len(sw.events)-1])
 }
 
-// SubmitSweep validates every member of spec up front (so a malformed or
-// oversized netlist rejects the whole sweep atomically, before any work
-// is queued), registers the sweep, and fans the members out over the
-// worker pool. Members hitting the result cache complete instantly; a
-// member that cannot be enqueued because the queue is full is recorded as
-// failed rather than failing the sweep.
+// SubmitSweep submits as the anonymous tenant; see SubmitSweepAs.
 func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
+	return s.SubmitSweepAs(AnonymousTenant, spec)
+}
+
+// SubmitSweepAs validates every member of spec up front (so a malformed
+// or oversized netlist rejects the whole sweep atomically, before any
+// work is queued), enforces the tenant's active-sweeps quota, registers
+// the sweep, and fans the members out over the worker pool. Members
+// hitting the result cache complete instantly; a member that cannot be
+// enqueued because the queue is full is recorded as failed rather than
+// failing the sweep. The sweep is admitted as a unit: its members bypass
+// the tenant's queued-jobs quota.
+func (s *Service) SubmitSweepAs(tenant string, spec SweepSpec) (SweepStatus, error) {
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 	if s.degraded.Load() {
 		// Same edge rejection as Submit: already-accepted sweeps keep
 		// running (their writes park), but no new durable obligations.
@@ -295,20 +307,15 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 	if spec.Config.Strategy == "" {
 		spec.Config.Strategy = s.cfg.DefaultStrategy
 	}
-	if !strategy.Valid(spec.Config.Strategy) {
-		return SweepStatus{}, fmt.Errorf("invalid sweep: unknown strategy %q (have %v)",
-			spec.Config.Strategy, strategy.Names())
-	}
-	if !fsim.ValidLanes(spec.Config.Lanes) {
-		return SweepStatus{}, fmt.Errorf("invalid sweep: lanes %d: must be 0 or a multiple of 64", spec.Config.Lanes)
+	if err := validateGenConfig(spec.Config); err != nil {
+		return SweepStatus{}, fmt.Errorf("invalid sweep: %w", err)
 	}
 
 	members := make([]resolvedMember, len(spec.Circuits))
 	for i, ref := range spec.Circuits {
 		js := JobSpec{Circuit: ref.Circuit, Bench: ref.Bench, T0: ref.T0, Config: ref.Override.apply(spec.Config)}
-		if !strategy.Valid(js.Config.Strategy) {
-			return SweepStatus{}, fmt.Errorf("invalid sweep: member %d: unknown strategy %q (have %v)",
-				i, js.Config.Strategy, strategy.Names())
+		if err := ValidateSpec(js); err != nil {
+			return SweepStatus{}, fmt.Errorf("invalid sweep: member %d: %w", i, err)
 		}
 		c, err := resolveCircuit(js, s.cfg.BenchLimits)
 		if err != nil {
@@ -326,11 +333,19 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 		s.mu.Unlock()
 		return SweepStatus{}, ErrClosed
 	}
+	// Quota under the same mutex hold that registers the sweep, so two
+	// racing submissions cannot both squeeze under the limit.
+	if err := s.admitSweepLocked(tenant, time.Now()); err != nil {
+		s.mu.Unlock()
+		s.metrics.observeTenantQuotaReject(tenant)
+		return SweepStatus{}, err
+	}
 	s.sweepSeq++
 	sw := &sweep{
 		id:      s.newSweepID(s.sweepSeq),
 		seq:     s.sweepSeq,
 		node:    s.cfg.NodeID,
+		tenant:  tenant,
 		spec:    spec,
 		created: time.Now(),
 		state:   StateRunning,
@@ -368,7 +383,7 @@ func (s *Service) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 			s.raceFanOut(sw, i, members[i])
 			continue
 		}
-		st, err := s.submitJob(members[i].c, members[i].t0, members[i].spec, sw.id, i,
+		st, err := s.submitJob(members[i].c, members[i].t0, members[i].spec, sw.tenant, sw.id, i,
 			func(running Status) { s.memberRunning(sw, i, running) },
 			func(final Status, res *Result) { s.memberTerminal(sw, i, final, res) })
 		s.mu.Lock()
@@ -486,7 +501,7 @@ func (s *Service) raceFanOut(sw *sweep, i int, rm resolvedMember) {
 		s.mu.Unlock()
 		legSpec := rm.spec
 		legSpec.Config.Strategy = name
-		st, err := s.submitJob(rm.c, rm.t0, legSpec, sw.id, -1,
+		st, err := s.submitJob(rm.c, rm.t0, legSpec, sw.tenant, sw.id, -1,
 			func(running Status) { s.raceLegRunning(sw, i, li, running) },
 			func(final Status, res *Result) { s.raceLegTerminal(sw, i, li, final, res) })
 		s.mu.Lock()

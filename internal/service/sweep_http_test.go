@@ -191,17 +191,22 @@ func TestBenchUploadErrors(t *testing.T) {
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			// Job upload route.
-			var errBody struct {
-				Error string `json:"error"`
-			}
+			// Job upload route. The body is the typed envelope; the
+			// legacy error_string mirror must match for one release.
+			var errBody errorEnvelope
 			code := httpJSON(t, client, "POST", ts.URL+"/v1/jobs",
 				JobSpec{Bench: tc.bench, Config: tinyCfg()}, &errBody)
 			if code != http.StatusBadRequest {
-				t.Fatalf("job upload: status %d (%s)", code, errBody.Error)
+				t.Fatalf("job upload: status %d (%s)", code, errBody.Error.Message)
 			}
-			if !strings.Contains(errBody.Error, tc.wantMsg) {
-				t.Errorf("job error %q does not mention %q", errBody.Error, tc.wantMsg)
+			if !strings.Contains(errBody.Error.Message, tc.wantMsg) {
+				t.Errorf("job error %q does not mention %q", errBody.Error.Message, tc.wantMsg)
+			}
+			if errBody.Error.Code != CodeInvalidSpec {
+				t.Errorf("job error code %q, want %q", errBody.Error.Code, CodeInvalidSpec)
+			}
+			if errBody.ErrorString != errBody.Error.Message {
+				t.Errorf("legacy error_string %q diverges from message %q", errBody.ErrorString, errBody.Error.Message)
 			}
 			// Sweep upload route: same body as a member, same 400, and the
 			// member index is located.
@@ -211,10 +216,10 @@ func TestBenchUploadErrors(t *testing.T) {
 					Config:   tinyCfg(),
 				}, &errBody)
 			if code != http.StatusBadRequest {
-				t.Fatalf("sweep upload: status %d (%s)", code, errBody.Error)
+				t.Fatalf("sweep upload: status %d (%s)", code, errBody.Error.Message)
 			}
-			if !strings.Contains(errBody.Error, "member 1") || !strings.Contains(errBody.Error, tc.wantMsg) {
-				t.Errorf("sweep error %q does not locate member 1 / %q", errBody.Error, tc.wantMsg)
+			if !strings.Contains(errBody.Error.Message, "member 1") || !strings.Contains(errBody.Error.Message, tc.wantMsg) {
+				t.Errorf("sweep error %q does not locate member 1 / %q", errBody.Error.Message, tc.wantMsg)
 			}
 		})
 	}

@@ -50,6 +50,12 @@ type JobRecord struct {
 	// owns the in-memory job object and its lifecycle hooks; any daemon
 	// may execute the job by claiming it (see ClaimJob).
 	Node string `json:"node,omitempty"`
+	// Tenant names the tenant the accepting daemon attributed the
+	// submission to (empty means the anonymous default tenant). It is
+	// carried on the record — not derived — so recovery, cross-daemon
+	// claims, and sweep adoption preserve ownership and the claim
+	// loops' fair-share accounting after the accepting daemon is gone.
+	Tenant string `json:"tenant,omitempty"`
 
 	State    string `json:"state"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
@@ -87,6 +93,9 @@ type SweepRecord struct {
 	// cluster mode; member jobs execute anywhere, but the owner appends
 	// the event log and the final summary.
 	Node string `json:"node,omitempty"`
+	// Tenant names the owning tenant (empty = anonymous), preserved
+	// across recovery and adoption like JobRecord.Tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Spec is the original service-level SweepSpec, kept so recovery
 	// can re-submit members the crash caught before they were enqueued
 	// (their job records never existed).
